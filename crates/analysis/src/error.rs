@@ -1,0 +1,83 @@
+//! Error types for SDF analyses.
+
+use buffy_graph::GraphError;
+use core::fmt;
+
+/// Errors raised by execution, throughput and MCM analyses.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum AnalysisError {
+    /// A graph-level error (inconsistency, …).
+    Graph(GraphError),
+    /// The state space grew beyond the configured limit.
+    StateLimitExceeded {
+        /// The limit that was hit.
+        limit: usize,
+    },
+    /// Actors with execution time 0 fired without bound within a single
+    /// time step (a zero-delay cycle), so time cannot advance.
+    ZeroTimeLivelock,
+    /// The observed actor completes firings but no time passes between
+    /// cycle states; throughput would be unbounded.
+    ZeroPeriod,
+    /// A cycle of the (HSDF) graph carries no initial tokens, so the graph
+    /// deadlocks and cycle-ratio analysis is undefined.
+    NotLive,
+    /// The iterative MCM solver failed to converge within its iteration cap
+    /// (should not happen; indicates a malformed input).
+    McmDidNotConverge,
+}
+
+impl fmt::Display for AnalysisError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AnalysisError::Graph(e) => write!(f, "{e}"),
+            AnalysisError::StateLimitExceeded { limit } => {
+                write!(f, "state space exceeded the limit of {limit} states")
+            }
+            AnalysisError::ZeroTimeLivelock => write!(
+                f,
+                "zero-execution-time actors fire without bound within one time step"
+            ),
+            AnalysisError::ZeroPeriod => {
+                write!(f, "periodic phase has zero duration; throughput is unbounded")
+            }
+            AnalysisError::NotLive => {
+                write!(f, "graph has a token-free cycle and deadlocks")
+            }
+            AnalysisError::McmDidNotConverge => {
+                write!(f, "maximum cycle mean computation did not converge")
+            }
+        }
+    }
+}
+
+impl std::error::Error for AnalysisError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            AnalysisError::Graph(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<GraphError> for AnalysisError {
+    fn from(e: GraphError) -> Self {
+        AnalysisError::Graph(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert!(AnalysisError::ZeroTimeLivelock.to_string().contains("zero"));
+        assert!(AnalysisError::StateLimitExceeded { limit: 10 }
+            .to_string()
+            .contains("10"));
+        let e: AnalysisError = GraphError::EmptyGraph.into();
+        assert!(e.to_string().contains("no actors"));
+    }
+}

@@ -1,0 +1,221 @@
+//! Directed-graph algorithms on the actor topology.
+//!
+//! Strongly connected components (Tarjan) and topological ordering are
+//! used by the HSDF/MCM analyses: only actors inside a strongly connected
+//! component lie on cycles, and the maximal achievable throughput of the
+//! graph is governed by its cycles (paper §9, [GG93]).
+
+use buffy_graph::{ActorId, SdfGraph};
+
+/// The strongly connected components of the actor graph, each a list of
+/// actor ids. Components are returned in reverse topological order
+/// (Tarjan's natural output order: a component is emitted only after all
+/// components it reaches).
+pub fn strongly_connected_components(graph: &SdfGraph) -> Vec<Vec<ActorId>> {
+    struct Tarjan<'g> {
+        graph: &'g SdfGraph,
+        index: Vec<Option<usize>>,
+        lowlink: Vec<usize>,
+        on_stack: Vec<bool>,
+        stack: Vec<usize>,
+        next_index: usize,
+        components: Vec<Vec<ActorId>>,
+    }
+
+    impl Tarjan<'_> {
+        /// Iterative Tarjan (explicit stack) to survive deep graphs.
+        fn visit(&mut self, root: usize) {
+            // (node, next child position in its successor list)
+            let mut call_stack: Vec<(usize, usize)> = vec![(root, 0)];
+            while let Some(&mut (v, ref mut child_pos)) = call_stack.last_mut() {
+                if *child_pos == 0 {
+                    self.index[v] = Some(self.next_index);
+                    self.lowlink[v] = self.next_index;
+                    self.next_index += 1;
+                    self.stack.push(v);
+                    self.on_stack[v] = true;
+                }
+                let succs = self.graph.output_channels(ActorId::new(v));
+                if *child_pos < succs.len() {
+                    let w = self.graph.channel(succs[*child_pos]).target().index();
+                    *child_pos += 1;
+                    match self.index[w] {
+                        None => call_stack.push((w, 0)),
+                        Some(wi) => {
+                            if self.on_stack[w] {
+                                self.lowlink[v] = self.lowlink[v].min(wi);
+                            }
+                        }
+                    }
+                } else {
+                    // Post-visit.
+                    if self.lowlink[v] == self.index[v].expect("visited") {
+                        let mut comp = Vec::new();
+                        loop {
+                            let w = self.stack.pop().expect("stack non-empty");
+                            self.on_stack[w] = false;
+                            comp.push(ActorId::new(w));
+                            if w == v {
+                                break;
+                            }
+                        }
+                        comp.sort();
+                        self.components.push(comp);
+                    }
+                    call_stack.pop();
+                    if let Some(&mut (parent, _)) = call_stack.last_mut() {
+                        self.lowlink[parent] = self.lowlink[parent].min(self.lowlink[v]);
+                    }
+                }
+            }
+        }
+    }
+
+    let n = graph.num_actors();
+    let mut t = Tarjan {
+        graph,
+        index: vec![None; n],
+        lowlink: vec![0; n],
+        on_stack: vec![false; n],
+        stack: Vec::new(),
+        next_index: 0,
+        components: Vec::new(),
+    };
+    for v in 0..n {
+        if t.index[v].is_none() {
+            t.visit(v);
+        }
+    }
+    t.components
+}
+
+/// Whether the actor graph is strongly connected.
+pub fn is_strongly_connected(graph: &SdfGraph) -> bool {
+    strongly_connected_components(graph).len() == 1
+}
+
+/// A topological order of the actors, ignoring channels that carry enough
+/// initial tokens to fully decouple an iteration (`tokens ≥ consumption ×
+/// q(target)` would be the precise notion; here: ignoring *no* channels).
+///
+/// Returns `None` if the graph (viewed with all channels) is cyclic.
+pub fn topological_order(graph: &SdfGraph) -> Option<Vec<ActorId>> {
+    let n = graph.num_actors();
+    let mut indegree = vec![0usize; n];
+    for (_, ch) in graph.channels() {
+        indegree[ch.target().index()] += 1;
+    }
+    let mut queue: Vec<usize> = (0..n).filter(|&i| indegree[i] == 0).collect();
+    let mut order = Vec::with_capacity(n);
+    while let Some(v) = queue.pop() {
+        order.push(ActorId::new(v));
+        for &cid in graph.output_channels(ActorId::new(v)) {
+            let w = graph.channel(cid).target().index();
+            indegree[w] -= 1;
+            if indegree[w] == 0 {
+                queue.push(w);
+            }
+        }
+    }
+    (order.len() == n).then_some(order)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use buffy_graph::SdfGraph;
+
+    fn chain() -> SdfGraph {
+        let mut b = SdfGraph::builder("chain");
+        let x = b.actor("x", 1);
+        let y = b.actor("y", 1);
+        let z = b.actor("z", 1);
+        b.channel("c1", x, 1, y, 1).unwrap();
+        b.channel("c2", y, 1, z, 1).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn chain_has_singleton_components() {
+        let g = chain();
+        let sccs = strongly_connected_components(&g);
+        assert_eq!(sccs.len(), 3);
+        assert!(sccs.iter().all(|c| c.len() == 1));
+        assert!(!is_strongly_connected(&g));
+        // Reverse topological order: z's component first.
+        assert_eq!(sccs[0], vec![g.actor_by_name("z").unwrap()]);
+        assert_eq!(sccs[2], vec![g.actor_by_name("x").unwrap()]);
+    }
+
+    #[test]
+    fn ring_is_one_component() {
+        let mut b = SdfGraph::builder("ring");
+        let x = b.actor("x", 1);
+        let y = b.actor("y", 1);
+        let z = b.actor("z", 1);
+        b.channel("c1", x, 1, y, 1).unwrap();
+        b.channel("c2", y, 1, z, 1).unwrap();
+        b.channel_with_tokens("c3", z, 1, x, 1, 1).unwrap();
+        let g = b.build().unwrap();
+        let sccs = strongly_connected_components(&g);
+        assert_eq!(sccs.len(), 1);
+        assert_eq!(sccs[0].len(), 3);
+        assert!(is_strongly_connected(&g));
+    }
+
+    #[test]
+    fn mixed_components() {
+        // ring(x,y) -> z
+        let mut b = SdfGraph::builder("mix");
+        let x = b.actor("x", 1);
+        let y = b.actor("y", 1);
+        let z = b.actor("z", 1);
+        b.channel("c1", x, 1, y, 1).unwrap();
+        b.channel_with_tokens("c2", y, 1, x, 1, 1).unwrap();
+        b.channel("c3", y, 1, z, 1).unwrap();
+        let g = b.build().unwrap();
+        let sccs = strongly_connected_components(&g);
+        assert_eq!(sccs.len(), 2);
+        assert_eq!(sccs[0], vec![z]);
+        let mut ring = sccs[1].clone();
+        ring.sort();
+        assert_eq!(ring, vec![x, y]);
+    }
+
+    #[test]
+    fn topological_order_of_chain() {
+        let g = chain();
+        let order = topological_order(&g).unwrap();
+        let pos = |n: &str| {
+            order
+                .iter()
+                .position(|&a| a == g.actor_by_name(n).unwrap())
+                .unwrap()
+        };
+        assert!(pos("x") < pos("y"));
+        assert!(pos("y") < pos("z"));
+    }
+
+    #[test]
+    fn cyclic_graph_has_no_topological_order() {
+        let mut b = SdfGraph::builder("ring");
+        let x = b.actor("x", 1);
+        let y = b.actor("y", 1);
+        b.channel("c1", x, 1, y, 1).unwrap();
+        b.channel_with_tokens("c2", y, 1, x, 1, 1).unwrap();
+        assert!(topological_order(&b.build().unwrap()).is_none());
+    }
+
+    #[test]
+    fn deep_chain_does_not_overflow_stack() {
+        let mut b = SdfGraph::builder("deep");
+        let mut prev = b.actor("a0", 1);
+        for i in 1..50_000 {
+            let next = b.actor(format!("a{i}"), 1);
+            b.channel(format!("c{i}"), prev, 1, next, 1).unwrap();
+            prev = next;
+        }
+        let g = b.build().unwrap();
+        assert_eq!(strongly_connected_components(&g).len(), 50_000);
+    }
+}

@@ -1,0 +1,276 @@
+//! SDF → HSDF (homogeneous SDF) expansion.
+//!
+//! Every consistent SDF graph has an equivalent *homogeneous* graph in
+//! which all rates are 1: actor `a` is replaced by `q(a)` copies (one per
+//! firing in an iteration), and token-level dependency edges connect
+//! producing to consuming firings. The expansion is the classical
+//! construction (Bhattacharyya–Murthy–Lee); it feeds the maximum-cycle-mean
+//! analysis used to obtain the maximal achievable throughput of the graph
+//! (paper §9, [GG93]).
+//!
+//! The expansion also adds, for every actor, a *firing-order ring*
+//! `a_0 → a_1 → … → a_{q(a)-1} → a_0` whose closing edge carries one
+//! token: it serializes the firings of one actor, modelling the paper's
+//! exclusion of auto-concurrency.
+
+use buffy_graph::{ActorId, RepetitionVector, SdfGraph};
+use std::collections::HashMap;
+
+/// A node of the expanded graph: the `copy`-th firing of `actor` within an
+/// iteration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct HsdfNode {
+    /// The original actor.
+    pub actor: ActorId,
+    /// Firing index within the iteration (`0..q(actor)`).
+    pub copy: u64,
+    /// Execution time, inherited from the actor.
+    pub execution_time: u64,
+}
+
+/// A dependency edge of the expanded graph.
+///
+/// `tokens` is the iteration distance: firing `(m + tokens)` of the target
+/// node depends on firing `m` of the source node. The edge *weight* for
+/// cycle-ratio analyses is the execution time of the source node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HsdfEdge {
+    /// Source node index.
+    pub from: usize,
+    /// Target node index.
+    pub to: usize,
+    /// Initial tokens (iteration distance).
+    pub tokens: u64,
+}
+
+/// The homogeneous expansion of an SDF graph.
+#[derive(Debug, Clone)]
+pub struct Hsdf {
+    /// Nodes, grouped by actor: copies of actor `a` occupy a contiguous
+    /// range (see [`node_of`](Self::node_of)).
+    pub nodes: Vec<HsdfNode>,
+    /// Dependency edges, deduplicated to the strongest constraint (minimum
+    /// token count) per node pair.
+    pub edges: Vec<HsdfEdge>,
+    base: Vec<usize>,
+}
+
+impl Hsdf {
+    /// Expands `graph` with repetition vector `q`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use buffy_analysis::Hsdf;
+    /// use buffy_graph::{RepetitionVector, SdfGraph};
+    ///
+    /// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+    /// let mut b = SdfGraph::builder("example");
+    /// let a = b.actor("a", 1);
+    /// let bb = b.actor("b", 2);
+    /// let c = b.actor("c", 2);
+    /// b.channel("alpha", a, 2, bb, 3)?;
+    /// b.channel("beta", bb, 1, c, 2)?;
+    /// let g = b.build()?;
+    /// let q = RepetitionVector::compute(&g)?;
+    /// let h = Hsdf::expand(&g, &q);
+    /// assert_eq!(h.nodes.len(), 6); // 3 + 2 + 1 copies
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn expand(graph: &SdfGraph, q: &RepetitionVector) -> Hsdf {
+        let mut nodes = Vec::new();
+        let mut base = vec![0usize; graph.num_actors()];
+        for (aid, actor) in graph.actors() {
+            base[aid.index()] = nodes.len();
+            for copy in 0..q[aid] {
+                nodes.push(HsdfNode {
+                    actor: aid,
+                    copy,
+                    execution_time: actor.execution_time(),
+                });
+            }
+        }
+
+        // Deduplicate parallel edges keeping the minimum token count (the
+        // strongest precedence constraint).
+        let mut edge_map: HashMap<(usize, usize), u64> = HashMap::new();
+        let mut add_edge = |from: usize, to: usize, tokens: u64| {
+            edge_map
+                .entry((from, to))
+                .and_modify(|t| *t = (*t).min(tokens))
+                .or_insert(tokens);
+        };
+
+        // Firing-order rings (no auto-concurrency).
+        for aid in graph.actor_ids() {
+            let qa = q[aid];
+            let b = base[aid.index()];
+            for l in 0..qa {
+                let next = (l + 1) % qa;
+                let tokens = u64::from(next == 0);
+                add_edge(b + l as usize, b + next as usize, tokens);
+            }
+        }
+
+        // Token-level dependencies per channel.
+        for (_, ch) in graph.channels() {
+            let (p, c, d) = (ch.production(), ch.consumption(), ch.initial_tokens());
+            let qa = q[ch.source()];
+            let qb = q[ch.target()];
+            let src_base = base[ch.source().index()];
+            let dst_base = base[ch.target().index()];
+            for l in 0..qa {
+                for k in 1..=p {
+                    // The (l·p + k)-th token produced in iteration 0 is the
+                    // (d + l·p + k)-th token consumed overall.
+                    let t = d + l * p + k;
+                    let f0 = (t - 1) / c; // 0-based global consuming firing
+                    let j = f0 % qb;
+                    let delta = f0 / qb;
+                    add_edge(src_base + l as usize, dst_base + j as usize, delta);
+                }
+            }
+        }
+
+        let mut edges: Vec<HsdfEdge> = edge_map
+            .into_iter()
+            .map(|((from, to), tokens)| HsdfEdge { from, to, tokens })
+            .collect();
+        edges.sort_by_key(|e| (e.from, e.to));
+        Hsdf { nodes, edges, base }
+    }
+
+    /// Node index of copy `copy` of `actor`.
+    pub fn node_of(&self, actor: ActorId, copy: u64) -> usize {
+        self.base[actor.index()] + copy as usize
+    }
+
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Outgoing edges of every node, as an adjacency list of edge indices.
+    pub fn adjacency(&self) -> Vec<Vec<usize>> {
+        let mut adj = vec![Vec::new(); self.nodes.len()];
+        for (i, e) in self.edges.iter().enumerate() {
+            adj[e.from].push(i);
+        }
+        adj
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use buffy_graph::SdfGraph;
+
+    fn example() -> (SdfGraph, RepetitionVector) {
+        let mut b = SdfGraph::builder("example");
+        let a = b.actor("a", 1);
+        let bb = b.actor("b", 2);
+        let c = b.actor("c", 2);
+        b.channel("alpha", a, 2, bb, 3).unwrap();
+        b.channel("beta", bb, 1, c, 2).unwrap();
+        let g = b.build().unwrap();
+        let q = RepetitionVector::compute(&g).unwrap();
+        (g, q)
+    }
+
+    #[test]
+    fn expansion_counts() {
+        let (g, q) = example();
+        let h = Hsdf::expand(&g, &q);
+        assert_eq!(h.num_nodes(), 6);
+        // Every node keeps its actor's execution time.
+        let a = g.actor_by_name("a").unwrap();
+        for copy in 0..3 {
+            let n = h.nodes[h.node_of(a, copy)];
+            assert_eq!(n.execution_time, 1);
+            assert_eq!(n.actor, a);
+            assert_eq!(n.copy, copy);
+        }
+    }
+
+    #[test]
+    fn ordering_rings_present() {
+        let (g, q) = example();
+        let h = Hsdf::expand(&g, &q);
+        let a = g.actor_by_name("a").unwrap();
+        let c = g.actor_by_name("c").unwrap();
+        // a's ring: a0->a1 (0), a1->a2 (0), a2->a0 (1).
+        let find = |from, to| h.edges.iter().find(|e| e.from == from && e.to == to);
+        assert_eq!(find(h.node_of(a, 0), h.node_of(a, 1)).unwrap().tokens, 0);
+        assert_eq!(find(h.node_of(a, 2), h.node_of(a, 0)).unwrap().tokens, 1);
+        // Single-copy actor gets a 1-token self-loop.
+        assert_eq!(find(h.node_of(c, 0), h.node_of(c, 0)).unwrap().tokens, 1);
+    }
+
+    #[test]
+    fn channel_dependencies_example_alpha() {
+        // α: a --2:3--> b, no initial tokens, q_a=3, q_b=2.
+        // Tokens 1..=6; consuming firings (0-based): ⌈t/3⌉-1 → tokens 1-3
+        // by b0, 4-6 by b1; all in iteration 0.
+        let (g, q) = example();
+        let h = Hsdf::expand(&g, &q);
+        let a = g.actor_by_name("a").unwrap();
+        let b = g.actor_by_name("b").unwrap();
+        let find = |from, to| h.edges.iter().find(|e| e.from == from && e.to == to);
+        // a0 produces tokens 1,2 → b0; a1 produces 3 → b0 and 4 → b1;
+        // a2 produces 5,6 → b1.
+        assert_eq!(find(h.node_of(a, 0), h.node_of(b, 0)).unwrap().tokens, 0);
+        assert_eq!(find(h.node_of(a, 1), h.node_of(b, 0)).unwrap().tokens, 0);
+        assert_eq!(find(h.node_of(a, 1), h.node_of(b, 1)).unwrap().tokens, 0);
+        assert_eq!(find(h.node_of(a, 2), h.node_of(b, 1)).unwrap().tokens, 0);
+        assert!(find(h.node_of(a, 0), h.node_of(b, 1)).is_none());
+    }
+
+    #[test]
+    fn initial_tokens_shift_dependencies() {
+        // x --1:1--> y with 1 initial token, q = (1, 1): the token produced
+        // by x in iteration m is consumed by y in iteration m+1.
+        let mut b = SdfGraph::builder("shift");
+        let x = b.actor("x", 1);
+        let y = b.actor("y", 1);
+        b.channel_with_tokens("c", x, 1, y, 1, 1).unwrap();
+        let g = b.build().unwrap();
+        let q = RepetitionVector::compute(&g).unwrap();
+        let h = Hsdf::expand(&g, &q);
+        let e = h
+            .edges
+            .iter()
+            .find(|e| e.from == h.node_of(x, 0) && e.to == h.node_of(y, 0))
+            .unwrap();
+        assert_eq!(e.tokens, 1);
+    }
+
+    #[test]
+    fn homogeneous_graph_expands_to_itself_plus_rings() {
+        let mut b = SdfGraph::builder("homog");
+        let x = b.actor("x", 2);
+        let y = b.actor("y", 3);
+        b.channel("c", x, 1, y, 1).unwrap();
+        let g = b.build().unwrap();
+        let q = RepetitionVector::compute(&g).unwrap();
+        let h = Hsdf::expand(&g, &q);
+        assert_eq!(h.num_nodes(), 2);
+        // Edges: x self-ring, y self-ring, x->y with 0 tokens.
+        assert_eq!(h.edges.len(), 3);
+        let e = h
+            .edges
+            .iter()
+            .find(|e| e.from == h.node_of(x, 0) && e.to == h.node_of(y, 0))
+            .unwrap();
+        assert_eq!(e.tokens, 0);
+    }
+
+    #[test]
+    fn adjacency_covers_all_edges() {
+        let (g, q) = example();
+        let h = Hsdf::expand(&g, &q);
+        let adj = h.adjacency();
+        let total: usize = adj.iter().map(|v| v.len()).sum();
+        assert_eq!(total, h.edges.len());
+    }
+}

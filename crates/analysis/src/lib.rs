@@ -1,0 +1,77 @@
+//! # buffy-analysis
+//!
+//! Timed analyses for Synchronous Dataflow graphs, implementing the
+//! execution model and state-space machinery of Stuijk, Geilen & Basten,
+//! *"Exploring Trade-Offs in Buffer Requirements and Throughput Constraints
+//! for Synchronous Dataflow Graphs"* (DAC 2006):
+//!
+//! - [`Engine`]: the deterministic self-timed executor (paper §2, §6) with
+//!   claim-space-at-start / release-at-end buffer semantics and no
+//!   auto-concurrency;
+//! - [`throughput`]: throughput of an actor under a storage distribution
+//!   via the *reduced* state space (paper §7);
+//! - [`explore`]: the full timed state space (paper §6, Fig. 3), used as a
+//!   didactic view and cross-check;
+//! - [`Schedule`]: extraction, validation and Gantt rendering of the
+//!   self-timed schedule (paper §4, Table 1);
+//! - [`Hsdf`] and [`maximal_throughput`]: homogeneous expansion and
+//!   maximum-cycle-ratio analysis giving the graph's maximal achievable
+//!   throughput (paper §9, [GG93]);
+//! - [`graph_algos`]: strongly connected components and topological order.
+//!
+//! # Example
+//!
+//! ```
+//! use buffy_analysis::{maximal_throughput, throughput};
+//! use buffy_graph::{Rational, SdfGraph, StorageDistribution};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut b = SdfGraph::builder("example");
+//! let a = b.actor("a", 1);
+//! let bb = b.actor("b", 2);
+//! let c = b.actor("c", 2);
+//! b.channel("alpha", a, 2, bb, 3)?;
+//! b.channel("beta", bb, 1, c, 2)?;
+//! let g = b.build()?;
+//!
+//! // Throughput under the paper's storage distribution ⟨4, 2⟩ …
+//! let r = throughput(&g, &StorageDistribution::from_capacities(vec![4, 2]), c)?;
+//! assert_eq!(r.throughput, Rational::new(1, 7));
+//! // … and the maximal achievable throughput over all distributions.
+//! assert_eq!(maximal_throughput(&g, c)?, Rational::new(1, 4));
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+#![forbid(unsafe_code)]
+
+mod dependencies;
+mod engine;
+mod error;
+mod latency;
+mod memory;
+pub mod transform;
+pub mod graph_algos;
+mod hsdf;
+mod mcm;
+mod schedule;
+mod state_space;
+mod throughput;
+
+pub use dependencies::{throughput_with_dependencies, DependencyReport};
+pub use engine::{Capacities, Engine, SdfState, StepEvents, StepOutcome};
+pub use error::AnalysisError;
+pub use hsdf::{Hsdf, HsdfEdge, HsdfNode};
+pub use latency::{latency, LatencyReport};
+pub use memory::{shared_memory_peak, SharedMemoryReport};
+pub use mcm::{
+    max_cycle_ratio, max_cycle_ratio_brute_force, maximal_throughput, RatioEdge, RatioGraph,
+};
+pub use schedule::{Firing, Schedule, ScheduleViolation};
+pub use state_space::{explore, StateSpace};
+pub use throughput::{
+    throughput, throughput_with_capacities, throughput_with_limits, ExplorationLimits,
+    ReducedState, ThroughputReport,
+};

@@ -1,0 +1,221 @@
+//! Full timed state-space exploration (paper §6, Fig. 3).
+//!
+//! Stores one state per time instant. This is the didactic, unreduced view
+//! of the execution: it makes Theorem 1 (periodicity) and Property 1
+//! (exactly one cycle) directly observable, and serves as an oracle for the
+//! reduced analysis of [`crate::throughput`]. Production code should prefer
+//! the reduced analysis, which stores dramatically fewer states (the
+//! comparison is one of this repository's ablation benchmarks).
+
+use crate::engine::{Capacities, Engine, SdfState, StepEvents, StepOutcome};
+use crate::error::AnalysisError;
+use crate::throughput::ExplorationLimits;
+use buffy_graph::{ActorId, Rational, SdfGraph, StorageDistribution};
+use std::collections::HashMap;
+
+/// The explored timed state space of an SDF graph under a storage
+/// distribution.
+#[derive(Debug, Clone)]
+pub struct StateSpace {
+    /// Visited states in order; `states[0]` is the state after the initial
+    /// start phase (time 0).
+    pub states: Vec<SdfState>,
+    /// Step events leading *into* each state (`events[0]` is the initial
+    /// start phase).
+    pub events: Vec<StepEvents>,
+    /// Index of the first state of the cycle; `None` if the execution
+    /// deadlocks.
+    pub cycle_start: Option<usize>,
+    /// Events of the transition that closes the cycle (from the last
+    /// stored state back to `states[cycle_start]`); `None` on deadlock.
+    pub closing_events: Option<StepEvents>,
+}
+
+impl StateSpace {
+    /// Whether the execution deadlocks (paper: a deadlocked state forms a
+    /// self-loop; we report it as `cycle_start == None`).
+    pub fn deadlocked(&self) -> bool {
+        self.cycle_start.is_none()
+    }
+
+    /// Number of states on the cycle (the cycle's duration in time steps).
+    pub fn cycle_len(&self) -> usize {
+        match self.cycle_start {
+            Some(k) => self.states.len() - k,
+            None => 0,
+        }
+    }
+
+    /// Throughput of `actor` per Property 2: firings on the cycle divided
+    /// by the cycle duration; zero on deadlock.
+    pub fn throughput_of(&self, actor: ActorId) -> Rational {
+        let Some(k) = self.cycle_start else {
+            return Rational::ZERO;
+        };
+        let count = |ev: &StepEvents| ev.completed.iter().filter(|&&a| a == actor).count();
+        // Transitions within the cycle: those leading into states
+        // k+1..len-1, plus the closing transition back to state k.
+        let firings: usize = self.events[k + 1..].iter().map(count).sum::<usize>()
+            + self.closing_events.as_ref().map(count).unwrap_or(0);
+        Rational::new(firings as i128, self.cycle_len() as i128)
+    }
+}
+
+/// Explores the full timed state space under `dist`.
+///
+/// # Errors
+///
+/// - [`AnalysisError::StateLimitExceeded`] when `limits` are hit;
+/// - [`AnalysisError::ZeroTimeLivelock`] for unbounded zero-time firing.
+///
+/// # Examples
+///
+/// ```
+/// use buffy_analysis::{explore, ExplorationLimits};
+/// use buffy_graph::{SdfGraph, StorageDistribution};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut b = SdfGraph::builder("example");
+/// let a = b.actor("a", 1);
+/// let bb = b.actor("b", 2);
+/// let c = b.actor("c", 2);
+/// b.channel("alpha", a, 2, bb, 3)?;
+/// b.channel("beta", bb, 1, c, 2)?;
+/// let g = b.build()?;
+/// let d = StorageDistribution::from_capacities(vec![4, 2]);
+/// let ss = explore(&g, &d, ExplorationLimits::default())?;
+/// assert_eq!(ss.cycle_len(), 7); // the paper's period of 7 time steps
+/// # Ok(())
+/// # }
+/// ```
+pub fn explore(
+    graph: &SdfGraph,
+    dist: &StorageDistribution,
+    limits: ExplorationLimits,
+) -> Result<StateSpace, AnalysisError> {
+    let mut engine = Engine::new(graph, Capacities::from_distribution(dist));
+    let initial = engine.start_initial()?;
+
+    let mut states: Vec<SdfState> = Vec::new();
+    let mut events: Vec<StepEvents> = Vec::new();
+    let mut index: HashMap<SdfState, usize> = HashMap::new();
+
+    states.push(engine.state().clone());
+    events.push(initial);
+    index.insert(engine.state().clone(), 0);
+
+    loop {
+        if states.len() > limits.max_states || engine.time() >= limits.max_steps {
+            return Err(AnalysisError::StateLimitExceeded {
+                limit: limits.max_states,
+            });
+        }
+        match engine.step()? {
+            StepOutcome::Deadlock => {
+                return Ok(StateSpace {
+                    states,
+                    events,
+                    cycle_start: None,
+                    closing_events: None,
+                });
+            }
+            StepOutcome::Progress(ev) => {
+                if let Some(&k) = index.get(engine.state()) {
+                    return Ok(StateSpace {
+                        states,
+                        events,
+                        cycle_start: Some(k),
+                        closing_events: Some(ev),
+                    });
+                }
+                index.insert(engine.state().clone(), states.len());
+                states.push(engine.state().clone());
+                events.push(ev);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use buffy_graph::SdfGraph;
+
+    fn example() -> SdfGraph {
+        let mut b = SdfGraph::builder("example");
+        let a = b.actor("a", 1);
+        let bb = b.actor("b", 2);
+        let c = b.actor("c", 2);
+        b.channel("alpha", a, 2, bb, 3).unwrap();
+        b.channel("beta", bb, 1, c, 2).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn example_cycle_has_period_seven() {
+        let g = example();
+        let d = StorageDistribution::from_capacities(vec![4, 2]);
+        let ss = explore(&g, &d, ExplorationLimits::default()).unwrap();
+        assert!(!ss.deadlocked());
+        // States t=0..t=8 stored (9 states); the t=9 state equals the t=2
+        // state, so the cycle spans 7 time steps (paper §4).
+        assert_eq!(ss.states.len(), 9);
+        assert_eq!(ss.cycle_start, Some(2));
+        assert_eq!(ss.cycle_len(), 7);
+        assert!(ss.closing_events.is_some());
+        // Property 2: throughput of c from the full space = 1/7.
+        let c = g.actor_by_name("c").unwrap();
+        assert_eq!(ss.throughput_of(c), Rational::new(1, 7));
+        // And of a: 3 firings per cycle.
+        let a = g.actor_by_name("a").unwrap();
+        assert_eq!(ss.throughput_of(a), Rational::new(3, 7));
+        let b = g.actor_by_name("b").unwrap();
+        assert_eq!(ss.throughput_of(b), Rational::new(2, 7));
+    }
+
+    #[test]
+    fn deadlock_space_is_finite_prefix() {
+        let g = example();
+        let d = StorageDistribution::from_capacities(vec![2, 2]);
+        let ss = explore(&g, &d, ExplorationLimits::default()).unwrap();
+        assert!(ss.deadlocked());
+        assert_eq!(ss.cycle_len(), 0);
+        assert!(ss.closing_events.is_none());
+        assert_eq!(ss.throughput_of(g.actor_by_name("c").unwrap()), Rational::ZERO);
+    }
+
+    #[test]
+    fn matches_reduced_analysis_on_sweep() {
+        use crate::throughput::throughput;
+        let g = example();
+        let c = g.actor_by_name("c").unwrap();
+        for ca in 2..=9u64 {
+            for cb in 1..=5u64 {
+                let d = StorageDistribution::from_capacities(vec![ca, cb]);
+                let full = explore(&g, &d, ExplorationLimits::default()).unwrap();
+                let red = throughput(&g, &d, c).unwrap();
+                assert_eq!(
+                    full.throughput_of(c),
+                    red.throughput,
+                    "mismatch at <{ca}, {cb}>"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn limit_respected() {
+        let g = example();
+        let d = StorageDistribution::from_capacities(vec![8, 4]);
+        let err = explore(
+            &g,
+            &d,
+            ExplorationLimits {
+                max_states: 2,
+                max_steps: u64::MAX,
+            },
+        )
+        .unwrap_err();
+        assert!(matches!(err, AnalysisError::StateLimitExceeded { .. }));
+    }
+}

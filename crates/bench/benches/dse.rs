@@ -1,0 +1,51 @@
+//! Criterion bench (ablation A): the paper's exhaustive design-space
+//! exploration vs the dependency-guided exploration vs the parallel
+//! exhaustive variant — same exact Pareto fronts, different costs.
+
+use buffy_core::{explore_dependency_guided, explore_design_space, ExploreOptions};
+use buffy_gen::{gallery, RandomGraphConfig};
+use buffy_graph::SdfGraph;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn subjects() -> Vec<SdfGraph> {
+    vec![
+        gallery::example(),
+        gallery::bipartite(),
+        gallery::modem(),
+        RandomGraphConfig {
+            actors: 5,
+            extra_channels: 1,
+            max_repetition: 3,
+            max_rate_factor: 2,
+            max_execution_time: 3,
+            seed: 11,
+        }
+        .generate(),
+    ]
+}
+
+fn bench_dse(criterion: &mut Criterion) {
+    let mut group = criterion.benchmark_group("dse");
+    group.sample_size(10);
+    for graph in subjects() {
+        let opts = ExploreOptions::default();
+        group.bench_function(format!("{}/exhaustive", graph.name()), |b| {
+            b.iter(|| explore_design_space(black_box(&graph), &opts).unwrap())
+        });
+        group.bench_function(format!("{}/guided", graph.name()), |b| {
+            b.iter(|| explore_dependency_guided(black_box(&graph), &opts).unwrap())
+        });
+        let par = ExploreOptions {
+            threads: 4,
+            ..ExploreOptions::default()
+        };
+        group.bench_function(format!("{}/exhaustive-4-threads", graph.name()), |b| {
+            b.iter(|| explore_design_space(black_box(&graph), &par).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_dse);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! Criterion bench: SDF3-style XML serialization and parsing across graph
+//! sizes (the `buffy` tool's input path, paper §10).
+
+use buffy_gen::{gallery, RandomGraphConfig};
+use buffy_graph::xml::{read_sdf_xml, write_sdf_xml};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_xml(criterion: &mut Criterion) {
+    let mut group = criterion.benchmark_group("xml");
+    let mut subjects = vec![gallery::modem(), gallery::satellite()];
+    subjects.push(
+        RandomGraphConfig {
+            actors: 100,
+            extra_channels: 50,
+            max_repetition: 4,
+            max_rate_factor: 2,
+            max_execution_time: 9,
+            seed: 7,
+        }
+        .generate(),
+    );
+    for graph in subjects {
+        let text = write_sdf_xml(&graph);
+        group.bench_function(format!("{}/write", graph.name()), |b| {
+            b.iter(|| write_sdf_xml(black_box(&graph)))
+        });
+        group.bench_function(format!("{}/read", graph.name()), |b| {
+            b.iter(|| read_sdf_xml(black_box(&text)).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_xml);
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! Regenerates the paper's **Fig. 13**: the Pareto space of the modem
+//! application, computed with both exploration algorithms (which must
+//! agree).
+
+use buffy_bench::{ascii_front, format_table};
+use buffy_core::{explore_dependency_guided, explore_design_space, ExploreOptions};
+use buffy_gen::gallery;
+
+fn main() {
+    let graph = gallery::modem();
+    let opts = ExploreOptions::default();
+
+    let guided = explore_dependency_guided(&graph, &opts).expect("exploration succeeds");
+    let exhaustive = explore_design_space(&graph, &opts).expect("exploration succeeds");
+    assert_eq!(
+        guided
+            .pareto
+            .points()
+            .iter()
+            .map(|p| (p.size, p.throughput))
+            .collect::<Vec<_>>(),
+        exhaustive
+            .pareto
+            .points()
+            .iter()
+            .map(|p| (p.size, p.throughput))
+            .collect::<Vec<_>>(),
+        "algorithms must chart the same front"
+    );
+
+    println!("Fig. 13: Pareto space of the modem ({} actors, {} channels)\n",
+        graph.num_actors(), graph.num_channels());
+    let rows: Vec<Vec<String>> = guided
+        .pareto
+        .points()
+        .iter()
+        .map(|p| {
+            vec![
+                p.size.to_string(),
+                p.throughput.to_string(),
+                format!("{:.6}", p.throughput.to_f64()),
+            ]
+        })
+        .collect();
+    print!("{}", format_table(&["size", "throughput", "(decimal)"], &rows));
+    println!("\n{}", ascii_front(&guided.pareto, 48, 12));
+    println!(
+        "exploration cost: guided {} analyses vs exhaustive {} analyses (same front)",
+        guided.evaluations, exhaustive.evaluations
+    );
+}

@@ -1,0 +1,149 @@
+//! # buffy-bench
+//!
+//! Experiment harness for **buffy-rs**: shared table/plot formatting used
+//! by the per-table/per-figure binaries (`src/bin/*.rs`) that regenerate
+//! every table and figure of the paper's evaluation (§11), plus Criterion
+//! timing benches (`benches/*.rs`).
+//!
+//! | paper artefact | binary |
+//! |----------------|--------|
+//! | Table 1 (schedule)            | `table1_schedule` |
+//! | Fig. 3/4 (state spaces)       | `fig3_state_space` |
+//! | Fig. 5 (example Pareto space) | `fig5_pareto` |
+//! | Fig. 6 (non-unique minima)    | `fig6_bipartite` |
+//! | Fig. 7 (design-space bounds)  | `fig7_bounds` |
+//! | Fig. 13 (modem Pareto space)  | `fig13_modem` |
+//! | Table 2 (all six graphs)      | `table2_results` |
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+#![forbid(unsafe_code)]
+
+use buffy_core::ParetoSet;
+
+/// Formats rows as an aligned text table with a header rule.
+///
+/// ```
+/// let t = buffy_bench::format_table(
+///     &["graph", "size"],
+///     &[vec!["example".into(), "6".into()]],
+/// );
+/// assert!(t.contains("example"));
+/// ```
+pub fn format_table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let mut out = String::new();
+    let render = |cells: &[String], widths: &[usize], out: &mut String| {
+        for (i, cell) in cells.iter().enumerate() {
+            if i > 0 {
+                out.push_str("  ");
+            }
+            out.push_str(&format!("{cell:>width$}", width = widths[i]));
+        }
+        out.push('\n');
+    };
+    render(
+        &headers.iter().map(|h| h.to_string()).collect::<Vec<_>>(),
+        &widths,
+        &mut out,
+    );
+    out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+    out.push('\n');
+    for row in rows {
+        render(row, &widths, &mut out);
+    }
+    out
+}
+
+/// Renders a Pareto front as an ASCII step plot (size on x, throughput on
+/// y) in the style of the paper's Figs. 5 and 13: everything on/right of
+/// the steps is feasible.
+pub fn ascii_front(front: &ParetoSet, width: usize, height: usize) -> String {
+    let points = front.points();
+    if points.is_empty() {
+        return String::from("(empty front)\n");
+    }
+    let min_size = points.first().expect("non-empty").size;
+    let max_size = points.last().expect("non-empty").size.max(min_size + 1);
+    let max_thr = points
+        .last()
+        .expect("non-empty")
+        .throughput
+        .to_f64();
+    let mut grid = vec![vec![b' '; width + 1]; height + 1];
+    for x in 0..=width {
+        let size =
+            min_size as f64 + (max_size - min_size) as f64 * (x as f64) / (width as f64);
+        let mut level = 0.0;
+        for p in points {
+            if p.size as f64 <= size + 1e-9 {
+                level = p.throughput.to_f64();
+            }
+        }
+        let y = ((level / max_thr) * height as f64).round() as usize;
+        grid[height - y.min(height)][x] = b'*';
+    }
+    let mut out = String::new();
+    out.push_str(&format!("throughput (max {max_thr:.6})\n"));
+    for row in grid {
+        out.push_str("  |");
+        out.push_str(&String::from_utf8_lossy(&row));
+        out.push('\n');
+    }
+    out.push_str("  +");
+    out.push_str(&"-".repeat(width + 1));
+    out.push('\n');
+    out.push_str(&format!("   distribution size {min_size} .. {max_size}\n"));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use buffy_core::ParetoPoint;
+    use buffy_graph::{Rational, StorageDistribution};
+
+    #[test]
+    fn table_alignment() {
+        let t = format_table(
+            &["name", "value"],
+            &[
+                vec!["a".into(), "1".into()],
+                vec!["longer".into(), "22".into()],
+            ],
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[1].starts_with('-'));
+        // All rows have the same width.
+        assert_eq!(lines[0].len(), lines[2].len());
+        assert_eq!(lines[2].len(), lines[3].len());
+    }
+
+    #[test]
+    fn front_plot_renders() {
+        let front: ParetoSet = [
+            ParetoPoint::new(
+                StorageDistribution::from_capacities(vec![4, 2]),
+                Rational::new(1, 7),
+            ),
+            ParetoPoint::new(
+                StorageDistribution::from_capacities(vec![7, 3]),
+                Rational::new(1, 4),
+            ),
+        ]
+        .into_iter()
+        .collect();
+        let plot = ascii_front(&front, 30, 8);
+        assert!(plot.contains('*'));
+        assert!(plot.contains("size 6 .. 10"));
+        assert_eq!(ascii_front(&ParetoSet::new(), 10, 5), "(empty front)\n");
+    }
+}

@@ -1,0 +1,138 @@
+//! A small command-line flag parser (no external dependencies).
+
+use std::collections::HashMap;
+
+/// Parsed command line: positional arguments and `--key value` /
+/// `--flag` options.
+#[derive(Debug, Clone, Default)]
+pub struct ParsedArgs {
+    /// Positional arguments in order.
+    pub positional: Vec<String>,
+    /// Option values by name (without the leading `--`).
+    pub options: HashMap<String, String>,
+    /// Boolean flags present on the command line.
+    pub flags: Vec<String>,
+}
+
+/// Option names that take a value; everything else starting with `--` is
+/// treated as a boolean flag.
+const VALUE_OPTIONS: &[&str] = &[
+    "dist",
+    "actor",
+    "throughput",
+    "quantum",
+    "max-size",
+    "threads",
+    "horizon",
+    "algorithm",
+    "to",
+    "seed",
+    "actors",
+    "channels",
+    "max-rate",
+    "max-exec",
+    "max-repetition",
+    "out",
+];
+
+/// Parses raw arguments.
+///
+/// # Errors
+///
+/// Returns a message when a value option misses its value.
+pub fn parse(args: &[String]) -> Result<ParsedArgs, String> {
+    let mut parsed = ParsedArgs::default();
+    let mut it = args.iter().peekable();
+    while let Some(arg) = it.next() {
+        if let Some(name) = arg.strip_prefix("--") {
+            if VALUE_OPTIONS.contains(&name) {
+                let value = it
+                    .next()
+                    .ok_or_else(|| format!("option --{name} requires a value"))?;
+                parsed.options.insert(name.to_string(), value.clone());
+            } else {
+                parsed.flags.push(name.to_string());
+            }
+        } else {
+            parsed.positional.push(arg.clone());
+        }
+    }
+    Ok(parsed)
+}
+
+impl ParsedArgs {
+    /// The value of option `name`, parsed.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when the value does not parse as `T`.
+    pub fn get<T: std::str::FromStr>(&self, name: &str) -> Result<Option<T>, String> {
+        match self.options.get(name) {
+            None => Ok(None),
+            Some(v) => v
+                .parse()
+                .map(Some)
+                .map_err(|_| format!("invalid value for --{name}: {v:?}")),
+        }
+    }
+
+    /// Whether a boolean flag is present.
+    pub fn has_flag(&self, name: &str) -> bool {
+        self.flags.iter().any(|f| f == name)
+    }
+}
+
+/// Parses a `--dist` value of the form `4,2,3`.
+///
+/// # Errors
+///
+/// Returns a message on malformed numbers.
+pub fn parse_dist(value: &str) -> Result<Vec<u64>, String> {
+    value
+        .split(',')
+        .map(|part| {
+            part.trim()
+                .parse::<u64>()
+                .map_err(|_| format!("invalid capacity {part:?} in --dist"))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(s: &[&str]) -> Vec<String> {
+        s.iter().map(|x| x.to_string()).collect()
+    }
+
+    #[test]
+    fn positional_and_options() {
+        let p = parse(&args(&["explore", "g.xml", "--quantum", "1/100", "--csv"])).unwrap();
+        assert_eq!(p.positional, vec!["explore", "g.xml"]);
+        assert_eq!(p.options.get("quantum").map(String::as_str), Some("1/100"));
+        assert!(p.has_flag("csv"));
+        assert!(!p.has_flag("json"));
+    }
+
+    #[test]
+    fn missing_value_rejected() {
+        assert!(parse(&args(&["--dist"])).is_err());
+    }
+
+    #[test]
+    fn typed_access() {
+        let p = parse(&args(&["--threads", "4"])).unwrap();
+        assert_eq!(p.get::<usize>("threads").unwrap(), Some(4));
+        assert_eq!(p.get::<usize>("horizon").unwrap(), None);
+        let p = parse(&args(&["--threads", "x"])).unwrap();
+        assert!(p.get::<usize>("threads").is_err());
+    }
+
+    #[test]
+    fn dist_parsing() {
+        assert_eq!(parse_dist("4,2").unwrap(), vec![4, 2]);
+        assert_eq!(parse_dist(" 1 , 2 , 3 ").unwrap(), vec![1, 2, 3]);
+        assert!(parse_dist("4,x").is_err());
+    }
+}

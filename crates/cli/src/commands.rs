@@ -1,0 +1,363 @@
+//! Implementations of the `buffy` subcommands.
+
+use crate::args::{parse_dist, ParsedArgs};
+use buffy_analysis::{maximal_throughput, throughput, ExplorationLimits, Schedule};
+use buffy_core::{
+    explore_dependency_guided, explore_design_space, lower_bound_distribution,
+    min_storage_for_throughput, ExplorationResult, ExploreOptions,
+};
+use buffy_gen::{gallery, RandomGraphConfig};
+use buffy_graph::dot::to_dot;
+use buffy_graph::xml::{read_sdf_xml, write_sdf_xml};
+use buffy_graph::{ActorId, Rational, RepetitionVector, SdfGraph, StorageDistribution};
+use std::io::Write;
+
+type Out<'a> = &'a mut dyn Write;
+
+fn load_graph(parsed: &ParsedArgs) -> Result<SdfGraph, String> {
+    let path = parsed
+        .positional
+        .get(1)
+        .ok_or("expected a graph file argument")?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    read_sdf_xml(&text).map_err(|e| format!("cannot parse {path}: {e}"))
+}
+
+fn observed_actor(parsed: &ParsedArgs, graph: &SdfGraph) -> Result<ActorId, String> {
+    match parsed.options.get("actor") {
+        None => Ok(graph.default_observed_actor()),
+        Some(name) => graph
+            .actor_by_name(name)
+            .ok_or_else(|| format!("unknown actor {name:?}")),
+    }
+}
+
+fn explore_options(parsed: &ParsedArgs, graph: &SdfGraph) -> Result<ExploreOptions, String> {
+    Ok(ExploreOptions {
+        observed: Some(observed_actor(parsed, graph)?),
+        max_size: parsed.get("max-size")?,
+        quantum: parsed.get("quantum")?,
+        threads: parsed.get("threads")?.unwrap_or(1),
+        ..ExploreOptions::default()
+    })
+}
+
+fn w(out: Out<'_>, text: std::fmt::Arguments<'_>) -> Result<(), String> {
+    out.write_fmt(text).map_err(|e| e.to_string())
+}
+
+pub fn info(parsed: &ParsedArgs, out: Out<'_>) -> Result<(), String> {
+    let graph = load_graph(parsed)?;
+    w(out, format_args!("graph: {}\n", graph.name()))?;
+    w(
+        out,
+        format_args!(
+            "actors: {}, channels: {}, initial tokens: {}\n",
+            graph.num_actors(),
+            graph.num_channels(),
+            graph.total_initial_tokens()
+        ),
+    )?;
+    let q = RepetitionVector::compute(&graph).map_err(|e| e.to_string())?;
+    w(out, format_args!("repetition vector:"))?;
+    for (aid, actor) in graph.actors() {
+        w(out, format_args!(" {}={}", actor.name(), q[aid]))?;
+    }
+    w(out, format_args!("\n"))?;
+    let obs = observed_actor(parsed, &graph)?;
+    match maximal_throughput(&graph, obs) {
+        Ok(t) => w(
+            out,
+            format_args!(
+                "maximal throughput of {}: {}\n",
+                graph.actor(obs).name(),
+                t
+            ),
+        )?,
+        Err(e) => w(out, format_args!("maximal throughput: {e}\n"))?,
+    }
+    let lb = lower_bound_distribution(&graph);
+    w(
+        out,
+        format_args!("per-channel lower bounds: {} (size {})\n", lb, lb.size()),
+    )?;
+    Ok(())
+}
+
+pub fn analyze(parsed: &ParsedArgs, out: Out<'_>) -> Result<(), String> {
+    let graph = load_graph(parsed)?;
+    let obs = observed_actor(parsed, &graph)?;
+    let dist = match parsed.options.get("dist") {
+        Some(v) => {
+            let caps = parse_dist(v)?;
+            if caps.len() != graph.num_channels() {
+                return Err(format!(
+                    "--dist has {} entries but the graph has {} channels",
+                    caps.len(),
+                    graph.num_channels()
+                ));
+            }
+            StorageDistribution::from_capacities(caps)
+        }
+        None => lower_bound_distribution(&graph),
+    };
+    let r = throughput(&graph, &dist, obs).map_err(|e| e.to_string())?;
+    w(out, format_args!("distribution: {dist} (size {})\n", dist.size()))?;
+    if r.deadlocked {
+        w(out, format_args!("execution deadlocks: throughput 0\n"))?;
+    } else {
+        w(
+            out,
+            format_args!(
+                "throughput of {}: {} (period {} time steps, {} firings per period)\n",
+                graph.actor(obs).name(),
+                r.throughput,
+                r.period,
+                r.firings_per_period
+            ),
+        )?;
+        w(
+            out,
+            format_args!(
+                "reduced state space: {} states stored, cycle of {} states entered at t={}\n",
+                r.states_stored, r.cycle_states, r.cycle_entry_time
+            ),
+        )?;
+    }
+    Ok(())
+}
+
+fn print_front(result: &ExplorationResult, csv: bool, out: Out<'_>) -> Result<(), String> {
+    if csv {
+        w(out, format_args!("size,throughput,distribution\n"))?;
+        for p in result.pareto.points() {
+            w(
+                out,
+                format_args!("{},{},\"{}\"\n", p.size, p.throughput, p.distribution),
+            )?;
+        }
+    } else {
+        for p in result.pareto.points() {
+            w(out, format_args!("{p}\n"))?;
+        }
+        w(
+            out,
+            format_args!(
+                "{} Pareto points; maximal throughput {}; bounds lb={} ub={}; {} analyses (max {} states)\n",
+                result.pareto.len(),
+                result.max_throughput,
+                result.lower_bound_size,
+                result.upper_bound_size,
+                result.evaluations,
+                result.max_states
+            ),
+        )?;
+    }
+    Ok(())
+}
+
+pub fn explore(parsed: &ParsedArgs, out: Out<'_>) -> Result<(), String> {
+    let graph = load_graph(parsed)?;
+    let opts = explore_options(parsed, &graph)?;
+    let algorithm = parsed
+        .options
+        .get("algorithm")
+        .map(String::as_str)
+        .unwrap_or("guided");
+    let result = match algorithm {
+        "guided" => explore_dependency_guided(&graph, &opts).map_err(|e| e.to_string())?,
+        "exhaustive" => explore_design_space(&graph, &opts).map_err(|e| e.to_string())?,
+        other => return Err(format!("unknown algorithm {other:?} (guided|exhaustive)")),
+    };
+    print_front(&result, parsed.has_flag("csv"), out)
+}
+
+pub fn constraint(parsed: &ParsedArgs, out: Out<'_>) -> Result<(), String> {
+    let graph = load_graph(parsed)?;
+    let opts = explore_options(parsed, &graph)?;
+    let constraint: Rational = parsed
+        .get("throughput")?
+        .ok_or("--throughput R is required (e.g. --throughput 1/6)")?;
+    if constraint <= Rational::ZERO {
+        return Err("--throughput must be positive".into());
+    }
+    let p = min_storage_for_throughput(&graph, constraint, &opts).map_err(|e| e.to_string())?;
+    w(
+        out,
+        format_args!(
+            "minimal storage for throughput ≥ {constraint}: size {} with γ = {} (achieves {})\n",
+            p.size, p.distribution, p.throughput
+        ),
+    )
+}
+
+pub fn schedule(parsed: &ParsedArgs, out: Out<'_>) -> Result<(), String> {
+    let graph = load_graph(parsed)?;
+    let caps = parse_dist(
+        parsed
+            .options
+            .get("dist")
+            .ok_or("--dist is required (e.g. --dist 4,2)")?,
+    )?;
+    if caps.len() != graph.num_channels() {
+        return Err(format!(
+            "--dist has {} entries but the graph has {} channels",
+            caps.len(),
+            graph.num_channels()
+        ));
+    }
+    let dist = StorageDistribution::from_capacities(caps);
+    let s = Schedule::extract(&graph, &dist, ExplorationLimits::default())
+        .map_err(|e| e.to_string())?;
+    match (s.period_entry(), s.period()) {
+        (Some(entry), Some(period)) => {
+            w(
+                out,
+                format_args!("periodic schedule: period {period} entered at t={entry}\n"),
+            )?;
+        }
+        _ => w(out, format_args!("execution deadlocks\n"))?,
+    }
+    let horizon: u64 = parsed.get("horizon")?.unwrap_or_else(|| {
+        s.period_entry()
+            .and_then(|e| s.period().map(|p| e + 2 * p))
+            .unwrap_or(20)
+            .min(120)
+    });
+    w(out, format_args!("{}", s.gantt(&graph, horizon)))
+}
+
+pub fn convert(parsed: &ParsedArgs, out: Out<'_>) -> Result<(), String> {
+    let graph = load_graph(parsed)?;
+    match parsed.options.get("to").map(String::as_str) {
+        Some("dot") => w(out, format_args!("{}", to_dot(&graph))),
+        Some("xml") | None => w(out, format_args!("{}", write_sdf_xml(&graph))),
+        Some(other) => Err(format!("unknown output format {other:?} (dot|xml)")),
+    }
+}
+
+pub fn generate(parsed: &ParsedArgs, out: Out<'_>) -> Result<(), String> {
+    let actors: usize = parsed.get("actors")?.unwrap_or(6);
+    let channels: usize = parsed
+        .get("channels")?
+        .unwrap_or(actors + 1)
+        .max(actors.saturating_sub(1));
+    let config = RandomGraphConfig {
+        actors,
+        extra_channels: channels - (actors - 1),
+        max_repetition: parsed.get("max-repetition")?.unwrap_or(4),
+        max_rate_factor: parsed.get("max-rate")?.unwrap_or(2),
+        max_execution_time: parsed.get("max-exec")?.unwrap_or(4),
+        seed: parsed.get("seed")?.unwrap_or(0),
+    };
+    if config.actors == 0 {
+        return Err("--actors must be at least 1".into());
+    }
+    let graph = config.generate();
+    w(out, format_args!("{}", write_sdf_xml(&graph)))
+}
+
+fn load_csdf(parsed: &ParsedArgs) -> Result<buffy_csdf::CsdfGraph, String> {
+    let path = parsed
+        .positional
+        .get(1)
+        .ok_or("expected a graph file argument")?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    buffy_csdf::xml::read_csdf_xml(&text).map_err(|e| format!("cannot parse {path}: {e}"))
+}
+
+pub fn csdf_analyze(parsed: &ParsedArgs, out: Out<'_>) -> Result<(), String> {
+    let graph = load_csdf(parsed)?;
+    let obs = match parsed.options.get("actor") {
+        None => graph.default_observed_actor(),
+        Some(name) => graph
+            .actor_by_name(name)
+            .ok_or_else(|| format!("unknown actor {name:?}"))?,
+    };
+    let caps = parse_dist(
+        parsed
+            .options
+            .get("dist")
+            .ok_or("--dist is required for csdf-analyze")?,
+    )?;
+    if caps.len() != graph.num_channels() {
+        return Err(format!(
+            "--dist has {} entries but the graph has {} channels",
+            caps.len(),
+            graph.num_channels()
+        ));
+    }
+    let dist = StorageDistribution::from_capacities(caps);
+    let r = buffy_csdf::csdf_throughput(&graph, &dist, obs, buffy_csdf::CsdfLimits::default())
+        .map_err(|e| e.to_string())?;
+    if r.deadlocked {
+        w(out, format_args!("execution deadlocks: throughput 0\n"))
+    } else {
+        w(
+            out,
+            format_args!(
+                "phase throughput of {}: {} ({} full cycles per time unit)\n",
+                graph.actor(obs).name(),
+                r.throughput,
+                r.cycle_throughput()
+            ),
+        )
+    }
+}
+
+pub fn csdf_explore(parsed: &ParsedArgs, out: Out<'_>) -> Result<(), String> {
+    let graph = load_csdf(parsed)?;
+    let opts = buffy_csdf::CsdfExploreOptions {
+        observed: match parsed.options.get("actor") {
+            None => None,
+            Some(name) => Some(
+                graph
+                    .actor_by_name(name)
+                    .ok_or_else(|| format!("unknown actor {name:?}"))?,
+            ),
+        },
+        max_size: parsed.get("max-size")?,
+        ..buffy_csdf::CsdfExploreOptions::default()
+    };
+    let r = buffy_csdf::csdf_explore(&graph, &opts).map_err(|e| e.to_string())?;
+    if parsed.has_flag("csv") {
+        w(out, format_args!("size,throughput,distribution\n"))?;
+        for p in r.pareto.points() {
+            w(
+                out,
+                format_args!("{},{},\"{}\"\n", p.size, p.throughput, p.distribution),
+            )?;
+        }
+        Ok(())
+    } else {
+        for p in r.pareto.points() {
+            w(out, format_args!("{p}\n"))?;
+        }
+        w(
+            out,
+            format_args!(
+                "{} Pareto points; maximal throughput {}; {} analyses\n",
+                r.pareto.len(),
+                r.max_throughput,
+                r.evaluations
+            ),
+        )
+    }
+}
+
+pub fn gallery(parsed: &ParsedArgs, out: Out<'_>) -> Result<(), String> {
+    let name = parsed
+        .positional
+        .get(1)
+        .ok_or("expected a gallery graph name")?;
+    let graph = match name.as_str() {
+        "example" => gallery::example(),
+        "bipartite" => gallery::bipartite(),
+        "modem" => gallery::modem(),
+        "cd2dat" => gallery::cd2dat(),
+        "satellite" => gallery::satellite(),
+        "h263decoder" | "h263" => gallery::h263_decoder(),
+        other => return Err(format!("unknown gallery graph {other:?}")),
+    };
+    w(out, format_args!("{}", write_sdf_xml(&graph)))
+}

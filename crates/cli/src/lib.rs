@@ -1,0 +1,205 @@
+//! # buffy-cli
+//!
+//! Command-line interface of **buffy-rs**, mirroring the paper's `buffy`
+//! tool (§10): it reads an SDF3-style XML description of an SDF graph and
+//! explores the storage/throughput design space. All functionality is
+//! exposed through [`run`] so the binary stays a thin wrapper and the
+//! command logic is unit-testable.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+#![forbid(unsafe_code)]
+
+mod args;
+mod commands;
+
+pub use args::{parse, parse_dist, ParsedArgs};
+
+use std::io::Write;
+
+/// Usage text printed by `buffy help`.
+pub const USAGE: &str = "\
+buffy — exact buffer/throughput trade-off exploration for SDF graphs
+
+USAGE:
+    buffy <COMMAND> [ARGS]
+
+COMMANDS:
+    info <graph.xml>                  graph summary: actors, channels, repetition
+                                      vector, maximal throughput
+    analyze <graph.xml> [--dist 4,2] [--actor NAME]
+                                      throughput of one storage distribution
+                                      (default: per-channel lower bounds)
+    explore <graph.xml> [--algorithm guided|exhaustive] [--actor NAME]
+            [--quantum R] [--max-size N] [--threads N] [--csv]
+                                      chart the Pareto space
+    constraint <graph.xml> --throughput R [--actor NAME]
+                                      minimal storage meeting a throughput
+                                      constraint
+    schedule <graph.xml> --dist 4,2 [--horizon N]
+                                      extract and print the self-timed schedule
+    convert <graph.xml> --to dot|xml  re-serialize the graph
+    generate [--seed N] [--actors N] [--channels N] [--max-rate N]
+             [--max-exec N] [--max-repetition N]
+                                      emit a random consistent graph as XML
+    gallery <name>                    emit a built-in benchmark graph as XML
+                                      (example, bipartite, modem, cd2dat,
+                                      satellite, h263decoder)
+    csdf-analyze <graph.xml> --dist 4,2 [--actor NAME]
+                                      throughput of a CSDF graph under one
+                                      storage distribution
+    csdf-explore <graph.xml> [--actor NAME] [--max-size N] [--csv]
+                                      Pareto space of a CSDF graph
+    help                              show this message
+";
+
+/// Runs the CLI with the given arguments (excluding the program name),
+/// writing human-readable output to `out`. Returns the process exit code.
+pub fn run(raw_args: &[String], out: &mut dyn Write) -> i32 {
+    match try_run(raw_args, out) {
+        Ok(()) => 0,
+        Err(message) => {
+            let _ = writeln!(out, "error: {message}");
+            1
+        }
+    }
+}
+
+fn try_run(raw_args: &[String], out: &mut dyn Write) -> Result<(), String> {
+    let parsed = args::parse(raw_args)?;
+    let command = parsed
+        .positional
+        .first()
+        .map(String::as_str)
+        .unwrap_or("help");
+    match command {
+        "help" | "--help" | "-h" => {
+            writeln!(out, "{USAGE}").map_err(|e| e.to_string())?;
+            Ok(())
+        }
+        "info" => commands::info(&parsed, out),
+        "analyze" => commands::analyze(&parsed, out),
+        "explore" => commands::explore(&parsed, out),
+        "constraint" => commands::constraint(&parsed, out),
+        "schedule" => commands::schedule(&parsed, out),
+        "convert" => commands::convert(&parsed, out),
+        "generate" => commands::generate(&parsed, out),
+        "gallery" => commands::gallery(&parsed, out),
+        "csdf-analyze" => commands::csdf_analyze(&parsed, out),
+        "csdf-explore" => commands::csdf_explore(&parsed, out),
+        other => Err(format!("unknown command {other:?}; try `buffy help`")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_to_string(args: &[&str]) -> (i32, String) {
+        let raw: Vec<String> = args.iter().map(|s| s.to_string()).collect();
+        let mut out = Vec::new();
+        let code = run(&raw, &mut out);
+        (code, String::from_utf8(out).unwrap())
+    }
+
+    #[test]
+    fn help_prints_usage() {
+        let (code, text) = run_to_string(&["help"]);
+        assert_eq!(code, 0);
+        assert!(text.contains("USAGE"));
+        let (code, _) = run_to_string(&[]);
+        assert_eq!(code, 0);
+    }
+
+    #[test]
+    fn unknown_command_fails() {
+        let (code, text) = run_to_string(&["frobnicate"]);
+        assert_eq!(code, 1);
+        assert!(text.contains("unknown command"));
+    }
+
+    #[test]
+    fn gallery_emits_xml_and_info_reads_it() {
+        let (code, xml) = run_to_string(&["gallery", "example"]);
+        assert_eq!(code, 0);
+        assert!(xml.contains("applicationGraph"));
+
+        // Write it to a temp file and summarize it.
+        let path = std::env::temp_dir().join("buffy-cli-test-example.xml");
+        std::fs::write(&path, &xml).unwrap();
+        let (code, text) = run_to_string(&["info", path.to_str().unwrap()]);
+        assert_eq!(code, 0, "{text}");
+        assert!(text.contains("repetition vector"), "{text}");
+        assert!(text.contains("1/4"), "{text}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn analyze_and_explore_example() {
+        let (_, xml) = run_to_string(&["gallery", "example"]);
+        let path = std::env::temp_dir().join("buffy-cli-test-analyze.xml");
+        std::fs::write(&path, &xml).unwrap();
+        let p = path.to_str().unwrap();
+
+        let (code, text) = run_to_string(&["analyze", p, "--dist", "4,2"]);
+        assert_eq!(code, 0, "{text}");
+        assert!(text.contains("1/7"), "{text}");
+
+        let (code, text) = run_to_string(&["explore", p, "--csv"]);
+        assert_eq!(code, 0, "{text}");
+        assert!(text.contains("6,1/7"), "{text}");
+        assert!(text.contains("10,1/4"), "{text}");
+
+        let (code, text) = run_to_string(&["constraint", p, "--throughput", "1/6"]);
+        assert_eq!(code, 0, "{text}");
+        assert!(text.contains("size 8"), "{text}");
+
+        let (code, text) = run_to_string(&["schedule", p, "--dist", "4,2"]);
+        assert_eq!(code, 0, "{text}");
+        assert!(text.contains("period"), "{text}");
+
+        let (code, text) = run_to_string(&["convert", p, "--to", "dot"]);
+        assert_eq!(code, 0, "{text}");
+        assert!(text.contains("digraph"), "{text}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn csdf_commands() {
+        let xml = r#"<sdf3 type="csdf"><applicationGraph name="ud"><csdf name="ud">
+             <actor name="p"/><actor name="c"/>
+             <channel name="d" srcActor="p" srcRate="2,0" dstActor="c" dstRate="1"/>
+           </csdf></applicationGraph></sdf3>"#;
+        let path = std::env::temp_dir().join("buffy-cli-test-csdf.xml");
+        std::fs::write(&path, xml).unwrap();
+        let p = path.to_str().unwrap();
+
+        let (code, text) = run_to_string(&["csdf-analyze", p, "--dist", "4"]);
+        assert_eq!(code, 0, "{text}");
+        assert!(text.contains("throughput"), "{text}");
+
+        let (code, text) = run_to_string(&["csdf-explore", p, "--csv"]);
+        assert_eq!(code, 0, "{text}");
+        assert!(text.contains("size,throughput"), "{text}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn generate_roundtrips() {
+        let (code, xml) = run_to_string(&["generate", "--seed", "5", "--actors", "4"]);
+        assert_eq!(code, 0);
+        assert!(buffy_graph::xml::read_sdf_xml(&xml).is_ok());
+    }
+
+    #[test]
+    fn bad_inputs_are_reported() {
+        let (code, text) = run_to_string(&["analyze", "/nonexistent/file.xml"]);
+        assert_eq!(code, 1);
+        assert!(text.contains("error"), "{text}");
+        let (code, _) = run_to_string(&["constraint", "x.xml"]);
+        assert_eq!(code, 1);
+        let (code, text) = run_to_string(&["gallery", "nope"]);
+        assert_eq!(code, 1);
+        assert!(text.contains("unknown gallery graph"), "{text}");
+    }
+}

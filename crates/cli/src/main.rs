@@ -1,0 +1,7 @@
+//! The `buffy` binary: thin wrapper around [`buffy_cli::run`].
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut stdout = std::io::stdout().lock();
+    std::process::exit(buffy_cli::run(&args, &mut stdout));
+}

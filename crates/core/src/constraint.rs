@@ -1,0 +1,199 @@
+//! Minimal storage under a throughput constraint.
+//!
+//! The paper's headline question: *given a throughput constraint, what is
+//! the smallest storage distribution under which the graph can be executed
+//! with a schedule meeting it?* This module answers it directly — without
+//! charting the whole Pareto space — by a binary search over the monotone
+//! size dimension, deciding each size with an early-exit enumeration
+//! (paper §9).
+
+use crate::bounds::upper_bound_distribution;
+use crate::enumerate::DistributionSpace;
+use crate::error::ExploreError;
+use crate::explore::{ExploreOptions, Evaluator};
+use crate::pareto::ParetoPoint;
+use buffy_graph::{Rational, SdfGraph};
+use std::ops::ControlFlow;
+
+/// Finds a smallest storage distribution whose throughput is at least
+/// `constraint`.
+///
+/// Returns the witnessing [`ParetoPoint`] (distribution, size, exact
+/// throughput achieved — which may exceed the constraint).
+///
+/// # Errors
+///
+/// - [`ExploreError::InfeasibleThroughput`] when the constraint exceeds
+///   the maximal achievable throughput of the graph;
+/// - analysis errors as in
+///   [`explore_design_space`](crate::explore_design_space).
+///
+/// # Examples
+///
+/// ```
+/// use buffy_core::{min_storage_for_throughput, ExploreOptions};
+/// use buffy_graph::{Rational, SdfGraph};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut b = SdfGraph::builder("example");
+/// let a = b.actor("a", 1);
+/// let bb = b.actor("b", 2);
+/// let c = b.actor("c", 2);
+/// b.channel("alpha", a, 2, bb, 3)?;
+/// b.channel("beta", bb, 1, c, 2)?;
+/// let g = b.build()?;
+///
+/// // Any positive throughput: the paper's ⟨4, 2⟩, size 6.
+/// let p = min_storage_for_throughput(&g, Rational::new(1, 100), &ExploreOptions::default())?;
+/// assert_eq!(p.size, 6);
+/// // Throughput at least 1/6 needs size 8.
+/// let p = min_storage_for_throughput(&g, Rational::new(1, 6), &ExploreOptions::default())?;
+/// assert_eq!(p.size, 8);
+/// # Ok(())
+/// # }
+/// ```
+pub fn min_storage_for_throughput(
+    graph: &SdfGraph,
+    constraint: Rational,
+    options: &ExploreOptions,
+) -> Result<ParetoPoint, ExploreError> {
+    assert!(
+        constraint > Rational::ZERO,
+        "throughput constraint must be positive"
+    );
+    let observed = options
+        .observed
+        .unwrap_or_else(|| graph.default_observed_actor());
+    let mut space = DistributionSpace::of(graph);
+    if let Some(caps) = &options.max_channel_caps {
+        space = space.with_max_capacities(caps);
+    }
+    let (ub_dist, thr_max) = upper_bound_distribution(graph, observed, options.limits)?;
+    if constraint > thr_max {
+        return Err(ExploreError::InfeasibleThroughput {
+            requested: constraint.to_string(),
+            maximal: thr_max.to_string(),
+        });
+    }
+
+    let eval = Evaluator::new(graph, observed, options.limits, options.threads);
+
+    // Decide "size S meets the constraint" with early exit; remember the
+    // best witness per feasible size.
+    let decide = |size: u64| -> Result<Option<ParetoPoint>, ExploreError> {
+        let mut hit: Option<ParetoPoint> = None;
+        let mut error: Option<ExploreError> = None;
+        space.for_each_of_size(size, |d| match eval.eval(&d) {
+            Ok(t) if t >= constraint => {
+                hit = Some(ParetoPoint::new(d, t));
+                ControlFlow::Break(())
+            }
+            Ok(_) => ControlFlow::Continue(()),
+            Err(e) => {
+                error = Some(e);
+                ControlFlow::Break(())
+            }
+        });
+        match error {
+            Some(e) => Err(e),
+            None => Ok(hit),
+        }
+    };
+
+    // Binary search the smallest feasible size in [lb, ub]. Without
+    // channel constraints, ub is feasible by construction (it realizes the
+    // maximal throughput ≥ constraint); with constraints, feasibility of
+    // the largest admissible size must be established first.
+    let mut lo = space.min_size();
+    let mut best = match (decide(lo)?, &options.max_channel_caps) {
+        (Some(p), _) => return Ok(p),
+        (None, None) => ParetoPoint::new(ub_dist, thr_max),
+        (None, Some(caps)) => {
+            let top = ub_dist.size().max(lo).min(caps.size());
+            match decide(top)? {
+                Some(p) => p,
+                None => {
+                    return Err(ExploreError::InfeasibleThroughput {
+                        requested: constraint.to_string(),
+                        maximal: format!("(within the channel capacity constraints {caps})"),
+                    })
+                }
+            }
+        }
+    };
+    let mut hi = best.size;
+    // Invariant: lo infeasible, hi feasible with witness `best`.
+    while lo + 1 < hi {
+        let mid = lo + (hi - lo) / 2;
+        match decide(mid)? {
+            Some(p) => {
+                hi = p.size;
+                best = p;
+            }
+            None => lo = mid,
+        }
+    }
+    Ok(best)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn example() -> SdfGraph {
+        let mut b = SdfGraph::builder("example");
+        let a = b.actor("a", 1);
+        let bb = b.actor("b", 2);
+        let c = b.actor("c", 2);
+        b.channel("alpha", a, 2, bb, 3).unwrap();
+        b.channel("beta", bb, 1, c, 2).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn all_paper_levels() {
+        let g = example();
+        let opts = ExploreOptions::default();
+        for (thr, size) in [
+            (Rational::new(1, 7), 6),
+            (Rational::new(1, 6), 8),
+            (Rational::new(1, 5), 9),
+            (Rational::new(1, 4), 10),
+        ] {
+            let p = min_storage_for_throughput(&g, thr, &opts).unwrap();
+            assert_eq!(p.size, size, "constraint {thr}");
+            assert!(p.throughput >= thr);
+        }
+        // A constraint strictly between two levels needs the higher level.
+        let p = min_storage_for_throughput(&g, Rational::new(3, 20), &opts).unwrap();
+        assert_eq!(p.size, 8);
+    }
+
+    #[test]
+    fn infeasible_constraint_rejected() {
+        let g = example();
+        let err =
+            min_storage_for_throughput(&g, Rational::new(1, 2), &ExploreOptions::default())
+                .unwrap_err();
+        assert!(matches!(err, ExploreError::InfeasibleThroughput { .. }));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_constraint_panics() {
+        let g = example();
+        let _ = min_storage_for_throughput(&g, Rational::ZERO, &ExploreOptions::default());
+    }
+
+    #[test]
+    fn witness_meets_constraint_by_simulation() {
+        let g = example();
+        let c = g.actor_by_name("c").unwrap();
+        let p =
+            min_storage_for_throughput(&g, Rational::new(1, 5), &ExploreOptions::default())
+                .unwrap();
+        let r = buffy_analysis::throughput(&g, &p.distribution, c).unwrap();
+        assert_eq!(r.throughput, p.throughput);
+        assert!(r.throughput >= Rational::new(1, 5));
+    }
+}

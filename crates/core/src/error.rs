@@ -1,0 +1,84 @@
+//! Error type for the design-space exploration.
+
+use buffy_analysis::AnalysisError;
+use buffy_graph::GraphError;
+use core::fmt;
+
+/// Errors raised while exploring the storage/throughput design space.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ExploreError {
+    /// A graph-level problem (inconsistency, …).
+    Graph(GraphError),
+    /// An underlying throughput/MCM analysis failed.
+    Analysis(AnalysisError),
+    /// The requested constraint cannot be met: the throughput demanded
+    /// exceeds the maximal achievable throughput of the graph.
+    InfeasibleThroughput {
+        /// The requested throughput, as a display string.
+        requested: String,
+        /// The maximal achievable throughput, as a display string.
+        maximal: String,
+    },
+    /// The graph never reaches a positive throughput for any storage
+    /// distribution within the configured size cap.
+    NoPositiveThroughput,
+}
+
+impl fmt::Display for ExploreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExploreError::Graph(e) => write!(f, "{e}"),
+            ExploreError::Analysis(e) => write!(f, "{e}"),
+            ExploreError::InfeasibleThroughput { requested, maximal } => write!(
+                f,
+                "requested throughput {requested} exceeds the maximal achievable throughput {maximal}"
+            ),
+            ExploreError::NoPositiveThroughput => {
+                write!(f, "no storage distribution within bounds yields a positive throughput")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ExploreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ExploreError::Graph(e) => Some(e),
+            ExploreError::Analysis(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<GraphError> for ExploreError {
+    fn from(e: GraphError) -> Self {
+        ExploreError::Graph(e)
+    }
+}
+
+impl From<AnalysisError> for ExploreError {
+    fn from(e: AnalysisError) -> Self {
+        ExploreError::Analysis(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        let e = ExploreError::InfeasibleThroughput {
+            requested: "1/2".into(),
+            maximal: "1/4".into(),
+        };
+        assert!(e.to_string().contains("1/2"));
+        assert!(e.to_string().contains("1/4"));
+        assert!(ExploreError::NoPositiveThroughput.to_string().contains("positive"));
+        let e: ExploreError = GraphError::EmptyGraph.into();
+        assert!(e.to_string().contains("no actors"));
+        let e: ExploreError = AnalysisError::NotLive.into();
+        assert!(e.to_string().contains("token-free"));
+    }
+}

@@ -1,0 +1,618 @@
+//! Design-space exploration (paper §9).
+//!
+//! Charts the complete Pareto space of storage-distribution size versus
+//! throughput:
+//!
+//! - the *distribution-size dimension* is searched with the paper's
+//!   divide-and-conquer: throughput is monotone in the distribution size,
+//!   so whenever the maximal throughput at the two ends of a size interval
+//!   coincides, the whole interval is settled;
+//! - the *throughput dimension* is searched per size by enumerating the
+//!   grid of meaningful distributions ([`DistributionSpace`]) with early
+//!   exit as soon as the interval's known ceiling is reached — the
+//!   monotonicity-seeded binary search of the paper;
+//! - the search is boxed by the combined lower bound (sum of per-channel
+//!   BMLB bounds) and the upper bound (a distribution realizing the
+//!   maximal achievable throughput), per §8/Fig. 7;
+//! - optional *throughput quantization* (the paper's remedy for the H.263
+//!   decoder's many Pareto points) and optional multi-threaded evaluation.
+
+use crate::bounds::upper_bound_distribution;
+use crate::enumerate::DistributionSpace;
+use crate::error::ExploreError;
+use crate::pareto::{ParetoPoint, ParetoSet};
+use buffy_analysis::{throughput_with_limits, ExplorationLimits};
+use buffy_graph::{ActorId, Rational, SdfGraph, StorageDistribution};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::ops::ControlFlow;
+
+/// Options controlling the design-space exploration.
+#[derive(Debug, Clone)]
+pub struct ExploreOptions {
+    /// Actor whose throughput is observed; defaults to the graph's first
+    /// sink ([`SdfGraph::default_observed_actor`]).
+    pub observed: Option<ActorId>,
+    /// Cap on the distribution size (paper §10: "it is possible to set the
+    /// maximum distribution size"); defaults to the computed upper bound.
+    pub max_size: Option<u64>,
+    /// Only chart points with throughput at least this value.
+    pub min_throughput: Option<Rational>,
+    /// Only chart points with throughput at most this value.
+    pub max_throughput: Option<Rational>,
+    /// Quantize throughputs searched to multiples of this value (paper
+    /// §11: limits the number of Pareto points, e.g. for H.263).
+    pub quantum: Option<Rational>,
+    /// Per-analysis state-space limits.
+    pub limits: ExplorationLimits,
+    /// Worker threads for evaluating candidate distributions (1 =
+    /// sequential).
+    pub threads: usize,
+    /// Per-channel capacity ceilings (paper §8: distributed memories
+    /// impose "extra constraints on the channel capacities"). Channels
+    /// may not grow beyond these values.
+    pub max_channel_caps: Option<StorageDistribution>,
+}
+
+impl Default for ExploreOptions {
+    fn default() -> Self {
+        ExploreOptions {
+            observed: None,
+            max_size: None,
+            min_throughput: None,
+            max_throughput: None,
+            quantum: None,
+            limits: ExplorationLimits::default(),
+            threads: 1,
+            max_channel_caps: None,
+        }
+    }
+}
+
+/// Outcome of a design-space exploration.
+#[derive(Debug, Clone)]
+pub struct ExplorationResult {
+    /// The Pareto front: minimal storage distributions and their
+    /// throughputs, by increasing size.
+    pub pareto: ParetoSet,
+    /// The maximal achievable throughput of the observed actor.
+    pub max_throughput: Rational,
+    /// The combined lower bound on the distribution size (`lb`, Fig. 7).
+    pub lower_bound_size: u64,
+    /// Size of the computed maximal-throughput distribution (`ub`, Fig. 7).
+    pub upper_bound_size: u64,
+    /// Number of throughput analyses performed (cache misses).
+    pub evaluations: usize,
+    /// Largest reduced state space stored in any single analysis (the
+    /// paper's "maximum #states" of Table 2).
+    pub max_states: usize,
+}
+
+/// Shared evaluation engine with memoization and statistics.
+pub(crate) struct Evaluator<'g> {
+    graph: &'g SdfGraph,
+    observed: ActorId,
+    limits: ExplorationLimits,
+    cache: Mutex<HashMap<StorageDistribution, Rational>>,
+    evaluations: Mutex<usize>,
+    max_states: Mutex<usize>,
+    threads: usize,
+}
+
+impl<'g> Evaluator<'g> {
+    pub(crate) fn new(
+        graph: &'g SdfGraph,
+        observed: ActorId,
+        limits: ExplorationLimits,
+        threads: usize,
+    ) -> Evaluator<'g> {
+        Evaluator {
+            graph,
+            observed,
+            limits,
+            cache: Mutex::new(HashMap::new()),
+            evaluations: Mutex::new(0),
+            max_states: Mutex::new(0),
+            threads: threads.max(1),
+        }
+    }
+
+    /// Memoized throughput of one distribution.
+    pub(crate) fn eval(&self, dist: &StorageDistribution) -> Result<Rational, ExploreError> {
+        if let Some(&t) = self.cache.lock().get(dist) {
+            return Ok(t);
+        }
+        let report = throughput_with_limits(self.graph, dist, self.observed, self.limits)?;
+        *self.evaluations.lock() += 1;
+        let mut ms = self.max_states.lock();
+        *ms = (*ms).max(report.states_stored);
+        drop(ms);
+        self.cache.lock().insert(dist.clone(), report.throughput);
+        Ok(report.throughput)
+    }
+
+    /// Evaluates a batch of distributions, possibly in parallel. Results
+    /// align with the input order.
+    fn eval_batch(
+        &self,
+        batch: &[StorageDistribution],
+    ) -> Result<Vec<Rational>, ExploreError> {
+        if self.threads <= 1 || batch.len() <= 1 {
+            return batch.iter().map(|d| self.eval(d)).collect();
+        }
+        let results: Mutex<Vec<Option<Result<Rational, ExploreError>>>> =
+            Mutex::new(vec![None; batch.len()]);
+        let next: Mutex<usize> = Mutex::new(0);
+        crossbeam::scope(|scope| {
+            for _ in 0..self.threads.min(batch.len()) {
+                scope.spawn(|_| loop {
+                    let i = {
+                        let mut n = next.lock();
+                        if *n >= batch.len() {
+                            return;
+                        }
+                        let i = *n;
+                        *n += 1;
+                        i
+                    };
+                    let r = self.eval(&batch[i]);
+                    results.lock()[i] = Some(r);
+                });
+            }
+        })
+        .expect("worker thread panicked");
+        results
+            .into_inner()
+            .into_iter()
+            .map(|r| r.expect("every index evaluated"))
+            .collect()
+    }
+
+    fn stats(&self) -> (usize, usize) {
+        (*self.evaluations.lock(), *self.max_states.lock())
+    }
+}
+
+/// Quantizes `t` down to the grid when a quantum is set.
+fn q(t: Rational, quantum: Option<Rational>) -> Rational {
+    match quantum {
+        Some(step) if !t.is_zero() => t.quantize_down(step),
+        _ => t,
+    }
+}
+
+/// The maximal throughput over all grid distributions of exactly `size`
+/// tokens, with early exit once the (quantized) `ceiling` is reached.
+/// Returns the best (quantized value, exact value, witness); the witness is
+/// `None` when no grid distribution of that size exists or none terminates
+/// positively.
+fn max_throughput_for_size(
+    eval: &Evaluator<'_>,
+    space: &DistributionSpace,
+    size: u64,
+    ceiling_q: Rational,
+    quantum: Option<Rational>,
+) -> Result<(Rational, Rational, Option<StorageDistribution>), ExploreError> {
+    let mut best = Rational::ZERO;
+    let mut best_q = Rational::ZERO;
+    let mut witness: Option<StorageDistribution> = None;
+    let mut error: Option<ExploreError> = None;
+
+    if eval.threads <= 1 {
+        space.for_each_of_size(size, |d| match eval.eval(&d) {
+            Ok(t) => {
+                if t > best {
+                    best = t;
+                    best_q = q(t, quantum);
+                    witness = Some(d);
+                }
+                if best_q >= ceiling_q {
+                    ControlFlow::Break(())
+                } else {
+                    ControlFlow::Continue(())
+                }
+            }
+            Err(e) => {
+                error = Some(e);
+                ControlFlow::Break(())
+            }
+        });
+    } else {
+        // Chunked parallel evaluation preserving the early exit between
+        // chunks.
+        let chunk = eval.threads * 4;
+        let mut buffer: Vec<StorageDistribution> = Vec::with_capacity(chunk);
+        let process =
+            |buf: &mut Vec<StorageDistribution>,
+             best: &mut Rational,
+             best_q: &mut Rational,
+             witness: &mut Option<StorageDistribution>|
+             -> Result<bool, ExploreError> {
+                let results = eval.eval_batch(buf)?;
+                for (d, t) in buf.drain(..).zip(results) {
+                    if t > *best {
+                        *best = t;
+                        *best_q = q(t, quantum);
+                        *witness = Some(d);
+                    }
+                }
+                Ok(*best_q >= ceiling_q)
+            };
+        space.for_each_of_size(size, |d| {
+            buffer.push(d);
+            if buffer.len() >= chunk {
+                match process(&mut buffer, &mut best, &mut best_q, &mut witness) {
+                    Ok(true) => ControlFlow::Break(()),
+                    Ok(false) => ControlFlow::Continue(()),
+                    Err(e) => {
+                        error = Some(e);
+                        ControlFlow::Break(())
+                    }
+                }
+            } else {
+                ControlFlow::Continue(())
+            }
+        });
+        if error.is_none() && !buffer.is_empty() {
+            if let Err(e) = process(&mut buffer, &mut best, &mut best_q, &mut witness) {
+                error = Some(e);
+            }
+        }
+    }
+
+    if let Some(e) = error {
+        return Err(e);
+    }
+    if best.is_zero() {
+        witness = None;
+    }
+    Ok((best_q, best, witness))
+}
+
+/// Whether some grid distribution of exactly `size` tokens has positive
+/// throughput (early exits on the first hit).
+fn has_positive(
+    eval: &Evaluator<'_>,
+    space: &DistributionSpace,
+    size: u64,
+) -> Result<bool, ExploreError> {
+    let mut found = false;
+    let mut error: Option<ExploreError> = None;
+    space.for_each_of_size(size, |d| match eval.eval(&d) {
+        Ok(t) if !t.is_zero() => {
+            found = true;
+            ControlFlow::Break(())
+        }
+        Ok(_) => ControlFlow::Continue(()),
+        Err(e) => {
+            error = Some(e);
+            ControlFlow::Break(())
+        }
+    });
+    match error {
+        Some(e) => Err(e),
+        None => Ok(found),
+    }
+}
+
+/// Explores the complete storage/throughput design space of `graph` and
+/// returns its Pareto front (paper §9).
+///
+/// # Errors
+///
+/// - [`ExploreError::Graph`] for inconsistent graphs;
+/// - [`ExploreError::Analysis`] for analysis failures (state limits,
+///   token-free cycles, …);
+/// - [`ExploreError::NoPositiveThroughput`] when no distribution within
+///   the size bounds executes without deadlock.
+///
+/// # Examples
+///
+/// The running example's full Pareto space (paper Fig. 5): sizes 6, 8, 9,
+/// 10 with throughputs 1/7, 1/6, 1/5, 1/4.
+///
+/// ```
+/// use buffy_core::{explore_design_space, ExploreOptions};
+/// use buffy_graph::{Rational, SdfGraph};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut b = SdfGraph::builder("example");
+/// let a = b.actor("a", 1);
+/// let bb = b.actor("b", 2);
+/// let c = b.actor("c", 2);
+/// b.channel("alpha", a, 2, bb, 3)?;
+/// b.channel("beta", bb, 1, c, 2)?;
+/// let g = b.build()?;
+///
+/// let result = explore_design_space(&g, &ExploreOptions::default())?;
+/// let sizes: Vec<u64> = result.pareto.points().iter().map(|p| p.size).collect();
+/// assert_eq!(sizes, vec![6, 8, 9, 10]);
+/// assert_eq!(result.pareto.maximal().unwrap().throughput, Rational::new(1, 4));
+/// # Ok(())
+/// # }
+/// ```
+pub fn explore_design_space(
+    graph: &SdfGraph,
+    options: &ExploreOptions,
+) -> Result<ExplorationResult, ExploreError> {
+    let observed = options
+        .observed
+        .unwrap_or_else(|| graph.default_observed_actor());
+    let eval = Evaluator::new(graph, observed, options.limits, options.threads);
+    let mut space = DistributionSpace::of(graph);
+    if let Some(caps) = &options.max_channel_caps {
+        space = space.with_max_capacities(caps);
+    }
+
+    // Bounds of the size dimension (paper §8, Fig. 7).
+    let lb_size = space.min_size();
+    let (ub_dist, thr_max_graph) = upper_bound_distribution(graph, observed, options.limits)?;
+    let mut ub_size = options.max_size.unwrap_or_else(|| ub_dist.size()).max(lb_size);
+    if let Some(caps) = &options.max_channel_caps {
+        ub_size = ub_size.min(caps.size());
+    }
+
+    // Clip the throughput range per the options.
+    let thr_cap = match options.max_throughput {
+        Some(cap) => cap.min(thr_max_graph),
+        None => thr_max_graph,
+    };
+    let thr_cap_q = q(thr_cap, options.quantum);
+
+    // Smallest size with positive throughput (binary search on the
+    // monotone predicate; the combined lower bound may still deadlock —
+    // the paper's Fig. 6 discussion).
+    let mut lo = lb_size;
+    let mut hi = ub_size;
+    if !has_positive(&eval, &space, hi)? {
+        return Err(ExploreError::NoPositiveThroughput);
+    }
+    if has_positive(&eval, &space, lo)? {
+        hi = lo;
+    } else {
+        // Invariant: lo infeasible, hi feasible.
+        while lo + 1 < hi {
+            let mid = lo + (hi - lo) / 2;
+            if has_positive(&eval, &space, mid)? {
+                hi = mid;
+            } else {
+                lo = mid;
+            }
+        }
+    }
+    let min_positive_size = hi;
+
+    let mut pareto = ParetoSet::new();
+
+    // Left end of the front.
+    let (left_q, left_exact, left_witness) = max_throughput_for_size(
+        &eval,
+        &space,
+        min_positive_size,
+        thr_cap_q,
+        options.quantum,
+    )?;
+    if let Some(w) = left_witness {
+        pareto.insert(ParetoPoint::new(w, left_exact));
+    }
+
+    // Right end: the maximal throughput is reached at ub_size (unless the
+    // user capped the size below it).
+    let (right_q, right_exact, right_witness) = if ub_size > min_positive_size {
+        max_throughput_for_size(&eval, &space, ub_size, thr_cap_q, options.quantum)?
+    } else {
+        (left_q, left_exact, None)
+    };
+    if let Some(w) = right_witness {
+        pareto.insert(ParetoPoint::new(w, right_exact));
+    }
+
+    // Divide and conquer over the size dimension.
+    let mut stack: Vec<(u64, Rational, u64, Rational)> = Vec::new();
+    if ub_size > min_positive_size {
+        stack.push((min_positive_size, left_q, ub_size, right_q));
+    }
+    while let Some((lo_s, lo_q, hi_s, hi_q)) = stack.pop() {
+        if lo_q >= hi_q || lo_s + 1 >= hi_s {
+            continue;
+        }
+        let mid = lo_s + (hi_s - lo_s) / 2;
+        let (mid_q, mid_exact, mid_witness) =
+            max_throughput_for_size(&eval, &space, mid, hi_q, options.quantum)?;
+        if let Some(w) = mid_witness {
+            pareto.insert(ParetoPoint::new(w, mid_exact));
+        }
+        stack.push((lo_s, lo_q, mid, mid_q));
+        stack.push((mid, mid_q, hi_s, hi_q));
+    }
+
+    // Clip per the requested throughput window and thin to one point per
+    // quantization level (smallest size wins).
+    if options.min_throughput.is_some()
+        || options.max_throughput.is_some()
+        || options.quantum.is_some()
+    {
+        let min_t = options.min_throughput.unwrap_or(Rational::ZERO);
+        let max_t = options.max_throughput.unwrap_or(thr_max_graph);
+        let mut thinned = ParetoSet::new();
+        let mut last_level: Option<Rational> = None;
+        for p in pareto.points() {
+            if p.throughput < min_t || p.throughput > max_t {
+                continue;
+            }
+            if let Some(quantum) = options.quantum {
+                let level = p.throughput.quantize_down(quantum);
+                if last_level == Some(level) {
+                    continue;
+                }
+                last_level = Some(level);
+            }
+            thinned.insert(p.clone());
+        }
+        pareto = thinned;
+    }
+
+    let (evaluations, max_states) = eval.stats();
+    Ok(ExplorationResult {
+        pareto,
+        max_throughput: thr_max_graph,
+        lower_bound_size: lb_size,
+        upper_bound_size: ub_size,
+        evaluations,
+        max_states,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn example() -> SdfGraph {
+        let mut b = SdfGraph::builder("example");
+        let a = b.actor("a", 1);
+        let bb = b.actor("b", 2);
+        let c = b.actor("c", 2);
+        b.channel("alpha", a, 2, bb, 3).unwrap();
+        b.channel("beta", bb, 1, c, 2).unwrap();
+        b.build().unwrap()
+    }
+
+    /// The complete Pareto space of the paper's Fig. 5.
+    #[test]
+    fn example_full_front() {
+        let g = example();
+        let r = explore_design_space(&g, &ExploreOptions::default()).unwrap();
+        let front: Vec<(u64, Rational)> = r
+            .pareto
+            .points()
+            .iter()
+            .map(|p| (p.size, p.throughput))
+            .collect();
+        assert_eq!(
+            front,
+            vec![
+                (6, Rational::new(1, 7)),
+                (8, Rational::new(1, 6)),
+                (9, Rational::new(1, 5)),
+                (10, Rational::new(1, 4)),
+            ]
+        );
+        assert_eq!(r.lower_bound_size, 6);
+        assert!(r.upper_bound_size >= 10);
+        assert_eq!(r.max_throughput, Rational::new(1, 4));
+        assert!(r.evaluations > 0);
+        assert!(r.max_states > 0);
+        // The minimal positive-throughput point is the paper's ⟨4, 2⟩.
+        assert_eq!(r.pareto.minimal().unwrap().distribution.as_slice(), &[4, 2]);
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let g = example();
+        let seq = explore_design_space(&g, &ExploreOptions::default()).unwrap();
+        let par = explore_design_space(
+            &g,
+            &ExploreOptions {
+                threads: 4,
+                ..ExploreOptions::default()
+            },
+        )
+        .unwrap();
+        let f = |r: &ExplorationResult| {
+            r.pareto
+                .points()
+                .iter()
+                .map(|p| (p.size, p.throughput))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(f(&seq), f(&par));
+    }
+
+    #[test]
+    fn size_cap_truncates_front() {
+        let g = example();
+        let r = explore_design_space(
+            &g,
+            &ExploreOptions {
+                max_size: Some(8),
+                ..ExploreOptions::default()
+            },
+        )
+        .unwrap();
+        let sizes: Vec<u64> = r.pareto.points().iter().map(|p| p.size).collect();
+        assert_eq!(sizes, vec![6, 8]);
+        assert_eq!(r.pareto.maximal().unwrap().throughput, Rational::new(1, 6));
+    }
+
+    #[test]
+    fn throughput_window_clips_front() {
+        let g = example();
+        let r = explore_design_space(
+            &g,
+            &ExploreOptions {
+                min_throughput: Some(Rational::new(1, 6)),
+                max_throughput: Some(Rational::new(1, 5)),
+                ..ExploreOptions::default()
+            },
+        )
+        .unwrap();
+        let thr: Vec<Rational> = r.pareto.points().iter().map(|p| p.throughput).collect();
+        assert_eq!(thr, vec![Rational::new(1, 6), Rational::new(1, 5)]);
+    }
+
+    #[test]
+    fn quantization_coarsens_front() {
+        let g = example();
+        // Quantum 1/10: levels 1/7→0.1, 1/6→0.1, 1/5→0.2, 1/4→0.2 —
+        // at most 2 points survive.
+        let r = explore_design_space(
+            &g,
+            &ExploreOptions {
+                quantum: Some(Rational::new(1, 10)),
+                ..ExploreOptions::default()
+            },
+        )
+        .unwrap();
+        assert!(r.pareto.len() <= 2, "front: {:?}", r.pareto.points());
+        assert!(!r.pareto.is_empty());
+    }
+
+    #[test]
+    fn deadlocking_graph_reports_no_positive_throughput() {
+        // A token-free two-cycle cannot execute for any capacity; the
+        // max-throughput analysis already refuses it.
+        let mut b = SdfGraph::builder("dead");
+        let x = b.actor("x", 1);
+        let y = b.actor("y", 1);
+        b.channel("f", x, 1, y, 1).unwrap();
+        b.channel("r", y, 1, x, 1).unwrap();
+        let g = b.build().unwrap();
+        let err = explore_design_space(&g, &ExploreOptions::default()).unwrap_err();
+        assert!(matches!(err, ExploreError::Analysis(_)));
+    }
+
+    #[test]
+    fn two_actor_pipeline_front() {
+        // x --2:1--> y, exec (1, 1): BMLB = 2; capacity 2 gives thr(y)
+        // 2 per 2 steps = 1; larger capacities can reach 2 (y fires twice
+        // per step? no — y's own execution time bounds it at 1).
+        let mut b = SdfGraph::builder("p");
+        let x = b.actor("x", 1);
+        let y = b.actor("y", 1);
+        b.channel("c", x, 2, y, 1).unwrap();
+        let g = b.build().unwrap();
+        let r = explore_design_space(&g, &ExploreOptions::default()).unwrap();
+        assert_eq!(r.max_throughput, Rational::ONE);
+        let front: Vec<(u64, Rational)> = r
+            .pareto
+            .points()
+            .iter()
+            .map(|p| (p.size, p.throughput))
+            .collect();
+        // Size 2: x fires, y drains two tokens in 2 steps while x waits →
+        // still 1 firing of y per step on average? Verify via the result
+        // being a consistent monotone front ending at 1.
+        assert!(front.windows(2).all(|w| w[0].0 < w[1].0 && w[0].1 < w[1].1));
+        assert_eq!(front.last().unwrap().1, Rational::ONE);
+    }
+}

@@ -1,0 +1,72 @@
+//! # buffy-core
+//!
+//! The primary contribution of Stuijk, Geilen & Basten, *"Exploring
+//! Trade-Offs in Buffer Requirements and Throughput Constraints for
+//! Synchronous Dataflow Graphs"* (DAC 2006): exact exploration of the
+//! trade-off between channel storage (buffer capacities) and throughput
+//! for SDF graphs.
+//!
+//! - [`channel_lower_bound`] / [`lower_bound_distribution`] /
+//!   [`upper_bound_distribution`]: the bounds boxing the design space
+//!   (paper §8, Fig. 7);
+//! - [`explore_design_space`]: the paper's exact exploration — divide and
+//!   conquer over distribution sizes, monotonicity-seeded search in the
+//!   throughput dimension, optional quantization and parallelism (§9–10);
+//! - [`explore_dependency_guided`]: the storage-dependency-guided pruning
+//!   the paper's conclusions call for (§12);
+//! - [`min_storage_for_throughput`]: the headline question — minimal
+//!   storage meeting a given throughput constraint;
+//! - [`ParetoSet`] / [`ParetoPoint`]: the resulting front (Figs. 5, 13).
+//!
+//! # Quickstart
+//!
+//! ```
+//! use buffy_core::{explore_design_space, ExploreOptions};
+//! use buffy_graph::{Rational, SdfGraph};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // The paper's running example (Fig. 1).
+//! let mut b = SdfGraph::builder("example");
+//! let a = b.actor("a", 1);
+//! let bb = b.actor("b", 2);
+//! let c = b.actor("c", 2);
+//! b.channel("alpha", a, 2, bb, 3)?;
+//! b.channel("beta", bb, 1, c, 2)?;
+//! let graph = b.build()?;
+//!
+//! let result = explore_design_space(&graph, &ExploreOptions::default())?;
+//! for point in result.pareto.points() {
+//!     println!("{point}");
+//! }
+//! assert_eq!(result.pareto.minimal().unwrap().size, 6);   // ⟨4, 2⟩, thr 1/7
+//! assert_eq!(result.pareto.maximal().unwrap().size, 10);  // thr 1/4
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+#![forbid(unsafe_code)]
+
+mod bounds;
+mod constraint;
+mod dependency;
+mod enumerate;
+mod error;
+mod explore;
+mod pareto;
+
+pub use bounds::{
+    channel_lower_bound, channel_step, lower_bound_distribution, upper_bound_distribution,
+};
+pub use constraint::min_storage_for_throughput;
+pub use dependency::explore_dependency_guided;
+pub use enumerate::DistributionSpace;
+pub use error::ExploreError;
+pub use explore::{explore_design_space, ExplorationResult, ExploreOptions};
+pub use pareto::{ParetoPoint, ParetoSet};
+
+// Re-export the substrate crates so downstream users need a single
+// dependency.
+pub use buffy_analysis as analysis;
+pub use buffy_graph as graph;

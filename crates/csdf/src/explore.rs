@@ -1,0 +1,334 @@
+//! Buffer/throughput trade-off exploration for CSDF graphs.
+//!
+//! Ports the dependency-guided exploration of `buffy-core` to the phased
+//! model: starting from safe per-channel lower bounds, only channels whose
+//! lack of space blocks a token-ready actor are grown, and the Pareto
+//! front of (distribution size, throughput) is collected. Capacities move
+//! in steps of the gcd of all the channel's (non-zero) rates and initial
+//! tokens — token counts are always congruent to the initial tokens modulo
+//! that gcd.
+
+use crate::engine::{CsdfEngine, CsdfState, CsdfStepOutcome};
+use crate::model::{CsdfError, CsdfGraph};
+use crate::throughput::{csdf_throughput, CsdfLimits};
+use buffy_core::{ParetoPoint, ParetoSet};
+use buffy_graph::{gcd_u64, ActorId, ChannelId, Rational, StorageDistribution};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap, HashSet};
+
+/// A safe lower bound on one channel's capacity for positive throughput:
+/// the largest single production or consumption burst must fit, and the
+/// initial tokens must be storable.
+pub fn csdf_channel_lower_bound(channel: &crate::model::CsdfChannel) -> u64 {
+    let max_prod = channel.production().iter().copied().max().unwrap_or(0);
+    let max_cons = channel.consumption().iter().copied().max().unwrap_or(0);
+    max_prod.max(max_cons).max(channel.initial_tokens())
+}
+
+/// The capacity quantum of a channel: the gcd of all non-zero rates.
+pub fn csdf_channel_step(channel: &crate::model::CsdfChannel) -> u64 {
+    let mut g = 0u64;
+    for &r in channel.production().iter().chain(channel.consumption()) {
+        g = gcd_u64(g, r);
+    }
+    g.max(1)
+}
+
+/// Options for the CSDF exploration.
+#[derive(Debug, Clone)]
+pub struct CsdfExploreOptions {
+    /// Observed actor (default: the graph's default).
+    pub observed: Option<ActorId>,
+    /// Hard cap on the distribution size; **required indirectly**: the
+    /// exploration stops growing beyond the size at which the maximal
+    /// throughput was observed, but a cap bounds pathological cases.
+    pub max_size: Option<u64>,
+    /// State-space limits per analysis.
+    pub limits: CsdfLimits,
+}
+
+impl Default for CsdfExploreOptions {
+    fn default() -> Self {
+        CsdfExploreOptions {
+            observed: None,
+            max_size: None,
+            limits: CsdfLimits::default(),
+        }
+    }
+}
+
+/// Result of a CSDF exploration.
+#[derive(Debug, Clone)]
+pub struct CsdfExplorationResult {
+    /// The Pareto front (phase-firing throughput of the observed actor).
+    pub pareto: ParetoSet,
+    /// The highest throughput observed.
+    pub max_throughput: Rational,
+    /// Number of throughput analyses run.
+    pub evaluations: usize,
+}
+
+/// Channels whose missing space blocks a token-ready actor in `state`.
+fn blocked_channels(graph: &CsdfGraph, caps: &[u64], state: &CsdfState, out: &mut [bool]) {
+    'actors: for actor in graph.actor_ids() {
+        if state.act_clk[actor.index()] > 0 {
+            continue;
+        }
+        let k = state.phase[actor.index()] as usize;
+        for &cid in graph.input_channels(actor) {
+            if state.tokens[cid.index()] < graph.channel(cid).consumption()[k] {
+                continue 'actors;
+            }
+        }
+        for &cid in graph.output_channels(actor) {
+            let produce = graph.channel(cid).production()[k];
+            let free = caps[cid.index()].saturating_sub(state.tokens[cid.index()]);
+            if free < produce {
+                out[cid.index()] = true;
+            }
+        }
+    }
+}
+
+/// Runs the execution once more to collect storage dependencies over the
+/// periodic phase (or the deadlock state).
+fn dependencies(
+    graph: &CsdfGraph,
+    dist: &StorageDistribution,
+    deadlocked: bool,
+    limits: CsdfLimits,
+) -> Result<Vec<bool>, CsdfError> {
+    let caps = dist.as_slice().to_vec();
+    let mut dependent = vec![false; graph.num_channels()];
+    let mut engine = CsdfEngine::new(graph, dist);
+    engine.start_initial()?;
+    if deadlocked {
+        loop {
+            match engine.step()? {
+                CsdfStepOutcome::Deadlock => break,
+                CsdfStepOutcome::Progress(_) => {}
+            }
+        }
+        blocked_channels(graph, &caps, engine.state(), &mut dependent);
+        return Ok(dependent);
+    }
+    // Find the cycle window, then union the blocked sets over it.
+    let mut index: HashMap<CsdfState, u64> = HashMap::new();
+    index.insert(engine.state().clone(), 0);
+    let (entry, end) = loop {
+        if engine.time() >= limits.max_steps || index.len() > limits.max_states {
+            return Err(CsdfError::StateLimitExceeded {
+                limit: limits.max_states,
+            });
+        }
+        match engine.step()? {
+            CsdfStepOutcome::Deadlock => unreachable!("caller saw a periodic execution"),
+            CsdfStepOutcome::Progress(_) => {
+                if let Some(&e) = index.get(engine.state()) {
+                    break (e, engine.time());
+                }
+                index.insert(engine.state().clone(), engine.time());
+            }
+        }
+    };
+    let mut engine = CsdfEngine::new(graph, dist);
+    engine.start_initial()?;
+    while engine.time() < entry {
+        engine.step()?;
+    }
+    blocked_channels(graph, &caps, engine.state(), &mut dependent);
+    while engine.time() < end {
+        engine.step()?;
+        blocked_channels(graph, &caps, engine.state(), &mut dependent);
+    }
+    Ok(dependent)
+}
+
+/// Explores the buffer/throughput trade-off space of a CSDF graph with the
+/// dependency-guided frontier search.
+///
+/// # Errors
+///
+/// Propagates engine/state-space errors; reports
+/// [`CsdfError::Inconsistent`] via the repetition-vector check.
+///
+/// # Examples
+///
+/// ```
+/// use buffy_csdf::{csdf_explore, CsdfExploreOptions, CsdfGraph};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut b = CsdfGraph::builder("updown");
+/// let p = b.actor("p", vec![1, 1]);
+/// let c = b.actor("c", vec![1]);
+/// b.channel("d", p, vec![2, 0], c, vec![1], 0)?;
+/// let g = b.build()?;
+/// let r = csdf_explore(&g, &CsdfExploreOptions::default())?;
+/// assert!(!r.pareto.is_empty());
+/// # Ok(())
+/// # }
+/// ```
+pub fn csdf_explore(
+    graph: &CsdfGraph,
+    options: &CsdfExploreOptions,
+) -> Result<CsdfExplorationResult, CsdfError> {
+    // Consistency check up front.
+    crate::repetition::CsdfRepetitionVector::compute(graph)?;
+    let observed = options
+        .observed
+        .unwrap_or_else(|| graph.default_observed_actor());
+    // The maximal achievable throughput bounds the search: a distribution
+    // that reaches it never needs to grow further.
+    let thr_max = crate::hsdf::csdf_maximal_throughput(graph, observed)?;
+
+    let mins: Vec<u64> = graph
+        .channels()
+        .map(|(_, c)| csdf_channel_lower_bound(c))
+        .collect();
+    let steps: Vec<u64> = graph.channels().map(|(_, c)| csdf_channel_step(c)).collect();
+    let start: StorageDistribution = mins.iter().copied().collect();
+    let lb_size = start.size();
+    // Default size cap: generous multiple of the lower bound; exploration
+    // also stops on saturation (no dependencies below it).
+    let max_size = options.max_size.unwrap_or(lb_size * 8 + 64);
+
+    let mut frontier: BinaryHeap<Reverse<(u64, StorageDistribution)>> = BinaryHeap::new();
+    let mut seen: HashSet<StorageDistribution> = HashSet::new();
+    seen.insert(start.clone());
+    frontier.push(Reverse((lb_size, start)));
+
+    let mut pareto = ParetoSet::new();
+    let mut best = Rational::ZERO;
+    let mut evaluations = 0usize;
+
+    while let Some(Reverse((size, dist))) = frontier.pop() {
+        let r = csdf_throughput(graph, &dist, observed, options.limits)?;
+        evaluations += 1;
+        if !r.throughput.is_zero() {
+            best = best.max(r.throughput);
+            pareto.insert(ParetoPoint::new(dist.clone(), r.throughput));
+            if r.throughput >= thr_max {
+                continue; // growing further cannot be Pareto-optimal
+            }
+        }
+        let deps = dependencies(graph, &dist, r.deadlocked, options.limits)?;
+        if deps.iter().all(|&d| !d) {
+            // Saturated: growing any channel changes nothing.
+            continue;
+        }
+        for (i, &dep) in deps.iter().enumerate() {
+            if !dep {
+                continue;
+            }
+            let step = steps[i];
+            if size + step > max_size {
+                continue;
+            }
+            let child = dist.grown(ChannelId::new(i), step);
+            if seen.insert(child.clone()) {
+                frontier.push(Reverse((child.size(), child)));
+            }
+        }
+    }
+
+    Ok(CsdfExplorationResult {
+        pareto,
+        max_throughput: best,
+        evaluations,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lower_bound_and_step() {
+        let mut b = CsdfGraph::builder("g");
+        let p = b.actor("p", vec![1, 1]);
+        let c = b.actor("c", vec![1]);
+        let ch = b.channel("d", p, vec![4, 2], c, vec![2], 3).unwrap();
+        let g = b.build().unwrap();
+        let channel = g.channel(ch);
+        assert_eq!(csdf_channel_lower_bound(channel), 4);
+        assert_eq!(csdf_channel_step(channel), 2);
+    }
+
+    #[test]
+    fn explore_updown() {
+        let mut b = CsdfGraph::builder("updown");
+        let p = b.actor("p", vec![1, 1]);
+        let c = b.actor("c", vec![1]);
+        b.channel("d", p, vec![2, 0], c, vec![1], 0).unwrap();
+        let g = b.build().unwrap();
+        let r = csdf_explore(&g, &CsdfExploreOptions::default()).unwrap();
+        // The front is monotone and reaches throughput 1 (c every step).
+        let pts = r.pareto.points();
+        assert!(!pts.is_empty());
+        for w in pts.windows(2) {
+            assert!(w[0].size < w[1].size && w[0].throughput < w[1].throughput);
+        }
+        assert_eq!(r.max_throughput, Rational::ONE);
+        assert_eq!(pts.last().unwrap().throughput, Rational::ONE);
+        // The smallest live capacity is 2 (the burst must fit).
+        assert_eq!(pts[0].size, 2);
+    }
+
+    #[test]
+    fn explore_matches_sdf_front_on_single_phase() {
+        // Embedding the paper's example graph must reproduce its front
+        // (6, 1/7), (8, 1/6), (9, 1/5), (10, 1/4).
+        let mut b = buffy_graph::SdfGraph::builder("example");
+        let a = b.actor("a", 1);
+        let bb = b.actor("b", 2);
+        let c = b.actor("c", 2);
+        b.channel("alpha", a, 2, bb, 3).unwrap();
+        b.channel("beta", bb, 1, c, 2).unwrap();
+        let sdf = b.build().unwrap();
+        let csdf = CsdfGraph::from_sdf(&sdf);
+        let r = csdf_explore(&csdf, &CsdfExploreOptions::default()).unwrap();
+        let front: Vec<(u64, Rational)> = r
+            .pareto
+            .points()
+            .iter()
+            .map(|p| (p.size, p.throughput))
+            .collect();
+        assert_eq!(
+            front,
+            vec![
+                (6, Rational::new(1, 7)),
+                (8, Rational::new(1, 6)),
+                (9, Rational::new(1, 5)),
+                (10, Rational::new(1, 4)),
+            ]
+        );
+    }
+
+    #[test]
+    fn inconsistent_graph_rejected() {
+        let mut b = CsdfGraph::builder("bad");
+        let x = b.actor("x", vec![1]);
+        let y = b.actor("y", vec![1]);
+        b.channel("f", x, vec![2], y, vec![1], 0).unwrap();
+        b.channel("r", y, vec![1], x, vec![1], 1).unwrap();
+        let g = b.build().unwrap();
+        assert!(matches!(
+            csdf_explore(&g, &CsdfExploreOptions::default()),
+            Err(CsdfError::Inconsistent { .. })
+        ));
+    }
+
+    #[test]
+    fn phase_dependent_buffering_pays_off() {
+        // Three-phase producer with a large burst in one phase: capacities
+        // between the burst size and burst+cycle trade throughput.
+        let mut b = CsdfGraph::builder("burst3");
+        let p = b.actor("p", vec![1, 1, 1]);
+        let c = b.actor("c", vec![2]);
+        b.channel("d", p, vec![3, 0, 3], c, vec![2], 0).unwrap();
+        let g = b.build().unwrap();
+        let r = csdf_explore(&g, &CsdfExploreOptions::default()).unwrap();
+        assert!(r.pareto.len() >= 2, "front: {:?}", r.pareto.points());
+        assert!(r.max_throughput > Rational::ZERO);
+    }
+}

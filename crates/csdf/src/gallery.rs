@@ -1,0 +1,104 @@
+//! Small gallery of CSDF benchmark graphs used by examples, tests and
+//! benches.
+
+use crate::model::CsdfGraph;
+
+/// A bursty two-phase producer feeding a unit-rate consumer: produces 2
+/// tokens in its first phase and none in the second.
+pub fn updown() -> CsdfGraph {
+    let mut b = CsdfGraph::builder("updown");
+    let p = b.actor("p", vec![1, 1]);
+    let c = b.actor("c", vec![1]);
+    b.channel("d", p, vec![2, 0], c, vec![1], 0)
+        .expect("static graph");
+    b.build().expect("static graph")
+}
+
+/// A line-based image scaler: per line it bursts 4 blocks, then 2, then is
+/// silent while reading ahead; a filter consumes 2 blocks per firing and
+/// streams pixels to a sink.
+pub fn line_scaler() -> CsdfGraph {
+    let mut b = CsdfGraph::builder("line-scaler");
+    let scaler = b.actor("scaler", vec![1, 1, 2]);
+    let filter = b.actor("filter", vec![1]);
+    let sink = b.actor("sink", vec![1]);
+    b.channel("blocks", scaler, vec![4, 2, 0], filter, vec![2], 0)
+        .expect("static graph");
+    b.channel("pixels", filter, vec![1], sink, vec![1], 0)
+        .expect("static graph");
+    b.build().expect("static graph")
+}
+
+/// A cyclo-static refinement of the H.263 decoder front end: the VLD
+/// emits macroblock rows (6 phases of 99 blocks) instead of one
+/// 594-block burst, exposing buffer savings SDF cannot express.
+pub fn h263_rows() -> CsdfGraph {
+    let mut b = CsdfGraph::builder("h263-rows");
+    // Six row phases, roughly equal work per row.
+    let vld = b.actor("vld", vec![44, 43, 43, 43, 43, 44]);
+    let iq = b.actor("iq", vec![6]);
+    let idct = b.actor("idct", vec![5]);
+    let mc = b.actor("mc", vec![110]);
+    b.channel("vld_iq", vld, vec![99; 6], iq, vec![1], 0)
+        .expect("static graph");
+    b.channel("iq_idct", iq, vec![1], idct, vec![1], 0)
+        .expect("static graph");
+    b.channel("idct_mc", idct, vec![1], mc, vec![594], 0)
+        .expect("static graph");
+    b.build().expect("static graph")
+}
+
+/// All gallery graphs.
+pub fn all() -> Vec<CsdfGraph> {
+    vec![updown(), line_scaler(), h263_rows()]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::explore::{csdf_explore, CsdfExploreOptions};
+    use crate::hsdf::csdf_maximal_throughput;
+    use crate::repetition::{is_consistent, CsdfRepetitionVector};
+    use buffy_graph::Rational;
+
+    #[test]
+    fn gallery_is_consistent() {
+        for g in all() {
+            assert!(is_consistent(&g), "{}", g.name());
+        }
+    }
+
+    #[test]
+    fn h263_rows_repetition() {
+        let g = h263_rows();
+        let q = CsdfRepetitionVector::compute(&g).unwrap();
+        let vld = g.actor_by_name("vld").unwrap();
+        let iq = g.actor_by_name("iq").unwrap();
+        assert_eq!(q.cycles(vld), 1);
+        assert_eq!(q.firings(&g, vld), 6);
+        assert_eq!(q.firings(&g, iq), 594);
+    }
+
+    #[test]
+    fn gallery_explores() {
+        for g in [updown(), line_scaler()] {
+            let r = csdf_explore(&g, &CsdfExploreOptions::default())
+                .unwrap_or_else(|e| panic!("{}: {e}", g.name()));
+            assert!(!r.pareto.is_empty(), "{}", g.name());
+            let obs = g.default_observed_actor();
+            let bound = csdf_maximal_throughput(&g, obs).unwrap();
+            assert_eq!(r.pareto.maximal().unwrap().throughput, bound, "{}", g.name());
+            assert!(bound > Rational::ZERO);
+        }
+    }
+
+    #[test]
+    fn row_based_vld_smooths_the_burst() {
+        // The row-phased VLD needs a visibly smaller first buffer than the
+        // 594-token burst of the SDF model to achieve any throughput:
+        // 99 (one row) vs 594.
+        let g = h263_rows();
+        let ch = g.channel(g.channel_by_name("vld_iq").unwrap());
+        assert_eq!(crate::explore::csdf_channel_lower_bound(ch), 99);
+    }
+}

@@ -1,0 +1,68 @@
+//! # buffy-csdf
+//!
+//! Cyclo-Static Dataflow (CSDF) extension of **buffy-rs**.
+//!
+//! The paper's conclusions (§12) call for generalizing the exploration "to
+//! more general dataflow models"; the authors' own follow-up work added
+//! CSDF support to SDF3. This crate ports the machinery to the phased
+//! model:
+//!
+//! - [`CsdfGraph`]: actors with cyclic phase sequences, per-phase
+//!   execution times and per-phase port rates (zero rates allowed);
+//! - [`CsdfRepetitionVector`]: consistency and cycle-level repetition
+//!   vectors;
+//! - [`CsdfEngine`]: the timed ASAP executor (claim-at-start semantics,
+//!   per the paper §2);
+//! - [`csdf_throughput`]: reduced-state-space throughput analysis (paper
+//!   §7, phase-aware);
+//! - [`csdf_explore`]: dependency-guided buffer/throughput Pareto
+//!   exploration.
+//!
+//! Every SDF graph embeds as a single-phase CSDF graph
+//! ([`CsdfGraph::from_sdf`]); the test suite uses the embedding to
+//! cross-validate this crate against the SDF analyses.
+//!
+//! # Example
+//!
+//! ```
+//! use buffy_csdf::{csdf_throughput, CsdfGraph, CsdfLimits};
+//! use buffy_graph::{Rational, StorageDistribution};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // A producer that bursts 2 tokens every other step.
+//! let mut b = CsdfGraph::builder("updown");
+//! let p = b.actor("p", vec![1, 1]);
+//! let c = b.actor("c", vec![1]);
+//! b.channel("d", p, vec![2, 0], c, vec![1], 0)?;
+//! let g = b.build()?;
+//!
+//! let r = csdf_throughput(&g, &StorageDistribution::from_capacities(vec![4]), c,
+//!                         CsdfLimits::default())?;
+//! assert_eq!(r.throughput, Rational::ONE);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+#![forbid(unsafe_code)]
+
+mod engine;
+pub mod gallery;
+mod proptests;
+mod explore;
+mod hsdf;
+mod model;
+mod repetition;
+mod throughput;
+pub mod xml;
+
+pub use engine::{CsdfEngine, CsdfState, CsdfStepEvents, CsdfStepOutcome};
+pub use explore::{
+    csdf_channel_lower_bound, csdf_channel_step, csdf_explore, CsdfExplorationResult,
+    CsdfExploreOptions,
+};
+pub use hsdf::{csdf_maximal_throughput, csdf_ratio_graph};
+pub use model::{CsdfActor, CsdfChannel, CsdfError, CsdfGraph, CsdfGraphBuilder};
+pub use repetition::{is_consistent, CsdfRepetitionVector};
+pub use throughput::{csdf_throughput, CsdfLimits, CsdfThroughputReport};

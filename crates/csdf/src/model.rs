@@ -1,0 +1,525 @@
+//! The Cyclo-Static Dataflow (CSDF) graph model.
+//!
+//! CSDF generalizes SDF: an actor cycles through a fixed sequence of
+//! *phases*; each phase has its own execution time, and each port has one
+//! rate *per phase of its actor* (rates may be zero in individual phases).
+//! Every SDF graph is a CSDF graph with a single phase per actor.
+
+use buffy_graph::{ActorId, ChannelId, SdfGraph};
+use core::fmt;
+use std::collections::HashSet;
+
+/// Errors raised while building or analyzing a CSDF graph.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum CsdfError {
+    /// Two actors share a name.
+    DuplicateActorName {
+        /// The clashing name.
+        name: String,
+    },
+    /// Two channels share a name.
+    DuplicateChannelName {
+        /// The clashing name.
+        name: String,
+    },
+    /// An actor id was out of range.
+    UnknownActor {
+        /// Display form of the id.
+        name: String,
+    },
+    /// An actor was declared with no phases.
+    NoPhases {
+        /// The offending actor.
+        actor: String,
+    },
+    /// A channel's per-phase rate vector length does not match its actor's
+    /// phase count.
+    RateArityMismatch {
+        /// The offending channel.
+        channel: String,
+    },
+    /// A port produces or consumes nothing over a whole phase cycle.
+    ZeroCycleRate {
+        /// The offending channel.
+        channel: String,
+    },
+    /// The graph has no actors.
+    EmptyGraph,
+    /// The balance equations admit only the trivial solution.
+    Inconsistent {
+        /// A channel whose balance equation fails.
+        channel: String,
+    },
+    /// Repetition-vector entries overflow.
+    RepetitionOverflow,
+    /// Zero-execution-time phases fire without bound within one time step.
+    ZeroTimeLivelock,
+    /// A state-space search exceeded its limits.
+    StateLimitExceeded {
+        /// The configured limit.
+        limit: usize,
+    },
+}
+
+impl fmt::Display for CsdfError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CsdfError::DuplicateActorName { name } => write!(f, "duplicate actor name {name:?}"),
+            CsdfError::DuplicateChannelName { name } => {
+                write!(f, "duplicate channel name {name:?}")
+            }
+            CsdfError::UnknownActor { name } => write!(f, "unknown actor {name:?}"),
+            CsdfError::NoPhases { actor } => write!(f, "actor {actor:?} has no phases"),
+            CsdfError::RateArityMismatch { channel } => write!(
+                f,
+                "channel {channel:?} rate vector length does not match the actor's phase count"
+            ),
+            CsdfError::ZeroCycleRate { channel } => write!(
+                f,
+                "channel {channel:?} transfers no tokens over a full phase cycle"
+            ),
+            CsdfError::EmptyGraph => write!(f, "graph has no actors"),
+            CsdfError::Inconsistent { channel } => write!(
+                f,
+                "graph is inconsistent: balance equation of channel {channel:?} fails"
+            ),
+            CsdfError::RepetitionOverflow => write!(f, "repetition vector overflows u64"),
+            CsdfError::ZeroTimeLivelock => {
+                write!(f, "zero-execution-time phases fire without bound in one step")
+            }
+            CsdfError::StateLimitExceeded { limit } => {
+                write!(f, "state space exceeded the limit of {limit} states")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CsdfError {}
+
+/// A CSDF actor: a cyclic sequence of phases with per-phase execution
+/// times.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CsdfActor {
+    pub(crate) name: String,
+    pub(crate) phase_times: Vec<u64>,
+}
+
+impl CsdfActor {
+    /// The actor's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Execution times, one per phase.
+    pub fn phase_times(&self) -> &[u64] {
+        &self.phase_times
+    }
+
+    /// Number of phases.
+    pub fn num_phases(&self) -> usize {
+        self.phase_times.len()
+    }
+}
+
+/// A CSDF channel with per-phase rates.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CsdfChannel {
+    pub(crate) name: String,
+    pub(crate) source: ActorId,
+    pub(crate) target: ActorId,
+    /// Tokens produced per phase of the source actor.
+    pub(crate) production: Vec<u64>,
+    /// Tokens consumed per phase of the target actor.
+    pub(crate) consumption: Vec<u64>,
+    pub(crate) initial_tokens: u64,
+}
+
+impl CsdfChannel {
+    /// The channel's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The producing actor.
+    pub fn source(&self) -> ActorId {
+        self.source
+    }
+
+    /// The consuming actor.
+    pub fn target(&self) -> ActorId {
+        self.target
+    }
+
+    /// Tokens produced per source phase.
+    pub fn production(&self) -> &[u64] {
+        &self.production
+    }
+
+    /// Tokens consumed per target phase.
+    pub fn consumption(&self) -> &[u64] {
+        &self.consumption
+    }
+
+    /// Initial tokens.
+    pub fn initial_tokens(&self) -> u64 {
+        self.initial_tokens
+    }
+
+    /// Tokens produced over one full phase cycle of the source.
+    pub fn cycle_production(&self) -> u64 {
+        self.production.iter().sum()
+    }
+
+    /// Tokens consumed over one full phase cycle of the target.
+    pub fn cycle_consumption(&self) -> u64 {
+        self.consumption.iter().sum()
+    }
+}
+
+/// An immutable CSDF graph.
+///
+/// # Examples
+///
+/// ```
+/// use buffy_csdf::CsdfGraph;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut b = CsdfGraph::builder("updown");
+/// // A two-phase producer: 2 tokens in its first phase, none in the second.
+/// let p = b.actor("p", vec![1, 1]);
+/// let c = b.actor("c", vec![2]);
+/// b.channel("data", p, vec![2, 0], c, vec![1], 0)?;
+/// let g = b.build()?;
+/// assert_eq!(g.num_actors(), 2);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CsdfGraph {
+    pub(crate) name: String,
+    pub(crate) actors: Vec<CsdfActor>,
+    pub(crate) channels: Vec<CsdfChannel>,
+    pub(crate) outputs: Vec<Vec<ChannelId>>,
+    pub(crate) inputs: Vec<Vec<ChannelId>>,
+}
+
+impl CsdfGraph {
+    /// Starts building a CSDF graph.
+    pub fn builder(name: impl Into<String>) -> CsdfGraphBuilder {
+        CsdfGraphBuilder {
+            name: name.into(),
+            actors: Vec::new(),
+            channels: Vec::new(),
+        }
+    }
+
+    /// The graph's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of actors.
+    pub fn num_actors(&self) -> usize {
+        self.actors.len()
+    }
+
+    /// Number of channels.
+    pub fn num_channels(&self) -> usize {
+        self.channels.len()
+    }
+
+    /// The actor with the given id.
+    pub fn actor(&self, id: ActorId) -> &CsdfActor {
+        &self.actors[id.index()]
+    }
+
+    /// The channel with the given id.
+    pub fn channel(&self, id: ChannelId) -> &CsdfChannel {
+        &self.channels[id.index()]
+    }
+
+    /// Iterates `(id, actor)`.
+    pub fn actors(&self) -> impl Iterator<Item = (ActorId, &CsdfActor)> {
+        self.actors
+            .iter()
+            .enumerate()
+            .map(|(i, a)| (ActorId::new(i), a))
+    }
+
+    /// Iterates `(id, channel)`.
+    pub fn channels(&self) -> impl Iterator<Item = (ChannelId, &CsdfChannel)> {
+        self.channels
+            .iter()
+            .enumerate()
+            .map(|(i, c)| (ChannelId::new(i), c))
+    }
+
+    /// All actor ids.
+    pub fn actor_ids(&self) -> impl Iterator<Item = ActorId> {
+        (0..self.actors.len()).map(ActorId::new)
+    }
+
+    /// All channel ids.
+    pub fn channel_ids(&self) -> impl Iterator<Item = ChannelId> {
+        (0..self.channels.len()).map(ChannelId::new)
+    }
+
+    /// Output channels of `actor`.
+    pub fn output_channels(&self, actor: ActorId) -> &[ChannelId] {
+        &self.outputs[actor.index()]
+    }
+
+    /// Input channels of `actor`.
+    pub fn input_channels(&self, actor: ActorId) -> &[ChannelId] {
+        &self.inputs[actor.index()]
+    }
+
+    /// Finds an actor by name.
+    pub fn actor_by_name(&self, name: &str) -> Option<ActorId> {
+        self.actors
+            .iter()
+            .position(|a| a.name == name)
+            .map(ActorId::new)
+    }
+
+    /// Finds a channel by name.
+    pub fn channel_by_name(&self, name: &str) -> Option<ChannelId> {
+        self.channels
+            .iter()
+            .position(|c| c.name == name)
+            .map(ChannelId::new)
+    }
+
+    /// The default observed actor: the first actor without outputs, or the
+    /// last actor.
+    pub fn default_observed_actor(&self) -> ActorId {
+        self.actor_ids()
+            .find(|&a| self.outputs[a.index()].is_empty())
+            .unwrap_or(ActorId::new(self.actors.len() - 1))
+    }
+
+    /// Converts an SDF graph into the equivalent single-phase CSDF graph.
+    pub fn from_sdf(graph: &SdfGraph) -> CsdfGraph {
+        let mut b = CsdfGraph::builder(graph.name());
+        let ids: Vec<_> = graph
+            .actors()
+            .map(|(_, a)| b.actor(a.name(), vec![a.execution_time()]))
+            .collect();
+        for (_, ch) in graph.channels() {
+            b.channel(
+                ch.name(),
+                ids[ch.source().index()],
+                vec![ch.production()],
+                ids[ch.target().index()],
+                vec![ch.consumption()],
+                ch.initial_tokens(),
+            )
+            .expect("valid SDF graph maps to valid CSDF");
+        }
+        b.build().expect("valid SDF graph maps to valid CSDF")
+    }
+}
+
+/// Builder for [`CsdfGraph`].
+#[derive(Debug, Clone)]
+pub struct CsdfGraphBuilder {
+    name: String,
+    actors: Vec<CsdfActor>,
+    channels: Vec<CsdfChannel>,
+}
+
+impl CsdfGraphBuilder {
+    /// Adds an actor with the given per-phase execution times.
+    pub fn actor(&mut self, name: impl Into<String>, phase_times: Vec<u64>) -> ActorId {
+        let id = ActorId::new(self.actors.len());
+        self.actors.push(CsdfActor {
+            name: name.into(),
+            phase_times,
+        });
+        id
+    }
+
+    /// Adds a channel with per-phase production/consumption vectors and
+    /// initial tokens.
+    ///
+    /// # Errors
+    ///
+    /// Rejects unknown actors, rate vectors whose length does not match
+    /// the actor's phase count, and ports that transfer no tokens over a
+    /// whole cycle.
+    pub fn channel(
+        &mut self,
+        name: impl Into<String>,
+        source: ActorId,
+        production: Vec<u64>,
+        target: ActorId,
+        consumption: Vec<u64>,
+        initial_tokens: u64,
+    ) -> Result<ChannelId, CsdfError> {
+        let name = name.into();
+        for id in [source, target] {
+            if id.index() >= self.actors.len() {
+                return Err(CsdfError::UnknownActor {
+                    name: format!("{id}"),
+                });
+            }
+        }
+        if production.len() != self.actors[source.index()].num_phases()
+            || consumption.len() != self.actors[target.index()].num_phases()
+        {
+            return Err(CsdfError::RateArityMismatch { channel: name });
+        }
+        if production.iter().sum::<u64>() == 0 || consumption.iter().sum::<u64>() == 0 {
+            return Err(CsdfError::ZeroCycleRate { channel: name });
+        }
+        let id = ChannelId::new(self.channels.len());
+        self.channels.push(CsdfChannel {
+            name,
+            source,
+            target,
+            production,
+            consumption,
+            initial_tokens,
+        });
+        Ok(id)
+    }
+
+    /// Finalizes the graph.
+    ///
+    /// # Errors
+    ///
+    /// Rejects empty graphs, phase-less actors and duplicate names.
+    pub fn build(self) -> Result<CsdfGraph, CsdfError> {
+        if self.actors.is_empty() {
+            return Err(CsdfError::EmptyGraph);
+        }
+        let mut names = HashSet::new();
+        for a in &self.actors {
+            if a.phase_times.is_empty() {
+                return Err(CsdfError::NoPhases {
+                    actor: a.name.clone(),
+                });
+            }
+            if !names.insert(a.name.clone()) {
+                return Err(CsdfError::DuplicateActorName {
+                    name: a.name.clone(),
+                });
+            }
+        }
+        let mut cnames = HashSet::new();
+        for c in &self.channels {
+            if !cnames.insert(c.name.clone()) {
+                return Err(CsdfError::DuplicateChannelName {
+                    name: c.name.clone(),
+                });
+            }
+        }
+        let mut outputs = vec![Vec::new(); self.actors.len()];
+        let mut inputs = vec![Vec::new(); self.actors.len()];
+        for (i, c) in self.channels.iter().enumerate() {
+            outputs[c.source.index()].push(ChannelId::new(i));
+            inputs[c.target.index()].push(ChannelId::new(i));
+        }
+        Ok(CsdfGraph {
+            name: self.name,
+            actors: self.actors,
+            channels: self.channels,
+            outputs,
+            inputs,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_and_query() {
+        let mut b = CsdfGraph::builder("g");
+        let p = b.actor("p", vec![1, 2]);
+        let c = b.actor("c", vec![1]);
+        let ch = b.channel("d", p, vec![1, 0], c, vec![1], 2).unwrap();
+        let g = b.build().unwrap();
+        assert_eq!(g.name(), "g");
+        assert_eq!(g.actor(p).num_phases(), 2);
+        assert_eq!(g.actor(p).phase_times(), &[1, 2]);
+        assert_eq!(g.channel(ch).cycle_production(), 1);
+        assert_eq!(g.channel(ch).cycle_consumption(), 1);
+        assert_eq!(g.channel(ch).initial_tokens(), 2);
+        assert_eq!(g.output_channels(p), &[ch]);
+        assert_eq!(g.input_channels(c), &[ch]);
+        assert_eq!(g.actor_by_name("c"), Some(c));
+        assert_eq!(g.channel_by_name("d"), Some(ch));
+        assert_eq!(g.default_observed_actor(), c);
+    }
+
+    #[test]
+    fn validation_errors() {
+        let mut b = CsdfGraph::builder("g");
+        let p = b.actor("p", vec![1, 2]);
+        let c = b.actor("c", vec![1]);
+        assert!(matches!(
+            b.channel("d", p, vec![1], c, vec![1], 0),
+            Err(CsdfError::RateArityMismatch { .. })
+        ));
+        assert!(matches!(
+            b.channel("d", p, vec![0, 0], c, vec![1], 0),
+            Err(CsdfError::ZeroCycleRate { .. })
+        ));
+        assert!(matches!(
+            b.channel("d", p, vec![1, 0], ActorId::new(9), vec![1], 0),
+            Err(CsdfError::UnknownActor { .. })
+        ));
+
+        let mut b = CsdfGraph::builder("g");
+        b.actor("x", vec![]);
+        assert!(matches!(b.build(), Err(CsdfError::NoPhases { .. })));
+
+        let mut b = CsdfGraph::builder("g");
+        b.actor("x", vec![1]);
+        b.actor("x", vec![1]);
+        assert!(matches!(
+            b.build(),
+            Err(CsdfError::DuplicateActorName { .. })
+        ));
+
+        assert!(matches!(
+            CsdfGraph::builder("g").build(),
+            Err(CsdfError::EmptyGraph)
+        ));
+    }
+
+    #[test]
+    fn from_sdf_single_phase() {
+        let mut b = SdfGraph::builder("sdf");
+        let x = b.actor("x", 3);
+        let y = b.actor("y", 1);
+        b.channel_with_tokens("c", x, 2, y, 3, 1).unwrap();
+        let sdf = b.build().unwrap();
+        let csdf = CsdfGraph::from_sdf(&sdf);
+        assert_eq!(csdf.num_actors(), 2);
+        let x = csdf.actor_by_name("x").unwrap();
+        assert_eq!(csdf.actor(x).phase_times(), &[3]);
+        let c = csdf.channel_by_name("c").unwrap();
+        assert_eq!(csdf.channel(c).production(), &[2]);
+        assert_eq!(csdf.channel(c).consumption(), &[3]);
+        assert_eq!(csdf.channel(c).initial_tokens(), 1);
+    }
+
+    #[test]
+    fn error_messages() {
+        for e in [
+            CsdfError::EmptyGraph,
+            CsdfError::ZeroTimeLivelock,
+            CsdfError::RepetitionOverflow,
+            CsdfError::StateLimitExceeded { limit: 3 },
+            CsdfError::Inconsistent {
+                channel: "x".into(),
+            },
+        ] {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}

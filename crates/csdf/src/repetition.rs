@@ -1,0 +1,175 @@
+//! Repetition vectors and consistency for CSDF graphs.
+//!
+//! The balance equations of CSDF relate *full phase cycles*: for a channel
+//! `a → b`, `q(a) · Σ production = q(b) · Σ consumption`, where `q`
+//! counts complete traversals of each actor's phase sequence per graph
+//! iteration. The phase-level repetition entry is `q(a) · phases(a)`.
+
+use crate::model::{CsdfError, CsdfGraph};
+use buffy_graph::{gcd_u128, ActorId, Rational};
+
+/// The cycle-level repetition vector of a consistent CSDF graph.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CsdfRepetitionVector {
+    entries: Vec<u64>,
+}
+
+impl CsdfRepetitionVector {
+    /// Solves the balance equations.
+    ///
+    /// # Errors
+    ///
+    /// [`CsdfError::Inconsistent`] when only the trivial solution exists,
+    /// [`CsdfError::RepetitionOverflow`] on overflow.
+    pub fn compute(graph: &CsdfGraph) -> Result<CsdfRepetitionVector, CsdfError> {
+        let n = graph.num_actors();
+        let mut rates: Vec<Option<Rational>> = vec![None; n];
+        let mut component: Vec<usize> = vec![usize::MAX; n];
+        let mut num_components = 0;
+
+        for start in 0..n {
+            if rates[start].is_some() {
+                continue;
+            }
+            let comp = num_components;
+            num_components += 1;
+            rates[start] = Some(Rational::ONE);
+            component[start] = comp;
+            let mut stack = vec![ActorId::new(start)];
+            while let Some(actor) = stack.pop() {
+                let r = rates[actor.index()].expect("visited");
+                let out = graph.output_channels(actor).iter().map(|&c| (c, true));
+                let inp = graph.input_channels(actor).iter().map(|&c| (c, false));
+                for (cid, outgoing) in out.chain(inp) {
+                    let ch = graph.channel(cid);
+                    let (p, c) = (
+                        ch.cycle_production() as i128,
+                        ch.cycle_consumption() as i128,
+                    );
+                    let (other, expected) = if outgoing {
+                        (ch.target(), r * Rational::new(p, c))
+                    } else {
+                        (ch.source(), r * Rational::new(c, p))
+                    };
+                    match rates[other.index()] {
+                        None => {
+                            rates[other.index()] = Some(expected);
+                            component[other.index()] = comp;
+                            stack.push(other);
+                        }
+                        Some(existing) if existing != expected => {
+                            return Err(CsdfError::Inconsistent {
+                                channel: ch.name().to_string(),
+                            });
+                        }
+                        Some(_) => {}
+                    }
+                }
+            }
+        }
+
+        let mut entries = vec![0u64; n];
+        for comp in 0..num_components {
+            let members: Vec<usize> = (0..n).filter(|&i| component[i] == comp).collect();
+            let mut lcm: u128 = 1;
+            for &i in &members {
+                let d = rates[i].expect("assigned").denom().unsigned_abs();
+                let g = gcd_u128(lcm, d);
+                lcm = lcm
+                    .checked_mul(d / g)
+                    .ok_or(CsdfError::RepetitionOverflow)?;
+            }
+            let scaled: Vec<u128> = members
+                .iter()
+                .map(|&i| {
+                    let r = rates[i].expect("assigned");
+                    r.numer().unsigned_abs() * (lcm / r.denom().unsigned_abs())
+                })
+                .collect();
+            let mut g = 0u128;
+            for &v in &scaled {
+                g = gcd_u128(g, v);
+            }
+            for (&i, &v) in members.iter().zip(&scaled) {
+                entries[i] =
+                    u64::try_from(v / g).map_err(|_| CsdfError::RepetitionOverflow)?;
+            }
+        }
+        Ok(CsdfRepetitionVector { entries })
+    }
+
+    /// Full phase cycles of `actor` per iteration.
+    pub fn cycles(&self, actor: ActorId) -> u64 {
+        self.entries[actor.index()]
+    }
+
+    /// Phase-level firings of `actor` per iteration.
+    pub fn firings(&self, graph: &CsdfGraph, actor: ActorId) -> u64 {
+        self.entries[actor.index()] * graph.actor(actor).num_phases() as u64
+    }
+
+    /// The entries (cycle counts), indexed by actor index.
+    pub fn as_slice(&self) -> &[u64] {
+        &self.entries
+    }
+}
+
+/// Whether the CSDF graph is consistent.
+pub fn is_consistent(graph: &CsdfGraph) -> bool {
+    CsdfRepetitionVector::compute(graph).is_ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn two_phase_balance() {
+        // p: phases (1,1), produces (2,0) → over a cycle 2 tokens;
+        // c: 1 phase, consumes 1 → q = (1, 2).
+        let mut b = CsdfGraph::builder("g");
+        let p = b.actor("p", vec![1, 1]);
+        let c = b.actor("c", vec![1]);
+        b.channel("d", p, vec![2, 0], c, vec![1], 0).unwrap();
+        let g = b.build().unwrap();
+        let q = CsdfRepetitionVector::compute(&g).unwrap();
+        assert_eq!(q.as_slice(), &[1, 2]);
+        assert_eq!(q.cycles(p), 1);
+        assert_eq!(q.firings(&g, p), 2);
+        assert_eq!(q.firings(&g, c), 2);
+        assert!(is_consistent(&g));
+    }
+
+    #[test]
+    fn inconsistent_cycle() {
+        let mut b = CsdfGraph::builder("bad");
+        let x = b.actor("x", vec![1]);
+        let y = b.actor("y", vec![1]);
+        b.channel("f", x, vec![2], y, vec![1], 0).unwrap();
+        b.channel("r", y, vec![1], x, vec![1], 1).unwrap();
+        let g = b.build().unwrap();
+        assert!(matches!(
+            CsdfRepetitionVector::compute(&g),
+            Err(CsdfError::Inconsistent { .. })
+        ));
+        assert!(!is_consistent(&g));
+    }
+
+    #[test]
+    fn sdf_equivalence() {
+        // The single-phase CSDF of the paper's example has the same
+        // repetition vector (3, 2, 1).
+        let mut b = buffy_graph::SdfGraph::builder("example");
+        let a = b.actor("a", 1);
+        let bb = b.actor("b", 2);
+        let c = b.actor("c", 2);
+        b.channel("alpha", a, 2, bb, 3).unwrap();
+        b.channel("beta", bb, 1, c, 2).unwrap();
+        let sdf = b.build().unwrap();
+        let csdf = CsdfGraph::from_sdf(&sdf);
+        let q = CsdfRepetitionVector::compute(&csdf).unwrap();
+        assert_eq!(q.as_slice(), &[3, 2, 1]);
+    }
+
+    use crate::model::{CsdfError, CsdfGraph};
+}

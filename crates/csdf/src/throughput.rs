@@ -1,0 +1,292 @@
+//! Throughput analysis for CSDF graphs via the reduced state space.
+//!
+//! Identical in structure to the SDF analysis (paper §7): the bounded
+//! self-timed execution is deterministic and finite-state, so it is
+//! periodic or deadlocks; the throughput of the observed actor is its
+//! number of *complete firings* (phase executions) on the cycle divided by
+//! the cycle duration. [`CsdfThroughputReport::cycle_throughput`] converts
+//! to full phase-cycles per time unit.
+
+use crate::engine::{CsdfEngine, CsdfState, CsdfStepOutcome};
+use crate::model::{CsdfError, CsdfGraph};
+use buffy_graph::{ActorId, Rational, StorageDistribution};
+use std::collections::hash_map::Entry;
+use std::collections::HashMap;
+
+/// Limits for the CSDF state-space search.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CsdfLimits {
+    /// Maximum stored reduced states.
+    pub max_states: usize,
+    /// Maximum simulated time steps.
+    pub max_steps: u64,
+}
+
+impl Default for CsdfLimits {
+    fn default() -> Self {
+        CsdfLimits {
+            max_states: 1 << 22,
+            max_steps: u64::MAX,
+        }
+    }
+}
+
+/// Result of a CSDF throughput analysis.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CsdfThroughputReport {
+    /// Phase firings of the observed actor per time step (0 on deadlock).
+    pub throughput: Rational,
+    /// Phases per full cycle of the observed actor.
+    pub phases: u64,
+    /// Whether the execution deadlocked.
+    pub deadlocked: bool,
+    /// Reduced states stored.
+    pub states_stored: usize,
+    /// Duration of the periodic phase.
+    pub period: u64,
+    /// Phase firings of the observed actor per period.
+    pub firings_per_period: u64,
+}
+
+impl CsdfThroughputReport {
+    /// Throughput in full phase-cycles of the observed actor per time
+    /// unit.
+    pub fn cycle_throughput(&self) -> Rational {
+        if self.phases == 0 {
+            return Rational::ZERO;
+        }
+        self.throughput / Rational::from(self.phases)
+    }
+}
+
+/// Computes the throughput of `observed` under the storage distribution
+/// `dist`.
+///
+/// # Errors
+///
+/// [`CsdfError::StateLimitExceeded`] / [`CsdfError::ZeroTimeLivelock`].
+///
+/// # Examples
+///
+/// A two-phase producer bursting 2 tokens every other step into a
+/// unit-rate consumer:
+///
+/// ```
+/// use buffy_csdf::{csdf_throughput, CsdfGraph, CsdfLimits};
+/// use buffy_graph::{Rational, StorageDistribution};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut b = CsdfGraph::builder("updown");
+/// let p = b.actor("p", vec![1, 1]);
+/// let c = b.actor("c", vec![1]);
+/// b.channel("d", p, vec![2, 0], c, vec![1], 0)?;
+/// let g = b.build()?;
+/// let r = csdf_throughput(&g, &StorageDistribution::from_capacities(vec![4]), c,
+///                         CsdfLimits::default())?;
+/// assert_eq!(r.throughput, Rational::ONE); // c fires every step at steady state
+/// # Ok(())
+/// # }
+/// ```
+pub fn csdf_throughput(
+    graph: &CsdfGraph,
+    dist: &StorageDistribution,
+    observed: ActorId,
+    limits: CsdfLimits,
+) -> Result<CsdfThroughputReport, CsdfError> {
+    let phases = graph.actor(observed).num_phases() as u64;
+    let mut engine = CsdfEngine::new(graph, dist);
+    let initial = engine.start_initial()?;
+
+    #[derive(PartialEq, Eq, Hash)]
+    struct Reduced {
+        state: CsdfState,
+        dist: u64,
+        firings: u32,
+    }
+
+    let mut index: HashMap<Reduced, usize> = HashMap::new();
+    let mut times: Vec<u64> = Vec::new();
+    let mut counts: Vec<u32> = Vec::new();
+    let mut last = 0u64;
+
+    let mut pending = initial
+        .completed
+        .iter()
+        .filter(|(a, _)| *a == observed)
+        .count() as u32;
+    if pending > 0 {
+        index.insert(
+            Reduced {
+                state: engine.state().clone(),
+                dist: 0,
+                firings: pending,
+            },
+            0,
+        );
+        times.push(0);
+        counts.push(pending);
+    }
+
+    loop {
+        if engine.time() >= limits.max_steps || index.len() > limits.max_states {
+            return Err(CsdfError::StateLimitExceeded {
+                limit: limits.max_states,
+            });
+        }
+        let ev = match engine.step()? {
+            CsdfStepOutcome::Deadlock => {
+                return Ok(CsdfThroughputReport {
+                    throughput: Rational::ZERO,
+                    phases,
+                    deadlocked: true,
+                    states_stored: index.len(),
+                    period: 0,
+                    firings_per_period: 0,
+                });
+            }
+            CsdfStepOutcome::Progress(ev) => ev,
+        };
+        pending = ev.completed.iter().filter(|(a, _)| *a == observed).count() as u32;
+        if pending == 0 {
+            continue;
+        }
+        let key = Reduced {
+            state: engine.state().clone(),
+            dist: engine.time() - last,
+            firings: pending,
+        };
+        last = engine.time();
+        let next = times.len();
+        match index.entry(key) {
+            Entry::Vacant(v) => {
+                v.insert(next);
+                times.push(engine.time());
+                counts.push(pending);
+            }
+            Entry::Occupied(o) => {
+                let k = *o.get();
+                let period = engine.time() - times[k];
+                let firings: u64 = counts[k..].iter().map(|&f| f as u64).sum();
+                return Ok(CsdfThroughputReport {
+                    throughput: Rational::new(firings as i128, period as i128),
+                    phases,
+                    deadlocked: false,
+                    states_stored: index.len(),
+                    period,
+                    firings_per_period: firings,
+                });
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use buffy_analysis::throughput as sdf_throughput;
+    use buffy_graph::SdfGraph;
+
+    #[test]
+    fn matches_sdf_on_single_phase_graphs() {
+        // The paper's example embedded as single-phase CSDF must reproduce
+        // every throughput value of the SDF analysis.
+        let mut b = SdfGraph::builder("example");
+        let a = b.actor("a", 1);
+        let bb = b.actor("b", 2);
+        let c = b.actor("c", 2);
+        b.channel("alpha", a, 2, bb, 3).unwrap();
+        b.channel("beta", bb, 1, c, 2).unwrap();
+        let sdf = b.build().unwrap();
+        let csdf = CsdfGraph::from_sdf(&sdf);
+        let c_sdf = sdf.actor_by_name("c").unwrap();
+        let c_csdf = csdf.actor_by_name("c").unwrap();
+        for caps in [[4u64, 2], [5, 2], [6, 2], [6, 3], [7, 3], [4, 1], [9, 9]] {
+            let d = StorageDistribution::from_capacities(caps.to_vec());
+            let s = sdf_throughput(&sdf, &d, c_sdf).unwrap();
+            let r = csdf_throughput(&csdf, &d, c_csdf, CsdfLimits::default()).unwrap();
+            assert_eq!(s.throughput, r.throughput, "caps {caps:?}");
+            assert_eq!(s.deadlocked, r.deadlocked, "caps {caps:?}");
+            assert_eq!(r.cycle_throughput(), r.throughput); // single phase
+        }
+    }
+
+    #[test]
+    fn bursty_producer_steady_state() {
+        let mut b = CsdfGraph::builder("updown");
+        let p = b.actor("p", vec![1, 1]);
+        let c = b.actor("c", vec![1]);
+        b.channel("d", p, vec![2, 0], c, vec![1], 0).unwrap();
+        let g = b.build().unwrap();
+        let c = g.actor_by_name("c").unwrap();
+        // Ample capacity: c fires every step.
+        let r = csdf_throughput(
+            &g,
+            &StorageDistribution::from_capacities(vec![4]),
+            c,
+            CsdfLimits::default(),
+        )
+        .unwrap();
+        assert_eq!(r.throughput, Rational::ONE);
+        // Capacity 2: p can only refill after c drained both tokens —
+        // throughput drops below 1.
+        let r2 = csdf_throughput(
+            &g,
+            &StorageDistribution::from_capacities(vec![2]),
+            c,
+            CsdfLimits::default(),
+        )
+        .unwrap();
+        assert!(!r2.deadlocked);
+        assert!(r2.throughput < Rational::ONE, "{}", r2.throughput);
+        // Capacity 1: the burst of 2 never fits.
+        let r3 = csdf_throughput(
+            &g,
+            &StorageDistribution::from_capacities(vec![1]),
+            c,
+            CsdfLimits::default(),
+        )
+        .unwrap();
+        assert!(r3.deadlocked);
+    }
+
+    #[test]
+    fn observed_actor_with_phases_counts_phase_firings() {
+        // Consumer with two phases consuming (1, 1): its phase throughput
+        // is twice its cycle throughput.
+        let mut b = CsdfGraph::builder("g");
+        let p = b.actor("p", vec![1]);
+        let c = b.actor("c", vec![1, 1]);
+        b.channel("d", p, vec![1], c, vec![1, 1], 0).unwrap();
+        let g = b.build().unwrap();
+        let c = g.actor_by_name("c").unwrap();
+        let r = csdf_throughput(
+            &g,
+            &StorageDistribution::from_capacities(vec![2]),
+            c,
+            CsdfLimits::default(),
+        )
+        .unwrap();
+        assert_eq!(r.cycle_throughput() * Rational::from(2u64), r.throughput);
+    }
+
+    #[test]
+    fn state_limit_enforced() {
+        let mut b = CsdfGraph::builder("g");
+        let p = b.actor("p", vec![1]);
+        let c = b.actor("c", vec![3]);
+        b.channel("d", p, vec![1], c, vec![1], 0).unwrap();
+        let g = b.build().unwrap();
+        let c = g.actor_by_name("c").unwrap();
+        let err = csdf_throughput(
+            &g,
+            &StorageDistribution::from_capacities(vec![5]),
+            c,
+            CsdfLimits {
+                max_states: 1,
+                max_steps: 2,
+            },
+        )
+        .unwrap_err();
+        assert!(matches!(err, CsdfError::StateLimitExceeded { .. }));
+    }
+}

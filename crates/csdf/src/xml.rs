@@ -1,0 +1,336 @@
+//! SDF3-style XML input/output for CSDF graphs.
+//!
+//! The SDF3 `csdf` dialect writes per-phase rates as comma-separated
+//! lists (`rate="2,0,1"`) and per-phase execution times likewise. This
+//! module reads and writes that shape, reusing the XML substrate of
+//! `buffy-graph`.
+
+use crate::model::{CsdfError, CsdfGraph};
+use buffy_graph::xml::{parse, XmlElement, XmlError};
+use core::fmt;
+use std::collections::HashMap;
+
+/// Errors raised while reading a CSDF graph from XML.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum CsdfXmlError {
+    /// Malformed XML text.
+    Parse(XmlError),
+    /// A required element or attribute is missing.
+    Missing {
+        /// Description of the missing item.
+        what: String,
+    },
+    /// An attribute value could not be interpreted.
+    Invalid {
+        /// Description of the bad value.
+        what: String,
+    },
+    /// The graph content is invalid.
+    Graph(CsdfError),
+}
+
+impl fmt::Display for CsdfXmlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CsdfXmlError::Parse(e) => write!(f, "{e}"),
+            CsdfXmlError::Missing { what } => write!(f, "missing {what}"),
+            CsdfXmlError::Invalid { what } => write!(f, "invalid {what}"),
+            CsdfXmlError::Graph(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for CsdfXmlError {}
+
+impl From<XmlError> for CsdfXmlError {
+    fn from(e: XmlError) -> Self {
+        CsdfXmlError::Parse(e)
+    }
+}
+
+impl From<CsdfError> for CsdfXmlError {
+    fn from(e: CsdfError) -> Self {
+        CsdfXmlError::Graph(e)
+    }
+}
+
+fn missing(what: impl Into<String>) -> CsdfXmlError {
+    CsdfXmlError::Missing { what: what.into() }
+}
+
+fn invalid(what: impl Into<String>) -> CsdfXmlError {
+    CsdfXmlError::Invalid { what: what.into() }
+}
+
+fn parse_list(el: &XmlElement, key: &str, value: &str) -> Result<Vec<u64>, CsdfXmlError> {
+    value
+        .split(',')
+        .map(|part| {
+            part.trim()
+                .parse::<u64>()
+                .map_err(|_| invalid(format!("attribute {key}={value:?} on <{}>", el.name)))
+        })
+        .collect()
+}
+
+fn req<'a>(el: &'a XmlElement, key: &str) -> Result<&'a str, CsdfXmlError> {
+    el.attribute(key)
+        .ok_or_else(|| missing(format!("attribute {key:?} on <{}>", el.name)))
+}
+
+/// Reads a CSDF graph from SDF3-style XML text.
+///
+/// Channels carry `srcRate`/`dstRate` comma-separated per-phase lists (or
+/// reference ports declared with such lists); execution times come from
+/// `<actorProperties>` with a comma-separated `time` attribute, defaulting
+/// to 1 per phase (phase count inferred from the rate lists).
+///
+/// # Errors
+///
+/// [`CsdfXmlError`] on malformed XML or invalid content.
+pub fn read_csdf_xml(text: &str) -> Result<CsdfGraph, CsdfXmlError> {
+    let root = parse(text)?;
+    let app = root
+        .find_descendant("applicationGraph")
+        .ok_or_else(|| missing("<applicationGraph> element"))?;
+    let body = app
+        .find_descendant("csdf")
+        .or_else(|| app.find_descendant("sdf"))
+        .ok_or_else(|| missing("<csdf> element"))?;
+    let name = app
+        .attribute("name")
+        .or_else(|| body.attribute("name"))
+        .unwrap_or("csdf-graph");
+
+    // Execution time lists.
+    let mut times: HashMap<String, Vec<u64>> = HashMap::new();
+    if let Some(props) = app.find_descendant("csdfProperties").or_else(|| app.find_descendant("sdfProperties")) {
+        for ap in props.find_all("actorProperties") {
+            let actor = req(ap, "actor")?;
+            if let Some(et) = ap.find_descendant("executionTime") {
+                times.insert(actor.to_string(), parse_list(et, "time", req(et, "time")?)?);
+            }
+        }
+    }
+
+    // Ports (optional; compact channels carry rates directly).
+    let mut port_rates: HashMap<(String, String), Vec<u64>> = HashMap::new();
+    let mut actor_names = Vec::new();
+    for actor_el in body.find_all("actor") {
+        let a = req(actor_el, "name")?.to_string();
+        for port in actor_el.find_all("port") {
+            let p = req(port, "name")?.to_string();
+            port_rates.insert((a.clone(), p), parse_list(port, "rate", req(port, "rate")?)?);
+        }
+        actor_names.push(a);
+    }
+
+    // First pass: determine phase counts from rates or times.
+    let mut phases: HashMap<String, usize> = HashMap::new();
+    let mut rate_of = |ch: &XmlElement, actor: &str, rate_key: &str, port_key: &str| -> Result<Vec<u64>, CsdfXmlError> {
+        match (ch.attribute(rate_key), ch.attribute(port_key)) {
+            (Some(r), _) => parse_list(ch, rate_key, r),
+            (None, Some(p)) => port_rates
+                .get(&(actor.to_string(), p.to_string()))
+                .cloned()
+                .ok_or_else(|| missing(format!("port {p:?} on actor {actor:?}"))),
+            (None, None) => Err(missing(format!(
+                "{rate_key} or {port_key} on channel {:?}",
+                ch.attribute("name").unwrap_or("?")
+            ))),
+        }
+    };
+
+    struct RawChannel {
+        name: String,
+        src: String,
+        dst: String,
+        prod: Vec<u64>,
+        cons: Vec<u64>,
+        tokens: u64,
+    }
+    let mut raw = Vec::new();
+    for ch in body.find_all("channel") {
+        let cname = req(ch, "name")?.to_string();
+        let src = req(ch, "srcActor")?.to_string();
+        let dst = req(ch, "dstActor")?.to_string();
+        let prod = rate_of(ch, &src, "srcRate", "srcPort")?;
+        let cons = rate_of(ch, &dst, "dstRate", "dstPort")?;
+        let tokens = match ch.attribute("initialTokens") {
+            Some(t) => t
+                .trim()
+                .parse()
+                .map_err(|_| invalid(format!("initialTokens={t:?} on channel {cname:?}")))?,
+            None => 0,
+        };
+        phases.entry(src.clone()).or_insert(prod.len());
+        phases.entry(dst.clone()).or_insert(cons.len());
+        raw.push(RawChannel {
+            name: cname,
+            src,
+            dst,
+            prod,
+            cons,
+            tokens,
+        });
+    }
+
+    let mut b = CsdfGraph::builder(name);
+    let mut ids = HashMap::new();
+    for a in &actor_names {
+        let t = match times.get(a) {
+            Some(t) => t.clone(),
+            None => vec![1; phases.get(a).copied().unwrap_or(1)],
+        };
+        ids.insert(a.clone(), b.actor(a, t));
+    }
+    for ch in raw {
+        let src = *ids
+            .get(&ch.src)
+            .ok_or_else(|| missing(format!("actor {:?} referenced by channel {:?}", ch.src, ch.name)))?;
+        let dst = *ids
+            .get(&ch.dst)
+            .ok_or_else(|| missing(format!("actor {:?} referenced by channel {:?}", ch.dst, ch.name)))?;
+        b.channel(ch.name, src, ch.prod, dst, ch.cons, ch.tokens)?;
+    }
+    Ok(b.build()?)
+}
+
+fn join(values: &[u64]) -> String {
+    values
+        .iter()
+        .map(|v| v.to_string())
+        .collect::<Vec<_>>()
+        .join(",")
+}
+
+/// Serializes a CSDF graph as SDF3-style XML (the `csdf` dialect); output
+/// round-trips through [`read_csdf_xml`].
+pub fn write_csdf_xml(graph: &CsdfGraph) -> String {
+    let mut body = XmlElement::new("csdf")
+        .attr("name", graph.name())
+        .attr("type", graph.name());
+    for (_, actor) in graph.actors() {
+        body = body.child(XmlElement::new("actor").attr("name", actor.name()).attr("type", actor.name()));
+    }
+    for (_, ch) in graph.channels() {
+        let mut el = XmlElement::new("channel")
+            .attr("name", ch.name())
+            .attr("srcActor", graph.actor(ch.source()).name())
+            .attr("srcRate", join(ch.production()))
+            .attr("dstActor", graph.actor(ch.target()).name())
+            .attr("dstRate", join(ch.consumption()));
+        if ch.initial_tokens() > 0 {
+            el = el.attr("initialTokens", ch.initial_tokens());
+        }
+        body = body.child(el);
+    }
+    let mut props = XmlElement::new("csdfProperties");
+    for (_, actor) in graph.actors() {
+        props = props.child(
+            XmlElement::new("actorProperties")
+                .attr("actor", actor.name())
+                .child(
+                    XmlElement::new("processor")
+                        .attr("type", "default")
+                        .attr("default", "true")
+                        .child(
+                            XmlElement::new("executionTime")
+                                .attr("time", join(actor.phase_times())),
+                        ),
+                ),
+        );
+    }
+    let root = XmlElement::new("sdf3")
+        .attr("type", "csdf")
+        .attr("version", "1.0")
+        .child(
+            XmlElement::new("applicationGraph")
+                .attr("name", graph.name())
+                .child(body)
+                .child(props),
+        );
+    let mut out = String::from("<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n");
+    out.push_str(&root.to_xml_string());
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn updown() -> CsdfGraph {
+        let mut b = CsdfGraph::builder("updown");
+        let p = b.actor("p", vec![1, 2]);
+        let c = b.actor("c", vec![3]);
+        b.channel("d", p, vec![2, 0], c, vec![1], 1).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn roundtrip() {
+        let g = updown();
+        let text = write_csdf_xml(&g);
+        assert!(text.contains("srcRate=\"2,0\""));
+        assert!(text.contains("time=\"1,2\""));
+        let back = read_csdf_xml(&text).unwrap();
+        assert_eq!(g, back);
+    }
+
+    #[test]
+    fn reads_handwritten_document() {
+        let g = read_csdf_xml(
+            r#"<sdf3 type="csdf"><applicationGraph name="g"><csdf name="g">
+                 <actor name="x"/><actor name="y"/>
+                 <channel name="c" srcActor="x" srcRate="1,0,2" dstActor="y" dstRate="1" initialTokens="2"/>
+               </csdf>
+               <csdfProperties>
+                 <actorProperties actor="x"><processor type="p" default="true"><executionTime time="1,1,3"/></processor></actorProperties>
+               </csdfProperties>
+               </applicationGraph></sdf3>"#,
+        )
+        .unwrap();
+        let x = g.actor_by_name("x").unwrap();
+        assert_eq!(g.actor(x).phase_times(), &[1, 1, 3]);
+        let c = g.channel_by_name("c").unwrap();
+        assert_eq!(g.channel(c).production(), &[1, 0, 2]);
+        assert_eq!(g.channel(c).initial_tokens(), 2);
+        // y's phase count inferred from the rate list; default time 1.
+        let y = g.actor_by_name("y").unwrap();
+        assert_eq!(g.actor(y).phase_times(), &[1]);
+    }
+
+    #[test]
+    fn errors_reported() {
+        assert!(matches!(
+            read_csdf_xml("<sdf3/>"),
+            Err(CsdfXmlError::Missing { .. })
+        ));
+        assert!(matches!(
+            read_csdf_xml("<sdf3><applicationGraph name=\"g\"><csdf name=\"g\"><actor name=\"x\"/><channel name=\"c\" srcActor=\"x\" dstActor=\"x\" dstRate=\"1\"/></csdf></applicationGraph></sdf3>"),
+            Err(CsdfXmlError::Missing { .. })
+        ));
+        assert!(matches!(
+            read_csdf_xml("<sdf3><applicationGraph name=\"g\"><csdf name=\"g\"><actor name=\"x\"/><channel name=\"c\" srcActor=\"x\" srcRate=\"z\" dstActor=\"x\" dstRate=\"1\"/></csdf></applicationGraph></sdf3>"),
+            Err(CsdfXmlError::Invalid { .. })
+        ));
+        assert!(matches!(read_csdf_xml("<oops"), Err(CsdfXmlError::Parse(_))));
+    }
+
+    #[test]
+    fn sdf_documents_also_load() {
+        // A plain <sdf> document with scalar rates loads as single-phase
+        // CSDF.
+        let g = read_csdf_xml(
+            r#"<sdf3><applicationGraph name="g"><sdf name="g">
+                 <actor name="x"/><actor name="y"/>
+                 <channel name="c" srcActor="x" srcRate="2" dstActor="y" dstRate="3"/>
+               </sdf></applicationGraph></sdf3>"#,
+        )
+        .unwrap();
+        let c = g.channel_by_name("c").unwrap();
+        assert_eq!(g.channel(c).production(), &[2]);
+        assert_eq!(g.channel(c).consumption(), &[3]);
+    }
+}

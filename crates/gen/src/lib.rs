@@ -1,0 +1,21 @@
+//! # buffy-gen
+//!
+//! Benchmark workloads for **buffy-rs**: the six graphs of the paper's
+//! experimental evaluation ([`gallery`]) and seeded random
+//! consistent-graph generators ([`random`]) used by property tests and
+//! scalability benchmarks.
+//!
+//! ```
+//! use buffy_gen::gallery;
+//! let g = gallery::example();
+//! assert_eq!(g.num_actors(), 3);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+#![forbid(unsafe_code)]
+
+pub mod gallery;
+pub mod random;
+
+pub use random::{chain, ring, RandomGraphConfig};

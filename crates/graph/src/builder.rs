@@ -1,0 +1,248 @@
+//! Incremental construction of [`SdfGraph`]s.
+
+use crate::error::GraphError;
+use crate::graph::{Actor, Channel, SdfGraph};
+use crate::ids::{ActorId, ChannelId};
+use std::collections::HashSet;
+
+/// Builder for [`SdfGraph`] ([C-BUILDER]).
+///
+/// Channel rates must be strictly positive; violations are reported when the
+/// channel is added, duplicate names when [`build`](Self::build) runs.
+///
+/// # Examples
+///
+/// ```
+/// use buffy_graph::SdfGraph;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut b = SdfGraph::builder("pipeline");
+/// let src = b.actor("src", 1);
+/// let dst = b.actor("dst", 3);
+/// b.channel_with_tokens("data", src, 4, dst, 2, 2)?;
+/// let graph = b.build()?;
+/// assert_eq!(graph.channel_by_name("data").map(|c| graph.channel(c).initial_tokens()), Some(2));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct SdfGraphBuilder {
+    name: String,
+    actors: Vec<Actor>,
+    channels: Vec<Channel>,
+}
+
+impl SdfGraphBuilder {
+    /// Creates an empty builder for a graph with the given name.
+    pub fn new(name: impl Into<String>) -> SdfGraphBuilder {
+        SdfGraphBuilder {
+            name: name.into(),
+            actors: Vec::new(),
+            channels: Vec::new(),
+        }
+    }
+
+    /// Adds an actor with the given name and execution time and returns its
+    /// id.
+    pub fn actor(&mut self, name: impl Into<String>, execution_time: u64) -> ActorId {
+        let id = ActorId::new(self.actors.len());
+        self.actors.push(Actor {
+            name: name.into(),
+            execution_time,
+        });
+        id
+    }
+
+    /// Adds a channel with no initial tokens.
+    ///
+    /// `production` tokens are produced per firing of `source`;
+    /// `consumption` tokens are consumed per firing of `target`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::ZeroRate`] if either rate is zero and
+    /// [`GraphError::UnknownActor`] if an id is out of range.
+    pub fn channel(
+        &mut self,
+        name: impl Into<String>,
+        source: ActorId,
+        production: u64,
+        target: ActorId,
+        consumption: u64,
+    ) -> Result<ChannelId, GraphError> {
+        self.channel_with_tokens(name, source, production, target, consumption, 0)
+    }
+
+    /// Adds a channel carrying `initial_tokens` tokens at start time.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::ZeroRate`] if either rate is zero and
+    /// [`GraphError::UnknownActor`] if an id is out of range.
+    pub fn channel_with_tokens(
+        &mut self,
+        name: impl Into<String>,
+        source: ActorId,
+        production: u64,
+        target: ActorId,
+        consumption: u64,
+        initial_tokens: u64,
+    ) -> Result<ChannelId, GraphError> {
+        let name = name.into();
+        if production == 0 || consumption == 0 {
+            return Err(GraphError::ZeroRate { channel: name });
+        }
+        for id in [source, target] {
+            if id.index() >= self.actors.len() {
+                return Err(GraphError::UnknownActor {
+                    name: format!("{id}"),
+                });
+            }
+        }
+        let cid = ChannelId::new(self.channels.len());
+        self.channels.push(Channel {
+            name,
+            source,
+            target,
+            production,
+            consumption,
+            initial_tokens,
+        });
+        Ok(cid)
+    }
+
+    /// Number of actors added so far.
+    pub fn num_actors(&self) -> usize {
+        self.actors.len()
+    }
+
+    /// Number of channels added so far.
+    pub fn num_channels(&self) -> usize {
+        self.channels.len()
+    }
+
+    /// Finalizes the graph.
+    ///
+    /// # Errors
+    ///
+    /// - [`GraphError::EmptyGraph`] if no actor was added;
+    /// - [`GraphError::DuplicateActorName`] / [`GraphError::DuplicateChannelName`]
+    ///   on name clashes.
+    pub fn build(self) -> Result<SdfGraph, GraphError> {
+        if self.actors.is_empty() {
+            return Err(GraphError::EmptyGraph);
+        }
+        let mut actor_names = HashSet::new();
+        for a in &self.actors {
+            if !actor_names.insert(a.name.clone()) {
+                return Err(GraphError::DuplicateActorName {
+                    name: a.name.clone(),
+                });
+            }
+        }
+        let mut channel_names = HashSet::new();
+        for c in &self.channels {
+            if !channel_names.insert(c.name.clone()) {
+                return Err(GraphError::DuplicateChannelName {
+                    name: c.name.clone(),
+                });
+            }
+        }
+        let mut outputs = vec![Vec::new(); self.actors.len()];
+        let mut inputs = vec![Vec::new(); self.actors.len()];
+        for (i, c) in self.channels.iter().enumerate() {
+            outputs[c.source.index()].push(ChannelId::new(i));
+            inputs[c.target.index()].push(ChannelId::new(i));
+        }
+        Ok(SdfGraph {
+            name: self.name,
+            actors: self.actors,
+            channels: self.channels,
+            outputs,
+            inputs,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_rate_rejected() {
+        let mut b = SdfGraphBuilder::new("g");
+        let x = b.actor("x", 1);
+        let y = b.actor("y", 1);
+        assert!(matches!(
+            b.channel("c", x, 0, y, 1),
+            Err(GraphError::ZeroRate { .. })
+        ));
+        assert!(matches!(
+            b.channel("c", x, 1, y, 0),
+            Err(GraphError::ZeroRate { .. })
+        ));
+    }
+
+    #[test]
+    fn unknown_actor_rejected() {
+        let mut b = SdfGraphBuilder::new("g");
+        let x = b.actor("x", 1);
+        let bogus = ActorId::new(42);
+        assert!(matches!(
+            b.channel("c", x, 1, bogus, 1),
+            Err(GraphError::UnknownActor { .. })
+        ));
+    }
+
+    #[test]
+    fn duplicate_names_rejected() {
+        let mut b = SdfGraphBuilder::new("g");
+        b.actor("x", 1);
+        b.actor("x", 2);
+        assert!(matches!(
+            b.build(),
+            Err(GraphError::DuplicateActorName { .. })
+        ));
+
+        let mut b = SdfGraphBuilder::new("g");
+        let x = b.actor("x", 1);
+        let y = b.actor("y", 1);
+        b.channel("c", x, 1, y, 1).unwrap();
+        b.channel("c", y, 1, x, 1).unwrap();
+        assert!(matches!(
+            b.build(),
+            Err(GraphError::DuplicateChannelName { .. })
+        ));
+    }
+
+    #[test]
+    fn empty_graph_rejected() {
+        assert!(matches!(
+            SdfGraphBuilder::new("g").build(),
+            Err(GraphError::EmptyGraph)
+        ));
+    }
+
+    #[test]
+    fn counters_track_additions() {
+        let mut b = SdfGraphBuilder::new("g");
+        assert_eq!(b.num_actors(), 0);
+        let x = b.actor("x", 1);
+        let y = b.actor("y", 1);
+        assert_eq!(b.num_actors(), 2);
+        b.channel("c", x, 1, y, 1).unwrap();
+        assert_eq!(b.num_channels(), 1);
+    }
+
+    #[test]
+    fn adjacency_in_insertion_order() {
+        let mut b = SdfGraphBuilder::new("g");
+        let x = b.actor("x", 1);
+        let y = b.actor("y", 1);
+        let c0 = b.channel("c0", x, 1, y, 1).unwrap();
+        let c1 = b.channel("c1", x, 2, y, 2).unwrap();
+        let g = b.build().unwrap();
+        assert_eq!(g.output_channels(x), &[c0, c1]);
+        assert_eq!(g.input_channels(y), &[c0, c1]);
+    }
+}

@@ -1,0 +1,238 @@
+//! Storage distributions: per-channel buffer capacities.
+//!
+//! A *storage distribution* `γ : C → ℕ` assigns every channel the maximum
+//! number of tokens it may hold (paper Def. 1). Its *distribution size*
+//! `sz(γ)` is the sum of the capacities (Def. 2); in the paper's storage
+//! model channels cannot share memory, so the size is the total memory the
+//! implementation needs.
+
+use crate::graph::SdfGraph;
+use crate::ids::ChannelId;
+use core::fmt;
+
+/// A storage distribution: one capacity per channel (paper Def. 1).
+///
+/// # Examples
+///
+/// ```
+/// use buffy_graph::StorageDistribution;
+///
+/// let d = StorageDistribution::from_capacities(vec![4, 2]);
+/// assert_eq!(d.size(), 6);
+/// assert_eq!(d.to_string(), "<4, 2>");
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct StorageDistribution {
+    capacities: Vec<u64>,
+}
+
+impl StorageDistribution {
+    /// A distribution giving every one of `num_channels` channels the same
+    /// capacity.
+    pub fn uniform(num_channels: usize, capacity: u64) -> StorageDistribution {
+        StorageDistribution {
+            capacities: vec![capacity; num_channels],
+        }
+    }
+
+    /// Wraps an explicit capacity vector (indexed by channel index).
+    pub fn from_capacities(capacities: Vec<u64>) -> StorageDistribution {
+        StorageDistribution { capacities }
+    }
+
+    /// Builds a distribution for `graph` by naming channels.
+    ///
+    /// # Errors
+    ///
+    /// Returns the offending name if a channel does not exist.
+    pub fn from_named(
+        graph: &SdfGraph,
+        entries: &[(&str, u64)],
+    ) -> Result<StorageDistribution, crate::GraphError> {
+        let mut caps = vec![0u64; graph.num_channels()];
+        for &(name, cap) in entries {
+            let id = graph
+                .channel_by_name(name)
+                .ok_or_else(|| crate::GraphError::UnknownChannel { name: name.into() })?;
+            caps[id.index()] = cap;
+        }
+        Ok(StorageDistribution { capacities: caps })
+    }
+
+    /// The capacity of `channel`.
+    pub fn get(&self, channel: ChannelId) -> u64 {
+        self.capacities[channel.index()]
+    }
+
+    /// Sets the capacity of `channel`.
+    pub fn set(&mut self, channel: ChannelId, capacity: u64) {
+        self.capacities[channel.index()] = capacity;
+    }
+
+    /// Returns a copy with `channel` grown by `step` tokens.
+    pub fn grown(&self, channel: ChannelId, step: u64) -> StorageDistribution {
+        let mut d = self.clone();
+        d.capacities[channel.index()] += step;
+        d
+    }
+
+    /// The distribution size `sz(γ) = Σ_c γ(c)` (paper Def. 2).
+    pub fn size(&self) -> u64 {
+        self.capacities.iter().sum()
+    }
+
+    /// Number of channels covered.
+    pub fn len(&self) -> usize {
+        self.capacities.len()
+    }
+
+    /// Whether the distribution covers no channels.
+    pub fn is_empty(&self) -> bool {
+        self.capacities.is_empty()
+    }
+
+    /// The capacities as a slice, indexed by channel index.
+    pub fn as_slice(&self) -> &[u64] {
+        &self.capacities
+    }
+
+    /// Whether every capacity of `self` is ≥ the corresponding capacity of
+    /// `other` (pointwise dominance). Throughput is monotone under this
+    /// order (paper §9).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the distributions cover different channel counts.
+    pub fn dominates(&self, other: &StorageDistribution) -> bool {
+        assert_eq!(
+            self.capacities.len(),
+            other.capacities.len(),
+            "distributions must cover the same channels"
+        );
+        self.capacities
+            .iter()
+            .zip(&other.capacities)
+            .all(|(a, b)| a >= b)
+    }
+
+    /// Pointwise maximum of two distributions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the distributions cover different channel counts.
+    pub fn join(&self, other: &StorageDistribution) -> StorageDistribution {
+        assert_eq!(self.capacities.len(), other.capacities.len());
+        StorageDistribution {
+            capacities: self
+                .capacities
+                .iter()
+                .zip(&other.capacities)
+                .map(|(a, b)| *a.max(b))
+                .collect(),
+        }
+    }
+}
+
+impl core::ops::Index<ChannelId> for StorageDistribution {
+    type Output = u64;
+    fn index(&self, channel: ChannelId) -> &u64 {
+        &self.capacities[channel.index()]
+    }
+}
+
+impl FromIterator<u64> for StorageDistribution {
+    fn from_iter<I: IntoIterator<Item = u64>>(iter: I) -> Self {
+        StorageDistribution {
+            capacities: iter.into_iter().collect(),
+        }
+    }
+}
+
+impl fmt::Display for StorageDistribution {
+    /// Formats as the paper's `⟨…⟩` notation (ASCII variant `<4, 2>`).
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "<")?;
+        for (i, c) in self.capacities.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{c}")?;
+        }
+        write!(f, ">")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn size_and_access() {
+        let mut d = StorageDistribution::from_capacities(vec![4, 2]);
+        assert_eq!(d.size(), 6);
+        assert_eq!(d.get(ChannelId::new(0)), 4);
+        assert_eq!(d[ChannelId::new(1)], 2);
+        d.set(ChannelId::new(1), 3);
+        assert_eq!(d.size(), 7);
+        assert_eq!(d.len(), 2);
+        assert!(!d.is_empty());
+    }
+
+    #[test]
+    fn uniform_and_collect() {
+        let d = StorageDistribution::uniform(3, 5);
+        assert_eq!(d.as_slice(), &[5, 5, 5]);
+        let d: StorageDistribution = [1u64, 2, 3].into_iter().collect();
+        assert_eq!(d.size(), 6);
+    }
+
+    #[test]
+    fn dominance() {
+        let a = StorageDistribution::from_capacities(vec![4, 2]);
+        let b = StorageDistribution::from_capacities(vec![4, 1]);
+        let c = StorageDistribution::from_capacities(vec![3, 3]);
+        assert!(a.dominates(&b));
+        assert!(!b.dominates(&a));
+        assert!(a.dominates(&a));
+        assert!(!a.dominates(&c));
+        assert!(!c.dominates(&a));
+        assert_eq!(a.join(&c).as_slice(), &[4, 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "same channels")]
+    fn dominance_length_mismatch_panics() {
+        let a = StorageDistribution::from_capacities(vec![4, 2]);
+        let b = StorageDistribution::from_capacities(vec![4]);
+        let _ = a.dominates(&b);
+    }
+
+    #[test]
+    fn grown_is_pure() {
+        let a = StorageDistribution::from_capacities(vec![4, 2]);
+        let b = a.grown(ChannelId::new(0), 2);
+        assert_eq!(a.as_slice(), &[4, 2]);
+        assert_eq!(b.as_slice(), &[6, 2]);
+    }
+
+    #[test]
+    fn named_construction() {
+        let mut b = SdfGraph::builder("g");
+        let x = b.actor("x", 1);
+        let y = b.actor("y", 1);
+        b.channel("alpha", x, 2, y, 3).unwrap();
+        b.channel("beta", x, 1, y, 1).unwrap();
+        let g = b.build().unwrap();
+        let d = StorageDistribution::from_named(&g, &[("alpha", 4), ("beta", 2)]).unwrap();
+        assert_eq!(d.as_slice(), &[4, 2]);
+        assert!(StorageDistribution::from_named(&g, &[("nope", 1)]).is_err());
+    }
+
+    #[test]
+    fn display_matches_paper_notation() {
+        let d = StorageDistribution::from_capacities(vec![1, 2, 3, 3]);
+        assert_eq!(d.to_string(), "<1, 2, 3, 3>");
+        assert_eq!(StorageDistribution::from_capacities(vec![]).to_string(), "<>");
+    }
+}

@@ -1,0 +1,90 @@
+//! Graphviz DOT export.
+
+use crate::graph::SdfGraph;
+use core::fmt::Write as _;
+
+/// Renders the graph in Graphviz DOT syntax.
+///
+/// Actors become nodes labelled `name (execution time)`; channels become
+/// edges labelled with their rates and initial-token count.
+///
+/// ```
+/// # use buffy_graph::{SdfGraph, dot::to_dot};
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut b = SdfGraph::builder("g");
+/// let x = b.actor("x", 1);
+/// let y = b.actor("y", 2);
+/// b.channel_with_tokens("c", x, 2, y, 3, 1)?;
+/// let dot = to_dot(&b.build()?);
+/// assert!(dot.contains("digraph"));
+/// assert!(dot.contains("\"x\" -> \"y\""));
+/// # Ok(())
+/// # }
+/// ```
+pub fn to_dot(graph: &SdfGraph) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph \"{}\" {{", graph.name());
+    let _ = writeln!(out, "  rankdir=LR;");
+    let _ = writeln!(out, "  node [shape=circle];");
+    for (_, actor) in graph.actors() {
+        let _ = writeln!(
+            out,
+            "  \"{}\" [label=\"{}\\n({})\"];",
+            actor.name(),
+            actor.name(),
+            actor.execution_time()
+        );
+    }
+    for (_, ch) in graph.channels() {
+        let tokens = if ch.initial_tokens() > 0 {
+            format!(" [{}]", ch.initial_tokens())
+        } else {
+            String::new()
+        };
+        let _ = writeln!(
+            out,
+            "  \"{}\" -> \"{}\" [label=\"{}: {}:{}{}\", taillabel=\"{}\", headlabel=\"{}\"];",
+            graph.actor(ch.source()).name(),
+            graph.actor(ch.target()).name(),
+            ch.name(),
+            ch.production(),
+            ch.consumption(),
+            tokens,
+            ch.production(),
+            ch.consumption()
+        );
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::SdfGraph;
+
+    #[test]
+    fn dot_structure() {
+        let mut b = SdfGraph::builder("example");
+        let a = b.actor("a", 1);
+        let bb = b.actor("b", 2);
+        b.channel_with_tokens("alpha", a, 2, bb, 3, 4).unwrap();
+        let g = b.build().unwrap();
+        let dot = to_dot(&g);
+        assert!(dot.starts_with("digraph \"example\""));
+        assert!(dot.contains("\"a\" [label=\"a\\n(1)\"]"));
+        assert!(dot.contains("alpha: 2:3 [4]"));
+        assert!(dot.ends_with("}\n"));
+    }
+
+    #[test]
+    fn no_initial_tokens_no_bracket() {
+        let mut b = SdfGraph::builder("g");
+        let a = b.actor("a", 1);
+        let bb = b.actor("b", 1);
+        b.channel("c", a, 1, bb, 1).unwrap();
+        let dot = to_dot(&b.build().unwrap());
+        assert!(dot.contains("c: 1:1\""));
+        assert!(!dot.contains("1:1 ["));
+    }
+}

@@ -1,0 +1,93 @@
+//! Error types for graph construction and validation.
+
+use core::fmt;
+
+/// Errors raised while building or validating an SDF graph.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum GraphError {
+    /// Two actors were given the same name.
+    DuplicateActorName {
+        /// The clashing name.
+        name: String,
+    },
+    /// Two channels were given the same name.
+    DuplicateChannelName {
+        /// The clashing name.
+        name: String,
+    },
+    /// A port rate was zero; SDF rates must be strictly positive.
+    ZeroRate {
+        /// Name of the offending channel.
+        channel: String,
+    },
+    /// The graph has no actors.
+    EmptyGraph,
+    /// The balance equations have no non-trivial solution: the graph is
+    /// inconsistent and cannot execute within bounded memory (paper §3).
+    Inconsistent {
+        /// Name of a channel whose balance equation is violated.
+        channel: String,
+    },
+    /// A repetition-vector entry overflowed the `u64` range.
+    RepetitionOverflow,
+    /// An actor name was not found during lookup.
+    UnknownActor {
+        /// The name that failed to resolve.
+        name: String,
+    },
+    /// A channel name was not found during lookup.
+    UnknownChannel {
+        /// The name that failed to resolve.
+        name: String,
+    },
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::DuplicateActorName { name } => {
+                write!(f, "duplicate actor name {name:?}")
+            }
+            GraphError::DuplicateChannelName { name } => {
+                write!(f, "duplicate channel name {name:?}")
+            }
+            GraphError::ZeroRate { channel } => {
+                write!(f, "channel {channel:?} has a zero port rate")
+            }
+            GraphError::EmptyGraph => write!(f, "graph has no actors"),
+            GraphError::Inconsistent { channel } => {
+                write!(f, "graph is inconsistent: balance equation of channel {channel:?} has no non-trivial solution")
+            }
+            GraphError::RepetitionOverflow => {
+                write!(f, "repetition vector entry overflows u64")
+            }
+            GraphError::UnknownActor { name } => write!(f, "unknown actor {name:?}"),
+            GraphError::UnknownChannel { name } => write!(f, "unknown channel {name:?}"),
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = GraphError::Inconsistent {
+            channel: "alpha".into(),
+        };
+        let s = e.to_string();
+        assert!(s.contains("inconsistent"));
+        assert!(s.contains("alpha"));
+        assert!(GraphError::EmptyGraph.to_string().contains("no actors"));
+    }
+
+    #[test]
+    fn error_trait_is_implemented() {
+        fn takes_error<E: std::error::Error + Send + Sync + 'static>(_: E) {}
+        takes_error(GraphError::EmptyGraph);
+    }
+}

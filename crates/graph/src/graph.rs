@@ -1,0 +1,377 @@
+//! The Synchronous Dataflow graph model.
+//!
+//! An SDF graph is a pair `(A, C)` of actors and channels (paper §2). Every
+//! firing of an actor consumes a fixed number of tokens (the *consumption
+//! rate*) from each input channel and produces a fixed number (the
+//! *production rate*) on each output channel. Channels may carry initial
+//! tokens. Each actor has an execution time in discrete time steps.
+//!
+//! Graphs are immutable once built; construct them with
+//! [`SdfGraph::builder`].
+
+use crate::builder::SdfGraphBuilder;
+use crate::ids::{ActorId, ChannelId};
+
+/// An actor: a node of the graph, firing with a fixed execution time.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Actor {
+    pub(crate) name: String,
+    pub(crate) execution_time: u64,
+}
+
+impl Actor {
+    /// The actor's unique name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Time needed for one firing, in discrete time steps (paper §2).
+    ///
+    /// Zero is allowed; zero-time firings complete within the time step in
+    /// which they start.
+    pub fn execution_time(&self) -> u64 {
+        self.execution_time
+    }
+}
+
+/// A channel: a directed edge carrying tokens from one actor to another.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Channel {
+    pub(crate) name: String,
+    pub(crate) source: ActorId,
+    pub(crate) target: ActorId,
+    pub(crate) production: u64,
+    pub(crate) consumption: u64,
+    pub(crate) initial_tokens: u64,
+}
+
+impl Channel {
+    /// The channel's unique name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The producing actor.
+    pub fn source(&self) -> ActorId {
+        self.source
+    }
+
+    /// The consuming actor.
+    pub fn target(&self) -> ActorId {
+        self.target
+    }
+
+    /// Tokens produced per firing of the source actor (port rate).
+    pub fn production(&self) -> u64 {
+        self.production
+    }
+
+    /// Tokens consumed per firing of the target actor (port rate).
+    pub fn consumption(&self) -> u64 {
+        self.consumption
+    }
+
+    /// Tokens present on the channel at start time.
+    pub fn initial_tokens(&self) -> u64 {
+        self.initial_tokens
+    }
+
+    /// Whether this channel connects an actor to itself.
+    pub fn is_self_loop(&self) -> bool {
+        self.source == self.target
+    }
+}
+
+/// An immutable Synchronous Dataflow graph.
+///
+/// # Examples
+///
+/// The running example of the paper (Fig. 1): three actors `a`, `b`, `c`
+/// with execution times 1, 2, 2 and channels `α: a→b` (rates 2:3) and
+/// `β: b→c` (rates 1:2).
+///
+/// ```
+/// use buffy_graph::SdfGraph;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut b = SdfGraph::builder("example");
+/// let a = b.actor("a", 1);
+/// let bb = b.actor("b", 2);
+/// let c = b.actor("c", 2);
+/// b.channel("alpha", a, 2, bb, 3)?;
+/// b.channel("beta", bb, 1, c, 2)?;
+/// let g = b.build()?;
+/// assert_eq!(g.num_actors(), 3);
+/// assert_eq!(g.num_channels(), 2);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct SdfGraph {
+    pub(crate) name: String,
+    pub(crate) actors: Vec<Actor>,
+    pub(crate) channels: Vec<Channel>,
+    /// Outgoing channels per actor, in insertion order.
+    pub(crate) outputs: Vec<Vec<ChannelId>>,
+    /// Incoming channels per actor, in insertion order.
+    pub(crate) inputs: Vec<Vec<ChannelId>>,
+}
+
+impl SdfGraph {
+    /// Starts building a graph with the given name.
+    pub fn builder(name: impl Into<String>) -> SdfGraphBuilder {
+        SdfGraphBuilder::new(name)
+    }
+
+    /// The graph's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of actors `|A|`.
+    pub fn num_actors(&self) -> usize {
+        self.actors.len()
+    }
+
+    /// Number of channels `|C|`.
+    pub fn num_channels(&self) -> usize {
+        self.channels.len()
+    }
+
+    /// The actor with the given id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of range (ids from a different graph).
+    pub fn actor(&self, id: ActorId) -> &Actor {
+        &self.actors[id.index()]
+    }
+
+    /// The channel with the given id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of range (ids from a different graph).
+    pub fn channel(&self, id: ChannelId) -> &Channel {
+        &self.channels[id.index()]
+    }
+
+    /// Iterates over `(id, actor)` pairs.
+    pub fn actors(&self) -> impl Iterator<Item = (ActorId, &Actor)> {
+        self.actors
+            .iter()
+            .enumerate()
+            .map(|(i, a)| (ActorId::new(i), a))
+    }
+
+    /// Iterates over `(id, channel)` pairs.
+    pub fn channels(&self) -> impl Iterator<Item = (ChannelId, &Channel)> {
+        self.channels
+            .iter()
+            .enumerate()
+            .map(|(i, c)| (ChannelId::new(i), c))
+    }
+
+    /// Iterates over all actor ids.
+    pub fn actor_ids(&self) -> impl Iterator<Item = ActorId> {
+        (0..self.actors.len()).map(ActorId::new)
+    }
+
+    /// Iterates over all channel ids.
+    pub fn channel_ids(&self) -> impl Iterator<Item = ChannelId> {
+        (0..self.channels.len()).map(ChannelId::new)
+    }
+
+    /// Channels produced into by `actor`.
+    pub fn output_channels(&self, actor: ActorId) -> &[ChannelId] {
+        &self.outputs[actor.index()]
+    }
+
+    /// Channels consumed from by `actor`.
+    pub fn input_channels(&self, actor: ActorId) -> &[ChannelId] {
+        &self.inputs[actor.index()]
+    }
+
+    /// Looks up an actor by name.
+    ///
+    /// ```
+    /// # use buffy_graph::SdfGraph;
+    /// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+    /// let mut b = SdfGraph::builder("g");
+    /// let a = b.actor("src", 1);
+    /// let g = b.build()?;
+    /// assert_eq!(g.actor_by_name("src"), Some(a));
+    /// assert_eq!(g.actor_by_name("nope"), None);
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn actor_by_name(&self, name: &str) -> Option<ActorId> {
+        self.actors
+            .iter()
+            .position(|a| a.name == name)
+            .map(ActorId::new)
+    }
+
+    /// Looks up a channel by name.
+    pub fn channel_by_name(&self, name: &str) -> Option<ChannelId> {
+        self.channels
+            .iter()
+            .position(|c| c.name == name)
+            .map(ChannelId::new)
+    }
+
+    /// Actors with no input channels (pure producers).
+    pub fn sources(&self) -> Vec<ActorId> {
+        self.actor_ids()
+            .filter(|&a| self.inputs[a.index()].is_empty())
+            .collect()
+    }
+
+    /// Actors with no output channels (pure consumers).
+    ///
+    /// The last sink (or the last actor, if there is none) is the default
+    /// observed actor for throughput analyses.
+    pub fn sinks(&self) -> Vec<ActorId> {
+        self.actor_ids()
+            .filter(|&a| self.outputs[a.index()].is_empty())
+            .collect()
+    }
+
+    /// The default actor whose throughput is observed: the first sink, or
+    /// the last actor when the graph has no sink (e.g. fully cyclic graphs).
+    pub fn default_observed_actor(&self) -> ActorId {
+        self.sinks()
+            .first()
+            .copied()
+            .unwrap_or_else(|| ActorId::new(self.actors.len() - 1))
+    }
+
+    /// Whether every actor can reach every other actor ignoring edge
+    /// directions (weak connectivity).
+    pub fn is_connected(&self) -> bool {
+        if self.actors.is_empty() {
+            return true;
+        }
+        let mut seen = vec![false; self.actors.len()];
+        let mut stack = vec![0usize];
+        seen[0] = true;
+        while let Some(i) = stack.pop() {
+            let a = ActorId::new(i);
+            for &c in self.outputs[a.index()].iter().chain(&self.inputs[a.index()]) {
+                let ch = &self.channels[c.index()];
+                for n in [ch.source.index(), ch.target.index()] {
+                    if !seen[n] {
+                        seen[n] = true;
+                        stack.push(n);
+                    }
+                }
+            }
+        }
+        seen.iter().all(|&s| s)
+    }
+
+    /// Sum of initial tokens over all channels.
+    pub fn total_initial_tokens(&self) -> u64 {
+        self.channels.iter().map(|c| c.initial_tokens).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn example() -> SdfGraph {
+        let mut b = SdfGraph::builder("example");
+        let a = b.actor("a", 1);
+        let bb = b.actor("b", 2);
+        let c = b.actor("c", 2);
+        b.channel("alpha", a, 2, bb, 3).unwrap();
+        b.channel("beta", bb, 1, c, 2).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn accessors() {
+        let g = example();
+        assert_eq!(g.name(), "example");
+        assert_eq!(g.num_actors(), 3);
+        assert_eq!(g.num_channels(), 2);
+        let a = g.actor_by_name("a").unwrap();
+        assert_eq!(g.actor(a).name(), "a");
+        assert_eq!(g.actor(a).execution_time(), 1);
+        let alpha = g.channel_by_name("alpha").unwrap();
+        let ch = g.channel(alpha);
+        assert_eq!(ch.name(), "alpha");
+        assert_eq!(ch.production(), 2);
+        assert_eq!(ch.consumption(), 3);
+        assert_eq!(ch.initial_tokens(), 0);
+        assert_eq!(ch.source(), a);
+        assert!(!ch.is_self_loop());
+    }
+
+    #[test]
+    fn adjacency() {
+        let g = example();
+        let a = g.actor_by_name("a").unwrap();
+        let b = g.actor_by_name("b").unwrap();
+        let c = g.actor_by_name("c").unwrap();
+        assert_eq!(g.output_channels(a).len(), 1);
+        assert_eq!(g.input_channels(a).len(), 0);
+        assert_eq!(g.output_channels(b).len(), 1);
+        assert_eq!(g.input_channels(b).len(), 1);
+        assert_eq!(g.input_channels(c).len(), 1);
+        assert_eq!(g.sources(), vec![a]);
+        assert_eq!(g.sinks(), vec![c]);
+        assert_eq!(g.default_observed_actor(), c);
+    }
+
+    #[test]
+    fn iterators_cover_everything() {
+        let g = example();
+        assert_eq!(g.actors().count(), 3);
+        assert_eq!(g.channels().count(), 2);
+        assert_eq!(g.actor_ids().count(), 3);
+        assert_eq!(g.channel_ids().count(), 2);
+    }
+
+    #[test]
+    fn connectivity() {
+        let g = example();
+        assert!(g.is_connected());
+
+        let mut b = SdfGraph::builder("two-islands");
+        let x = b.actor("x", 1);
+        let y = b.actor("y", 1);
+        let z = b.actor("z", 1);
+        b.channel("c", x, 1, y, 1).unwrap();
+        let _ = z;
+        let g = b.build().unwrap();
+        assert!(!g.is_connected());
+    }
+
+    #[test]
+    fn cyclic_graph_observed_actor_falls_back_to_last() {
+        let mut b = SdfGraph::builder("ring");
+        let x = b.actor("x", 1);
+        let y = b.actor("y", 1);
+        b.channel_with_tokens("f", x, 1, y, 1, 0).unwrap();
+        b.channel_with_tokens("r", y, 1, x, 1, 1).unwrap();
+        let g = b.build().unwrap();
+        assert!(g.sinks().is_empty());
+        assert_eq!(g.default_observed_actor(), y);
+        assert_eq!(g.total_initial_tokens(), 1);
+    }
+
+    #[test]
+    fn self_loop_detected() {
+        let mut b = SdfGraph::builder("loop");
+        let x = b.actor("x", 1);
+        b.channel_with_tokens("s", x, 1, x, 1, 1).unwrap();
+        let g = b.build().unwrap();
+        assert!(g.channel(ChannelId::new(0)).is_self_loop());
+        assert!(g.is_connected());
+    }
+}

@@ -1,0 +1,104 @@
+//! Typed indices for actors and channels.
+//!
+//! Actors and channels are stored in dense vectors inside an
+//! [`SdfGraph`](crate::SdfGraph); these newtypes keep the two index spaces
+//! apart at compile time ([C-NEWTYPE]).
+
+use core::fmt;
+
+/// Index of an actor within an [`SdfGraph`](crate::SdfGraph).
+///
+/// ```
+/// use buffy_graph::ActorId;
+/// let a = ActorId::new(3);
+/// assert_eq!(a.index(), 3);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct ActorId(u32);
+
+impl ActorId {
+    /// Creates an actor id from a raw index.
+    pub const fn new(index: usize) -> ActorId {
+        ActorId(index as u32)
+    }
+
+    /// The raw index of this actor.
+    pub const fn index(&self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for ActorId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ActorId({})", self.0)
+    }
+}
+
+impl fmt::Display for ActorId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "a{}", self.0)
+    }
+}
+
+/// Index of a channel within an [`SdfGraph`](crate::SdfGraph).
+///
+/// ```
+/// use buffy_graph::ChannelId;
+/// let c = ChannelId::new(0);
+/// assert_eq!(c.index(), 0);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct ChannelId(u32);
+
+impl ChannelId {
+    /// Creates a channel id from a raw index.
+    pub const fn new(index: usize) -> ChannelId {
+        ChannelId(index as u32)
+    }
+
+    /// The raw index of this channel.
+    pub const fn index(&self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for ChannelId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ChannelId({})", self.0)
+    }
+}
+
+impl fmt::Display for ChannelId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "c{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_indices() {
+        for i in [0usize, 1, 17, 1000] {
+            assert_eq!(ActorId::new(i).index(), i);
+            assert_eq!(ChannelId::new(i).index(), i);
+        }
+    }
+
+    #[test]
+    fn ordering_follows_indices() {
+        assert!(ActorId::new(1) < ActorId::new(2));
+        assert!(ChannelId::new(0) < ChannelId::new(5));
+    }
+
+    #[test]
+    fn display_and_debug() {
+        assert_eq!(ActorId::new(4).to_string(), "a4");
+        assert_eq!(ChannelId::new(7).to_string(), "c7");
+        assert_eq!(format!("{:?}", ActorId::new(4)), "ActorId(4)");
+        assert_eq!(format!("{:?}", ChannelId::new(7)), "ChannelId(7)");
+    }
+}

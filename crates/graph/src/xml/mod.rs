@@ -1,0 +1,41 @@
+//! SDF3-compatible XML input/output.
+//!
+//! The paper's `buffy` tool "takes an XML description of an SDF graph as
+//! input" (§10). This module provides a dependency-free XML subset parser
+//! ([`parse`]), a document tree ([`XmlElement`]), and readers/writers for
+//! the SDF3 application-graph dialect ([`read_sdf_xml`], [`write_sdf_xml`]).
+//!
+//! The parser supports what SDF3 graph files use: declarations, comments,
+//! nested elements, attributes with single or double quotes, text content
+//! and the five predefined entities. It does not support DTDs, processing
+//! instructions beyond the XML declaration, or namespaces.
+//!
+//! # Examples
+//!
+//! ```
+//! use buffy_graph::xml::{read_sdf_xml, write_sdf_xml};
+//! use buffy_graph::SdfGraph;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut b = SdfGraph::builder("tiny");
+//! let x = b.actor("x", 1);
+//! let y = b.actor("y", 2);
+//! b.channel_with_tokens("c", x, 2, y, 1, 1)?;
+//! let g = b.build()?;
+//!
+//! let text = write_sdf_xml(&g);
+//! let back = read_sdf_xml(&text)?;
+//! assert_eq!(g, back);
+//! # Ok(())
+//! # }
+//! ```
+
+mod parse;
+mod sdf_reader;
+mod sdf_writer;
+mod tree;
+
+pub use parse::{parse, XmlError};
+pub use sdf_reader::read_sdf_xml;
+pub use sdf_writer::write_sdf_xml;
+pub use tree::{escape_text, XmlElement};

@@ -1,0 +1,378 @@
+//! A small, dependency-free XML subset parser.
+
+use super::tree::XmlElement;
+use core::fmt;
+
+/// Error raised while parsing XML text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct XmlError {
+    message: String,
+    line: usize,
+    column: usize,
+}
+
+impl XmlError {
+    /// 1-based line of the error.
+    pub fn line(&self) -> usize {
+        self.line
+    }
+
+    /// 1-based column of the error.
+    pub fn column(&self) -> usize {
+        self.column
+    }
+}
+
+impl fmt::Display for XmlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "xml error at {}:{}: {}", self.line, self.column, self.message)
+    }
+}
+
+impl std::error::Error for XmlError {}
+
+struct Cursor<'a> {
+    input: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(input: &'a str) -> Cursor<'a> {
+        Cursor {
+            input: input.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn error(&self, message: impl Into<String>) -> XmlError {
+        let mut line = 1;
+        let mut col = 1;
+        for &b in &self.input[..self.pos.min(self.input.len())] {
+            if b == b'\n' {
+                line += 1;
+                col = 1;
+            } else {
+                col += 1;
+            }
+        }
+        XmlError {
+            message: message.into(),
+            line,
+            column: col,
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.input.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.pos += 1;
+        Some(b)
+    }
+
+    fn starts_with(&self, s: &str) -> bool {
+        self.input[self.pos..].starts_with(s.as_bytes())
+    }
+
+    fn eat(&mut self, s: &str) -> bool {
+        if self.starts_with(s) {
+            self.pos += s.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn skip_whitespace(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\r' | b'\n')) {
+            self.pos += 1;
+        }
+    }
+
+    fn skip_until(&mut self, s: &str) -> Result<(), XmlError> {
+        while !self.starts_with(s) {
+            if self.bump().is_none() {
+                return Err(self.error(format!("unexpected end of input, expected {s:?}")));
+            }
+        }
+        self.pos += s.len();
+        Ok(())
+    }
+
+    fn read_name(&mut self) -> Result<String, XmlError> {
+        let start = self.pos;
+        while let Some(b) = self.peek() {
+            let c = b as char;
+            if c.is_ascii_alphanumeric() || matches!(c, '_' | '-' | '.' | ':') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        if self.pos == start {
+            return Err(self.error("expected a name"));
+        }
+        Ok(String::from_utf8_lossy(&self.input[start..self.pos]).into_owned())
+    }
+
+    fn read_quoted(&mut self) -> Result<String, XmlError> {
+        let quote = match self.bump() {
+            Some(q @ (b'"' | b'\'')) => q,
+            _ => return Err(self.error("expected a quoted attribute value")),
+        };
+        let start = self.pos;
+        while let Some(b) = self.peek() {
+            if b == quote {
+                let raw = String::from_utf8_lossy(&self.input[start..self.pos]).into_owned();
+                self.pos += 1;
+                return decode_entities(&raw).map_err(|m| self.error(m));
+            }
+            self.pos += 1;
+        }
+        Err(self.error("unterminated attribute value"))
+    }
+}
+
+fn decode_entities(s: &str) -> Result<String, String> {
+    if !s.contains('&') {
+        return Ok(s.to_string());
+    }
+    let mut out = String::with_capacity(s.len());
+    let mut rest = s;
+    while let Some(i) = rest.find('&') {
+        out.push_str(&rest[..i]);
+        rest = &rest[i..];
+        let end = rest
+            .find(';')
+            .ok_or_else(|| "unterminated entity reference".to_string())?;
+        match &rest[..=end] {
+            "&lt;" => out.push('<'),
+            "&gt;" => out.push('>'),
+            "&amp;" => out.push('&'),
+            "&quot;" => out.push('"'),
+            "&apos;" => out.push('\''),
+            other => {
+                if let Some(num) = other.strip_prefix("&#x").and_then(|t| t.strip_suffix(';')) {
+                    let cp = u32::from_str_radix(num, 16)
+                        .map_err(|_| format!("bad character reference {other:?}"))?;
+                    out.push(
+                        char::from_u32(cp)
+                            .ok_or_else(|| format!("invalid code point {other:?}"))?,
+                    );
+                } else if let Some(num) = other.strip_prefix("&#").and_then(|t| t.strip_suffix(';'))
+                {
+                    let cp: u32 = num
+                        .parse()
+                        .map_err(|_| format!("bad character reference {other:?}"))?;
+                    out.push(
+                        char::from_u32(cp)
+                            .ok_or_else(|| format!("invalid code point {other:?}"))?,
+                    );
+                } else {
+                    return Err(format!("unknown entity {other:?}"));
+                }
+            }
+        }
+        rest = &rest[end + 1..];
+    }
+    out.push_str(rest);
+    Ok(out)
+}
+
+/// Parses an XML document and returns its root element.
+///
+/// # Errors
+///
+/// Returns [`XmlError`] (with line/column) on malformed input: mismatched
+/// tags, unterminated strings/comments, missing root, trailing content.
+///
+/// # Examples
+///
+/// ```
+/// let root = buffy_graph::xml::parse(r#"<?xml version="1.0"?>
+///   <sdf3 type="sdf"><applicationGraph name="g"/></sdf3>"#).unwrap();
+/// assert_eq!(root.name, "sdf3");
+/// assert_eq!(root.find("applicationGraph").unwrap().attribute("name"), Some("g"));
+/// ```
+pub fn parse(input: &str) -> Result<XmlElement, XmlError> {
+    let mut c = Cursor::new(input);
+    skip_misc(&mut c)?;
+    if c.peek() != Some(b'<') {
+        return Err(c.error("expected root element"));
+    }
+    let root = parse_element(&mut c)?;
+    skip_misc(&mut c)?;
+    if c.peek().is_some() {
+        return Err(c.error("unexpected content after root element"));
+    }
+    Ok(root)
+}
+
+/// Skips whitespace, comments and the XML declaration.
+fn skip_misc(c: &mut Cursor<'_>) -> Result<(), XmlError> {
+    loop {
+        c.skip_whitespace();
+        if c.eat("<?") {
+            c.skip_until("?>")?;
+        } else if c.eat("<!--") {
+            c.skip_until("-->")?;
+        } else if c.starts_with("<!DOCTYPE") {
+            c.skip_until(">")?;
+        } else {
+            return Ok(());
+        }
+    }
+}
+
+fn parse_element(c: &mut Cursor<'_>) -> Result<XmlElement, XmlError> {
+    if !c.eat("<") {
+        return Err(c.error("expected '<'"));
+    }
+    let name = c.read_name()?;
+    let mut el = XmlElement::new(name.clone());
+    loop {
+        c.skip_whitespace();
+        match c.peek() {
+            Some(b'/') => {
+                c.bump();
+                if !c.eat(">") {
+                    return Err(c.error("expected '>' after '/'"));
+                }
+                return Ok(el);
+            }
+            Some(b'>') => {
+                c.bump();
+                break;
+            }
+            Some(_) => {
+                let key = c.read_name()?;
+                c.skip_whitespace();
+                if !c.eat("=") {
+                    return Err(c.error(format!("expected '=' after attribute {key:?}")));
+                }
+                c.skip_whitespace();
+                let value = c.read_quoted()?;
+                el.attributes.push((key, value));
+            }
+            None => return Err(c.error("unexpected end of input in start tag")),
+        }
+    }
+    // Content until the matching close tag.
+    loop {
+        let text_start = c.pos;
+        while !matches!(c.peek(), Some(b'<') | None) {
+            c.pos += 1;
+        }
+        if c.pos > text_start {
+            let raw = String::from_utf8_lossy(&c.input[text_start..c.pos]).into_owned();
+            // Whitespace-only runs between elements are ignorable
+            // formatting, not content.
+            if !raw.trim().is_empty() {
+                el.text
+                    .push_str(&decode_entities(&raw).map_err(|m| c.error(m))?);
+            }
+        }
+        if c.peek().is_none() {
+            return Err(c.error(format!("unterminated element <{name}>")));
+        }
+        if c.eat("<!--") {
+            c.skip_until("-->")?;
+        } else if c.eat("<![CDATA[") {
+            let start = c.pos;
+            c.skip_until("]]>")?;
+            el.text
+                .push_str(&String::from_utf8_lossy(&c.input[start..c.pos - 3]));
+        } else if c.starts_with("</") {
+            c.pos += 2;
+            let close = c.read_name()?;
+            if close != name {
+                return Err(c.error(format!("mismatched close tag </{close}>, expected </{name}>")));
+            }
+            c.skip_whitespace();
+            if !c.eat(">") {
+                return Err(c.error("expected '>' in close tag"));
+            }
+            return Ok(el);
+        } else {
+            el.children.push(parse_element(c)?);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_nested_document() {
+        let root = parse(
+            r#"<?xml version="1.0" encoding="UTF-8"?>
+            <!-- a comment -->
+            <a x="1" y='two'>
+              <b/>
+              <c k="&lt;&amp;&gt;">text &amp; more</c>
+            </a>"#,
+        )
+        .unwrap();
+        assert_eq!(root.name, "a");
+        assert_eq!(root.attribute("x"), Some("1"));
+        assert_eq!(root.attribute("y"), Some("two"));
+        assert_eq!(root.children.len(), 2);
+        let c = root.find("c").unwrap();
+        assert_eq!(c.attribute("k"), Some("<&>"));
+        assert_eq!(c.text.trim(), "text & more");
+    }
+
+    #[test]
+    fn numeric_entities() {
+        let root = parse("<a>&#65;&#x42;</a>").unwrap();
+        assert_eq!(root.text, "AB");
+    }
+
+    #[test]
+    fn cdata() {
+        let root = parse("<a><![CDATA[1 < 2 & 3]]></a>").unwrap();
+        assert_eq!(root.text, "1 < 2 & 3");
+    }
+
+    #[test]
+    fn comments_inside_elements() {
+        let root = parse("<a><!-- hi --><b/></a>").unwrap();
+        assert_eq!(root.children.len(), 1);
+    }
+
+    #[test]
+    fn errors_report_position() {
+        let err = parse("<a>\n  <b></c></a>").unwrap_err();
+        assert_eq!(err.line(), 2);
+        assert!(err.to_string().contains("mismatched"));
+        assert!(err.column() > 0);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse("").is_err());
+        assert!(parse("hello").is_err());
+        assert!(parse("<a>").is_err());
+        assert!(parse("<a x=1/>").is_err());
+        assert!(parse("<a/><b/>").is_err());
+        assert!(parse("<a x=\"&unknown;\"/>").is_err());
+        assert!(parse("<a x=\"unterminated/>").is_err());
+    }
+
+    #[test]
+    fn doctype_skipped() {
+        let root = parse("<!DOCTYPE sdf3><a/>").unwrap();
+        assert_eq!(root.name, "a");
+    }
+
+    #[test]
+    fn roundtrip_through_serializer() {
+        let text = r#"<sdf3 version="1.0"><g name="x"><n a="1"/><n a="2"/></g></sdf3>"#;
+        let root = parse(text).unwrap();
+        let again = parse(&root.to_xml_string()).unwrap();
+        assert_eq!(root, again);
+    }
+}

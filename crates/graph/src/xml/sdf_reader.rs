@@ -1,0 +1,293 @@
+//! Reading SDF graphs from SDF3-style XML.
+
+use super::parse::{parse, XmlError};
+use super::tree::XmlElement;
+use crate::builder::SdfGraphBuilder;
+use crate::error::GraphError;
+use crate::graph::SdfGraph;
+use core::fmt;
+use std::collections::HashMap;
+
+/// Error raised while reading an SDF graph from XML.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SdfXmlError {
+    /// The text is not well-formed XML.
+    Parse(XmlError),
+    /// A required element or attribute is missing.
+    Missing {
+        /// Human-readable description of the missing item.
+        what: String,
+    },
+    /// An attribute value could not be interpreted.
+    Invalid {
+        /// Human-readable description of the bad value.
+        what: String,
+    },
+    /// The graph content itself is invalid (duplicate names, zero rates…).
+    Graph(GraphError),
+}
+
+impl fmt::Display for SdfXmlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SdfXmlError::Parse(e) => write!(f, "{e}"),
+            SdfXmlError::Missing { what } => write!(f, "missing {what}"),
+            SdfXmlError::Invalid { what } => write!(f, "invalid {what}"),
+            SdfXmlError::Graph(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for SdfXmlError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SdfXmlError::Parse(e) => Some(e),
+            SdfXmlError::Graph(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<XmlError> for SdfXmlError {
+    fn from(e: XmlError) -> Self {
+        SdfXmlError::Parse(e)
+    }
+}
+
+impl From<GraphError> for SdfXmlError {
+    fn from(e: GraphError) -> Self {
+        SdfXmlError::Graph(e)
+    }
+}
+
+fn missing(what: impl Into<String>) -> SdfXmlError {
+    SdfXmlError::Missing { what: what.into() }
+}
+
+fn invalid(what: impl Into<String>) -> SdfXmlError {
+    SdfXmlError::Invalid { what: what.into() }
+}
+
+fn req_attr<'a>(el: &'a XmlElement, key: &str) -> Result<&'a str, SdfXmlError> {
+    el.attribute(key)
+        .ok_or_else(|| missing(format!("attribute {key:?} on <{}>", el.name)))
+}
+
+fn parse_u64(el: &XmlElement, key: &str, value: &str) -> Result<u64, SdfXmlError> {
+    value
+        .trim()
+        .parse()
+        .map_err(|_| invalid(format!("attribute {key}={value:?} on <{}>", el.name)))
+}
+
+/// Reads an SDF graph from SDF3-style XML text.
+///
+/// Two channel encodings are accepted:
+///
+/// - SDF3 style: actors declare `<port name=… type="in"|"out" rate=…/>` and
+///   channels reference `srcActor`/`srcPort`/`dstActor`/`dstPort`;
+/// - compact style: channels carry `srcRate`/`dstRate` attributes directly.
+///
+/// Execution times come from
+/// `<sdfProperties><actorProperties actor=…><processor…><executionTime time=…/>`
+/// and default to 1 when absent.
+///
+/// # Errors
+///
+/// Returns [`SdfXmlError`] on malformed XML, missing elements/attributes,
+/// unparsable numbers, or invalid graph content.
+pub fn read_sdf_xml(text: &str) -> Result<SdfGraph, SdfXmlError> {
+    let root = parse(text)?;
+    let app = root
+        .find_descendant("applicationGraph")
+        .ok_or_else(|| missing("<applicationGraph> element"))?;
+    let sdf = app
+        .find_descendant("sdf")
+        .ok_or_else(|| missing("<sdf> element"))?;
+    let name = app
+        .attribute("name")
+        .or_else(|| sdf.attribute("name"))
+        .unwrap_or("sdf-graph");
+
+    // Execution times from <sdfProperties>.
+    let mut exec_times: HashMap<String, u64> = HashMap::new();
+    if let Some(props) = app.find_descendant("sdfProperties") {
+        for ap in props.find_all("actorProperties") {
+            let actor = req_attr(ap, "actor")?;
+            if let Some(et) = ap.find_descendant("executionTime") {
+                let t = req_attr(et, "time")?;
+                exec_times.insert(actor.to_string(), parse_u64(et, "time", t)?);
+            }
+        }
+    }
+
+    let mut builder = SdfGraphBuilder::new(name);
+    // (actor name, port name) -> rate
+    let mut port_rates: HashMap<(String, String), u64> = HashMap::new();
+    let mut actor_ids = HashMap::new();
+
+    for actor_el in sdf.find_all("actor") {
+        let actor_name = req_attr(actor_el, "name")?;
+        let time = exec_times.get(actor_name).copied().unwrap_or(1);
+        let id = builder.actor(actor_name, time);
+        actor_ids.insert(actor_name.to_string(), id);
+        for port in actor_el.find_all("port") {
+            let pname = req_attr(port, "name")?;
+            let rate = req_attr(port, "rate")?;
+            let rate = parse_u64(port, "rate", rate)?;
+            port_rates.insert((actor_name.to_string(), pname.to_string()), rate);
+        }
+    }
+
+    for ch in sdf.find_all("channel") {
+        let cname = req_attr(ch, "name")?;
+        let src = req_attr(ch, "srcActor")?;
+        let dst = req_attr(ch, "dstActor")?;
+        let src_id = *actor_ids
+            .get(src)
+            .ok_or_else(|| missing(format!("actor {src:?} referenced by channel {cname:?}")))?;
+        let dst_id = *actor_ids
+            .get(dst)
+            .ok_or_else(|| missing(format!("actor {dst:?} referenced by channel {cname:?}")))?;
+
+        let prod = match (ch.attribute("srcRate"), ch.attribute("srcPort")) {
+            (Some(r), _) => parse_u64(ch, "srcRate", r)?,
+            (None, Some(p)) => *port_rates
+                .get(&(src.to_string(), p.to_string()))
+                .ok_or_else(|| missing(format!("port {p:?} on actor {src:?}")))?,
+            (None, None) => return Err(missing(format!("srcRate or srcPort on channel {cname:?}"))),
+        };
+        let cons = match (ch.attribute("dstRate"), ch.attribute("dstPort")) {
+            (Some(r), _) => parse_u64(ch, "dstRate", r)?,
+            (None, Some(p)) => *port_rates
+                .get(&(dst.to_string(), p.to_string()))
+                .ok_or_else(|| missing(format!("port {p:?} on actor {dst:?}")))?,
+            (None, None) => return Err(missing(format!("dstRate or dstPort on channel {cname:?}"))),
+        };
+        let tokens = match ch.attribute("initialTokens") {
+            Some(t) => parse_u64(ch, "initialTokens", t)?,
+            None => 0,
+        };
+        builder.channel_with_tokens(cname, src_id, prod, dst_id, cons, tokens)?;
+    }
+
+    Ok(builder.build()?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SDF3_STYLE: &str = r#"<?xml version="1.0"?>
+<sdf3 type="sdf" version="1.0">
+  <applicationGraph name="example">
+    <sdf name="example" type="Example">
+      <actor name="a" type="A">
+        <port name="out0" type="out" rate="2"/>
+      </actor>
+      <actor name="b" type="B">
+        <port name="in0" type="in" rate="3"/>
+        <port name="out0" type="out" rate="1"/>
+      </actor>
+      <actor name="c" type="C">
+        <port name="in0" type="in" rate="2"/>
+      </actor>
+      <channel name="alpha" srcActor="a" srcPort="out0" dstActor="b" dstPort="in0"/>
+      <channel name="beta" srcActor="b" srcPort="out0" dstActor="c" dstPort="in0" initialTokens="0"/>
+    </sdf>
+    <sdfProperties>
+      <actorProperties actor="a">
+        <processor type="arm" default="true"><executionTime time="1"/></processor>
+      </actorProperties>
+      <actorProperties actor="b">
+        <processor type="arm" default="true"><executionTime time="2"/></processor>
+      </actorProperties>
+      <actorProperties actor="c">
+        <processor type="arm" default="true"><executionTime time="2"/></processor>
+      </actorProperties>
+    </sdfProperties>
+  </applicationGraph>
+</sdf3>"#;
+
+    #[test]
+    fn reads_sdf3_style() {
+        let g = read_sdf_xml(SDF3_STYLE).unwrap();
+        assert_eq!(g.name(), "example");
+        assert_eq!(g.num_actors(), 3);
+        assert_eq!(g.num_channels(), 2);
+        let alpha = g.channel_by_name("alpha").unwrap();
+        assert_eq!(g.channel(alpha).production(), 2);
+        assert_eq!(g.channel(alpha).consumption(), 3);
+        let b = g.actor_by_name("b").unwrap();
+        assert_eq!(g.actor(b).execution_time(), 2);
+    }
+
+    #[test]
+    fn reads_compact_style() {
+        let g = read_sdf_xml(
+            r#"<sdf3><applicationGraph name="tiny"><sdf name="tiny">
+                 <actor name="x"/><actor name="y"/>
+                 <channel name="c" srcActor="x" srcRate="4" dstActor="y" dstRate="2" initialTokens="1"/>
+               </sdf></applicationGraph></sdf3>"#,
+        )
+        .unwrap();
+        assert_eq!(g.num_actors(), 2);
+        let c = g.channel_by_name("c").unwrap();
+        assert_eq!(g.channel(c).production(), 4);
+        assert_eq!(g.channel(c).consumption(), 2);
+        assert_eq!(g.channel(c).initial_tokens(), 1);
+        // Execution time defaults to 1.
+        assert_eq!(g.actor(g.actor_by_name("x").unwrap()).execution_time(), 1);
+    }
+
+    #[test]
+    fn missing_pieces_reported() {
+        assert!(matches!(
+            read_sdf_xml("<sdf3/>"),
+            Err(SdfXmlError::Missing { .. })
+        ));
+        let no_rate = r#"<sdf3><applicationGraph name="g"><sdf name="g">
+              <actor name="x"/><actor name="y"/>
+              <channel name="c" srcActor="x" dstActor="y" dstRate="1"/>
+            </sdf></applicationGraph></sdf3>"#;
+        assert!(matches!(
+            read_sdf_xml(no_rate),
+            Err(SdfXmlError::Missing { .. })
+        ));
+        let bad_actor = r#"<sdf3><applicationGraph name="g"><sdf name="g">
+              <actor name="x"/>
+              <channel name="c" srcActor="x" srcRate="1" dstActor="ghost" dstRate="1"/>
+            </sdf></applicationGraph></sdf3>"#;
+        assert!(matches!(
+            read_sdf_xml(bad_actor),
+            Err(SdfXmlError::Missing { .. })
+        ));
+    }
+
+    #[test]
+    fn bad_numbers_reported() {
+        let bad = r#"<sdf3><applicationGraph name="g"><sdf name="g">
+              <actor name="x"/><actor name="y"/>
+              <channel name="c" srcActor="x" srcRate="lots" dstActor="y" dstRate="1"/>
+            </sdf></applicationGraph></sdf3>"#;
+        assert!(matches!(read_sdf_xml(bad), Err(SdfXmlError::Invalid { .. })));
+    }
+
+    #[test]
+    fn zero_rate_propagates_graph_error() {
+        let bad = r#"<sdf3><applicationGraph name="g"><sdf name="g">
+              <actor name="x"/><actor name="y"/>
+              <channel name="c" srcActor="x" srcRate="0" dstActor="y" dstRate="1"/>
+            </sdf></applicationGraph></sdf3>"#;
+        assert!(matches!(read_sdf_xml(bad), Err(SdfXmlError::Graph(_))));
+    }
+
+    #[test]
+    fn parse_error_carries_location() {
+        match read_sdf_xml("<sdf3><oops</sdf3>") {
+            Err(SdfXmlError::Parse(e)) => assert!(e.line() >= 1),
+            other => panic!("expected parse error, got {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,126 @@
+//! Writing SDF graphs as SDF3-style XML.
+
+use super::tree::XmlElement;
+use crate::graph::SdfGraph;
+
+/// Serializes an SDF graph as SDF3-style XML text.
+///
+/// The output declares one `in`/`out` port pair per channel (named after
+/// the channel) and records execution times under `<sdfProperties>`; it
+/// round-trips through [`read_sdf_xml`](super::read_sdf_xml).
+pub fn write_sdf_xml(graph: &SdfGraph) -> String {
+    let mut sdf = XmlElement::new("sdf")
+        .attr("name", graph.name())
+        .attr("type", graph.name());
+
+    for (aid, actor) in graph.actors() {
+        let mut el = XmlElement::new("actor")
+            .attr("name", actor.name())
+            .attr("type", actor.name());
+        for &cid in graph.output_channels(aid) {
+            let ch = graph.channel(cid);
+            el = el.child(
+                XmlElement::new("port")
+                    .attr("name", format!("out_{}", ch.name()))
+                    .attr("type", "out")
+                    .attr("rate", ch.production()),
+            );
+        }
+        for &cid in graph.input_channels(aid) {
+            let ch = graph.channel(cid);
+            el = el.child(
+                XmlElement::new("port")
+                    .attr("name", format!("in_{}", ch.name()))
+                    .attr("type", "in")
+                    .attr("rate", ch.consumption()),
+            );
+        }
+        sdf = sdf.child(el);
+    }
+
+    for (_, ch) in graph.channels() {
+        let mut el = XmlElement::new("channel")
+            .attr("name", ch.name())
+            .attr("srcActor", graph.actor(ch.source()).name())
+            .attr("srcPort", format!("out_{}", ch.name()))
+            .attr("dstActor", graph.actor(ch.target()).name())
+            .attr("dstPort", format!("in_{}", ch.name()));
+        if ch.initial_tokens() > 0 {
+            el = el.attr("initialTokens", ch.initial_tokens());
+        }
+        sdf = sdf.child(el);
+    }
+
+    let mut props = XmlElement::new("sdfProperties");
+    for (_, actor) in graph.actors() {
+        props = props.child(
+            XmlElement::new("actorProperties")
+                .attr("actor", actor.name())
+                .child(
+                    XmlElement::new("processor")
+                        .attr("type", "default")
+                        .attr("default", "true")
+                        .child(XmlElement::new("executionTime").attr("time", actor.execution_time())),
+                ),
+        );
+    }
+
+    let root = XmlElement::new("sdf3").attr("type", "sdf").attr("version", "1.0").child(
+        XmlElement::new("applicationGraph")
+            .attr("name", graph.name())
+            .child(sdf)
+            .child(props),
+    );
+
+    let mut out = String::from("<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n");
+    out.push_str(&root.to_xml_string());
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::read_sdf_xml;
+    use super::*;
+    use crate::graph::SdfGraph;
+
+    fn example() -> SdfGraph {
+        let mut b = SdfGraph::builder("example");
+        let a = b.actor("a", 1);
+        let bb = b.actor("b", 2);
+        let c = b.actor("c", 2);
+        b.channel("alpha", a, 2, bb, 3).unwrap();
+        b.channel_with_tokens("beta", bb, 1, c, 2, 1).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn roundtrip_preserves_graph() {
+        let g = example();
+        let text = write_sdf_xml(&g);
+        let back = read_sdf_xml(&text).unwrap();
+        assert_eq!(g, back);
+    }
+
+    #[test]
+    fn output_contains_expected_structure() {
+        let text = write_sdf_xml(&example());
+        assert!(text.starts_with("<?xml"));
+        assert!(text.contains("<applicationGraph name=\"example\">"));
+        assert!(text.contains("srcActor=\"a\""));
+        assert!(text.contains("initialTokens=\"1\""));
+        assert!(text.contains("executionTime"));
+    }
+
+    #[test]
+    fn roundtrip_self_loop_and_multichannel() {
+        let mut b = SdfGraph::builder("loopy");
+        let x = b.actor("x", 3);
+        let y = b.actor("y", 0);
+        b.channel_with_tokens("self", x, 1, x, 1, 1).unwrap();
+        b.channel("c1", x, 2, y, 5).unwrap();
+        b.channel("c2", x, 7, y, 1).unwrap();
+        let g = b.build().unwrap();
+        let back = read_sdf_xml(&write_sdf_xml(&g)).unwrap();
+        assert_eq!(g, back);
+    }
+}

@@ -1,0 +1,175 @@
+//! XML document tree.
+
+use core::fmt;
+
+/// An XML element: name, attributes, child elements and accumulated text.
+///
+/// Attribute order is preserved. Text content from all text nodes directly
+/// below the element is concatenated into [`text`](Self::text).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct XmlElement {
+    /// Tag name.
+    pub name: String,
+    /// Attributes in document order.
+    pub attributes: Vec<(String, String)>,
+    /// Child elements in document order.
+    pub children: Vec<XmlElement>,
+    /// Concatenated text content (entity-decoded, whitespace preserved).
+    pub text: String,
+}
+
+impl XmlElement {
+    /// Creates an empty element with the given tag name.
+    pub fn new(name: impl Into<String>) -> XmlElement {
+        XmlElement {
+            name: name.into(),
+            ..XmlElement::default()
+        }
+    }
+
+    /// Adds an attribute (builder style).
+    pub fn attr(mut self, key: impl Into<String>, value: impl fmt::Display) -> XmlElement {
+        self.attributes.push((key.into(), value.to_string()));
+        self
+    }
+
+    /// Adds a child element (builder style).
+    pub fn child(mut self, child: XmlElement) -> XmlElement {
+        self.children.push(child);
+        self
+    }
+
+    /// The value of attribute `key`, if present.
+    pub fn attribute(&self, key: &str) -> Option<&str> {
+        self.attributes
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// The first child element with tag `name`.
+    pub fn find(&self, name: &str) -> Option<&XmlElement> {
+        self.children.iter().find(|c| c.name == name)
+    }
+
+    /// All child elements with tag `name`, in document order.
+    pub fn find_all<'a>(&'a self, name: &'a str) -> impl Iterator<Item = &'a XmlElement> + 'a {
+        self.children.iter().filter(move |c| c.name == name)
+    }
+
+    /// Depth-first search for the first descendant (including self) with
+    /// tag `name`.
+    pub fn find_descendant(&self, name: &str) -> Option<&XmlElement> {
+        if self.name == name {
+            return Some(self);
+        }
+        self.children.iter().find_map(|c| c.find_descendant(name))
+    }
+
+    /// Serializes the element (and subtree) as indented XML.
+    pub fn to_xml_string(&self) -> String {
+        let mut out = String::new();
+        self.write_indented(&mut out, 0);
+        out
+    }
+
+    fn write_indented(&self, out: &mut String, depth: usize) {
+        for _ in 0..depth {
+            out.push_str("  ");
+        }
+        out.push('<');
+        out.push_str(&self.name);
+        for (k, v) in &self.attributes {
+            out.push(' ');
+            out.push_str(k);
+            out.push_str("=\"");
+            out.push_str(&escape_text(v));
+            out.push('"');
+        }
+        if self.children.is_empty() && self.text.trim().is_empty() {
+            out.push_str("/>\n");
+            return;
+        }
+        out.push('>');
+        let trimmed = self.text.trim();
+        if !trimmed.is_empty() {
+            out.push_str(&escape_text(trimmed));
+        }
+        if !self.children.is_empty() {
+            out.push('\n');
+            for c in &self.children {
+                c.write_indented(out, depth + 1);
+            }
+            for _ in 0..depth {
+                out.push_str("  ");
+            }
+        }
+        out.push_str("</");
+        out.push_str(&self.name);
+        out.push_str(">\n");
+    }
+}
+
+/// Escapes the five predefined XML entities in `s`.
+///
+/// ```
+/// assert_eq!(buffy_graph::xml::escape_text("a<b&c"), "a&lt;b&amp;c");
+/// ```
+pub fn escape_text(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for ch in s.chars() {
+        match ch {
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '&' => out.push_str("&amp;"),
+            '"' => out.push_str("&quot;"),
+            '\'' => out.push_str("&apos;"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_and_queries() {
+        let doc = XmlElement::new("root")
+            .attr("version", "1.0")
+            .child(XmlElement::new("a").attr("x", 1))
+            .child(XmlElement::new("b"))
+            .child(XmlElement::new("a").attr("x", 2));
+        assert_eq!(doc.attribute("version"), Some("1.0"));
+        assert_eq!(doc.attribute("missing"), None);
+        assert_eq!(doc.find("a").unwrap().attribute("x"), Some("1"));
+        assert_eq!(doc.find_all("a").count(), 2);
+        assert!(doc.find("zzz").is_none());
+        assert_eq!(doc.find_descendant("b").unwrap().name, "b");
+        assert!(doc.find_descendant("zzz").is_none());
+    }
+
+    #[test]
+    fn serialization_escapes_and_indents() {
+        let doc = XmlElement::new("r").child(XmlElement::new("c").attr("v", "a<b\"c"));
+        let s = doc.to_xml_string();
+        assert!(s.contains("&lt;"));
+        assert!(s.contains("&quot;"));
+        assert!(s.contains("  <c"));
+    }
+
+    #[test]
+    fn text_content_serialized() {
+        let mut e = XmlElement::new("t");
+        e.text = "hello & goodbye".into();
+        let s = e.to_xml_string();
+        assert!(s.contains("hello &amp; goodbye"));
+        assert!(s.starts_with("<t>"));
+    }
+
+    #[test]
+    fn empty_element_self_closes() {
+        assert_eq!(XmlElement::new("e").to_xml_string(), "<e/>\n");
+    }
+}

@@ -1,0 +1,60 @@
+//! Full Pareto exploration of the CD→DAT sample-rate converter.
+//!
+//! The six-actor chain (paper Fig. 11) converts 44.1 kHz audio to 48 kHz
+//! through rate changes 1:1, 2:3, 2:7, 8:7, 5:1. Its repetition vector
+//! (147, 147, 98, 28, 32, 160) makes buffer sizing non-obvious: this
+//! example charts the whole storage/throughput trade-off with the
+//! dependency-guided explorer and renders it as an ASCII Pareto plot.
+//!
+//! Run with: `cargo run --release -p buffy-examples --bin cd2dat_explore`
+
+use buffy_core::{explore_dependency_guided, ExploreOptions};
+use buffy_gen::gallery;
+use buffy_graph::RepetitionVector;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let graph = gallery::cd2dat();
+    let q = RepetitionVector::compute(&graph)?;
+    println!("cd2dat repetition vector: {:?}", q.as_slice());
+
+    let result = explore_dependency_guided(&graph, &ExploreOptions::default())?;
+    println!(
+        "explored with {} throughput analyses (max {} states per analysis)\n",
+        result.evaluations, result.max_states
+    );
+
+    println!("Pareto points (distribution order: c1..c5):");
+    for p in result.pareto.points() {
+        println!("  {p}");
+    }
+
+    // ASCII trade-off chart: size on the x axis, throughput on the y axis.
+    let points = result.pareto.points();
+    let min_size = points.first().expect("non-empty").size;
+    let max_size = points.last().expect("non-empty").size;
+    let max_thr = result.max_throughput.to_f64();
+    let height = 12usize;
+    let width = 48usize;
+    println!("\nthroughput");
+    let mut rows = vec![vec![b' '; width + 1]; height + 1];
+    let mut level = 0.0f64;
+    for x in 0..=width {
+        let size = min_size as f64 + (max_size - min_size) as f64 * x as f64 / width as f64;
+        for p in points {
+            if (p.size as f64) <= size {
+                level = p.throughput.to_f64();
+            }
+        }
+        let y = ((level / max_thr) * height as f64).round() as usize;
+        rows[height - y][x] = b'*';
+    }
+    for row in rows {
+        println!("  |{}", String::from_utf8_lossy(&row));
+    }
+    println!("  +{}", "-".repeat(width + 1));
+    println!(
+        "   size {min_size} .. {max_size} (lb {}, ub {})",
+        result.lower_bound_size, result.upper_bound_size
+    );
+    Ok(())
+}

@@ -1,0 +1,46 @@
+//! Quickstart: build the paper's running example, analyze one storage
+//! distribution, and chart the full storage/throughput Pareto space.
+//!
+//! Run with: `cargo run -p buffy-examples --bin quickstart`
+
+use buffy_analysis::{throughput, ExplorationLimits, Schedule};
+use buffy_core::{explore_design_space, ExploreOptions};
+use buffy_graph::{SdfGraph, StorageDistribution};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Model the graph of the paper's Fig. 1:
+    //    a --α: 2,3--> b --β: 1,2--> c, execution times (1, 2, 2).
+    let mut builder = SdfGraph::builder("example");
+    let a = builder.actor("a", 1);
+    let b = builder.actor("b", 2);
+    let c = builder.actor("c", 2);
+    builder.channel("alpha", a, 2, b, 3)?;
+    builder.channel("beta", b, 1, c, 2)?;
+    let graph = builder.build()?;
+
+    // 2. Throughput of actor c under the storage distribution ⟨4, 2⟩.
+    let dist = StorageDistribution::from_capacities(vec![4, 2]);
+    let report = throughput(&graph, &dist, c)?;
+    println!(
+        "throughput of c under γ = {dist}: {} (period {} time steps)",
+        report.throughput, report.period
+    );
+
+    // 3. The self-timed schedule realizing it (paper Table 1).
+    let schedule = Schedule::extract(&graph, &dist, ExplorationLimits::default())?;
+    println!("\nself-timed schedule (first 16 time steps):");
+    print!("{}", schedule.gantt(&graph, 16));
+
+    // 4. The complete Pareto space (paper Fig. 5).
+    let result = explore_design_space(&graph, &ExploreOptions::default())?;
+    println!("\nstorage/throughput trade-offs (Pareto points):");
+    for point in result.pareto.points() {
+        println!("  {point}");
+    }
+    println!(
+        "\nmaximal achievable throughput: {} (reached at size {})",
+        result.max_throughput,
+        result.pareto.maximal().expect("non-empty front").size
+    );
+    Ok(())
+}

@@ -1,0 +1,220 @@
+//! Cross-validation between independent implementations of the same
+//! quantities: full vs reduced state spaces, MCM vs simulation, exhaustive
+//! vs dependency-guided exploration.
+
+use buffy_analysis::{
+    explore, max_cycle_ratio, max_cycle_ratio_brute_force, maximal_throughput, throughput,
+    ExplorationLimits, Hsdf, RatioGraph, Schedule,
+};
+use buffy_core::{explore_dependency_guided, explore_design_space, ExploreOptions};
+use buffy_gen::{gallery, RandomGraphConfig};
+use buffy_graph::{Rational, RepetitionVector, SdfGraph, StorageDistribution};
+
+fn front(r: &buffy_core::ExplorationResult) -> Vec<(u64, Rational)> {
+    r.pareto
+        .points()
+        .iter()
+        .map(|p| (p.size, p.throughput))
+        .collect()
+}
+
+/// Full and reduced state spaces agree on throughput for a sweep of
+/// distributions over random graphs.
+#[test]
+fn full_vs_reduced_state_space_on_random_graphs() {
+    for seed in 0..15 {
+        let g = RandomGraphConfig {
+            actors: 4,
+            extra_channels: 1,
+            max_repetition: 3,
+            max_rate_factor: 2,
+            max_execution_time: 3,
+            seed,
+        }
+        .generate();
+        let obs = g.default_observed_actor();
+        let q = RepetitionVector::compute(&g).unwrap();
+        // A generous distribution plus two tighter variants.
+        let generous: StorageDistribution = g
+            .channels()
+            .map(|(_, c)| {
+                c.initial_tokens()
+                    + c.production() * q[c.source()]
+                    + c.consumption() * q[c.target()]
+            })
+            .collect();
+        for scale in [1u64, 2] {
+            let d: StorageDistribution =
+                generous.as_slice().iter().map(|&c| c * scale).collect();
+            let full = explore(&g, &d, ExplorationLimits::default()).unwrap();
+            let red = throughput(&g, &d, obs).unwrap();
+            assert_eq!(
+                full.throughput_of(obs),
+                red.throughput,
+                "seed {seed} scale {scale}"
+            );
+        }
+    }
+}
+
+/// The MCM-based maximal throughput equals the state-space throughput
+/// under a sufficiently large distribution, on random graphs.
+#[test]
+fn mcm_vs_simulation_on_random_graphs() {
+    for seed in 0..15 {
+        let g = RandomGraphConfig {
+            actors: 4,
+            extra_channels: 1,
+            max_repetition: 3,
+            max_rate_factor: 2,
+            max_execution_time: 3,
+            seed: 1000 + seed,
+        }
+        .generate();
+        let obs = g.default_observed_actor();
+        let q = RepetitionVector::compute(&g).unwrap();
+        let Ok(mcm_thr) = maximal_throughput(&g, obs) else {
+            continue; // token-free cycle: nothing to compare
+        };
+        // 8 iterations of slack per channel is far beyond saturation for
+        // these small graphs.
+        let d: StorageDistribution = g
+            .channels()
+            .map(|(_, c)| {
+                c.initial_tokens()
+                    + 8 * (c.production() * q[c.source()]).max(c.consumption() * q[c.target()])
+            })
+            .collect();
+        let r = throughput(&g, &d, obs).unwrap();
+        assert_eq!(r.throughput, mcm_thr, "seed {}", 1000 + seed);
+    }
+}
+
+/// Howard's algorithm matches the brute-force cycle enumeration on the
+/// gallery graphs' homogeneous expansions (small enough to enumerate).
+#[test]
+fn howard_vs_brute_force_on_gallery_expansions() {
+    for g in [gallery::example(), gallery::bipartite()] {
+        let q = RepetitionVector::compute(&g).unwrap();
+        let h = Hsdf::expand(&g, &q);
+        let rg = RatioGraph::from_hsdf(&h);
+        assert_eq!(
+            max_cycle_ratio(&rg).unwrap(),
+            max_cycle_ratio_brute_force(&rg).unwrap(),
+            "{}",
+            g.name()
+        );
+    }
+}
+
+/// The exhaustive and dependency-guided explorations produce identical
+/// (size, throughput) Pareto fronts on random graphs.
+#[test]
+fn exhaustive_vs_guided_on_random_graphs() {
+    let mut compared = 0;
+    for seed in 0..12 {
+        let g = RandomGraphConfig {
+            actors: 4,
+            extra_channels: 1,
+            max_repetition: 2,
+            max_rate_factor: 2,
+            max_execution_time: 3,
+            seed: 2000 + seed,
+        }
+        .generate();
+        let opts = ExploreOptions::default();
+        let (Ok(a), Ok(b)) = (
+            explore_design_space(&g, &opts),
+            explore_dependency_guided(&g, &opts),
+        ) else {
+            continue; // e.g. token-free cycles
+        };
+        assert_eq!(front(&a), front(&b), "seed {}", 2000 + seed);
+        compared += 1;
+    }
+    assert!(compared >= 6, "too few comparable random graphs: {compared}");
+}
+
+/// The two explorers also agree on the small gallery graphs.
+#[test]
+fn exhaustive_vs_guided_on_small_gallery() {
+    for g in [gallery::example(), gallery::bipartite()] {
+        let opts = ExploreOptions::default();
+        let a = explore_design_space(&g, &opts).unwrap();
+        let b = explore_dependency_guided(&g, &opts).unwrap();
+        assert_eq!(front(&a), front(&b), "{}", g.name());
+    }
+}
+
+/// The two explorers agree on the mid-size gallery graphs (slower;
+/// exercised in release runs).
+#[test]
+#[ignore = "minutes in debug builds; run with --ignored --release"]
+fn exhaustive_vs_guided_on_large_gallery() {
+    for g in [gallery::modem(), gallery::cd2dat(), gallery::satellite()] {
+        let opts = ExploreOptions::default();
+        let a = explore_design_space(&g, &opts).unwrap();
+        let b = explore_dependency_guided(&g, &opts).unwrap();
+        assert_eq!(front(&a), front(&b), "{}", g.name());
+    }
+}
+
+/// Every Pareto witness on every gallery graph yields a valid schedule
+/// realizing the reported throughput.
+#[test]
+fn pareto_witness_schedules_validate() {
+    for g in [gallery::example(), gallery::bipartite(), gallery::modem()] {
+        let obs = g.default_observed_actor();
+        let r = explore_dependency_guided(&g, &ExploreOptions::default()).unwrap();
+        for p in r.pareto.points() {
+            let s =
+                Schedule::extract(&g, &p.distribution, ExplorationLimits::default()).unwrap();
+            s.validate(&g, &p.distribution)
+                .unwrap_or_else(|e| panic!("{}: {e}", g.name()));
+            assert_eq!(s.throughput_of(obs), p.throughput, "{}", g.name());
+        }
+    }
+}
+
+/// Monotonicity (the property §9 builds on): growing any single channel
+/// never lowers the throughput.
+#[test]
+fn throughput_monotone_in_capacity_on_gallery() {
+    for g in [gallery::example(), gallery::bipartite()] {
+        let obs = g.default_observed_actor();
+        let r = explore_dependency_guided(&g, &ExploreOptions::default()).unwrap();
+        for p in r.pareto.points() {
+            let base = throughput(&g, &p.distribution, obs).unwrap().throughput;
+            for cid in g.channel_ids() {
+                let grown = p.distribution.grown(cid, 1);
+                let t = throughput(&g, &grown, obs).unwrap().throughput;
+                assert!(t >= base, "{}: channel {cid}", g.name());
+            }
+        }
+    }
+}
+
+/// Explicit tiny-case cross-check: a two-actor graph where every quantity
+/// is hand-computable.
+#[test]
+fn hand_computed_two_actor_case() {
+    // x --(2:1)--> y, exec (2, 1): x produces 2 tokens every 2 steps;
+    // y consumes 1 per firing, 1 step. Max thr(y) = 1.
+    let mut b = SdfGraph::builder("hand");
+    let x = b.actor("x", 2);
+    let y = b.actor("y", 1);
+    b.channel("c", x, 2, y, 1).unwrap();
+    let g = b.build().unwrap();
+    assert_eq!(maximal_throughput(&g, y).unwrap(), Rational::ONE);
+    // Capacity 2 (= BMLB): x fires, blocked until y drains both tokens;
+    // cycle: x busy 2, then y twice … period 3 wait: t0 x starts; t2 x done
+    // (tokens 2), x blocked (space 0), y starts; t3 y done (1), x blocked
+    // (space 1 < 2), y starts; t4 y done (0), x starts; period = 4−1? The
+    // oracle is the simulator itself — assert the exact value it must
+    // give: 2 firings of y per 4 steps = 1/2.
+    let r = throughput(&g, &StorageDistribution::from_capacities(vec![2]), y).unwrap();
+    assert_eq!(r.throughput, Rational::new(1, 2));
+    // Capacity 4 allows full overlap: y fires every step once warmed up.
+    let r = throughput(&g, &StorageDistribution::from_capacities(vec![4]), y).unwrap();
+    assert_eq!(r.throughput, Rational::ONE);
+}

@@ -1,0 +1,98 @@
+//! Paper §5: "the throughput of each pair of actors in a graph is related
+//! to each other via a constant" — the ratio of their repetition-vector
+//! entries. These tests pin that property across analyses and explorers.
+
+use buffy_analysis::{maximal_throughput, throughput};
+use buffy_core::{explore_dependency_guided, ExploreOptions};
+use buffy_gen::{gallery, RandomGraphConfig};
+use buffy_graph::{Rational, RepetitionVector};
+
+/// Under any storage distribution, thr(a)/thr(b) = q(a)/q(b) for every
+/// actor pair (gallery graphs, Pareto witnesses).
+#[test]
+fn throughputs_scale_with_repetition_vector() {
+    for g in [gallery::example(), gallery::bipartite(), gallery::cd2dat()] {
+        let q = RepetitionVector::compute(&g).unwrap();
+        let r = explore_dependency_guided(&g, &ExploreOptions::default()).unwrap();
+        for p in r.pareto.points() {
+            let per_actor: Vec<Rational> = g
+                .actor_ids()
+                .map(|a| throughput(&g, &p.distribution, a).unwrap().throughput)
+                .collect();
+            for a in g.actor_ids() {
+                for b in g.actor_ids() {
+                    assert_eq!(
+                        per_actor[a.index()] * Rational::from(q[b]),
+                        per_actor[b.index()] * Rational::from(q[a]),
+                        "{}: actors {a}/{b} at γ = {}",
+                        g.name(),
+                        p.distribution
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// The same scaling holds for the maximal (MCM-based) throughput.
+#[test]
+fn maximal_throughputs_scale_with_repetition_vector() {
+    for seed in 0..8 {
+        let g = RandomGraphConfig {
+            actors: 5,
+            extra_channels: 1,
+            max_repetition: 3,
+            max_rate_factor: 2,
+            max_execution_time: 4,
+            seed: 5000 + seed,
+        }
+        .generate();
+        let q = RepetitionVector::compute(&g).unwrap();
+        let values: Vec<_> = g
+            .actor_ids()
+            .map(|a| maximal_throughput(&g, a))
+            .collect();
+        if values.iter().any(|v| v.is_err()) {
+            continue; // token-free cycle
+        }
+        let values: Vec<Rational> = values.into_iter().map(|v| v.unwrap()).collect();
+        for a in g.actor_ids() {
+            for b in g.actor_ids() {
+                assert_eq!(
+                    values[a.index()] * Rational::from(q[b]),
+                    values[b.index()] * Rational::from(q[a]),
+                    "seed {} actors {a}/{b}",
+                    5000 + seed
+                );
+            }
+        }
+    }
+}
+
+/// Exploring with a different observed actor yields a front with the same
+/// distribution sizes and proportionally scaled throughputs.
+#[test]
+fn exploration_fronts_scale_between_observed_actors() {
+    let g = gallery::example();
+    let q = RepetitionVector::compute(&g).unwrap();
+    let a = g.actor_by_name("a").unwrap();
+    let c = g.actor_by_name("c").unwrap();
+    let front = |obs| {
+        explore_dependency_guided(
+            &g,
+            &ExploreOptions {
+                observed: Some(obs),
+                ..ExploreOptions::default()
+            },
+        )
+        .unwrap()
+    };
+    let fa = front(a);
+    let fc = front(c);
+    assert_eq!(fa.pareto.len(), fc.pareto.len());
+    let ratio = Rational::new(q[a] as i128, q[c] as i128);
+    for (pa, pc) in fa.pareto.points().iter().zip(fc.pareto.points()) {
+        assert_eq!(pa.size, pc.size);
+        assert_eq!(pa.throughput, pc.throughput * ratio);
+    }
+}
