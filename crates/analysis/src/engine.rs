@@ -156,6 +156,12 @@ pub struct Engine<'g> {
     state: SdfState,
     time: u64,
     started: bool,
+    /// Completed firings per actor, kept to cross-check token counts.
+    #[cfg(feature = "strict-invariants")]
+    fired: Vec<u64>,
+    /// Time at the last invariant check; time must never move backwards.
+    #[cfg(feature = "strict-invariants")]
+    last_time: u64,
 }
 
 impl<'g> Engine<'g> {
@@ -182,6 +188,45 @@ impl<'g> Engine<'g> {
             },
             time: 0,
             started: false,
+            #[cfg(feature = "strict-invariants")]
+            fired: vec![0; graph.num_actors()],
+            #[cfg(feature = "strict-invariants")]
+            last_time: 0,
+        }
+    }
+
+    /// Hard invariant checks compiled in by the `strict-invariants`
+    /// feature: the clock is monotone, every channel's fill level equals
+    /// `initial + produced − consumed` (token conservation), capacities
+    /// are respected and no running firing exceeds its execution time.
+    #[cfg(feature = "strict-invariants")]
+    fn assert_invariants(&mut self) {
+        assert!(self.time >= self.last_time, "time moved backwards");
+        self.last_time = self.time;
+        for (cid, ch) in self.graph.channels() {
+            let produced = self.fired[ch.source().index()] as i128 * ch.production() as i128;
+            let consumed = self.fired[ch.target().index()] as i128 * ch.consumption() as i128;
+            let expected = ch.initial_tokens() as i128 + produced - consumed;
+            assert_eq!(
+                self.state.tokens[cid.index()] as i128,
+                expected,
+                "token conservation violated on channel {}",
+                ch.name()
+            );
+            if let Some(cap) = self.caps.get(cid) {
+                assert!(
+                    self.state.tokens[cid.index()] <= cap,
+                    "capacity exceeded on channel {}",
+                    ch.name()
+                );
+            }
+        }
+        for (aid, actor) in self.graph.actors() {
+            assert!(
+                self.state.act_clk[aid.index()] <= actor.execution_time(),
+                "clock of actor {} exceeds its execution time",
+                actor.name()
+            );
         }
     }
 
@@ -243,6 +288,8 @@ impl<'g> Engine<'g> {
         self.started = true;
         let mut events = StepEvents::default();
         self.start_enabled(&mut events)?;
+        #[cfg(feature = "strict-invariants")]
+        self.assert_invariants();
         Ok(events)
     }
 
@@ -280,6 +327,8 @@ impl<'g> Engine<'g> {
 
         // 2. Start every enabled firing (fixpoint for zero-time actors).
         self.start_enabled(&mut events)?;
+        #[cfg(feature = "strict-invariants")]
+        self.assert_invariants();
         Ok(StepOutcome::Progress(events))
     }
 
@@ -301,6 +350,10 @@ impl<'g> Engine<'g> {
     /// Applies the end-of-firing effects of `actor`: consume inputs,
     /// produce outputs (paper Fig. 2).
     fn complete(&mut self, actor: ActorId) {
+        #[cfg(feature = "strict-invariants")]
+        {
+            self.fired[actor.index()] += 1;
+        }
         for &cid in self.graph.input_channels(actor) {
             let ch = self.graph.channel(cid);
             debug_assert!(self.state.tokens[cid.index()] >= ch.consumption());
@@ -512,7 +565,10 @@ mod tests {
         let g = bld.build().unwrap();
         let d = StorageDistribution::from_capacities(vec![1, 1]);
         let mut e = Engine::new(&g, Capacities::from_distribution(&d));
-        assert_eq!(e.start_initial().unwrap_err(), AnalysisError::ZeroTimeLivelock);
+        assert_eq!(
+            e.start_initial().unwrap_err(),
+            AnalysisError::ZeroTimeLivelock
+        );
     }
 
     #[test]

@@ -40,7 +40,10 @@ impl fmt::Display for AnalysisError {
                 "zero-execution-time actors fire without bound within one time step"
             ),
             AnalysisError::ZeroPeriod => {
-                write!(f, "periodic phase has zero duration; throughput is unbounded")
+                write!(
+                    f,
+                    "periodic phase has zero duration; throughput is unbounded"
+                )
             }
             AnalysisError::NotLive => {
                 write!(f, "graph has a token-free cycle and deadlocks")

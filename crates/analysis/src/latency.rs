@@ -79,12 +79,11 @@ pub fn latency(
     let initial = engine.start_initial()?;
 
     let mut completions: Vec<u64> = Vec::new();
-    let record =
-        |completions: &mut Vec<u64>, events: &crate::engine::StepEvents, time: u64| {
-            for _ in events.completed.iter().filter(|&&a| a == observed) {
-                completions.push(time);
-            }
-        };
+    let record = |completions: &mut Vec<u64>, events: &crate::engine::StepEvents, time: u64| {
+        for _ in events.completed.iter().filter(|&&a| a == observed) {
+            completions.push(time);
+        }
+    };
     record(&mut completions, &initial, 0);
 
     // Track state recurrence to delimit the periodic phase.

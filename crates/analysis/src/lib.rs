@@ -50,25 +50,25 @@
 mod dependencies;
 mod engine;
 mod error;
-mod latency;
-mod memory;
-pub mod transform;
 pub mod graph_algos;
 mod hsdf;
+mod latency;
 mod mcm;
+mod memory;
 mod schedule;
 mod state_space;
 mod throughput;
+pub mod transform;
 
 pub use dependencies::{throughput_with_dependencies, DependencyReport};
 pub use engine::{Capacities, Engine, SdfState, StepEvents, StepOutcome};
 pub use error::AnalysisError;
 pub use hsdf::{Hsdf, HsdfEdge, HsdfNode};
 pub use latency::{latency, LatencyReport};
-pub use memory::{shared_memory_peak, SharedMemoryReport};
 pub use mcm::{
     max_cycle_ratio, max_cycle_ratio_brute_force, maximal_throughput, RatioEdge, RatioGraph,
 };
+pub use memory::{shared_memory_peak, SharedMemoryReport};
 pub use schedule::{Firing, Schedule, ScheduleViolation};
 pub use state_space::{explore, StateSpace};
 pub use throughput::{

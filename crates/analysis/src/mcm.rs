@@ -171,7 +171,12 @@ fn check_live(g: &RatioGraph) -> Result<(), AnalysisError> {
 pub fn max_cycle_ratio(g: &RatioGraph) -> Result<Option<Rational>, AnalysisError> {
     check_live(g)?;
     let adj = g.adjacency();
-    let comps = sccs(g.num_nodes, &adj.iter().map(|es| es.iter().map(|&e| g.edges[e].to).collect()).collect::<Vec<_>>());
+    let comps = sccs(
+        g.num_nodes,
+        &adj.iter()
+            .map(|es| es.iter().map(|&e| g.edges[e].to).collect())
+            .collect::<Vec<_>>(),
+    );
 
     let mut best: Option<Rational> = None;
     for comp in comps {
@@ -325,8 +330,7 @@ fn evaluate_policy(
                 let e = g.edges[policy[v]];
                 let succ = cycle[(i + 1) % cycle.len()];
                 lambda[v] = lam;
-                value[v] =
-                    Rational::from(e.weight) - lam * Rational::from(e.tokens) + value[succ];
+                value[v] = Rational::from(e.weight) - lam * Rational::from(e.tokens) + value[succ];
             }
             for &v in cycle {
                 color[v] = 2;
@@ -360,6 +364,7 @@ pub fn max_cycle_ratio_brute_force(g: &RatioGraph) -> Result<Option<Rational>, A
     let adj = g.adjacency();
     let mut best: Option<Rational> = None;
 
+    #[allow(clippy::too_many_arguments)]
     fn dfs(
         g: &RatioGraph,
         adj: &[Vec<usize>],
@@ -377,17 +382,24 @@ pub fn max_cycle_ratio_brute_force(g: &RatioGraph) -> Result<Option<Rational>, A
                 continue; // canonical: cycles rooted at their min node
             }
             if w == start {
-                let ratio = Rational::new(
-                    (w_sum + edge.weight) as i128,
-                    (t_sum + edge.tokens) as i128,
-                );
+                let ratio =
+                    Rational::new((w_sum + edge.weight) as i128, (t_sum + edge.tokens) as i128);
                 *best = Some(match *best {
                     Some(b) => b.max(ratio),
                     None => ratio,
                 });
             } else if !on_path[w] {
                 on_path[w] = true;
-                dfs(g, adj, start, w, on_path, w_sum + edge.weight, t_sum + edge.tokens, best);
+                dfs(
+                    g,
+                    adj,
+                    start,
+                    w,
+                    on_path,
+                    w_sum + edge.weight,
+                    t_sum + edge.tokens,
+                    best,
+                );
                 on_path[w] = false;
             }
         }
@@ -433,10 +445,7 @@ pub fn max_cycle_ratio_brute_force(g: &RatioGraph) -> Result<Option<Rational>, A
 /// # Ok(())
 /// # }
 /// ```
-pub fn maximal_throughput(
-    graph: &SdfGraph,
-    observed: ActorId,
-) -> Result<Rational, AnalysisError> {
+pub fn maximal_throughput(graph: &SdfGraph, observed: ActorId) -> Result<Rational, AnalysisError> {
     let q = RepetitionVector::compute(graph)?;
     let h = Hsdf::expand(graph, &q);
     let rg = RatioGraph::from_hsdf(&h);
@@ -466,9 +475,17 @@ mod tests {
     #[test]
     fn example_maximal_throughput_is_quarter() {
         let g = example();
-        for (name, expect) in [("a", Rational::new(3, 4)), ("b", Rational::new(1, 2)), ("c", Rational::new(1, 4))] {
+        for (name, expect) in [
+            ("a", Rational::new(3, 4)),
+            ("b", Rational::new(1, 2)),
+            ("c", Rational::new(1, 4)),
+        ] {
             let actor = g.actor_by_name(name).unwrap();
-            assert_eq!(maximal_throughput(&g, actor).unwrap(), expect, "actor {name}");
+            assert_eq!(
+                maximal_throughput(&g, actor).unwrap(),
+                expect,
+                "actor {name}"
+            );
         }
     }
 
@@ -479,9 +496,24 @@ mod tests {
         let g = RatioGraph {
             num_nodes: 3,
             edges: vec![
-                RatioEdge { from: 0, to: 1, weight: 2, tokens: 0 },
-                RatioEdge { from: 1, to: 2, weight: 3, tokens: 1 },
-                RatioEdge { from: 2, to: 0, weight: 4, tokens: 1 },
+                RatioEdge {
+                    from: 0,
+                    to: 1,
+                    weight: 2,
+                    tokens: 0,
+                },
+                RatioEdge {
+                    from: 1,
+                    to: 2,
+                    weight: 3,
+                    tokens: 1,
+                },
+                RatioEdge {
+                    from: 2,
+                    to: 0,
+                    weight: 4,
+                    tokens: 1,
+                },
             ],
         };
         assert_eq!(max_cycle_ratio(&g).unwrap(), Some(Rational::new(9, 2)));
@@ -498,13 +530,36 @@ mod tests {
         let g = RatioGraph {
             num_nodes: 3,
             edges: vec![
-                RatioEdge { from: 0, to: 1, weight: 1, tokens: 0 },
-                RatioEdge { from: 1, to: 0, weight: 1, tokens: 1 },
-                RatioEdge { from: 0, to: 2, weight: 5, tokens: 1 },
-                RatioEdge { from: 2, to: 0, weight: 1, tokens: 1 },
+                RatioEdge {
+                    from: 0,
+                    to: 1,
+                    weight: 1,
+                    tokens: 0,
+                },
+                RatioEdge {
+                    from: 1,
+                    to: 0,
+                    weight: 1,
+                    tokens: 1,
+                },
+                RatioEdge {
+                    from: 0,
+                    to: 2,
+                    weight: 5,
+                    tokens: 1,
+                },
+                RatioEdge {
+                    from: 2,
+                    to: 0,
+                    weight: 1,
+                    tokens: 1,
+                },
             ],
         };
-        assert_eq!(max_cycle_ratio(&g).unwrap(), Some(Rational::from_integer(3)));
+        assert_eq!(
+            max_cycle_ratio(&g).unwrap(),
+            Some(Rational::from_integer(3))
+        );
     }
 
     #[test]
@@ -512,8 +567,18 @@ mod tests {
         let g = RatioGraph {
             num_nodes: 3,
             edges: vec![
-                RatioEdge { from: 0, to: 1, weight: 1, tokens: 1 },
-                RatioEdge { from: 1, to: 2, weight: 1, tokens: 0 },
+                RatioEdge {
+                    from: 0,
+                    to: 1,
+                    weight: 1,
+                    tokens: 1,
+                },
+                RatioEdge {
+                    from: 1,
+                    to: 2,
+                    weight: 1,
+                    tokens: 0,
+                },
             ],
         };
         assert_eq!(max_cycle_ratio(&g).unwrap(), None);
@@ -525,8 +590,18 @@ mod tests {
         let g = RatioGraph {
             num_nodes: 2,
             edges: vec![
-                RatioEdge { from: 0, to: 1, weight: 1, tokens: 0 },
-                RatioEdge { from: 1, to: 0, weight: 1, tokens: 0 },
+                RatioEdge {
+                    from: 0,
+                    to: 1,
+                    weight: 1,
+                    tokens: 0,
+                },
+                RatioEdge {
+                    from: 1,
+                    to: 0,
+                    weight: 1,
+                    tokens: 0,
+                },
             ],
         };
         assert_eq!(max_cycle_ratio(&g).unwrap_err(), AnalysisError::NotLive);
@@ -546,7 +621,12 @@ mod tests {
     fn self_loop_ratio() {
         let g = RatioGraph {
             num_nodes: 1,
-            edges: vec![RatioEdge { from: 0, to: 0, weight: 7, tokens: 2 }],
+            edges: vec![RatioEdge {
+                from: 0,
+                to: 0,
+                weight: 7,
+                tokens: 2,
+            }],
         };
         assert_eq!(max_cycle_ratio(&g).unwrap(), Some(Rational::new(7, 2)));
     }
@@ -573,7 +653,10 @@ mod tests {
                     tokens: 1 + rng() % 3, // ≥1 token keeps every cycle live
                 });
             }
-            let g = RatioGraph { num_nodes: n, edges };
+            let g = RatioGraph {
+                num_nodes: n,
+                edges,
+            };
             let howard = max_cycle_ratio(&g).unwrap();
             let brute = max_cycle_ratio_brute_force(&g).unwrap();
             assert_eq!(howard, brute, "case {case}: {g:?}");
@@ -611,9 +694,6 @@ mod tests {
         b.channel("c5", f4, 5, dat, 1).unwrap();
         let g = b.build().unwrap();
         assert_eq!(maximal_throughput(&g, dat).unwrap(), Rational::ONE);
-        assert_eq!(
-            maximal_throughput(&g, cd).unwrap(),
-            Rational::new(147, 160)
-        );
+        assert_eq!(maximal_throughput(&g, cd).unwrap(), Rational::new(147, 160));
     }
 }

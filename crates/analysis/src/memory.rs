@@ -96,7 +96,10 @@ pub fn shared_memory_peak(
                 for (p, &t) in channel_peaks.iter_mut().zip(&engine.state().tokens) {
                     *p = (*p).max(t);
                 }
-                if index.insert(engine.state().clone(), engine.time()).is_some() {
+                if index
+                    .insert(engine.state().clone(), engine.time())
+                    .is_some()
+                {
                     break; // periodic phase fully covered
                 }
             }

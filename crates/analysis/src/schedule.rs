@@ -58,13 +58,22 @@ impl fmt::Display for ScheduleViolation {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             ScheduleViolation::AutoConcurrency { actor, time } => {
-                write!(f, "actor {actor} fires concurrently with itself at t={time}")
+                write!(
+                    f,
+                    "actor {actor} fires concurrently with itself at t={time}"
+                )
             }
             ScheduleViolation::MissingTokens { actor, time } => {
-                write!(f, "actor {actor} starts at t={time} without enough input tokens")
+                write!(
+                    f,
+                    "actor {actor} starts at t={time} without enough input tokens"
+                )
             }
             ScheduleViolation::MissingSpace { actor, time } => {
-                write!(f, "actor {actor} starts at t={time} without enough output space")
+                write!(
+                    f,
+                    "actor {actor} starts at t={time} without enough output space"
+                )
             }
         }
     }
@@ -195,11 +204,7 @@ impl Schedule {
             return Some(recorded[i as usize]);
         }
         let (entry, period) = self.period?;
-        let periodic: Vec<u64> = recorded
-            .iter()
-            .copied()
-            .filter(|&t| t >= entry)
-            .collect();
+        let periodic: Vec<u64> = recorded.iter().copied().filter(|&t| t >= entry).collect();
         if periodic.is_empty() {
             return None;
         }
@@ -243,8 +248,7 @@ impl Schedule {
             ZeroFiring(usize),
             Start(usize),
         }
-        let mut events: Vec<(u64, u8, usize, Ev)> =
-            Vec::with_capacity(self.firings.len() * 2);
+        let mut events: Vec<(u64, u8, usize, Ev)> = Vec::with_capacity(self.firings.len() * 2);
         for (i, f) in self.firings.iter().enumerate() {
             if f.start == f.end {
                 events.push((f.start, 1, i, Ev::ZeroFiring(i)));
@@ -477,7 +481,11 @@ mod tests {
 
         // b starting at t=0 has no tokens.
         let s = Schedule {
-            firings: vec![Firing { actor: b, start: 0, end: 2 }],
+            firings: vec![Firing {
+                actor: b,
+                start: 0,
+                end: 2,
+            }],
             period: None,
         };
         assert!(matches!(
@@ -488,8 +496,16 @@ mod tests {
         // Two overlapping firings of a.
         let s = Schedule {
             firings: vec![
-                Firing { actor: a, start: 0, end: 1 },
-                Firing { actor: a, start: 0, end: 1 },
+                Firing {
+                    actor: a,
+                    start: 0,
+                    end: 1,
+                },
+                Firing {
+                    actor: a,
+                    start: 0,
+                    end: 1,
+                },
             ],
             period: None,
         };
@@ -501,9 +517,21 @@ mod tests {
         // Three a-firings back to back overflow α (capacity 4 < 6).
         let s = Schedule {
             firings: vec![
-                Firing { actor: a, start: 0, end: 1 },
-                Firing { actor: a, start: 1, end: 2 },
-                Firing { actor: a, start: 2, end: 3 },
+                Firing {
+                    actor: a,
+                    start: 0,
+                    end: 1,
+                },
+                Firing {
+                    actor: a,
+                    start: 1,
+                    end: 2,
+                },
+                Firing {
+                    actor: a,
+                    start: 2,
+                    end: 3,
+                },
             ],
             period: None,
         };

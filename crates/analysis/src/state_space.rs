@@ -181,7 +181,10 @@ mod tests {
         assert!(ss.deadlocked());
         assert_eq!(ss.cycle_len(), 0);
         assert!(ss.closing_events.is_none());
-        assert_eq!(ss.throughput_of(g.actor_by_name("c").unwrap()), Rational::ZERO);
+        assert_eq!(
+            ss.throughput_of(g.actor_by_name("c").unwrap()),
+            Rational::ZERO
+        );
     }
 
     #[test]

@@ -171,11 +171,7 @@ pub fn throughput_with_capacities(
 
     // The observed actor may complete during the initial start phase when
     // its execution time is 0.
-    let mut pending = initial
-        .completed
-        .iter()
-        .filter(|&&a| a == observed)
-        .count() as u32;
+    let mut pending = initial.completed.iter().filter(|&&a| a == observed).count() as u32;
     if pending > 0 {
         let rs = ReducedState {
             state: engine.state().clone(),

@@ -131,8 +131,7 @@ mod tests {
         let y = b.actor("y", 1);
         b.channel_with_tokens("c", x, 1, y, 1, 3).unwrap();
         let g = b.build().unwrap();
-        let t =
-            capacities_as_channels(&g, &StorageDistribution::from_capacities(vec![5])).unwrap();
+        let t = capacities_as_channels(&g, &StorageDistribution::from_capacities(vec![5])).unwrap();
         let space = t.channel(t.channel_by_name("__space_c").unwrap());
         assert_eq!(space.initial_tokens(), 2);
     }
@@ -144,8 +143,8 @@ mod tests {
         let y = b.actor("y", 1);
         b.channel_with_tokens("c", x, 1, y, 1, 3).unwrap();
         let g = b.build().unwrap();
-        let err = capacities_as_channels(&g, &StorageDistribution::from_capacities(vec![2]))
-            .unwrap_err();
+        let err =
+            capacities_as_channels(&g, &StorageDistribution::from_capacities(vec![2])).unwrap_err();
         assert!(matches!(err, AnalysisError::Graph(_)));
     }
 

@@ -1,8 +1,9 @@
-//! Criterion bench: CSDF analyses — throughput, maximal throughput and
+//! Timing bench: CSDF analyses — throughput, maximal throughput and
 //! exploration on the CSDF gallery, plus the single-phase embedding
 //! overhead relative to the plain SDF analysis.
 
 use buffy_analysis::throughput as sdf_throughput;
+use buffy_bench::timing;
 use buffy_core::lower_bound_distribution;
 use buffy_csdf::{
     csdf_explore, csdf_maximal_throughput, csdf_throughput, CsdfExploreOptions, CsdfGraph,
@@ -10,23 +11,25 @@ use buffy_csdf::{
 };
 use buffy_gen::gallery as sdf_gallery;
 use buffy_graph::StorageDistribution;
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
-fn bench_csdf(criterion: &mut Criterion) {
-    let mut group = criterion.benchmark_group("csdf");
+fn main() {
+    let mut group = timing::group("csdf");
 
-    for graph in [buffy_csdf::gallery::updown(), buffy_csdf::gallery::line_scaler()] {
+    for graph in [
+        buffy_csdf::gallery::updown(),
+        buffy_csdf::gallery::line_scaler(),
+    ] {
         let obs = graph.default_observed_actor();
         let dist = StorageDistribution::from_capacities(vec![8; graph.num_channels()]);
-        group.bench_function(format!("{}/throughput", graph.name()), |b| {
-            b.iter(|| csdf_throughput(black_box(&graph), &dist, obs, CsdfLimits::default()).unwrap())
+        group.bench(&format!("{}/throughput", graph.name()), || {
+            csdf_throughput(black_box(&graph), &dist, obs, CsdfLimits::default()).unwrap()
         });
-        group.bench_function(format!("{}/maximal-throughput", graph.name()), |b| {
-            b.iter(|| csdf_maximal_throughput(black_box(&graph), obs).unwrap())
+        group.bench(&format!("{}/maximal-throughput", graph.name()), || {
+            csdf_maximal_throughput(black_box(&graph), obs).unwrap()
         });
-        group.bench_function(format!("{}/explore", graph.name()), |b| {
-            b.iter(|| csdf_explore(black_box(&graph), &CsdfExploreOptions::default()).unwrap())
+        group.bench(&format!("{}/explore", graph.name()), || {
+            csdf_explore(black_box(&graph), &CsdfExploreOptions::default()).unwrap()
         });
     }
 
@@ -37,14 +40,11 @@ fn bench_csdf(criterion: &mut Criterion) {
     let dist = lower_bound_distribution(&sdf);
     let obs_sdf = sdf.default_observed_actor();
     let obs_csdf = csdf.default_observed_actor();
-    group.bench_function("example/sdf-engine", |b| {
-        b.iter(|| sdf_throughput(black_box(&sdf), &dist, obs_sdf).unwrap())
+    group.bench("example/sdf-engine", || {
+        sdf_throughput(black_box(&sdf), &dist, obs_sdf).unwrap()
     });
-    group.bench_function("example/csdf-engine", |b| {
-        b.iter(|| csdf_throughput(black_box(&csdf), &dist, obs_csdf, CsdfLimits::default()).unwrap())
+    group.bench("example/csdf-engine", || {
+        csdf_throughput(black_box(&csdf), &dist, obs_csdf, CsdfLimits::default()).unwrap()
     });
     group.finish();
 }
-
-criterion_group!(benches, bench_csdf);
-criterion_main!(benches);

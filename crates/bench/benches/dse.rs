@@ -1,11 +1,11 @@
-//! Criterion bench (ablation A): the paper's exhaustive design-space
+//! Timing bench (ablation A): the paper's exhaustive design-space
 //! exploration vs the dependency-guided exploration vs the parallel
 //! exhaustive variant — same exact Pareto fronts, different costs.
 
+use buffy_bench::timing;
 use buffy_core::{explore_dependency_guided, explore_design_space, ExploreOptions};
 use buffy_gen::{gallery, RandomGraphConfig};
 use buffy_graph::SdfGraph;
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
 fn subjects() -> Vec<SdfGraph> {
@@ -25,27 +25,23 @@ fn subjects() -> Vec<SdfGraph> {
     ]
 }
 
-fn bench_dse(criterion: &mut Criterion) {
-    let mut group = criterion.benchmark_group("dse");
-    group.sample_size(10);
+fn main() {
+    let mut group = timing::group("dse");
     for graph in subjects() {
         let opts = ExploreOptions::default();
-        group.bench_function(format!("{}/exhaustive", graph.name()), |b| {
-            b.iter(|| explore_design_space(black_box(&graph), &opts).unwrap())
+        group.bench(&format!("{}/exhaustive", graph.name()), || {
+            explore_design_space(black_box(&graph), &opts).unwrap()
         });
-        group.bench_function(format!("{}/guided", graph.name()), |b| {
-            b.iter(|| explore_dependency_guided(black_box(&graph), &opts).unwrap())
+        group.bench(&format!("{}/guided", graph.name()), || {
+            explore_dependency_guided(black_box(&graph), &opts).unwrap()
         });
         let par = ExploreOptions {
             threads: 4,
             ..ExploreOptions::default()
         };
-        group.bench_function(format!("{}/exhaustive-4-threads", graph.name()), |b| {
-            b.iter(|| explore_design_space(black_box(&graph), &par).unwrap())
+        group.bench(&format!("{}/exhaustive-4-threads", graph.name()), || {
+            explore_design_space(black_box(&graph), &par).unwrap()
         });
     }
     group.finish();
 }
-
-criterion_group!(benches, bench_dse);
-criterion_main!(benches);

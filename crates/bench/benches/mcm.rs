@@ -1,19 +1,19 @@
-//! Criterion bench: HSDF expansion and maximum-cycle-ratio analysis
+//! Timing bench: HSDF expansion and maximum-cycle-ratio analysis
 //! ([GG93] role in the paper, §9) across the gallery and growing random
 //! graphs.
 
 use buffy_analysis::{max_cycle_ratio, maximal_throughput, Hsdf, RatioGraph};
+use buffy_bench::timing;
 use buffy_gen::{gallery, RandomGraphConfig};
 use buffy_graph::RepetitionVector;
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
-fn bench_mcm(criterion: &mut Criterion) {
-    let mut group = criterion.benchmark_group("mcm");
+fn main() {
+    let mut group = timing::group("mcm");
     for graph in gallery::all() {
         let observed = graph.default_observed_actor();
-        group.bench_function(format!("{}/maximal-throughput", graph.name()), |b| {
-            b.iter(|| maximal_throughput(black_box(&graph), observed).unwrap())
+        group.bench(&format!("{}/maximal-throughput", graph.name()), || {
+            maximal_throughput(black_box(&graph), observed).unwrap()
         });
     }
     // Scaling with graph size on random graphs.
@@ -28,15 +28,10 @@ fn bench_mcm(criterion: &mut Criterion) {
         }
         .generate();
         let q = RepetitionVector::compute(&graph).expect("consistent");
-        group.bench_function(format!("random-{actors}/expand+howard"), |b| {
-            b.iter(|| {
-                let h = Hsdf::expand(black_box(&graph), &q);
-                max_cycle_ratio(&RatioGraph::from_hsdf(&h)).unwrap()
-            })
+        group.bench(&format!("random-{actors}/expand+howard"), || {
+            let h = Hsdf::expand(black_box(&graph), &q);
+            max_cycle_ratio(&RatioGraph::from_hsdf(&h)).unwrap()
         });
     }
     group.finish();
 }
-
-criterion_group!(benches, bench_mcm);
-criterion_main!(benches);

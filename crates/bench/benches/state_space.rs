@@ -1,34 +1,34 @@
-//! Criterion bench (ablation B): full timed state space (paper §6) vs the
+//! Timing bench (ablation B): full timed state space (paper §6) vs the
 //! reduced state space (paper §7) — the reduction is the paper's key
 //! implementation idea; this bench quantifies it.
 
 use buffy_analysis::{explore, throughput, ExplorationLimits};
+use buffy_bench::timing;
 use buffy_core::lower_bound_distribution;
 use buffy_gen::gallery;
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
-fn bench_state_space(criterion: &mut Criterion) {
-    let mut group = criterion.benchmark_group("state-space");
-    for graph in [gallery::example(), gallery::bipartite(), gallery::modem(), gallery::cd2dat()] {
+fn main() {
+    let mut group = timing::group("state-space");
+    for graph in [
+        gallery::example(),
+        gallery::bipartite(),
+        gallery::modem(),
+        gallery::cd2dat(),
+    ] {
         let observed = graph.default_observed_actor();
         let dist = lower_bound_distribution(&graph);
-        group.bench_function(format!("{}/full", graph.name()), |b| {
-            b.iter(|| {
-                explore(
-                    black_box(&graph),
-                    black_box(&dist),
-                    ExplorationLimits::default(),
-                )
-                .unwrap()
-            })
+        group.bench(&format!("{}/full", graph.name()), || {
+            explore(
+                black_box(&graph),
+                black_box(&dist),
+                ExplorationLimits::default(),
+            )
+            .unwrap()
         });
-        group.bench_function(format!("{}/reduced", graph.name()), |b| {
-            b.iter(|| throughput(black_box(&graph), black_box(&dist), observed).unwrap())
+        group.bench(&format!("{}/reduced", graph.name()), || {
+            throughput(black_box(&graph), black_box(&dist), observed).unwrap()
         });
     }
     group.finish();
 }
-
-criterion_group!(benches, bench_state_space);
-criterion_main!(benches);

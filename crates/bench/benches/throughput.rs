@@ -1,12 +1,12 @@
-//! Criterion bench: single-distribution throughput analysis (the inner
-//! loop of the design-space exploration, paper §7) on every gallery graph,
-//! at the lower-bound distribution and at a generous distribution.
+//! Timing bench: single-distribution throughput analysis (the inner loop
+//! of the design-space exploration, paper §7) on every gallery graph, at
+//! the lower-bound distribution and at a generous distribution.
 
 use buffy_analysis::throughput;
+use buffy_bench::timing;
 use buffy_core::lower_bound_distribution;
 use buffy_gen::gallery;
 use buffy_graph::{RepetitionVector, StorageDistribution};
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
 fn generous(graph: &buffy_graph::SdfGraph) -> StorageDistribution {
@@ -19,21 +19,18 @@ fn generous(graph: &buffy_graph::SdfGraph) -> StorageDistribution {
         .collect()
 }
 
-fn bench_throughput(criterion: &mut Criterion) {
-    let mut group = criterion.benchmark_group("throughput");
+fn main() {
+    let mut group = timing::group("throughput");
     for graph in gallery::all() {
         let observed = graph.default_observed_actor();
         let lb = lower_bound_distribution(&graph);
-        group.bench_function(format!("{}/lower-bound", graph.name()), |b| {
-            b.iter(|| throughput(black_box(&graph), black_box(&lb), observed).unwrap())
+        group.bench(&format!("{}/lower-bound", graph.name()), || {
+            throughput(black_box(&graph), black_box(&lb), observed).unwrap()
         });
         let gen = generous(&graph);
-        group.bench_function(format!("{}/generous", graph.name()), |b| {
-            b.iter(|| throughput(black_box(&graph), black_box(&gen), observed).unwrap())
+        group.bench(&format!("{}/generous", graph.name()), || {
+            throughput(black_box(&graph), black_box(&gen), observed).unwrap()
         });
     }
     group.finish();
 }
-
-criterion_group!(benches, bench_throughput);
-criterion_main!(benches);

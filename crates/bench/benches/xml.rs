@@ -1,13 +1,13 @@
-//! Criterion bench: SDF3-style XML serialization and parsing across graph
+//! Timing bench: SDF3-style XML serialization and parsing across graph
 //! sizes (the `buffy` tool's input path, paper §10).
 
+use buffy_bench::timing;
 use buffy_gen::{gallery, RandomGraphConfig};
 use buffy_graph::xml::{read_sdf_xml, write_sdf_xml};
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
-fn bench_xml(criterion: &mut Criterion) {
-    let mut group = criterion.benchmark_group("xml");
+fn main() {
+    let mut group = timing::group("xml");
     let mut subjects = vec![gallery::modem(), gallery::satellite()];
     subjects.push(
         RandomGraphConfig {
@@ -22,15 +22,12 @@ fn bench_xml(criterion: &mut Criterion) {
     );
     for graph in subjects {
         let text = write_sdf_xml(&graph);
-        group.bench_function(format!("{}/write", graph.name()), |b| {
-            b.iter(|| write_sdf_xml(black_box(&graph)))
+        group.bench(&format!("{}/write", graph.name()), || {
+            write_sdf_xml(black_box(&graph))
         });
-        group.bench_function(format!("{}/read", graph.name()), |b| {
-            b.iter(|| read_sdf_xml(black_box(&text)).unwrap())
+        group.bench(&format!("{}/read", graph.name()), || {
+            read_sdf_xml(black_box(&text)).unwrap()
         });
     }
     group.finish();
 }
-
-criterion_group!(benches, bench_xml);
-criterion_main!(benches);

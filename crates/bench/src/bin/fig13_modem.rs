@@ -28,8 +28,11 @@ fn main() {
         "algorithms must chart the same front"
     );
 
-    println!("Fig. 13: Pareto space of the modem ({} actors, {} channels)\n",
-        graph.num_actors(), graph.num_channels());
+    println!(
+        "Fig. 13: Pareto space of the modem ({} actors, {} channels)\n",
+        graph.num_actors(),
+        graph.num_channels()
+    );
     let rows: Vec<Vec<String>> = guided
         .pareto
         .points()
@@ -42,7 +45,10 @@ fn main() {
             ]
         })
         .collect();
-    print!("{}", format_table(&["size", "throughput", "(decimal)"], &rows));
+    print!(
+        "{}",
+        format_table(&["size", "throughput", "(decimal)"], &rows)
+    );
     println!("\n{}", ascii_front(&guided.pareto, 48, 12));
     println!(
         "exploration cost: guided {} analyses vs exhaustive {} analyses (same front)",

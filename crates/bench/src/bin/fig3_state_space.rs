@@ -21,7 +21,11 @@ fn main() {
         };
         println!(
             "  t={i:>2}: ({}, {}, {}, {}, {}){}",
-            state.act_clk[0], state.act_clk[1], state.act_clk[2], state.tokens[0], state.tokens[1],
+            state.act_clk[0],
+            state.act_clk[1],
+            state.act_clk[2],
+            state.tokens[0],
+            state.tokens[1],
             marker
         );
     }
@@ -39,9 +43,7 @@ fn main() {
         "  {} reduced states stored; cycle of {} state(s); throughput {} = {} firing(s) / {} time steps",
         r.states_stored, r.cycle_states, r.throughput, r.firings_per_period, r.period
     );
-    println!(
-        "  (the paper's Fig. 4: first reduced state has dist 9, the recurrent one dist 7)"
-    );
+    println!("  (the paper's Fig. 4: first reduced state has dist 9, the recurrent one dist 7)");
     println!(
         "\nreduction factor: {} full states vs {} reduced states",
         ss.states.len(),

@@ -37,7 +37,10 @@ fn main() {
     }
     print!(
         "{}",
-        format_table(&["distribution <α,β,γ,δ>", "size", "throughput of d"], &rows)
+        format_table(
+            &["distribution <α,β,γ,δ>", "size", "throughput of d"],
+            &rows
+        )
     );
 
     println!(

@@ -15,8 +15,9 @@ fn main() {
     for graph in gallery::all() {
         let observed = graph.default_observed_actor();
         let lb = lower_bound_distribution(&graph);
-        let (ub, thr_max) = upper_bound_distribution(&graph, observed, ExplorationLimits::default())
-            .expect("bounds computable");
+        let (ub, thr_max) =
+            upper_bound_distribution(&graph, observed, ExplorationLimits::default())
+                .expect("bounds computable");
         rows.push(vec![
             graph.name().to_string(),
             lb.size().to_string(),
@@ -26,7 +27,15 @@ fn main() {
     }
     print!(
         "{}",
-        format_table(&["graph", "lb (Σ channel bounds)", "ub (max-thr dist)", "max throughput"], &rows)
+        format_table(
+            &[
+                "graph",
+                "lb (Σ channel bounds)",
+                "ub (max-thr dist)",
+                "max throughput"
+            ],
+            &rows
+        )
     );
 
     // Per-channel detail for the example graph (the gray box of Fig. 7).

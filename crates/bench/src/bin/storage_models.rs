@@ -41,7 +41,13 @@ fn main() {
     print!(
         "{}",
         format_table(
-            &["graph", "throughput", "separate (sz)", "shared (peak)", "saving"],
+            &[
+                "graph",
+                "throughput",
+                "separate (sz)",
+                "shared (peak)",
+                "saving"
+            ],
             &rows
         )
     );

@@ -58,7 +58,12 @@ fn main() {
             explore_dependency_guided(&graph, &opts)
         }
         .unwrap_or_else(|e| panic!("{}: {e}", graph.name()));
-        rows.push(row(graph.name(), &graph, &result, t0.elapsed().as_secs_f64()));
+        rows.push(row(
+            graph.name(),
+            &graph,
+            &result,
+            t0.elapsed().as_secs_f64(),
+        ));
 
         if graph.name() == "h263decoder" {
             // The paper: quantizing the searched throughputs drastically

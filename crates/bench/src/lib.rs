@@ -2,8 +2,8 @@
 //!
 //! Experiment harness for **buffy-rs**: shared table/plot formatting used
 //! by the per-table/per-figure binaries (`src/bin/*.rs`) that regenerate
-//! every table and figure of the paper's evaluation (§11), plus Criterion
-//! timing benches (`benches/*.rs`).
+//! every table and figure of the paper's evaluation (§11), plus wall-clock
+//! timing benches (`benches/*.rs`) built on the in-repo [`timing`] harness.
 //!
 //! | paper artefact | binary |
 //! |----------------|--------|
@@ -20,6 +20,8 @@
 #![forbid(unsafe_code)]
 
 use buffy_core::ParetoSet;
+
+pub mod timing;
 
 /// Formats rows as an aligned text table with a header rule.
 ///
@@ -72,15 +74,13 @@ pub fn ascii_front(front: &ParetoSet, width: usize, height: usize) -> String {
     }
     let min_size = points.first().expect("non-empty").size;
     let max_size = points.last().expect("non-empty").size.max(min_size + 1);
-    let max_thr = points
-        .last()
-        .expect("non-empty")
-        .throughput
-        .to_f64();
+    let max_thr = points.last().expect("non-empty").throughput.to_f64();
     let mut grid = vec![vec![b' '; width + 1]; height + 1];
+    // The x loop fills one cell per column across rows; an iterator
+    // rewrite over `grid` would obscure the plot construction.
+    #[allow(clippy::needless_range_loop)]
     for x in 0..=width {
-        let size =
-            min_size as f64 + (max_size - min_size) as f64 * (x as f64) / (width as f64);
+        let size = min_size as f64 + (max_size - min_size) as f64 * (x as f64) / (width as f64);
         let mut level = 0.0;
         for p in points {
             if p.size as f64 <= size + 1e-9 {

@@ -1,0 +1,106 @@
+//! A minimal wall-clock timing harness for the `benches/` targets.
+//!
+//! The workspace builds offline, so the benches use this
+//! `std::time::Instant`-based micro-harness instead of an external
+//! benchmarking framework: each benchmark warms up, then runs batches of
+//! iterations until a minimum measurement time is reached and reports the
+//! mean time per iteration. The numbers are indicative wall-clock
+//! timings, not statistically rigorous estimates.
+
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// A named group of timing measurements, printed as `group/bench  time`.
+///
+/// ```
+/// let mut g = buffy_bench::timing::group("demo");
+/// g.bench("sum", || (0..100u64).sum::<u64>());
+/// g.finish();
+/// ```
+pub struct TimingGroup {
+    name: String,
+    min_time: Duration,
+}
+
+/// Starts a timing group with the default 20 ms measurement budget per
+/// benchmark.
+pub fn group(name: impl Into<String>) -> TimingGroup {
+    TimingGroup {
+        name: name.into(),
+        min_time: Duration::from_millis(20),
+    }
+}
+
+impl TimingGroup {
+    /// Sets the minimum measurement time per benchmark.
+    pub fn set_min_time(&mut self, min_time: Duration) -> &mut Self {
+        self.min_time = min_time;
+        self
+    }
+
+    /// Measures `f` and prints the mean time per iteration.
+    pub fn bench<R>(&mut self, name: &str, mut f: impl FnMut() -> R) {
+        // Warm-up and batch-size calibration from a single timed call.
+        let start = Instant::now();
+        black_box(f());
+        let once = start.elapsed().max(Duration::from_nanos(1));
+        let batch: u64 =
+            (Duration::from_millis(2).as_nanos() / once.as_nanos()).clamp(1, 10_000) as u64;
+
+        let mut iters: u64 = 0;
+        let start = Instant::now();
+        while start.elapsed() < self.min_time {
+            for _ in 0..batch {
+                black_box(f());
+            }
+            iters += batch;
+        }
+        let per_iter = start.elapsed().as_secs_f64() / iters as f64;
+        println!(
+            "{:<50} {:>14}  ({iters} iters)",
+            format!("{}/{name}", self.name),
+            format_seconds(per_iter),
+        );
+    }
+
+    /// Ends the group (prints a trailing blank line).
+    pub fn finish(self) {
+        println!();
+    }
+}
+
+/// Renders a duration in engineer-friendly units.
+fn format_seconds(s: f64) -> String {
+    if s >= 1.0 {
+        format!("{s:.3} s")
+    } else if s >= 1e-3 {
+        format!("{:.3} ms", s * 1e3)
+    } else if s >= 1e-6 {
+        format!("{:.3} µs", s * 1e6)
+    } else {
+        format!("{:.1} ns", s * 1e9)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_runs_and_reports() {
+        let mut g = group("test");
+        g.set_min_time(Duration::from_millis(1));
+        let mut calls = 0u64;
+        g.bench("noop", || calls += 1);
+        assert!(calls > 0);
+        g.finish();
+    }
+
+    #[test]
+    fn unit_formatting() {
+        assert_eq!(format_seconds(2.5), "2.500 s");
+        assert_eq!(format_seconds(2.5e-3), "2.500 ms");
+        assert_eq!(format_seconds(2.5e-6), "2.500 µs");
+        assert_eq!(format_seconds(2.5e-9), "2.5 ns");
+    }
+}

@@ -35,11 +35,16 @@ const VALUE_OPTIONS: &[&str] = &[
     "out",
 ];
 
+/// Boolean flags the commands understand; anything else starting with
+/// `--` is rejected as unknown.
+const KNOWN_FLAGS: &[&str] = &["csv", "json", "deny-warnings", "force", "help"];
+
 /// Parses raw arguments.
 ///
 /// # Errors
 ///
-/// Returns a message when a value option misses its value.
+/// Returns a message when a value option misses its value or when an
+/// option is not recognised at all.
 pub fn parse(args: &[String]) -> Result<ParsedArgs, String> {
     let mut parsed = ParsedArgs::default();
     let mut it = args.iter().peekable();
@@ -50,8 +55,10 @@ pub fn parse(args: &[String]) -> Result<ParsedArgs, String> {
                     .next()
                     .ok_or_else(|| format!("option --{name} requires a value"))?;
                 parsed.options.insert(name.to_string(), value.clone());
-            } else {
+            } else if KNOWN_FLAGS.contains(&name) {
                 parsed.flags.push(name.to_string());
+            } else {
+                return Err(format!("unknown option --{name}; try `buffy help`"));
             }
         } else {
             parsed.positional.push(arg.clone());
@@ -118,6 +125,16 @@ mod tests {
     #[test]
     fn missing_value_rejected() {
         assert!(parse(&args(&["--dist"])).is_err());
+    }
+
+    #[test]
+    fn unknown_options_rejected() {
+        let err = parse(&args(&["explore", "g.xml", "--maxx-states", "100"])).unwrap_err();
+        assert!(err.contains("--maxx-states"), "{err}");
+        assert!(parse(&args(&["--jsno"])).is_err());
+        // Known flags and options still parse.
+        assert!(parse(&args(&["check", "g.xml", "--json", "--deny-warnings"])).is_ok());
+        assert!(parse(&args(&["--help"])).is_ok());
     }
 
     #[test]

@@ -10,6 +10,7 @@ use buffy_gen::{gallery, RandomGraphConfig};
 use buffy_graph::dot::to_dot;
 use buffy_graph::xml::{read_sdf_xml, write_sdf_xml};
 use buffy_graph::{ActorId, Rational, RepetitionVector, SdfGraph, StorageDistribution};
+use buffy_lint::{lint_csdf, lint_sdf, LintContext, Severity};
 use std::io::Write;
 
 type Out<'a> = &'a mut dyn Write;
@@ -46,6 +47,88 @@ fn w(out: Out<'_>, text: std::fmt::Arguments<'_>) -> Result<(), String> {
     out.write_fmt(text).map_err(|e| e.to_string())
 }
 
+/// Builds the lint context from whatever `--dist`, `--throughput` and
+/// `--actor` carry. A `--dist` of the wrong arity is left for B004 to
+/// report rather than rejected here.
+fn lint_context(parsed: &ParsedArgs, observed: Option<ActorId>) -> Result<LintContext, String> {
+    let distribution = match parsed.options.get("dist") {
+        Some(v) => Some(StorageDistribution::from_capacities(parse_dist(v)?)),
+        None => None,
+    };
+    Ok(LintContext {
+        distribution,
+        throughput_constraint: parsed.get("throughput")?,
+        observed,
+    })
+}
+
+/// Runs the lint rules before an analysis and refuses `Error`-level
+/// models unless `--force` is given. The full report is printed only
+/// when it blocks the run.
+fn preflight(parsed: &ParsedArgs, graph: &SdfGraph, out: Out<'_>) -> Result<(), String> {
+    if parsed.has_flag("force") {
+        return Ok(());
+    }
+    let ctx = lint_context(parsed, Some(observed_actor(parsed, graph)?))?;
+    let report = lint_sdf(graph, &ctx);
+    if report.has_errors() {
+        w(out, format_args!("{}", report.render_human()))?;
+        return Err(format!(
+            "the model has {} error-level finding(s); use --force to run anyway",
+            report.count(Severity::Error)
+        ));
+    }
+    Ok(())
+}
+
+pub fn check(parsed: &ParsedArgs, out: Out<'_>) -> Result<(), String> {
+    let path = parsed
+        .positional
+        .get(1)
+        .ok_or("expected a graph file argument")?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    // The SDF3 csdf dialect tags the document with type="csdf" and a
+    // <csdf> element; anything else is treated as plain SDF.
+    let report = if text.contains("<csdf") || text.contains("type=\"csdf\"") {
+        let graph = buffy_csdf::xml::read_csdf_xml(&text)
+            .map_err(|e| format!("cannot parse {path}: {e}"))?;
+        let observed = match parsed.options.get("actor") {
+            None => None,
+            Some(name) => Some(
+                graph
+                    .actor_by_name(name)
+                    .ok_or_else(|| format!("unknown actor {name:?}"))?,
+            ),
+        };
+        lint_csdf(&graph, &lint_context(parsed, observed)?)
+    } else {
+        let graph = read_sdf_xml(&text).map_err(|e| format!("cannot parse {path}: {e}"))?;
+        let observed = match parsed.options.get("actor") {
+            None => None,
+            Some(name) => Some(
+                graph
+                    .actor_by_name(name)
+                    .ok_or_else(|| format!("unknown actor {name:?}"))?,
+            ),
+        };
+        lint_sdf(&graph, &lint_context(parsed, observed)?)
+    };
+    if parsed.has_flag("json") {
+        w(out, format_args!("{}\n", report.render_json()))?;
+    } else {
+        w(out, format_args!("{}", report.render_human()))?;
+    }
+    let errors = report.count(Severity::Error);
+    if errors > 0 {
+        return Err(format!("{errors} error-level finding(s)"));
+    }
+    let warnings = report.count(Severity::Warning);
+    if warnings > 0 && parsed.has_flag("deny-warnings") {
+        return Err(format!("{warnings} warning(s) denied by --deny-warnings"));
+    }
+    Ok(())
+}
+
 pub fn info(parsed: &ParsedArgs, out: Out<'_>) -> Result<(), String> {
     let graph = load_graph(parsed)?;
     w(out, format_args!("graph: {}\n", graph.name()))?;
@@ -68,11 +151,7 @@ pub fn info(parsed: &ParsedArgs, out: Out<'_>) -> Result<(), String> {
     match maximal_throughput(&graph, obs) {
         Ok(t) => w(
             out,
-            format_args!(
-                "maximal throughput of {}: {}\n",
-                graph.actor(obs).name(),
-                t
-            ),
+            format_args!("maximal throughput of {}: {}\n", graph.actor(obs).name(), t),
         )?,
         Err(e) => w(out, format_args!("maximal throughput: {e}\n"))?,
     }
@@ -86,6 +165,7 @@ pub fn info(parsed: &ParsedArgs, out: Out<'_>) -> Result<(), String> {
 
 pub fn analyze(parsed: &ParsedArgs, out: Out<'_>) -> Result<(), String> {
     let graph = load_graph(parsed)?;
+    preflight(parsed, &graph, out)?;
     let obs = observed_actor(parsed, &graph)?;
     let dist = match parsed.options.get("dist") {
         Some(v) => {
@@ -102,7 +182,10 @@ pub fn analyze(parsed: &ParsedArgs, out: Out<'_>) -> Result<(), String> {
         None => lower_bound_distribution(&graph),
     };
     let r = throughput(&graph, &dist, obs).map_err(|e| e.to_string())?;
-    w(out, format_args!("distribution: {dist} (size {})\n", dist.size()))?;
+    w(
+        out,
+        format_args!("distribution: {dist} (size {})\n", dist.size()),
+    )?;
     if r.deadlocked {
         w(out, format_args!("execution deadlocks: throughput 0\n"))?;
     } else {
@@ -158,6 +241,7 @@ fn print_front(result: &ExplorationResult, csv: bool, out: Out<'_>) -> Result<()
 
 pub fn explore(parsed: &ParsedArgs, out: Out<'_>) -> Result<(), String> {
     let graph = load_graph(parsed)?;
+    preflight(parsed, &graph, out)?;
     let opts = explore_options(parsed, &graph)?;
     let algorithm = parsed
         .options
@@ -174,6 +258,7 @@ pub fn explore(parsed: &ParsedArgs, out: Out<'_>) -> Result<(), String> {
 
 pub fn constraint(parsed: &ParsedArgs, out: Out<'_>) -> Result<(), String> {
     let graph = load_graph(parsed)?;
+    preflight(parsed, &graph, out)?;
     let opts = explore_options(parsed, &graph)?;
     let constraint: Rational = parsed
         .get("throughput")?

@@ -27,6 +27,13 @@ USAGE:
 COMMANDS:
     info <graph.xml>                  graph summary: actors, channels, repetition
                                       vector, maximal throughput
+    check <graph.xml> [--json] [--deny-warnings] [--dist 4,2]
+          [--throughput R] [--actor NAME]
+                                      statically verify the model: consistency,
+                                      connectedness, guaranteed deadlock,
+                                      infeasible constraints, overflow risk,
+                                      dead actors, modelling smells (codes
+                                      B001..B008); --json emits one JSON object
     analyze <graph.xml> [--dist 4,2] [--actor NAME]
                                       throughput of one storage distribution
                                       (default: per-channel lower bounds)
@@ -51,6 +58,9 @@ COMMANDS:
     csdf-explore <graph.xml> [--actor NAME] [--max-size N] [--csv]
                                       Pareto space of a CSDF graph
     help                              show this message
+
+analyze, explore and constraint refuse models with error-level check
+findings; pass --force to run them anyway.
 ";
 
 /// Runs the CLI with the given arguments (excluding the program name),
@@ -78,6 +88,7 @@ fn try_run(raw_args: &[String], out: &mut dyn Write) -> Result<(), String> {
             Ok(())
         }
         "info" => commands::info(&parsed, out),
+        "check" => commands::check(&parsed, out),
         "analyze" => commands::analyze(&parsed, out),
         "explore" => commands::explore(&parsed, out),
         "constraint" => commands::constraint(&parsed, out),
@@ -182,6 +193,170 @@ mod tests {
         assert_eq!(code, 0, "{text}");
         assert!(text.contains("size,throughput"), "{text}");
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn check_passes_clean_models() {
+        let (_, xml) = run_to_string(&["gallery", "example"]);
+        let path = std::env::temp_dir().join("buffy-cli-test-check-clean.xml");
+        std::fs::write(&path, &xml).unwrap();
+        let p = path.to_str().unwrap();
+
+        let (code, text) = run_to_string(&["check", p]);
+        assert_eq!(code, 0, "{text}");
+        assert!(text.contains("no issues found"), "{text}");
+
+        let (code, text) = run_to_string(&["check", p, "--json"]);
+        assert_eq!(code, 0, "{text}");
+        assert!(text.contains("\"errors\":0"), "{text}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn check_gallery_graphs_are_error_free() {
+        for name in [
+            "example",
+            "bipartite",
+            "modem",
+            "cd2dat",
+            "satellite",
+            "h263decoder",
+        ] {
+            let (_, xml) = run_to_string(&["gallery", name]);
+            let path = std::env::temp_dir().join(format!("buffy-cli-test-check-{name}.xml"));
+            std::fs::write(&path, &xml).unwrap();
+            let (code, text) = run_to_string(&["check", path.to_str().unwrap()]);
+            assert_eq!(code, 0, "{name}: {text}");
+            std::fs::remove_file(&path).ok();
+        }
+    }
+
+    #[test]
+    fn check_flags_inconsistent_rates() {
+        let bad = r#"<sdf3><applicationGraph name="bad"><sdf name="bad">
+             <actor name="x"/><actor name="y"/>
+             <channel name="fwd" srcActor="x" srcRate="2" dstActor="y" dstRate="1"/>
+             <channel name="bwd" srcActor="y" srcRate="1" dstActor="x" dstRate="1"/>
+           </sdf></applicationGraph></sdf3>"#;
+        let path = std::env::temp_dir().join("buffy-cli-test-check-bad.xml");
+        std::fs::write(&path, bad).unwrap();
+        let p = path.to_str().unwrap();
+
+        let (code, text) = run_to_string(&["check", p]);
+        assert_eq!(code, 1);
+        assert!(text.contains("error[B001]"), "{text}");
+        assert!(text.contains("hint"), "{text}");
+
+        let (code, text) = run_to_string(&["check", p, "--json"]);
+        assert_eq!(code, 1);
+        assert!(text.contains("\"code\":\"B001\""), "{text}");
+        assert!(text.contains("\"severity\":\"error\""), "{text}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn check_flags_token_free_cycle_and_infeasible_constraint() {
+        let cyc = r#"<sdf3><applicationGraph name="cyc"><sdf name="cyc">
+             <actor name="x"/><actor name="y"/>
+             <channel name="fwd" srcActor="x" srcRate="1" dstActor="y" dstRate="1"/>
+             <channel name="bwd" srcActor="y" srcRate="1" dstActor="x" dstRate="1"/>
+           </sdf></applicationGraph></sdf3>"#;
+        let path = std::env::temp_dir().join("buffy-cli-test-check-cyc.xml");
+        std::fs::write(&path, cyc).unwrap();
+        let p = path.to_str().unwrap();
+
+        let (code, text) = run_to_string(&["check", p]);
+        assert_eq!(code, 1);
+        assert!(text.contains("error[B003]"), "{text}");
+
+        // Infeasible constraint on a clean graph: B005.
+        let (_, xml) = run_to_string(&["gallery", "example"]);
+        let okp = std::env::temp_dir().join("buffy-cli-test-check-b005.xml");
+        std::fs::write(&okp, &xml).unwrap();
+        let (code, text) = run_to_string(&[
+            "check",
+            okp.to_str().unwrap(),
+            "--throughput",
+            "1/2",
+            "--json",
+        ]);
+        assert_eq!(code, 1);
+        assert!(text.contains("\"code\":\"B005\""), "{text}");
+        std::fs::remove_file(&path).ok();
+        std::fs::remove_file(&okp).ok();
+    }
+
+    #[test]
+    fn check_deny_warnings_promotes_warnings() {
+        // A starved self-loop is only a warning: exit 0 plain, 1 under
+        // --deny-warnings.
+        let warn = r#"<sdf3><applicationGraph name="w"><sdf name="w">
+             <actor name="x"/>
+             <channel name="s" srcActor="x" srcRate="2" dstActor="x" dstRate="2" initialTokens="1"/>
+           </sdf></applicationGraph></sdf3>"#;
+        let path = std::env::temp_dir().join("buffy-cli-test-check-warn.xml");
+        std::fs::write(&path, warn).unwrap();
+        let p = path.to_str().unwrap();
+
+        let (code, text) = run_to_string(&["check", p]);
+        assert_eq!(code, 0, "{text}");
+        assert!(text.contains("warning[B008]"), "{text}");
+
+        let (code, _) = run_to_string(&["check", p, "--deny-warnings"]);
+        assert_eq!(code, 1);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn analyses_refuse_error_models_unless_forced() {
+        let cyc = r#"<sdf3><applicationGraph name="cyc"><sdf name="cyc">
+             <actor name="x"/><actor name="y"/>
+             <channel name="fwd" srcActor="x" srcRate="1" dstActor="y" dstRate="1"/>
+             <channel name="bwd" srcActor="y" srcRate="1" dstActor="x" dstRate="1"/>
+           </sdf></applicationGraph></sdf3>"#;
+        let path = std::env::temp_dir().join("buffy-cli-test-preflight.xml");
+        std::fs::write(&path, cyc).unwrap();
+        let p = path.to_str().unwrap();
+
+        for cmd in ["analyze", "explore"] {
+            let (code, text) = run_to_string(&[cmd, p]);
+            assert_eq!(code, 1, "{cmd}: {text}");
+            assert!(text.contains("B003"), "{cmd}: {text}");
+            assert!(text.contains("--force"), "{cmd}: {text}");
+        }
+        let (code, text) = run_to_string(&["constraint", p, "--throughput", "1/2"]);
+        assert_eq!(code, 1, "{text}");
+        assert!(text.contains("B003"), "{text}");
+
+        // --force runs the analysis; the deadlock is then reported
+        // honestly by the engine itself.
+        let (code, text) = run_to_string(&["analyze", p, "--force"]);
+        assert_eq!(code, 0, "{text}");
+        assert!(text.contains("deadlock"), "{text}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn check_reads_csdf_models() {
+        let xml = r#"<sdf3 type="csdf"><applicationGraph name="ud"><csdf name="ud">
+             <actor name="p"/><actor name="c"/>
+             <channel name="d" srcActor="p" srcRate="2,0" dstActor="c" dstRate="1"/>
+           </csdf></applicationGraph></sdf3>"#;
+        let path = std::env::temp_dir().join("buffy-cli-test-check-csdf.xml");
+        std::fs::write(&path, xml).unwrap();
+        let p = path.to_str().unwrap();
+
+        let (code, text) = run_to_string(&["check", p, "--json"]);
+        assert_eq!(code, 0, "{text}");
+        assert!(text.contains("\"kind\":\"csdf\""), "{text}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn unknown_option_is_rejected() {
+        let (code, text) = run_to_string(&["explore", "g.xml", "--maxx-states", "100"]);
+        assert_eq!(code, 1);
+        assert!(text.contains("--maxx-states"), "{text}");
     }
 
     #[test]

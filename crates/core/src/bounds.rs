@@ -116,8 +116,8 @@ pub fn upper_bound_distribution(
         let step = channel_step(ch);
         let lo_cap = channel_lower_bound(ch);
         let mut lo = 0u64; // in steps above lo_cap — may lose throughput
-        // Round up to the step grid (monotonicity: rounding up keeps the
-        // maximal throughput).
+                           // Round up to the step grid (monotonicity: rounding up keeps the
+                           // maximal throughput).
         let mut hi = (dist.get(cid) - lo_cap).div_ceil(step);
         while lo < hi {
             let mid = lo + (hi - lo) / 2;

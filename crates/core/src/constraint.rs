@@ -10,7 +10,7 @@
 use crate::bounds::upper_bound_distribution;
 use crate::enumerate::DistributionSpace;
 use crate::error::ExploreError;
-use crate::explore::{ExploreOptions, Evaluator};
+use crate::explore::{Evaluator, ExploreOptions};
 use crate::pareto::ParetoPoint;
 use buffy_graph::{Rational, SdfGraph};
 use std::ops::ControlFlow;
@@ -172,9 +172,8 @@ mod tests {
     #[test]
     fn infeasible_constraint_rejected() {
         let g = example();
-        let err =
-            min_storage_for_throughput(&g, Rational::new(1, 2), &ExploreOptions::default())
-                .unwrap_err();
+        let err = min_storage_for_throughput(&g, Rational::new(1, 2), &ExploreOptions::default())
+            .unwrap_err();
         assert!(matches!(err, ExploreError::InfeasibleThroughput { .. }));
     }
 
@@ -189,9 +188,8 @@ mod tests {
     fn witness_meets_constraint_by_simulation() {
         let g = example();
         let c = g.actor_by_name("c").unwrap();
-        let p =
-            min_storage_for_throughput(&g, Rational::new(1, 5), &ExploreOptions::default())
-                .unwrap();
+        let p = min_storage_for_throughput(&g, Rational::new(1, 5), &ExploreOptions::default())
+            .unwrap();
         let r = buffy_analysis::throughput(&g, &p.distribution, c).unwrap();
         assert_eq!(r.throughput, p.throughput);
         assert!(r.throughput >= Rational::new(1, 5));

@@ -70,7 +70,10 @@ pub fn explore_dependency_guided(
     let lb_size = space.min_size();
 
     let (ub_dist, thr_max_graph) = upper_bound_distribution(graph, observed, options.limits)?;
-    let ub_size = options.max_size.unwrap_or_else(|| ub_dist.size()).max(lb_size);
+    let ub_size = options
+        .max_size
+        .unwrap_or_else(|| ub_dist.size())
+        .max(lb_size);
     let thr_cap = match options.max_throughput {
         Some(cap) => cap.min(thr_max_graph),
         None => thr_max_graph,
@@ -207,7 +210,10 @@ mod tests {
         };
         let guided = explore_dependency_guided(&g, &opts).unwrap();
         assert!(guided.pareto.points().iter().all(|p| p.size <= 8));
-        assert_eq!(guided.pareto.maximal().unwrap().throughput, Rational::new(1, 6));
+        assert_eq!(
+            guided.pareto.maximal().unwrap().throughput,
+            Rational::new(1, 6)
+        );
     }
 
     #[test]

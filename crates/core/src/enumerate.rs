@@ -115,7 +115,7 @@ impl DistributionSpace {
         if i == n - 1 {
             // Last channel absorbs the remaining budget, if on-grid and
             // within its capacity constraint.
-            if budget % self.steps[i] == 0 && self.mins[i] + budget <= cap_limit(i) {
+            if budget.is_multiple_of(self.steps[i]) && self.mins[i] + budget <= cap_limit(i) {
                 caps[i] = self.mins[i] + budget;
                 let d = StorageDistribution::from_capacities(caps.clone());
                 caps[i] = self.mins[i];

@@ -75,7 +75,9 @@ mod tests {
         };
         assert!(e.to_string().contains("1/2"));
         assert!(e.to_string().contains("1/4"));
-        assert!(ExploreError::NoPositiveThroughput.to_string().contains("positive"));
+        assert!(ExploreError::NoPositiveThroughput
+            .to_string()
+            .contains("positive"));
         let e: ExploreError = GraphError::EmptyGraph.into();
         assert!(e.to_string().contains("no actors"));
         let e: ExploreError = AnalysisError::NotLive.into();

@@ -23,9 +23,9 @@ use crate::error::ExploreError;
 use crate::pareto::{ParetoPoint, ParetoSet};
 use buffy_analysis::{throughput_with_limits, ExplorationLimits};
 use buffy_graph::{ActorId, Rational, SdfGraph, StorageDistribution};
-use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::ops::ControlFlow;
+use std::sync::Mutex;
 
 /// Options controlling the design-space exploration.
 #[derive(Debug, Clone)]
@@ -119,35 +119,35 @@ impl<'g> Evaluator<'g> {
 
     /// Memoized throughput of one distribution.
     pub(crate) fn eval(&self, dist: &StorageDistribution) -> Result<Rational, ExploreError> {
-        if let Some(&t) = self.cache.lock().get(dist) {
+        if let Some(&t) = self.cache.lock().unwrap().get(dist) {
             return Ok(t);
         }
         let report = throughput_with_limits(self.graph, dist, self.observed, self.limits)?;
-        *self.evaluations.lock() += 1;
-        let mut ms = self.max_states.lock();
+        *self.evaluations.lock().unwrap() += 1;
+        let mut ms = self.max_states.lock().unwrap();
         *ms = (*ms).max(report.states_stored);
         drop(ms);
-        self.cache.lock().insert(dist.clone(), report.throughput);
+        self.cache
+            .lock()
+            .unwrap()
+            .insert(dist.clone(), report.throughput);
         Ok(report.throughput)
     }
 
     /// Evaluates a batch of distributions, possibly in parallel. Results
     /// align with the input order.
-    fn eval_batch(
-        &self,
-        batch: &[StorageDistribution],
-    ) -> Result<Vec<Rational>, ExploreError> {
+    fn eval_batch(&self, batch: &[StorageDistribution]) -> Result<Vec<Rational>, ExploreError> {
         if self.threads <= 1 || batch.len() <= 1 {
             return batch.iter().map(|d| self.eval(d)).collect();
         }
         let results: Mutex<Vec<Option<Result<Rational, ExploreError>>>> =
             Mutex::new(vec![None; batch.len()]);
         let next: Mutex<usize> = Mutex::new(0);
-        crossbeam::scope(|scope| {
+        std::thread::scope(|scope| {
             for _ in 0..self.threads.min(batch.len()) {
-                scope.spawn(|_| loop {
+                scope.spawn(|| loop {
                     let i = {
-                        let mut n = next.lock();
+                        let mut n = next.lock().unwrap();
                         if *n >= batch.len() {
                             return;
                         }
@@ -156,20 +156,23 @@ impl<'g> Evaluator<'g> {
                         i
                     };
                     let r = self.eval(&batch[i]);
-                    results.lock()[i] = Some(r);
+                    results.lock().unwrap()[i] = Some(r);
                 });
             }
-        })
-        .expect("worker thread panicked");
+        });
         results
             .into_inner()
+            .unwrap()
             .into_iter()
             .map(|r| r.expect("every index evaluated"))
             .collect()
     }
 
     fn stats(&self) -> (usize, usize) {
-        (*self.evaluations.lock(), *self.max_states.lock())
+        (
+            *self.evaluations.lock().unwrap(),
+            *self.max_states.lock().unwrap(),
+        )
     }
 }
 
@@ -222,22 +225,21 @@ fn max_throughput_for_size(
         // chunks.
         let chunk = eval.threads * 4;
         let mut buffer: Vec<StorageDistribution> = Vec::with_capacity(chunk);
-        let process =
-            |buf: &mut Vec<StorageDistribution>,
-             best: &mut Rational,
-             best_q: &mut Rational,
-             witness: &mut Option<StorageDistribution>|
-             -> Result<bool, ExploreError> {
-                let results = eval.eval_batch(buf)?;
-                for (d, t) in buf.drain(..).zip(results) {
-                    if t > *best {
-                        *best = t;
-                        *best_q = q(t, quantum);
-                        *witness = Some(d);
-                    }
+        let process = |buf: &mut Vec<StorageDistribution>,
+                       best: &mut Rational,
+                       best_q: &mut Rational,
+                       witness: &mut Option<StorageDistribution>|
+         -> Result<bool, ExploreError> {
+            let results = eval.eval_batch(buf)?;
+            for (d, t) in buf.drain(..).zip(results) {
+                if t > *best {
+                    *best = t;
+                    *best_q = q(t, quantum);
+                    *witness = Some(d);
                 }
-                Ok(*best_q >= ceiling_q)
-            };
+            }
+            Ok(*best_q >= ceiling_q)
+        };
         space.for_each_of_size(size, |d| {
             buffer.push(d);
             if buffer.len() >= chunk {
@@ -347,7 +349,10 @@ pub fn explore_design_space(
     // Bounds of the size dimension (paper §8, Fig. 7).
     let lb_size = space.min_size();
     let (ub_dist, thr_max_graph) = upper_bound_distribution(graph, observed, options.limits)?;
-    let mut ub_size = options.max_size.unwrap_or_else(|| ub_dist.size()).max(lb_size);
+    let mut ub_size = options
+        .max_size
+        .unwrap_or_else(|| ub_dist.size())
+        .max(lb_size);
     if let Some(caps) = &options.max_channel_caps {
         ub_size = ub_size.min(caps.size());
     }
@@ -385,13 +390,8 @@ pub fn explore_design_space(
     let mut pareto = ParetoSet::new();
 
     // Left end of the front.
-    let (left_q, left_exact, left_witness) = max_throughput_for_size(
-        &eval,
-        &space,
-        min_positive_size,
-        thr_cap_q,
-        options.quantum,
-    )?;
+    let (left_q, left_exact, left_witness) =
+        max_throughput_for_size(&eval, &space, min_positive_size, thr_cap_q, options.quantum)?;
     if let Some(w) = left_witness {
         pareto.insert(ParetoPoint::new(w, left_exact));
     }

@@ -76,11 +76,28 @@ impl ParetoSet {
         }
         self.points
             .retain(|p| !(point.size <= p.size && point.throughput >= p.throughput));
-        let pos = self
-            .points
-            .partition_point(|p| p.size < point.size);
+        let pos = self.points.partition_point(|p| p.size < point.size);
         self.points.insert(pos, point);
+        #[cfg(feature = "strict-invariants")]
+        self.assert_antichain();
         true
+    }
+
+    /// Hard invariant check compiled in by the `strict-invariants`
+    /// feature: the front is an antichain — sizes and throughputs both
+    /// strictly increase along it, so no point dominates another.
+    #[cfg(feature = "strict-invariants")]
+    fn assert_antichain(&self) {
+        for w in self.points.windows(2) {
+            assert!(
+                w[0].size < w[1].size && w[0].throughput < w[1].throughput,
+                "Pareto antichain violated: ({}, {}) next to ({}, {})",
+                w[0].size,
+                w[0].throughput,
+                w[1].size,
+                w[1].throughput
+            );
+        }
     }
 
     /// The points, sorted by size ascending (throughput strictly
@@ -215,11 +232,16 @@ mod tests {
             8
         );
         assert_eq!(
-            s.min_size_for_throughput(Rational::new(3, 20)).unwrap().size,
+            s.min_size_for_throughput(Rational::new(3, 20))
+                .unwrap()
+                .size,
             8
         );
         assert!(s.min_size_for_throughput(Rational::new(1, 2)).is_none());
-        assert_eq!(s.max_throughput_for_size(9).unwrap().throughput, Rational::new(1, 5));
+        assert_eq!(
+            s.max_throughput_for_size(9).unwrap().throughput,
+            Rational::new(1, 5)
+        );
         assert!(s.max_throughput_for_size(5).is_none());
         assert_eq!(s.maximal().unwrap().throughput, Rational::new(1, 4));
         assert_eq!(s.minimal().unwrap().size, 6);

@@ -130,9 +130,7 @@ impl<'g> CsdfEngine<'g> {
             self.state.tokens[cid.index()] += produce;
             // A channel may start over-full (initial tokens beyond the
             // capacity); only actual productions must have claimed space.
-            debug_assert!(
-                produce == 0 || self.state.tokens[cid.index()] <= self.caps[cid.index()]
-            );
+            debug_assert!(produce == 0 || self.state.tokens[cid.index()] <= self.caps[cid.index()]);
         }
         let n = self.graph.actor(actor).num_phases() as u32;
         self.state.phase[actor.index()] = (self.state.phase[actor.index()] + 1) % n;
@@ -254,7 +252,10 @@ mod tests {
         e.start_initial().unwrap();
         e.step().unwrap(); // tokens 2 (full); p starts phase 1 regardless
         assert_eq!(e.state().tokens, vec![2]);
-        assert!(e.state().act_clk[0] > 0, "phase 1 must start despite full channel");
+        assert!(
+            e.state().act_clk[0] > 0,
+            "phase 1 must start despite full channel"
+        );
     }
 
     #[test]

@@ -35,7 +35,7 @@ pub fn csdf_channel_step(channel: &crate::model::CsdfChannel) -> u64 {
 }
 
 /// Options for the CSDF exploration.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Default)]
 pub struct CsdfExploreOptions {
     /// Observed actor (default: the graph's default).
     pub observed: Option<ActorId>,
@@ -45,16 +45,6 @@ pub struct CsdfExploreOptions {
     pub max_size: Option<u64>,
     /// State-space limits per analysis.
     pub limits: CsdfLimits,
-}
-
-impl Default for CsdfExploreOptions {
-    fn default() -> Self {
-        CsdfExploreOptions {
-            observed: None,
-            max_size: None,
-            limits: CsdfLimits::default(),
-        }
-    }
 }
 
 /// Result of a CSDF exploration.
@@ -185,7 +175,10 @@ pub fn csdf_explore(
         .channels()
         .map(|(_, c)| csdf_channel_lower_bound(c))
         .collect();
-    let steps: Vec<u64> = graph.channels().map(|(_, c)| csdf_channel_step(c)).collect();
+    let steps: Vec<u64> = graph
+        .channels()
+        .map(|(_, c)| csdf_channel_step(c))
+        .collect();
     let start: StorageDistribution = mins.iter().copied().collect();
     let lb_size = start.size();
     // Default size cap: generous multiple of the lower bound; exploration

@@ -87,7 +87,12 @@ mod tests {
             assert!(!r.pareto.is_empty(), "{}", g.name());
             let obs = g.default_observed_actor();
             let bound = csdf_maximal_throughput(&g, obs).unwrap();
-            assert_eq!(r.pareto.maximal().unwrap().throughput, bound, "{}", g.name());
+            assert_eq!(
+                r.pareto.maximal().unwrap().throughput,
+                bound,
+                "{}",
+                g.name()
+            );
             assert!(bound > Rational::ZERO);
         }
     }

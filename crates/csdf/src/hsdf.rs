@@ -164,8 +164,7 @@ mod tests {
         let csdf = CsdfGraph::from_sdf(&sdf);
         for name in ["a", "b", "c"] {
             let s = sdf_maximal_throughput(&sdf, sdf.actor_by_name(name).unwrap()).unwrap();
-            let cs =
-                csdf_maximal_throughput(&csdf, csdf.actor_by_name(name).unwrap()).unwrap();
+            let cs = csdf_maximal_throughput(&csdf, csdf.actor_by_name(name).unwrap()).unwrap();
             assert_eq!(s, cs, "actor {name}");
         }
     }
@@ -182,10 +181,7 @@ mod tests {
         let c = b.actor("c", vec![1]);
         b.channel("d", p, vec![2, 0], c, vec![1], 0).unwrap();
         let g = b.build().unwrap();
-        assert_eq!(
-            csdf_maximal_throughput(&g, c).unwrap(),
-            Rational::ONE
-        );
+        assert_eq!(csdf_maximal_throughput(&g, c).unwrap(), Rational::ONE);
         // …and the simulation with generous buffers reaches it.
         let r = crate::throughput::csdf_throughput(
             &g,
@@ -206,10 +202,7 @@ mod tests {
         b.channel("s", x, vec![1, 1, 1], x, vec![1, 1, 1], 1)
             .unwrap();
         let g = b.build().unwrap();
-        assert_eq!(
-            csdf_maximal_throughput(&g, x).unwrap(),
-            Rational::new(1, 2)
-        );
+        assert_eq!(csdf_maximal_throughput(&g, x).unwrap(), Rational::new(1, 2));
     }
 
     #[test]
@@ -240,7 +233,11 @@ mod tests {
                 crate::throughput::CsdfLimits::default(),
             )
             .unwrap();
-            assert!(r.throughput <= bound, "cap {cap}: {} > {bound}", r.throughput);
+            assert!(
+                r.throughput <= bound,
+                "cap {cap}: {} > {bound}",
+                r.throughput
+            );
         }
     }
 }

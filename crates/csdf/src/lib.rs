@@ -48,11 +48,11 @@
 #![forbid(unsafe_code)]
 
 mod engine;
-pub mod gallery;
-mod proptests;
 mod explore;
+pub mod gallery;
 mod hsdf;
 mod model;
+mod proptests;
 mod repetition;
 mod throughput;
 pub mod xml;

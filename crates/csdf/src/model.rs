@@ -86,7 +86,10 @@ impl fmt::Display for CsdfError {
             ),
             CsdfError::RepetitionOverflow => write!(f, "repetition vector overflows u64"),
             CsdfError::ZeroTimeLivelock => {
-                write!(f, "zero-execution-time phases fire without bound in one step")
+                write!(
+                    f,
+                    "zero-execution-time phases fire without bound in one step"
+                )
             }
             CsdfError::StateLimitExceeded { limit } => {
                 write!(f, "state space exceeded the limit of {limit} states")

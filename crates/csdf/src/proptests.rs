@@ -1,4 +1,9 @@
 //! Property-based tests of the CSDF analyses.
+//!
+//! Deterministic seeded-loop style: each property draws many random
+//! two-actor producer/consumer graphs from the in-repo [`SplitMix64`]
+//! stream and asserts the invariant on every case. The failing seed is
+//! part of the assertion message, so a failure is reproducible directly.
 
 #![cfg(test)]
 
@@ -6,79 +11,112 @@ use crate::engine::{CsdfEngine, CsdfStepOutcome};
 use crate::hsdf::csdf_maximal_throughput;
 use crate::model::CsdfGraph;
 use crate::throughput::{csdf_throughput, CsdfLimits};
+use buffy_gen::SplitMix64;
 use buffy_graph::{ChannelId, Rational, StorageDistribution};
-use proptest::prelude::*;
+
+const CASES: u64 = 120;
 
 /// A random two-actor producer/consumer CSDF graph with a consistent
-/// channel (consumption vector scaled to balance production).
-fn producer_consumer() -> impl Strategy<Value = CsdfGraph> {
-    (
-        proptest::collection::vec((0u64..4, 1u64..4), 1..4), // (prod, time) per phase
-        proptest::collection::vec(1u64..4, 1..3),            // consumer phase times
-        1u64..4,                                             // consumer rate scale
-        0u64..5,                                             // initial tokens
-    )
-        .prop_filter_map("need positive cycle production", |(pp, ct, scale, d)| {
-            let total_prod: u64 = pp.iter().map(|&(p, _)| p).sum();
-            if total_prod == 0 {
-                return None;
-            }
-            // Consumer consumes `scale` per phase over `k` phases; the
-            // graph is consistent with q = (k·scale, total_prod) scaled.
-            let k = ct.len() as u64;
-            let mut b = CsdfGraph::builder("pc");
-            let p = b.actor("p", pp.iter().map(|&(_, t)| t).collect());
-            let c = b.actor("c", ct.clone());
-            b.channel(
-                "d",
-                p,
-                pp.iter().map(|&(p, _)| p).collect(),
-                c,
-                vec![scale; k as usize],
-                d,
-            )
-            .ok()?;
-            b.build().ok()
-        })
+/// channel (the consumer consumes a constant rate per phase, which always
+/// balances) — `None` when the draw yields zero total production.
+fn producer_consumer(rng: &mut SplitMix64) -> Option<CsdfGraph> {
+    let phases = rng.range_usize(1, 4);
+    let prod: Vec<u64> = (0..phases).map(|_| rng.range_u64(0, 3)).collect();
+    let prod_times: Vec<u64> = (0..phases).map(|_| rng.range_u64(1, 3)).collect();
+    let cons_phases = rng.range_usize(1, 3);
+    let cons_times: Vec<u64> = (0..cons_phases).map(|_| rng.range_u64(1, 3)).collect();
+    let scale = rng.range_u64(1, 3);
+    let tokens = rng.range_u64(0, 4);
+
+    if prod.iter().sum::<u64>() == 0 {
+        return None;
+    }
+    let mut b = CsdfGraph::builder("pc");
+    let p = b.actor("p", prod_times);
+    let c = b.actor("c", cons_times);
+    b.channel("d", p, prod, c, vec![scale; cons_phases], tokens)
+        .ok()?;
+    b.build().ok()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(40))]
+fn limits() -> CsdfLimits {
+    CsdfLimits {
+        max_states: 1 << 14,
+        max_steps: 1 << 20,
+    }
+}
 
-    /// Throughput is monotone in the channel capacity.
-    #[test]
-    fn throughput_monotone_in_capacity(g in producer_consumer(), base in 1u64..8) {
+/// Throughput is monotone in the channel capacity.
+#[test]
+fn throughput_monotone_in_capacity() {
+    let mut rng = SplitMix64::seed_from_u64(0xC5DF_0001);
+    for seed in 0..CASES {
+        let Some(g) = producer_consumer(&mut rng) else {
+            continue;
+        };
+        let base = rng.range_u64(1, 7);
         let obs = g.default_observed_actor();
-        let limits = CsdfLimits { max_states: 1 << 14, max_steps: 1 << 20 };
         let d0 = StorageDistribution::from_capacities(vec![base]);
         let d1 = d0.grown(ChannelId::new(0), 2);
         let (Ok(r0), Ok(r1)) = (
-            csdf_throughput(&g, &d0, obs, limits),
-            csdf_throughput(&g, &d1, obs, limits),
-        ) else { return Ok(()); };
-        prop_assert!(r1.throughput >= r0.throughput,
-            "thr {} -> {} when growing capacity {} -> {}",
-            r0.throughput, r1.throughput, base, base + 2);
+            csdf_throughput(&g, &d0, obs, limits()),
+            csdf_throughput(&g, &d1, obs, limits()),
+        ) else {
+            continue;
+        };
+        assert!(
+            r1.throughput >= r0.throughput,
+            "case {seed}: thr {} -> {} when growing capacity {} -> {}",
+            r0.throughput,
+            r1.throughput,
+            base,
+            base + 2
+        );
     }
+}
 
-    /// The simulated throughput never exceeds the HSDF/MCM bound.
-    #[test]
-    fn simulation_respects_maximal_throughput(g in producer_consumer(), cap in 1u64..12) {
+/// The simulated throughput never exceeds the HSDF/MCM bound.
+#[test]
+fn simulation_respects_maximal_throughput() {
+    let mut rng = SplitMix64::seed_from_u64(0xC5DF_0002);
+    for seed in 0..CASES {
+        let Some(g) = producer_consumer(&mut rng) else {
+            continue;
+        };
+        let cap = rng.range_u64(1, 11);
         let obs = g.default_observed_actor();
-        let Ok(bound) = csdf_maximal_throughput(&g, obs) else { return Ok(()); };
-        let limits = CsdfLimits { max_states: 1 << 14, max_steps: 1 << 20 };
+        let Ok(bound) = csdf_maximal_throughput(&g, obs) else {
+            continue;
+        };
         let d = StorageDistribution::from_capacities(vec![cap]);
-        let Ok(r) = csdf_throughput(&g, &d, obs, limits) else { return Ok(()); };
-        prop_assert!(r.throughput <= bound, "thr {} > bound {}", r.throughput, bound);
+        let Ok(r) = csdf_throughput(&g, &d, obs, limits()) else {
+            continue;
+        };
+        assert!(
+            r.throughput <= bound,
+            "case {seed}: thr {} > bound {}",
+            r.throughput,
+            bound
+        );
     }
+}
 
-    /// Token counts never go negative or exceed the capacity, and the
-    /// phase index stays in range (engine safety invariants).
-    #[test]
-    fn engine_invariants_hold(g in producer_consumer(), cap in 1u64..10, steps in 1u64..60) {
+/// Token counts never go negative or exceed the capacity, and the phase
+/// index stays in range (engine safety invariants).
+#[test]
+fn engine_invariants_hold() {
+    let mut rng = SplitMix64::seed_from_u64(0xC5DF_0003);
+    for seed in 0..CASES {
+        let Some(g) = producer_consumer(&mut rng) else {
+            continue;
+        };
+        let cap = rng.range_u64(1, 9);
+        let steps = rng.range_u64(1, 59);
         let d = StorageDistribution::from_capacities(vec![cap]);
         let mut e = CsdfEngine::new(&g, &d);
-        if e.start_initial().is_err() { return Ok(()); }
+        if e.start_initial().is_err() {
+            continue;
+        }
         for _ in 0..steps {
             match e.step() {
                 Ok(CsdfStepOutcome::Deadlock) => break,
@@ -89,20 +127,41 @@ proptest! {
             // The channel may start over-full; it never grows beyond the
             // larger of capacity and initial fill.
             let ch = g.channel(ChannelId::new(0));
-            prop_assert!(s.tokens[0] <= cap.max(ch.initial_tokens()));
+            assert!(
+                s.tokens[0] <= cap.max(ch.initial_tokens()),
+                "case {seed}: {} tokens with capacity {cap}",
+                s.tokens[0]
+            );
             for (i, &ph) in s.phase.iter().enumerate() {
-                prop_assert!((ph as usize) < g.actor(buffy_graph::ActorId::new(i)).num_phases());
+                assert!(
+                    (ph as usize) < g.actor(buffy_graph::ActorId::new(i)).num_phases(),
+                    "case {seed}: phase {ph} out of range for actor {i}"
+                );
             }
         }
     }
+}
 
-    /// Deadlocked executions report zero throughput and vice versa.
-    #[test]
-    fn deadlock_iff_zero_throughput(g in producer_consumer(), cap in 1u64..10) {
+/// Deadlocked executions report zero throughput and vice versa.
+#[test]
+fn deadlock_iff_zero_throughput() {
+    let mut rng = SplitMix64::seed_from_u64(0xC5DF_0004);
+    for seed in 0..CASES {
+        let Some(g) = producer_consumer(&mut rng) else {
+            continue;
+        };
+        let cap = rng.range_u64(1, 9);
         let obs = g.default_observed_actor();
-        let limits = CsdfLimits { max_states: 1 << 14, max_steps: 1 << 20 };
         let d = StorageDistribution::from_capacities(vec![cap]);
-        let Ok(r) = csdf_throughput(&g, &d, obs, limits) else { return Ok(()); };
-        prop_assert_eq!(r.deadlocked, r.throughput == Rational::ZERO);
+        let Ok(r) = csdf_throughput(&g, &d, obs, limits()) else {
+            continue;
+        };
+        assert_eq!(
+            r.deadlocked,
+            r.throughput == Rational::ZERO,
+            "case {seed}: deadlocked={} but throughput={}",
+            r.deadlocked,
+            r.throughput
+        );
     }
 }

@@ -91,8 +91,7 @@ impl CsdfRepetitionVector {
                 g = gcd_u128(g, v);
             }
             for (&i, &v) in members.iter().zip(&scaled) {
-                entries[i] =
-                    u64::try_from(v / g).map_err(|_| CsdfError::RepetitionOverflow)?;
+                entries[i] = u64::try_from(v / g).map_err(|_| CsdfError::RepetitionOverflow)?;
             }
         }
         Ok(CsdfRepetitionVector { entries })

@@ -105,7 +105,10 @@ pub fn read_csdf_xml(text: &str) -> Result<CsdfGraph, CsdfXmlError> {
 
     // Execution time lists.
     let mut times: HashMap<String, Vec<u64>> = HashMap::new();
-    if let Some(props) = app.find_descendant("csdfProperties").or_else(|| app.find_descendant("sdfProperties")) {
+    if let Some(props) = app
+        .find_descendant("csdfProperties")
+        .or_else(|| app.find_descendant("sdfProperties"))
+    {
         for ap in props.find_all("actorProperties") {
             let actor = req(ap, "actor")?;
             if let Some(et) = ap.find_descendant("executionTime") {
@@ -121,14 +124,21 @@ pub fn read_csdf_xml(text: &str) -> Result<CsdfGraph, CsdfXmlError> {
         let a = req(actor_el, "name")?.to_string();
         for port in actor_el.find_all("port") {
             let p = req(port, "name")?.to_string();
-            port_rates.insert((a.clone(), p), parse_list(port, "rate", req(port, "rate")?)?);
+            port_rates.insert(
+                (a.clone(), p),
+                parse_list(port, "rate", req(port, "rate")?)?,
+            );
         }
         actor_names.push(a);
     }
 
     // First pass: determine phase counts from rates or times.
     let mut phases: HashMap<String, usize> = HashMap::new();
-    let mut rate_of = |ch: &XmlElement, actor: &str, rate_key: &str, port_key: &str| -> Result<Vec<u64>, CsdfXmlError> {
+    let rate_of = |ch: &XmlElement,
+                   actor: &str,
+                   rate_key: &str,
+                   port_key: &str|
+     -> Result<Vec<u64>, CsdfXmlError> {
         match (ch.attribute(rate_key), ch.attribute(port_key)) {
             (Some(r), _) => parse_list(ch, rate_key, r),
             (None, Some(p)) => port_rates
@@ -186,12 +196,18 @@ pub fn read_csdf_xml(text: &str) -> Result<CsdfGraph, CsdfXmlError> {
         ids.insert(a.clone(), b.actor(a, t));
     }
     for ch in raw {
-        let src = *ids
-            .get(&ch.src)
-            .ok_or_else(|| missing(format!("actor {:?} referenced by channel {:?}", ch.src, ch.name)))?;
-        let dst = *ids
-            .get(&ch.dst)
-            .ok_or_else(|| missing(format!("actor {:?} referenced by channel {:?}", ch.dst, ch.name)))?;
+        let src = *ids.get(&ch.src).ok_or_else(|| {
+            missing(format!(
+                "actor {:?} referenced by channel {:?}",
+                ch.src, ch.name
+            ))
+        })?;
+        let dst = *ids.get(&ch.dst).ok_or_else(|| {
+            missing(format!(
+                "actor {:?} referenced by channel {:?}",
+                ch.dst, ch.name
+            ))
+        })?;
         b.channel(ch.name, src, ch.prod, dst, ch.cons, ch.tokens)?;
     }
     Ok(b.build()?)
@@ -212,7 +228,11 @@ pub fn write_csdf_xml(graph: &CsdfGraph) -> String {
         .attr("name", graph.name())
         .attr("type", graph.name());
     for (_, actor) in graph.actors() {
-        body = body.child(XmlElement::new("actor").attr("name", actor.name()).attr("type", actor.name()));
+        body = body.child(
+            XmlElement::new("actor")
+                .attr("name", actor.name())
+                .attr("type", actor.name()),
+        );
     }
     for (_, ch) in graph.channels() {
         let mut el = XmlElement::new("channel")
@@ -315,7 +335,10 @@ mod tests {
             read_csdf_xml("<sdf3><applicationGraph name=\"g\"><csdf name=\"g\"><actor name=\"x\"/><channel name=\"c\" srcActor=\"x\" srcRate=\"z\" dstActor=\"x\" dstRate=\"1\"/></csdf></applicationGraph></sdf3>"),
             Err(CsdfXmlError::Invalid { .. })
         ));
-        assert!(matches!(read_csdf_xml("<oops"), Err(CsdfXmlError::Parse(_))));
+        assert!(matches!(
+            read_csdf_xml("<oops"),
+            Err(CsdfXmlError::Parse(_))
+        ));
     }
 
     #[test]

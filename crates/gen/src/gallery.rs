@@ -50,8 +50,10 @@ pub fn bipartite() -> SdfGraph {
     let bb = b.actor("b", 1);
     let c = b.actor("c", 1);
     let d = b.actor("d", 1);
-    b.channel_with_tokens("alpha", a, 1, bb, 1, 1).expect("static graph");
-    b.channel_with_tokens("beta", bb, 1, a, 1, 1).expect("static graph");
+    b.channel_with_tokens("alpha", a, 1, bb, 1, 1)
+        .expect("static graph");
+    b.channel_with_tokens("beta", bb, 1, a, 1, 1)
+        .expect("static graph");
     b.channel("gamma", bb, 1, c, 1).expect("static graph");
     b.channel("delta", c, 1, d, 1).expect("static graph");
     b.build().expect("static graph")
@@ -93,7 +95,8 @@ pub fn h263_decoder() -> SdfGraph {
     let mc = b.actor("mc", 110);
     b.channel("vld_iq", vld, 594, iq, 1).expect("static graph");
     b.channel("iq_idct", iq, 1, idct, 1).expect("static graph");
-    b.channel("idct_mc", idct, 1, mc, 594).expect("static graph");
+    b.channel("idct_mc", idct, 1, mc, 594)
+        .expect("static graph");
     b.build().expect("static graph")
 }
 
@@ -130,25 +133,38 @@ pub fn modem() -> SdfGraph {
     b.channel("c_agc", agc, 1, filt, 1).expect("static graph");
     b.channel("c_filt", filt, 1, eq, 1).expect("static graph");
     // Hilbert side path around the filter.
-    b.channel("c_hilb_in", agc, 1, hilb, 1).expect("static graph");
-    b.channel("c_hilb_out", hilb, 1, eq, 1).expect("static graph");
+    b.channel("c_hilb_in", agc, 1, hilb, 1)
+        .expect("static graph");
+    b.channel("c_hilb_out", hilb, 1, eq, 1)
+        .expect("static graph");
     // Equalizer to demodulator to slicer.
     b.channel("c_eq", eq, 1, demod, 1).expect("static graph");
-    b.channel("c_demod", demod, 1, slicer, 1).expect("static graph");
+    b.channel("c_demod", demod, 1, slicer, 1)
+        .expect("static graph");
     // Error estimation.
-    b.channel("c_sl_err", slicer, 1, err, 1).expect("static graph");
-    b.channel("c_dem_err", demod, 1, err, 1).expect("static graph");
+    b.channel("c_sl_err", slicer, 1, err, 1)
+        .expect("static graph");
+    b.channel("c_dem_err", demod, 1, err, 1)
+        .expect("static graph");
     // Equalizer adaptation loop (delayed by one symbol).
-    b.channel("c_err_upd", err, 1, eq_upd, 1).expect("static graph");
-    b.channel_with_tokens("c_upd_eq", eq_upd, 1, eq, 1, 1).expect("static graph");
+    b.channel("c_err_upd", err, 1, eq_upd, 1)
+        .expect("static graph");
+    b.channel_with_tokens("c_upd_eq", eq_upd, 1, eq, 1, 1)
+        .expect("static graph");
     // Carrier tracking loop (delayed).
-    b.channel("c_err_carr", err, 1, carr, 1).expect("static graph");
-    b.channel("c_carr_loop", carr, 1, loopf, 1).expect("static graph");
-    b.channel_with_tokens("c_loop_demod", loopf, 1, demod, 1, 1).expect("static graph");
+    b.channel("c_err_carr", err, 1, carr, 1)
+        .expect("static graph");
+    b.channel("c_carr_loop", carr, 1, loopf, 1)
+        .expect("static graph");
+    b.channel_with_tokens("c_loop_demod", loopf, 1, demod, 1, 1)
+        .expect("static graph");
     // Decoder back end (multirate up-conversion).
-    b.channel("c_sl_deco", slicer, 1, deco, 1).expect("static graph");
-    b.channel("c_deco", deco, 1, descr, 1).expect("static graph");
-    b.channel("c_descr", descr, 16, p2s, 1).expect("static graph");
+    b.channel("c_sl_deco", slicer, 1, deco, 1)
+        .expect("static graph");
+    b.channel("c_deco", deco, 1, descr, 1)
+        .expect("static graph");
+    b.channel("c_descr", descr, 16, p2s, 1)
+        .expect("static graph");
     b.channel("c_out", p2s, 1, sink, 1).expect("static graph");
     b.build().expect("static graph")
 }
@@ -195,43 +211,67 @@ pub fn satellite() -> SdfGraph {
     // Front end.
     b.channel("s_ant", ant, 1, lna, 1).expect("static graph");
     b.channel("s_lna", lna, 1, split, 1).expect("static graph");
-    b.channel("s_split_i", split, 1, mix_i, 1).expect("static graph");
-    b.channel("s_split_q", split, 1, mix_q, 1).expect("static graph");
+    b.channel("s_split_i", split, 1, mix_i, 1)
+        .expect("static graph");
+    b.channel("s_split_q", split, 1, mix_q, 1)
+        .expect("static graph");
 
     // I chain: decimate 4:1, interpolate 1:2.
-    b.channel("s_mix_i", mix_i, 1, fir1_i, 1).expect("static graph");
-    b.channel("s_fir1_i", fir1_i, 4, dec_i, 4).expect("static graph");
-    b.channel("s_dec_i", dec_i, 1, fir2_i, 4).expect("static graph");
-    b.channel("s_fir2_i", fir2_i, 1, mf_i, 1).expect("static graph");
-    b.channel("s_mf_i", mf_i, 1, interp_i, 1).expect("static graph");
-    b.channel("s_int_i", interp_i, 2, combine, 2).expect("static graph");
+    b.channel("s_mix_i", mix_i, 1, fir1_i, 1)
+        .expect("static graph");
+    b.channel("s_fir1_i", fir1_i, 4, dec_i, 4)
+        .expect("static graph");
+    b.channel("s_dec_i", dec_i, 1, fir2_i, 4)
+        .expect("static graph");
+    b.channel("s_fir2_i", fir2_i, 1, mf_i, 1)
+        .expect("static graph");
+    b.channel("s_mf_i", mf_i, 1, interp_i, 1)
+        .expect("static graph");
+    b.channel("s_int_i", interp_i, 2, combine, 2)
+        .expect("static graph");
 
     // Q chain (mirrors I).
-    b.channel("s_mix_q", mix_q, 1, fir1_q, 1).expect("static graph");
-    b.channel("s_fir1_q", fir1_q, 4, dec_q, 4).expect("static graph");
-    b.channel("s_dec_q", dec_q, 1, fir2_q, 4).expect("static graph");
-    b.channel("s_fir2_q", fir2_q, 1, mf_q, 1).expect("static graph");
-    b.channel("s_mf_q", mf_q, 1, interp_q, 1).expect("static graph");
-    b.channel("s_int_q", interp_q, 2, combine, 2).expect("static graph");
+    b.channel("s_mix_q", mix_q, 1, fir1_q, 1)
+        .expect("static graph");
+    b.channel("s_fir1_q", fir1_q, 4, dec_q, 4)
+        .expect("static graph");
+    b.channel("s_dec_q", dec_q, 1, fir2_q, 4)
+        .expect("static graph");
+    b.channel("s_fir2_q", fir2_q, 1, mf_q, 1)
+        .expect("static graph");
+    b.channel("s_mf_q", mf_q, 1, interp_q, 1)
+        .expect("static graph");
+    b.channel("s_int_q", interp_q, 2, combine, 2)
+        .expect("static graph");
 
     // Phase-error loop: combine → phase → nco → both mixers (delayed).
-    b.channel("s_comb_phase", combine, 1, phase, 1).expect("static graph");
-    b.channel("s_phase_nco", phase, 1, nco, 1).expect("static graph");
+    b.channel("s_comb_phase", combine, 1, phase, 1)
+        .expect("static graph");
+    b.channel("s_phase_nco", phase, 1, nco, 1)
+        .expect("static graph");
     // The mixers run at 4× the symbol rate, so the oscillator fans out 4
     // samples per firing; the 4 initial tokens decouple one iteration.
-    b.channel_with_tokens("s_nco_i", nco, 4, mix_i, 1, 4).expect("static graph");
-    b.channel_with_tokens("s_nco_q", nco, 4, mix_q, 1, 4).expect("static graph");
+    b.channel_with_tokens("s_nco_i", nco, 4, mix_i, 1, 4)
+        .expect("static graph");
+    b.channel_with_tokens("s_nco_q", nco, 4, mix_q, 1, 4)
+        .expect("static graph");
 
     // Timing-error feedback from the phase detector into both matched
     // filters (delayed by one symbol each).
-    b.channel_with_tokens("s_phase_mf_i", phase, 1, mf_i, 1, 1).expect("static graph");
-    b.channel_with_tokens("s_phase_mf_q", phase, 1, mf_q, 1, 1).expect("static graph");
+    b.channel_with_tokens("s_phase_mf_i", phase, 1, mf_i, 1, 1)
+        .expect("static graph");
+    b.channel_with_tokens("s_phase_mf_q", phase, 1, mf_q, 1, 1)
+        .expect("static graph");
 
     // Tail.
-    b.channel("s_comb_demap", combine, 1, demap, 1).expect("static graph");
-    b.channel("s_demap", demap, 2, deint, 2).expect("static graph");
-    b.channel("s_deint", deint, 1, viterbi, 1).expect("static graph");
-    b.channel("s_vit", viterbi, 1, sink, 1).expect("static graph");
+    b.channel("s_comb_demap", combine, 1, demap, 1)
+        .expect("static graph");
+    b.channel("s_demap", demap, 2, deint, 2)
+        .expect("static graph");
+    b.channel("s_deint", deint, 1, viterbi, 1)
+        .expect("static graph");
+    b.channel("s_vit", viterbi, 1, sink, 1)
+        .expect("static graph");
     b.build().expect("static graph")
 }
 

@@ -17,5 +17,7 @@
 
 pub mod gallery;
 pub mod random;
+pub mod rng;
 
 pub use random::{chain, ring, RandomGraphConfig};
+pub use rng::SplitMix64;

@@ -6,9 +6,8 @@
 //! Cycle-closing channels receive one full iteration of initial tokens,
 //! which keeps every cycle live.
 
+use crate::rng::SplitMix64;
 use buffy_graph::{gcd_u64, SdfGraph};
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
 
 /// Configuration for the random graph generator.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -50,29 +49,24 @@ impl RandomGraphConfig {
         assert!(self.actors >= 1, "need at least one actor");
         assert!(self.max_repetition >= 1 && self.max_rate_factor >= 1);
         assert!(self.max_execution_time >= 1);
-        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut rng = SplitMix64::seed_from_u64(self.seed);
         let n = self.actors;
 
         // Random repetition vector.
         let q: Vec<u64> = (0..n)
-            .map(|_| rng.random_range(1..=self.max_repetition))
+            .map(|_| rng.range_u64(1, self.max_repetition))
             .collect();
 
         let mut b = SdfGraph::builder(format!("random-{}", self.seed));
         let ids: Vec<_> = (0..n)
-            .map(|i| {
-                b.actor(
-                    format!("n{i}"),
-                    rng.random_range(1..=self.max_execution_time),
-                )
-            })
+            .map(|i| b.actor(format!("n{i}"), rng.range_u64(1, self.max_execution_time)))
             .collect();
 
         // Rates for an edge u→v consistent with q: p = k·q(v)/g,
         // c = k·q(u)/g with g = gcd(q(u), q(v)).
-        let rates = |rng: &mut StdRng, u: usize, v: usize| {
+        let rates = |rng: &mut SplitMix64, u: usize, v: usize| {
             let g = gcd_u64(q[u], q[v]);
-            let k = rng.random_range(1..=self.max_rate_factor);
+            let k = rng.range_u64(1, self.max_rate_factor);
             (k * (q[v] / g), k * (q[u] / g))
         };
 
@@ -80,12 +74,12 @@ impl RandomGraphConfig {
         // connectivity.
         let mut order: Vec<usize> = (0..n).collect();
         for i in (1..n).rev() {
-            let j = rng.random_range(0..=i);
+            let j = rng.range_usize(0, i + 1);
             order.swap(i, j);
         }
         let mut nch = 0usize;
         for w in 1..n {
-            let u = order[rng.random_range(0..w)];
+            let u = order[rng.range_usize(0, w)];
             let v = order[w];
             let (p, c) = rates(&mut rng, u, v);
             b.channel(format!("t{nch}"), ids[u], p, ids[v], c)
@@ -96,8 +90,8 @@ impl RandomGraphConfig {
         // Extra channels; give each one full iteration of initial tokens
         // so any cycle it closes stays live.
         for _ in 0..self.extra_channels {
-            let u = rng.random_range(0..n);
-            let v = rng.random_range(0..n);
+            let u = rng.range_usize(0, n);
+            let v = rng.range_usize(0, n);
             let (p, c) = rates(&mut rng, u, v);
             let tokens = p * q[u];
             b.channel_with_tokens(format!("t{nch}"), ids[u], p, ids[v], c, tokens)
@@ -187,7 +181,7 @@ mod tests {
         };
         let g = cfg.generate();
         let q = RepetitionVector::compute(&g).unwrap();
-        assert!(q.as_slice().iter().all(|&e| e >= 1 && e <= 6));
+        assert!(q.as_slice().iter().all(|&e| (1..=6).contains(&e)));
     }
 
     #[test]

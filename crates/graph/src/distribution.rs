@@ -22,7 +22,6 @@ use core::fmt;
 /// assert_eq!(d.to_string(), "<4, 2>");
 /// ```
 #[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct StorageDistribution {
     capacities: Vec<u64>,
 }
@@ -233,6 +232,9 @@ mod tests {
     fn display_matches_paper_notation() {
         let d = StorageDistribution::from_capacities(vec![1, 2, 3, 3]);
         assert_eq!(d.to_string(), "<1, 2, 3, 3>");
-        assert_eq!(StorageDistribution::from_capacities(vec![]).to_string(), "<>");
+        assert_eq!(
+            StorageDistribution::from_capacities(vec![]).to_string(),
+            "<>"
+        );
     }
 }

@@ -31,6 +31,11 @@ pub enum GraphError {
     },
     /// A repetition-vector entry overflowed the `u64` range.
     RepetitionOverflow,
+    /// An arithmetic helper overflowed the `u64` range.
+    ArithmeticOverflow {
+        /// The operation that overflowed, e.g. `lcm(a, b)`.
+        operation: String,
+    },
     /// An actor name was not found during lookup.
     UnknownActor {
         /// The name that failed to resolve.
@@ -61,6 +66,9 @@ impl fmt::Display for GraphError {
             }
             GraphError::RepetitionOverflow => {
                 write!(f, "repetition vector entry overflows u64")
+            }
+            GraphError::ArithmeticOverflow { operation } => {
+                write!(f, "arithmetic overflow in {operation}")
             }
             GraphError::UnknownActor { name } => write!(f, "unknown actor {name:?}"),
             GraphError::UnknownChannel { name } => write!(f, "unknown channel {name:?}"),

@@ -14,7 +14,6 @@ use crate::ids::{ActorId, ChannelId};
 
 /// An actor: a node of the graph, firing with a fixed execution time.
 #[derive(Debug, Clone, PartialEq, Eq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Actor {
     pub(crate) name: String,
     pub(crate) execution_time: u64,
@@ -37,7 +36,6 @@ impl Actor {
 
 /// A channel: a directed edge carrying tokens from one actor to another.
 #[derive(Debug, Clone, PartialEq, Eq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Channel {
     pub(crate) name: String,
     pub(crate) source: ActorId,
@@ -109,7 +107,6 @@ impl Channel {
 /// # }
 /// ```
 #[derive(Debug, Clone, PartialEq, Eq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct SdfGraph {
     pub(crate) name: String,
     pub(crate) actors: Vec<Actor>,
@@ -260,7 +257,10 @@ impl SdfGraph {
         seen[0] = true;
         while let Some(i) = stack.pop() {
             let a = ActorId::new(i);
-            for &c in self.outputs[a.index()].iter().chain(&self.inputs[a.index()]) {
+            for &c in self.outputs[a.index()]
+                .iter()
+                .chain(&self.inputs[a.index()])
+            {
                 let ch = &self.channels[c.index()];
                 for n in [ch.source.index(), ch.target.index()] {
                     if !seen[n] {

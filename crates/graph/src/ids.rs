@@ -14,7 +14,6 @@ use core::fmt;
 /// assert_eq!(a.index(), 3);
 /// ```
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct ActorId(u32);
 
 impl ActorId {
@@ -49,7 +48,6 @@ impl fmt::Display for ActorId {
 /// assert_eq!(c.index(), 0);
 /// ```
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct ChannelId(u32);
 
 impl ChannelId {

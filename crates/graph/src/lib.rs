@@ -58,5 +58,5 @@ pub use distribution::StorageDistribution;
 pub use error::GraphError;
 pub use graph::{Actor, Channel, SdfGraph};
 pub use ids::{ActorId, ChannelId};
-pub use rational::{gcd_u128, gcd_u64, lcm_u64, ParseRationalError, Rational};
+pub use rational::{checked_lcm_u64, gcd_u128, gcd_u64, ParseRationalError, Rational};
 pub use repetition::{is_consistent, RepetitionVector};

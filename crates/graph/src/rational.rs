@@ -19,6 +19,7 @@
 //! assert_eq!((a + b).to_string(), "2/7");
 //! ```
 
+use crate::error::GraphError;
 use core::cmp::Ordering;
 use core::fmt;
 use core::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Sub, SubAssign};
@@ -51,21 +52,29 @@ pub const fn gcd_u64(a: u64, b: u64) -> u64 {
     gcd_u128(a as u128, b as u128) as u64
 }
 
-/// Least common multiple of two `u64` values.
+/// Least common multiple of two `u64` values; `checked_lcm_u64(0, x)` is 0.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if the result overflows `u64`.
+/// Returns [`GraphError::ArithmeticOverflow`] when the result does not fit
+/// in `u64` — the unchecked `(a / g) * b` would silently wrap in release
+/// builds.
 ///
 /// ```
-/// assert_eq!(buffy_graph::lcm_u64(4, 6), 12);
+/// assert_eq!(buffy_graph::checked_lcm_u64(4, 6), Ok(12));
+/// assert_eq!(buffy_graph::checked_lcm_u64(0, 6), Ok(0));
+/// assert!(buffy_graph::checked_lcm_u64(u64::MAX, u64::MAX - 1).is_err());
 /// ```
-pub const fn lcm_u64(a: u64, b: u64) -> u64 {
+pub fn checked_lcm_u64(a: u64, b: u64) -> Result<u64, GraphError> {
     if a == 0 || b == 0 {
-        return 0;
+        return Ok(0);
     }
     let g = gcd_u64(a, b);
-    (a / g) * b
+    (a / g)
+        .checked_mul(b)
+        .ok_or(GraphError::ArithmeticOverflow {
+            operation: format!("lcm({a}, {b})"),
+        })
 }
 
 /// An exact rational number.
@@ -73,7 +82,6 @@ pub const fn lcm_u64(a: u64, b: u64) -> u64 {
 /// Invariants: the denominator is strictly positive and
 /// `gcd(|numerator|, denominator) == 1` (0 is stored as `0/1`).
 #[derive(Clone, Copy, PartialEq, Eq, Hash)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Rational {
     num: i128,
     den: i128,
@@ -298,6 +306,8 @@ impl Mul for Rational {
 
 impl Div for Rational {
     type Output = Rational;
+    // Division by a rational IS multiplication by its reciprocal.
+    #[allow(clippy::suspicious_arithmetic_impl)]
     fn div(self, other: Rational) -> Rational {
         self * other.recip()
     }
@@ -466,8 +476,15 @@ mod tests {
         assert_eq!(gcd_u128(7, 0), 7);
         assert_eq!(gcd_u128(12, 18), 6);
         assert_eq!(gcd_u64(147, 160), 1);
-        assert_eq!(lcm_u64(4, 6), 12);
-        assert_eq!(lcm_u64(0, 6), 0);
+        assert_eq!(checked_lcm_u64(4, 6), Ok(12));
+        assert_eq!(checked_lcm_u64(0, 6), Ok(0));
+        assert_eq!(checked_lcm_u64(6, 0), Ok(0));
+        assert!(matches!(
+            checked_lcm_u64(u64::MAX, u64::MAX - 1),
+            Err(GraphError::ArithmeticOverflow { .. })
+        ));
+        // Co-prime factors just below the limit still work.
+        assert_eq!(checked_lcm_u64(1 << 32, 1 << 31), Ok(1 << 32));
     }
 
     #[test]
@@ -508,7 +525,10 @@ mod tests {
         assert!(Rational::new(1, 7) < Rational::new(1, 6));
         assert!(Rational::new(-1, 2) < Rational::ZERO);
         assert!(Rational::new(3, 2) > Rational::ONE);
-        assert_eq!(Rational::new(4, 8).cmp(&Rational::new(1, 2)), Ordering::Equal);
+        assert_eq!(
+            Rational::new(4, 8).cmp(&Rational::new(1, 2)),
+            Ordering::Equal
+        );
     }
 
     #[test]
@@ -543,7 +563,10 @@ mod tests {
     #[test]
     fn parse_and_display() {
         assert_eq!("1/7".parse::<Rational>().unwrap(), Rational::new(1, 7));
-        assert_eq!(" -3 / 9 ".parse::<Rational>().unwrap(), Rational::new(-1, 3));
+        assert_eq!(
+            " -3 / 9 ".parse::<Rational>().unwrap(),
+            Rational::new(-1, 3)
+        );
         assert_eq!("5".parse::<Rational>().unwrap(), Rational::from_integer(5));
         assert!("1/0".parse::<Rational>().is_err());
         assert!("x".parse::<Rational>().is_err());

@@ -39,7 +39,6 @@ use crate::rational::{gcd_u128, Rational};
 /// # }
 /// ```
 #[derive(Debug, Clone, PartialEq, Eq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct RepetitionVector {
     entries: Vec<u64>,
 }
@@ -80,12 +79,14 @@ impl RepetitionVector {
                     let (other, expected) = if outgoing {
                         (
                             ch.target(),
-                            r_actor * Rational::new(ch.production() as i128, ch.consumption() as i128),
+                            r_actor
+                                * Rational::new(ch.production() as i128, ch.consumption() as i128),
                         )
                     } else {
                         (
                             ch.source(),
-                            r_actor * Rational::new(ch.consumption() as i128, ch.production() as i128),
+                            r_actor
+                                * Rational::new(ch.consumption() as i128, ch.production() as i128),
                         )
                     };
                     match rates[other.index()] {

@@ -25,7 +25,11 @@ impl XmlError {
 
 impl fmt::Display for XmlError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "xml error at {}:{}: {}", self.line, self.column, self.message)
+        write!(
+            f,
+            "xml error at {}:{}: {}",
+            self.line, self.column, self.message
+        )
     }
 }
 
@@ -288,7 +292,9 @@ fn parse_element(c: &mut Cursor<'_>) -> Result<XmlElement, XmlError> {
             c.pos += 2;
             let close = c.read_name()?;
             if close != name {
-                return Err(c.error(format!("mismatched close tag </{close}>, expected </{name}>")));
+                return Err(c.error(format!(
+                    "mismatched close tag </{close}>, expected </{name}>"
+                )));
             }
             c.skip_whitespace();
             if !c.eat(">") {

@@ -156,14 +156,18 @@ pub fn read_sdf_xml(text: &str) -> Result<SdfGraph, SdfXmlError> {
             (None, Some(p)) => *port_rates
                 .get(&(src.to_string(), p.to_string()))
                 .ok_or_else(|| missing(format!("port {p:?} on actor {src:?}")))?,
-            (None, None) => return Err(missing(format!("srcRate or srcPort on channel {cname:?}"))),
+            (None, None) => {
+                return Err(missing(format!("srcRate or srcPort on channel {cname:?}")))
+            }
         };
         let cons = match (ch.attribute("dstRate"), ch.attribute("dstPort")) {
             (Some(r), _) => parse_u64(ch, "dstRate", r)?,
             (None, Some(p)) => *port_rates
                 .get(&(dst.to_string(), p.to_string()))
                 .ok_or_else(|| missing(format!("port {p:?} on actor {dst:?}")))?,
-            (None, None) => return Err(missing(format!("dstRate or dstPort on channel {cname:?}"))),
+            (None, None) => {
+                return Err(missing(format!("dstRate or dstPort on channel {cname:?}")))
+            }
         };
         let tokens = match ch.attribute("initialTokens") {
             Some(t) => parse_u64(ch, "initialTokens", t)?,
@@ -271,7 +275,10 @@ mod tests {
               <actor name="x"/><actor name="y"/>
               <channel name="c" srcActor="x" srcRate="lots" dstActor="y" dstRate="1"/>
             </sdf></applicationGraph></sdf3>"#;
-        assert!(matches!(read_sdf_xml(bad), Err(SdfXmlError::Invalid { .. })));
+        assert!(matches!(
+            read_sdf_xml(bad),
+            Err(SdfXmlError::Invalid { .. })
+        ));
     }
 
     #[test]

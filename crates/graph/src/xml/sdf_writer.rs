@@ -60,17 +60,22 @@ pub fn write_sdf_xml(graph: &SdfGraph) -> String {
                     XmlElement::new("processor")
                         .attr("type", "default")
                         .attr("default", "true")
-                        .child(XmlElement::new("executionTime").attr("time", actor.execution_time())),
+                        .child(
+                            XmlElement::new("executionTime").attr("time", actor.execution_time()),
+                        ),
                 ),
         );
     }
 
-    let root = XmlElement::new("sdf3").attr("type", "sdf").attr("version", "1.0").child(
-        XmlElement::new("applicationGraph")
-            .attr("name", graph.name())
-            .child(sdf)
-            .child(props),
-    );
+    let root = XmlElement::new("sdf3")
+        .attr("type", "sdf")
+        .attr("version", "1.0")
+        .child(
+            XmlElement::new("applicationGraph")
+                .attr("name", graph.name())
+                .child(sdf)
+                .child(props),
+        );
 
     let mut out = String::from("<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n");
     out.push_str(&root.to_xml_string());

@@ -38,6 +38,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("\nthroughput");
     let mut rows = vec![vec![b' '; width + 1]; height + 1];
     let mut level = 0.0f64;
+    // The x loop fills one cell per column across rows; an iterator
+    // rewrite over `rows` would obscure the plot construction.
+    #[allow(clippy::needless_range_loop)]
     for x in 0..=width {
         let size = min_size as f64 + (max_size - min_size) as f64 * x as f64 / width as f64;
         for p in points {

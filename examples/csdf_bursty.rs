@@ -25,7 +25,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let graph = b.build()?;
 
     // A couple of hand-picked distributions first.
-    println!("{:>14} {:>14} {:>12}", "blocks buffer", "pixels buffer", "thr(sink)");
+    println!(
+        "{:>14} {:>14} {:>12}",
+        "blocks buffer", "pixels buffer", "thr(sink)"
+    );
     for caps in [[4u64, 1], [4, 2], [6, 1], [6, 2], [8, 2]] {
         let dist = StorageDistribution::from_capacities(caps.to_vec());
         let r = csdf_throughput(&graph, &dist, sink, CsdfLimits::default())?;
@@ -33,17 +36,27 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             "{:>14} {:>14} {:>12}",
             caps[0],
             caps[1],
-            if r.deadlocked { "deadlock".into() } else { r.throughput.to_string() }
+            if r.deadlocked {
+                "deadlock".into()
+            } else {
+                r.throughput.to_string()
+            }
         );
     }
 
     // The full Pareto front.
     let result = csdf_explore(&graph, &CsdfExploreOptions::default())?;
-    println!("\nPareto front (dependency-guided exploration, {} analyses):", result.evaluations);
+    println!(
+        "\nPareto front (dependency-guided exploration, {} analyses):",
+        result.evaluations
+    );
     for p in result.pareto.points() {
         println!("  {p}");
     }
-    println!("\nmaximal throughput of the sink: {}", result.max_throughput);
+    println!(
+        "\nmaximal throughput of the sink: {}",
+        result.max_throughput
+    );
 
     // Contrast with the SDF approximation, which must assume the worst
     // burst in *every* firing: rates (6 per cycle → 2 per firing average

@@ -49,11 +49,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         println!("  {p}");
     }
 
-    println!("\nGraphviz DOT (pipe into `dot -Tsvg`):\n{}", to_dot(&graph));
+    println!(
+        "\nGraphviz DOT (pipe into `dot -Tsvg`):\n{}",
+        to_dot(&graph)
+    );
 
     // Round-trip: the canonical SDF3-style serialization of the graph.
     let xml = write_sdf_xml(&graph);
     assert_eq!(read_sdf_xml(&xml)?, graph);
-    println!("canonical XML serialization round-trips ({} bytes)", xml.len());
+    println!(
+        "canonical XML serialization round-trips ({} bytes)",
+        xml.len()
+    );
     Ok(())
 }

@@ -28,7 +28,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Sweep a few frame-rate requirements: full speed, 90%, 75%, 50%.
     let opts = ExploreOptions::default();
-    println!("\n{:>10}  {:>12}  {:>28}", "demand", "min storage", "distribution");
+    println!(
+        "\n{:>10}  {:>12}  {:>28}",
+        "demand", "min storage", "distribution"
+    );
     for (label, fraction) in [
         ("100%", Rational::ONE),
         ("90%", Rational::new(9, 10)),

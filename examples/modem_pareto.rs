@@ -31,15 +31,29 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         exhaustive.evaluations
     );
     assert_eq!(
-        guided.pareto.points().iter().map(|p| (p.size, p.throughput)).collect::<Vec<_>>(),
-        exhaustive.pareto.points().iter().map(|p| (p.size, p.throughput)).collect::<Vec<_>>(),
+        guided
+            .pareto
+            .points()
+            .iter()
+            .map(|p| (p.size, p.throughput))
+            .collect::<Vec<_>>(),
+        exhaustive
+            .pareto
+            .points()
+            .iter()
+            .map(|p| (p.size, p.throughput))
+            .collect::<Vec<_>>(),
         "the two algorithms must chart the same front"
     );
 
     println!("\nPareto space of the modem (Fig. 13):");
     for p in guided.pareto.points() {
         let bar = "#".repeat((p.throughput.to_f64() * 80.0) as usize);
-        println!("  size {:>3}  thr {:>6}  {bar}", p.size, p.throughput.to_string());
+        println!(
+            "  size {:>3}  thr {:>6}  {bar}",
+            p.size,
+            p.throughput.to_string()
+        );
     }
 
     // Pick the cheapest configuration for a 80%-of-max constraint and show

@@ -66,8 +66,7 @@ fn constraint_query_respects_caps() {
     assert!(p.distribution.as_slice()[0] <= 5);
     assert_eq!(p.size, 6);
     // … but 1/5 is not.
-    let err =
-        min_storage_for_throughput(&g, Rational::new(1, 5), &capped(5, 100)).unwrap_err();
+    let err = min_storage_for_throughput(&g, Rational::new(1, 5), &capped(5, 100)).unwrap_err();
     assert!(matches!(err, ExploreError::InfeasibleThroughput { .. }));
 }
 

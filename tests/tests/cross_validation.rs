@@ -44,8 +44,7 @@ fn full_vs_reduced_state_space_on_random_graphs() {
             })
             .collect();
         for scale in [1u64, 2] {
-            let d: StorageDistribution =
-                generous.as_slice().iter().map(|&c| c * scale).collect();
+            let d: StorageDistribution = generous.as_slice().iter().map(|&c| c * scale).collect();
             let full = explore(&g, &d, ExplorationLimits::default()).unwrap();
             let red = throughput(&g, &d, obs).unwrap();
             assert_eq!(
@@ -132,7 +131,10 @@ fn exhaustive_vs_guided_on_random_graphs() {
         assert_eq!(front(&a), front(&b), "seed {}", 2000 + seed);
         compared += 1;
     }
-    assert!(compared >= 6, "too few comparable random graphs: {compared}");
+    assert!(
+        compared >= 6,
+        "too few comparable random graphs: {compared}"
+    );
 }
 
 /// The two explorers also agree on the small gallery graphs.
@@ -167,8 +169,7 @@ fn pareto_witness_schedules_validate() {
         let obs = g.default_observed_actor();
         let r = explore_dependency_guided(&g, &ExploreOptions::default()).unwrap();
         for p in r.pareto.points() {
-            let s =
-                Schedule::extract(&g, &p.distribution, ExplorationLimits::default()).unwrap();
+            let s = Schedule::extract(&g, &p.distribution, ExplorationLimits::default()).unwrap();
             s.validate(&g, &p.distribution)
                 .unwrap_or_else(|e| panic!("{}: {e}", g.name()));
             assert_eq!(s.throughput_of(obs), p.throughput, "{}", g.name());

@@ -71,8 +71,7 @@ fn transformation_preserves_throughput_on_random_graphs() {
         let obs = g.default_observed_actor();
         let lb = buffy_core::lower_bound_distribution(&g);
         for extra in [0u64, 1, 3] {
-            let dist: StorageDistribution =
-                lb.as_slice().iter().map(|&c| c + extra).collect();
+            let dist: StorageDistribution = lb.as_slice().iter().map(|&c| c + extra).collect();
             let original = throughput(&g, &dist, obs).unwrap();
             let t = match transform::capacities_as_channels(&g, &dist) {
                 Ok(t) => t,

@@ -71,12 +71,20 @@ fn bipartite_lower_bound_deadlocks() {
 fn bipartite_minimal_distributions_not_unique() {
     let g = gallery::bipartite();
     let d = g.actor_by_name("d").unwrap();
-    let t1 = throughput(&g, &StorageDistribution::from_capacities(vec![1, 2, 3, 3]), d)
-        .unwrap()
-        .throughput;
-    let t2 = throughput(&g, &StorageDistribution::from_capacities(vec![2, 1, 3, 3]), d)
-        .unwrap()
-        .throughput;
+    let t1 = throughput(
+        &g,
+        &StorageDistribution::from_capacities(vec![1, 2, 3, 3]),
+        d,
+    )
+    .unwrap()
+    .throughput;
+    let t2 = throughput(
+        &g,
+        &StorageDistribution::from_capacities(vec![2, 1, 3, 3]),
+        d,
+    )
+    .unwrap()
+    .throughput;
     assert_eq!(t1, t2);
     assert!(t1 > Rational::ZERO);
 }

@@ -48,10 +48,7 @@ fn maximal_throughputs_scale_with_repetition_vector() {
         }
         .generate();
         let q = RepetitionVector::compute(&g).unwrap();
-        let values: Vec<_> = g
-            .actor_ids()
-            .map(|a| maximal_throughput(&g, a))
-            .collect();
+        let values: Vec<_> = g.actor_ids().map(|a| maximal_throughput(&g, a)).collect();
         if values.iter().any(|v| v.is_err()) {
             continue; // token-free cycle
         }

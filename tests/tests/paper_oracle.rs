@@ -1,11 +1,9 @@
 //! End-to-end checks of every concrete number the paper states for its
 //! running example (Fig. 1, Table 1, Figs. 3–5, §5–§9).
 
-use buffy_analysis::{
-    explore, maximal_throughput, throughput, ExplorationLimits, Schedule,
-};
+use buffy_analysis::{explore, maximal_throughput, throughput, ExplorationLimits, Schedule};
 use buffy_core::{
-    explore_design_space, explore_dependency_guided, lower_bound_distribution,
+    explore_dependency_guided, explore_design_space, lower_bound_distribution,
     min_storage_for_throughput, ExploreOptions,
 };
 use buffy_gen::gallery;
