@@ -9,9 +9,10 @@
 //! `buffy-core` — the pruning direction the paper's conclusions call for
 //! (§11–12) and the refinement the authors later shipped in SDF3.
 
-use crate::engine::{Capacities, Engine, StepOutcome};
+use crate::engine::{Capacities, DataflowEngine, FiringOutcome};
 use crate::error::AnalysisError;
-use crate::throughput::{throughput_with_limits, ExplorationLimits, ThroughputReport};
+use crate::semantics::DataflowSemantics;
+use crate::throughput::{throughput_for, ExplorationLimits, ThroughputReport};
 use buffy_graph::{ActorId, ChannelId, SdfGraph, StorageDistribution};
 
 /// A throughput report extended with the channels limiting it.
@@ -36,23 +37,26 @@ impl DependencyReport {
     }
 }
 
-/// Channels whose lack of space currently blocks a token-ready, idle actor.
-fn space_blocked_channels(engine: &Engine<'_>, out: &mut [bool]) {
-    let graph = engine.graph();
+/// Channels whose lack of space currently blocks a token-ready, idle actor
+/// (at its current phase's rates).
+fn space_blocked_channels<M: DataflowSemantics>(engine: &DataflowEngine<'_, M>, out: &mut [bool]) {
+    let model = engine.model();
     let state = engine.state();
-    'actors: for actor in graph.actor_ids() {
-        if state.act_clk[actor.index()] > 0 {
+    'actors: for i in 0..model.num_actors() {
+        let actor = ActorId::new(i);
+        if state.act_clk[i] > 0 {
             continue;
         }
-        for &cid in graph.input_channels(actor) {
-            if state.tokens[cid.index()] < graph.channel(cid).consumption() {
+        let phase = state.phase[i];
+        for &cid in model.input_channels(actor) {
+            if state.tokens[cid.index()] < model.consumption(cid, phase) {
                 continue 'actors; // token-starved, not a storage dependency
             }
         }
-        for &cid in graph.output_channels(actor) {
+        for &cid in model.output_channels(actor) {
             if let Some(cap) = engine.capacities().get(cid) {
                 let free = cap.saturating_sub(state.tokens[cid.index()]);
-                if free < graph.channel(cid).production() {
+                if free < model.production(cid, phase) {
                     out[cid.index()] = true;
                 }
             }
@@ -69,25 +73,40 @@ fn space_blocked_channels(engine: &Engine<'_>, out: &mut [bool]) {
 ///
 /// # Errors
 ///
-/// Same as [`throughput_with_limits`].
+/// Same as [`crate::throughput_with_limits`].
 pub fn throughput_with_dependencies(
     graph: &SdfGraph,
     dist: &StorageDistribution,
     observed: ActorId,
     limits: ExplorationLimits,
 ) -> Result<DependencyReport, AnalysisError> {
-    let report = throughput_with_limits(graph, dist, observed, limits)?;
-    let mut dependent = vec![false; graph.num_channels()];
+    throughput_with_dependencies_for(graph, dist, observed, limits)
+}
 
-    let mut engine = Engine::new(graph, Capacities::from_distribution(dist));
+/// The generic form of [`throughput_with_dependencies`]: works for any
+/// [`DataflowSemantics`] model through the unified kernel.
+///
+/// # Errors
+///
+/// Same as [`crate::throughput_with_limits`].
+pub fn throughput_with_dependencies_for<M: DataflowSemantics>(
+    model: &M,
+    dist: &StorageDistribution,
+    observed: ActorId,
+    limits: ExplorationLimits,
+) -> Result<DependencyReport, AnalysisError> {
+    let report = throughput_for(model, Capacities::from_distribution(dist), observed, limits)?;
+    let mut dependent = vec![false; model.num_channels()];
+
+    let mut engine = DataflowEngine::new(model, Capacities::from_distribution(dist));
     engine.start_initial()?;
 
     if report.deadlocked {
         // Run to the deadlock and inspect the stable state.
         loop {
             match engine.step()? {
-                StepOutcome::Deadlock => break,
-                StepOutcome::Progress(_) => {}
+                FiringOutcome::Deadlock => break,
+                FiringOutcome::Progress(_) => {}
             }
         }
         space_blocked_channels(&engine, &mut dependent);

@@ -12,12 +12,19 @@
 //! - every enabled actor fires as soon as possible, which maximizes
 //!   throughput (§5) and makes execution deterministic (§6).
 //!
-//! One call to [`Engine::step`] advances time by one unit: it first
-//! completes firings whose remaining time reaches zero, then starts every
-//! enabled firing. Actors with execution time 0 complete within the step; a
-//! fixpoint loop handles chains of zero-time firings.
+//! The executor is [`DataflowEngine`], generic over any
+//! [`DataflowSemantics`] model: each firing executes the actor's current
+//! phase and advances it, so plain SDF (one phase per actor) and CSDF
+//! (cyclic phase sequences) run through the same code. [`Engine`] is the
+//! SDF-typed wrapper that the SDF analyses use.
+//!
+//! One call to [`DataflowEngine::step`] advances time by one unit: it
+//! first completes firings whose remaining time reaches zero, then starts
+//! every enabled firing. Actors with execution time 0 complete within the
+//! step; a fixpoint loop handles chains of zero-time firings.
 
 use crate::error::AnalysisError;
+use crate::semantics::DataflowSemantics;
 use buffy_graph::{ActorId, ChannelId, SdfGraph, StorageDistribution};
 
 /// Per-channel capacities; `None` means conceptually unbounded storage.
@@ -73,24 +80,54 @@ impl From<&StorageDistribution> for Capacities {
     }
 }
 
-/// A snapshot of the execution state: remaining firing times and channel
-/// fill levels (paper Def. 5).
+/// A snapshot of the execution state: remaining firing times, current
+/// firing phases, and channel fill levels (paper Def. 5).
+///
+/// Plain SDF keeps every phase at 0, so [`SdfState`] is a type alias:
+/// single-phase models hash and compare identically whether they entered
+/// the kernel as SDF or as a single-phase CSDF embedding.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
-pub struct SdfState {
+pub struct DataflowState {
     /// Remaining time of the current firing per actor (0 = idle).
     pub act_clk: Vec<u64>,
+    /// Current phase per actor (always 0 for plain SDF).
+    pub phase: Vec<u32>,
     /// Tokens currently stored per channel.
     pub tokens: Vec<u64>,
 }
 
-impl SdfState {
+impl DataflowState {
     /// Whether no actor is currently firing.
     pub fn all_idle(&self) -> bool {
         self.act_clk.iter().all(|&t| t == 0)
     }
 }
 
-/// What happened during one [`Engine::step`].
+/// The SDF execution state: the single-phase case of [`DataflowState`].
+pub type SdfState = DataflowState;
+
+/// What happened during one [`DataflowEngine::step`]: completed and
+/// started firings with the phase that fired.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct FiringEvents {
+    /// `(actor, phase)` firings completed in this step (zero-time
+    /// firings appear once per completed firing).
+    pub completed: Vec<(ActorId, u32)>,
+    /// `(actor, phase)` firings started in this step (ditto).
+    pub started: Vec<(ActorId, u32)>,
+}
+
+/// Outcome of advancing a [`DataflowEngine`] by one time step.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FiringOutcome {
+    /// Time advanced normally.
+    Progress(FiringEvents),
+    /// No actor is firing and none can start: the model is deadlocked
+    /// (paper §3); the state will never change again.
+    Deadlock,
+}
+
+/// What happened during one [`Engine::step`] (SDF view: phases stripped).
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct StepEvents {
     /// Actors that completed a firing in this step (zero-time firings
@@ -110,12 +147,327 @@ pub enum StepOutcome {
     Deadlock,
 }
 
+impl From<FiringEvents> for StepEvents {
+    fn from(ev: FiringEvents) -> StepEvents {
+        StepEvents {
+            completed: ev.completed.into_iter().map(|(a, _)| a).collect(),
+            started: ev.started.into_iter().map(|(a, _)| a).collect(),
+        }
+    }
+}
+
 /// Maximum number of zero-execution-time firings tolerated within a single
 /// time step before declaring a livelock.
 const ZERO_TIME_FIRING_CAP: u64 = 1 << 22;
 
+/// Deterministic self-timed executor for any [`DataflowSemantics`] model
+/// under given channel capacities.
+///
+/// The SDF analyses use the [`Engine`] wrapper; CSDF wraps this engine in
+/// `buffy-csdf`.
+#[derive(Debug, Clone)]
+pub struct DataflowEngine<'g, M: DataflowSemantics> {
+    model: &'g M,
+    caps: Capacities,
+    state: DataflowState,
+    time: u64,
+    started: bool,
+    /// Completed phase firings per actor, kept to cross-check token
+    /// counts.
+    #[cfg(feature = "strict-invariants")]
+    fired: Vec<u64>,
+    /// Time at the last invariant check; time must never move backwards.
+    #[cfg(feature = "strict-invariants")]
+    last_time: u64,
+}
+
+impl<'g, M: DataflowSemantics> DataflowEngine<'g, M> {
+    /// Creates an engine at time 0 with all actors idle in phase 0 and
+    /// channels at their initial token counts. Call
+    /// [`start_initial`](Self::start_initial) before stepping.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `caps` does not cover exactly the model's channels.
+    pub fn new(model: &'g M, caps: Capacities) -> DataflowEngine<'g, M> {
+        assert_eq!(
+            caps.len(),
+            model.num_channels(),
+            "capacities must cover every channel"
+        );
+        let tokens = (0..model.num_channels())
+            .map(|i| model.initial_tokens(ChannelId::new(i)))
+            .collect();
+        DataflowEngine {
+            model,
+            caps,
+            state: DataflowState {
+                act_clk: vec![0; model.num_actors()],
+                phase: vec![0; model.num_actors()],
+                tokens,
+            },
+            time: 0,
+            started: false,
+            #[cfg(feature = "strict-invariants")]
+            fired: vec![0; model.num_actors()],
+            #[cfg(feature = "strict-invariants")]
+            last_time: 0,
+        }
+    }
+
+    /// Hard invariant checks compiled in by the `strict-invariants`
+    /// feature: the clock is monotone, every channel's fill level equals
+    /// `initial + produced − consumed` (token conservation, summing the
+    /// phase rates of the completed firings), capacities are respected
+    /// (channels whose initial tokens exceed the capacity may stay
+    /// over-full until drained) and no running firing exceeds its phase's
+    /// execution time.
+    #[cfg(feature = "strict-invariants")]
+    fn assert_invariants(&mut self) {
+        assert!(self.time >= self.last_time, "time moved backwards");
+        self.last_time = self.time;
+        // Tokens moved by `fired` phase firings of `actor`, which always
+        // executes its phases in order starting at 0.
+        let moved = |fired: u64, actor: ActorId, rate: &dyn Fn(u32) -> u64| -> i128 {
+            let n = self.model.num_phases(actor) as u64;
+            let cycle: i128 = (0..n as u32).map(|p| rate(p) as i128).sum();
+            let full = (fired / n) as i128 * cycle;
+            let partial: i128 = (0..(fired % n) as u32).map(|p| rate(p) as i128).sum();
+            full + partial
+        };
+        for i in 0..self.model.num_channels() {
+            let cid = ChannelId::new(i);
+            let src = self.model.channel_source(cid);
+            let tgt = self.model.channel_target(cid);
+            let produced = moved(self.fired[src.index()], src, &|p| {
+                self.model.production(cid, p)
+            });
+            let consumed = moved(self.fired[tgt.index()], tgt, &|p| {
+                self.model.consumption(cid, p)
+            });
+            let initial = self.model.initial_tokens(cid);
+            let expected = initial as i128 + produced - consumed;
+            assert_eq!(
+                self.state.tokens[i] as i128,
+                expected,
+                "token conservation violated on channel {}",
+                self.model.channel_name(cid)
+            );
+            if let Some(cap) = self.caps.get(cid) {
+                assert!(
+                    self.state.tokens[i] <= cap.max(initial),
+                    "capacity exceeded on channel {}",
+                    self.model.channel_name(cid)
+                );
+            }
+        }
+        for i in 0..self.model.num_actors() {
+            let aid = ActorId::new(i);
+            assert!(
+                self.state.act_clk[i] <= self.model.execution_time(aid, self.state.phase[i]),
+                "clock of actor {} exceeds its execution time",
+                self.model.actor_name(aid)
+            );
+        }
+    }
+
+    /// The model being executed.
+    pub fn model(&self) -> &'g M {
+        self.model
+    }
+
+    /// The channel capacities in effect.
+    pub fn capacities(&self) -> &Capacities {
+        &self.caps
+    }
+
+    /// The current state.
+    pub fn state(&self) -> &DataflowState {
+        &self.state
+    }
+
+    /// The current time (number of completed steps).
+    pub fn time(&self) -> u64 {
+        self.time
+    }
+
+    /// Whether `actor` can start a firing of its current phase in the
+    /// current state.
+    pub fn is_enabled(&self, actor: ActorId) -> bool {
+        if self.state.act_clk[actor.index()] > 0 {
+            return false; // no auto-concurrency
+        }
+        let phase = self.state.phase[actor.index()];
+        for &cid in self.model.input_channels(actor) {
+            if self.state.tokens[cid.index()] < self.model.consumption(cid, phase) {
+                return false;
+            }
+        }
+        for &cid in self.model.output_channels(actor) {
+            if let Some(cap) = self.caps.get(cid) {
+                // Self-loops consume at the end of the firing, so the space
+                // check cannot net out the consumption; claim the full
+                // production (conservative, matches the paper's model).
+                let free = cap.saturating_sub(self.state.tokens[cid.index()]);
+                if free < self.model.production(cid, phase) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Performs the initial start phase (time stays 0): every enabled actor
+    /// begins its first firing, zero-time firings complete immediately.
+    ///
+    /// # Errors
+    ///
+    /// [`AnalysisError::ZeroTimeLivelock`] if zero-time firings never
+    /// stabilize.
+    pub fn start_initial(&mut self) -> Result<FiringEvents, AnalysisError> {
+        assert!(!self.started, "start_initial must be called exactly once");
+        self.started = true;
+        let mut events = FiringEvents::default();
+        self.start_enabled(&mut events)?;
+        #[cfg(feature = "strict-invariants")]
+        self.assert_invariants();
+        Ok(events)
+    }
+
+    /// Advances the execution by one time step.
+    ///
+    /// # Errors
+    ///
+    /// [`AnalysisError::ZeroTimeLivelock`] if zero-time firings never
+    /// stabilize within the step.
+    ///
+    /// # Panics
+    ///
+    /// Panics if [`start_initial`](Self::start_initial) has not been called.
+    pub fn step(&mut self) -> Result<FiringOutcome, AnalysisError> {
+        assert!(self.started, "call start_initial before step");
+        // Deadlock check on the *current* state: nothing firing, nothing
+        // enabled.
+        if self.state.all_idle() && !self.any_enabled() {
+            return Ok(FiringOutcome::Deadlock);
+        }
+
+        self.time += 1;
+        let mut events = FiringEvents::default();
+
+        // 1. Advance clocks; complete firings that reach zero.
+        for i in 0..self.state.act_clk.len() {
+            if self.state.act_clk[i] > 0 {
+                self.state.act_clk[i] -= 1;
+                if self.state.act_clk[i] == 0 {
+                    let phase = self.state.phase[i];
+                    self.complete(ActorId::new(i));
+                    events.completed.push((ActorId::new(i), phase));
+                }
+            }
+        }
+
+        // 2. Start every enabled firing (fixpoint for zero-time phases).
+        self.start_enabled(&mut events)?;
+        #[cfg(feature = "strict-invariants")]
+        self.assert_invariants();
+        Ok(FiringOutcome::Progress(events))
+    }
+
+    /// Runs until the observed condition: convenience that steps `n` times
+    /// or stops early on deadlock. Returns the number of steps taken.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`step`](Self::step) errors.
+    pub fn run_steps(&mut self, n: u64) -> Result<u64, AnalysisError> {
+        for done in 0..n {
+            if let FiringOutcome::Deadlock = self.step()? {
+                return Ok(done);
+            }
+        }
+        Ok(n)
+    }
+
+    fn any_enabled(&self) -> bool {
+        (0..self.model.num_actors()).any(|i| self.is_enabled(ActorId::new(i)))
+    }
+
+    /// Applies the end-of-firing effects of `actor`'s current phase:
+    /// consume inputs, produce outputs, advance the phase (paper Fig. 2).
+    fn complete(&mut self, actor: ActorId) {
+        #[cfg(feature = "strict-invariants")]
+        {
+            self.fired[actor.index()] += 1;
+        }
+        let phase = self.state.phase[actor.index()];
+        for &cid in self.model.input_channels(actor) {
+            let consume = self.model.consumption(cid, phase);
+            debug_assert!(self.state.tokens[cid.index()] >= consume);
+            self.state.tokens[cid.index()] -= consume;
+        }
+        for &cid in self.model.output_channels(actor) {
+            let produce = self.model.production(cid, phase);
+            self.state.tokens[cid.index()] += produce;
+            if let Some(cap) = self.caps.get(cid) {
+                // Over-full channels (initial tokens above the capacity)
+                // are tolerated as long as nothing is produced on them.
+                debug_assert!(
+                    produce == 0 || self.state.tokens[cid.index()] <= cap,
+                    "claimed space was violated on channel {}",
+                    self.model.channel_name(cid)
+                );
+            }
+        }
+        self.state.phase[actor.index()] =
+            (self.state.phase[actor.index()] + 1) % self.model.num_phases(actor);
+    }
+
+    /// Starts all enabled firings; zero-time firings complete immediately
+    /// and may enable more starts (possibly of the actor's next phase),
+    /// hence the fixpoint loop.
+    fn start_enabled(&mut self, events: &mut FiringEvents) -> Result<(), AnalysisError> {
+        let mut zero_firings: u64 = 0;
+        loop {
+            let mut changed = false;
+            for i in 0..self.model.num_actors() {
+                let actor = ActorId::new(i);
+                // An actor may chain several zero-time phases and then
+                // start a timed one within the same pass.
+                loop {
+                    if self.state.act_clk[i] > 0 || !self.is_enabled(actor) {
+                        break;
+                    }
+                    let phase = self.state.phase[i];
+                    let exec = self.model.execution_time(actor, phase);
+                    if exec > 0 {
+                        self.state.act_clk[i] = exec;
+                        events.started.push((actor, phase));
+                        changed = true;
+                        break;
+                    }
+                    // Zero-time phase: fires (and may refire) within the
+                    // step.
+                    events.started.push((actor, phase));
+                    self.complete(actor);
+                    events.completed.push((actor, phase));
+                    changed = true;
+                    zero_firings += 1;
+                    if zero_firings > ZERO_TIME_FIRING_CAP {
+                        return Err(AnalysisError::ZeroTimeLivelock);
+                    }
+                }
+            }
+            if !changed {
+                return Ok(());
+            }
+        }
+    }
+}
+
 /// Deterministic self-timed executor for an SDF graph under given channel
-/// capacities.
+/// capacities: the single-phase instantiation of [`DataflowEngine`] with
+/// phase-free events.
 ///
 /// # Examples
 ///
@@ -151,17 +503,7 @@ const ZERO_TIME_FIRING_CAP: u64 = 1 << 22;
 /// ```
 #[derive(Debug, Clone)]
 pub struct Engine<'g> {
-    graph: &'g SdfGraph,
-    caps: Capacities,
-    state: SdfState,
-    time: u64,
-    started: bool,
-    /// Completed firings per actor, kept to cross-check token counts.
-    #[cfg(feature = "strict-invariants")]
-    fired: Vec<u64>,
-    /// Time at the last invariant check; time must never move backwards.
-    #[cfg(feature = "strict-invariants")]
-    last_time: u64,
+    inner: DataflowEngine<'g, SdfGraph>,
 }
 
 impl<'g> Engine<'g> {
@@ -173,107 +515,34 @@ impl<'g> Engine<'g> {
     ///
     /// Panics if `caps` does not cover exactly the graph's channels.
     pub fn new(graph: &'g SdfGraph, caps: Capacities) -> Engine<'g> {
-        assert_eq!(
-            caps.len(),
-            graph.num_channels(),
-            "capacities must cover every channel"
-        );
-        let tokens = graph.channels().map(|(_, c)| c.initial_tokens()).collect();
         Engine {
-            graph,
-            caps,
-            state: SdfState {
-                act_clk: vec![0; graph.num_actors()],
-                tokens,
-            },
-            time: 0,
-            started: false,
-            #[cfg(feature = "strict-invariants")]
-            fired: vec![0; graph.num_actors()],
-            #[cfg(feature = "strict-invariants")]
-            last_time: 0,
-        }
-    }
-
-    /// Hard invariant checks compiled in by the `strict-invariants`
-    /// feature: the clock is monotone, every channel's fill level equals
-    /// `initial + produced − consumed` (token conservation), capacities
-    /// are respected and no running firing exceeds its execution time.
-    #[cfg(feature = "strict-invariants")]
-    fn assert_invariants(&mut self) {
-        assert!(self.time >= self.last_time, "time moved backwards");
-        self.last_time = self.time;
-        for (cid, ch) in self.graph.channels() {
-            let produced = self.fired[ch.source().index()] as i128 * ch.production() as i128;
-            let consumed = self.fired[ch.target().index()] as i128 * ch.consumption() as i128;
-            let expected = ch.initial_tokens() as i128 + produced - consumed;
-            assert_eq!(
-                self.state.tokens[cid.index()] as i128,
-                expected,
-                "token conservation violated on channel {}",
-                ch.name()
-            );
-            if let Some(cap) = self.caps.get(cid) {
-                assert!(
-                    self.state.tokens[cid.index()] <= cap,
-                    "capacity exceeded on channel {}",
-                    ch.name()
-                );
-            }
-        }
-        for (aid, actor) in self.graph.actors() {
-            assert!(
-                self.state.act_clk[aid.index()] <= actor.execution_time(),
-                "clock of actor {} exceeds its execution time",
-                actor.name()
-            );
+            inner: DataflowEngine::new(graph, caps),
         }
     }
 
     /// The graph being executed.
     pub fn graph(&self) -> &'g SdfGraph {
-        self.graph
+        self.inner.model()
     }
 
     /// The channel capacities in effect.
     pub fn capacities(&self) -> &Capacities {
-        &self.caps
+        self.inner.capacities()
     }
 
     /// The current state.
     pub fn state(&self) -> &SdfState {
-        &self.state
+        self.inner.state()
     }
 
     /// The current time (number of completed steps).
     pub fn time(&self) -> u64 {
-        self.time
+        self.inner.time()
     }
 
     /// Whether `actor` can start a firing in the current state.
     pub fn is_enabled(&self, actor: ActorId) -> bool {
-        if self.state.act_clk[actor.index()] > 0 {
-            return false; // no auto-concurrency
-        }
-        for &cid in self.graph.input_channels(actor) {
-            let ch = self.graph.channel(cid);
-            if self.state.tokens[cid.index()] < ch.consumption() {
-                return false;
-            }
-        }
-        for &cid in self.graph.output_channels(actor) {
-            let ch = self.graph.channel(cid);
-            if let Some(cap) = self.caps.get(cid) {
-                // Self-loops consume at the end of the firing, so the space
-                // check cannot net out the consumption; claim the full
-                // production (conservative, matches the paper's model).
-                let free = cap.saturating_sub(self.state.tokens[cid.index()]);
-                if free < ch.production() {
-                    return false;
-                }
-            }
-        }
-        true
+        self.inner.is_enabled(actor)
     }
 
     /// Performs the initial start phase (time stays 0): every enabled actor
@@ -284,13 +553,7 @@ impl<'g> Engine<'g> {
     /// [`AnalysisError::ZeroTimeLivelock`] if zero-time firings never
     /// stabilize.
     pub fn start_initial(&mut self) -> Result<StepEvents, AnalysisError> {
-        assert!(!self.started, "start_initial must be called exactly once");
-        self.started = true;
-        let mut events = StepEvents::default();
-        self.start_enabled(&mut events)?;
-        #[cfg(feature = "strict-invariants")]
-        self.assert_invariants();
-        Ok(events)
+        self.inner.start_initial().map(StepEvents::from)
     }
 
     /// Advances the execution by one time step.
@@ -304,107 +567,20 @@ impl<'g> Engine<'g> {
     ///
     /// Panics if [`start_initial`](Self::start_initial) has not been called.
     pub fn step(&mut self) -> Result<StepOutcome, AnalysisError> {
-        assert!(self.started, "call start_initial before step");
-        // Deadlock check on the *current* state: nothing firing, nothing
-        // enabled.
-        if self.state.all_idle() && !self.any_enabled() {
-            return Ok(StepOutcome::Deadlock);
-        }
-
-        self.time += 1;
-        let mut events = StepEvents::default();
-
-        // 1. Advance clocks; complete firings that reach zero.
-        for i in 0..self.state.act_clk.len() {
-            if self.state.act_clk[i] > 0 {
-                self.state.act_clk[i] -= 1;
-                if self.state.act_clk[i] == 0 {
-                    self.complete(ActorId::new(i));
-                    events.completed.push(ActorId::new(i));
-                }
-            }
-        }
-
-        // 2. Start every enabled firing (fixpoint for zero-time actors).
-        self.start_enabled(&mut events)?;
-        #[cfg(feature = "strict-invariants")]
-        self.assert_invariants();
-        Ok(StepOutcome::Progress(events))
+        Ok(match self.inner.step()? {
+            FiringOutcome::Progress(ev) => StepOutcome::Progress(StepEvents::from(ev)),
+            FiringOutcome::Deadlock => StepOutcome::Deadlock,
+        })
     }
 
     /// Runs until the observed condition: convenience that steps `n` times
     /// or stops early on deadlock. Returns the number of steps taken.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`step`](Self::step) errors.
     pub fn run_steps(&mut self, n: u64) -> Result<u64, AnalysisError> {
-        for done in 0..n {
-            if let StepOutcome::Deadlock = self.step()? {
-                return Ok(done);
-            }
-        }
-        Ok(n)
-    }
-
-    fn any_enabled(&self) -> bool {
-        self.graph.actor_ids().any(|a| self.is_enabled(a))
-    }
-
-    /// Applies the end-of-firing effects of `actor`: consume inputs,
-    /// produce outputs (paper Fig. 2).
-    fn complete(&mut self, actor: ActorId) {
-        #[cfg(feature = "strict-invariants")]
-        {
-            self.fired[actor.index()] += 1;
-        }
-        for &cid in self.graph.input_channels(actor) {
-            let ch = self.graph.channel(cid);
-            debug_assert!(self.state.tokens[cid.index()] >= ch.consumption());
-            self.state.tokens[cid.index()] -= ch.consumption();
-        }
-        for &cid in self.graph.output_channels(actor) {
-            let ch = self.graph.channel(cid);
-            self.state.tokens[cid.index()] += ch.production();
-            if let Some(cap) = self.caps.get(cid) {
-                debug_assert!(
-                    self.state.tokens[cid.index()] <= cap,
-                    "claimed space was violated on channel {}",
-                    ch.name()
-                );
-            }
-        }
-    }
-
-    /// Starts all enabled firings; zero-time firings complete immediately
-    /// and may enable more starts, hence the fixpoint loop.
-    fn start_enabled(&mut self, events: &mut StepEvents) -> Result<(), AnalysisError> {
-        let mut zero_firings: u64 = 0;
-        loop {
-            let mut changed = false;
-            for i in 0..self.graph.num_actors() {
-                let actor = ActorId::new(i);
-                let exec = self.graph.actor(actor).execution_time();
-                if exec > 0 {
-                    if self.state.act_clk[i] == 0 && self.is_enabled(actor) {
-                        self.state.act_clk[i] = exec;
-                        events.started.push(actor);
-                        changed = true;
-                    }
-                } else {
-                    // Zero-time actor: may fire several times in one step.
-                    while self.is_enabled(actor) {
-                        events.started.push(actor);
-                        self.complete(actor);
-                        events.completed.push(actor);
-                        changed = true;
-                        zero_firings += 1;
-                        if zero_firings > ZERO_TIME_FIRING_CAP {
-                            return Err(AnalysisError::ZeroTimeLivelock);
-                        }
-                    }
-                }
-            }
-            if !changed {
-                return Ok(());
-            }
-        }
+        self.inner.run_steps(n)
     }
 }
 
@@ -516,6 +692,22 @@ mod tests {
         } else {
             panic!("expected progress");
         }
+    }
+
+    #[test]
+    fn generic_events_carry_phases() {
+        let g = example();
+        let d = StorageDistribution::from_capacities(vec![4, 2]);
+        let mut e = DataflowEngine::new(&g, Capacities::from_distribution(&d));
+        let ev = e.start_initial().unwrap();
+        let a = g.actor_by_name("a").unwrap();
+        assert_eq!(ev.started, vec![(a, 0)]);
+        // SDF stays in phase 0 forever.
+        let FiringOutcome::Progress(ev) = e.step().unwrap() else {
+            panic!("expected progress");
+        };
+        assert_eq!(ev.completed, vec![(a, 0)]);
+        assert!(e.state().phase.iter().all(|&p| p == 0));
     }
 
     #[test]

@@ -3,7 +3,7 @@
 //! Strongly connected components (Tarjan) and topological ordering are
 //! used by the HSDF/MCM analyses: only actors inside a strongly connected
 //! component lie on cycles, and the maximal achievable throughput of the
-//! graph is governed by its cycles (paper §9, [GG93]).
+//! graph is governed by its cycles (paper §9, \[GG93\]).
 
 use buffy_graph::{ActorId, SdfGraph};
 

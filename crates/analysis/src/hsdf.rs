@@ -6,7 +6,7 @@
 //! producing to consuming firings. The expansion is the classical
 //! construction (Bhattacharyya–Murthy–Lee); it feeds the maximum-cycle-mean
 //! analysis used to obtain the maximal achievable throughput of the graph
-//! (paper §9, [GG93]).
+//! (paper §9, \[GG93\]).
 //!
 //! The expansion also adds, for every actor, a *firing-order ring*
 //! `a_0 → a_1 → … → a_{q(a)-1} → a_0` whose closing edge carries one

@@ -5,9 +5,12 @@
 //! *"Exploring Trade-Offs in Buffer Requirements and Throughput Constraints
 //! for Synchronous Dataflow Graphs"* (DAC 2006):
 //!
+//! - [`DataflowSemantics`]: the model interface of the unified kernel —
+//!   every analysis below is written once, generically, and instantiated
+//!   for SDF here and for CSDF in `buffy-csdf`;
 //! - [`Engine`]: the deterministic self-timed executor (paper §2, §6) with
 //!   claim-space-at-start / release-at-end buffer semantics and no
-//!   auto-concurrency;
+//!   auto-concurrency — the SDF view of the generic [`DataflowEngine`];
 //! - [`throughput`]: throughput of an actor under a storage distribution
 //!   via the *reduced* state space (paper §7);
 //! - [`explore`]: the full timed state space (paper §6, Fig. 3), used as a
@@ -16,7 +19,7 @@
 //!   self-timed schedule (paper §4, Table 1);
 //! - [`Hsdf`] and [`maximal_throughput`]: homogeneous expansion and
 //!   maximum-cycle-ratio analysis giving the graph's maximal achievable
-//!   throughput (paper §9, [GG93]);
+//!   throughput (paper §9, \[GG93\]);
 //! - [`graph_algos`]: strongly connected components and topological order.
 //!
 //! # Example
@@ -56,12 +59,18 @@ mod latency;
 mod mcm;
 mod memory;
 mod schedule;
+mod semantics;
 mod state_space;
 mod throughput;
 pub mod transform;
 
-pub use dependencies::{throughput_with_dependencies, DependencyReport};
-pub use engine::{Capacities, Engine, SdfState, StepEvents, StepOutcome};
+pub use dependencies::{
+    throughput_with_dependencies, throughput_with_dependencies_for, DependencyReport,
+};
+pub use engine::{
+    Capacities, DataflowEngine, DataflowState, Engine, FiringEvents, FiringOutcome, SdfState,
+    StepEvents, StepOutcome,
+};
 pub use error::AnalysisError;
 pub use hsdf::{Hsdf, HsdfEdge, HsdfNode};
 pub use latency::{latency, LatencyReport};
@@ -70,8 +79,9 @@ pub use mcm::{
 };
 pub use memory::{shared_memory_peak, SharedMemoryReport};
 pub use schedule::{Firing, Schedule, ScheduleViolation};
-pub use state_space::{explore, StateSpace};
+pub use semantics::{bmlb, rate_step, DataflowSemantics};
+pub use state_space::{explore, explore_for, StateSpace};
 pub use throughput::{
-    throughput, throughput_with_capacities, throughput_with_limits, ExplorationLimits,
-    ReducedState, ThroughputReport,
+    throughput, throughput_for, throughput_with_capacities, throughput_with_limits,
+    ExplorationLimits, ReducedState, ThroughputReport,
 };

@@ -1,4 +1,4 @@
-//! Maximum cycle ratio analysis (maximal throughput, paper §9 / [GG93]).
+//! Maximum cycle ratio analysis (maximal throughput, paper §9 / \[GG93\]).
 //!
 //! The maximal achievable throughput of a consistent SDF graph — the upper
 //! bound of the paper's binary search in the throughput dimension — is
@@ -415,7 +415,7 @@ pub fn max_cycle_ratio_brute_force(g: &RatioGraph) -> Result<Option<Rational>, A
 
 /// The maximal achievable throughput of `observed` over all storage
 /// distributions: `q(observed) / λ*` with `λ*` the maximum cycle ratio of
-/// the homogeneous expansion (paper §9, [GG93]).
+/// the homogeneous expansion (paper §9, \[GG93\]).
 ///
 /// # Errors
 ///

@@ -3,7 +3,7 @@
 //! The paper's §3 distinguishes two ways of realizing channel storage: a
 //! *separate memory per channel* (the model the paper and this crate's
 //! exploration use — conservative, right for multi-processor systems) and
-//! a *memory shared between all channels* (Murthy et al. [MB00] — natural
+//! a *memory shared between all channels* (Murthy et al. \[MB00\] — natural
 //! for single processors), where the requirement is the maximum number of
 //! tokens alive *simultaneously*, and hybrids of the two.
 //!

@@ -6,29 +6,34 @@
 //! reduced analysis of [`crate::throughput`]. Production code should prefer
 //! the reduced analysis, which stores dramatically fewer states (the
 //! comparison is one of this repository's ablation benchmarks).
+//!
+//! Like the rest of the kernel the recorder is generic over
+//! [`DataflowSemantics`] ([`explore_for`]); [`explore`] is the SDF-typed
+//! entry point.
 
-use crate::engine::{Capacities, Engine, SdfState, StepEvents, StepOutcome};
+use crate::engine::{Capacities, DataflowEngine, DataflowState, FiringEvents, FiringOutcome};
 use crate::error::AnalysisError;
+use crate::semantics::DataflowSemantics;
 use crate::throughput::ExplorationLimits;
 use buffy_graph::{ActorId, Rational, SdfGraph, StorageDistribution};
 use std::collections::HashMap;
 
-/// The explored timed state space of an SDF graph under a storage
+/// The explored timed state space of a dataflow model under a storage
 /// distribution.
 #[derive(Debug, Clone)]
 pub struct StateSpace {
     /// Visited states in order; `states[0]` is the state after the initial
     /// start phase (time 0).
-    pub states: Vec<SdfState>,
+    pub states: Vec<DataflowState>,
     /// Step events leading *into* each state (`events[0]` is the initial
     /// start phase).
-    pub events: Vec<StepEvents>,
+    pub events: Vec<FiringEvents>,
     /// Index of the first state of the cycle; `None` if the execution
     /// deadlocks.
     pub cycle_start: Option<usize>,
     /// Events of the transition that closes the cycle (from the last
     /// stored state back to `states[cycle_start]`); `None` on deadlock.
-    pub closing_events: Option<StepEvents>,
+    pub closing_events: Option<FiringEvents>,
 }
 
 impl StateSpace {
@@ -52,7 +57,7 @@ impl StateSpace {
         let Some(k) = self.cycle_start else {
             return Rational::ZERO;
         };
-        let count = |ev: &StepEvents| ev.completed.iter().filter(|&&a| a == actor).count();
+        let count = |ev: &FiringEvents| ev.completed.iter().filter(|&&(a, _)| a == actor).count();
         // Transitions within the cycle: those leading into states
         // k+1..len-1, plus the closing transition back to state k.
         let firings: usize = self.events[k + 1..].iter().map(count).sum::<usize>()
@@ -93,12 +98,26 @@ pub fn explore(
     dist: &StorageDistribution,
     limits: ExplorationLimits,
 ) -> Result<StateSpace, AnalysisError> {
-    let mut engine = Engine::new(graph, Capacities::from_distribution(dist));
+    explore_for(graph, Capacities::from_distribution(dist), limits)
+}
+
+/// The generic form of [`explore`]: records the full timed state space of
+/// any [`DataflowSemantics`] model.
+///
+/// # Errors
+///
+/// See [`explore`].
+pub fn explore_for<M: DataflowSemantics>(
+    model: &M,
+    caps: Capacities,
+    limits: ExplorationLimits,
+) -> Result<StateSpace, AnalysisError> {
+    let mut engine = DataflowEngine::new(model, caps);
     let initial = engine.start_initial()?;
 
-    let mut states: Vec<SdfState> = Vec::new();
-    let mut events: Vec<StepEvents> = Vec::new();
-    let mut index: HashMap<SdfState, usize> = HashMap::new();
+    let mut states: Vec<DataflowState> = Vec::new();
+    let mut events: Vec<FiringEvents> = Vec::new();
+    let mut index: HashMap<DataflowState, usize> = HashMap::new();
 
     states.push(engine.state().clone());
     events.push(initial);
@@ -111,7 +130,7 @@ pub fn explore(
             });
         }
         match engine.step()? {
-            StepOutcome::Deadlock => {
+            FiringOutcome::Deadlock => {
                 return Ok(StateSpace {
                     states,
                     events,
@@ -119,7 +138,7 @@ pub fn explore(
                     closing_events: None,
                 });
             }
-            StepOutcome::Progress(ev) => {
+            FiringOutcome::Progress(ev) => {
                 if let Some(&k) = index.get(engine.state()) {
                     return Ok(StateSpace {
                         states,

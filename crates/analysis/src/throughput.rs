@@ -10,10 +10,12 @@
 //! space* keeps only the states at which the observed actor completes a
 //! firing, extended with a `dist` component recording the time elapsed
 //! since the previous completion (Fig. 4). This module implements exactly
-//! that.
+//! that, generically over any [`DataflowSemantics`] model via
+//! [`throughput_for`]; the SDF-typed entry points wrap it.
 
-use crate::engine::{Capacities, Engine, SdfState, StepOutcome};
+use crate::engine::{Capacities, DataflowEngine, DataflowState, FiringOutcome};
 use crate::error::AnalysisError;
+use crate::semantics::DataflowSemantics;
 use buffy_graph::{ActorId, Rational, SdfGraph, StorageDistribution};
 use std::collections::hash_map::Entry;
 use std::collections::HashMap;
@@ -36,14 +38,14 @@ impl Default for ExplorationLimits {
     }
 }
 
-/// A state of the reduced state space: the timed SDF state at the instant
+/// A state of the reduced state space: the timed state at the instant
 /// the observed actor completes a firing, plus the `dist` dimension
 /// (time since the previous completion) and the number of completions at
 /// this instant (more than one only for zero-execution-time actors).
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct ReducedState {
     /// The full timed state after the step.
-    pub state: SdfState,
+    pub state: DataflowState,
     /// Time instants since the previous completion of the observed actor.
     pub dist: u64,
     /// Completions of the observed actor at this instant.
@@ -54,7 +56,9 @@ pub struct ReducedState {
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ThroughputReport {
     /// Throughput of the observed actor: average firings per time step in
-    /// the periodic phase; zero iff the execution deadlocks.
+    /// the periodic phase; zero iff the execution deadlocks. For phased
+    /// models every phase firing counts (divide by the phase count for
+    /// whole cycles).
     pub throughput: Rational,
     /// Whether the execution deadlocked (paper §3).
     pub deadlocked: bool,
@@ -160,7 +164,23 @@ pub fn throughput_with_capacities(
     observed: ActorId,
     limits: ExplorationLimits,
 ) -> Result<ThroughputReport, AnalysisError> {
-    let mut engine = Engine::new(graph, caps);
+    throughput_for(graph, caps, observed, limits)
+}
+
+/// The generic reduced-state-space throughput analysis: works for any
+/// [`DataflowSemantics`] model (SDF, CSDF, …). For phased models every
+/// phase completion of the observed actor counts as a firing.
+///
+/// # Errors
+///
+/// See [`throughput`].
+pub fn throughput_for<M: DataflowSemantics>(
+    model: &M,
+    caps: Capacities,
+    observed: ActorId,
+    limits: ExplorationLimits,
+) -> Result<ThroughputReport, AnalysisError> {
+    let mut engine = DataflowEngine::new(model, caps);
     let initial = engine.start_initial()?;
 
     // Reduced state space: states at completions of the observed actor.
@@ -171,7 +191,11 @@ pub fn throughput_with_capacities(
 
     // The observed actor may complete during the initial start phase when
     // its execution time is 0.
-    let mut pending = initial.completed.iter().filter(|&&a| a == observed).count() as u32;
+    let mut pending = initial
+        .completed
+        .iter()
+        .filter(|&&(a, _)| a == observed)
+        .count() as u32;
     if pending > 0 {
         let rs = ReducedState {
             state: engine.state().clone(),
@@ -191,12 +215,16 @@ pub fn throughput_with_capacities(
         }
         let outcome = engine.step()?;
         let events = match outcome {
-            StepOutcome::Deadlock => {
+            FiringOutcome::Deadlock => {
                 return Ok(ThroughputReport::deadlock(index.len()));
             }
-            StepOutcome::Progress(ev) => ev,
+            FiringOutcome::Progress(ev) => ev,
         };
-        pending = events.completed.iter().filter(|&&a| a == observed).count() as u32;
+        pending = events
+            .completed
+            .iter()
+            .filter(|&&(a, _)| a == observed)
+            .count() as u32;
         if pending == 0 {
             continue;
         }

@@ -1,5 +1,5 @@
 //! Timing bench: HSDF expansion and maximum-cycle-ratio analysis
-//! ([GG93] role in the paper, §9) across the gallery and growing random
+//! (\[GG93\] role in the paper, §9) across the gallery and growing random
 //! graphs.
 
 use buffy_analysis::{max_cycle_ratio, maximal_throughput, Hsdf, RatioGraph};

@@ -1,7 +1,7 @@
 //! Regenerates the paper's **Fig. 7**: the bounds that box the design
-//! space — per-channel lower bounds for positive throughput ([ALP97],
-//! [Mur96]), their sum `lb`, and the upper bound `ub` given by a
-//! distribution realizing the maximal throughput ([GGD02] role) — for
+//! space — per-channel lower bounds for positive throughput (\[ALP97\],
+//! \[Mur96\]), their sum `lb`, and the upper bound `ub` given by a
+//! distribution realizing the maximal throughput (\[GGD02\] role) — for
 //! every gallery graph.
 
 use buffy_analysis::ExplorationLimits;

@@ -1,7 +1,7 @@
 //! Companion experiment to the paper's §3 discussion of storage models:
 //! channels with *separate* memories (the paper's conservative model, the
 //! one the exploration optimizes) versus a single memory *shared* by all
-//! channels (Murthy et al. [MB00], natural on single processors).
+//! channels (Murthy et al. \[MB00\], natural on single processors).
 //!
 //! For every Pareto point of every gallery graph this binary reports the
 //! distribution size (separate model) next to the measured peak number of

@@ -62,15 +62,9 @@ fn lint_context(parsed: &ParsedArgs, observed: Option<ActorId>) -> Result<LintCo
     })
 }
 
-/// Runs the lint rules before an analysis and refuses `Error`-level
-/// models unless `--force` is given. The full report is printed only
-/// when it blocks the run.
-fn preflight(parsed: &ParsedArgs, graph: &SdfGraph, out: Out<'_>) -> Result<(), String> {
-    if parsed.has_flag("force") {
-        return Ok(());
-    }
-    let ctx = lint_context(parsed, Some(observed_actor(parsed, graph)?))?;
-    let report = lint_sdf(graph, &ctx);
+/// Refuses a lint report with `Error`-level findings. The full report is
+/// printed only when it blocks the run.
+fn refuse_errors(report: &buffy_lint::Report, out: Out<'_>) -> Result<(), String> {
     if report.has_errors() {
         w(out, format_args!("{}", report.render_human()))?;
         return Err(format!(
@@ -81,6 +75,36 @@ fn preflight(parsed: &ParsedArgs, graph: &SdfGraph, out: Out<'_>) -> Result<(), 
     Ok(())
 }
 
+/// Runs the lint rules before an analysis and refuses `Error`-level
+/// models unless `--force` is given.
+fn preflight(parsed: &ParsedArgs, graph: &SdfGraph, out: Out<'_>) -> Result<(), String> {
+    if parsed.has_flag("force") {
+        return Ok(());
+    }
+    let ctx = lint_context(parsed, Some(observed_actor(parsed, graph)?))?;
+    refuse_errors(&lint_sdf(graph, &ctx), out)
+}
+
+/// The CSDF counterpart of [`preflight`]: runs the same rule set through
+/// the lint crate's CSDF view before an analysis, gated by `--force`.
+fn csdf_preflight(
+    parsed: &ParsedArgs,
+    graph: &buffy_csdf::CsdfGraph,
+    observed: Option<ActorId>,
+    out: Out<'_>,
+) -> Result<(), String> {
+    if parsed.has_flag("force") {
+        return Ok(());
+    }
+    let ctx = lint_context(parsed, observed)?;
+    refuse_errors(&lint_csdf(graph, &ctx), out)
+}
+
+/// Whether an XML document uses the SDF3 cyclo-static dialect.
+fn is_csdf_document(text: &str) -> bool {
+    text.contains("<csdf") || text.contains("type=\"csdf\"")
+}
+
 pub fn check(parsed: &ParsedArgs, out: Out<'_>) -> Result<(), String> {
     let path = parsed
         .positional
@@ -89,7 +113,7 @@ pub fn check(parsed: &ParsedArgs, out: Out<'_>) -> Result<(), String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
     // The SDF3 csdf dialect tags the document with type="csdf" and a
     // <csdf> element; anything else is treated as plain SDF.
-    let report = if text.contains("<csdf") || text.contains("type=\"csdf\"") {
+    let report = if is_csdf_document(&text) {
         let graph = buffy_csdf::xml::read_csdf_xml(&text)
             .map_err(|e| format!("cannot parse {path}: {e}"))?;
         let observed = match parsed.options.get("actor") {
@@ -240,7 +264,15 @@ fn print_front(result: &ExplorationResult, csv: bool, out: Out<'_>) -> Result<()
 }
 
 pub fn explore(parsed: &ParsedArgs, out: Out<'_>) -> Result<(), String> {
-    let graph = load_graph(parsed)?;
+    let path = parsed
+        .positional
+        .get(1)
+        .ok_or("expected a graph file argument")?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    if is_csdf_document(&text) {
+        return csdf_explore(parsed, out);
+    }
+    let graph = read_sdf_xml(&text).map_err(|e| format!("cannot parse {path}: {e}"))?;
     preflight(parsed, &graph, out)?;
     let opts = explore_options(parsed, &graph)?;
     let algorithm = parsed
@@ -359,6 +391,7 @@ pub fn csdf_analyze(parsed: &ParsedArgs, out: Out<'_>) -> Result<(), String> {
             .actor_by_name(name)
             .ok_or_else(|| format!("unknown actor {name:?}"))?,
     };
+    csdf_preflight(parsed, &graph, Some(obs), out)?;
     let caps = parse_dist(
         parsed
             .options
@@ -392,16 +425,20 @@ pub fn csdf_analyze(parsed: &ParsedArgs, out: Out<'_>) -> Result<(), String> {
 
 pub fn csdf_explore(parsed: &ParsedArgs, out: Out<'_>) -> Result<(), String> {
     let graph = load_csdf(parsed)?;
+    let observed = match parsed.options.get("actor") {
+        None => None,
+        Some(name) => Some(
+            graph
+                .actor_by_name(name)
+                .ok_or_else(|| format!("unknown actor {name:?}"))?,
+        ),
+    };
+    csdf_preflight(parsed, &graph, observed, out)?;
     let opts = buffy_csdf::CsdfExploreOptions {
-        observed: match parsed.options.get("actor") {
-            None => None,
-            Some(name) => Some(
-                graph
-                    .actor_by_name(name)
-                    .ok_or_else(|| format!("unknown actor {name:?}"))?,
-            ),
-        },
+        observed,
         max_size: parsed.get("max-size")?,
+        threads: parsed.get("threads")?.unwrap_or(1),
+        quantum: parsed.get("quantum")?,
         ..buffy_csdf::CsdfExploreOptions::default()
     };
     let r = buffy_csdf::csdf_explore(&graph, &opts).map_err(|e| e.to_string())?;
@@ -421,10 +458,11 @@ pub fn csdf_explore(parsed: &ParsedArgs, out: Out<'_>) -> Result<(), String> {
         w(
             out,
             format_args!(
-                "{} Pareto points; maximal throughput {}; {} analyses\n",
+                "{} Pareto points; maximal throughput {}; {} analyses, {} cache hits\n",
                 r.pareto.len(),
                 r.max_throughput,
-                r.evaluations
+                r.evaluations,
+                r.cache_hits
             ),
         )
     }

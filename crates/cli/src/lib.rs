@@ -39,7 +39,9 @@ COMMANDS:
                                       (default: per-channel lower bounds)
     explore <graph.xml> [--algorithm guided|exhaustive] [--actor NAME]
             [--quantum R] [--max-size N] [--threads N] [--csv]
-                                      chart the Pareto space
+                                      chart the Pareto space; CSDF inputs
+                                      (type=\"csdf\") are routed through the
+                                      cyclo-static explorer automatically
     constraint <graph.xml> --throughput R [--actor NAME]
                                       minimal storage meeting a throughput
                                       constraint
@@ -55,12 +57,17 @@ COMMANDS:
     csdf-analyze <graph.xml> --dist 4,2 [--actor NAME]
                                       throughput of a CSDF graph under one
                                       storage distribution
-    csdf-explore <graph.xml> [--actor NAME] [--max-size N] [--csv]
-                                      Pareto space of a CSDF graph
+    csdf-explore <graph.xml> [--actor NAME] [--max-size N] [--threads N]
+                 [--quantum R] [--csv]
+                                      Pareto space of a CSDF graph;
+                                      --threads parallelizes the analyses
+                                      and --quantum coarsens the searched
+                                      throughputs (reported with evaluator
+                                      cache statistics)
     help                              show this message
 
-analyze, explore and constraint refuse models with error-level check
-findings; pass --force to run them anyway.
+analyze, explore, constraint, csdf-analyze and csdf-explore refuse models
+with error-level check findings; pass --force to run them anyway.
 ";
 
 /// Runs the CLI with the given arguments (excluding the program name),
@@ -192,6 +199,49 @@ mod tests {
         let (code, text) = run_to_string(&["csdf-explore", p, "--csv"]);
         assert_eq!(code, 0, "{text}");
         assert!(text.contains("size,throughput"), "{text}");
+
+        // --threads and --quantum are wired through; the human-readable
+        // report carries the evaluator cache statistics.
+        let (code, text) = run_to_string(&["csdf-explore", p, "--threads", "2"]);
+        assert_eq!(code, 0, "{text}");
+        assert!(text.contains("cache hits"), "{text}");
+        let (code, text) = run_to_string(&["csdf-explore", p, "--quantum", "1/2"]);
+        assert_eq!(code, 0, "{text}");
+        assert!(text.contains("Pareto points"), "{text}");
+
+        // `explore` sniffs the dialect and routes CSDF inputs itself.
+        let (code, text) = run_to_string(&["explore", p, "--threads", "2"]);
+        assert_eq!(code, 0, "{text}");
+        assert!(text.contains("cache hits"), "{text}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn csdf_analyses_refuse_error_models_unless_forced() {
+        // Inconsistent cyclo-static rates: B001 at error level.
+        let bad = r#"<sdf3 type="csdf"><applicationGraph name="bad"><csdf name="bad">
+             <actor name="x"/><actor name="y"/>
+             <channel name="fwd" srcActor="x" srcRate="2" dstActor="y" dstRate="1"/>
+             <channel name="bwd" srcActor="y" srcRate="1" dstActor="x" dstRate="1"/>
+           </csdf></applicationGraph></sdf3>"#;
+        let path = std::env::temp_dir().join("buffy-cli-test-csdf-preflight.xml");
+        std::fs::write(&path, bad).unwrap();
+        let p = path.to_str().unwrap();
+
+        let (code, text) = run_to_string(&["csdf-explore", p]);
+        assert_eq!(code, 1, "{text}");
+        assert!(text.contains("B001"), "{text}");
+        assert!(text.contains("--force"), "{text}");
+
+        let (code, text) = run_to_string(&["csdf-analyze", p, "--dist", "4,4"]);
+        assert_eq!(code, 1, "{text}");
+        assert!(text.contains("B001"), "{text}");
+
+        // --force skips the preflight; the analysis then reports the
+        // inconsistency itself.
+        let (code, text) = run_to_string(&["csdf-explore", p, "--force"]);
+        assert_eq!(code, 1, "{text}");
+        assert!(text.contains("inconsistent"), "{text}");
         std::fs::remove_file(&path).ok();
     }
 

@@ -3,26 +3,31 @@
 //! Three bounds box the space the exploration must search:
 //!
 //! - a **per-channel lower bound** on the capacity needed for any positive
-//!   throughput (the classical BMLB bound of [ALP97]/[Mur96]):
+//!   throughput (the classical BMLB bound of \[ALP97\]/\[Mur96\]):
 //!   `p + c − gcd(p,c) + (d mod gcd(p,c))`, or `d` when the initial tokens
 //!   alone exceed that;
 //! - their sum, the **combined lower bound** `lb` on the distribution size;
 //! - an **upper bound** `ub`: the size of a distribution realizing the
-//!   maximal achievable throughput (the role [GGD02] plays in the paper).
+//!   maximal achievable throughput (the role \[GGD02\] plays in the paper).
 //!   Larger distributions can never improve throughput further.
 //!
 //! Capacities only matter in steps of `gcd(p, c)` ([`channel_step`]): the
 //! token count of a channel is always congruent to `d` modulo that gcd, so
 //! intermediate capacities behave identically to the next-lower step.
+//!
+//! Both bounds are computed through the unified kernel: the generic forms
+//! ([`lower_bound_distribution_for`], [`upper_bound_distribution_for`])
+//! only ask a model the [`DataflowSemantics`] questions, so the same code
+//! boxes the SDF and CSDF design spaces.
 
 use crate::error::ExploreError;
-use buffy_analysis::{maximal_throughput, throughput_with_limits, ExplorationLimits};
-use buffy_graph::{
-    gcd_u64, ActorId, Channel, Rational, RepetitionVector, SdfGraph, StorageDistribution,
+use buffy_analysis::{
+    bmlb, rate_step, throughput_for, Capacities, DataflowSemantics, ExplorationLimits,
 };
+use buffy_graph::{ActorId, Channel, ChannelId, Rational, SdfGraph, StorageDistribution};
 
 /// Lower bound on the capacity of one channel for positive throughput
-/// (BMLB, [ALP97]/[Mur96]).
+/// (BMLB, \[ALP97\]/\[Mur96\]).
 ///
 /// ```
 /// # use buffy_graph::SdfGraph;
@@ -40,26 +45,30 @@ use buffy_graph::{
 /// # }
 /// ```
 pub fn channel_lower_bound(channel: &Channel) -> u64 {
-    let p = channel.production();
-    let c = channel.consumption();
-    let d = channel.initial_tokens();
-    let g = gcd_u64(p, c);
-    let bmlb = p + c - g + d % g;
-    bmlb.max(d)
+    bmlb(
+        channel.production(),
+        channel.consumption(),
+        channel.initial_tokens(),
+    )
 }
 
 /// The quantum in which growing a channel's capacity can change behaviour:
 /// `gcd(production, consumption)`.
 pub fn channel_step(channel: &Channel) -> u64 {
-    gcd_u64(channel.production(), channel.consumption())
+    rate_step(channel.production(), channel.consumption())
 }
 
 /// The distribution assigning every channel its lower bound; its size is
 /// the combined lower bound `lb` of Fig. 7.
 pub fn lower_bound_distribution(graph: &SdfGraph) -> StorageDistribution {
-    graph
-        .channels()
-        .map(|(_, c)| channel_lower_bound(c))
+    lower_bound_distribution_for(graph)
+}
+
+/// The generic form of [`lower_bound_distribution`]: every channel at the
+/// model-declared bound ([`DataflowSemantics::channel_lower_bound`]).
+pub fn lower_bound_distribution_for<M: DataflowSemantics>(model: &M) -> StorageDistribution {
+    (0..model.num_channels())
+        .map(|i| model.channel_lower_bound(ChannelId::new(i)))
         .collect()
 }
 
@@ -80,18 +89,37 @@ pub fn upper_bound_distribution(
     observed: ActorId,
     limits: ExplorationLimits,
 ) -> Result<(StorageDistribution, Rational), ExploreError> {
-    let q = RepetitionVector::compute(graph)?;
-    let thr_max = maximal_throughput(graph, observed)?;
+    upper_bound_distribution_for(graph, observed, limits)
+}
+
+/// The generic form of [`upper_bound_distribution`]: works for any
+/// [`DataflowSemantics`] model through the unified kernel.
+///
+/// # Errors
+///
+/// See [`upper_bound_distribution`].
+pub fn upper_bound_distribution_for<M: DataflowSemantics>(
+    model: &M,
+    observed: ActorId,
+    limits: ExplorationLimits,
+) -> Result<(StorageDistribution, Rational), ExploreError> {
+    let q = model.repetition_cycles()?;
+    let thr_max = model.maximal_throughput(observed)?;
+
+    let eval = |dist: &StorageDistribution| -> Result<Rational, ExploreError> {
+        let r = throughput_for(model, Capacities::from_distribution(dist), observed, limits)?;
+        Ok(r.throughput)
+    };
 
     // Start from a heuristic: room for one full iteration of productions
     // and consumptions plus initial tokens, at least the lower bound.
-    let mut dist: StorageDistribution = graph
-        .channels()
-        .map(|(_, ch)| {
-            let iter_room = ch.initial_tokens()
-                + ch.production() * q[ch.source()]
-                + ch.consumption() * q[ch.target()];
-            iter_room.max(channel_lower_bound(ch))
+    let mut dist: StorageDistribution = (0..model.num_channels())
+        .map(|i| {
+            let cid = ChannelId::new(i);
+            let iter_room = model.initial_tokens(cid)
+                + model.cycle_production(cid) * q[model.channel_source(cid).index()]
+                + model.cycle_consumption(cid) * q[model.channel_target(cid).index()];
+            iter_room.max(model.channel_lower_bound(cid))
         })
         .collect();
 
@@ -99,8 +127,7 @@ pub fn upper_bound_distribution(
     // guarantees this terminates at some finite size).
     let mut guard = 0;
     loop {
-        let r = throughput_with_limits(graph, &dist, observed, limits)?;
-        if r.throughput == thr_max {
+        if eval(&dist)? == thr_max {
             break;
         }
         dist = dist.as_slice().iter().map(|&c| c * 2).collect();
@@ -112,9 +139,10 @@ pub fn upper_bound_distribution(
 
     // Shrink each channel in turn to its per-channel minimum (binary
     // search over capacity steps, holding the other channels fixed).
-    for (cid, ch) in graph.channels() {
-        let step = channel_step(ch);
-        let lo_cap = channel_lower_bound(ch);
+    for i in 0..model.num_channels() {
+        let cid = ChannelId::new(i);
+        let step = model.channel_step(cid);
+        let lo_cap = model.channel_lower_bound(cid);
         let mut lo = 0u64; // in steps above lo_cap — may lose throughput
                            // Round up to the step grid (monotonicity: rounding up keeps the
                            // maximal throughput).
@@ -123,8 +151,7 @@ pub fn upper_bound_distribution(
             let mid = lo + (hi - lo) / 2;
             let mut probe = dist.clone();
             probe.set(cid, lo_cap + mid * step);
-            let r = throughput_with_limits(graph, &probe, observed, limits)?;
-            if r.throughput == thr_max {
+            if eval(&probe)? == thr_max {
                 hi = mid;
             } else {
                 lo = mid + 1;

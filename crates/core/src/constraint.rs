@@ -7,11 +7,12 @@
 //! size dimension, deciding each size with an early-exit enumeration
 //! (paper §9).
 
-use crate::bounds::upper_bound_distribution;
+use crate::bounds::upper_bound_distribution_for;
 use crate::enumerate::DistributionSpace;
 use crate::error::ExploreError;
 use crate::explore::{Evaluator, ExploreOptions};
 use crate::pareto::ParetoPoint;
+use buffy_analysis::DataflowSemantics;
 use buffy_graph::{Rational, SdfGraph};
 use std::ops::ControlFlow;
 
@@ -57,18 +58,32 @@ pub fn min_storage_for_throughput(
     constraint: Rational,
     options: &ExploreOptions,
 ) -> Result<ParetoPoint, ExploreError> {
+    min_storage_for_throughput_for(graph, constraint, options)
+}
+
+/// The generic form of [`min_storage_for_throughput`]: answers the same
+/// question for any [`DataflowSemantics`] model through the unified kernel.
+///
+/// # Errors
+///
+/// See [`min_storage_for_throughput`].
+pub fn min_storage_for_throughput_for<M: DataflowSemantics + Sync>(
+    model: &M,
+    constraint: Rational,
+    options: &ExploreOptions,
+) -> Result<ParetoPoint, ExploreError> {
     assert!(
         constraint > Rational::ZERO,
         "throughput constraint must be positive"
     );
     let observed = options
         .observed
-        .unwrap_or_else(|| graph.default_observed_actor());
-    let mut space = DistributionSpace::of(graph);
+        .unwrap_or_else(|| model.default_observed_actor());
+    let mut space = DistributionSpace::for_model(model);
     if let Some(caps) = &options.max_channel_caps {
         space = space.with_max_capacities(caps);
     }
-    let (ub_dist, thr_max) = upper_bound_distribution(graph, observed, options.limits)?;
+    let (ub_dist, thr_max) = upper_bound_distribution_for(model, observed, options.limits)?;
     if constraint > thr_max {
         return Err(ExploreError::InfeasibleThroughput {
             requested: constraint.to_string(),
@@ -76,7 +91,7 @@ pub fn min_storage_for_throughput(
         });
     }
 
-    let eval = Evaluator::new(graph, observed, options.limits, options.threads);
+    let eval = Evaluator::new(model, observed, options.limits, options.threads);
 
     // Decide "size S meets the constraint" with early exit; remember the
     // best witness per feasible size.
@@ -104,7 +119,7 @@ pub fn min_storage_for_throughput(
     // channel constraints, ub is feasible by construction (it realizes the
     // maximal throughput ≥ constraint); with constraints, feasibility of
     // the largest admissible size must be established first.
-    let mut lo = space.min_size();
+    let lo = space.min_size();
     let mut best = match (decide(lo)?, &options.max_channel_caps) {
         (Some(p), _) => return Ok(p),
         (None, None) => ParetoPoint::new(ub_dist, thr_max),
@@ -121,16 +136,23 @@ pub fn min_storage_for_throughput(
             }
         }
     };
-    let mut hi = best.size;
-    // Invariant: lo infeasible, hi feasible with witness `best`.
-    while lo + 1 < hi {
-        let mid = lo + (hi - lo) / 2;
-        match decide(mid)? {
+    // Binary search the smallest feasible size strictly between the two
+    // established bounds, probing realizable grid sizes only: a size in a
+    // hole of the capacity grid holds no distributions, so `decide` would
+    // report it infeasible and the search would wrongly discard every
+    // smaller size with it.
+    let sizes = space.sizes_in(lo + 1, best.size.saturating_sub(1));
+    let (mut lo_i, mut hi_i) = (0, sizes.len());
+    // Invariant: every realizable size below sizes[lo_i] is infeasible;
+    // everything from sizes[hi_i] up is covered by `best`.
+    while lo_i < hi_i {
+        let mid = lo_i + (hi_i - lo_i) / 2;
+        match decide(sizes[mid])? {
             Some(p) => {
-                hi = p.size;
                 best = p;
+                hi_i = mid;
             }
-            None => lo = mid,
+            None => lo_i = mid + 1,
         }
     }
     Ok(best)

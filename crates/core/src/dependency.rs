@@ -18,13 +18,13 @@
 //! refined causal-dependency notion with a completeness proof is
 //! follow-up work by the same authors and out of scope of the 2006 paper.
 
-use crate::bounds::{channel_step, upper_bound_distribution};
+use crate::bounds::upper_bound_distribution_for;
 use crate::enumerate::DistributionSpace;
 use crate::error::ExploreError;
 use crate::explore::{ExplorationResult, ExploreOptions};
 use crate::pareto::{ParetoPoint, ParetoSet};
-use buffy_analysis::throughput_with_dependencies;
-use buffy_graph::{Rational, SdfGraph, StorageDistribution};
+use buffy_analysis::{throughput_with_dependencies_for, DataflowSemantics};
+use buffy_graph::{ChannelId, Rational, SdfGraph, StorageDistribution};
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashSet};
 
@@ -63,13 +63,26 @@ pub fn explore_dependency_guided(
     graph: &SdfGraph,
     options: &ExploreOptions,
 ) -> Result<ExplorationResult, ExploreError> {
+    explore_dependency_guided_for(graph, options)
+}
+
+/// The generic form of [`explore_dependency_guided`]: the same guided
+/// search for any [`DataflowSemantics`] model through the unified kernel.
+///
+/// # Errors
+///
+/// Same as [`explore_design_space`](crate::explore_design_space).
+pub fn explore_dependency_guided_for<M: DataflowSemantics>(
+    model: &M,
+    options: &ExploreOptions,
+) -> Result<ExplorationResult, ExploreError> {
     let observed = options
         .observed
-        .unwrap_or_else(|| graph.default_observed_actor());
-    let space = DistributionSpace::of(graph);
+        .unwrap_or_else(|| model.default_observed_actor());
+    let space = DistributionSpace::for_model(model);
     let lb_size = space.min_size();
 
-    let (ub_dist, thr_max_graph) = upper_bound_distribution(graph, observed, options.limits)?;
+    let (ub_dist, thr_max_graph) = upper_bound_distribution_for(model, observed, options.limits)?;
     let ub_size = options
         .max_size
         .unwrap_or_else(|| ub_dist.size())
@@ -79,7 +92,9 @@ pub fn explore_dependency_guided(
         None => thr_max_graph,
     };
 
-    let steps: Vec<u64> = graph.channels().map(|(_, c)| channel_step(c)).collect();
+    let steps: Vec<u64> = (0..model.num_channels())
+        .map(|i| model.channel_step(ChannelId::new(i)))
+        .collect();
 
     let mut pareto = ParetoSet::new();
     let mut seen: HashSet<StorageDistribution> = HashSet::new();
@@ -93,7 +108,7 @@ pub fn explore_dependency_guided(
     let mut found_positive = false;
 
     while let Some(Reverse((size, dist))) = frontier.pop() {
-        let r = throughput_with_dependencies(graph, &dist, observed, options.limits)?;
+        let r = throughput_with_dependencies_for(model, &dist, observed, options.limits)?;
         evaluations += 1;
         max_states = max_states.max(r.report.states_stored);
 
@@ -159,6 +174,9 @@ pub fn explore_dependency_guided(
         lower_bound_size: lb_size,
         upper_bound_size: ub_size,
         evaluations,
+        // The guided search never revisits a distribution (the `seen` set
+        // dedups the frontier), so there is nothing to memoize.
+        cache_hits: 0,
         max_states,
     })
 }

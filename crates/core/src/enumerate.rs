@@ -8,8 +8,8 @@
 //! consumption)` — intermediate capacities are behaviourally equivalent
 //! (see [`crate::channel_step`]).
 
-use crate::bounds::{channel_lower_bound, channel_step};
-use buffy_graph::{SdfGraph, StorageDistribution};
+use buffy_analysis::DataflowSemantics;
+use buffy_graph::{ChannelId, SdfGraph, StorageDistribution};
 use core::ops::ControlFlow;
 
 /// The grid of meaningful storage distributions of a graph.
@@ -24,12 +24,22 @@ impl DistributionSpace {
     /// Builds the grid for `graph`: per-channel lower bounds and step
     /// sizes.
     pub fn of(graph: &SdfGraph) -> DistributionSpace {
+        DistributionSpace::for_model(graph)
+    }
+
+    /// Builds the grid for any [`DataflowSemantics`] model from its
+    /// declared per-channel lower bounds and step sizes (the generic form
+    /// of [`DistributionSpace::of`]).
+    pub fn for_model<M: DataflowSemantics>(model: &M) -> DistributionSpace {
+        let channels = 0..model.num_channels();
         DistributionSpace {
-            mins: graph
-                .channels()
-                .map(|(_, c)| channel_lower_bound(c))
+            mins: channels
+                .clone()
+                .map(|i| model.channel_lower_bound(ChannelId::new(i)))
                 .collect(),
-            steps: graph.channels().map(|(_, c)| channel_step(c)).collect(),
+            steps: channels
+                .map(|i| model.channel_step(ChannelId::new(i)))
+                .collect(),
             maxs: None,
         }
     }
@@ -131,6 +141,38 @@ impl DistributionSpace {
         }
         caps[i] = self.mins[i];
         ControlFlow::Continue(())
+    }
+
+    /// Whether at least one grid distribution has exactly `size` tokens.
+    ///
+    /// Not every size in `[min_size, ub]` is realizable: channel
+    /// capacities move in per-channel steps, so e.g. with two channels of
+    /// step 2 only every other size holds distributions. Size-dimension
+    /// searches must probe realizable sizes only — a hole would make a
+    /// monotone feasibility predicate appear false and cut off genuine
+    /// Pareto points below it.
+    pub fn contains_size(&self, size: u64) -> bool {
+        let mut any = false;
+        self.for_each_of_size(size, |_| {
+            any = true;
+            ControlFlow::Break(())
+        });
+        any
+    }
+
+    /// The realizable grid sizes in `lo..=hi`, ascending. Sizes whose
+    /// budget over [`min_size`](Self::min_size) is not a multiple of the
+    /// gcd of all channel steps are skipped without enumeration.
+    pub fn sizes_in(&self, lo: u64, hi: u64) -> Vec<u64> {
+        let min = self.min_size();
+        let g = self
+            .steps
+            .iter()
+            .fold(0u64, |acc, &s| buffy_graph::gcd_u64(acc, s))
+            .max(1);
+        (lo.max(min)..=hi)
+            .filter(|&s| (s - min).is_multiple_of(g) && self.contains_size(s))
+            .collect()
     }
 
     /// Collects every grid distribution of exactly `size` tokens.
@@ -242,6 +284,29 @@ mod tests {
         assert_eq!(s.count_of_size(4), 0);
         assert_eq!(s.count_of_size(5), 1);
         assert_eq!(s.all_of_size(7)[0].as_slice(), &[7]);
+    }
+
+    #[test]
+    fn contains_size_reflects_the_grid() {
+        // Both channels step by 2: only even budgets are realizable.
+        let s = DistributionSpace::with_grid(vec![4, 2], vec![2, 2]);
+        assert!(!s.contains_size(5));
+        assert!(s.contains_size(6));
+        assert!(!s.contains_size(7));
+        assert!(s.contains_size(8));
+    }
+
+    #[test]
+    fn sizes_in_lists_only_realizable_sizes() {
+        let s = DistributionSpace::with_grid(vec![4, 2], vec![2, 2]);
+        assert_eq!(s.sizes_in(0, 12), vec![6, 8, 10, 12]);
+        assert_eq!(s.sizes_in(7, 11), vec![8, 10]);
+        assert_eq!(s.sizes_in(13, 5), Vec::<u64>::new());
+        // Mixed steps gcd 1, but individual sizes can still be holes:
+        // min 4 step 2 and min 1 step 3 → size 6 needs budget 1, which
+        // neither (2k) nor (3m) nor a 2k+3m sum can reach.
+        let t = DistributionSpace::with_grid(vec![4, 1], vec![2, 3]);
+        assert_eq!(t.sizes_in(5, 10), vec![5, 7, 8, 9, 10]);
     }
 
     #[test]

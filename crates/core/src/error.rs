@@ -59,7 +59,12 @@ impl From<GraphError> for ExploreError {
 
 impl From<AnalysisError> for ExploreError {
     fn from(e: AnalysisError) -> Self {
-        ExploreError::Analysis(e)
+        // Surface graph-level problems as `Graph` so callers see the same
+        // error shape regardless of which analysis layer detected them.
+        match e {
+            AnalysisError::Graph(g) => ExploreError::Graph(g),
+            other => ExploreError::Analysis(other),
+        }
     }
 }
 

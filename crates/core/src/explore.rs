@@ -16,12 +16,17 @@
 //!   maximal achievable throughput), per §8/Fig. 7;
 //! - optional *throughput quantization* (the paper's remedy for the H.263
 //!   decoder's many Pareto points) and optional multi-threaded evaluation.
+//!
+//! The driver is written once against [`DataflowSemantics`]
+//! ([`explore_design_space_for`]); [`explore_design_space`] is the
+//! SDF-typed entry point and `buffy-csdf` instantiates the same driver for
+//! cyclo-static graphs.
 
-use crate::bounds::upper_bound_distribution;
+use crate::bounds::upper_bound_distribution_for;
 use crate::enumerate::DistributionSpace;
 use crate::error::ExploreError;
 use crate::pareto::{ParetoPoint, ParetoSet};
-use buffy_analysis::{throughput_with_limits, ExplorationLimits};
+use buffy_analysis::{throughput_for, Capacities, DataflowSemantics, ExplorationLimits};
 use buffy_graph::{ActorId, Rational, SdfGraph, StorageDistribution};
 use std::collections::HashMap;
 use std::ops::ControlFlow;
@@ -30,8 +35,9 @@ use std::sync::Mutex;
 /// Options controlling the design-space exploration.
 #[derive(Debug, Clone)]
 pub struct ExploreOptions {
-    /// Actor whose throughput is observed; defaults to the graph's first
-    /// sink ([`SdfGraph::default_observed_actor`]).
+    /// Actor whose throughput is observed; defaults to the model's
+    /// default observed actor (for SDF graphs the first sink,
+    /// [`SdfGraph::default_observed_actor`]).
     pub observed: Option<ActorId>,
     /// Cap on the distribution size (paper §10: "it is possible to set the
     /// maximum distribution size"); defaults to the computed upper bound.
@@ -83,35 +89,41 @@ pub struct ExplorationResult {
     pub upper_bound_size: u64,
     /// Number of throughput analyses performed (cache misses).
     pub evaluations: usize,
+    /// Number of evaluation requests answered from the memo cache without
+    /// re-running the analysis.
+    pub cache_hits: usize,
     /// Largest reduced state space stored in any single analysis (the
     /// paper's "maximum #states" of Table 2).
     pub max_states: usize,
 }
 
-/// Shared evaluation engine with memoization and statistics.
-pub(crate) struct Evaluator<'g> {
-    graph: &'g SdfGraph,
+/// Shared evaluation engine with memoization and statistics, generic over
+/// the model class.
+pub(crate) struct Evaluator<'g, M: DataflowSemantics + Sync> {
+    model: &'g M,
     observed: ActorId,
     limits: ExplorationLimits,
     cache: Mutex<HashMap<StorageDistribution, Rational>>,
     evaluations: Mutex<usize>,
+    cache_hits: Mutex<usize>,
     max_states: Mutex<usize>,
     threads: usize,
 }
 
-impl<'g> Evaluator<'g> {
+impl<'g, M: DataflowSemantics + Sync> Evaluator<'g, M> {
     pub(crate) fn new(
-        graph: &'g SdfGraph,
+        model: &'g M,
         observed: ActorId,
         limits: ExplorationLimits,
         threads: usize,
-    ) -> Evaluator<'g> {
+    ) -> Evaluator<'g, M> {
         Evaluator {
-            graph,
+            model,
             observed,
             limits,
             cache: Mutex::new(HashMap::new()),
             evaluations: Mutex::new(0),
+            cache_hits: Mutex::new(0),
             max_states: Mutex::new(0),
             threads: threads.max(1),
         }
@@ -120,9 +132,15 @@ impl<'g> Evaluator<'g> {
     /// Memoized throughput of one distribution.
     pub(crate) fn eval(&self, dist: &StorageDistribution) -> Result<Rational, ExploreError> {
         if let Some(&t) = self.cache.lock().unwrap().get(dist) {
+            *self.cache_hits.lock().unwrap() += 1;
             return Ok(t);
         }
-        let report = throughput_with_limits(self.graph, dist, self.observed, self.limits)?;
+        let report = throughput_for(
+            self.model,
+            Capacities::from_distribution(dist),
+            self.observed,
+            self.limits,
+        )?;
         *self.evaluations.lock().unwrap() += 1;
         let mut ms = self.max_states.lock().unwrap();
         *ms = (*ms).max(report.states_stored);
@@ -168,9 +186,11 @@ impl<'g> Evaluator<'g> {
             .collect()
     }
 
-    fn stats(&self) -> (usize, usize) {
+    /// `(analyses run, cache hits, largest state space)`.
+    fn stats(&self) -> (usize, usize, usize) {
         (
             *self.evaluations.lock().unwrap(),
+            *self.cache_hits.lock().unwrap(),
             *self.max_states.lock().unwrap(),
         )
     }
@@ -189,8 +209,8 @@ fn q(t: Rational, quantum: Option<Rational>) -> Rational {
 /// Returns the best (quantized value, exact value, witness); the witness is
 /// `None` when no grid distribution of that size exists or none terminates
 /// positively.
-fn max_throughput_for_size(
-    eval: &Evaluator<'_>,
+fn max_throughput_for_size<M: DataflowSemantics + Sync>(
+    eval: &Evaluator<'_, M>,
     space: &DistributionSpace,
     size: u64,
     ceiling_q: Rational,
@@ -273,8 +293,8 @@ fn max_throughput_for_size(
 
 /// Whether some grid distribution of exactly `size` tokens has positive
 /// throughput (early exits on the first hit).
-fn has_positive(
-    eval: &Evaluator<'_>,
+fn has_positive<M: DataflowSemantics + Sync>(
+    eval: &Evaluator<'_, M>,
     space: &DistributionSpace,
     size: u64,
 ) -> Result<bool, ExploreError> {
@@ -337,18 +357,32 @@ pub fn explore_design_space(
     graph: &SdfGraph,
     options: &ExploreOptions,
 ) -> Result<ExplorationResult, ExploreError> {
+    explore_design_space_for(graph, options)
+}
+
+/// The generic form of [`explore_design_space`]: the same driver for any
+/// [`DataflowSemantics`] model (`Sync` because candidate evaluation may be
+/// parallelized across threads).
+///
+/// # Errors
+///
+/// See [`explore_design_space`].
+pub fn explore_design_space_for<M: DataflowSemantics + Sync>(
+    model: &M,
+    options: &ExploreOptions,
+) -> Result<ExplorationResult, ExploreError> {
     let observed = options
         .observed
-        .unwrap_or_else(|| graph.default_observed_actor());
-    let eval = Evaluator::new(graph, observed, options.limits, options.threads);
-    let mut space = DistributionSpace::of(graph);
+        .unwrap_or_else(|| model.default_observed_actor());
+    let eval = Evaluator::new(model, observed, options.limits, options.threads);
+    let mut space = DistributionSpace::for_model(model);
     if let Some(caps) = &options.max_channel_caps {
         space = space.with_max_capacities(caps);
     }
 
     // Bounds of the size dimension (paper §8, Fig. 7).
     let lb_size = space.min_size();
-    let (ub_dist, thr_max_graph) = upper_bound_distribution(graph, observed, options.limits)?;
+    let (ub_dist, thr_max_graph) = upper_bound_distribution_for(model, observed, options.limits)?;
     let mut ub_size = options
         .max_size
         .unwrap_or_else(|| ub_dist.size())
@@ -364,42 +398,61 @@ pub fn explore_design_space(
     };
     let thr_cap_q = q(thr_cap, options.quantum);
 
+    // The size dimension only holds distributions at realizable grid
+    // sizes (capacities move in per-channel steps): probing a hole — e.g.
+    // any odd size when every step is 2 — would make the monotone
+    // feasibility predicate appear false and cut genuine Pareto points
+    // off below it. All size searches therefore run over indices into the
+    // realizable-size list. Sizes beyond the upper-bound distribution
+    // cannot improve on its throughput, so the list is clamped there.
+    let search_hi = ub_size.min(ub_dist.size()).max(lb_size);
+    let sizes = space.sizes_in(lb_size, search_hi);
+    let Some(&largest) = sizes.last() else {
+        return Err(ExploreError::NoPositiveThroughput);
+    };
+
     // Smallest size with positive throughput (binary search on the
     // monotone predicate; the combined lower bound may still deadlock —
     // the paper's Fig. 6 discussion).
-    let mut lo = lb_size;
-    let mut hi = ub_size;
-    if !has_positive(&eval, &space, hi)? {
+    let mut lo = 0;
+    let mut hi = sizes.len() - 1;
+    if !has_positive(&eval, &space, largest)? {
         return Err(ExploreError::NoPositiveThroughput);
     }
-    if has_positive(&eval, &space, lo)? {
+    if has_positive(&eval, &space, sizes[lo])? {
         hi = lo;
     } else {
-        // Invariant: lo infeasible, hi feasible.
+        // Invariant: sizes[lo] infeasible, sizes[hi] feasible.
         while lo + 1 < hi {
             let mid = lo + (hi - lo) / 2;
-            if has_positive(&eval, &space, mid)? {
+            if has_positive(&eval, &space, sizes[mid])? {
                 hi = mid;
             } else {
                 lo = mid;
             }
         }
     }
-    let min_positive_size = hi;
+    let min_positive = hi;
+    let last = sizes.len() - 1;
 
     let mut pareto = ParetoSet::new();
 
     // Left end of the front.
-    let (left_q, left_exact, left_witness) =
-        max_throughput_for_size(&eval, &space, min_positive_size, thr_cap_q, options.quantum)?;
+    let (left_q, left_exact, left_witness) = max_throughput_for_size(
+        &eval,
+        &space,
+        sizes[min_positive],
+        thr_cap_q,
+        options.quantum,
+    )?;
     if let Some(w) = left_witness {
         pareto.insert(ParetoPoint::new(w, left_exact));
     }
 
-    // Right end: the maximal throughput is reached at ub_size (unless the
-    // user capped the size below it).
-    let (right_q, right_exact, right_witness) = if ub_size > min_positive_size {
-        max_throughput_for_size(&eval, &space, ub_size, thr_cap_q, options.quantum)?
+    // Right end: the maximal throughput is reached at the largest
+    // realizable size (unless the user capped the size below it).
+    let (right_q, right_exact, right_witness) = if last > min_positive {
+        max_throughput_for_size(&eval, &space, largest, thr_cap_q, options.quantum)?
     } else {
         (left_q, left_exact, None)
     };
@@ -407,23 +460,23 @@ pub fn explore_design_space(
         pareto.insert(ParetoPoint::new(w, right_exact));
     }
 
-    // Divide and conquer over the size dimension.
-    let mut stack: Vec<(u64, Rational, u64, Rational)> = Vec::new();
-    if ub_size > min_positive_size {
-        stack.push((min_positive_size, left_q, ub_size, right_q));
+    // Divide and conquer over the realizable-size indices.
+    let mut stack: Vec<(usize, Rational, usize, Rational)> = Vec::new();
+    if last > min_positive {
+        stack.push((min_positive, left_q, last, right_q));
     }
-    while let Some((lo_s, lo_q, hi_s, hi_q)) = stack.pop() {
-        if lo_q >= hi_q || lo_s + 1 >= hi_s {
+    while let Some((lo_i, lo_q, hi_i, hi_q)) = stack.pop() {
+        if lo_q >= hi_q || lo_i + 1 >= hi_i {
             continue;
         }
-        let mid = lo_s + (hi_s - lo_s) / 2;
+        let mid = lo_i + (hi_i - lo_i) / 2;
         let (mid_q, mid_exact, mid_witness) =
-            max_throughput_for_size(&eval, &space, mid, hi_q, options.quantum)?;
+            max_throughput_for_size(&eval, &space, sizes[mid], hi_q, options.quantum)?;
         if let Some(w) = mid_witness {
             pareto.insert(ParetoPoint::new(w, mid_exact));
         }
-        stack.push((lo_s, lo_q, mid, mid_q));
-        stack.push((mid, mid_q, hi_s, hi_q));
+        stack.push((lo_i, lo_q, mid, mid_q));
+        stack.push((mid, mid_q, hi_i, hi_q));
     }
 
     // Clip per the requested throughput window and thin to one point per
@@ -452,13 +505,14 @@ pub fn explore_design_space(
         pareto = thinned;
     }
 
-    let (evaluations, max_states) = eval.stats();
+    let (evaluations, cache_hits, max_states) = eval.stats();
     Ok(ExplorationResult {
         pareto,
         max_throughput: thr_max_graph,
         lower_bound_size: lb_size,
         upper_bound_size: ub_size,
         evaluations,
+        cache_hits,
         max_states,
     })
 }
@@ -507,6 +561,16 @@ mod tests {
     }
 
     #[test]
+    fn memoization_is_observable() {
+        // The size-dimension binary search and the per-size sweeps revisit
+        // distributions: the cache must absorb the repeats, so analyses run
+        // (evaluations) stay strictly below total requests.
+        let g = example();
+        let r = explore_design_space(&g, &ExploreOptions::default()).unwrap();
+        assert!(r.cache_hits > 0, "exploration should revisit distributions");
+    }
+
+    #[test]
     fn parallel_matches_sequential() {
         let g = example();
         let seq = explore_design_space(&g, &ExploreOptions::default()).unwrap();
@@ -542,6 +606,67 @@ mod tests {
         let sizes: Vec<u64> = r.pareto.points().iter().map(|p| p.size).collect();
         assert_eq!(sizes, vec![6, 8]);
         assert_eq!(r.pareto.maximal().unwrap().throughput, Rational::new(1, 6));
+    }
+
+    /// The paper's example with every rate doubled: channel steps become
+    /// gcd(4,6) = gcd(2,4) = 2, so odd distribution sizes are holes in the
+    /// capacity grid. Doubling all rates doubles every capacity bound
+    /// while leaving firing counts and timing untouched, so the front is
+    /// Fig. 5 with all sizes doubled.
+    fn scaled_example() -> SdfGraph {
+        let mut b = SdfGraph::builder("example2x");
+        let a = b.actor("a", 1);
+        let bb = b.actor("b", 2);
+        let c = b.actor("c", 2);
+        b.channel("alpha", a, 4, bb, 6).unwrap();
+        b.channel("beta", bb, 2, c, 4).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn step_grid_front_matches_the_scaled_example() {
+        let g = scaled_example();
+        let r = explore_design_space(&g, &ExploreOptions::default()).unwrap();
+        let front: Vec<(u64, Rational)> = r
+            .pareto
+            .points()
+            .iter()
+            .map(|p| (p.size, p.throughput))
+            .collect();
+        assert_eq!(
+            front,
+            vec![
+                (12, Rational::new(1, 7)),
+                (16, Rational::new(1, 6)),
+                (18, Rational::new(1, 5)),
+                (20, Rational::new(1, 4)),
+            ]
+        );
+    }
+
+    #[test]
+    fn size_cap_in_a_grid_hole_is_clamped_to_the_grid() {
+        // max_size 15 is a hole: no distribution of the scaled example has
+        // that size. The search must fall back to the largest realizable
+        // size below it (14, throughput 1/7) instead of concluding that no
+        // distribution has positive throughput.
+        let g = scaled_example();
+        let r = explore_design_space(
+            &g,
+            &ExploreOptions {
+                max_size: Some(15),
+                ..ExploreOptions::default()
+            },
+        )
+        .unwrap();
+        let front: Vec<(u64, Rational)> = r
+            .pareto
+            .points()
+            .iter()
+            .map(|p| (p.size, p.throughput))
+            .collect();
+        assert_eq!(front, vec![(12, Rational::new(1, 7))]);
+        assert_eq!(r.upper_bound_size, 15);
     }
 
     #[test]

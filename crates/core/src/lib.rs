@@ -18,6 +18,14 @@
 //!   storage meeting a given throughput constraint;
 //! - [`ParetoSet`] / [`ParetoPoint`]: the resulting front (Figs. 5, 13).
 //!
+//! Every driver is written once against the unified kernel's
+//! [`DataflowSemantics`](buffy_analysis::DataflowSemantics) trait — the
+//! `*_for` variants ([`explore_design_space_for`],
+//! [`explore_dependency_guided_for`], [`min_storage_for_throughput_for`],
+//! [`upper_bound_distribution_for`]) accept any model implementing it
+//! (`buffy-csdf` instantiates them for cyclo-static graphs); the plain
+//! names are the SDF-typed entry points.
+//!
 //! # Quickstart
 //!
 //! ```
@@ -57,13 +65,16 @@ mod explore;
 mod pareto;
 
 pub use bounds::{
-    channel_lower_bound, channel_step, lower_bound_distribution, upper_bound_distribution,
+    channel_lower_bound, channel_step, lower_bound_distribution, lower_bound_distribution_for,
+    upper_bound_distribution, upper_bound_distribution_for,
 };
-pub use constraint::min_storage_for_throughput;
-pub use dependency::explore_dependency_guided;
+pub use constraint::{min_storage_for_throughput, min_storage_for_throughput_for};
+pub use dependency::{explore_dependency_guided, explore_dependency_guided_for};
 pub use enumerate::DistributionSpace;
 pub use error::ExploreError;
-pub use explore::{explore_design_space, ExplorationResult, ExploreOptions};
+pub use explore::{
+    explore_design_space, explore_design_space_for, ExplorationResult, ExploreOptions,
+};
 pub use pareto::{ParetoPoint, ParetoSet};
 
 // Re-export the substrate crates so downstream users need a single

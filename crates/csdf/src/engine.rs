@@ -1,63 +1,39 @@
 //! Timed self-timed execution of CSDF graphs.
 //!
-//! The semantics extend the SDF engine phase-wise: an actor in phase `k`
-//! may start a firing when it is idle, every input channel holds at least
-//! `consumption[k]` tokens, and every output channel has room for
+//! The phased operational semantics live in the unified kernel:
+//! [`buffy_analysis::DataflowEngine`] executes any
+//! [`DataflowSemantics`](buffy_analysis::DataflowSemantics) model, and
+//! [`CsdfGraph`] implements that trait. This module keeps the CSDF-typed
+//! surface — [`CsdfEngine`] and the historical type names — as thin
+//! wrappers, so call sites keep reading in CSDF vocabulary: an actor in
+//! phase `k` may start a firing when it is idle, every input channel holds
+//! at least `consumption[k]` tokens, and every output channel has room for
 //! `production[k]` tokens (claimed at the start); tokens move at the end
 //! of the firing and the actor advances to phase `(k+1) mod n`. Phases
 //! with rate 0 neither require tokens nor space on that channel.
 
 use crate::model::{CsdfError, CsdfGraph};
+use buffy_analysis::{Capacities, DataflowEngine, DataflowState, FiringEvents, FiringOutcome};
 use buffy_graph::{ActorId, StorageDistribution};
 
-/// A timed CSDF state: remaining firing time, current phase, and channel
-/// fills.
-#[derive(Debug, Clone, PartialEq, Eq, Hash)]
-pub struct CsdfState {
-    /// Remaining time of the current firing per actor (0 = idle).
-    pub act_clk: Vec<u64>,
-    /// Current phase index per actor.
-    pub phase: Vec<u32>,
-    /// Tokens per channel.
-    pub tokens: Vec<u64>,
-}
+/// A timed CSDF state: the kernel's [`DataflowState`] (remaining firing
+/// times, current phases, channel fills). Single-phase graphs produce
+/// states identical to the SDF analysis, hashing included — the basis of
+/// the byte-identical SDF/CSDF cross-validation.
+pub type CsdfState = DataflowState;
 
-impl CsdfState {
-    /// Whether no actor is firing.
-    pub fn all_idle(&self) -> bool {
-        self.act_clk.iter().all(|&t| t == 0)
-    }
-}
+/// What happened in one step: the kernel's [`FiringEvents`], carrying
+/// `(actor, phase)` pairs for completed and started firings.
+pub type CsdfStepEvents = FiringEvents;
 
-/// What happened in one step.
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
-pub struct CsdfStepEvents {
-    /// `(actor, phase)` pairs that completed a firing this step.
-    pub completed: Vec<(ActorId, u32)>,
-    /// `(actor, phase)` pairs that started a firing this step.
-    pub started: Vec<(ActorId, u32)>,
-}
-
-/// Outcome of one step.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub enum CsdfStepOutcome {
-    /// Time advanced.
-    Progress(CsdfStepEvents),
-    /// Nothing can ever fire again.
-    Deadlock,
-}
-
-const ZERO_TIME_FIRING_CAP: u64 = 1 << 22;
+/// Outcome of one step: the kernel's [`FiringOutcome`].
+pub type CsdfStepOutcome = FiringOutcome;
 
 /// Deterministic ASAP executor for CSDF graphs under per-channel
-/// capacities.
+/// capacities: the CSDF-typed wrapper of the kernel's [`DataflowEngine`].
 #[derive(Debug, Clone)]
 pub struct CsdfEngine<'g> {
-    graph: &'g CsdfGraph,
-    caps: Vec<u64>,
-    state: CsdfState,
-    time: u64,
-    started: bool,
+    inner: DataflowEngine<'g, CsdfGraph>,
 }
 
 impl<'g> CsdfEngine<'g> {
@@ -67,108 +43,29 @@ impl<'g> CsdfEngine<'g> {
     ///
     /// Panics if `dist` does not cover exactly the graph's channels.
     pub fn new(graph: &'g CsdfGraph, dist: &StorageDistribution) -> CsdfEngine<'g> {
-        assert_eq!(dist.len(), graph.num_channels());
         CsdfEngine {
-            graph,
-            caps: dist.as_slice().to_vec(),
-            state: CsdfState {
-                act_clk: vec![0; graph.num_actors()],
-                phase: vec![0; graph.num_actors()],
-                tokens: graph.channels().map(|(_, c)| c.initial_tokens()).collect(),
-            },
-            time: 0,
-            started: false,
+            inner: DataflowEngine::new(graph, Capacities::from_distribution(dist)),
         }
+    }
+
+    /// The graph being executed.
+    pub fn graph(&self) -> &'g CsdfGraph {
+        self.inner.model()
     }
 
     /// The current state.
     pub fn state(&self) -> &CsdfState {
-        &self.state
+        self.inner.state()
     }
 
     /// The current time.
     pub fn time(&self) -> u64 {
-        self.time
+        self.inner.time()
     }
 
     /// Whether `actor` can start its current-phase firing now.
     pub fn is_enabled(&self, actor: ActorId) -> bool {
-        if self.state.act_clk[actor.index()] > 0 {
-            return false;
-        }
-        let k = self.state.phase[actor.index()] as usize;
-        for &cid in self.graph.input_channels(actor) {
-            let need = self.graph.channel(cid).consumption()[k];
-            if self.state.tokens[cid.index()] < need {
-                return false;
-            }
-        }
-        for &cid in self.graph.output_channels(actor) {
-            let produce = self.graph.channel(cid).production()[k];
-            let free = self.caps[cid.index()].saturating_sub(self.state.tokens[cid.index()]);
-            if free < produce {
-                return false;
-            }
-        }
-        true
-    }
-
-    fn any_enabled(&self) -> bool {
-        self.graph.actor_ids().any(|a| self.is_enabled(a))
-    }
-
-    /// Applies end-of-firing effects and advances the phase.
-    fn complete(&mut self, actor: ActorId) {
-        let k = self.state.phase[actor.index()] as usize;
-        for &cid in self.graph.input_channels(actor) {
-            let need = self.graph.channel(cid).consumption()[k];
-            debug_assert!(self.state.tokens[cid.index()] >= need);
-            self.state.tokens[cid.index()] -= need;
-        }
-        for &cid in self.graph.output_channels(actor) {
-            let produce = self.graph.channel(cid).production()[k];
-            self.state.tokens[cid.index()] += produce;
-            // A channel may start over-full (initial tokens beyond the
-            // capacity); only actual productions must have claimed space.
-            debug_assert!(produce == 0 || self.state.tokens[cid.index()] <= self.caps[cid.index()]);
-        }
-        let n = self.graph.actor(actor).num_phases() as u32;
-        self.state.phase[actor.index()] = (self.state.phase[actor.index()] + 1) % n;
-    }
-
-    fn start_enabled(&mut self, events: &mut CsdfStepEvents) -> Result<(), CsdfError> {
-        let mut zero_firings = 0u64;
-        loop {
-            let mut changed = false;
-            for i in 0..self.graph.num_actors() {
-                let actor = ActorId::new(i);
-                loop {
-                    if !self.is_enabled(actor) {
-                        break;
-                    }
-                    let k = self.state.phase[i];
-                    let exec = self.graph.actor(actor).phase_times()[k as usize];
-                    if exec > 0 {
-                        self.state.act_clk[i] = exec;
-                        events.started.push((actor, k));
-                        changed = true;
-                        break;
-                    }
-                    // Zero-time phase: fires instantly, may repeat.
-                    events.started.push((actor, k));
-                    self.complete(actor);
-                    events.completed.push((actor, k));
-                    changed = true;
-                    zero_firings += 1;
-                    if zero_firings > ZERO_TIME_FIRING_CAP {
-                        return Err(CsdfError::ZeroTimeLivelock);
-                    }
-                }
-            }
-            if !changed {
-                return Ok(());
-            }
-        }
+        self.inner.is_enabled(actor)
     }
 
     /// Performs the initial start phase at time 0.
@@ -177,11 +74,7 @@ impl<'g> CsdfEngine<'g> {
     ///
     /// [`CsdfError::ZeroTimeLivelock`] when zero-time phases never settle.
     pub fn start_initial(&mut self) -> Result<CsdfStepEvents, CsdfError> {
-        assert!(!self.started, "start_initial must be called exactly once");
-        self.started = true;
-        let mut ev = CsdfStepEvents::default();
-        self.start_enabled(&mut ev)?;
-        Ok(ev)
+        self.inner.start_initial().map_err(CsdfError::from)
     }
 
     /// Advances one time step.
@@ -194,24 +87,7 @@ impl<'g> CsdfEngine<'g> {
     ///
     /// Panics if [`start_initial`](Self::start_initial) was not called.
     pub fn step(&mut self) -> Result<CsdfStepOutcome, CsdfError> {
-        assert!(self.started, "call start_initial before step");
-        if self.state.all_idle() && !self.any_enabled() {
-            return Ok(CsdfStepOutcome::Deadlock);
-        }
-        self.time += 1;
-        let mut events = CsdfStepEvents::default();
-        for i in 0..self.state.act_clk.len() {
-            if self.state.act_clk[i] > 0 {
-                self.state.act_clk[i] -= 1;
-                if self.state.act_clk[i] == 0 {
-                    let k = self.state.phase[i];
-                    self.complete(ActorId::new(i));
-                    events.completed.push((ActorId::new(i), k));
-                }
-            }
-        }
-        self.start_enabled(&mut events)?;
-        Ok(CsdfStepOutcome::Progress(events))
+        self.inner.step().map_err(CsdfError::from)
     }
 }
 
@@ -294,5 +170,15 @@ mod tests {
         } else {
             panic!("expected progress");
         }
+    }
+
+    #[test]
+    fn wrapper_reports_graph_and_enabledness() {
+        let g = updown();
+        let e = CsdfEngine::new(&g, &StorageDistribution::from_capacities(vec![4]));
+        assert_eq!(e.graph().name(), "updown");
+        assert!(e.is_enabled(ActorId::new(0)));
+        assert!(!e.is_enabled(ActorId::new(1))); // no tokens yet
+        assert_eq!(e.time(), 0);
     }
 }

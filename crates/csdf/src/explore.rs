@@ -1,32 +1,40 @@
 //! Buffer/throughput trade-off exploration for CSDF graphs.
 //!
-//! Ports the dependency-guided exploration of `buffy-core` to the phased
-//! model: starting from safe per-channel lower bounds, only channels whose
-//! lack of space blocks a token-ready actor are grown, and the Pareto
-//! front of (distribution size, throughput) is collected. Capacities move
-//! in steps of the gcd of all the channel's (non-zero) rates and initial
-//! tokens — token counts are always congruent to the initial tokens modulo
-//! that gcd.
+//! The exploration driver lives in the unified kernel:
+//! [`buffy_core::explore_design_space_for`] runs the paper's exact
+//! divide-and-conquer search for any
+//! [`DataflowSemantics`](buffy_analysis::DataflowSemantics) model, and
+//! [`CsdfGraph`] implements that trait. This module keeps the CSDF-typed
+//! entry point plus the phase-aware channel bounds: capacities move in
+//! steps of the gcd of all the channel's (non-zero) rates — token counts
+//! are always congruent to the initial tokens modulo that gcd — and
+//! single-phase channels get the exact SDF buffer minimum so that
+//! embedded SDF graphs explore exactly the SDF grid.
 
-use crate::engine::{CsdfEngine, CsdfState, CsdfStepOutcome};
-use crate::model::{CsdfError, CsdfGraph};
-use crate::throughput::{csdf_throughput, CsdfLimits};
-use buffy_core::{ParetoPoint, ParetoSet};
-use buffy_graph::{gcd_u64, ActorId, ChannelId, Rational, StorageDistribution};
-use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap, HashSet};
+use crate::model::{CsdfChannel, CsdfError, CsdfGraph};
+use crate::throughput::CsdfLimits;
+use buffy_analysis::{bmlb, AnalysisError};
+use buffy_core::{explore_design_space_for, ExploreError, ExploreOptions, ParetoSet};
+use buffy_graph::{gcd_u64, ActorId, Rational};
 
-/// A safe lower bound on one channel's capacity for positive throughput:
-/// the largest single production or consumption burst must fit, and the
-/// initial tokens must be storable.
-pub fn csdf_channel_lower_bound(channel: &crate::model::CsdfChannel) -> u64 {
+/// A safe lower bound on one channel's capacity for positive throughput.
+///
+/// Single-phase channels (both rate vectors of length 1, i.e. the SDF
+/// embedding) get the exact buffer minimal for liveness ([`bmlb`]), so the
+/// exploration grid of an embedded SDF graph is identical to the SDF
+/// explorer's. Phased channels fall back to the largest single production
+/// or consumption burst; the initial tokens must be storable either way.
+pub fn csdf_channel_lower_bound(channel: &CsdfChannel) -> u64 {
+    if let ([p], [c]) = (channel.production(), channel.consumption()) {
+        return bmlb(*p, *c, channel.initial_tokens());
+    }
     let max_prod = channel.production().iter().copied().max().unwrap_or(0);
     let max_cons = channel.consumption().iter().copied().max().unwrap_or(0);
     max_prod.max(max_cons).max(channel.initial_tokens())
 }
 
 /// The capacity quantum of a channel: the gcd of all non-zero rates.
-pub fn csdf_channel_step(channel: &crate::model::CsdfChannel) -> u64 {
+pub fn csdf_channel_step(channel: &CsdfChannel) -> u64 {
     let mut g = 0u64;
     for &r in channel.production().iter().chain(channel.consumption()) {
         g = gcd_u64(g, r);
@@ -39,12 +47,17 @@ pub fn csdf_channel_step(channel: &crate::model::CsdfChannel) -> u64 {
 pub struct CsdfExploreOptions {
     /// Observed actor (default: the graph's default).
     pub observed: Option<ActorId>,
-    /// Hard cap on the distribution size; **required indirectly**: the
-    /// exploration stops growing beyond the size at which the maximal
-    /// throughput was observed, but a cap bounds pathological cases.
+    /// Hard cap on the distribution size; defaults to the computed
+    /// upper bound (the size realizing the maximal throughput).
     pub max_size: Option<u64>,
     /// State-space limits per analysis.
     pub limits: CsdfLimits,
+    /// Worker threads for evaluating candidate distributions (0 or 1 =
+    /// sequential).
+    pub threads: usize,
+    /// Quantize throughputs searched to multiples of this value (paper
+    /// §11: limits the number of Pareto points).
+    pub quantum: Option<Rational>,
 }
 
 /// Result of a CSDF exploration.
@@ -52,95 +65,35 @@ pub struct CsdfExploreOptions {
 pub struct CsdfExplorationResult {
     /// The Pareto front (phase-firing throughput of the observed actor).
     pub pareto: ParetoSet,
-    /// The highest throughput observed.
+    /// The maximal achievable throughput of the observed actor.
     pub max_throughput: Rational,
-    /// Number of throughput analyses run.
+    /// Number of throughput analyses run (memo-cache misses).
     pub evaluations: usize,
+    /// Number of evaluation requests answered from the memo cache without
+    /// re-running the analysis.
+    pub cache_hits: usize,
 }
 
-/// Channels whose missing space blocks a token-ready actor in `state`.
-fn blocked_channels(graph: &CsdfGraph, caps: &[u64], state: &CsdfState, out: &mut [bool]) {
-    'actors: for actor in graph.actor_ids() {
-        if state.act_clk[actor.index()] > 0 {
-            continue;
-        }
-        let k = state.phase[actor.index()] as usize;
-        for &cid in graph.input_channels(actor) {
-            if state.tokens[cid.index()] < graph.channel(cid).consumption()[k] {
-                continue 'actors;
-            }
-        }
-        for &cid in graph.output_channels(actor) {
-            let produce = graph.channel(cid).production()[k];
-            let free = caps[cid.index()].saturating_sub(state.tokens[cid.index()]);
-            if free < produce {
-                out[cid.index()] = true;
-            }
-        }
+/// Maps kernel exploration errors back into the CSDF vocabulary.
+fn explore_to_csdf(e: ExploreError) -> CsdfError {
+    match e {
+        ExploreError::Graph(g) => CsdfError::from(AnalysisError::Graph(g)),
+        ExploreError::Analysis(a) => CsdfError::from(a),
+        // The remaining variants concern constrained searches this entry
+        // point does not expose; an empty feasible space is the only way
+        // they can reach us.
+        _ => CsdfError::NoPositiveThroughput,
     }
 }
 
-/// Runs the execution once more to collect storage dependencies over the
-/// periodic phase (or the deadlock state).
-fn dependencies(
-    graph: &CsdfGraph,
-    dist: &StorageDistribution,
-    deadlocked: bool,
-    limits: CsdfLimits,
-) -> Result<Vec<bool>, CsdfError> {
-    let caps = dist.as_slice().to_vec();
-    let mut dependent = vec![false; graph.num_channels()];
-    let mut engine = CsdfEngine::new(graph, dist);
-    engine.start_initial()?;
-    if deadlocked {
-        loop {
-            match engine.step()? {
-                CsdfStepOutcome::Deadlock => break,
-                CsdfStepOutcome::Progress(_) => {}
-            }
-        }
-        blocked_channels(graph, &caps, engine.state(), &mut dependent);
-        return Ok(dependent);
-    }
-    // Find the cycle window, then union the blocked sets over it.
-    let mut index: HashMap<CsdfState, u64> = HashMap::new();
-    index.insert(engine.state().clone(), 0);
-    let (entry, end) = loop {
-        if engine.time() >= limits.max_steps || index.len() > limits.max_states {
-            return Err(CsdfError::StateLimitExceeded {
-                limit: limits.max_states,
-            });
-        }
-        match engine.step()? {
-            CsdfStepOutcome::Deadlock => unreachable!("caller saw a periodic execution"),
-            CsdfStepOutcome::Progress(_) => {
-                if let Some(&e) = index.get(engine.state()) {
-                    break (e, engine.time());
-                }
-                index.insert(engine.state().clone(), engine.time());
-            }
-        }
-    };
-    let mut engine = CsdfEngine::new(graph, dist);
-    engine.start_initial()?;
-    while engine.time() < entry {
-        engine.step()?;
-    }
-    blocked_channels(graph, &caps, engine.state(), &mut dependent);
-    while engine.time() < end {
-        engine.step()?;
-        blocked_channels(graph, &caps, engine.state(), &mut dependent);
-    }
-    Ok(dependent)
-}
-
-/// Explores the buffer/throughput trade-off space of a CSDF graph with the
-/// dependency-guided frontier search.
+/// Explores the buffer/throughput trade-off space of a CSDF graph through
+/// the unified kernel's exact design-space exploration.
 ///
 /// # Errors
 ///
 /// Propagates engine/state-space errors; reports
-/// [`CsdfError::Inconsistent`] via the repetition-vector check.
+/// [`CsdfError::Inconsistent`] via the repetition-vector check and
+/// [`CsdfError::NoPositiveThroughput`] when no distribution is live.
 ///
 /// # Examples
 ///
@@ -162,72 +115,20 @@ pub fn csdf_explore(
     graph: &CsdfGraph,
     options: &CsdfExploreOptions,
 ) -> Result<CsdfExplorationResult, CsdfError> {
-    // Consistency check up front.
-    crate::repetition::CsdfRepetitionVector::compute(graph)?;
-    let observed = options
-        .observed
-        .unwrap_or_else(|| graph.default_observed_actor());
-    // The maximal achievable throughput bounds the search: a distribution
-    // that reaches it never needs to grow further.
-    let thr_max = crate::hsdf::csdf_maximal_throughput(graph, observed)?;
-
-    let mins: Vec<u64> = graph
-        .channels()
-        .map(|(_, c)| csdf_channel_lower_bound(c))
-        .collect();
-    let steps: Vec<u64> = graph
-        .channels()
-        .map(|(_, c)| csdf_channel_step(c))
-        .collect();
-    let start: StorageDistribution = mins.iter().copied().collect();
-    let lb_size = start.size();
-    // Default size cap: generous multiple of the lower bound; exploration
-    // also stops on saturation (no dependencies below it).
-    let max_size = options.max_size.unwrap_or(lb_size * 8 + 64);
-
-    let mut frontier: BinaryHeap<Reverse<(u64, StorageDistribution)>> = BinaryHeap::new();
-    let mut seen: HashSet<StorageDistribution> = HashSet::new();
-    seen.insert(start.clone());
-    frontier.push(Reverse((lb_size, start)));
-
-    let mut pareto = ParetoSet::new();
-    let mut best = Rational::ZERO;
-    let mut evaluations = 0usize;
-
-    while let Some(Reverse((size, dist))) = frontier.pop() {
-        let r = csdf_throughput(graph, &dist, observed, options.limits)?;
-        evaluations += 1;
-        if !r.throughput.is_zero() {
-            best = best.max(r.throughput);
-            pareto.insert(ParetoPoint::new(dist.clone(), r.throughput));
-            if r.throughput >= thr_max {
-                continue; // growing further cannot be Pareto-optimal
-            }
-        }
-        let deps = dependencies(graph, &dist, r.deadlocked, options.limits)?;
-        if deps.iter().all(|&d| !d) {
-            // Saturated: growing any channel changes nothing.
-            continue;
-        }
-        for (i, &dep) in deps.iter().enumerate() {
-            if !dep {
-                continue;
-            }
-            let step = steps[i];
-            if size + step > max_size {
-                continue;
-            }
-            let child = dist.grown(ChannelId::new(i), step);
-            if seen.insert(child.clone()) {
-                frontier.push(Reverse((child.size(), child)));
-            }
-        }
-    }
-
+    let core_options = ExploreOptions {
+        observed: options.observed,
+        max_size: options.max_size,
+        quantum: options.quantum,
+        limits: options.limits,
+        threads: options.threads.max(1),
+        ..ExploreOptions::default()
+    };
+    let r = explore_design_space_for(graph, &core_options).map_err(explore_to_csdf)?;
     Ok(CsdfExplorationResult {
-        pareto,
-        max_throughput: best,
-        evaluations,
+        pareto: r.pareto,
+        max_throughput: r.max_throughput,
+        evaluations: r.evaluations,
+        cache_hits: r.cache_hits,
     })
 }
 
@@ -245,6 +146,19 @@ mod tests {
         let channel = g.channel(ch);
         assert_eq!(csdf_channel_lower_bound(channel), 4);
         assert_eq!(csdf_channel_step(channel), 2);
+    }
+
+    #[test]
+    fn single_phase_lower_bound_is_the_bmlb() {
+        // An embedded SDF channel must use the exact SDF bound, not the
+        // coarser max-burst bound, so the grids coincide.
+        let mut b = CsdfGraph::builder("g");
+        let p = b.actor("p", vec![1]);
+        let c = b.actor("c", vec![1]);
+        let ch = b.channel("d", p, vec![2], c, vec![3], 0).unwrap();
+        let g = b.build().unwrap();
+        assert_eq!(csdf_channel_lower_bound(g.channel(ch)), 4); // 2+3−1
+        assert_eq!(csdf_channel_step(g.channel(ch)), 1);
     }
 
     #[test]
@@ -323,5 +237,35 @@ mod tests {
         let r = csdf_explore(&g, &CsdfExploreOptions::default()).unwrap();
         assert!(r.pareto.len() >= 2, "front: {:?}", r.pareto.points());
         assert!(r.max_throughput > Rational::ZERO);
+    }
+
+    #[test]
+    fn threads_and_quantum_are_honored() {
+        let mut b = CsdfGraph::builder("updown");
+        let p = b.actor("p", vec![1, 1]);
+        let c = b.actor("c", vec![1]);
+        b.channel("d", p, vec![2, 0], c, vec![1], 0).unwrap();
+        let g = b.build().unwrap();
+        let sequential = csdf_explore(&g, &CsdfExploreOptions::default()).unwrap();
+        let threaded = csdf_explore(
+            &g,
+            &CsdfExploreOptions {
+                threads: 4,
+                ..CsdfExploreOptions::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(sequential.pareto.points(), threaded.pareto.points());
+        // A coarse quantum collapses the front to at most a few points.
+        let quantized = csdf_explore(
+            &g,
+            &CsdfExploreOptions {
+                quantum: Some(Rational::new(1, 2)),
+                ..CsdfExploreOptions::default()
+            },
+        )
+        .unwrap();
+        assert!(quantized.pareto.len() <= sequential.pareto.len());
+        assert!(!quantized.pareto.is_empty());
     }
 }

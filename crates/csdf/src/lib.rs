@@ -12,11 +12,20 @@
 //! - [`CsdfRepetitionVector`]: consistency and cycle-level repetition
 //!   vectors;
 //! - [`CsdfEngine`]: the timed ASAP executor (claim-at-start semantics,
-//!   per the paper §2);
+//!   per the paper §2), wrapping the unified kernel's
+//!   [`DataflowEngine`](buffy_analysis::DataflowEngine);
 //! - [`csdf_throughput`]: reduced-state-space throughput analysis (paper
-//!   §7, phase-aware);
-//! - [`csdf_explore`]: dependency-guided buffer/throughput Pareto
-//!   exploration.
+//!   §7, phase-aware), via the kernel's
+//!   [`throughput_for`](buffy_analysis::throughput_for);
+//! - [`csdf_explore`]: buffer/throughput Pareto exploration through the
+//!   kernel's exact design-space driver
+//!   ([`explore_design_space_for`](buffy_core::explore_design_space_for)).
+//!
+//! Since PR 2 the execution, throughput, and exploration algorithms are
+//! implemented once in `buffy-analysis`/`buffy-core` against the
+//! [`DataflowSemantics`](buffy_analysis::DataflowSemantics) trait;
+//! [`CsdfGraph`] implements the trait and this crate only keeps the
+//! CSDF-typed wrappers and phase-aware channel bounds.
 //!
 //! Every SDF graph embeds as a single-phase CSDF graph
 //! ([`CsdfGraph::from_sdf`]); the test suite uses the embedding to

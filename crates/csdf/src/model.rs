@@ -5,7 +5,8 @@
 //! rate *per phase of its actor* (rates may be zero in individual phases).
 //! Every SDF graph is a CSDF graph with a single phase per actor.
 
-use buffy_graph::{ActorId, ChannelId, SdfGraph};
+use buffy_analysis::{AnalysisError, DataflowSemantics};
+use buffy_graph::{ActorId, ChannelId, GraphError, Rational, SdfGraph};
 use core::fmt;
 use std::collections::HashSet;
 
@@ -60,6 +61,12 @@ pub enum CsdfError {
         /// The configured limit.
         limit: usize,
     },
+    /// No storage distribution within the explored bounds yields positive
+    /// throughput.
+    NoPositiveThroughput,
+    /// A unified-kernel analysis failed for a reason without a
+    /// CSDF-specific variant.
+    Analysis(AnalysisError),
 }
 
 impl fmt::Display for CsdfError {
@@ -94,11 +101,55 @@ impl fmt::Display for CsdfError {
             CsdfError::StateLimitExceeded { limit } => {
                 write!(f, "state space exceeded the limit of {limit} states")
             }
+            CsdfError::NoPositiveThroughput => {
+                write!(f, "no storage distribution yields positive throughput")
+            }
+            CsdfError::Analysis(e) => write!(f, "{e}"),
         }
     }
 }
 
-impl std::error::Error for CsdfError {}
+impl std::error::Error for CsdfError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CsdfError::Analysis(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<AnalysisError> for CsdfError {
+    fn from(e: AnalysisError) -> Self {
+        match e {
+            AnalysisError::Graph(GraphError::Inconsistent { channel }) => {
+                CsdfError::Inconsistent { channel }
+            }
+            AnalysisError::Graph(GraphError::RepetitionOverflow) => CsdfError::RepetitionOverflow,
+            AnalysisError::StateLimitExceeded { limit } => CsdfError::StateLimitExceeded { limit },
+            AnalysisError::ZeroTimeLivelock => CsdfError::ZeroTimeLivelock,
+            other => CsdfError::Analysis(other),
+        }
+    }
+}
+
+impl From<CsdfError> for AnalysisError {
+    fn from(e: CsdfError) -> Self {
+        match e {
+            CsdfError::Inconsistent { channel } => {
+                AnalysisError::Graph(GraphError::Inconsistent { channel })
+            }
+            CsdfError::RepetitionOverflow => AnalysisError::Graph(GraphError::RepetitionOverflow),
+            CsdfError::StateLimitExceeded { limit } => AnalysisError::StateLimitExceeded { limit },
+            CsdfError::ZeroTimeLivelock => AnalysisError::ZeroTimeLivelock,
+            CsdfError::Analysis(e) => e,
+            // Builder-stage errors cannot arise from analyzing a built
+            // graph; keep their message if one ever leaks through.
+            other => AnalysisError::Graph(GraphError::Inconsistent {
+                channel: other.to_string(),
+            }),
+        }
+    }
+}
 
 /// A CSDF actor: a cyclic sequence of phases with per-phase execution
 /// times.
@@ -434,6 +485,95 @@ impl CsdfGraphBuilder {
     }
 }
 
+/// [`CsdfGraph`] plugs into the unified analysis kernel: the engine,
+/// throughput analysis and exploration drivers in `buffy-analysis` /
+/// `buffy-core` run CSDF graphs through this impl. Production rates are
+/// indexed by the source actor's phase, consumption rates by the target
+/// actor's phase, exactly as stored on [`CsdfChannel`].
+impl DataflowSemantics for CsdfGraph {
+    fn num_actors(&self) -> usize {
+        CsdfGraph::num_actors(self)
+    }
+
+    fn num_channels(&self) -> usize {
+        CsdfGraph::num_channels(self)
+    }
+
+    fn actor_name(&self, actor: ActorId) -> &str {
+        self.actor(actor).name()
+    }
+
+    fn channel_name(&self, channel: ChannelId) -> &str {
+        self.channel(channel).name()
+    }
+
+    fn channel_source(&self, channel: ChannelId) -> ActorId {
+        self.channel(channel).source()
+    }
+
+    fn channel_target(&self, channel: ChannelId) -> ActorId {
+        self.channel(channel).target()
+    }
+
+    fn initial_tokens(&self, channel: ChannelId) -> u64 {
+        self.channel(channel).initial_tokens()
+    }
+
+    fn input_channels(&self, actor: ActorId) -> &[ChannelId] {
+        CsdfGraph::input_channels(self, actor)
+    }
+
+    fn output_channels(&self, actor: ActorId) -> &[ChannelId] {
+        CsdfGraph::output_channels(self, actor)
+    }
+
+    fn num_phases(&self, actor: ActorId) -> u32 {
+        self.actor(actor).num_phases() as u32
+    }
+
+    fn execution_time(&self, actor: ActorId, phase: u32) -> u64 {
+        self.actor(actor).phase_times()[phase as usize]
+    }
+
+    fn production(&self, channel: ChannelId, phase: u32) -> u64 {
+        self.channel(channel).production()[phase as usize]
+    }
+
+    fn consumption(&self, channel: ChannelId, phase: u32) -> u64 {
+        self.channel(channel).consumption()[phase as usize]
+    }
+
+    fn cycle_production(&self, channel: ChannelId) -> u64 {
+        self.channel(channel).cycle_production()
+    }
+
+    fn cycle_consumption(&self, channel: ChannelId) -> u64 {
+        self.channel(channel).cycle_consumption()
+    }
+
+    fn default_observed_actor(&self) -> ActorId {
+        CsdfGraph::default_observed_actor(self)
+    }
+
+    fn repetition_cycles(&self) -> Result<Vec<u64>, AnalysisError> {
+        let q =
+            crate::repetition::CsdfRepetitionVector::compute(self).map_err(AnalysisError::from)?;
+        Ok(q.as_slice().to_vec())
+    }
+
+    fn maximal_throughput(&self, observed: ActorId) -> Result<Rational, AnalysisError> {
+        crate::hsdf::csdf_maximal_throughput(self, observed).map_err(AnalysisError::from)
+    }
+
+    fn channel_lower_bound(&self, channel: ChannelId) -> u64 {
+        crate::explore::csdf_channel_lower_bound(self.channel(channel))
+    }
+
+    fn channel_step(&self, channel: ChannelId) -> u64 {
+        crate::explore::csdf_channel_step(self.channel(channel))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -521,8 +661,71 @@ mod tests {
             CsdfError::Inconsistent {
                 channel: "x".into(),
             },
+            CsdfError::NoPositiveThroughput,
+            CsdfError::Analysis(AnalysisError::NotLive),
         ] {
             assert!(!e.to_string().is_empty());
         }
+    }
+
+    #[test]
+    fn dataflow_semantics_exposes_phases() {
+        let mut b = CsdfGraph::builder("g");
+        let p = b.actor("p", vec![1, 2]);
+        let c = b.actor("c", vec![1]);
+        let ch = b.channel("d", p, vec![1, 0], c, vec![1], 2).unwrap();
+        let g = b.build().unwrap();
+        let m: &dyn DataflowSemantics = &g;
+        assert_eq!(m.num_phases(p), 2);
+        assert_eq!(m.num_phases(c), 1);
+        assert_eq!(m.execution_time(p, 1), 2);
+        assert_eq!(m.production(ch, 0), 1);
+        assert_eq!(m.production(ch, 1), 0);
+        assert_eq!(m.consumption(ch, 0), 1);
+        assert_eq!(m.cycle_production(ch), 1);
+        assert_eq!(m.cycle_consumption(ch), 1);
+        assert_eq!(m.channel_source(ch), p);
+        assert_eq!(m.channel_target(ch), c);
+        assert_eq!(m.initial_tokens(ch), 2);
+        assert_eq!(m.default_observed_actor(), c);
+        assert_eq!(g.repetition_cycles().unwrap(), vec![1, 1]);
+        assert!(g.maximal_throughput(c).unwrap() > Rational::ZERO);
+    }
+
+    #[test]
+    fn error_conversions_round_trip() {
+        // The variants shared with the kernel map back and forth.
+        let pairs = [
+            (
+                CsdfError::Inconsistent {
+                    channel: "d".into(),
+                },
+                AnalysisError::Graph(GraphError::Inconsistent {
+                    channel: "d".into(),
+                }),
+            ),
+            (
+                CsdfError::StateLimitExceeded { limit: 7 },
+                AnalysisError::StateLimitExceeded { limit: 7 },
+            ),
+            (CsdfError::ZeroTimeLivelock, AnalysisError::ZeroTimeLivelock),
+            (
+                CsdfError::RepetitionOverflow,
+                AnalysisError::Graph(GraphError::RepetitionOverflow),
+            ),
+        ];
+        for (c, a) in pairs {
+            assert_eq!(AnalysisError::from(c.clone()), a);
+            assert_eq!(CsdfError::from(a), c);
+        }
+        // Kernel-only errors are carried verbatim.
+        assert_eq!(
+            CsdfError::from(AnalysisError::NotLive),
+            CsdfError::Analysis(AnalysisError::NotLive)
+        );
+        assert_eq!(
+            AnalysisError::from(CsdfError::Analysis(AnalysisError::ZeroPeriod)),
+            AnalysisError::ZeroPeriod
+        );
     }
 }

@@ -1,35 +1,25 @@
 //! Throughput analysis for CSDF graphs via the reduced state space.
 //!
-//! Identical in structure to the SDF analysis (paper §7): the bounded
-//! self-timed execution is deterministic and finite-state, so it is
-//! periodic or deadlocks; the throughput of the observed actor is its
-//! number of *complete firings* (phase executions) on the cycle divided by
-//! the cycle duration. [`CsdfThroughputReport::cycle_throughput`] converts
-//! to full phase-cycles per time unit.
+//! The analysis itself lives in the unified kernel:
+//! [`buffy_analysis::throughput_for`] runs the reduced-state-space cycle
+//! detection of the paper (§7) for any [`DataflowSemantics`] model, CSDF
+//! included — the bounded self-timed execution is deterministic and
+//! finite-state, so it is periodic or deadlocks, and the throughput of the
+//! observed actor is its number of *complete firings* (phase executions)
+//! on the cycle divided by the cycle duration. This module keeps the
+//! CSDF-typed entry point and report;
+//! [`CsdfThroughputReport::cycle_throughput`] converts to full
+//! phase-cycles per time unit.
+//!
+//! [`DataflowSemantics`]: buffy_analysis::DataflowSemantics
 
-use crate::engine::{CsdfEngine, CsdfState, CsdfStepOutcome};
 use crate::model::{CsdfError, CsdfGraph};
+use buffy_analysis::{throughput_for, Capacities, ExplorationLimits};
 use buffy_graph::{ActorId, Rational, StorageDistribution};
-use std::collections::hash_map::Entry;
-use std::collections::HashMap;
 
-/// Limits for the CSDF state-space search.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct CsdfLimits {
-    /// Maximum stored reduced states.
-    pub max_states: usize,
-    /// Maximum simulated time steps.
-    pub max_steps: u64,
-}
-
-impl Default for CsdfLimits {
-    fn default() -> Self {
-        CsdfLimits {
-            max_states: 1 << 22,
-            max_steps: u64::MAX,
-        }
-    }
-}
+/// Limits for the CSDF state-space search: the kernel's
+/// [`ExplorationLimits`], shared with the SDF analyses.
+pub type CsdfLimits = ExplorationLimits;
 
 /// Result of a CSDF throughput analysis.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -60,7 +50,8 @@ impl CsdfThroughputReport {
 }
 
 /// Computes the throughput of `observed` under the storage distribution
-/// `dist`.
+/// `dist` by running the graph through the unified kernel's reduced
+/// state-space analysis.
 ///
 /// # Errors
 ///
@@ -94,90 +85,16 @@ pub fn csdf_throughput(
     limits: CsdfLimits,
 ) -> Result<CsdfThroughputReport, CsdfError> {
     let phases = graph.actor(observed).num_phases() as u64;
-    let mut engine = CsdfEngine::new(graph, dist);
-    let initial = engine.start_initial()?;
-
-    #[derive(PartialEq, Eq, Hash)]
-    struct Reduced {
-        state: CsdfState,
-        dist: u64,
-        firings: u32,
-    }
-
-    let mut index: HashMap<Reduced, usize> = HashMap::new();
-    let mut times: Vec<u64> = Vec::new();
-    let mut counts: Vec<u32> = Vec::new();
-    let mut last = 0u64;
-
-    let mut pending = initial
-        .completed
-        .iter()
-        .filter(|(a, _)| *a == observed)
-        .count() as u32;
-    if pending > 0 {
-        index.insert(
-            Reduced {
-                state: engine.state().clone(),
-                dist: 0,
-                firings: pending,
-            },
-            0,
-        );
-        times.push(0);
-        counts.push(pending);
-    }
-
-    loop {
-        if engine.time() >= limits.max_steps || index.len() > limits.max_states {
-            return Err(CsdfError::StateLimitExceeded {
-                limit: limits.max_states,
-            });
-        }
-        let ev = match engine.step()? {
-            CsdfStepOutcome::Deadlock => {
-                return Ok(CsdfThroughputReport {
-                    throughput: Rational::ZERO,
-                    phases,
-                    deadlocked: true,
-                    states_stored: index.len(),
-                    period: 0,
-                    firings_per_period: 0,
-                });
-            }
-            CsdfStepOutcome::Progress(ev) => ev,
-        };
-        pending = ev.completed.iter().filter(|(a, _)| *a == observed).count() as u32;
-        if pending == 0 {
-            continue;
-        }
-        let key = Reduced {
-            state: engine.state().clone(),
-            dist: engine.time() - last,
-            firings: pending,
-        };
-        last = engine.time();
-        let next = times.len();
-        match index.entry(key) {
-            Entry::Vacant(v) => {
-                v.insert(next);
-                times.push(engine.time());
-                counts.push(pending);
-            }
-            Entry::Occupied(o) => {
-                let k = *o.get();
-                let period = engine.time() - times[k];
-                let firings: u64 = counts[k..].iter().map(|&f| f as u64).sum();
-                return Ok(CsdfThroughputReport {
-                    throughput: Rational::new(firings as i128, period as i128),
-                    phases,
-                    deadlocked: false,
-                    states_stored: index.len(),
-                    period,
-                    firings_per_period: firings,
-                });
-            }
-        }
-    }
+    let r = throughput_for(graph, Capacities::from_distribution(dist), observed, limits)
+        .map_err(CsdfError::from)?;
+    Ok(CsdfThroughputReport {
+        throughput: r.throughput,
+        phases,
+        deadlocked: r.deadlocked,
+        states_stored: r.states_stored,
+        period: r.period,
+        firings_per_period: r.firings_per_period,
+    })
 }
 
 #[cfg(test)]

@@ -59,7 +59,7 @@ pub fn bipartite() -> SdfGraph {
     b.build().expect("static graph")
 }
 
-/// The CD→DAT sample-rate converter (Fig. 11, from [BML99]): a six-actor
+/// The CD→DAT sample-rate converter (Fig. 11, from \[BML99\]): a six-actor
 /// chain converting 44.1 kHz to 48 kHz through rate changes
 /// 1:1, 2:3, 2:7, 8:7, 5:1; repetition vector (147, 147, 98, 28, 32, 160).
 pub fn cd2dat() -> SdfGraph {
@@ -100,7 +100,7 @@ pub fn h263_decoder() -> SdfGraph {
     b.build().expect("static graph")
 }
 
-/// A modem graph (Fig. 9, from [BML99]): 16 actors, 19 channels.
+/// A modem graph (Fig. 9, from \[BML99\]): 16 actors, 19 channels.
 ///
 /// Reconstruction (the original figure is not recoverable from the source
 /// text): a symbol-rate front end with a 16:1 serial-to-parallel

@@ -1,8 +1,7 @@
 //! # buffy-lint
 //!
 //! Static model verification for **buffy-rs**: a set of checks that run
-//! over an [`SdfGraph`](buffy_graph::SdfGraph) or
-//! [`CsdfGraph`](buffy_csdf::CsdfGraph) *before* any state-space
+//! over an [`SdfGraph`] or [`CsdfGraph`] *before* any state-space
 //! exploration and report structured diagnostics — a stable code
 //! (`B001`…), a severity, the offending actor or channel, and a fix
 //! hint. The `buffy check` CLI subcommand renders the resulting

@@ -47,8 +47,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // The full Pareto front.
     let result = csdf_explore(&graph, &CsdfExploreOptions::default())?;
     println!(
-        "\nPareto front (dependency-guided exploration, {} analyses):",
-        result.evaluations
+        "\nPareto front (unified-kernel exploration, {} analyses, {} cache hits):",
+        result.evaluations, result.cache_hits
     );
     for p in result.pareto.points() {
         println!("  {p}");

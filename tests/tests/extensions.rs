@@ -158,6 +158,28 @@ fn csdf_explore_matches_sdf_front_on_random_graphs() {
     assert!(compared >= 4, "too few comparable graphs: {compared}");
 }
 
+/// The constrained search must probe realizable grid sizes only. Seed
+/// 4004 generates a graph whose four channels all have step 2 and whose
+/// combined lower bound (size 12) deadlocks; the cheapest live size is 14
+/// with throughput 1/9. A binary search probing the hole at size 15 would
+/// find no distributions there and wrongly answer 16.
+#[test]
+fn min_storage_lands_on_realizable_sizes() {
+    let g = RandomGraphConfig {
+        actors: 4,
+        extra_channels: 1,
+        max_repetition: 2,
+        max_rate_factor: 2,
+        max_execution_time: 3,
+        seed: 4004,
+    }
+    .generate();
+    let p = buffy_core::min_storage_for_throughput(&g, Rational::new(1, 9), &Default::default())
+        .unwrap();
+    assert_eq!(p.size, 14);
+    assert_eq!(p.throughput, Rational::new(1, 9));
+}
+
 /// A genuinely cyclo-static behaviour SDF cannot express: zero-rate
 /// phases let a smaller buffer reach the same throughput as the SDF
 /// worst-case abstraction.
