@@ -16,7 +16,7 @@
 //! [`DataflowSemantics`] model: each firing executes the actor's current
 //! phase and advances it, so plain SDF (one phase per actor) and CSDF
 //! (cyclic phase sequences) run through the same code. [`Engine`] is the
-//! SDF-typed wrapper that the SDF analyses use.
+//! SDF-typed alias that the SDF analyses use.
 //!
 //! One call to [`DataflowEngine::step`] advances time by one unit: it
 //! first completes firings whose remaining time reaches zero, then starts
@@ -127,35 +127,6 @@ pub enum FiringOutcome {
     Deadlock,
 }
 
-/// What happened during one [`Engine::step`] (SDF view: phases stripped).
-#[derive(Debug, Clone, PartialEq, Eq, Default)]
-pub struct StepEvents {
-    /// Actors that completed a firing in this step (zero-time firings
-    /// appear once per completed firing).
-    pub completed: Vec<ActorId>,
-    /// Actors that started a firing in this step (ditto).
-    pub started: Vec<ActorId>,
-}
-
-/// Outcome of advancing the execution by one time step.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub enum StepOutcome {
-    /// Time advanced normally.
-    Progress(StepEvents),
-    /// No actor is firing and none can start: the graph is deadlocked
-    /// (paper §3); the state will never change again.
-    Deadlock,
-}
-
-impl From<FiringEvents> for StepEvents {
-    fn from(ev: FiringEvents) -> StepEvents {
-        StepEvents {
-            completed: ev.completed.into_iter().map(|(a, _)| a).collect(),
-            started: ev.started.into_iter().map(|(a, _)| a).collect(),
-        }
-    }
-}
-
 /// Maximum number of zero-execution-time firings tolerated within a single
 /// time step before declaring a livelock.
 const ZERO_TIME_FIRING_CAP: u64 = 1 << 22;
@@ -163,7 +134,7 @@ const ZERO_TIME_FIRING_CAP: u64 = 1 << 22;
 /// Deterministic self-timed executor for any [`DataflowSemantics`] model
 /// under given channel capacities.
 ///
-/// The SDF analyses use the [`Engine`] wrapper; CSDF wraps this engine in
+/// The SDF analyses use the [`Engine`] alias; CSDF wraps this engine in
 /// `buffy-csdf`.
 #[derive(Debug, Clone)]
 pub struct DataflowEngine<'g, M: DataflowSemantics> {
@@ -466,8 +437,10 @@ impl<'g, M: DataflowSemantics> DataflowEngine<'g, M> {
 }
 
 /// Deterministic self-timed executor for an SDF graph under given channel
-/// capacities: the single-phase instantiation of [`DataflowEngine`] with
-/// phase-free events.
+/// capacities: the single-phase instantiation of [`DataflowEngine`].
+///
+/// Events carry `(actor, phase)` pairs; for plain SDF the phase is
+/// always 0.
 ///
 /// # Examples
 ///
@@ -501,88 +474,7 @@ impl<'g, M: DataflowSemantics> DataflowEngine<'g, M> {
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug, Clone)]
-pub struct Engine<'g> {
-    inner: DataflowEngine<'g, SdfGraph>,
-}
-
-impl<'g> Engine<'g> {
-    /// Creates an engine at time 0 with all actors idle and channels at
-    /// their initial token counts. Call [`start_initial`](Self::start_initial)
-    /// before stepping.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `caps` does not cover exactly the graph's channels.
-    pub fn new(graph: &'g SdfGraph, caps: Capacities) -> Engine<'g> {
-        Engine {
-            inner: DataflowEngine::new(graph, caps),
-        }
-    }
-
-    /// The graph being executed.
-    pub fn graph(&self) -> &'g SdfGraph {
-        self.inner.model()
-    }
-
-    /// The channel capacities in effect.
-    pub fn capacities(&self) -> &Capacities {
-        self.inner.capacities()
-    }
-
-    /// The current state.
-    pub fn state(&self) -> &SdfState {
-        self.inner.state()
-    }
-
-    /// The current time (number of completed steps).
-    pub fn time(&self) -> u64 {
-        self.inner.time()
-    }
-
-    /// Whether `actor` can start a firing in the current state.
-    pub fn is_enabled(&self, actor: ActorId) -> bool {
-        self.inner.is_enabled(actor)
-    }
-
-    /// Performs the initial start phase (time stays 0): every enabled actor
-    /// begins its first firing, zero-time firings complete immediately.
-    ///
-    /// # Errors
-    ///
-    /// [`AnalysisError::ZeroTimeLivelock`] if zero-time firings never
-    /// stabilize.
-    pub fn start_initial(&mut self) -> Result<StepEvents, AnalysisError> {
-        self.inner.start_initial().map(StepEvents::from)
-    }
-
-    /// Advances the execution by one time step.
-    ///
-    /// # Errors
-    ///
-    /// [`AnalysisError::ZeroTimeLivelock`] if zero-time firings never
-    /// stabilize within the step.
-    ///
-    /// # Panics
-    ///
-    /// Panics if [`start_initial`](Self::start_initial) has not been called.
-    pub fn step(&mut self) -> Result<StepOutcome, AnalysisError> {
-        Ok(match self.inner.step()? {
-            FiringOutcome::Progress(ev) => StepOutcome::Progress(StepEvents::from(ev)),
-            FiringOutcome::Deadlock => StepOutcome::Deadlock,
-        })
-    }
-
-    /// Runs until the observed condition: convenience that steps `n` times
-    /// or stops early on deadlock. Returns the number of steps taken.
-    ///
-    /// # Errors
-    ///
-    /// Propagates [`step`](Self::step) errors.
-    pub fn run_steps(&mut self, n: u64) -> Result<u64, AnalysisError> {
-        self.inner.run_steps(n)
-    }
-}
+pub type Engine<'g> = DataflowEngine<'g, SdfGraph>;
 
 #[cfg(test)]
 mod tests {
@@ -653,9 +545,9 @@ mod tests {
         );
         e.start_initial().unwrap();
         assert!(e.state().all_idle());
-        assert_eq!(e.step().unwrap(), StepOutcome::Deadlock);
+        assert_eq!(e.step().unwrap(), FiringOutcome::Deadlock);
         // Deadlock is stable.
-        assert_eq!(e.step().unwrap(), StepOutcome::Deadlock);
+        assert_eq!(e.step().unwrap(), FiringOutcome::Deadlock);
     }
 
     #[test]
@@ -665,8 +557,8 @@ mod tests {
         e.start_initial().unwrap();
         for _ in 0..50 {
             match e.step().unwrap() {
-                StepOutcome::Progress(_) => {}
-                StepOutcome::Deadlock => panic!("unbounded execution must not deadlock"),
+                FiringOutcome::Progress(_) => {}
+                FiringOutcome::Deadlock => panic!("unbounded execution must not deadlock"),
             }
         }
         // a fires every time step: after 50 steps it produced 100 tokens,
@@ -680,15 +572,15 @@ mod tests {
         let mut e = engine(&g, &[4, 2]);
         let a = g.actor_by_name("a").unwrap();
         let b = g.actor_by_name("b").unwrap();
-        if let StepOutcome::Progress(ev) = e.step().unwrap() {
-            assert_eq!(ev.completed, vec![a]);
-            assert_eq!(ev.started, vec![a]);
+        if let FiringOutcome::Progress(ev) = e.step().unwrap() {
+            assert_eq!(ev.completed, vec![(a, 0)]);
+            assert_eq!(ev.started, vec![(a, 0)]);
         } else {
             panic!("expected progress");
         }
-        if let StepOutcome::Progress(ev) = e.step().unwrap() {
-            assert_eq!(ev.completed, vec![a]);
-            assert_eq!(ev.started, vec![b]);
+        if let FiringOutcome::Progress(ev) = e.step().unwrap() {
+            assert_eq!(ev.completed, vec![(a, 0)]);
+            assert_eq!(ev.started, vec![(b, 0)]);
         } else {
             panic!("expected progress");
         }
@@ -723,7 +615,7 @@ mod tests {
         let mut e = Engine::new(&g, Capacities::from_distribution(&d));
         // Feedback channel needs a token for src to ever fire: deadlock now.
         e.start_initial().unwrap();
-        assert_eq!(e.step().unwrap(), StepOutcome::Deadlock);
+        assert_eq!(e.step().unwrap(), FiringOutcome::Deadlock);
 
         // With one initial token on the feedback channel the pair ping-pongs.
         let mut bld = SdfGraph::builder("zt2");
@@ -736,13 +628,13 @@ mod tests {
         let mut e = Engine::new(&g, Capacities::from_distribution(&d));
         e.start_initial().unwrap(); // src consumes the feedback token, starts
         assert_eq!(e.state().act_clk[src.index()], 1);
-        let StepOutcome::Progress(ev) = e.step().unwrap() else {
+        let FiringOutcome::Progress(ev) = e.step().unwrap() else {
             panic!("expected progress");
         };
         // src completes; z fires instantly (zero time) and returns the
         // token; src restarts — all in the same step.
-        assert!(ev.completed.contains(&z));
-        assert!(ev.started.iter().filter(|&&a| a == src).count() == 1);
+        assert!(ev.completed.contains(&(z, 0)));
+        assert!(ev.started.iter().filter(|&&(a, _)| a == src).count() == 1);
         assert_eq!(e.state().act_clk[src.index()], 1);
     }
 
@@ -792,7 +684,7 @@ mod tests {
         let d = StorageDistribution::from_capacities(vec![1]);
         let mut e = Engine::new(&g, Capacities::from_distribution(&d));
         e.start_initial().unwrap();
-        assert_eq!(e.step().unwrap(), StepOutcome::Deadlock);
+        assert_eq!(e.step().unwrap(), FiringOutcome::Deadlock);
     }
 
     #[test]

@@ -1,0 +1,363 @@
+//! State interning for the cycle-detection state stores.
+//!
+//! The reduced-state-space analyses (paper §7) detect periodicity by
+//! looking every visited state up in a hash index. With an owned-key
+//! `HashMap` that means cloning the full state (token, clock and phase
+//! vectors) for *every* lookup key and re-hashing it with SipHash — pure
+//! overhead on the evaluator hot path, where millions of states flow
+//! through long executions.
+//!
+//! [`StateStore`] replaces that pattern with an *arena + hash index*:
+//! states live once in an insertion-ordered arena, the index is an
+//! open-addressed table of `(hash, arena index)` pairs, and lookups probe
+//! with a caller-computed hash and an equality closure over the arena
+//! entry — so a state is hashed once and cloned only when it is actually
+//! inserted. Arena indices double as the discovery order the analyses
+//! already use for cycle arithmetic.
+//!
+//! Hashing uses [`FxHasher`], a hand-rolled Fx-style multiply-rotate
+//! hasher (the FNV-lineage hash used by rustc): deterministic across
+//! runs and threads, no external dependency, and much cheaper than
+//! SipHash on the short `u64`/`u32` vectors that make up a
+//! [`DataflowState`](crate::DataflowState).
+
+use std::hash::{BuildHasherDefault, Hash, Hasher};
+
+/// The multiplier of the Fx hash (the 64-bit golden-ratio constant used
+/// by rustc's `FxHasher`).
+const FX_SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// A fast, deterministic, non-cryptographic hasher in the FNV/Fx lineage.
+///
+/// Word-at-a-time multiply-rotate hashing; identical results on every
+/// run, platform and thread (no random keys), which the exploration
+/// runtime relies on for reproducible sharding decisions.
+///
+/// Not DoS-resistant — only use for interned analysis state and memo
+/// caches over trusted, internally generated keys.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(FX_SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            self.add_to_hash(u64::from_le_bytes(chunk.try_into().expect("8-byte chunk")));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut buf = [0u8; 8];
+            buf[..rest.len()].copy_from_slice(rest);
+            self.add_to_hash(u64::from_le_bytes(buf));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, v: u8) {
+        self.add_to_hash(v as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, v: u32) {
+        self.add_to_hash(v as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        self.add_to_hash(v);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, v: usize) {
+        self.add_to_hash(v as u64);
+    }
+}
+
+/// A [`std::hash::BuildHasher`] producing [`FxHasher`]s, for plugging the
+/// Fx hash into `HashMap`/`HashSet`.
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// Hashes any `Hash` value with the [`FxHasher`].
+///
+/// ```
+/// use buffy_analysis::fx_hash;
+/// assert_eq!(fx_hash(&[4u64, 2]), fx_hash(&[4u64, 2]));
+/// assert_ne!(fx_hash(&[4u64, 2]), fx_hash(&[2u64, 4]));
+/// ```
+pub fn fx_hash<T: Hash + ?Sized>(value: &T) -> u64 {
+    let mut hasher = FxHasher::default();
+    value.hash(&mut hasher);
+    hasher.finish()
+}
+
+/// Outcome of [`StateStore::intern_with`]: the arena index of the state,
+/// and whether this call inserted it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Interned {
+    /// The state was already stored at this arena index.
+    Existing(usize),
+    /// The state was inserted fresh at this arena index.
+    Inserted(usize),
+}
+
+impl Interned {
+    /// The arena index, regardless of whether the call inserted.
+    pub fn index(&self) -> usize {
+        match *self {
+            Interned::Existing(i) | Interned::Inserted(i) => i,
+        }
+    }
+}
+
+/// One slot of the open-addressed index: the key's full hash and the
+/// arena index plus one (0 marks an empty slot).
+#[derive(Debug, Clone, Copy)]
+struct Slot {
+    hash: u64,
+    index_plus_one: usize,
+}
+
+const EMPTY: Slot = Slot {
+    hash: 0,
+    index_plus_one: 0,
+};
+
+/// An insertion-ordered arena of states with an open-addressed hash
+/// index.
+///
+/// Lookups take a caller-computed hash and an equality closure, so a
+/// probe never constructs (or clones) the stored type; full hashes are
+/// cached in the table, so stored states are never re-hashed — not even
+/// when the table grows.
+///
+/// ```
+/// use buffy_analysis::{fx_hash, Interned, StateStore};
+///
+/// let mut store: StateStore<Vec<u64>> = StateStore::new();
+/// let probe = vec![1u64, 2, 3];
+/// let h = fx_hash(&probe);
+/// assert_eq!(
+///     store.intern_with(h, |s| *s == probe, || probe.clone()),
+///     Interned::Inserted(0)
+/// );
+/// assert_eq!(
+///     store.intern_with(h, |s| *s == probe, || probe.clone()),
+///     Interned::Existing(0)
+/// );
+/// assert_eq!(store.items(), &[vec![1u64, 2, 3]]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct StateStore<T> {
+    items: Vec<T>,
+    table: Vec<Slot>,
+    /// `table.len() - 1`; the table length is always a power of two.
+    mask: usize,
+}
+
+impl<T> Default for StateStore<T> {
+    fn default() -> Self {
+        StateStore::new()
+    }
+}
+
+impl<T> StateStore<T> {
+    /// Creates an empty store.
+    pub fn new() -> StateStore<T> {
+        StateStore::with_capacity(0)
+    }
+
+    /// Creates an empty store sized for roughly `capacity` states.
+    pub fn with_capacity(capacity: usize) -> StateStore<T> {
+        let table_len = (capacity * 8 / 7 + 1).next_power_of_two().max(16);
+        StateStore {
+            items: Vec::with_capacity(capacity),
+            table: vec![EMPTY; table_len],
+            mask: table_len - 1,
+        }
+    }
+
+    /// Number of interned states.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether the store is empty.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// The interned states in insertion (discovery) order.
+    pub fn items(&self) -> &[T] {
+        &self.items
+    }
+
+    /// Consumes the store, returning the arena in insertion order.
+    pub fn into_items(self) -> Vec<T> {
+        self.items
+    }
+
+    /// Looks up a state by `hash` and equality closure without inserting.
+    pub fn get(&self, hash: u64, mut matches: impl FnMut(&T) -> bool) -> Option<usize> {
+        let mut pos = (hash as usize) & self.mask;
+        loop {
+            let slot = self.table[pos];
+            if slot.index_plus_one == 0 {
+                return None;
+            }
+            let idx = slot.index_plus_one - 1;
+            if slot.hash == hash && matches(&self.items[idx]) {
+                return Some(idx);
+            }
+            pos = (pos + 1) & self.mask;
+        }
+    }
+
+    /// Looks the state up by `hash` and the equality closure; if absent,
+    /// materializes it with `make` and inserts it. Returns the arena
+    /// index and whether this call inserted.
+    ///
+    /// `matches` must implement the same equivalence the hash was
+    /// computed under: equal states must have equal hashes.
+    pub fn intern_with(
+        &mut self,
+        hash: u64,
+        mut matches: impl FnMut(&T) -> bool,
+        make: impl FnOnce() -> T,
+    ) -> Interned {
+        let mut pos = (hash as usize) & self.mask;
+        loop {
+            let slot = self.table[pos];
+            if slot.index_plus_one == 0 {
+                break;
+            }
+            let idx = slot.index_plus_one - 1;
+            if slot.hash == hash && matches(&self.items[idx]) {
+                return Interned::Existing(idx);
+            }
+            pos = (pos + 1) & self.mask;
+        }
+        let idx = self.items.len();
+        self.items.push(make());
+        self.table[pos] = Slot {
+            hash,
+            index_plus_one: idx + 1,
+        };
+        // Keep the load factor below 7/8 so probe chains stay short.
+        if (self.items.len() + 1) * 8 > self.table.len() * 7 {
+            self.grow();
+        }
+        Interned::Inserted(idx)
+    }
+
+    /// Doubles the table, re-placing entries from their cached hashes
+    /// (stored states are not re-hashed).
+    fn grow(&mut self) {
+        let new_len = self.table.len() * 2;
+        let old = std::mem::replace(&mut self.table, vec![EMPTY; new_len]);
+        self.mask = new_len - 1;
+        for slot in old {
+            if slot.index_plus_one == 0 {
+                continue;
+            }
+            let mut pos = (slot.hash as usize) & self.mask;
+            while self.table[pos].index_plus_one != 0 {
+                pos = (pos + 1) & self.mask;
+            }
+            self.table[pos] = slot;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    #[test]
+    fn fx_hash_is_deterministic_and_spreads() {
+        let a = fx_hash(&vec![1u64, 2, 3]);
+        let b = fx_hash(&vec![1u64, 2, 3]);
+        assert_eq!(a, b);
+        // Distinct short vectors should essentially never collide.
+        let mut seen = std::collections::HashSet::new();
+        for x in 0..64u64 {
+            for y in 0..64u64 {
+                seen.insert(fx_hash(&vec![x, y]));
+            }
+        }
+        assert_eq!(seen.len(), 64 * 64);
+    }
+
+    #[test]
+    fn intern_assigns_dense_indices_in_discovery_order() {
+        let mut store: StateStore<u64> = StateStore::new();
+        for v in [10u64, 20, 30, 20, 10, 40] {
+            store.intern_with(fx_hash(&v), |s| *s == v, || v);
+        }
+        assert_eq!(store.items(), &[10, 20, 30, 40]);
+        assert_eq!(store.len(), 4);
+        assert_eq!(store.get(fx_hash(&30u64), |s| *s == 30), Some(2));
+        assert_eq!(store.get(fx_hash(&99u64), |s| *s == 99), None);
+    }
+
+    #[test]
+    fn grows_past_many_entries_and_matches_a_hashmap() {
+        let mut store: StateStore<(u64, u64)> = StateStore::new();
+        let mut oracle: HashMap<(u64, u64), usize> = HashMap::new();
+        // Insert with repeats in a fixed pseudo-random order.
+        let mut x = 0x243f_6a88_85a3_08d3u64;
+        for _ in 0..10_000 {
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let key = (x % 512, (x >> 32) % 7);
+            let h = fx_hash(&key);
+            let next = oracle.len();
+            let expected = *oracle.entry(key).or_insert(next);
+            let got = store.intern_with(h, |s| *s == key, || key);
+            assert_eq!(got.index(), expected);
+        }
+        assert_eq!(store.len(), oracle.len());
+        for (key, &idx) in &oracle {
+            assert_eq!(store.items()[idx], *key);
+        }
+    }
+
+    #[test]
+    fn colliding_hashes_are_separated_by_equality() {
+        // Force both keys into the same slot by lying about the hash;
+        // the equality closure must still distinguish them.
+        let mut store: StateStore<u64> = StateStore::new();
+        assert_eq!(
+            store.intern_with(7, |s| *s == 1, || 1),
+            Interned::Inserted(0)
+        );
+        assert_eq!(
+            store.intern_with(7, |s| *s == 2, || 2),
+            Interned::Inserted(1)
+        );
+        assert_eq!(
+            store.intern_with(7, |s| *s == 1, || 1),
+            Interned::Existing(0)
+        );
+        assert_eq!(
+            store.intern_with(7, |s| *s == 2, || 2),
+            Interned::Existing(1)
+        );
+    }
+}

@@ -7,7 +7,7 @@
 //! steady state (relevant for jitter-sensitive consumers such as the
 //! display refresh of the paper's television example).
 
-use crate::engine::{Capacities, Engine, StepOutcome};
+use crate::engine::{Capacities, Engine, FiringOutcome};
 use crate::error::AnalysisError;
 use crate::throughput::ExplorationLimits;
 use buffy_graph::{ActorId, SdfGraph, StorageDistribution};
@@ -79,8 +79,8 @@ pub fn latency(
     let initial = engine.start_initial()?;
 
     let mut completions: Vec<u64> = Vec::new();
-    let record = |completions: &mut Vec<u64>, events: &crate::engine::StepEvents, time: u64| {
-        for _ in events.completed.iter().filter(|&&a| a == observed) {
+    let record = |completions: &mut Vec<u64>, events: &crate::engine::FiringEvents, time: u64| {
+        for _ in events.completed.iter().filter(|&&(a, _)| a == observed) {
             completions.push(time);
         }
     };
@@ -98,7 +98,7 @@ pub fn latency(
             });
         }
         match engine.step()? {
-            StepOutcome::Deadlock => {
+            FiringOutcome::Deadlock => {
                 return Ok(LatencyReport {
                     initial_latency: completions.first().copied(),
                     min_output_interval: None,
@@ -106,7 +106,7 @@ pub fn latency(
                     deadlocked: true,
                 });
             }
-            StepOutcome::Progress(ev) => {
+            FiringOutcome::Progress(ev) => {
                 record(&mut completions, &ev, engine.time());
                 if let Some(&entry) = index.get(engine.state()) {
                     break (entry, engine.time());

@@ -55,6 +55,7 @@ mod engine;
 mod error;
 pub mod graph_algos;
 mod hsdf;
+mod interner;
 mod latency;
 mod mcm;
 mod memory;
@@ -69,10 +70,10 @@ pub use dependencies::{
 };
 pub use engine::{
     Capacities, DataflowEngine, DataflowState, Engine, FiringEvents, FiringOutcome, SdfState,
-    StepEvents, StepOutcome,
 };
 pub use error::AnalysisError;
 pub use hsdf::{Hsdf, HsdfEdge, HsdfNode};
+pub use interner::{fx_hash, FxBuildHasher, FxHasher, Interned, StateStore};
 pub use latency::{latency, LatencyReport};
 pub use mcm::{
     max_cycle_ratio, max_cycle_ratio_brute_force, maximal_throughput, RatioEdge, RatioGraph,

@@ -13,7 +13,7 @@
 //! the distribution size, and the gap quantifies how much memory a
 //! single-processor implementation could save.
 
-use crate::engine::{Capacities, Engine, StepOutcome};
+use crate::engine::{Capacities, Engine, FiringOutcome};
 use crate::error::AnalysisError;
 use crate::throughput::ExplorationLimits;
 use buffy_graph::{SdfGraph, StorageDistribution};
@@ -86,11 +86,11 @@ pub fn shared_memory_peak(
             });
         }
         match engine.step()? {
-            StepOutcome::Deadlock => {
+            FiringOutcome::Deadlock => {
                 deadlocked = true;
                 break;
             }
-            StepOutcome::Progress(_) => {
+            FiringOutcome::Progress(_) => {
                 let total: u64 = engine.state().tokens.iter().sum();
                 peak = peak.max(total);
                 for (p, &t) in channel_peaks.iter_mut().zip(&engine.state().tokens) {

@@ -8,7 +8,7 @@
 //! periodic phase. `buffy` generates such a schedule for every Pareto
 //! point (§10).
 
-use crate::engine::{Capacities, Engine, SdfState, StepOutcome};
+use crate::engine::{Capacities, Engine, FiringOutcome, SdfState};
 use crate::error::AnalysisError;
 use crate::throughput::ExplorationLimits;
 use buffy_graph::{ActorId, Rational, SdfGraph, StorageDistribution};
@@ -117,7 +117,7 @@ impl Schedule {
         };
 
         let initial = engine.start_initial()?;
-        for &a in &initial.started {
+        for &(a, _) in &initial.started {
             record(&mut firings, graph, a, 0);
         }
         index.insert(engine.state().clone(), 0);
@@ -129,9 +129,9 @@ impl Schedule {
                 });
             }
             match engine.step()? {
-                StepOutcome::Deadlock => break None,
-                StepOutcome::Progress(ev) => {
-                    for &a in &ev.started {
+                FiringOutcome::Deadlock => break None,
+                FiringOutcome::Progress(ev) => {
+                    for &(a, _) in &ev.started {
                         record(&mut firings, graph, a, engine.time());
                     }
                     if let Some(&entry) = index.get(engine.state()) {

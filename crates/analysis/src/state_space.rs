@@ -13,10 +13,10 @@
 
 use crate::engine::{Capacities, DataflowEngine, DataflowState, FiringEvents, FiringOutcome};
 use crate::error::AnalysisError;
+use crate::interner::{fx_hash, Interned, StateStore};
 use crate::semantics::DataflowSemantics;
 use crate::throughput::ExplorationLimits;
 use buffy_graph::{ActorId, Rational, SdfGraph, StorageDistribution};
-use std::collections::HashMap;
 
 /// The explored timed state space of a dataflow model under a storage
 /// distribution.
@@ -115,16 +115,20 @@ pub fn explore_for<M: DataflowSemantics>(
     let mut engine = DataflowEngine::new(model, caps);
     let initial = engine.start_initial()?;
 
-    let mut states: Vec<DataflowState> = Vec::new();
+    // The interning store *is* the state vector: arena order is visit
+    // order, and each state is hashed and cloned exactly once.
+    let mut store: StateStore<DataflowState> = StateStore::new();
     let mut events: Vec<FiringEvents> = Vec::new();
-    let mut index: HashMap<DataflowState, usize> = HashMap::new();
 
-    states.push(engine.state().clone());
+    store.intern_with(
+        fx_hash(engine.state()),
+        |s| s == engine.state(),
+        || engine.state().clone(),
+    );
     events.push(initial);
-    index.insert(engine.state().clone(), 0);
 
     loop {
-        if states.len() > limits.max_states || engine.time() >= limits.max_steps {
+        if store.len() > limits.max_states || engine.time() >= limits.max_steps {
             return Err(AnalysisError::StateLimitExceeded {
                 limit: limits.max_states,
             });
@@ -132,24 +136,28 @@ pub fn explore_for<M: DataflowSemantics>(
         match engine.step()? {
             FiringOutcome::Deadlock => {
                 return Ok(StateSpace {
-                    states,
+                    states: store.into_items(),
                     events,
                     cycle_start: None,
                     closing_events: None,
                 });
             }
             FiringOutcome::Progress(ev) => {
-                if let Some(&k) = index.get(engine.state()) {
-                    return Ok(StateSpace {
-                        states,
-                        events,
-                        cycle_start: Some(k),
-                        closing_events: Some(ev),
-                    });
+                match store.intern_with(
+                    fx_hash(engine.state()),
+                    |s| s == engine.state(),
+                    || engine.state().clone(),
+                ) {
+                    Interned::Existing(k) => {
+                        return Ok(StateSpace {
+                            states: store.into_items(),
+                            events,
+                            cycle_start: Some(k),
+                            closing_events: Some(ev),
+                        });
+                    }
+                    Interned::Inserted(_) => events.push(ev),
                 }
-                index.insert(engine.state().clone(), states.len());
-                states.push(engine.state().clone());
-                events.push(ev);
             }
         }
     }

@@ -15,10 +15,9 @@
 
 use crate::engine::{Capacities, DataflowEngine, DataflowState, FiringOutcome};
 use crate::error::AnalysisError;
+use crate::interner::{fx_hash, Interned, StateStore};
 use crate::semantics::DataflowSemantics;
 use buffy_graph::{ActorId, Rational, SdfGraph, StorageDistribution};
-use std::collections::hash_map::Entry;
-use std::collections::HashMap;
 
 /// Tunable limits for state-space searches.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -183,8 +182,9 @@ pub fn throughput_for<M: DataflowSemantics>(
     let mut engine = DataflowEngine::new(model, caps);
     let initial = engine.start_initial()?;
 
-    // Reduced state space: states at completions of the observed actor.
-    let mut index: HashMap<ReducedState, usize> = HashMap::new();
+    // Reduced state space: states at completions of the observed actor,
+    // interned in an arena so probing never clones or re-hashes a state.
+    let mut store: StateStore<ReducedState> = StateStore::new();
     let mut times: Vec<u64> = Vec::new(); // time of each reduced state
     let mut firing_counts: Vec<u32> = Vec::new();
     let mut last_completion: u64 = 0;
@@ -197,12 +197,16 @@ pub fn throughput_for<M: DataflowSemantics>(
         .filter(|&&(a, _)| a == observed)
         .count() as u32;
     if pending > 0 {
-        let rs = ReducedState {
-            state: engine.state().clone(),
-            dist: 0,
-            firings: pending,
-        };
-        index.insert(rs, 0);
+        let hash = fx_hash(&(engine.state(), 0u64, pending));
+        store.intern_with(
+            hash,
+            |rs| rs.dist == 0 && rs.firings == pending && rs.state == *engine.state(),
+            || ReducedState {
+                state: engine.state().clone(),
+                dist: 0,
+                firings: pending,
+            },
+        );
         times.push(0);
         firing_counts.push(pending);
     }
@@ -216,7 +220,7 @@ pub fn throughput_for<M: DataflowSemantics>(
         let outcome = engine.step()?;
         let events = match outcome {
             FiringOutcome::Deadlock => {
-                return Ok(ThroughputReport::deadlock(index.len()));
+                return Ok(ThroughputReport::deadlock(store.len()));
             }
             FiringOutcome::Progress(ev) => ev,
         };
@@ -228,16 +232,20 @@ pub fn throughput_for<M: DataflowSemantics>(
         if pending == 0 {
             continue;
         }
-        let rs = ReducedState {
-            state: engine.state().clone(),
-            dist: engine.time() - last_completion,
-            firings: pending,
-        };
+        let dist = engine.time() - last_completion;
         last_completion = engine.time();
+        let hash = fx_hash(&(engine.state(), dist, pending));
         let next_index = times.len();
-        match index.entry(rs) {
-            Entry::Vacant(v) => {
-                v.insert(next_index);
+        match store.intern_with(
+            hash,
+            |rs| rs.dist == dist && rs.firings == pending && rs.state == *engine.state(),
+            || ReducedState {
+                state: engine.state().clone(),
+                dist,
+                firings: pending,
+            },
+        ) {
+            Interned::Inserted(_) => {
                 times.push(engine.time());
                 firing_counts.push(pending);
                 if times.len() > limits.max_states {
@@ -246,9 +254,8 @@ pub fn throughput_for<M: DataflowSemantics>(
                     });
                 }
             }
-            Entry::Occupied(o) => {
-                // Cycle found: states o.get()..next_index repeat forever.
-                let k = *o.get();
+            Interned::Existing(k) => {
+                // Cycle found: states k..next_index repeat forever.
                 let period = engine.time() - times[k];
                 let firings: u64 = firing_counts[k..].iter().map(|&f| f as u64).sum();
                 if period == 0 {
@@ -257,7 +264,7 @@ pub fn throughput_for<M: DataflowSemantics>(
                 return Ok(ThroughputReport {
                     throughput: Rational::new(firings as i128, period as i128),
                     deadlocked: false,
-                    states_stored: index.len(),
+                    states_stored: store.len(),
                     cycle_states: next_index - k,
                     firings_per_period: firings,
                     period,

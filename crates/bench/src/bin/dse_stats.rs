@@ -1,0 +1,138 @@
+//! Exploration-runtime statistics bench: runs the exact design-space
+//! exploration over the benchmark graphs at one thread and at the
+//! auto-detected thread count (plus the dependency-guided search), and
+//! writes the unified [`ExplorationStats`](buffy_core::ExplorationStats)
+//! of every run — wall time, analyses, cache hit rate, largest state
+//! space — to `BENCH_dse.json` for machine consumption.
+//!
+//! The statistics of the 1-thread and N-thread runs must be identical
+//! (the runtime's chunked evaluation makes them thread-count independent);
+//! the bench asserts it, so a regression shows up here as well as in the
+//! test suite.
+
+use buffy_bench::format_table;
+use buffy_core::{
+    explore_dependency_guided, explore_design_space, resolve_threads, ExplorationResult,
+    ExploreOptions,
+};
+use buffy_gen::gallery;
+use buffy_graph::SdfGraph;
+use std::time::Instant;
+
+struct Run {
+    graph: String,
+    algorithm: &'static str,
+    threads: usize,
+    wall_secs: f64,
+    result: ExplorationResult,
+}
+
+fn run(
+    graph: &SdfGraph,
+    algorithm: &'static str,
+    threads: usize,
+    f: impl Fn() -> ExplorationResult,
+) -> Run {
+    let t0 = Instant::now();
+    let result = f();
+    Run {
+        graph: graph.name().to_string(),
+        algorithm,
+        threads,
+        wall_secs: t0.elapsed().as_secs_f64(),
+        result,
+    }
+}
+
+fn json_record(r: &Run) -> String {
+    let s = &r.result.stats;
+    format!(
+        "{{\"graph\":\"{}\",\"algorithm\":\"{}\",\"threads\":{},\"wall_secs\":{:.6},\
+         \"evaluations\":{},\"cache_hits\":{},\"cache_hit_rate\":{:.4},\"max_states\":{},\
+         \"eval_nanos\":{},\"pareto_points\":{}}}",
+        r.graph,
+        r.algorithm,
+        r.threads,
+        r.wall_secs,
+        s.evaluations,
+        s.cache_hits,
+        s.cache_hit_rate(),
+        s.max_states,
+        s.eval_nanos,
+        r.result.pareto.len()
+    )
+}
+
+fn main() {
+    // The full gallery is exact but slow under the exhaustive search for
+    // the biggest graphs; the fig-7-style subjects below chart in seconds.
+    let graphs = [gallery::example(), gallery::bipartite(), gallery::modem()];
+    let auto = resolve_threads(0);
+
+    let mut runs: Vec<Run> = Vec::new();
+    for graph in &graphs {
+        let seq = ExploreOptions::default();
+        let par = ExploreOptions {
+            threads: 0,
+            ..ExploreOptions::default()
+        };
+        let one = run(graph, "exhaustive", 1, || {
+            explore_design_space(graph, &seq).expect("exploration succeeds")
+        });
+        let many = run(graph, "exhaustive", auto, || {
+            explore_design_space(graph, &par).expect("exploration succeeds")
+        });
+        assert_eq!(
+            one.result.stats,
+            many.result.stats,
+            "{}: statistics must be identical across thread counts",
+            graph.name()
+        );
+        let guided = run(graph, "guided", 1, || {
+            explore_dependency_guided(graph, &seq).expect("exploration succeeds")
+        });
+        runs.extend([one, many, guided]);
+    }
+
+    let rows: Vec<Vec<String>> = runs
+        .iter()
+        .map(|r| {
+            let s = &r.result.stats;
+            vec![
+                r.graph.clone(),
+                r.algorithm.to_string(),
+                r.threads.to_string(),
+                format!("{:.3}s", r.wall_secs),
+                s.evaluations.to_string(),
+                format!("{:.0}%", s.cache_hit_rate() * 100.0),
+                s.max_states.to_string(),
+                r.result.pareto.len().to_string(),
+            ]
+        })
+        .collect();
+    print!(
+        "{}",
+        format_table(
+            &[
+                "graph",
+                "algorithm",
+                "threads",
+                "wall",
+                "analyses",
+                "cache hit",
+                "max states",
+                "#Pareto",
+            ],
+            &rows
+        )
+    );
+
+    let records: Vec<String> = runs.iter().map(json_record).collect();
+    let json = format!(
+        "{{\"bench\":\"dse_stats\",\"auto_threads\":{},\"runs\":[\n  {}\n]}}\n",
+        auto,
+        records.join(",\n  ")
+    );
+    std::fs::write("BENCH_dse.json", &json).expect("write BENCH_dse.json");
+    println!("\nwrote BENCH_dse.json ({} runs)", runs.len());
+}

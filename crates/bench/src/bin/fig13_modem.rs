@@ -52,6 +52,6 @@ fn main() {
     println!("\n{}", ascii_front(&guided.pareto, 48, 12));
     println!(
         "exploration cost: guided {} analyses vs exhaustive {} analyses (same front)",
-        guided.evaluations, exhaustive.evaluations
+        guided.stats.evaluations, exhaustive.stats.evaluations
     );
 }

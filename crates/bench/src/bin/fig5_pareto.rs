@@ -37,6 +37,9 @@ fn main() {
     );
     println!(
         "\nexploration: {} analyses, max {} states per state space, bounds lb={} ub={}",
-        result.evaluations, result.max_states, result.lower_bound_size, result.upper_bound_size
+        result.stats.evaluations,
+        result.stats.max_states,
+        result.lower_bound_size,
+        result.upper_bound_size
     );
 }

@@ -34,7 +34,7 @@ fn row(name: &str, graph: &SdfGraph, result: &ExplorationResult, secs: f64) -> V
         max.throughput.to_string(),
         max.size.to_string(),
         result.pareto.len().to_string(),
-        result.max_states.to_string(),
+        result.stats.max_states.to_string(),
         format!("{secs:.2}s"),
     ]
 }

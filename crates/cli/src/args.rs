@@ -33,11 +33,12 @@ const VALUE_OPTIONS: &[&str] = &[
     "max-exec",
     "max-repetition",
     "out",
+    "trace-json",
 ];
 
 /// Boolean flags the commands understand; anything else starting with
 /// `--` is rejected as unknown.
-const KNOWN_FLAGS: &[&str] = &["csv", "json", "deny-warnings", "force", "help"];
+const KNOWN_FLAGS: &[&str] = &["csv", "json", "deny-warnings", "force", "help", "progress"];
 
 /// Parses raw arguments.
 ///
@@ -135,6 +136,26 @@ mod tests {
         // Known flags and options still parse.
         assert!(parse(&args(&["check", "g.xml", "--json", "--deny-warnings"])).is_ok());
         assert!(parse(&args(&["--help"])).is_ok());
+    }
+
+    #[test]
+    fn observability_options_parse() {
+        let p = parse(&args(&[
+            "explore",
+            "g.xml",
+            "--progress",
+            "--trace-json",
+            "trace.jsonl",
+        ]))
+        .unwrap();
+        assert!(p.has_flag("progress"));
+        assert_eq!(
+            p.options.get("trace-json").map(String::as_str),
+            Some("trace.jsonl")
+        );
+        // --trace-json without a path is rejected, as is a misspelling.
+        assert!(parse(&args(&["--trace-json"])).is_err());
+        assert!(parse(&args(&["--trace-jsonl", "x"])).is_err());
     }
 
     #[test]

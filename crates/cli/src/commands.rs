@@ -1,10 +1,12 @@
 //! Implementations of the `buffy` subcommands.
 
 use crate::args::{parse_dist, ParsedArgs};
+use crate::observe::{dist_json, CliObserver};
 use buffy_analysis::{maximal_throughput, throughput, ExplorationLimits, Schedule};
 use buffy_core::{
-    explore_dependency_guided, explore_design_space, lower_bound_distribution,
-    min_storage_for_throughput, ExplorationResult, ExploreOptions,
+    explore_dependency_guided_observed, explore_design_space_observed, lower_bound_distribution,
+    min_storage_for_throughput_observed, ExplorationResult, ExplorationStats, ExploreOptions,
+    ParetoPoint,
 };
 use buffy_gen::{gallery, RandomGraphConfig};
 use buffy_graph::dot::to_dot;
@@ -45,6 +47,32 @@ fn explore_options(parsed: &ParsedArgs, graph: &SdfGraph) -> Result<ExploreOptio
 
 fn w(out: Out<'_>, text: std::fmt::Arguments<'_>) -> Result<(), String> {
     out.write_fmt(text).map_err(|e| e.to_string())
+}
+
+/// Builds the observer wired to `--progress` and `--trace-json`.
+fn observer_from(parsed: &ParsedArgs) -> Result<CliObserver, String> {
+    CliObserver::from_options(
+        parsed.has_flag("progress"),
+        parsed.options.get("trace-json").map(String::as_str),
+    )
+}
+
+/// Renders the exploration statistics as a JSON object.
+fn stats_json(stats: &ExplorationStats) -> String {
+    format!(
+        "{{\"evaluations\":{},\"cache_hits\":{},\"max_states\":{},\"eval_nanos\":{}}}",
+        stats.evaluations, stats.cache_hits, stats.max_states, stats.eval_nanos
+    )
+}
+
+/// Renders one Pareto point as a JSON object.
+fn point_json(p: &ParetoPoint) -> String {
+    format!(
+        "{{\"size\":{},\"throughput\":\"{}\",\"distribution\":{}}}",
+        p.size,
+        p.throughput,
+        dist_json(&p.distribution)
+    )
 }
 
 /// Builds the lint context from whatever `--dist`, `--throughput` and
@@ -234,8 +262,25 @@ pub fn analyze(parsed: &ParsedArgs, out: Out<'_>) -> Result<(), String> {
     Ok(())
 }
 
-fn print_front(result: &ExplorationResult, csv: bool, out: Out<'_>) -> Result<(), String> {
-    if csv {
+fn print_front(
+    result: &ExplorationResult,
+    parsed: &ParsedArgs,
+    out: Out<'_>,
+) -> Result<(), String> {
+    if parsed.has_flag("json") {
+        let points: Vec<String> = result.pareto.points().iter().map(point_json).collect();
+        w(
+            out,
+            format_args!(
+                "{{\"pareto\":[{}],\"max_throughput\":\"{}\",\"lower_bound_size\":{},\"upper_bound_size\":{},\"stats\":{}}}\n",
+                points.join(","),
+                result.max_throughput,
+                result.lower_bound_size,
+                result.upper_bound_size,
+                stats_json(&result.stats)
+            ),
+        )?;
+    } else if parsed.has_flag("csv") {
         w(out, format_args!("size,throughput,distribution\n"))?;
         for p in result.pareto.points() {
             w(
@@ -250,13 +295,12 @@ fn print_front(result: &ExplorationResult, csv: bool, out: Out<'_>) -> Result<()
         w(
             out,
             format_args!(
-                "{} Pareto points; maximal throughput {}; bounds lb={} ub={}; {} analyses (max {} states)\n",
+                "{} Pareto points; maximal throughput {}; bounds lb={} ub={}; {}\n",
                 result.pareto.len(),
                 result.max_throughput,
                 result.lower_bound_size,
                 result.upper_bound_size,
-                result.evaluations,
-                result.max_states
+                result.stats
             ),
         )?;
     }
@@ -280,12 +324,17 @@ pub fn explore(parsed: &ParsedArgs, out: Out<'_>) -> Result<(), String> {
         .get("algorithm")
         .map(String::as_str)
         .unwrap_or("guided");
+    let observer = observer_from(parsed)?;
     let result = match algorithm {
-        "guided" => explore_dependency_guided(&graph, &opts).map_err(|e| e.to_string())?,
-        "exhaustive" => explore_design_space(&graph, &opts).map_err(|e| e.to_string())?,
+        "guided" => explore_dependency_guided_observed(&graph, &opts, &observer)
+            .map_err(|e| e.to_string())?,
+        "exhaustive" => {
+            explore_design_space_observed(&graph, &opts, &observer).map_err(|e| e.to_string())?
+        }
         other => return Err(format!("unknown algorithm {other:?} (guided|exhaustive)")),
     };
-    print_front(&result, parsed.has_flag("csv"), out)
+    observer.finish()?;
+    print_front(&result, parsed, out)
 }
 
 pub fn constraint(parsed: &ParsedArgs, out: Out<'_>) -> Result<(), String> {
@@ -298,14 +347,28 @@ pub fn constraint(parsed: &ParsedArgs, out: Out<'_>) -> Result<(), String> {
     if constraint <= Rational::ZERO {
         return Err("--throughput must be positive".into());
     }
-    let p = min_storage_for_throughput(&graph, constraint, &opts).map_err(|e| e.to_string())?;
+    let observer = observer_from(parsed)?;
+    let (p, stats) = min_storage_for_throughput_observed(&graph, constraint, &opts, &observer)
+        .map_err(|e| e.to_string())?;
+    observer.finish()?;
+    if parsed.has_flag("json") {
+        return w(
+            out,
+            format_args!(
+                "{{\"constraint\":\"{constraint}\",\"point\":{},\"stats\":{}}}\n",
+                point_json(&p),
+                stats_json(&stats)
+            ),
+        );
+    }
     w(
         out,
         format_args!(
             "minimal storage for throughput ≥ {constraint}: size {} with γ = {} (achieves {})\n",
             p.size, p.distribution, p.throughput
         ),
-    )
+    )?;
+    w(out, format_args!("{stats}\n"))
 }
 
 pub fn schedule(parsed: &ParsedArgs, out: Out<'_>) -> Result<(), String> {
@@ -441,8 +504,22 @@ pub fn csdf_explore(parsed: &ParsedArgs, out: Out<'_>) -> Result<(), String> {
         quantum: parsed.get("quantum")?,
         ..buffy_csdf::CsdfExploreOptions::default()
     };
-    let r = buffy_csdf::csdf_explore(&graph, &opts).map_err(|e| e.to_string())?;
-    if parsed.has_flag("csv") {
+    let observer = observer_from(parsed)?;
+    let r =
+        buffy_csdf::csdf_explore_observed(&graph, &opts, &observer).map_err(|e| e.to_string())?;
+    observer.finish()?;
+    if parsed.has_flag("json") {
+        let points: Vec<String> = r.pareto.points().iter().map(point_json).collect();
+        w(
+            out,
+            format_args!(
+                "{{\"pareto\":[{}],\"max_throughput\":\"{}\",\"stats\":{}}}\n",
+                points.join(","),
+                r.max_throughput,
+                stats_json(&r.stats)
+            ),
+        )
+    } else if parsed.has_flag("csv") {
         w(out, format_args!("size,throughput,distribution\n"))?;
         for p in r.pareto.points() {
             w(
@@ -458,11 +535,10 @@ pub fn csdf_explore(parsed: &ParsedArgs, out: Out<'_>) -> Result<(), String> {
         w(
             out,
             format_args!(
-                "{} Pareto points; maximal throughput {}; {} analyses, {} cache hits\n",
+                "{} Pareto points; maximal throughput {}; {}\n",
                 r.pareto.len(),
                 r.max_throughput,
-                r.evaluations,
-                r.cache_hits
+                r.stats
             ),
         )
     }

@@ -12,6 +12,7 @@
 
 mod args;
 mod commands;
+mod observe;
 
 pub use args::{parse, parse_dist, ParsedArgs};
 
@@ -38,13 +39,23 @@ COMMANDS:
                                       throughput of one storage distribution
                                       (default: per-channel lower bounds)
     explore <graph.xml> [--algorithm guided|exhaustive] [--actor NAME]
-            [--quantum R] [--max-size N] [--threads N] [--csv]
+            [--quantum R] [--max-size N] [--threads N] [--csv] [--json]
+            [--progress] [--trace-json FILE]
                                       chart the Pareto space; CSDF inputs
                                       (type=\"csdf\") are routed through the
-                                      cyclo-static explorer automatically
-    constraint <graph.xml> --throughput R [--actor NAME]
+                                      cyclo-static explorer automatically;
+                                      --threads 0 auto-detects the core
+                                      count, --json adds the evaluation
+                                      statistics to a machine-readable
+                                      report, --progress reports phases and
+                                      counts on stderr and --trace-json
+                                      streams one JSON object per
+                                      evaluation/cache-hit/pareto event
+    constraint <graph.xml> --throughput R [--actor NAME] [--json]
+               [--progress] [--trace-json FILE]
                                       minimal storage meeting a throughput
-                                      constraint
+                                      constraint (with evaluation
+                                      statistics)
     schedule <graph.xml> --dist 4,2 [--horizon N]
                                       extract and print the self-timed schedule
     convert <graph.xml> --to dot|xml  re-serialize the graph
@@ -58,12 +69,14 @@ COMMANDS:
                                       throughput of a CSDF graph under one
                                       storage distribution
     csdf-explore <graph.xml> [--actor NAME] [--max-size N] [--threads N]
-                 [--quantum R] [--csv]
+                 [--quantum R] [--csv] [--json] [--progress]
+                 [--trace-json FILE]
                                       Pareto space of a CSDF graph;
                                       --threads parallelizes the analyses
-                                      and --quantum coarsens the searched
-                                      throughputs (reported with evaluator
-                                      cache statistics)
+                                      (0 = auto-detect) and --quantum
+                                      coarsens the searched throughputs
+                                      (reported with evaluator cache
+                                      statistics)
     help                              show this message
 
 analyze, explore, constraint, csdf-analyze and csdf-explore refuse models
@@ -407,6 +420,81 @@ mod tests {
         let (code, text) = run_to_string(&["explore", "g.xml", "--maxx-states", "100"]);
         assert_eq!(code, 1);
         assert!(text.contains("--maxx-states"), "{text}");
+        // Misspelling an observability option is rejected the same way —
+        // not silently treated as a positional argument.
+        let (code, text) = run_to_string(&["explore", "g.xml", "--trace-jsonl", "t.jsonl"]);
+        assert_eq!(code, 1);
+        assert!(text.contains("--trace-jsonl"), "{text}");
+    }
+
+    #[test]
+    fn explore_emits_stats_and_trace() {
+        let (_, xml) = run_to_string(&["gallery", "example"]);
+        let path = std::env::temp_dir().join("buffy-cli-test-observe.xml");
+        std::fs::write(&path, &xml).unwrap();
+        let p = path.to_str().unwrap();
+        let trace = std::env::temp_dir().join("buffy-cli-test-observe-trace.jsonl");
+        let t = trace.to_str().unwrap();
+
+        // --json carries the statistics in machine-readable form.
+        let (code, text) = run_to_string(&[
+            "explore",
+            p,
+            "--algorithm",
+            "exhaustive",
+            "--json",
+            "--trace-json",
+            t,
+            "--threads",
+            "0",
+        ]);
+        assert_eq!(code, 0, "{text}");
+        assert!(text.contains("\"stats\":{\"evaluations\":"), "{text}");
+        assert!(text.contains("\"pareto\":[{\"size\":6,"), "{text}");
+
+        // The trace is JSON-lines covering all three event kinds.
+        let trace_text = std::fs::read_to_string(&trace).unwrap();
+        assert!(
+            trace_text.contains("\"event\":\"evaluation\""),
+            "{trace_text}"
+        );
+        assert!(
+            trace_text.contains("\"event\":\"cache-hit\""),
+            "{trace_text}"
+        );
+        assert!(trace_text.contains("\"event\":\"pareto\""), "{trace_text}");
+        assert!(trace_text.contains("\"event\":\"phase\""), "{trace_text}");
+        for line in trace_text.lines() {
+            assert!(line.starts_with('{') && line.ends_with('}'), "{line}");
+        }
+
+        // constraint and csdf-explore report the statistics too.
+        let (code, text) = run_to_string(&["constraint", p, "--throughput", "1/6", "--json"]);
+        assert_eq!(code, 0, "{text}");
+        assert!(text.contains("\"point\":{\"size\":8,"), "{text}");
+        assert!(text.contains("\"stats\":{\"evaluations\":"), "{text}");
+        let (code, text) = run_to_string(&["constraint", p, "--throughput", "1/6"]);
+        assert_eq!(code, 0, "{text}");
+        assert!(text.contains("cache hits"), "{text}");
+
+        std::fs::remove_file(&path).ok();
+        std::fs::remove_file(&trace).ok();
+    }
+
+    #[test]
+    fn uncreatable_trace_path_fails_cleanly() {
+        let (_, xml) = run_to_string(&["gallery", "example"]);
+        let path = std::env::temp_dir().join("buffy-cli-test-badtrace.xml");
+        std::fs::write(&path, &xml).unwrap();
+        let (code, text) = run_to_string(&[
+            "explore",
+            path.to_str().unwrap(),
+            "--trace-json",
+            "/nonexistent-dir/trace.jsonl",
+        ]);
+        assert_eq!(code, 1, "{text}");
+        assert!(text.contains("cannot create trace file"), "{text}");
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

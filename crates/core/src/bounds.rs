@@ -103,13 +103,24 @@ pub fn upper_bound_distribution_for<M: DataflowSemantics>(
     observed: ActorId,
     limits: ExplorationLimits,
 ) -> Result<(StorageDistribution, Rational), ExploreError> {
-    let q = model.repetition_cycles()?;
-    let thr_max = model.maximal_throughput(observed)?;
-
-    let eval = |dist: &StorageDistribution| -> Result<Rational, ExploreError> {
+    upper_bound_distribution_with(model, observed, &|dist| {
         let r = throughput_for(model, Capacities::from_distribution(dist), observed, limits)?;
         Ok(r.throughput)
-    };
+    })
+}
+
+/// [`upper_bound_distribution_for`] with the throughput probes routed
+/// through a caller-supplied evaluation function — the exploration drivers
+/// pass their memoized [`crate::explore::Evaluator`] so that bound probes
+/// are cached, counted in the [`crate::ExplorationStats`] and reported to
+/// the [`crate::ExploreObserver`].
+pub(crate) fn upper_bound_distribution_with<M: DataflowSemantics>(
+    model: &M,
+    observed: ActorId,
+    eval: &dyn Fn(&StorageDistribution) -> Result<Rational, ExploreError>,
+) -> Result<(StorageDistribution, Rational), ExploreError> {
+    let q = model.repetition_cycles()?;
+    let thr_max = model.maximal_throughput(observed)?;
 
     // Start from a heuristic: room for one full iteration of productions
     // and consumptions plus initial tokens, at least the lower bound.

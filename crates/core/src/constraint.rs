@@ -7,11 +7,12 @@
 //! size dimension, deciding each size with an early-exit enumeration
 //! (paper §9).
 
-use crate::bounds::upper_bound_distribution_for;
+use crate::bounds::upper_bound_distribution_with;
 use crate::enumerate::DistributionSpace;
 use crate::error::ExploreError;
 use crate::explore::{Evaluator, ExploreOptions};
 use crate::pareto::ParetoPoint;
+use crate::runtime::{ExplorationStats, ExploreObserver, NoopObserver, SearchPhase};
 use buffy_analysis::DataflowSemantics;
 use buffy_graph::{Rational, SdfGraph};
 use std::ops::ControlFlow;
@@ -72,6 +73,23 @@ pub fn min_storage_for_throughput_for<M: DataflowSemantics + Sync>(
     constraint: Rational,
     options: &ExploreOptions,
 ) -> Result<ParetoPoint, ExploreError> {
+    min_storage_for_throughput_observed(model, constraint, options, &NoopObserver)
+        .map(|(point, _stats)| point)
+}
+
+/// [`min_storage_for_throughput_for`] with a structured [`ExploreObserver`]
+/// receiving evaluation, cache-hit and phase events; also returns the
+/// search's [`ExplorationStats`].
+///
+/// # Errors
+///
+/// See [`min_storage_for_throughput`].
+pub fn min_storage_for_throughput_observed<M: DataflowSemantics + Sync>(
+    model: &M,
+    constraint: Rational,
+    options: &ExploreOptions,
+    observer: &dyn ExploreObserver,
+) -> Result<(ParetoPoint, ExplorationStats), ExploreError> {
     assert!(
         constraint > Rational::ZERO,
         "throughput constraint must be positive"
@@ -83,15 +101,16 @@ pub fn min_storage_for_throughput_for<M: DataflowSemantics + Sync>(
     if let Some(caps) = &options.max_channel_caps {
         space = space.with_max_capacities(caps);
     }
-    let (ub_dist, thr_max) = upper_bound_distribution_for(model, observed, options.limits)?;
+    let eval = Evaluator::new(model, observed, options.limits, options.threads, observer);
+    observer.phase_started(SearchPhase::Bounds);
+    let (ub_dist, thr_max) = upper_bound_distribution_with(model, observed, &|d| eval.eval(d))?;
     if constraint > thr_max {
         return Err(ExploreError::InfeasibleThroughput {
             requested: constraint.to_string(),
             maximal: thr_max.to_string(),
         });
     }
-
-    let eval = Evaluator::new(model, observed, options.limits, options.threads);
+    observer.phase_started(SearchPhase::ConstraintSearch);
 
     // Decide "size S meets the constraint" with early exit; remember the
     // best witness per feasible size.
@@ -121,7 +140,10 @@ pub fn min_storage_for_throughput_for<M: DataflowSemantics + Sync>(
     // the largest admissible size must be established first.
     let lo = space.min_size();
     let mut best = match (decide(lo)?, &options.max_channel_caps) {
-        (Some(p), _) => return Ok(p),
+        (Some(p), _) => {
+            observer.pareto_accepted(&p);
+            return Ok((p, eval.stats()));
+        }
         (None, None) => ParetoPoint::new(ub_dist, thr_max),
         (None, Some(caps)) => {
             let top = ub_dist.size().max(lo).min(caps.size());
@@ -155,7 +177,8 @@ pub fn min_storage_for_throughput_for<M: DataflowSemantics + Sync>(
             None => lo_i = mid + 1,
         }
     }
-    Ok(best)
+    observer.pareto_accepted(&best);
+    Ok((best, eval.stats()))
 }
 
 #[cfg(test)]
@@ -204,6 +227,21 @@ mod tests {
     fn zero_constraint_panics() {
         let g = example();
         let _ = min_storage_for_throughput(&g, Rational::ZERO, &ExploreOptions::default());
+    }
+
+    #[test]
+    fn observed_variant_reports_stats() {
+        let g = example();
+        let (p, stats) = min_storage_for_throughput_observed(
+            &g,
+            Rational::new(1, 6),
+            &ExploreOptions::default(),
+            &NoopObserver,
+        )
+        .unwrap();
+        assert_eq!(p.size, 8);
+        assert!(stats.evaluations > 0);
+        assert!(stats.max_states > 0);
     }
 
     #[test]

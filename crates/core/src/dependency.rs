@@ -18,15 +18,19 @@
 //! refined causal-dependency notion with a completeness proof is
 //! follow-up work by the same authors and out of scope of the 2006 paper.
 
-use crate::bounds::upper_bound_distribution_for;
+use crate::bounds::upper_bound_distribution_with;
 use crate::enumerate::DistributionSpace;
 use crate::error::ExploreError;
 use crate::explore::{ExplorationResult, ExploreOptions};
 use crate::pareto::{ParetoPoint, ParetoSet};
-use buffy_analysis::{throughput_with_dependencies_for, DataflowSemantics};
+use crate::runtime::{AtomicStats, ExploreObserver, NoopObserver, SearchPhase};
+use buffy_analysis::{
+    throughput_for, throughput_with_dependencies_for, Capacities, DataflowSemantics,
+};
 use buffy_graph::{ChannelId, Rational, SdfGraph, StorageDistribution};
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashSet};
+use std::time::Instant;
 
 /// Explores the design space by growing storage-dependent channels only.
 ///
@@ -76,13 +80,45 @@ pub fn explore_dependency_guided_for<M: DataflowSemantics>(
     model: &M,
     options: &ExploreOptions,
 ) -> Result<ExplorationResult, ExploreError> {
+    explore_dependency_guided_observed(model, options, &NoopObserver)
+}
+
+/// [`explore_dependency_guided_for`] with a structured [`ExploreObserver`]
+/// receiving evaluation, Pareto-accept and phase events as the guided
+/// frontier is consumed.
+///
+/// # Errors
+///
+/// Same as [`explore_design_space`](crate::explore_design_space).
+pub fn explore_dependency_guided_observed<M: DataflowSemantics>(
+    model: &M,
+    options: &ExploreOptions,
+    observer: &dyn ExploreObserver,
+) -> Result<ExplorationResult, ExploreError> {
     let observed = options
         .observed
         .unwrap_or_else(|| model.default_observed_actor());
     let space = DistributionSpace::for_model(model);
     let lb_size = space.min_size();
 
-    let (ub_dist, thr_max_graph) = upper_bound_distribution_for(model, observed, options.limits)?;
+    let stats = AtomicStats::new();
+    // Bound probes run the plain throughput analysis (no dependency
+    // tracking) but are still timed, counted and observed.
+    observer.phase_started(SearchPhase::Bounds);
+    let (ub_dist, thr_max_graph) = upper_bound_distribution_with(model, observed, &|d| {
+        observer.evaluation_started(d);
+        let start = Instant::now();
+        let r = throughput_for(
+            model,
+            Capacities::from_distribution(d),
+            observed,
+            options.limits,
+        )?;
+        let nanos = start.elapsed().as_nanos() as u64;
+        stats.record_evaluation(r.states_stored as u64, nanos);
+        observer.evaluation_finished(d, r.throughput, r.states_stored as u64, nanos);
+        Ok(r.throughput)
+    })?;
     let ub_size = options
         .max_size
         .unwrap_or_else(|| ub_dist.size())
@@ -96,6 +132,7 @@ pub fn explore_dependency_guided_for<M: DataflowSemantics>(
         .map(|i| model.channel_step(ChannelId::new(i)))
         .collect();
 
+    observer.phase_started(SearchPhase::GuidedSearch);
     let mut pareto = ParetoSet::new();
     let mut seen: HashSet<StorageDistribution> = HashSet::new();
     let mut frontier: BinaryHeap<Reverse<(u64, StorageDistribution)>> = BinaryHeap::new();
@@ -103,19 +140,28 @@ pub fn explore_dependency_guided_for<M: DataflowSemantics>(
     seen.insert(start.clone());
     frontier.push(Reverse((start.size(), start)));
 
-    let mut evaluations = 0usize;
-    let mut max_states = 0usize;
     let mut found_positive = false;
 
     while let Some(Reverse((size, dist))) = frontier.pop() {
+        observer.evaluation_started(&dist);
+        let eval_start = Instant::now();
         let r = throughput_with_dependencies_for(model, &dist, observed, options.limits)?;
-        evaluations += 1;
-        max_states = max_states.max(r.report.states_stored);
+        let nanos = eval_start.elapsed().as_nanos() as u64;
+        stats.record_evaluation(r.report.states_stored as u64, nanos);
+        observer.evaluation_finished(
+            &dist,
+            r.report.throughput,
+            r.report.states_stored as u64,
+            nanos,
+        );
 
         let thr = r.report.throughput;
         if !thr.is_zero() {
             found_positive = true;
-            pareto.insert(ParetoPoint::new(dist.clone(), thr));
+            let p = ParetoPoint::new(dist.clone(), thr);
+            if pareto.insert(p.clone()) {
+                observer.pareto_accepted(&p);
+            }
             if thr >= thr_cap {
                 continue; // growing further cannot be Pareto-optimal
             }
@@ -168,16 +214,14 @@ pub fn explore_dependency_guided_for<M: DataflowSemantics>(
         pareto = thinned;
     }
 
+    // The guided search never revisits a distribution (the `seen` set
+    // dedups the frontier), so its cache-hit count is genuinely zero.
     Ok(ExplorationResult {
         pareto,
         max_throughput: thr_max_graph,
         lower_bound_size: lb_size,
         upper_bound_size: ub_size,
-        evaluations,
-        // The guided search never revisits a distribution (the `seen` set
-        // dedups the frontier), so there is nothing to memoize.
-        cache_hits: 0,
-        max_states,
+        stats: stats.snapshot(),
     })
 }
 
@@ -212,10 +256,10 @@ mod tests {
         assert_eq!(front(&exhaustive), front(&guided));
         // And the guided search should not evaluate more points.
         assert!(
-            guided.evaluations <= exhaustive.evaluations,
+            guided.stats.evaluations <= exhaustive.stats.evaluations,
             "guided {} vs exhaustive {}",
-            guided.evaluations,
-            exhaustive.evaluations
+            guided.stats.evaluations,
+            exhaustive.stats.evaluations
         );
     }
 

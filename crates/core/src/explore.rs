@@ -17,20 +17,34 @@
 //! - optional *throughput quantization* (the paper's remedy for the H.263
 //!   decoder's many Pareto points) and optional multi-threaded evaluation.
 //!
+//! Candidate evaluations run through the exploration runtime
+//! ([`crate::runtime`]): a sharded memo cache, atomic statistics
+//! ([`ExplorationStats`]) and a structured [`ExploreObserver`] event
+//! stream. Candidates are consumed in fixed-size chunks regardless of the
+//! thread count, so the set of evaluated distributions — and every
+//! reported statistic — is identical whether the search runs on one
+//! thread or many.
+//!
 //! The driver is written once against [`DataflowSemantics`]
 //! ([`explore_design_space_for`]); [`explore_design_space`] is the
 //! SDF-typed entry point and `buffy-csdf` instantiates the same driver for
-//! cyclo-static graphs.
+//! cyclo-static graphs. The `_observed` variants take an
+//! [`ExploreObserver`] for progress reporting and tracing.
 
-use crate::bounds::upper_bound_distribution_for;
+use crate::bounds::upper_bound_distribution_with;
 use crate::enumerate::DistributionSpace;
 use crate::error::ExploreError;
 use crate::pareto::{ParetoPoint, ParetoSet};
+use crate::runtime::{
+    resolve_threads, AtomicStats, ExplorationStats, ExploreObserver, NoopObserver, SearchPhase,
+    ShardedCache, EVAL_CHUNK,
+};
 use buffy_analysis::{throughput_for, Capacities, DataflowSemantics, ExplorationLimits};
 use buffy_graph::{ActorId, Rational, SdfGraph, StorageDistribution};
-use std::collections::HashMap;
 use std::ops::ControlFlow;
-use std::sync::Mutex;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
+use std::time::Instant;
 
 /// Options controlling the design-space exploration.
 #[derive(Debug, Clone)]
@@ -51,8 +65,10 @@ pub struct ExploreOptions {
     pub quantum: Option<Rational>,
     /// Per-analysis state-space limits.
     pub limits: ExplorationLimits,
-    /// Worker threads for evaluating candidate distributions (1 =
-    /// sequential).
+    /// Worker threads for evaluating candidate distributions: 1 =
+    /// sequential, 0 = auto-detect via
+    /// [`std::thread::available_parallelism`]. The reported
+    /// [`ExplorationStats`] are identical for every thread count.
     pub threads: usize,
     /// Per-channel capacity ceilings (paper §8: distributed memories
     /// impose "extra constraints on the channel capacities"). Channels
@@ -87,112 +103,106 @@ pub struct ExplorationResult {
     pub lower_bound_size: u64,
     /// Size of the computed maximal-throughput distribution (`ub`, Fig. 7).
     pub upper_bound_size: u64,
-    /// Number of throughput analyses performed (cache misses).
-    pub evaluations: usize,
-    /// Number of evaluation requests answered from the memo cache without
-    /// re-running the analysis.
-    pub cache_hits: usize,
-    /// Largest reduced state space stored in any single analysis (the
-    /// paper's "maximum #states" of Table 2).
-    pub max_states: usize,
+    /// Evaluation statistics: analyses run, cache hits, largest state
+    /// space, analysis wall time.
+    pub stats: ExplorationStats,
 }
 
 /// Shared evaluation engine with memoization and statistics, generic over
 /// the model class.
-pub(crate) struct Evaluator<'g, M: DataflowSemantics + Sync> {
-    model: &'g M,
+///
+/// The memo cache is sharded ([`ShardedCache`]) and all counters are
+/// atomics ([`AtomicStats`]): concurrent workers never serialize on a
+/// whole-cache lock, and the only mutex footprint on the hot path is the
+/// per-shard lock guarding an individual `HashMap`.
+pub(crate) struct Evaluator<'a, M: DataflowSemantics + Sync> {
+    model: &'a M,
     observed: ActorId,
     limits: ExplorationLimits,
-    cache: Mutex<HashMap<StorageDistribution, Rational>>,
-    evaluations: Mutex<usize>,
-    cache_hits: Mutex<usize>,
-    max_states: Mutex<usize>,
+    cache: ShardedCache<StorageDistribution, Rational>,
+    stats: AtomicStats,
     threads: usize,
+    observer: &'a dyn ExploreObserver,
 }
 
-impl<'g, M: DataflowSemantics + Sync> Evaluator<'g, M> {
+impl<'a, M: DataflowSemantics + Sync> Evaluator<'a, M> {
     pub(crate) fn new(
-        model: &'g M,
+        model: &'a M,
         observed: ActorId,
         limits: ExplorationLimits,
         threads: usize,
-    ) -> Evaluator<'g, M> {
+        observer: &'a dyn ExploreObserver,
+    ) -> Evaluator<'a, M> {
         Evaluator {
             model,
             observed,
             limits,
-            cache: Mutex::new(HashMap::new()),
-            evaluations: Mutex::new(0),
-            cache_hits: Mutex::new(0),
-            max_states: Mutex::new(0),
-            threads: threads.max(1),
+            cache: ShardedCache::new(),
+            stats: AtomicStats::new(),
+            threads: resolve_threads(threads),
+            observer,
         }
     }
 
     /// Memoized throughput of one distribution.
     pub(crate) fn eval(&self, dist: &StorageDistribution) -> Result<Rational, ExploreError> {
-        if let Some(&t) = self.cache.lock().unwrap().get(dist) {
-            *self.cache_hits.lock().unwrap() += 1;
+        if let Some(t) = self.cache.get(dist) {
+            self.stats.record_cache_hit();
+            self.observer.cache_hit(dist);
             return Ok(t);
         }
+        self.observer.evaluation_started(dist);
+        let start = Instant::now();
         let report = throughput_for(
             self.model,
             Capacities::from_distribution(dist),
             self.observed,
             self.limits,
         )?;
-        *self.evaluations.lock().unwrap() += 1;
-        let mut ms = self.max_states.lock().unwrap();
-        *ms = (*ms).max(report.states_stored);
-        drop(ms);
-        self.cache
-            .lock()
-            .unwrap()
-            .insert(dist.clone(), report.throughput);
+        let nanos = start.elapsed().as_nanos() as u64;
+        let states = report.states_stored as u64;
+        self.stats.record_evaluation(states, nanos);
+        self.cache.insert(dist.clone(), report.throughput);
+        self.observer
+            .evaluation_finished(dist, report.throughput, states, nanos);
         Ok(report.throughput)
     }
 
     /// Evaluates a batch of distributions, possibly in parallel. Results
     /// align with the input order.
+    ///
+    /// Work is handed out through an atomic index; results land in
+    /// per-slot [`OnceLock`]s, so workers share no locks at all. Batches
+    /// always contain distinct distributions (they come from one
+    /// enumeration pass), so no two workers ever analyse the same
+    /// distribution concurrently and the evaluation count stays exact.
     fn eval_batch(&self, batch: &[StorageDistribution]) -> Result<Vec<Rational>, ExploreError> {
         if self.threads <= 1 || batch.len() <= 1 {
             return batch.iter().map(|d| self.eval(d)).collect();
         }
-        let results: Mutex<Vec<Option<Result<Rational, ExploreError>>>> =
-            Mutex::new(vec![None; batch.len()]);
-        let next: Mutex<usize> = Mutex::new(0);
+        let results: Vec<OnceLock<Result<Rational, ExploreError>>> =
+            batch.iter().map(|_| OnceLock::new()).collect();
+        let next = AtomicUsize::new(0);
         std::thread::scope(|scope| {
             for _ in 0..self.threads.min(batch.len()) {
                 scope.spawn(|| loop {
-                    let i = {
-                        let mut n = next.lock().unwrap();
-                        if *n >= batch.len() {
-                            return;
-                        }
-                        let i = *n;
-                        *n += 1;
-                        i
-                    };
-                    let r = self.eval(&batch[i]);
-                    results.lock().unwrap()[i] = Some(r);
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= batch.len() {
+                        return;
+                    }
+                    let _ = results[i].set(self.eval(&batch[i]));
                 });
             }
         });
         results
-            .into_inner()
-            .unwrap()
             .into_iter()
-            .map(|r| r.expect("every index evaluated"))
+            .map(|slot| slot.into_inner().expect("every index evaluated"))
             .collect()
     }
 
-    /// `(analyses run, cache hits, largest state space)`.
-    fn stats(&self) -> (usize, usize, usize) {
-        (
-            *self.evaluations.lock().unwrap(),
-            *self.cache_hits.lock().unwrap(),
-            *self.max_states.lock().unwrap(),
-        )
+    /// Snapshot of the run's statistics.
+    pub(crate) fn stats(&self) -> ExplorationStats {
+        self.stats.snapshot()
     }
 }
 
@@ -209,6 +219,11 @@ fn q(t: Rational, quantum: Option<Rational>) -> Rational {
 /// Returns the best (quantized value, exact value, witness); the witness is
 /// `None` when no grid distribution of that size exists or none terminates
 /// positively.
+///
+/// Candidates are consumed in chunks of exactly [`EVAL_CHUNK`] with the
+/// early exit checked at chunk boundaries — for every thread count,
+/// including sequential runs, so the evaluated set (and with it the
+/// statistics) does not depend on `threads`.
 fn max_throughput_for_size<M: DataflowSemantics + Sync>(
     eval: &Evaluator<'_, M>,
     space: &DistributionSpace,
@@ -221,64 +236,40 @@ fn max_throughput_for_size<M: DataflowSemantics + Sync>(
     let mut witness: Option<StorageDistribution> = None;
     let mut error: Option<ExploreError> = None;
 
-    if eval.threads <= 1 {
-        space.for_each_of_size(size, |d| match eval.eval(&d) {
-            Ok(t) => {
-                if t > best {
-                    best = t;
-                    best_q = q(t, quantum);
-                    witness = Some(d);
-                }
-                if best_q >= ceiling_q {
+    let mut buffer: Vec<StorageDistribution> = Vec::with_capacity(EVAL_CHUNK);
+    let process = |buf: &mut Vec<StorageDistribution>,
+                   best: &mut Rational,
+                   best_q: &mut Rational,
+                   witness: &mut Option<StorageDistribution>|
+     -> Result<bool, ExploreError> {
+        let results = eval.eval_batch(buf)?;
+        for (d, t) in buf.drain(..).zip(results) {
+            if t > *best {
+                *best = t;
+                *best_q = q(t, quantum);
+                *witness = Some(d);
+            }
+        }
+        Ok(*best_q >= ceiling_q)
+    };
+    space.for_each_of_size(size, |d| {
+        buffer.push(d);
+        if buffer.len() >= EVAL_CHUNK {
+            match process(&mut buffer, &mut best, &mut best_q, &mut witness) {
+                Ok(true) => ControlFlow::Break(()),
+                Ok(false) => ControlFlow::Continue(()),
+                Err(e) => {
+                    error = Some(e);
                     ControlFlow::Break(())
-                } else {
-                    ControlFlow::Continue(())
                 }
             }
-            Err(e) => {
-                error = Some(e);
-                ControlFlow::Break(())
-            }
-        });
-    } else {
-        // Chunked parallel evaluation preserving the early exit between
-        // chunks.
-        let chunk = eval.threads * 4;
-        let mut buffer: Vec<StorageDistribution> = Vec::with_capacity(chunk);
-        let process = |buf: &mut Vec<StorageDistribution>,
-                       best: &mut Rational,
-                       best_q: &mut Rational,
-                       witness: &mut Option<StorageDistribution>|
-         -> Result<bool, ExploreError> {
-            let results = eval.eval_batch(buf)?;
-            for (d, t) in buf.drain(..).zip(results) {
-                if t > *best {
-                    *best = t;
-                    *best_q = q(t, quantum);
-                    *witness = Some(d);
-                }
-            }
-            Ok(*best_q >= ceiling_q)
-        };
-        space.for_each_of_size(size, |d| {
-            buffer.push(d);
-            if buffer.len() >= chunk {
-                match process(&mut buffer, &mut best, &mut best_q, &mut witness) {
-                    Ok(true) => ControlFlow::Break(()),
-                    Ok(false) => ControlFlow::Continue(()),
-                    Err(e) => {
-                        error = Some(e);
-                        ControlFlow::Break(())
-                    }
-                }
-            } else {
-                ControlFlow::Continue(())
-            }
-        });
-        if error.is_none() && !buffer.is_empty() {
-            if let Err(e) = process(&mut buffer, &mut best, &mut best_q, &mut witness) {
-                error = Some(e);
-            }
+        } else {
+            ControlFlow::Continue(())
+        }
+    });
+    if error.is_none() && !buffer.is_empty() {
+        if let Err(e) = process(&mut buffer, &mut best, &mut best_q, &mut witness) {
+            error = Some(e);
         }
     }
 
@@ -371,18 +362,44 @@ pub fn explore_design_space_for<M: DataflowSemantics + Sync>(
     model: &M,
     options: &ExploreOptions,
 ) -> Result<ExplorationResult, ExploreError> {
+    explore_design_space_observed(model, options, &NoopObserver)
+}
+
+/// [`explore_design_space_for`] with a structured [`ExploreObserver`]
+/// receiving evaluation, cache-hit, Pareto-accept and phase-transition
+/// events as the search runs.
+///
+/// # Errors
+///
+/// See [`explore_design_space`].
+pub fn explore_design_space_observed<M: DataflowSemantics + Sync>(
+    model: &M,
+    options: &ExploreOptions,
+    observer: &dyn ExploreObserver,
+) -> Result<ExplorationResult, ExploreError> {
     let observed = options
         .observed
         .unwrap_or_else(|| model.default_observed_actor());
-    let eval = Evaluator::new(model, observed, options.limits, options.threads);
+    let eval = Evaluator::new(model, observed, options.limits, options.threads, observer);
     let mut space = DistributionSpace::for_model(model);
     if let Some(caps) = &options.max_channel_caps {
         space = space.with_max_capacities(caps);
     }
 
-    // Bounds of the size dimension (paper §8, Fig. 7).
+    // Accept a witness into the front, reporting genuinely new points.
+    let accept = |pareto: &mut ParetoSet, w: StorageDistribution, t: Rational| {
+        let p = ParetoPoint::new(w, t);
+        if pareto.insert(p.clone()) {
+            observer.pareto_accepted(&p);
+        }
+    };
+
+    // Bounds of the size dimension (paper §8, Fig. 7). The probes run
+    // through the shared evaluator: memoized, counted, observed.
+    observer.phase_started(SearchPhase::Bounds);
     let lb_size = space.min_size();
-    let (ub_dist, thr_max_graph) = upper_bound_distribution_for(model, observed, options.limits)?;
+    let (ub_dist, thr_max_graph) =
+        upper_bound_distribution_with(model, observed, &|d| eval.eval(d))?;
     let mut ub_size = options
         .max_size
         .unwrap_or_else(|| ub_dist.size())
@@ -414,6 +431,7 @@ pub fn explore_design_space_for<M: DataflowSemantics + Sync>(
     // Smallest size with positive throughput (binary search on the
     // monotone predicate; the combined lower bound may still deadlock —
     // the paper's Fig. 6 discussion).
+    observer.phase_started(SearchPhase::MinimalSize);
     let mut lo = 0;
     let mut hi = sizes.len() - 1;
     if !has_positive(&eval, &space, largest)? {
@@ -435,6 +453,7 @@ pub fn explore_design_space_for<M: DataflowSemantics + Sync>(
     let min_positive = hi;
     let last = sizes.len() - 1;
 
+    observer.phase_started(SearchPhase::FrontSearch);
     let mut pareto = ParetoSet::new();
 
     // Left end of the front.
@@ -446,7 +465,7 @@ pub fn explore_design_space_for<M: DataflowSemantics + Sync>(
         options.quantum,
     )?;
     if let Some(w) = left_witness {
-        pareto.insert(ParetoPoint::new(w, left_exact));
+        accept(&mut pareto, w, left_exact);
     }
 
     // Right end: the maximal throughput is reached at the largest
@@ -457,7 +476,7 @@ pub fn explore_design_space_for<M: DataflowSemantics + Sync>(
         (left_q, left_exact, None)
     };
     if let Some(w) = right_witness {
-        pareto.insert(ParetoPoint::new(w, right_exact));
+        accept(&mut pareto, w, right_exact);
     }
 
     // Divide and conquer over the realizable-size indices.
@@ -473,7 +492,7 @@ pub fn explore_design_space_for<M: DataflowSemantics + Sync>(
         let (mid_q, mid_exact, mid_witness) =
             max_throughput_for_size(&eval, &space, sizes[mid], hi_q, options.quantum)?;
         if let Some(w) = mid_witness {
-            pareto.insert(ParetoPoint::new(w, mid_exact));
+            accept(&mut pareto, w, mid_exact);
         }
         stack.push((lo_i, lo_q, mid, mid_q));
         stack.push((mid, mid_q, hi_i, hi_q));
@@ -505,15 +524,12 @@ pub fn explore_design_space_for<M: DataflowSemantics + Sync>(
         pareto = thinned;
     }
 
-    let (evaluations, cache_hits, max_states) = eval.stats();
     Ok(ExplorationResult {
         pareto,
         max_throughput: thr_max_graph,
         lower_bound_size: lb_size,
         upper_bound_size: ub_size,
-        evaluations,
-        cache_hits,
-        max_states,
+        stats: eval.stats(),
     })
 }
 
@@ -554,8 +570,8 @@ mod tests {
         assert_eq!(r.lower_bound_size, 6);
         assert!(r.upper_bound_size >= 10);
         assert_eq!(r.max_throughput, Rational::new(1, 4));
-        assert!(r.evaluations > 0);
-        assert!(r.max_states > 0);
+        assert!(r.stats.evaluations > 0);
+        assert!(r.stats.max_states > 0);
         // The minimal positive-throughput point is the paper's ⟨4, 2⟩.
         assert_eq!(r.pareto.minimal().unwrap().distribution.as_slice(), &[4, 2]);
     }
@@ -567,7 +583,12 @@ mod tests {
         // (evaluations) stay strictly below total requests.
         let g = example();
         let r = explore_design_space(&g, &ExploreOptions::default()).unwrap();
-        assert!(r.cache_hits > 0, "exploration should revisit distributions");
+        assert!(
+            r.stats.cache_hits > 0,
+            "exploration should revisit distributions"
+        );
+        assert!(r.stats.cache_hit_rate() > 0.0);
+        assert!(r.stats.eval_nanos > 0);
     }
 
     #[test]
@@ -590,6 +611,74 @@ mod tests {
                 .collect::<Vec<_>>()
         };
         assert_eq!(f(&seq), f(&par));
+        // The statistics are deterministic across thread counts: the
+        // chunked evaluation requests exactly the same distributions.
+        assert_eq!(seq.stats, par.stats);
+    }
+
+    #[test]
+    fn zero_threads_auto_detects() {
+        let g = example();
+        let auto = explore_design_space(
+            &g,
+            &ExploreOptions {
+                threads: 0,
+                ..ExploreOptions::default()
+            },
+        )
+        .unwrap();
+        let seq = explore_design_space(&g, &ExploreOptions::default()).unwrap();
+        assert_eq!(seq.pareto, auto.pareto);
+        assert_eq!(seq.stats, auto.stats);
+    }
+
+    #[test]
+    fn observer_sees_evaluations_and_pareto_points() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+
+        #[derive(Default)]
+        struct Counting {
+            evals: AtomicU64,
+            finished: AtomicU64,
+            hits: AtomicU64,
+            accepted: AtomicU64,
+            phases: AtomicU64,
+        }
+        impl ExploreObserver for Counting {
+            fn phase_started(&self, _phase: SearchPhase) {
+                self.phases.fetch_add(1, Ordering::Relaxed);
+            }
+            fn evaluation_started(&self, _dist: &StorageDistribution) {
+                self.evals.fetch_add(1, Ordering::Relaxed);
+            }
+            fn evaluation_finished(
+                &self,
+                _dist: &StorageDistribution,
+                _throughput: Rational,
+                _states: u64,
+                _nanos: u64,
+            ) {
+                self.finished.fetch_add(1, Ordering::Relaxed);
+            }
+            fn cache_hit(&self, _dist: &StorageDistribution) {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+            }
+            fn pareto_accepted(&self, _point: &ParetoPoint) {
+                self.accepted.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+
+        let g = example();
+        let obs = Counting::default();
+        let r = explore_design_space_observed(&g, &ExploreOptions::default(), &obs).unwrap();
+        // Observer totals match the reported statistics exactly.
+        assert_eq!(obs.evals.load(Ordering::Relaxed), r.stats.evaluations);
+        assert_eq!(obs.finished.load(Ordering::Relaxed), r.stats.evaluations);
+        assert_eq!(obs.hits.load(Ordering::Relaxed), r.stats.cache_hits);
+        // Every front point was announced (evicted points may add more).
+        assert!(obs.accepted.load(Ordering::Relaxed) >= r.pareto.len() as u64);
+        // Bounds, minimal-size and front-search phases at least.
+        assert!(obs.phases.load(Ordering::Relaxed) >= 3);
     }
 
     #[test]

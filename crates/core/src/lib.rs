@@ -16,7 +16,11 @@
 //!   the paper's conclusions call for (§12);
 //! - [`min_storage_for_throughput`]: the headline question — minimal
 //!   storage meeting a given throughput constraint;
-//! - [`ParetoSet`] / [`ParetoPoint`]: the resulting front (Figs. 5, 13).
+//! - [`ParetoSet`] / [`ParetoPoint`]: the resulting front (Figs. 5, 13);
+//! - [`ExplorationStats`] / [`ExploreObserver`]: the exploration runtime's
+//!   unified statistics and structured event stream — the `_observed`
+//!   entry points stream evaluation, cache-hit, Pareto-accept and
+//!   search-phase events while a search runs.
 //!
 //! Every driver is written once against the unified kernel's
 //! [`DataflowSemantics`](buffy_analysis::DataflowSemantics) trait — the
@@ -63,19 +67,26 @@ mod enumerate;
 mod error;
 mod explore;
 mod pareto;
+mod runtime;
 
 pub use bounds::{
     channel_lower_bound, channel_step, lower_bound_distribution, lower_bound_distribution_for,
     upper_bound_distribution, upper_bound_distribution_for,
 };
-pub use constraint::{min_storage_for_throughput, min_storage_for_throughput_for};
-pub use dependency::{explore_dependency_guided, explore_dependency_guided_for};
+pub use constraint::{
+    min_storage_for_throughput, min_storage_for_throughput_for, min_storage_for_throughput_observed,
+};
+pub use dependency::{
+    explore_dependency_guided, explore_dependency_guided_for, explore_dependency_guided_observed,
+};
 pub use enumerate::DistributionSpace;
 pub use error::ExploreError;
 pub use explore::{
-    explore_design_space, explore_design_space_for, ExplorationResult, ExploreOptions,
+    explore_design_space, explore_design_space_for, explore_design_space_observed,
+    ExplorationResult, ExploreOptions,
 };
 pub use pareto::{ParetoPoint, ParetoSet};
+pub use runtime::{resolve_threads, ExplorationStats, ExploreObserver, NoopObserver, SearchPhase};
 
 // Re-export the substrate crates so downstream users need a single
 // dependency.

@@ -1,0 +1,387 @@
+//! The exploration runtime: concurrency plumbing and observability for
+//! the design-space drivers.
+//!
+//! The paper's exact method runs one timed state-space analysis per
+//! candidate storage distribution, and those analyses are embarrassingly
+//! parallel (§10). This module holds everything the drivers share to
+//! exploit that without serializing on a single lock:
+//!
+//! - [`ShardedCache`]: the memo cache of analysed distributions, hash
+//!   partitioned into independently locked shards so concurrent workers
+//!   rarely contend;
+//! - [`AtomicStats`]: contention-free evaluation counters, snapshotted
+//!   into the [`ExplorationStats`] every driver reports;
+//! - [`ExploreObserver`]: a structured event stream (evaluations, cache
+//!   hits, accepted Pareto points, search-phase transitions) that the CLI
+//!   renders as progress or JSON-lines traces;
+//! - [`resolve_threads`]: `threads: 0` → the machine's available
+//!   parallelism.
+
+use crate::pareto::ParetoPoint;
+use buffy_analysis::{fx_hash, FxBuildHasher};
+use buffy_graph::{Rational, StorageDistribution};
+use std::collections::HashMap;
+use std::fmt;
+use std::hash::Hash;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Batch size for chunked candidate evaluation.
+///
+/// Both the sequential and the parallel evaluation paths consume the
+/// per-size enumeration in chunks of exactly this many distributions,
+/// checking the early-exit condition only at chunk boundaries. The chunk
+/// size being independent of the thread count is what makes the set of
+/// evaluated distributions — and with it every statistic in
+/// [`ExplorationStats`] — identical across thread counts.
+pub(crate) const EVAL_CHUNK: usize = 32;
+
+/// Number of cache shards; a power of two so the shard of a hash is a
+/// mask away. 16 shards keep contention negligible for any realistic
+/// worker count while costing next to nothing when single-threaded.
+const SHARD_COUNT: usize = 16;
+
+/// A concurrent memoization cache, hash-partitioned into
+/// [`SHARD_COUNT`] independently locked shards.
+///
+/// Keys are spread over the shards by their [`fx_hash`]; each shard is a
+/// small `Mutex<HashMap>` (Fx-hashed as well), so two workers only
+/// contend when their keys land in the same shard. Values are `Copy`
+/// (the drivers cache throughputs, i.e. [`Rational`]s), which keeps
+/// lookups free of clones.
+#[derive(Debug)]
+pub(crate) struct ShardedCache<K, V> {
+    shards: Vec<Mutex<HashMap<K, V, FxBuildHasher>>>,
+}
+
+impl<K: Hash + Eq, V: Copy> ShardedCache<K, V> {
+    pub(crate) fn new() -> ShardedCache<K, V> {
+        ShardedCache {
+            shards: (0..SHARD_COUNT)
+                .map(|_| Mutex::new(HashMap::default()))
+                .collect(),
+        }
+    }
+
+    fn shard(&self, key: &K) -> &Mutex<HashMap<K, V, FxBuildHasher>> {
+        &self.shards[(fx_hash(key) as usize) & (SHARD_COUNT - 1)]
+    }
+
+    pub(crate) fn get(&self, key: &K) -> Option<V> {
+        self.shard(key).lock().unwrap().get(key).copied()
+    }
+
+    pub(crate) fn insert(&self, key: K, value: V) {
+        self.shard(&key).lock().unwrap().insert(key, value);
+    }
+}
+
+/// Unified statistics of one exploration run.
+///
+/// Replaces the ad-hoc `(evaluations, cache_hits, max_states)` tuple: every
+/// driver — the exhaustive and guided explorers, the CSDF wrappers and the
+/// constraint search — reports this struct, and the bench and CLI surfaces
+/// render it.
+///
+/// Equality ignores `eval_nanos`: wall time varies run to run, while the
+/// three counters are deterministic — identical across thread counts by
+/// construction (fixed-size evaluation chunks), which the regression tests
+/// assert with `==`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ExplorationStats {
+    /// Throughput analyses actually run (memo-cache misses).
+    pub evaluations: u64,
+    /// Evaluation requests answered from the memo cache.
+    pub cache_hits: u64,
+    /// Largest reduced state space stored in any single analysis (the
+    /// paper's "maximum #states" of Table 2).
+    pub max_states: u64,
+    /// Total wall time spent inside throughput analyses, in nanoseconds
+    /// (summed over workers, so it can exceed elapsed time when
+    /// parallel). Ignored by `==`.
+    pub eval_nanos: u64,
+}
+
+impl ExplorationStats {
+    /// Total evaluation requests: analyses run plus cache hits.
+    pub fn requests(&self) -> u64 {
+        self.evaluations + self.cache_hits
+    }
+
+    /// Fraction of requests answered from the cache, in `[0, 1]`.
+    pub fn cache_hit_rate(&self) -> f64 {
+        let total = self.requests();
+        if total == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / total as f64
+        }
+    }
+}
+
+impl PartialEq for ExplorationStats {
+    /// Compares the deterministic counters only; `eval_nanos` is wall
+    /// time and excluded.
+    fn eq(&self, other: &Self) -> bool {
+        self.evaluations == other.evaluations
+            && self.cache_hits == other.cache_hits
+            && self.max_states == other.max_states
+    }
+}
+
+impl Eq for ExplorationStats {}
+
+impl fmt::Display for ExplorationStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} evaluations, {} cache hits ({:.0}%), max {} states",
+            self.evaluations,
+            self.cache_hits,
+            self.cache_hit_rate() * 100.0,
+            self.max_states
+        )
+    }
+}
+
+/// Lock-free accumulator behind [`ExplorationStats`]: every counter is an
+/// atomic, so workers never serialize on statistics bookkeeping.
+#[derive(Debug, Default)]
+pub(crate) struct AtomicStats {
+    evaluations: AtomicU64,
+    cache_hits: AtomicU64,
+    max_states: AtomicU64,
+    eval_nanos: AtomicU64,
+}
+
+impl AtomicStats {
+    pub(crate) fn new() -> AtomicStats {
+        AtomicStats::default()
+    }
+
+    /// Records one completed throughput analysis.
+    pub(crate) fn record_evaluation(&self, states: u64, nanos: u64) {
+        self.evaluations.fetch_add(1, Ordering::Relaxed);
+        self.max_states.fetch_max(states, Ordering::Relaxed);
+        self.eval_nanos.fetch_add(nanos, Ordering::Relaxed);
+    }
+
+    /// Records one memo-cache hit.
+    pub(crate) fn record_cache_hit(&self) {
+        self.cache_hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A consistent snapshot (callers take it after all workers joined).
+    pub(crate) fn snapshot(&self) -> ExplorationStats {
+        ExplorationStats {
+            evaluations: self.evaluations.load(Ordering::Relaxed),
+            cache_hits: self.cache_hits.load(Ordering::Relaxed),
+            max_states: self.max_states.load(Ordering::Relaxed),
+            eval_nanos: self.eval_nanos.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// The phase a search driver is in; reported through
+/// [`ExploreObserver::phase_started`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SearchPhase {
+    /// Boxing the design space: bounds on size and throughput (paper §8).
+    Bounds,
+    /// Binary search for the smallest positive-throughput size.
+    MinimalSize,
+    /// Divide-and-conquer over the size dimension (paper §9).
+    FrontSearch,
+    /// Binary search for minimal storage under a throughput constraint.
+    ConstraintSearch,
+    /// Dependency-guided frontier search.
+    GuidedSearch,
+}
+
+impl SearchPhase {
+    /// Stable machine-readable name (used in JSON traces).
+    pub fn name(&self) -> &'static str {
+        match self {
+            SearchPhase::Bounds => "bounds",
+            SearchPhase::MinimalSize => "minimal-size",
+            SearchPhase::FrontSearch => "front-search",
+            SearchPhase::ConstraintSearch => "constraint-search",
+            SearchPhase::GuidedSearch => "guided-search",
+        }
+    }
+}
+
+impl fmt::Display for SearchPhase {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Structured observation of an exploration run.
+///
+/// All methods default to no-ops, so observers implement only what they
+/// care about. Implementations must be `Sync`: with multi-threaded
+/// evaluation, events arrive concurrently from worker threads. Event
+/// *order* between workers is nondeterministic; the statistics totals are
+/// not.
+pub trait ExploreObserver: Sync {
+    /// A search driver entered `phase`.
+    fn phase_started(&self, phase: SearchPhase) {
+        let _ = phase;
+    }
+
+    /// A throughput analysis of `dist` is about to run (cache miss).
+    fn evaluation_started(&self, dist: &StorageDistribution) {
+        let _ = dist;
+    }
+
+    /// A throughput analysis finished: `dist` has `throughput`, storing
+    /// `states` reduced states, in `nanos` wall time.
+    fn evaluation_finished(
+        &self,
+        dist: &StorageDistribution,
+        throughput: Rational,
+        states: u64,
+        nanos: u64,
+    ) {
+        let _ = (dist, throughput, states, nanos);
+    }
+
+    /// An evaluation request for `dist` was answered from the memo cache.
+    fn cache_hit(&self, dist: &StorageDistribution) {
+        let _ = dist;
+    }
+
+    /// `point` was accepted into the Pareto front under construction
+    /// (it may later be evicted by a dominating point).
+    fn pareto_accepted(&self, point: &ParetoPoint) {
+        let _ = point;
+    }
+}
+
+/// The do-nothing observer: the default for all non-`_observed` entry
+/// points.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoopObserver;
+
+impl ExploreObserver for NoopObserver {}
+
+/// Resolves a thread-count option: `0` means "auto-detect", returning the
+/// machine's [`std::thread::available_parallelism`] (1 if unknown); any
+/// other value is returned unchanged.
+pub fn resolve_threads(threads: usize) -> usize {
+    if threads == 0 {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    } else {
+        threads
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sharded_cache_round_trips() {
+        let cache: ShardedCache<StorageDistribution, Rational> = ShardedCache::new();
+        for i in 0..100u64 {
+            let d = StorageDistribution::from_capacities(vec![i, i + 1]);
+            assert_eq!(cache.get(&d), None);
+            cache.insert(d.clone(), Rational::new(1, (i + 1) as i128));
+            assert_eq!(cache.get(&d), Some(Rational::new(1, (i + 1) as i128)));
+        }
+        // Re-insert overwrites.
+        let d = StorageDistribution::from_capacities(vec![0, 1]);
+        cache.insert(d.clone(), Rational::ONE);
+        assert_eq!(cache.get(&d), Some(Rational::ONE));
+    }
+
+    #[test]
+    fn sharded_cache_is_concurrently_usable() {
+        let cache: ShardedCache<StorageDistribution, Rational> = ShardedCache::new();
+        std::thread::scope(|scope| {
+            for t in 0..4u64 {
+                let cache = &cache;
+                scope.spawn(move || {
+                    for i in 0..200u64 {
+                        let d = StorageDistribution::from_capacities(vec![t, i]);
+                        cache.insert(d.clone(), Rational::new(1, (i + 1) as i128));
+                        assert!(cache.get(&d).is_some());
+                    }
+                });
+            }
+        });
+        for t in 0..4u64 {
+            for i in 0..200u64 {
+                let d = StorageDistribution::from_capacities(vec![t, i]);
+                assert_eq!(cache.get(&d), Some(Rational::new(1, (i + 1) as i128)));
+            }
+        }
+    }
+
+    #[test]
+    fn stats_equality_ignores_wall_time() {
+        let a = ExplorationStats {
+            evaluations: 10,
+            cache_hits: 5,
+            max_states: 42,
+            eval_nanos: 1_000,
+        };
+        let b = ExplorationStats {
+            eval_nanos: 999_999,
+            ..a
+        };
+        assert_eq!(a, b);
+        let c = ExplorationStats {
+            evaluations: 11,
+            ..a
+        };
+        assert_ne!(a, c);
+        assert_eq!(a.requests(), 15);
+        assert!((a.cache_hit_rate() - 1.0 / 3.0).abs() < 1e-12);
+        assert_eq!(ExplorationStats::default().cache_hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn atomic_stats_accumulate_across_threads() {
+        let stats = AtomicStats::new();
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let stats = &stats;
+                scope.spawn(move || {
+                    for i in 0..100 {
+                        stats.record_evaluation(i, 10);
+                        stats.record_cache_hit();
+                    }
+                });
+            }
+        });
+        let s = stats.snapshot();
+        assert_eq!(s.evaluations, 400);
+        assert_eq!(s.cache_hits, 400);
+        assert_eq!(s.max_states, 99);
+        assert_eq!(s.eval_nanos, 4_000);
+    }
+
+    #[test]
+    fn resolve_threads_auto_detects() {
+        assert_eq!(resolve_threads(3), 3);
+        assert!(resolve_threads(0) >= 1);
+    }
+
+    #[test]
+    fn phase_names_are_stable() {
+        for (phase, name) in [
+            (SearchPhase::Bounds, "bounds"),
+            (SearchPhase::MinimalSize, "minimal-size"),
+            (SearchPhase::FrontSearch, "front-search"),
+            (SearchPhase::ConstraintSearch, "constraint-search"),
+            (SearchPhase::GuidedSearch, "guided-search"),
+        ] {
+            assert_eq!(phase.name(), name);
+            assert_eq!(phase.to_string(), name);
+        }
+    }
+}

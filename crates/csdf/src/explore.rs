@@ -14,7 +14,10 @@
 use crate::model::{CsdfChannel, CsdfError, CsdfGraph};
 use crate::throughput::CsdfLimits;
 use buffy_analysis::{bmlb, AnalysisError};
-use buffy_core::{explore_design_space_for, ExploreError, ExploreOptions, ParetoSet};
+use buffy_core::{
+    explore_design_space_observed, ExplorationStats, ExploreError, ExploreObserver, ExploreOptions,
+    NoopObserver, ParetoSet,
+};
 use buffy_graph::{gcd_u64, ActorId, Rational};
 
 /// A safe lower bound on one channel's capacity for positive throughput.
@@ -52,8 +55,10 @@ pub struct CsdfExploreOptions {
     pub max_size: Option<u64>,
     /// State-space limits per analysis.
     pub limits: CsdfLimits,
-    /// Worker threads for evaluating candidate distributions (0 or 1 =
-    /// sequential).
+    /// Worker threads for evaluating candidate distributions: 1 =
+    /// sequential, 0 = auto-detect via
+    /// [`std::thread::available_parallelism`]. The reported statistics are
+    /// identical for every thread count.
     pub threads: usize,
     /// Quantize throughputs searched to multiples of this value (paper
     /// §11: limits the number of Pareto points).
@@ -67,11 +72,9 @@ pub struct CsdfExplorationResult {
     pub pareto: ParetoSet,
     /// The maximal achievable throughput of the observed actor.
     pub max_throughput: Rational,
-    /// Number of throughput analyses run (memo-cache misses).
-    pub evaluations: usize,
-    /// Number of evaluation requests answered from the memo cache without
-    /// re-running the analysis.
-    pub cache_hits: usize,
+    /// Evaluation statistics: analyses run, cache hits, largest state
+    /// space, analysis wall time.
+    pub stats: ExplorationStats,
 }
 
 /// Maps kernel exploration errors back into the CSDF vocabulary.
@@ -115,20 +118,35 @@ pub fn csdf_explore(
     graph: &CsdfGraph,
     options: &CsdfExploreOptions,
 ) -> Result<CsdfExplorationResult, CsdfError> {
+    csdf_explore_observed(graph, options, &NoopObserver)
+}
+
+/// [`csdf_explore`] with a structured [`ExploreObserver`] receiving
+/// evaluation, cache-hit, Pareto-accept and phase events as the search
+/// runs.
+///
+/// # Errors
+///
+/// See [`csdf_explore`].
+pub fn csdf_explore_observed(
+    graph: &CsdfGraph,
+    options: &CsdfExploreOptions,
+    observer: &dyn ExploreObserver,
+) -> Result<CsdfExplorationResult, CsdfError> {
     let core_options = ExploreOptions {
         observed: options.observed,
         max_size: options.max_size,
         quantum: options.quantum,
         limits: options.limits,
-        threads: options.threads.max(1),
+        threads: options.threads,
         ..ExploreOptions::default()
     };
-    let r = explore_design_space_for(graph, &core_options).map_err(explore_to_csdf)?;
+    let r =
+        explore_design_space_observed(graph, &core_options, observer).map_err(explore_to_csdf)?;
     Ok(CsdfExplorationResult {
         pareto: r.pareto,
         max_throughput: r.max_throughput,
-        evaluations: r.evaluations,
-        cache_hits: r.cache_hits,
+        stats: r.stats,
     })
 }
 
@@ -256,6 +274,8 @@ mod tests {
         )
         .unwrap();
         assert_eq!(sequential.pareto.points(), threaded.pareto.points());
+        // Statistics are deterministic across thread counts.
+        assert_eq!(sequential.stats, threaded.stats);
         // A coarse quantum collapses the front to at most a few points.
         let quantized = csdf_explore(
             &g,

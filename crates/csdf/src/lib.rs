@@ -68,8 +68,8 @@ pub mod xml;
 
 pub use engine::{CsdfEngine, CsdfState, CsdfStepEvents, CsdfStepOutcome};
 pub use explore::{
-    csdf_channel_lower_bound, csdf_channel_step, csdf_explore, CsdfExplorationResult,
-    CsdfExploreOptions,
+    csdf_channel_lower_bound, csdf_channel_step, csdf_explore, csdf_explore_observed,
+    CsdfExplorationResult, CsdfExploreOptions,
 };
 pub use hsdf::{csdf_maximal_throughput, csdf_ratio_graph};
 pub use model::{CsdfActor, CsdfChannel, CsdfError, CsdfGraph, CsdfGraphBuilder};

@@ -20,7 +20,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let result = explore_dependency_guided(&graph, &ExploreOptions::default())?;
     println!(
         "explored with {} throughput analyses (max {} states per analysis)\n",
-        result.evaluations, result.max_states
+        result.stats.evaluations, result.stats.max_states
     );
 
     println!("Pareto points (distribution order: c1..c5):");

@@ -48,7 +48,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let result = csdf_explore(&graph, &CsdfExploreOptions::default())?;
     println!(
         "\nPareto front (unified-kernel exploration, {} analyses, {} cache hits):",
-        result.evaluations, result.cache_hits
+        result.stats.evaluations, result.stats.cache_hits
     );
     for p in result.pareto.points() {
         println!("  {p}");

@@ -22,13 +22,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!(
         "dependency-guided exploration: {} Pareto points, {} analyses",
         guided.pareto.len(),
-        guided.evaluations
+        guided.stats.evaluations
     );
     let exhaustive = explore_design_space(&graph, &opts)?;
     println!(
         "exhaustive exploration:        {} Pareto points, {} analyses",
         exhaustive.pareto.len(),
-        exhaustive.evaluations
+        exhaustive.stats.evaluations
     );
     assert_eq!(
         guided

@@ -1,1 +1,12 @@
 //! Integration-test-only package; see the tests/ directory.
+
+/// Thread count for the parallel halves of cross-thread determinism
+/// tests: `BUFFY_TEST_THREADS` when set (CI runs the suite with 4),
+/// otherwise 4.
+pub fn test_threads() -> usize {
+    std::env::var("BUFFY_TEST_THREADS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(4)
+}

@@ -124,10 +124,10 @@ fn gallery_state_spaces_stay_small() {
     for g in gallery::all() {
         let r = explore_dependency_guided(&g, &options_for(&g)).unwrap();
         assert!(
-            r.max_states < 2_000,
+            r.stats.max_states < 2_000,
             "{}: {} states",
             g.name(),
-            r.max_states
+            r.stats.max_states
         );
     }
 }

@@ -147,17 +147,16 @@ fn csdf_exploration_exercises_the_memo_cache() {
     let csdf = CsdfGraph::from_sdf(&sdf);
     let r = csdf_explore(&csdf, &CsdfExploreOptions::default()).unwrap();
     assert!(r.pareto.len() >= 4, "need a multi-point exploration");
-    assert!(r.evaluations > 0);
+    assert!(r.stats.evaluations > 0);
     assert!(
-        r.cache_hits > 0,
+        r.stats.cache_hits > 0,
         "expected repeated evaluation requests to hit the cache \
          (evaluations {}, cache hits {})",
-        r.evaluations,
-        r.cache_hits
+        r.stats.evaluations,
+        r.stats.cache_hits
     );
-    let total_requests = r.evaluations + r.cache_hits;
     assert!(
-        r.evaluations < total_requests,
+        r.stats.evaluations < r.stats.requests(),
         "cache misses must stay strictly below total requests"
     );
     // The threaded exploration reports the same front and the same number
