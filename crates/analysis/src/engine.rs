@@ -63,6 +63,12 @@ impl Capacities {
         self.caps[channel.index()]
     }
 
+    /// The raw per-channel capacities (`None` = unbounded), in channel
+    /// order.
+    pub fn as_slice(&self) -> &[Option<u64>] {
+        &self.caps
+    }
+
     /// Number of channels covered.
     pub fn len(&self) -> usize {
         self.caps.len()

@@ -1,7 +1,27 @@
 //! Error types for SDF analyses.
 
+use crate::budget::CancelReason;
 use buffy_graph::GraphError;
 use core::fmt;
+
+/// Which exploration limit a state-space search ran into.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LimitKind {
+    /// The cap on stored states ([`max_states`](crate::ExplorationLimits::max_states)).
+    States,
+    /// The cap on simulated time steps ([`max_steps`](crate::ExplorationLimits::max_steps)).
+    Steps,
+}
+
+impl LimitKind {
+    /// Stable machine-readable name (`"states"` / `"steps"`).
+    pub fn name(self) -> &'static str {
+        match self {
+            LimitKind::States => "states",
+            LimitKind::Steps => "steps",
+        }
+    }
+}
 
 /// Errors raised by execution, throughput and MCM analyses.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -9,10 +29,22 @@ use core::fmt;
 pub enum AnalysisError {
     /// A graph-level error (inconsistency, …).
     Graph(GraphError),
-    /// The state space grew beyond the configured limit.
+    /// The state space grew beyond the configured limit. Carries the
+    /// limit that was hit and the channel capacities under analysis so the
+    /// offending distribution is identifiable from logs.
     StateLimitExceeded {
         /// The limit that was hit.
-        limit: usize,
+        limit: u64,
+        /// Which limit: stored states or simulated steps.
+        kind: LimitKind,
+        /// The per-channel capacities in effect (`None` = unbounded).
+        capacities: Vec<Option<u64>>,
+    },
+    /// The analysis was cooperatively cancelled (deadline, interrupt or
+    /// exhausted budget) before completing.
+    Cancelled {
+        /// Why the run was cancelled.
+        reason: CancelReason,
     },
     /// Actors with execution time 0 fired without bound within a single
     /// time step (a zero-delay cycle), so time cannot advance.
@@ -28,12 +60,43 @@ pub enum AnalysisError {
     McmDidNotConverge,
 }
 
+/// Renders capacities as `⟨4, 2, ?⟩` (`?` = unbounded).
+pub(crate) fn fmt_capacities(caps: &[Option<u64>], f: &mut fmt::Formatter<'_>) -> fmt::Result {
+    write!(f, "⟨")?;
+    for (i, c) in caps.iter().enumerate() {
+        if i > 0 {
+            write!(f, ", ")?;
+        }
+        match c {
+            Some(c) => write!(f, "{c}")?,
+            None => write!(f, "?")?,
+        }
+    }
+    write!(f, "⟩")
+}
+
 impl fmt::Display for AnalysisError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             AnalysisError::Graph(e) => write!(f, "{e}"),
-            AnalysisError::StateLimitExceeded { limit } => {
-                write!(f, "state space exceeded the limit of {limit} states")
+            AnalysisError::StateLimitExceeded {
+                limit,
+                kind,
+                capacities,
+            } => {
+                match kind {
+                    LimitKind::States => {
+                        write!(f, "state space exceeded the limit of {limit} states")?
+                    }
+                    LimitKind::Steps => {
+                        write!(f, "simulation exceeded the limit of {limit} steps")?
+                    }
+                }
+                write!(f, " under capacities ")?;
+                fmt_capacities(capacities, f)
+            }
+            AnalysisError::Cancelled { reason } => {
+                write!(f, "analysis cancelled: {reason}")
             }
             AnalysisError::ZeroTimeLivelock => write!(
                 f,
@@ -77,10 +140,34 @@ mod tests {
     #[test]
     fn display_messages() {
         assert!(AnalysisError::ZeroTimeLivelock.to_string().contains("zero"));
-        assert!(AnalysisError::StateLimitExceeded { limit: 10 }
-            .to_string()
-            .contains("10"));
+        let e = AnalysisError::StateLimitExceeded {
+            limit: 10,
+            kind: LimitKind::States,
+            capacities: vec![Some(4), Some(2)],
+        };
+        assert!(e.to_string().contains("10"), "{e}");
+        assert!(e.to_string().contains("states"), "{e}");
+        assert!(e.to_string().contains("⟨4, 2⟩"), "{e}");
         let e: AnalysisError = GraphError::EmptyGraph.into();
         assert!(e.to_string().contains("no actors"));
+    }
+
+    #[test]
+    fn steps_limit_names_steps_and_unbounded_channels() {
+        let e = AnalysisError::StateLimitExceeded {
+            limit: 7,
+            kind: LimitKind::Steps,
+            capacities: vec![Some(3), None],
+        };
+        assert!(e.to_string().contains("7 steps"), "{e}");
+        assert!(e.to_string().contains("⟨3, ?⟩"), "{e}");
+    }
+
+    #[test]
+    fn cancelled_display_carries_reason() {
+        let e = AnalysisError::Cancelled {
+            reason: CancelReason::Deadline,
+        };
+        assert!(e.to_string().contains("deadline"), "{e}");
     }
 }

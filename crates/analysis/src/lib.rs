@@ -50,6 +50,7 @@
 #![warn(rust_2018_idioms)]
 #![forbid(unsafe_code)]
 
+mod budget;
 mod dependencies;
 mod engine;
 mod error;
@@ -65,13 +66,14 @@ mod state_space;
 mod throughput;
 pub mod transform;
 
+pub use budget::{CancelReason, CancelToken};
 pub use dependencies::{
     throughput_with_dependencies, throughput_with_dependencies_for, DependencyReport,
 };
 pub use engine::{
     Capacities, DataflowEngine, DataflowState, Engine, FiringEvents, FiringOutcome, SdfState,
 };
-pub use error::AnalysisError;
+pub use error::{AnalysisError, LimitKind};
 pub use hsdf::{Hsdf, HsdfEdge, HsdfNode};
 pub use interner::{fx_hash, FxBuildHasher, FxHasher, Interned, StateStore};
 pub use latency::{latency, LatencyReport};
@@ -83,6 +85,6 @@ pub use schedule::{Firing, Schedule, ScheduleViolation};
 pub use semantics::{bmlb, rate_step, DataflowSemantics};
 pub use state_space::{explore, explore_for, StateSpace};
 pub use throughput::{
-    throughput, throughput_for, throughput_with_capacities, throughput_with_limits,
-    ExplorationLimits, ReducedState, ThroughputReport,
+    throughput, throughput_for, throughput_for_with_cancel, throughput_with_capacities,
+    throughput_with_limits, ExplorationLimits, ReducedState, ThroughputReport,
 };

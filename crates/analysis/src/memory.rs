@@ -81,9 +81,12 @@ pub fn shared_memory_peak(
 
     loop {
         if engine.time() >= limits.max_steps || index.len() > limits.max_states {
-            return Err(AnalysisError::StateLimitExceeded {
-                limit: limits.max_states,
-            });
+            let kind = if engine.time() >= limits.max_steps {
+                crate::error::LimitKind::Steps
+            } else {
+                crate::error::LimitKind::States
+            };
+            return Err(limits.exceeded(kind, engine.capacities()));
         }
         match engine.step()? {
             FiringOutcome::Deadlock => {

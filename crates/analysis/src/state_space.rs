@@ -128,10 +128,11 @@ pub fn explore_for<M: DataflowSemantics>(
     events.push(initial);
 
     loop {
-        if store.len() > limits.max_states || engine.time() >= limits.max_steps {
-            return Err(AnalysisError::StateLimitExceeded {
-                limit: limits.max_states,
-            });
+        if store.len() > limits.max_states {
+            return Err(limits.exceeded(crate::error::LimitKind::States, engine.capacities()));
+        }
+        if engine.time() >= limits.max_steps {
+            return Err(limits.exceeded(crate::error::LimitKind::Steps, engine.capacities()));
         }
         match engine.step()? {
             FiringOutcome::Deadlock => {

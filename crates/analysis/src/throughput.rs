@@ -13,11 +13,19 @@
 //! that, generically over any [`DataflowSemantics`] model via
 //! [`throughput_for`]; the SDF-typed entry points wrap it.
 
+use crate::budget::CancelToken;
 use crate::engine::{Capacities, DataflowEngine, DataflowState, FiringOutcome};
-use crate::error::AnalysisError;
+use crate::error::{AnalysisError, LimitKind};
 use crate::interner::{fx_hash, Interned, StateStore};
 use crate::semantics::DataflowSemantics;
 use buffy_graph::{ActorId, Rational, SdfGraph, StorageDistribution};
+
+/// How many engine steps between cancellation polls in
+/// [`throughput_for_with_cancel`]: the token is checked when
+/// `steps & CANCEL_STRIDE_MASK == 0`, i.e. every 1024 steps, so the poll
+/// (one relaxed load, occasionally an `Instant::now`) never shows up on
+/// the per-state hot path.
+const CANCEL_STRIDE_MASK: u64 = 0x3FF;
 
 /// Tunable limits for state-space searches.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -33,6 +41,22 @@ impl Default for ExplorationLimits {
         ExplorationLimits {
             max_states: 1 << 22,
             max_steps: u64::MAX,
+        }
+    }
+}
+
+impl ExplorationLimits {
+    /// The error for running into the limit of `kind` while analysing a
+    /// model under `caps`: carries the limit value and the capacities so
+    /// the offending distribution is identifiable from logs.
+    pub fn exceeded(&self, kind: LimitKind, caps: &Capacities) -> AnalysisError {
+        AnalysisError::StateLimitExceeded {
+            limit: match kind {
+                LimitKind::States => self.max_states as u64,
+                LimitKind::Steps => self.max_steps,
+            },
+            kind,
+            capacities: caps.as_slice().to_vec(),
         }
     }
 }
@@ -179,6 +203,26 @@ pub fn throughput_for<M: DataflowSemantics>(
     observed: ActorId,
     limits: ExplorationLimits,
 ) -> Result<ThroughputReport, AnalysisError> {
+    static NEVER: CancelToken = CancelToken::new();
+    throughput_for_with_cancel(model, caps, observed, limits, &NEVER)
+}
+
+/// [`throughput_for`] with cooperative cancellation: polls `cancel` every
+/// 1024 engine steps (a coarse stride, not per-state) and returns
+/// [`AnalysisError::Cancelled`] when the token has tripped. This is the
+/// entry point the exploration drivers' resilience layer uses.
+///
+/// # Errors
+///
+/// See [`throughput`]; additionally [`AnalysisError::Cancelled`] when
+/// `cancel` trips mid-analysis.
+pub fn throughput_for_with_cancel<M: DataflowSemantics>(
+    model: &M,
+    caps: Capacities,
+    observed: ActorId,
+    limits: ExplorationLimits,
+    cancel: &CancelToken,
+) -> Result<ThroughputReport, AnalysisError> {
     let mut engine = DataflowEngine::new(model, caps);
     let initial = engine.start_initial()?;
 
@@ -212,10 +256,13 @@ pub fn throughput_for<M: DataflowSemantics>(
     }
 
     loop {
+        if engine.time() & CANCEL_STRIDE_MASK == 0 {
+            if let Some(reason) = cancel.check() {
+                return Err(AnalysisError::Cancelled { reason });
+            }
+        }
         if engine.time() >= limits.max_steps {
-            return Err(AnalysisError::StateLimitExceeded {
-                limit: limits.max_states,
-            });
+            return Err(limits.exceeded(LimitKind::Steps, engine.capacities()));
         }
         let outcome = engine.step()?;
         let events = match outcome {
@@ -249,9 +296,7 @@ pub fn throughput_for<M: DataflowSemantics>(
                 times.push(engine.time());
                 firing_counts.push(pending);
                 if times.len() > limits.max_states {
-                    return Err(AnalysisError::StateLimitExceeded {
-                        limit: limits.max_states,
-                    });
+                    return Err(limits.exceeded(LimitKind::States, engine.capacities()));
                 }
             }
             Interned::Existing(k) => {
@@ -380,7 +425,79 @@ mod tests {
         };
         let err =
             throughput_with_limits(&g, &d, g.actor_by_name("c").unwrap(), limits).unwrap_err();
-        assert!(matches!(err, AnalysisError::StateLimitExceeded { .. }));
+        // The steps cap fires here, and the error says so — including the
+        // offending capacities.
+        assert_eq!(
+            err,
+            AnalysisError::StateLimitExceeded {
+                limit: 3,
+                kind: crate::error::LimitKind::Steps,
+                capacities: vec![Some(8), Some(2)],
+            },
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn states_limit_reports_states_kind() {
+        let g = example();
+        let d = StorageDistribution::from_capacities(vec![8, 2]);
+        let limits = ExplorationLimits {
+            max_states: 1,
+            max_steps: u64::MAX,
+        };
+        let err =
+            throughput_with_limits(&g, &d, g.actor_by_name("c").unwrap(), limits).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                AnalysisError::StateLimitExceeded {
+                    limit: 1,
+                    kind: crate::error::LimitKind::States,
+                    ..
+                }
+            ),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn cancelled_token_stops_the_analysis() {
+        use crate::budget::{CancelReason, CancelToken};
+        let g = example();
+        let d = StorageDistribution::from_capacities(vec![4, 2]);
+        let token = CancelToken::new();
+        token.cancel(CancelReason::Interrupt);
+        let err = throughput_for_with_cancel(
+            &g,
+            Capacities::from_distribution(&d),
+            g.actor_by_name("c").unwrap(),
+            ExplorationLimits::default(),
+            &token,
+        )
+        .unwrap_err();
+        assert_eq!(
+            err,
+            AnalysisError::Cancelled {
+                reason: CancelReason::Interrupt
+            }
+        );
+    }
+
+    #[test]
+    fn live_token_changes_nothing() {
+        let g = example();
+        let d = StorageDistribution::from_capacities(vec![4, 2]);
+        let token = CancelToken::new();
+        let r = throughput_for_with_cancel(
+            &g,
+            Capacities::from_distribution(&d),
+            g.actor_by_name("c").unwrap(),
+            ExplorationLimits::default(),
+            &token,
+        )
+        .unwrap();
+        assert_eq!(r.throughput, Rational::new(1, 7));
     }
 
     #[test]

@@ -34,6 +34,11 @@ const VALUE_OPTIONS: &[&str] = &[
     "max-repetition",
     "out",
     "trace-json",
+    "timeout",
+    "max-evals",
+    "checkpoint",
+    "resume",
+    "space-threshold",
 ];
 
 /// Boolean flags the commands understand; anything else starting with
@@ -156,6 +161,35 @@ mod tests {
         // --trace-json without a path is rejected, as is a misspelling.
         assert!(parse(&args(&["--trace-json"])).is_err());
         assert!(parse(&args(&["--trace-jsonl", "x"])).is_err());
+    }
+
+    #[test]
+    fn resilience_options_parse() {
+        let p = parse(&args(&[
+            "explore",
+            "g.xml",
+            "--timeout",
+            "1.5",
+            "--max-evals",
+            "100",
+            "--checkpoint",
+            "run.ckpt",
+        ]))
+        .unwrap();
+        assert_eq!(p.get::<f64>("timeout").unwrap(), Some(1.5));
+        assert_eq!(p.get::<u64>("max-evals").unwrap(), Some(100));
+        assert_eq!(
+            p.options.get("checkpoint").map(String::as_str),
+            Some("run.ckpt")
+        );
+        let p = parse(&args(&["explore", "g.xml", "--resume", "run.ckpt"])).unwrap();
+        assert_eq!(
+            p.options.get("resume").map(String::as_str),
+            Some("run.ckpt")
+        );
+        // All of them require a value.
+        assert!(parse(&args(&["--timeout"])).is_err());
+        assert!(parse(&args(&["--resume"])).is_err());
     }
 
     #[test]

@@ -1,12 +1,15 @@
 //! Implementations of the `buffy` subcommands.
 
 use crate::args::{parse_dist, ParsedArgs};
-use crate::observe::{dist_json, CliObserver};
-use buffy_analysis::{maximal_throughput, throughput, ExplorationLimits, Schedule};
+use crate::observe::{dist_json, json_escape, CheckpointConfig, CliObserver};
+use buffy_analysis::{
+    fx_hash, maximal_throughput, throughput, AnalysisError, ExplorationLimits, Schedule,
+};
 use buffy_core::{
     explore_dependency_guided_observed, explore_design_space_observed, lower_bound_distribution,
-    min_storage_for_throughput_observed, ExplorationResult, ExplorationStats, ExploreOptions,
-    ParetoPoint,
+    min_storage_for_throughput_observed, CancelReason, CancelToken, Checkpoint, Completeness,
+    EvaluationFailure, ExplorationResult, ExplorationStats, ExploreError, ExploreOptions,
+    ParetoPoint, SkippedSize, WarmStart,
 };
 use buffy_gen::{gallery, RandomGraphConfig};
 use buffy_graph::dot::to_dot;
@@ -14,6 +17,9 @@ use buffy_graph::xml::{read_sdf_xml, write_sdf_xml};
 use buffy_graph::{ActorId, Rational, RepetitionVector, SdfGraph, StorageDistribution};
 use buffy_lint::{lint_csdf, lint_sdf, LintContext, Severity};
 use std::io::Write;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use std::time::Duration;
 
 type Out<'a> = &'a mut dyn Write;
 
@@ -49,12 +55,108 @@ fn w(out: Out<'_>, text: std::fmt::Arguments<'_>) -> Result<(), String> {
     out.write_fmt(text).map_err(|e| e.to_string())
 }
 
-/// Builds the observer wired to `--progress` and `--trace-json`.
-fn observer_from(parsed: &ParsedArgs) -> Result<CliObserver, String> {
+/// Builds the observer wired to `--progress`, `--trace-json` and
+/// `--checkpoint`. The fingerprint and channel count tag the checkpoint
+/// so `--resume` can refuse a file recorded for a different graph.
+fn observer_from(
+    parsed: &ParsedArgs,
+    fingerprint: u64,
+    channels: usize,
+) -> Result<CliObserver, String> {
+    let checkpoint = parsed
+        .options
+        .get("checkpoint")
+        .map(|path| CheckpointConfig {
+            path: PathBuf::from(path),
+            fingerprint,
+            channels,
+        });
     CliObserver::from_options(
         parsed.has_flag("progress"),
         parsed.options.get("trace-json").map(String::as_str),
+        checkpoint,
     )
+}
+
+/// Budget/cancellation token armed from `--timeout` (seconds, fractional
+/// allowed) and `--max-evals`, and registered with the SIGINT handler so
+/// Ctrl-C degrades the run gracefully instead of killing it.
+fn cancel_token(parsed: &ParsedArgs) -> Result<Arc<CancelToken>, String> {
+    let mut token = CancelToken::new();
+    if let Some(secs) = parsed.get::<f64>("timeout")? {
+        if !secs.is_finite() || secs <= 0.0 {
+            return Err("--timeout must be a positive number of seconds".into());
+        }
+        token = token.with_deadline(Duration::from_secs_f64(secs));
+    }
+    if let Some(budget) = parsed.get::<u64>("max-evals")? {
+        token = token.with_eval_budget(budget);
+    }
+    let token = Arc::new(token);
+    crate::signal::watch(&token);
+    Ok(token)
+}
+
+/// Loads `--resume FILE` into a warm-start map, refusing checkpoints
+/// recorded for a different graph.
+fn resume_warm_start(
+    parsed: &ParsedArgs,
+    fingerprint: u64,
+    channels: usize,
+) -> Result<Option<Arc<WarmStart>>, String> {
+    let Some(path) = parsed.options.get("resume") else {
+        return Ok(None);
+    };
+    let cp = Checkpoint::load(Path::new(path)).map_err(|e| e.to_string())?;
+    if cp.fingerprint != fingerprint || cp.channels != channels {
+        return Err(format!(
+            "checkpoint {path} was recorded for a different graph \
+             (fingerprint {:016x}, {} channels; this graph: {fingerprint:016x}, {channels})",
+            cp.fingerprint, cp.channels
+        ));
+    }
+    Ok(Some(Arc::new(cp.warm_start_map())))
+}
+
+/// Exit code of a run that produced a result: 0 when exact, 130 when a
+/// SIGINT truncated it, 3 for any other truncation (deadline, budget).
+fn exit_code_for(completeness: &Completeness) -> i32 {
+    match completeness.truncated_by {
+        None => 0,
+        Some(CancelReason::Interrupt) => 130,
+        Some(_) => 3,
+    }
+}
+
+/// The `reason` recorded in the trace's final `end` event.
+fn end_reason(completeness: &Completeness) -> &'static str {
+    match completeness.truncated_by {
+        None => "exact",
+        Some(reason) => reason.name(),
+    }
+}
+
+/// Exit path for a run cancelled before any result was salvageable: the
+/// message still goes to the output, but SIGINT keeps its conventional
+/// status 130 (hard errors otherwise exit 1).
+fn cancelled_without_result(
+    reason: CancelReason,
+    observer: &CliObserver,
+    out: Out<'_>,
+) -> Result<i32, String> {
+    observer.finish(reason.name()).ok();
+    if reason == CancelReason::Interrupt {
+        w(
+            out,
+            format_args!(
+                "error: exploration cancelled before any result was available: {reason}\n"
+            ),
+        )?;
+        return Ok(130);
+    }
+    Err(format!(
+        "exploration cancelled before any result was available: {reason}"
+    ))
 }
 
 /// Renders the exploration statistics as a JSON object.
@@ -75,6 +177,86 @@ fn point_json(p: &ParetoPoint) -> String {
     )
 }
 
+/// Renders the completeness marker as a JSON object.
+fn completeness_json(c: &Completeness) -> String {
+    let truncated_by = match c.truncated_by {
+        None => "null".to_string(),
+        Some(reason) => format!("\"{}\"", reason.name()),
+    };
+    format!(
+        "{{\"exact\":{},\"truncated_by\":{truncated_by},\"distributions_skipped\":{}}}",
+        c.exact, c.distributions_skipped
+    )
+}
+
+/// Renders the skipped-size annotations as a JSON array.
+fn skipped_json(skipped: &[SkippedSize]) -> String {
+    let items: Vec<String> = skipped
+        .iter()
+        .map(|s| {
+            format!(
+                "{{\"size\":{},\"distributions\":{},\"throughput_bound\":\"{}\"}}",
+                s.size, s.distributions, s.throughput_bound
+            )
+        })
+        .collect();
+    format!("[{}]", items.join(","))
+}
+
+/// Renders the evaluation failures as a JSON array.
+fn failures_json(failures: &[EvaluationFailure]) -> String {
+    let items: Vec<String> = failures
+        .iter()
+        .map(|f| {
+            format!(
+                "{{\"distribution\":{},\"message\":\"{}\"}}",
+                dist_json(&f.distribution),
+                json_escape(&f.message)
+            )
+        })
+        .collect();
+    format!("[{}]", items.join(","))
+}
+
+/// Appends the human-readable degradation report: partiality, skipped
+/// sizes with their conservative bounds, failed evaluations.
+fn write_resilience_text(
+    completeness: &Completeness,
+    skipped: &[SkippedSize],
+    failures: &[EvaluationFailure],
+    out: Out<'_>,
+) -> Result<(), String> {
+    if let Some(reason) = completeness.truncated_by {
+        w(
+            out,
+            format_args!(
+                "PARTIAL RESULT ({reason}): every listed point is sound, but {} \
+                 enumerated distributions were never evaluated\n",
+                completeness.distributions_skipped
+            ),
+        )?;
+        for s in skipped {
+            w(
+                out,
+                format_args!(
+                    "  size {}: {} unevaluated distributions, throughput ≤ {}\n",
+                    s.size, s.distributions, s.throughput_bound
+                ),
+            )?;
+        }
+    }
+    for f in failures {
+        w(
+            out,
+            format_args!(
+                "evaluation failed for {} (treated as throughput 0): {}\n",
+                f.distribution, f.message
+            ),
+        )?;
+    }
+    Ok(())
+}
+
 /// Builds the lint context from whatever `--dist`, `--throughput` and
 /// `--actor` carry. A `--dist` of the wrong arity is left for B004 to
 /// report rather than rejected here.
@@ -87,6 +269,7 @@ fn lint_context(parsed: &ParsedArgs, observed: Option<ActorId>) -> Result<LintCo
         distribution,
         throughput_constraint: parsed.get("throughput")?,
         observed,
+        space_threshold: parsed.get("space-threshold")?,
     })
 }
 
@@ -272,11 +455,14 @@ fn print_front(
         w(
             out,
             format_args!(
-                "{{\"pareto\":[{}],\"max_throughput\":\"{}\",\"lower_bound_size\":{},\"upper_bound_size\":{},\"stats\":{}}}\n",
+                "{{\"pareto\":[{}],\"max_throughput\":\"{}\",\"lower_bound_size\":{},\"upper_bound_size\":{},\"completeness\":{},\"skipped\":{},\"failures\":{},\"stats\":{}}}\n",
                 points.join(","),
                 result.max_throughput,
                 result.lower_bound_size,
                 result.upper_bound_size,
+                completeness_json(&result.completeness),
+                skipped_json(&result.skipped),
+                failures_json(&result.failures),
                 stats_json(&result.stats)
             ),
         )?;
@@ -303,11 +489,12 @@ fn print_front(
                 result.stats
             ),
         )?;
+        write_resilience_text(&result.completeness, &result.skipped, &result.failures, out)?;
     }
     Ok(())
 }
 
-pub fn explore(parsed: &ParsedArgs, out: Out<'_>) -> Result<(), String> {
+pub fn explore(parsed: &ParsedArgs, out: Out<'_>) -> Result<i32, String> {
     let path = parsed
         .positional
         .get(1)
@@ -318,57 +505,94 @@ pub fn explore(parsed: &ParsedArgs, out: Out<'_>) -> Result<(), String> {
     }
     let graph = read_sdf_xml(&text).map_err(|e| format!("cannot parse {path}: {e}"))?;
     preflight(parsed, &graph, out)?;
-    let opts = explore_options(parsed, &graph)?;
+    let fingerprint = fx_hash(&write_sdf_xml(&graph));
+    let mut opts = explore_options(parsed, &graph)?;
+    opts.cancel = Some(cancel_token(parsed)?);
+    opts.warm_start = resume_warm_start(parsed, fingerprint, graph.num_channels())?;
     let algorithm = parsed
         .options
         .get("algorithm")
         .map(String::as_str)
         .unwrap_or("guided");
-    let observer = observer_from(parsed)?;
-    let result = match algorithm {
-        "guided" => explore_dependency_guided_observed(&graph, &opts, &observer)
-            .map_err(|e| e.to_string())?,
-        "exhaustive" => {
-            explore_design_space_observed(&graph, &opts, &observer).map_err(|e| e.to_string())?
-        }
+    let observer = observer_from(parsed, fingerprint, graph.num_channels())?;
+    let run = match algorithm {
+        "guided" => explore_dependency_guided_observed(&graph, &opts, &observer),
+        "exhaustive" => explore_design_space_observed(&graph, &opts, &observer),
         other => return Err(format!("unknown algorithm {other:?} (guided|exhaustive)")),
     };
-    observer.finish()?;
-    print_front(&result, parsed, out)
+    let result = match run {
+        Ok(result) => result,
+        Err(ExploreError::Cancelled { reason }) => {
+            return cancelled_without_result(reason, &observer, out)
+        }
+        Err(e) => {
+            observer.finish("error").ok();
+            return Err(e.to_string());
+        }
+    };
+    observer.finish(end_reason(&result.completeness))?;
+    print_front(&result, parsed, out)?;
+    Ok(exit_code_for(&result.completeness))
 }
 
-pub fn constraint(parsed: &ParsedArgs, out: Out<'_>) -> Result<(), String> {
+pub fn constraint(parsed: &ParsedArgs, out: Out<'_>) -> Result<i32, String> {
     let graph = load_graph(parsed)?;
     preflight(parsed, &graph, out)?;
-    let opts = explore_options(parsed, &graph)?;
+    let fingerprint = fx_hash(&write_sdf_xml(&graph));
+    let mut opts = explore_options(parsed, &graph)?;
+    opts.cancel = Some(cancel_token(parsed)?);
+    opts.warm_start = resume_warm_start(parsed, fingerprint, graph.num_channels())?;
     let constraint: Rational = parsed
         .get("throughput")?
         .ok_or("--throughput R is required (e.g. --throughput 1/6)")?;
     if constraint <= Rational::ZERO {
         return Err("--throughput must be positive".into());
     }
-    let observer = observer_from(parsed)?;
-    let (p, stats) = min_storage_for_throughput_observed(&graph, constraint, &opts, &observer)
-        .map_err(|e| e.to_string())?;
-    observer.finish()?;
+    let observer = observer_from(parsed, fingerprint, graph.num_channels())?;
+    let r = match min_storage_for_throughput_observed(&graph, constraint, &opts, &observer) {
+        Ok(r) => r,
+        Err(ExploreError::Cancelled { reason }) => {
+            return cancelled_without_result(reason, &observer, out)
+        }
+        Err(e) => {
+            observer.finish("error").ok();
+            return Err(e.to_string());
+        }
+    };
+    observer.finish(end_reason(&r.completeness))?;
     if parsed.has_flag("json") {
-        return w(
+        w(
             out,
             format_args!(
-                "{{\"constraint\":\"{constraint}\",\"point\":{},\"stats\":{}}}\n",
-                point_json(&p),
-                stats_json(&stats)
+                "{{\"constraint\":\"{constraint}\",\"point\":{},\"completeness\":{},\"failures\":{},\"stats\":{}}}\n",
+                point_json(&r.point),
+                completeness_json(&r.completeness),
+                failures_json(&r.failures),
+                stats_json(&r.stats)
             ),
-        );
+        )?;
+        return Ok(exit_code_for(&r.completeness));
     }
     w(
         out,
         format_args!(
             "minimal storage for throughput ≥ {constraint}: size {} with γ = {} (achieves {})\n",
-            p.size, p.distribution, p.throughput
+            r.point.size, r.point.distribution, r.point.throughput
         ),
     )?;
-    w(out, format_args!("{stats}\n"))
+    w(out, format_args!("{}\n", r.stats))?;
+    if let Some(reason) = r.completeness.truncated_by {
+        w(
+            out,
+            format_args!(
+                "PARTIAL RESULT ({reason}): the witness is sound but may not be minimal \
+                 ({} smaller candidate distributions were never evaluated)\n",
+                r.completeness.distributions_skipped
+            ),
+        )?;
+    }
+    write_resilience_text(&Completeness::exact(), &[], &r.failures, out)?;
+    Ok(exit_code_for(&r.completeness))
 }
 
 pub fn schedule(parsed: &ParsedArgs, out: Out<'_>) -> Result<(), String> {
@@ -486,7 +710,7 @@ pub fn csdf_analyze(parsed: &ParsedArgs, out: Out<'_>) -> Result<(), String> {
     }
 }
 
-pub fn csdf_explore(parsed: &ParsedArgs, out: Out<'_>) -> Result<(), String> {
+pub fn csdf_explore(parsed: &ParsedArgs, out: Out<'_>) -> Result<i32, String> {
     let graph = load_csdf(parsed)?;
     let observed = match parsed.options.get("actor") {
         None => None,
@@ -497,28 +721,42 @@ pub fn csdf_explore(parsed: &ParsedArgs, out: Out<'_>) -> Result<(), String> {
         ),
     };
     csdf_preflight(parsed, &graph, observed, out)?;
+    let fingerprint = fx_hash(&buffy_csdf::xml::write_csdf_xml(&graph));
     let opts = buffy_csdf::CsdfExploreOptions {
         observed,
         max_size: parsed.get("max-size")?,
         threads: parsed.get("threads")?.unwrap_or(1),
         quantum: parsed.get("quantum")?,
+        cancel: Some(cancel_token(parsed)?),
+        warm_start: resume_warm_start(parsed, fingerprint, graph.num_channels())?,
         ..buffy_csdf::CsdfExploreOptions::default()
     };
-    let observer = observer_from(parsed)?;
-    let r =
-        buffy_csdf::csdf_explore_observed(&graph, &opts, &observer).map_err(|e| e.to_string())?;
-    observer.finish()?;
+    let observer = observer_from(parsed, fingerprint, graph.num_channels())?;
+    let r = match buffy_csdf::csdf_explore_observed(&graph, &opts, &observer) {
+        Ok(r) => r,
+        Err(buffy_csdf::CsdfError::Analysis(AnalysisError::Cancelled { reason })) => {
+            return cancelled_without_result(reason, &observer, out)
+        }
+        Err(e) => {
+            observer.finish("error").ok();
+            return Err(e.to_string());
+        }
+    };
+    observer.finish(end_reason(&r.completeness))?;
     if parsed.has_flag("json") {
         let points: Vec<String> = r.pareto.points().iter().map(point_json).collect();
         w(
             out,
             format_args!(
-                "{{\"pareto\":[{}],\"max_throughput\":\"{}\",\"stats\":{}}}\n",
+                "{{\"pareto\":[{}],\"max_throughput\":\"{}\",\"completeness\":{},\"skipped\":{},\"failures\":{},\"stats\":{}}}\n",
                 points.join(","),
                 r.max_throughput,
+                completeness_json(&r.completeness),
+                skipped_json(&r.skipped),
+                failures_json(&r.failures),
                 stats_json(&r.stats)
             ),
-        )
+        )?;
     } else if parsed.has_flag("csv") {
         w(out, format_args!("size,throughput,distribution\n"))?;
         for p in r.pareto.points() {
@@ -527,7 +765,6 @@ pub fn csdf_explore(parsed: &ParsedArgs, out: Out<'_>) -> Result<(), String> {
                 format_args!("{},{},\"{}\"\n", p.size, p.throughput, p.distribution),
             )?;
         }
-        Ok(())
     } else {
         for p in r.pareto.points() {
             w(out, format_args!("{p}\n"))?;
@@ -540,8 +777,10 @@ pub fn csdf_explore(parsed: &ParsedArgs, out: Out<'_>) -> Result<(), String> {
                 r.max_throughput,
                 r.stats
             ),
-        )
+        )?;
+        write_resilience_text(&r.completeness, &r.skipped, &r.failures, out)?;
     }
+    Ok(exit_code_for(&r.completeness))
 }
 
 pub fn gallery(parsed: &ParsedArgs, out: Out<'_>) -> Result<(), String> {

@@ -8,11 +8,15 @@
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
-#![forbid(unsafe_code)]
+// `deny` rather than `forbid`: the SIGINT handler in `signal` carries the
+// binary's single, explicitly-allowed `unsafe` block (a self-declared
+// `signal(2)` binding — no external crate).
+#![deny(unsafe_code)]
 
 mod args;
 mod commands;
 mod observe;
+mod signal;
 
 pub use args::{parse, parse_dist, ParsedArgs};
 
@@ -29,18 +33,21 @@ COMMANDS:
     info <graph.xml>                  graph summary: actors, channels, repetition
                                       vector, maximal throughput
     check <graph.xml> [--json] [--deny-warnings] [--dist 4,2]
-          [--throughput R] [--actor NAME]
+          [--throughput R] [--actor NAME] [--space-threshold N]
                                       statically verify the model: consistency,
                                       connectedness, guaranteed deadlock,
                                       infeasible constraints, overflow risk,
-                                      dead actors, modelling smells (codes
-                                      B001..B008); --json emits one JSON object
+                                      dead actors, modelling smells,
+                                      distribution-space explosion (codes
+                                      B001..B009); --json emits one JSON
+                                      object; --space-threshold tunes B009
     analyze <graph.xml> [--dist 4,2] [--actor NAME]
                                       throughput of one storage distribution
                                       (default: per-channel lower bounds)
     explore <graph.xml> [--algorithm guided|exhaustive] [--actor NAME]
             [--quantum R] [--max-size N] [--threads N] [--csv] [--json]
-            [--progress] [--trace-json FILE]
+            [--progress] [--trace-json FILE] [--timeout SECS]
+            [--max-evals N] [--checkpoint FILE] [--resume FILE]
                                       chart the Pareto space; CSDF inputs
                                       (type=\"csdf\") are routed through the
                                       cyclo-static explorer automatically;
@@ -50,12 +57,22 @@ COMMANDS:
                                       report, --progress reports phases and
                                       counts on stderr and --trace-json
                                       streams one JSON object per
-                                      evaluation/cache-hit/pareto event
+                                      evaluation/cache-hit/pareto event;
+                                      --timeout / --max-evals bound the run
+                                      and degrade it to a partial,
+                                      bound-annotated front; --checkpoint
+                                      periodically saves completed
+                                      evaluations and --resume warm-starts
+                                      from such a file, reproducing the
+                                      uninterrupted run exactly
     constraint <graph.xml> --throughput R [--actor NAME] [--json]
-               [--progress] [--trace-json FILE]
+               [--progress] [--trace-json FILE] [--timeout SECS]
+               [--max-evals N] [--checkpoint FILE] [--resume FILE]
                                       minimal storage meeting a throughput
                                       constraint (with evaluation
-                                      statistics)
+                                      statistics); a truncated run reports
+                                      a sound but possibly non-minimal
+                                      witness
     schedule <graph.xml> --dist 4,2 [--horizon N]
                                       extract and print the self-timed schedule
     convert <graph.xml> --to dot|xml  re-serialize the graph
@@ -70,24 +87,36 @@ COMMANDS:
                                       storage distribution
     csdf-explore <graph.xml> [--actor NAME] [--max-size N] [--threads N]
                  [--quantum R] [--csv] [--json] [--progress]
-                 [--trace-json FILE]
+                 [--trace-json FILE] [--timeout SECS] [--max-evals N]
+                 [--checkpoint FILE] [--resume FILE]
                                       Pareto space of a CSDF graph;
                                       --threads parallelizes the analyses
                                       (0 = auto-detect) and --quantum
                                       coarsens the searched throughputs
                                       (reported with evaluator cache
-                                      statistics)
+                                      statistics); the resilience options
+                                      behave as for explore
     help                              show this message
 
 analyze, explore, constraint, csdf-analyze and csdf-explore refuse models
 with error-level check findings; pass --force to run them anyway.
+
+EXIT CODES:
+    0    success, exact result
+    1    error (bad input, failed analysis, cancelled before any result)
+    3    partial result: a deadline or evaluation budget truncated the
+         run; the output is sound but incomplete
+    130  interrupted (Ctrl-C); the run wound down gracefully — partial
+         output printed, trace flushed, checkpoint saved
 ";
 
 /// Runs the CLI with the given arguments (excluding the program name),
-/// writing human-readable output to `out`. Returns the process exit code.
+/// writing human-readable output to `out`. Returns the process exit code:
+/// 0 for exact success, 1 for errors, 3 for deliberately truncated
+/// (partial) results and 130 for graceful SIGINT wind-down.
 pub fn run(raw_args: &[String], out: &mut dyn Write) -> i32 {
     match try_run(raw_args, out) {
-        Ok(()) => 0,
+        Ok(code) => code,
         Err(message) => {
             let _ = writeln!(out, "error: {message}");
             1
@@ -95,28 +124,29 @@ pub fn run(raw_args: &[String], out: &mut dyn Write) -> i32 {
     }
 }
 
-fn try_run(raw_args: &[String], out: &mut dyn Write) -> Result<(), String> {
+fn try_run(raw_args: &[String], out: &mut dyn Write) -> Result<i32, String> {
     let parsed = args::parse(raw_args)?;
     let command = parsed
         .positional
         .first()
         .map(String::as_str)
         .unwrap_or("help");
+    let done = |r: Result<(), String>| r.map(|()| 0);
     match command {
         "help" | "--help" | "-h" => {
             writeln!(out, "{USAGE}").map_err(|e| e.to_string())?;
-            Ok(())
+            Ok(0)
         }
-        "info" => commands::info(&parsed, out),
-        "check" => commands::check(&parsed, out),
-        "analyze" => commands::analyze(&parsed, out),
+        "info" => done(commands::info(&parsed, out)),
+        "check" => done(commands::check(&parsed, out)),
+        "analyze" => done(commands::analyze(&parsed, out)),
         "explore" => commands::explore(&parsed, out),
         "constraint" => commands::constraint(&parsed, out),
-        "schedule" => commands::schedule(&parsed, out),
-        "convert" => commands::convert(&parsed, out),
-        "generate" => commands::generate(&parsed, out),
-        "gallery" => commands::gallery(&parsed, out),
-        "csdf-analyze" => commands::csdf_analyze(&parsed, out),
+        "schedule" => done(commands::schedule(&parsed, out)),
+        "convert" => done(commands::convert(&parsed, out)),
+        "generate" => done(commands::generate(&parsed, out)),
+        "gallery" => done(commands::gallery(&parsed, out)),
+        "csdf-analyze" => done(commands::csdf_analyze(&parsed, out)),
         "csdf-explore" => commands::csdf_explore(&parsed, out),
         other => Err(format!("unknown command {other:?}; try `buffy help`")),
     }
@@ -371,6 +401,29 @@ mod tests {
     }
 
     #[test]
+    fn check_space_threshold_drives_b009() {
+        let (_, xml) = run_to_string(&["gallery", "example"]);
+        let path = std::env::temp_dir().join("buffy-cli-test-check-b009.xml");
+        std::fs::write(&path, &xml).unwrap();
+        let p = path.to_str().unwrap();
+
+        // At the default threshold the example graph is far too small.
+        let (code, text) = run_to_string(&["check", p]);
+        assert_eq!(code, 0, "{text}");
+        assert!(!text.contains("B009"), "{text}");
+
+        // Tightening the threshold surfaces the warning (still exit 0)
+        // and its hint names the resilience options.
+        let (code, text) = run_to_string(&["check", p, "--space-threshold", "1"]);
+        assert_eq!(code, 0, "{text}");
+        assert!(text.contains("warning[B009]"), "{text}");
+        assert!(text.contains("--checkpoint"), "{text}");
+        let (code, _) = run_to_string(&["check", p, "--space-threshold", "1", "--deny-warnings"]);
+        assert_eq!(code, 1);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
     fn analyses_refuse_error_models_unless_forced() {
         let cyc = r#"<sdf3><applicationGraph name="cyc"><sdf name="cyc">
              <actor name="x"/><actor name="y"/>
@@ -494,6 +547,182 @@ mod tests {
         ]);
         assert_eq!(code, 1, "{text}");
         assert!(text.contains("cannot create trace file"), "{text}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn eval_budget_yields_partial_json_and_exit_code_3() {
+        let (_, xml) = run_to_string(&["gallery", "example"]);
+        let path = std::env::temp_dir().join("buffy-cli-test-partial.xml");
+        std::fs::write(&path, &xml).unwrap();
+        let p = path.to_str().unwrap();
+
+        // A generous budget changes nothing: exact result, exit 0.
+        let (code, text) = run_to_string(&[
+            "explore",
+            p,
+            "--algorithm",
+            "exhaustive",
+            "--json",
+            "--max-evals",
+            "100000",
+        ]);
+        assert_eq!(code, 0, "{text}");
+        assert!(text.contains("\"completeness\":{\"exact\":true"), "{text}");
+        assert!(text.contains("\"skipped\":[]"), "{text}");
+        let evals: u64 = text
+            .split("\"evaluations\":")
+            .nth(1)
+            .and_then(|s| s.split(&[',', '}'][..]).next())
+            .and_then(|s| s.parse().ok())
+            .unwrap();
+        assert!(evals > 2, "{text}");
+
+        // One evaluation short of the full run: a sound partial front with
+        // a machine-readable completeness marker, exit code 3.
+        let budget = (evals - 1).to_string();
+        let trace = std::env::temp_dir().join("buffy-cli-test-partial-trace.jsonl");
+        let (code, text) = run_to_string(&[
+            "explore",
+            p,
+            "--algorithm",
+            "exhaustive",
+            "--json",
+            "--max-evals",
+            &budget,
+            "--trace-json",
+            trace.to_str().unwrap(),
+        ]);
+        assert_eq!(code, 3, "{text}");
+        assert!(
+            text.contains("\"completeness\":{\"exact\":false,\"truncated_by\":\"eval-budget\""),
+            "{text}"
+        );
+        // The trace ends with the final end event naming the same reason.
+        let trace_text = std::fs::read_to_string(&trace).unwrap();
+        let last = trace_text.lines().last().unwrap();
+        assert!(
+            last.contains("\"event\":\"end\"") && last.contains("\"reason\":\"eval-budget\""),
+            "{last}"
+        );
+
+        // The text rendering names the partiality too.
+        let (code, text) = run_to_string(&[
+            "explore",
+            p,
+            "--algorithm",
+            "exhaustive",
+            "--max-evals",
+            &budget,
+        ]);
+        assert_eq!(code, 3, "{text}");
+        assert!(text.contains("PARTIAL RESULT"), "{text}");
+
+        // A budget of 1 cannot even finish the bounds phase: a clean
+        // error, not a crash.
+        let (code, text) = run_to_string(&[
+            "explore",
+            p,
+            "--algorithm",
+            "exhaustive",
+            "--max-evals",
+            "1",
+        ]);
+        assert_eq!(code, 1, "{text}");
+        assert!(text.contains("cancelled"), "{text}");
+
+        std::fs::remove_file(&path).ok();
+        std::fs::remove_file(&trace).ok();
+    }
+
+    #[test]
+    fn checkpoint_resume_reproduces_the_run() {
+        let (_, xml) = run_to_string(&["gallery", "example"]);
+        let path = std::env::temp_dir().join("buffy-cli-test-ckpt.xml");
+        std::fs::write(&path, &xml).unwrap();
+        let p = path.to_str().unwrap();
+        let ckpt = std::env::temp_dir().join("buffy-cli-test-ckpt.ckpt");
+        let c = ckpt.to_str().unwrap();
+
+        // Clean reference run.
+        let (code, clean) = run_to_string(&["explore", p, "--algorithm", "exhaustive", "--csv"]);
+        assert_eq!(code, 0, "{clean}");
+
+        // Interrupted run (evaluation budget) writing a checkpoint.
+        let (code, _) = run_to_string(&[
+            "explore",
+            p,
+            "--algorithm",
+            "exhaustive",
+            "--csv",
+            "--max-evals",
+            "6",
+            "--checkpoint",
+            c,
+        ]);
+        assert!(code == 1 || code == 3, "unexpected code {code}");
+        assert!(ckpt.exists());
+
+        // Resume from the checkpoint: byte-identical front to the clean
+        // run, and the replayed evaluations cost no analysis time.
+        let (code, resumed) = run_to_string(&[
+            "explore",
+            p,
+            "--algorithm",
+            "exhaustive",
+            "--csv",
+            "--resume",
+            c,
+        ]);
+        assert_eq!(code, 0, "{resumed}");
+        assert_eq!(resumed, clean);
+
+        // Resuming against a different graph is refused.
+        let (_, other_xml) = run_to_string(&["gallery", "modem"]);
+        let other = std::env::temp_dir().join("buffy-cli-test-ckpt-other.xml");
+        std::fs::write(&other, &other_xml).unwrap();
+        let (code, text) = run_to_string(&[
+            "explore",
+            other.to_str().unwrap(),
+            "--algorithm",
+            "exhaustive",
+            "--resume",
+            c,
+        ]);
+        assert_eq!(code, 1, "{text}");
+        assert!(text.contains("different graph"), "{text}");
+
+        // A corrupted checkpoint is refused, not silently ignored.
+        let mut bytes = std::fs::read(&ckpt).unwrap();
+        let len = bytes.len();
+        bytes.truncate(len / 2);
+        std::fs::write(&ckpt, &bytes).unwrap();
+        let (code, text) =
+            run_to_string(&["explore", p, "--algorithm", "exhaustive", "--resume", c]);
+        assert_eq!(code, 1, "{text}");
+        assert!(text.contains("corrupt"), "{text}");
+
+        std::fs::remove_file(&path).ok();
+        std::fs::remove_file(&other).ok();
+        std::fs::remove_file(&ckpt).ok();
+    }
+
+    #[test]
+    fn timeout_option_is_validated() {
+        let (_, xml) = run_to_string(&["gallery", "example"]);
+        let path = std::env::temp_dir().join("buffy-cli-test-timeout.xml");
+        std::fs::write(&path, &xml).unwrap();
+        let p = path.to_str().unwrap();
+
+        let (code, text) = run_to_string(&["explore", p, "--timeout", "abc"]);
+        assert_eq!(code, 1);
+        assert!(text.contains("--timeout"), "{text}");
+        let (code, text) = run_to_string(&["explore", p, "--timeout", "-1"]);
+        assert_eq!(code, 1);
+        assert!(text.contains("positive"), "{text}");
+        // A generous timeout leaves the run exact.
+        let (code, text) = run_to_string(&["explore", p, "--timeout", "3600"]);
+        assert_eq!(code, 0, "{text}");
         std::fs::remove_file(&path).ok();
     }
 

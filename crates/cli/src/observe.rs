@@ -1,36 +1,73 @@
-//! Progress reporting and JSON-lines tracing for the exploration commands.
+//! Progress reporting, JSON-lines tracing and checkpointing for the
+//! exploration commands.
 //!
 //! [`CliObserver`] implements the kernel's
 //! [`ExploreObserver`](buffy_core::ExploreObserver) and fans each event out
-//! to up to two sinks:
+//! to up to three sinks:
 //!
 //! - `--progress`: human-readable status on **stderr** (phase transitions,
 //!   periodic evaluation counts, accepted Pareto points) — stdout stays
 //!   reserved for the command's actual output;
-//! - `--trace-json <file>`: one JSON object per line (JSON-lines), one
-//!   line per structured event, written through a buffered writer that is
-//!   flushed by [`CliObserver::finish`].
+//! - `--trace-json <file>`: one JSON object per line (JSON-lines). Each
+//!   line is written with a single `write_all` call as it happens, so an
+//!   interrupted or failing run never leaves a truncated object behind,
+//!   and [`CliObserver::finish`] appends a final
+//!   `{"event":"end","reason":…}` record on every exit path;
+//! - `--checkpoint <file>`: the completed evaluations accumulate into a
+//!   [`Checkpoint`] that is re-saved (atomically, via a temporary file)
+//!   every [`CHECKPOINT_EVERY`] evaluations and once more at `finish`.
 //!
 //! The trace vocabulary (the `event` field): `phase`, `evaluation`,
-//! `cache-hit`, `pareto`. All values are numbers, fixed enum names or
-//! rationals rendered as `"p/q"`, so the lines need no string escaping.
+//! `cache-hit`, `pareto`, `evaluation-failed`, `end`. All values are
+//! numbers, fixed enum names, rationals rendered as `"p/q"`, or
+//! JSON-escaped strings.
 
-use buffy_core::{ExploreObserver, ParetoPoint, SearchPhase};
+use buffy_core::{Checkpoint, CheckpointEntry, ExploreObserver, ParetoPoint, SearchPhase};
 use buffy_graph::{Rational, StorageDistribution};
+use std::fmt::Write as _;
 use std::fs::File;
-use std::io::{BufWriter, Write};
+use std::io::Write;
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
 /// How many evaluations between `--progress` status lines.
 const PROGRESS_EVERY: u64 = 64;
 
-/// Observer wired to the `--progress` and `--trace-json` options.
+/// How many evaluations between periodic checkpoint saves.
+const CHECKPOINT_EVERY: u64 = 64;
+
+/// Where and what to checkpoint (`--checkpoint`).
+pub struct CheckpointConfig {
+    /// Target file.
+    pub path: PathBuf,
+    /// Fingerprint of the graph under exploration.
+    pub fingerprint: u64,
+    /// Channel count of the graph (arity of every entry).
+    pub channels: usize,
+}
+
+struct CheckpointSink {
+    path: PathBuf,
+    checkpoint: Checkpoint,
+    since_save: u64,
+}
+
+impl CheckpointSink {
+    fn save(&mut self) -> Result<(), String> {
+        self.since_save = 0;
+        self.checkpoint.save(&self.path).map_err(|e| e.to_string())
+    }
+}
+
+/// Observer wired to the `--progress`, `--trace-json` and `--checkpoint`
+/// options.
 pub struct CliObserver {
     progress: bool,
     evaluations: AtomicU64,
     cache_hits: AtomicU64,
-    trace: Option<Mutex<BufWriter<File>>>,
+    trace: Option<Mutex<File>>,
+    checkpoint: Option<Mutex<CheckpointSink>>,
 }
 
 impl CliObserver {
@@ -41,44 +78,70 @@ impl CliObserver {
     /// Returns a message when the `--trace-json` path cannot be created
     /// (missing directory, no permission, …) — the command refuses to run
     /// rather than silently dropping the trace.
-    pub fn from_options(progress: bool, trace_path: Option<&str>) -> Result<CliObserver, String> {
+    pub fn from_options(
+        progress: bool,
+        trace_path: Option<&str>,
+        checkpoint: Option<CheckpointConfig>,
+    ) -> Result<CliObserver, String> {
         let trace = match trace_path {
             None => None,
             Some(path) => {
                 let file = File::create(path)
                     .map_err(|e| format!("cannot create trace file {path}: {e}"))?;
-                Some(Mutex::new(BufWriter::new(file)))
+                Some(Mutex::new(file))
             }
         };
+        let checkpoint = checkpoint.map(|config| {
+            Mutex::new(CheckpointSink {
+                path: config.path,
+                checkpoint: Checkpoint::new(config.fingerprint, config.channels),
+                since_save: 0,
+            })
+        });
         Ok(CliObserver {
             progress,
             evaluations: AtomicU64::new(0),
             cache_hits: AtomicU64::new(0),
             trace,
+            checkpoint,
         })
     }
 
     fn trace_line(&self, line: std::fmt::Arguments<'_>) {
         if let Some(trace) = &self.trace {
+            // One write_all per complete line: a crash between events never
+            // leaves a JSON object cut in half.
+            let mut text = line.to_string();
+            text.push('\n');
             if let Ok(mut writer) = trace.lock() {
-                let _ = writeln!(writer, "{line}");
+                let _ = writer.write_all(text.as_bytes());
             }
         }
     }
 
-    /// Flushes the trace file.
+    /// Closes the run: appends the trace's final
+    /// `{"event":"end","reason":…}` record and saves the checkpoint one
+    /// last time. Call exactly once, on every exit path — `reason` is
+    /// `"exact"` for complete runs, the cancellation reason's name for
+    /// truncated ones, `"error"` when the run failed.
     ///
     /// # Errors
     ///
-    /// Returns a message when the buffered trace cannot be written out.
-    pub fn finish(self) -> Result<(), String> {
-        if let Some(trace) = self.trace {
-            let mut writer = trace
-                .into_inner()
-                .map_err(|_| "trace writer poisoned".to_string())?;
+    /// Returns a message when the trace or checkpoint cannot be written.
+    pub fn finish(&self, reason: &str) -> Result<(), String> {
+        self.trace_line(format_args!(
+            "{{\"event\":\"end\",\"reason\":\"{}\"}}",
+            json_escape(reason)
+        ));
+        if let Some(trace) = &self.trace {
+            let mut writer = trace.lock().map_err(|_| "trace writer poisoned")?;
             writer
                 .flush()
                 .map_err(|e| format!("cannot write trace file: {e}"))?;
+        }
+        if let Some(checkpoint) = &self.checkpoint {
+            let mut sink = checkpoint.lock().map_err(|_| "checkpoint sink poisoned")?;
+            sink.save()?;
         }
         Ok(())
     }
@@ -88,6 +151,25 @@ impl CliObserver {
 pub(crate) fn dist_json(dist: &StorageDistribution) -> String {
     let caps: Vec<String> = dist.as_slice().iter().map(u64::to_string).collect();
     format!("[{}]", caps.join(","))
+}
+
+/// Escapes a string for embedding in a JSON string literal.
+pub(crate) fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
 }
 
 impl ExploreObserver for CliObserver {
@@ -123,6 +205,32 @@ impl ExploreObserver for CliObserver {
             states,
             nanos
         ));
+        if let Some(checkpoint) = &self.checkpoint {
+            if let Ok(mut sink) = checkpoint.lock() {
+                sink.checkpoint.entries.push(CheckpointEntry {
+                    capacities: dist.as_slice().to_vec(),
+                    throughput,
+                    states,
+                });
+                sink.since_save += 1;
+                if sink.since_save >= CHECKPOINT_EVERY {
+                    // Periodic saves are best-effort; the final save in
+                    // `finish` reports failures.
+                    let _ = sink.save();
+                }
+            }
+        }
+    }
+
+    fn evaluation_failed(&self, dist: &StorageDistribution, message: &str) {
+        if self.progress {
+            eprintln!("[buffy] evaluation of {dist} failed: {message}");
+        }
+        self.trace_line(format_args!(
+            "{{\"event\":\"evaluation-failed\",\"distribution\":{},\"message\":\"{}\"}}",
+            dist_json(dist),
+            json_escape(message)
+        ));
     }
 
     fn cache_hit(&self, dist: &StorageDistribution) {
@@ -155,26 +263,34 @@ mod tests {
 
     #[test]
     fn uncreatable_trace_path_is_a_proper_error() {
-        let err = CliObserver::from_options(false, Some("/nonexistent-dir/trace.jsonl"))
+        let err = CliObserver::from_options(false, Some("/nonexistent-dir/trace.jsonl"), None)
             .err()
             .expect("creating a trace in a missing directory must fail");
         assert!(err.contains("cannot create trace file"), "{err}");
     }
 
     #[test]
+    fn json_escaping_covers_specials() {
+        assert_eq!(json_escape("plain"), "plain");
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(json_escape("\u{1}"), "\\u0001");
+    }
+
+    #[test]
     fn trace_lines_are_json_objects() {
         let path = std::env::temp_dir().join("buffy-observe-test-trace.jsonl");
-        let obs = CliObserver::from_options(false, Some(path.to_str().unwrap())).unwrap();
+        let obs = CliObserver::from_options(false, Some(path.to_str().unwrap()), None).unwrap();
         obs.phase_started(SearchPhase::Bounds);
         let d = StorageDistribution::from_capacities(vec![4, 2]);
         obs.evaluation_finished(&d, Rational::new(1, 7), 5, 1234);
         obs.cache_hit(&d);
+        obs.evaluation_failed(&d, "panicked: \"why\"");
         obs.pareto_accepted(&ParetoPoint::new(d, Rational::new(1, 7)));
-        obs.finish().unwrap();
+        obs.finish("exact").unwrap();
 
         let text = std::fs::read_to_string(&path).unwrap();
         let lines: Vec<&str> = text.lines().collect();
-        assert_eq!(lines.len(), 4);
+        assert_eq!(lines.len(), 6);
         assert!(lines[0].contains("\"event\":\"phase\""), "{}", lines[0]);
         assert!(
             lines[1].contains("\"event\":\"evaluation\"")
@@ -185,9 +301,20 @@ mod tests {
         );
         assert!(lines[2].contains("\"event\":\"cache-hit\""), "{}", lines[2]);
         assert!(
-            lines[3].contains("\"event\":\"pareto\"") && lines[3].contains("\"size\":6"),
+            lines[3].contains("\"event\":\"evaluation-failed\"")
+                && lines[3].contains("panicked: \\\"why\\\""),
             "{}",
             lines[3]
+        );
+        assert!(
+            lines[4].contains("\"event\":\"pareto\"") && lines[4].contains("\"size\":6"),
+            "{}",
+            lines[4]
+        );
+        assert!(
+            lines[5].contains("\"event\":\"end\"") && lines[5].contains("\"reason\":\"exact\""),
+            "{}",
+            lines[5]
         );
         // Every line is a single JSON object: braces balance and the line
         // starts/ends with them (the smoke-level check the CI run repeats
@@ -195,6 +322,35 @@ mod tests {
         for line in lines {
             assert!(line.starts_with('{') && line.ends_with('}'), "{line}");
         }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn checkpoint_sink_records_evaluations() {
+        let path = std::env::temp_dir().join("buffy-observe-test-checkpoint.ckpt");
+        let obs = CliObserver::from_options(
+            false,
+            None,
+            Some(CheckpointConfig {
+                path: path.clone(),
+                fingerprint: 99,
+                channels: 2,
+            }),
+        )
+        .unwrap();
+        let d1 = StorageDistribution::from_capacities(vec![4, 2]);
+        let d2 = StorageDistribution::from_capacities(vec![5, 3]);
+        obs.evaluation_finished(&d1, Rational::new(1, 7), 5, 10);
+        obs.evaluation_finished(&d2, Rational::new(1, 6), 8, 20);
+        obs.finish("exact").unwrap();
+
+        let cp = Checkpoint::load(&path).unwrap();
+        assert_eq!(cp.fingerprint, 99);
+        assert_eq!(cp.channels, 2);
+        assert_eq!(cp.entries.len(), 2);
+        let map = cp.warm_start_map();
+        assert_eq!(map.get(&d1), Some(&(Rational::new(1, 7), 5)));
+        assert_eq!(map.get(&d2), Some(&(Rational::new(1, 6), 8)));
         std::fs::remove_file(&path).ok();
     }
 }

@@ -1,0 +1,117 @@
+//! SIGINT handling: converts the first Ctrl-C into cooperative
+//! cancellation.
+//!
+//! The exploration commands register their [`CancelToken`] through
+//! [`watch`]. The first `watch` call installs a minimal SIGINT handler
+//! (the only unsafe code in the binary — a self-declared `signal(2)`
+//! binding, no external crate) that merely sets an atomic flag; a watcher
+//! thread polls the flag every ~20 ms and cancels every registered token
+//! with [`CancelReason::Interrupt`]. The run then winds down
+//! cooperatively — partial front, flushed trace, saved checkpoint — and
+//! exits with status 130. The handler re-arms the default disposition
+//! after the first signal, so a second Ctrl-C terminates the process
+//! immediately if the graceful path hangs.
+//!
+//! On non-Unix targets [`watch`] is a no-op.
+
+use buffy_core::CancelToken;
+use std::sync::Arc;
+
+/// Registers a token to be cancelled when SIGINT arrives, installing the
+/// process-wide handler on first use.
+pub fn watch(token: &Arc<CancelToken>) {
+    imp::watch(token);
+}
+
+#[cfg(unix)]
+#[allow(unsafe_code)] // the `signal(2)` binding below — the only unsafe in the binary
+mod imp {
+    use buffy_core::{CancelReason, CancelToken};
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::{Arc, Mutex, OnceLock, Weak};
+    use std::time::Duration;
+
+    /// Set by the signal handler, drained by the watcher thread.
+    static INTERRUPTED: AtomicBool = AtomicBool::new(false);
+
+    const SIGINT: i32 = 2;
+    const SIG_DFL: usize = 0;
+
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+
+    extern "C" fn on_sigint(_signum: i32) {
+        INTERRUPTED.store(true, Ordering::SeqCst);
+        // Restore the default disposition: a second Ctrl-C kills the
+        // process outright instead of being swallowed. `signal` is
+        // async-signal-safe.
+        unsafe {
+            signal(SIGINT, SIG_DFL);
+        }
+    }
+
+    fn tokens() -> &'static Mutex<Vec<Weak<CancelToken>>> {
+        static TOKENS: OnceLock<Mutex<Vec<Weak<CancelToken>>>> = OnceLock::new();
+        TOKENS.get_or_init(|| Mutex::new(Vec::new()))
+    }
+
+    pub fn watch(token: &Arc<CancelToken>) {
+        if let Ok(mut list) = tokens().lock() {
+            list.retain(|t| t.strong_count() > 0);
+            list.push(Arc::downgrade(token));
+        }
+        static INSTALLED: OnceLock<()> = OnceLock::new();
+        INSTALLED.get_or_init(|| {
+            unsafe {
+                signal(SIGINT, on_sigint as extern "C" fn(i32) as usize);
+            }
+            std::thread::spawn(|| loop {
+                if INTERRUPTED.swap(false, Ordering::SeqCst) {
+                    if let Ok(mut list) = tokens().lock() {
+                        for token in list.drain(..).filter_map(|t| t.upgrade()) {
+                            token.cancel(CancelReason::Interrupt);
+                        }
+                    }
+                }
+                std::thread::sleep(Duration::from_millis(20));
+            });
+        });
+    }
+}
+
+#[cfg(not(unix))]
+mod imp {
+    use buffy_core::CancelToken;
+    use std::sync::Arc;
+
+    pub fn watch(_token: &Arc<CancelToken>) {}
+}
+
+#[cfg(all(test, unix))]
+#[allow(unsafe_code)] // delivers a real SIGINT to the test process via raise(2)
+mod tests {
+    use super::*;
+    use buffy_core::CancelReason;
+    use std::time::{Duration, Instant};
+
+    extern "C" {
+        fn raise(signum: i32) -> i32;
+    }
+
+    #[test]
+    fn sigint_cancels_watched_tokens() {
+        let token = Arc::new(CancelToken::new());
+        watch(&token);
+        // Deliver a real SIGINT to ourselves; the installed handler
+        // swallows it and the watcher thread cancels the token.
+        unsafe {
+            raise(2);
+        }
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while !token.is_cancelled() && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert_eq!(token.check(), Some(CancelReason::Interrupt));
+    }
+}

@@ -1,0 +1,330 @@
+//! Checkpointing of exploration runs.
+//!
+//! A checkpoint is the portable part of an exploration's memoized state:
+//! the set of completed throughput evaluations (distribution → throughput
+//! and reduced-state count). Restoring it via
+//! [`ExploreOptions::warm_start`](crate::ExploreOptions::warm_start)
+//! replays each entry as a recorded evaluation on first request, so a
+//! resumed run reproduces the Pareto front *and* the statistics of an
+//! uninterrupted one byte for byte.
+//!
+//! The on-disk format is a versioned, checksummed text file:
+//!
+//! ```text
+//! buffy-checkpoint v1
+//! fingerprint 00f3a6e2d1c4b597
+//! channels 2
+//! entries 2
+//! 4 2 1/7 42
+//! 5 3 1/6 57
+//! checksum 8c1d2e3f4a5b6078
+//! ```
+//!
+//! The fingerprint identifies the graph the entries belong to (callers
+//! hash a canonical rendering of the model); the trailing checksum is the
+//! [`fx_hash`] of everything above it, so truncated or corrupted files are
+//! rejected instead of silently poisoning a resumed run. Writes go through
+//! a temporary file renamed into place, so a crash mid-write never leaves
+//! a half-written checkpoint at the target path.
+
+use crate::explore::WarmStart;
+use buffy_analysis::fx_hash;
+use buffy_graph::{Rational, StorageDistribution};
+use std::fmt;
+use std::fmt::Write as _;
+use std::path::Path;
+
+/// Magic first line identifying the format and its version.
+const MAGIC: &str = "buffy-checkpoint v1";
+
+/// One completed evaluation: a storage distribution with its analysed
+/// throughput and the size of the reduced state space the analysis stored.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CheckpointEntry {
+    /// The per-channel capacities of the distribution.
+    pub capacities: Vec<u64>,
+    /// The analysed throughput.
+    pub throughput: Rational,
+    /// Reduced states stored by the analysis (replayed into the
+    /// `max_states` statistic on resume).
+    pub states: u64,
+}
+
+/// A checkpoint: the completed evaluations of one exploration run, tagged
+/// with a fingerprint of the graph they belong to.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Checkpoint {
+    /// Fingerprint of the model (callers hash a canonical rendering);
+    /// resuming against a different graph is refused by the CLI.
+    pub fingerprint: u64,
+    /// Number of channels (length of every entry's capacity vector).
+    pub channels: usize,
+    /// The completed evaluations.
+    pub entries: Vec<CheckpointEntry>,
+}
+
+/// Errors loading or saving a [`Checkpoint`].
+#[derive(Debug)]
+pub enum CheckpointError {
+    /// Reading or writing the file failed.
+    Io(String),
+    /// The file is not a valid checkpoint (bad magic, malformed line,
+    /// checksum mismatch, truncation).
+    Corrupt(String),
+}
+
+impl fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CheckpointError::Io(m) => write!(f, "checkpoint I/O error: {m}"),
+            CheckpointError::Corrupt(m) => write!(f, "corrupt checkpoint: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {}
+
+fn corrupt(m: impl Into<String>) -> CheckpointError {
+    CheckpointError::Corrupt(m.into())
+}
+
+impl Checkpoint {
+    /// An empty checkpoint for a graph with `channels` channels.
+    pub fn new(fingerprint: u64, channels: usize) -> Checkpoint {
+        Checkpoint {
+            fingerprint,
+            channels,
+            entries: Vec::new(),
+        }
+    }
+
+    /// Renders the checkpoint in its on-disk text format, including the
+    /// trailing checksum line.
+    pub fn render(&self) -> String {
+        let mut body = String::new();
+        let _ = writeln!(body, "{MAGIC}");
+        let _ = writeln!(body, "fingerprint {:016x}", self.fingerprint);
+        let _ = writeln!(body, "channels {}", self.channels);
+        let _ = writeln!(body, "entries {}", self.entries.len());
+        for e in &self.entries {
+            debug_assert_eq!(e.capacities.len(), self.channels);
+            for c in &e.capacities {
+                let _ = write!(body, "{c} ");
+            }
+            let _ = writeln!(body, "{} {}", e.throughput, e.states);
+        }
+        let checksum = fx_hash(&body);
+        let _ = writeln!(body, "checksum {checksum:016x}");
+        body
+    }
+
+    /// Parses the on-disk text format, verifying magic, counts and
+    /// checksum.
+    ///
+    /// # Errors
+    ///
+    /// [`CheckpointError::Corrupt`] on any malformation.
+    pub fn parse(text: &str) -> Result<Checkpoint, CheckpointError> {
+        let idx = text
+            .rfind("\nchecksum ")
+            .ok_or_else(|| corrupt("missing checksum line"))?;
+        let body = &text[..idx + 1];
+        let declared = text[idx + "\nchecksum ".len()..].trim();
+        let declared =
+            u64::from_str_radix(declared, 16).map_err(|_| corrupt("malformed checksum"))?;
+        let actual = fx_hash(&body.to_string());
+        if declared != actual {
+            return Err(corrupt(format!(
+                "checksum mismatch: file says {declared:016x}, content hashes to {actual:016x}"
+            )));
+        }
+
+        let mut lines = body.lines();
+        let magic = lines.next().ok_or_else(|| corrupt("empty file"))?;
+        if magic != MAGIC {
+            return Err(corrupt(format!(
+                "unsupported header {magic:?} (expected {MAGIC:?})"
+            )));
+        }
+        let field = |line: Option<&str>, name: &str| -> Result<String, CheckpointError> {
+            let line = line.ok_or_else(|| corrupt(format!("missing {name} line")))?;
+            line.strip_prefix(name)
+                .and_then(|rest| rest.strip_prefix(' '))
+                .map(str::to_string)
+                .ok_or_else(|| corrupt(format!("malformed {name} line {line:?}")))
+        };
+        let fingerprint = u64::from_str_radix(&field(lines.next(), "fingerprint")?, 16)
+            .map_err(|_| corrupt("malformed fingerprint"))?;
+        let channels: usize = field(lines.next(), "channels")?
+            .parse()
+            .map_err(|_| corrupt("malformed channel count"))?;
+        let count: usize = field(lines.next(), "entries")?
+            .parse()
+            .map_err(|_| corrupt("malformed entry count"))?;
+
+        let mut entries = Vec::with_capacity(count);
+        for _ in 0..count {
+            let line = lines
+                .next()
+                .ok_or_else(|| corrupt("fewer entries than declared"))?;
+            let fields: Vec<&str> = line.split_whitespace().collect();
+            if fields.len() != channels + 2 {
+                return Err(corrupt(format!("malformed entry line {line:?}")));
+            }
+            let capacities = fields[..channels]
+                .iter()
+                .map(|f| f.parse::<u64>())
+                .collect::<Result<Vec<u64>, _>>()
+                .map_err(|_| corrupt(format!("malformed capacity in {line:?}")))?;
+            let throughput: Rational = fields[channels]
+                .parse()
+                .map_err(|_| corrupt(format!("malformed throughput in {line:?}")))?;
+            let states: u64 = fields[channels + 1]
+                .parse()
+                .map_err(|_| corrupt(format!("malformed state count in {line:?}")))?;
+            entries.push(CheckpointEntry {
+                capacities,
+                throughput,
+                states,
+            });
+        }
+        if lines.next().is_some() {
+            return Err(corrupt("more entries than declared"));
+        }
+        Ok(Checkpoint {
+            fingerprint,
+            channels,
+            entries,
+        })
+    }
+
+    /// Writes the checkpoint to `path` atomically: the rendering goes to a
+    /// sibling temporary file first and is renamed into place, so an
+    /// interrupted write never leaves a torn checkpoint behind.
+    ///
+    /// # Errors
+    ///
+    /// [`CheckpointError::Io`] when writing or renaming fails.
+    pub fn save(&self, path: &Path) -> Result<(), CheckpointError> {
+        let mut tmp = path.as_os_str().to_os_string();
+        tmp.push(".tmp");
+        let tmp = std::path::PathBuf::from(tmp);
+        std::fs::write(&tmp, self.render())
+            .map_err(|e| CheckpointError::Io(format!("cannot write {}: {e}", tmp.display())))?;
+        std::fs::rename(&tmp, path).map_err(|e| {
+            CheckpointError::Io(format!(
+                "cannot rename {} to {}: {e}",
+                tmp.display(),
+                path.display()
+            ))
+        })
+    }
+
+    /// Loads and verifies a checkpoint from `path`.
+    ///
+    /// # Errors
+    ///
+    /// [`CheckpointError::Io`] when reading fails,
+    /// [`CheckpointError::Corrupt`] when verification does.
+    pub fn load(path: &Path) -> Result<Checkpoint, CheckpointError> {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| CheckpointError::Io(format!("cannot read {}: {e}", path.display())))?;
+        Checkpoint::parse(&text)
+    }
+
+    /// The warm-start map this checkpoint restores
+    /// ([`ExploreOptions::warm_start`](crate::ExploreOptions::warm_start)).
+    pub fn warm_start_map(&self) -> WarmStart {
+        self.entries
+            .iter()
+            .map(|e| {
+                (
+                    StorageDistribution::from_capacities(e.capacities.clone()),
+                    (e.throughput, e.states),
+                )
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Checkpoint {
+        Checkpoint {
+            fingerprint: 0x00f3_a6e2_d1c4_b597,
+            channels: 2,
+            entries: vec![
+                CheckpointEntry {
+                    capacities: vec![4, 2],
+                    throughput: Rational::new(1, 7),
+                    states: 42,
+                },
+                CheckpointEntry {
+                    capacities: vec![5, 3],
+                    throughput: Rational::new(1, 6),
+                    states: 57,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn render_parse_round_trips() {
+        let cp = sample();
+        let text = cp.render();
+        assert!(text.starts_with(MAGIC));
+        assert!(text.ends_with('\n'));
+        let back = Checkpoint::parse(&text).unwrap();
+        assert_eq!(back, cp);
+        let empty = Checkpoint::new(7, 3);
+        assert_eq!(Checkpoint::parse(&empty.render()).unwrap(), empty);
+    }
+
+    #[test]
+    fn warm_start_map_restores_entries() {
+        let map = sample().warm_start_map();
+        assert_eq!(map.len(), 2);
+        let d = StorageDistribution::from_capacities(vec![4, 2]);
+        assert_eq!(map.get(&d), Some(&(Rational::new(1, 7), 42)));
+    }
+
+    #[test]
+    fn corruption_is_rejected() {
+        let text = sample().render();
+        // Flip one capacity digit: the checksum no longer matches.
+        let tampered = text.replacen("4 2 1/7", "9 2 1/7", 1);
+        assert!(matches!(
+            Checkpoint::parse(&tampered),
+            Err(CheckpointError::Corrupt(_))
+        ));
+        // Truncation loses the checksum line entirely.
+        let truncated = &text[..text.len() / 2];
+        assert!(Checkpoint::parse(truncated).is_err());
+        // A different version tag is refused even with a valid checksum.
+        let other = text.replacen("v1", "v9", 1);
+        assert!(Checkpoint::parse(&other).is_err());
+        // Entry count mismatch.
+        let short = text.replacen("entries 2", "entries 3", 1);
+        assert!(Checkpoint::parse(&short).is_err());
+    }
+
+    #[test]
+    fn save_and_load_round_trip() {
+        let dir = std::env::temp_dir().join(format!(
+            "buffy-checkpoint-test-{}-{:x}",
+            std::process::id(),
+            fx_hash(&"save_and_load_round_trip")
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("run.ckpt");
+        let cp = sample();
+        cp.save(&path).unwrap();
+        assert_eq!(Checkpoint::load(&path).unwrap(), cp);
+        // Overwriting is atomic-by-rename: the temporary never lingers.
+        cp.save(&path).unwrap();
+        assert!(!dir.join("run.ckpt.tmp").exists());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

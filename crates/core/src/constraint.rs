@@ -10,12 +10,31 @@
 use crate::bounds::upper_bound_distribution_with;
 use crate::enumerate::DistributionSpace;
 use crate::error::ExploreError;
-use crate::explore::{Evaluator, ExploreOptions};
+use crate::explore::{salvage, Evaluator, ExploreOptions, SKIP_COUNT_CAP};
 use crate::pareto::ParetoPoint;
-use crate::runtime::{ExplorationStats, ExploreObserver, NoopObserver, SearchPhase};
-use buffy_analysis::DataflowSemantics;
+use crate::runtime::{
+    Completeness, EvaluationFailure, ExplorationStats, ExploreObserver, NoopObserver, SearchPhase,
+};
+use buffy_analysis::{CancelReason, DataflowSemantics};
 use buffy_graph::{Rational, SdfGraph};
 use std::ops::ControlFlow;
+
+/// Outcome of a constraint search ([`min_storage_for_throughput_observed`]).
+#[derive(Debug, Clone)]
+pub struct ConstraintResult {
+    /// The witnessing point: distribution, size, exact throughput (which
+    /// may exceed the constraint). For truncated runs this is the best
+    /// *sound* witness found — it meets the constraint, but undecided
+    /// smaller sizes might too.
+    pub point: ParetoPoint,
+    /// Whether the minimality proof ran to completion.
+    pub completeness: Completeness,
+    /// Evaluations that panicked and were degraded to zero-throughput
+    /// entries.
+    pub failures: Vec<EvaluationFailure>,
+    /// Evaluation statistics of the search.
+    pub stats: ExplorationStats,
+}
 
 /// Finds a smallest storage distribution whose throughput is at least
 /// `constraint`.
@@ -73,13 +92,17 @@ pub fn min_storage_for_throughput_for<M: DataflowSemantics + Sync>(
     constraint: Rational,
     options: &ExploreOptions,
 ) -> Result<ParetoPoint, ExploreError> {
-    min_storage_for_throughput_observed(model, constraint, options, &NoopObserver)
-        .map(|(point, _stats)| point)
+    min_storage_for_throughput_observed(model, constraint, options, &NoopObserver).map(|r| r.point)
 }
 
 /// [`min_storage_for_throughput_for`] with a structured [`ExploreObserver`]
-/// receiving evaluation, cache-hit and phase events; also returns the
-/// search's [`ExplorationStats`].
+/// receiving evaluation, cache-hit and phase events; returns the full
+/// [`ConstraintResult`] with statistics and completeness.
+///
+/// When a cancel token trips after a feasible witness is in hand, the
+/// search stops and reports that witness with a truncated completeness
+/// marker (sound, possibly not minimal). Cancellation before any witness
+/// exists yields [`ExploreError::Cancelled`].
 ///
 /// # Errors
 ///
@@ -89,7 +112,7 @@ pub fn min_storage_for_throughput_observed<M: DataflowSemantics + Sync>(
     constraint: Rational,
     options: &ExploreOptions,
     observer: &dyn ExploreObserver,
-) -> Result<(ParetoPoint, ExplorationStats), ExploreError> {
+) -> Result<ConstraintResult, ExploreError> {
     assert!(
         constraint > Rational::ZERO,
         "throughput constraint must be positive"
@@ -101,7 +124,7 @@ pub fn min_storage_for_throughput_observed<M: DataflowSemantics + Sync>(
     if let Some(caps) = &options.max_channel_caps {
         space = space.with_max_capacities(caps);
     }
-    let eval = Evaluator::new(model, observed, options.limits, options.threads, observer);
+    let eval = Evaluator::new(model, observed, options, observer);
     observer.phase_started(SearchPhase::Bounds);
     let (ub_dist, thr_max) = upper_bound_distribution_with(model, observed, &|d| eval.eval(d))?;
     if constraint > thr_max {
@@ -142,7 +165,12 @@ pub fn min_storage_for_throughput_observed<M: DataflowSemantics + Sync>(
     let mut best = match (decide(lo)?, &options.max_channel_caps) {
         (Some(p), _) => {
             observer.pareto_accepted(&p);
-            return Ok((p, eval.stats()));
+            return Ok(ConstraintResult {
+                point: p,
+                completeness: Completeness::exact(),
+                failures: eval.take_failures(),
+                stats: eval.stats(),
+            });
         }
         (None, None) => ParetoPoint::new(ub_dist, thr_max),
         (None, Some(caps)) => {
@@ -166,19 +194,38 @@ pub fn min_storage_for_throughput_observed<M: DataflowSemantics + Sync>(
     let sizes = space.sizes_in(lo + 1, best.size.saturating_sub(1));
     let (mut lo_i, mut hi_i) = (0, sizes.len());
     // Invariant: every realizable size below sizes[lo_i] is infeasible;
-    // everything from sizes[hi_i] up is covered by `best`.
+    // everything from sizes[hi_i] up is covered by `best`. With a feasible
+    // witness in hand, cancellation degrades the run: `best` is returned
+    // as-is, the still-undecided sizes are reported as skipped.
+    let mut truncated: Option<CancelReason> = None;
     while lo_i < hi_i {
         let mid = lo_i + (hi_i - lo_i) / 2;
-        match decide(sizes[mid])? {
-            Some(p) => {
+        match salvage(decide(sizes[mid]), &mut truncated)? {
+            None => break,
+            Some(Some(p)) => {
                 best = p;
                 hi_i = mid;
             }
-            None => lo_i = mid + 1,
+            Some(None) => lo_i = mid + 1,
         }
     }
+    let completeness = match truncated {
+        None => Completeness::exact(),
+        Some(reason) => {
+            let mut total: u64 = 0;
+            for &s in &sizes[lo_i..hi_i] {
+                total = total.saturating_add(space.count_of_size_capped(s, SKIP_COUNT_CAP));
+            }
+            Completeness::truncated(reason, total)
+        }
+    };
     observer.pareto_accepted(&best);
-    Ok((best, eval.stats()))
+    Ok(ConstraintResult {
+        point: best,
+        completeness,
+        failures: eval.take_failures(),
+        stats: eval.stats(),
+    })
 }
 
 #[cfg(test)]
@@ -232,16 +279,64 @@ mod tests {
     #[test]
     fn observed_variant_reports_stats() {
         let g = example();
-        let (p, stats) = min_storage_for_throughput_observed(
+        let r = min_storage_for_throughput_observed(
             &g,
             Rational::new(1, 6),
             &ExploreOptions::default(),
             &NoopObserver,
         )
         .unwrap();
-        assert_eq!(p.size, 8);
-        assert!(stats.evaluations > 0);
-        assert!(stats.max_states > 0);
+        assert_eq!(r.point.size, 8);
+        assert!(r.stats.evaluations > 0);
+        assert!(r.stats.max_states > 0);
+        assert!(r.completeness.exact);
+        assert!(r.failures.is_empty());
+    }
+
+    #[test]
+    fn cancellation_degrades_to_a_sound_witness_or_a_clean_error() {
+        use buffy_analysis::{CancelReason, CancelToken};
+        use std::sync::Arc;
+
+        let g = example();
+        let constraint = Rational::new(1, 6);
+        let exact = min_storage_for_throughput_observed(
+            &g,
+            constraint,
+            &ExploreOptions::default(),
+            &NoopObserver,
+        )
+        .unwrap();
+        let mut saw_partial = false;
+        for budget in 1..exact.stats.evaluations {
+            let opts = ExploreOptions {
+                cancel: Some(Arc::new(CancelToken::new().with_eval_budget(budget))),
+                ..ExploreOptions::default()
+            };
+            match min_storage_for_throughput_observed(&g, constraint, &opts, &NoopObserver) {
+                // No feasible witness yet: a clean error, not a bogus point.
+                Err(ExploreError::Cancelled { reason }) => {
+                    assert_eq!(reason, CancelReason::EvaluationBudget);
+                }
+                Err(e) => panic!("budget {budget}: unexpected error {e}"),
+                Ok(r) => {
+                    // Any returned witness meets the constraint; truncated
+                    // runs may return a larger-than-minimal size.
+                    assert!(r.point.throughput >= constraint, "budget {budget}");
+                    if !r.completeness.exact {
+                        saw_partial = true;
+                        assert!(r.point.size >= exact.point.size, "budget {budget}");
+                        assert_eq!(
+                            r.completeness.truncated_by,
+                            Some(CancelReason::EvaluationBudget)
+                        );
+                    } else {
+                        assert_eq!(r.point.size, exact.point.size, "budget {budget}");
+                    }
+                }
+            }
+        }
+        assert!(saw_partial, "no budget produced a truncated witness");
     }
 
     #[test]

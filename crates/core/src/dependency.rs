@@ -23,21 +23,30 @@ use crate::enumerate::DistributionSpace;
 use crate::error::ExploreError;
 use crate::explore::{ExplorationResult, ExploreOptions};
 use crate::pareto::{ParetoPoint, ParetoSet};
-use crate::runtime::{AtomicStats, ExploreObserver, NoopObserver, SearchPhase};
+use crate::runtime::{
+    AtomicStats, Completeness, EvaluationFailure, ExploreObserver, NoopObserver, SearchPhase,
+    SkippedSize,
+};
 use buffy_analysis::{
-    throughput_for, throughput_with_dependencies_for, Capacities, DataflowSemantics,
+    throughput_for_with_cancel, throughput_with_dependencies_for, CancelReason, Capacities,
+    DataflowSemantics,
 };
 use buffy_graph::{ChannelId, Rational, SdfGraph, StorageDistribution};
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashSet};
+use std::collections::{BTreeMap, BinaryHeap, HashSet};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::time::Instant;
 
 /// Explores the design space by growing storage-dependent channels only.
 ///
 /// Accepts the same options as
 /// [`explore_design_space`](crate::explore_design_space); the `threads`
-/// option is ignored (the frontier is evaluated sequentially), and
-/// `quantum` only thins the reported front.
+/// option is ignored (the frontier is evaluated sequentially), `quantum`
+/// only thins the reported front, and `warm_start` is ignored — a
+/// checkpoint does not record the per-distribution dependency sets the
+/// frontier expansion needs. A cancel token is honoured between frontier
+/// candidates (and inside the bounds-phase analyses): when it trips, the
+/// unexpanded frontier is reported as skipped sizes on a partial result.
 ///
 /// # Errors
 ///
@@ -102,21 +111,26 @@ pub fn explore_dependency_guided_observed<M: DataflowSemantics>(
     let lb_size = space.min_size();
 
     let stats = AtomicStats::new();
+    let cancel = options.cancel.clone().unwrap_or_default();
     // Bound probes run the plain throughput analysis (no dependency
-    // tracking) but are still timed, counted and observed.
+    // tracking) but are still timed, counted and observed. Cancellation
+    // here leaves nothing to salvage and surfaces as
+    // [`ExploreError::Cancelled`].
     observer.phase_started(SearchPhase::Bounds);
     let (ub_dist, thr_max_graph) = upper_bound_distribution_with(model, observed, &|d| {
         observer.evaluation_started(d);
         let start = Instant::now();
-        let r = throughput_for(
+        let r = throughput_for_with_cancel(
             model,
             Capacities::from_distribution(d),
             observed,
             options.limits,
+            &cancel,
         )?;
         let nanos = start.elapsed().as_nanos() as u64;
         stats.record_evaluation(r.states_stored as u64, nanos);
         observer.evaluation_finished(d, r.throughput, r.states_stored as u64, nanos);
+        cancel.note_evaluation();
         Ok(r.throughput)
     })?;
     let ub_size = options
@@ -141,11 +155,44 @@ pub fn explore_dependency_guided_observed<M: DataflowSemantics>(
     frontier.push(Reverse((start.size(), start)));
 
     let mut found_positive = false;
+    let mut truncated: Option<CancelReason> = None;
+    let mut failures: Vec<EvaluationFailure> = Vec::new();
 
-    while let Some(Reverse((size, dist))) = frontier.pop() {
+    while let Some(&Reverse((size, _))) = frontier.peek() {
+        // The frontier is consumed one candidate at a time, so the cancel
+        // token is honoured between candidates: on a trip the unexpanded
+        // frontier becomes the skipped-size annotation below.
+        if let Some(reason) = cancel.check() {
+            truncated = Some(reason);
+            break;
+        }
+        let Some(Reverse((_, dist))) = frontier.pop() else {
+            unreachable!("peeked entry vanished");
+        };
         observer.evaluation_started(&dist);
         let eval_start = Instant::now();
-        let r = throughput_with_dependencies_for(model, &dist, observed, options.limits)?;
+        let attempt = catch_unwind(AssertUnwindSafe(|| {
+            if options.fail_distribution.as_ref() == Some(&dist) {
+                panic!("injected evaluation failure (fail_distribution test hook)");
+            }
+            throughput_with_dependencies_for(model, &dist, observed, options.limits)
+        }));
+        let r = match attempt {
+            Ok(r) => r?,
+            Err(payload) => {
+                // A panicking analysis degrades to a zero-throughput leaf:
+                // recorded, reported, no children expanded.
+                let message = crate::explore::panic_message(payload.as_ref());
+                stats.record_failure();
+                observer.evaluation_failed(&dist, &message);
+                failures.push(EvaluationFailure {
+                    distribution: dist,
+                    message,
+                });
+                cancel.note_evaluation();
+                continue;
+            }
+        };
         let nanos = eval_start.elapsed().as_nanos() as u64;
         stats.record_evaluation(r.report.states_stored as u64, nanos);
         observer.evaluation_finished(
@@ -154,6 +201,7 @@ pub fn explore_dependency_guided_observed<M: DataflowSemantics>(
             r.report.states_stored as u64,
             nanos,
         );
+        cancel.note_evaluation();
 
         let thr = r.report.throughput;
         if !thr.is_zero() {
@@ -184,9 +232,32 @@ pub fn explore_dependency_guided_observed<M: DataflowSemantics>(
         }
     }
 
-    if !found_positive {
+    if !found_positive && truncated.is_none() {
         return Err(ExploreError::NoPositiveThroughput);
     }
+
+    // Annotate the unexpanded frontier of a truncated run, grouped by
+    // size, under the sound bounds-phase throughput ceiling.
+    let (completeness, skipped) = match truncated {
+        None => (Completeness::exact(), Vec::new()),
+        Some(reason) => {
+            let mut by_size: BTreeMap<u64, u64> = BTreeMap::new();
+            for Reverse((size, _)) in frontier.iter() {
+                *by_size.entry(*size).or_insert(0) += 1;
+            }
+            let total = by_size.values().sum();
+            let skipped = by_size
+                .into_iter()
+                .map(|(size, distributions)| SkippedSize {
+                    size,
+                    distributions,
+                    throughput_bound: thr_max_graph,
+                })
+                .collect();
+            (Completeness::truncated(reason, total), skipped)
+        }
+    };
+    failures.sort_by(|a, b| a.distribution.as_slice().cmp(b.distribution.as_slice()));
 
     // Optional thinning / clipping to match the exhaustive explorer's
     // options semantics.
@@ -221,6 +292,9 @@ pub fn explore_dependency_guided_observed<M: DataflowSemantics>(
         max_throughput: thr_max_graph,
         lower_bound_size: lb_size,
         upper_bound_size: ub_size,
+        completeness,
+        skipped,
+        failures,
         stats: stats.snapshot(),
     })
 }
@@ -288,6 +362,74 @@ mod tests {
         let guided = explore_dependency_guided(&g, &opts).unwrap();
         assert!(guided.pareto.len() <= 2);
         assert!(!guided.pareto.is_empty());
+    }
+
+    #[test]
+    fn eval_budget_truncates_with_frontier_annotations() {
+        use buffy_analysis::{CancelReason, CancelToken};
+        use std::sync::Arc;
+
+        let g = example();
+        let full = explore_dependency_guided(&g, &ExploreOptions::default()).unwrap();
+        assert!(full.completeness.exact);
+        let mut saw_partial = false;
+        for budget in 1..full.stats.evaluations {
+            let opts = ExploreOptions {
+                cancel: Some(Arc::new(CancelToken::new().with_eval_budget(budget))),
+                ..ExploreOptions::default()
+            };
+            let r = match explore_dependency_guided(&g, &opts) {
+                Err(ExploreError::Cancelled { reason }) => {
+                    assert_eq!(reason, CancelReason::EvaluationBudget);
+                    continue;
+                }
+                other => other.unwrap(),
+            };
+            saw_partial = true;
+            assert!(!r.completeness.exact, "budget {budget}");
+            // Soundness: every partial point is dominated by (or equal
+            // to) a point of the full front.
+            for p in r.pareto.points() {
+                assert!(
+                    full.pareto
+                        .points()
+                        .iter()
+                        .any(|q| q.size <= p.size && q.throughput >= p.throughput),
+                    "budget {budget}: stray point {p}"
+                );
+            }
+            for s in &r.skipped {
+                assert_eq!(s.throughput_bound, full.max_throughput);
+            }
+            assert_eq!(
+                r.completeness.distributions_skipped,
+                r.skipped.iter().map(|s| s.distributions).sum::<u64>()
+            );
+        }
+        assert!(saw_partial, "no budget produced a salvageable partial run");
+    }
+
+    #[test]
+    fn injected_panic_degrades_one_frontier_candidate() {
+        let g = example();
+        // Fail the distribution behind the clean run's maximal front
+        // point: the run must survive, minus (at most) that point.
+        let full = explore_dependency_guided(&g, &ExploreOptions::default()).unwrap();
+        let fail = full.pareto.maximal().unwrap().distribution.clone();
+        let r = explore_dependency_guided(
+            &g,
+            &ExploreOptions {
+                fail_distribution: Some(fail.clone()),
+                ..ExploreOptions::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(r.stats.failures, 1);
+        assert_eq!(r.failures.len(), 1);
+        assert_eq!(r.failures[0].distribution, fail);
+        assert!(r.completeness.exact);
+        assert!(r.pareto.points().iter().all(|p| p.distribution != fail));
+        assert!(!r.pareto.is_empty());
     }
 
     #[test]

@@ -194,6 +194,22 @@ impl DistributionSpace {
         });
         count
     }
+
+    /// Like [`count_of_size`](Self::count_of_size), but stops counting at
+    /// `cap` — annotating the skipped part of a truncated search must not
+    /// itself enumerate an exploding space.
+    pub fn count_of_size_capped(&self, size: u64, cap: u64) -> u64 {
+        let mut count = 0;
+        self.for_each_of_size(size, |_| {
+            count += 1;
+            if count >= cap {
+                ControlFlow::Break(())
+            } else {
+                ControlFlow::Continue(())
+            }
+        });
+        count
+    }
 }
 
 #[cfg(test)]
@@ -275,6 +291,16 @@ mod tests {
         for size in 6..12 {
             assert_eq!(s.count_of_size(size), size - 5);
         }
+    }
+
+    #[test]
+    fn capped_counts_saturate_at_the_cap() {
+        let s = example_space();
+        // Size 10 has 5 grid points.
+        assert_eq!(s.count_of_size_capped(10, 3), 3);
+        assert_eq!(s.count_of_size_capped(10, 5), 5);
+        assert_eq!(s.count_of_size_capped(10, 100), 5);
+        assert_eq!(s.count_of_size_capped(5, 100), 0);
     }
 
     #[test]

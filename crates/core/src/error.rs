@@ -1,6 +1,6 @@
 //! Error type for the design-space exploration.
 
-use buffy_analysis::AnalysisError;
+use buffy_analysis::{AnalysisError, CancelReason};
 use buffy_graph::GraphError;
 use core::fmt;
 
@@ -23,6 +23,15 @@ pub enum ExploreError {
     /// The graph never reaches a positive throughput for any storage
     /// distribution within the configured size cap.
     NoPositiveThroughput,
+    /// The search was cancelled (deadline, interrupt or exhausted budget)
+    /// before it could establish even a partial result worth returning —
+    /// e.g. during the bounds phase, or in a constraint search before any
+    /// feasible witness was found. Searches cancelled *after* that point
+    /// return a partial result instead of this error.
+    Cancelled {
+        /// Why the run was cancelled.
+        reason: CancelReason,
+    },
 }
 
 impl fmt::Display for ExploreError {
@@ -36,6 +45,9 @@ impl fmt::Display for ExploreError {
             ),
             ExploreError::NoPositiveThroughput => {
                 write!(f, "no storage distribution within bounds yields a positive throughput")
+            }
+            ExploreError::Cancelled { reason } => {
+                write!(f, "exploration cancelled before any result was available: {reason}")
             }
         }
     }
@@ -63,6 +75,7 @@ impl From<AnalysisError> for ExploreError {
         // error shape regardless of which analysis layer detected them.
         match e {
             AnalysisError::Graph(g) => ExploreError::Graph(g),
+            AnalysisError::Cancelled { reason } => ExploreError::Cancelled { reason },
             other => ExploreError::Analysis(other),
         }
     }
@@ -87,5 +100,20 @@ mod tests {
         assert!(e.to_string().contains("no actors"));
         let e: ExploreError = AnalysisError::NotLive.into();
         assert!(e.to_string().contains("token-free"));
+    }
+
+    #[test]
+    fn cancelled_analysis_maps_to_cancelled_explore() {
+        let e: ExploreError = AnalysisError::Cancelled {
+            reason: CancelReason::Deadline,
+        }
+        .into();
+        assert_eq!(
+            e,
+            ExploreError::Cancelled {
+                reason: CancelReason::Deadline
+            }
+        );
+        assert!(e.to_string().contains("deadline"), "{e}");
     }
 }

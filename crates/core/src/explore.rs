@@ -36,15 +36,30 @@ use crate::enumerate::DistributionSpace;
 use crate::error::ExploreError;
 use crate::pareto::{ParetoPoint, ParetoSet};
 use crate::runtime::{
-    resolve_threads, AtomicStats, ExplorationStats, ExploreObserver, NoopObserver, SearchPhase,
-    ShardedCache, EVAL_CHUNK,
+    resolve_threads, AtomicStats, Completeness, EvaluationFailure, ExplorationStats,
+    ExploreObserver, NoopObserver, SearchPhase, ShardedCache, SkippedSize, EVAL_CHUNK,
 };
-use buffy_analysis::{throughput_for, Capacities, DataflowSemantics, ExplorationLimits};
+use buffy_analysis::{
+    throughput_for_with_cancel, CancelReason, CancelToken, Capacities, DataflowSemantics,
+    ExplorationLimits,
+};
 use buffy_graph::{ActorId, Rational, SdfGraph, StorageDistribution};
+use std::collections::HashMap;
 use std::ops::ControlFlow;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::OnceLock;
+use std::sync::{Arc, Mutex, OnceLock};
 use std::time::Instant;
+
+/// Cap on how many distributions of a single skipped size are counted when
+/// annotating a truncated result — the annotation pass must not itself
+/// enumerate an exploding space.
+pub(crate) const SKIP_COUNT_CAP: u64 = 10_000;
+
+/// Checkpointed evaluations a run can be warm-started from: distribution →
+/// (throughput, reduced states stored). See
+/// [`ExploreOptions::warm_start`].
+pub type WarmStart = HashMap<StorageDistribution, (Rational, u64)>;
 
 /// Options controlling the design-space exploration.
 #[derive(Debug, Clone)]
@@ -74,6 +89,21 @@ pub struct ExploreOptions {
     /// impose "extra constraints on the channel capacities"). Channels
     /// may not grow beyond these values.
     pub max_channel_caps: Option<StorageDistribution>,
+    /// Shared cancellation/budget token. Analyses poll it on a coarse
+    /// stride; when it trips, the drivers stop and return a *partial*
+    /// result (see [`ExplorationResult::completeness`]) instead of an
+    /// error — except when cancelled before anything was established,
+    /// which yields [`ExploreError::Cancelled`].
+    pub cancel: Option<Arc<CancelToken>>,
+    /// Evaluations restored from a checkpoint. On first request each entry
+    /// is replayed as a *recorded evaluation* (with its checkpointed state
+    /// count and zero wall time), not a cache hit — so a resumed run
+    /// reproduces the front and the statistics of an uninterrupted one.
+    pub warm_start: Option<Arc<WarmStart>>,
+    /// Test hook: the evaluation of exactly this distribution panics
+    /// inside the worker, exercising the panic-containment path. Not for
+    /// production use.
+    pub fail_distribution: Option<StorageDistribution>,
 }
 
 impl Default for ExploreOptions {
@@ -87,6 +117,9 @@ impl Default for ExploreOptions {
             limits: ExplorationLimits::default(),
             threads: 1,
             max_channel_caps: None,
+            cancel: None,
+            warm_start: None,
+            fail_distribution: None,
         }
     }
 }
@@ -103,6 +136,17 @@ pub struct ExplorationResult {
     pub lower_bound_size: u64,
     /// Size of the computed maximal-throughput distribution (`ub`, Fig. 7).
     pub upper_bound_size: u64,
+    /// Whether the search ran to completion or was truncated (deadline,
+    /// interrupt, evaluation budget). A truncated front is still sound:
+    /// every reported point is achievable.
+    pub completeness: Completeness,
+    /// For truncated runs: the realizable sizes the search never settled,
+    /// each annotated with the conservative bounds-phase throughput
+    /// ceiling. Empty for exact runs.
+    pub skipped: Vec<SkippedSize>,
+    /// Evaluations that panicked and were degraded to zero-throughput
+    /// entries instead of aborting the run, in distribution order.
+    pub failures: Vec<EvaluationFailure>,
     /// Evaluation statistics: analyses run, cache hits, largest state
     /// space, analysis wall time.
     pub stats: ExplorationStats,
@@ -123,49 +167,108 @@ pub(crate) struct Evaluator<'a, M: DataflowSemantics + Sync> {
     stats: AtomicStats,
     threads: usize,
     observer: &'a dyn ExploreObserver,
+    cancel: Arc<CancelToken>,
+    warm_start: Option<Arc<WarmStart>>,
+    fail_distribution: Option<StorageDistribution>,
+    failures: Mutex<Vec<EvaluationFailure>>,
+}
+
+/// Renders a panic payload for failure reporting.
+pub(crate) fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
 }
 
 impl<'a, M: DataflowSemantics + Sync> Evaluator<'a, M> {
     pub(crate) fn new(
         model: &'a M,
         observed: ActorId,
-        limits: ExplorationLimits,
-        threads: usize,
+        options: &ExploreOptions,
         observer: &'a dyn ExploreObserver,
     ) -> Evaluator<'a, M> {
         Evaluator {
             model,
             observed,
-            limits,
+            limits: options.limits,
             cache: ShardedCache::new(),
             stats: AtomicStats::new(),
-            threads: resolve_threads(threads),
+            threads: resolve_threads(options.threads),
             observer,
+            cancel: options.cancel.clone().unwrap_or_default(),
+            warm_start: options.warm_start.clone(),
+            fail_distribution: options.fail_distribution.clone(),
+            failures: Mutex::new(Vec::new()),
         }
     }
 
     /// Memoized throughput of one distribution.
+    ///
+    /// Warm-start entries are replayed on first request as recorded
+    /// evaluations (checkpointed state count, zero wall time): a resumed
+    /// run reproduces both the front and the statistics of an
+    /// uninterrupted one. A panicking analysis is contained here: it is
+    /// recorded as an [`EvaluationFailure`], cached as zero throughput
+    /// (deterministic on re-request), and the search continues.
     pub(crate) fn eval(&self, dist: &StorageDistribution) -> Result<Rational, ExploreError> {
         if let Some(t) = self.cache.get(dist) {
             self.stats.record_cache_hit();
             self.observer.cache_hit(dist);
             return Ok(t);
         }
+        if let Some(warm) = &self.warm_start {
+            if let Some(&(t, states)) = warm.get(dist) {
+                self.observer.evaluation_started(dist);
+                self.stats.record_evaluation(states, 0);
+                self.cache.insert(dist.clone(), t);
+                self.observer.evaluation_finished(dist, t, states, 0);
+                self.cancel.note_evaluation();
+                return Ok(t);
+            }
+        }
         self.observer.evaluation_started(dist);
         let start = Instant::now();
-        let report = throughput_for(
-            self.model,
-            Capacities::from_distribution(dist),
-            self.observed,
-            self.limits,
-        )?;
-        let nanos = start.elapsed().as_nanos() as u64;
-        let states = report.states_stored as u64;
-        self.stats.record_evaluation(states, nanos);
-        self.cache.insert(dist.clone(), report.throughput);
-        self.observer
-            .evaluation_finished(dist, report.throughput, states, nanos);
-        Ok(report.throughput)
+        let attempt = catch_unwind(AssertUnwindSafe(|| {
+            if self.fail_distribution.as_ref() == Some(dist) {
+                panic!("injected evaluation failure (fail_distribution test hook)");
+            }
+            throughput_for_with_cancel(
+                self.model,
+                Capacities::from_distribution(dist),
+                self.observed,
+                self.limits,
+                &self.cancel,
+            )
+        }));
+        match attempt {
+            Ok(report) => {
+                let report = report?;
+                let nanos = start.elapsed().as_nanos() as u64;
+                let states = report.states_stored as u64;
+                self.stats.record_evaluation(states, nanos);
+                self.cache.insert(dist.clone(), report.throughput);
+                self.observer
+                    .evaluation_finished(dist, report.throughput, states, nanos);
+                self.cancel.note_evaluation();
+                Ok(report.throughput)
+            }
+            Err(payload) => {
+                let message = panic_message(payload.as_ref());
+                self.stats.record_failure();
+                self.cache.insert(dist.clone(), Rational::ZERO);
+                self.failures.lock().unwrap().push(EvaluationFailure {
+                    distribution: dist.clone(),
+                    message: message.clone(),
+                });
+                self.observer.evaluation_failed(dist, &message);
+                self.cancel.note_evaluation();
+                Ok(Rational::ZERO)
+            }
+        }
     }
 
     /// Evaluates a batch of distributions, possibly in parallel. Results
@@ -203,6 +306,14 @@ impl<'a, M: DataflowSemantics + Sync> Evaluator<'a, M> {
     /// Snapshot of the run's statistics.
     pub(crate) fn stats(&self) -> ExplorationStats {
         self.stats.snapshot()
+    }
+
+    /// Drains the recorded evaluation failures, sorted by distribution so
+    /// the report is deterministic across thread counts.
+    pub(crate) fn take_failures(&self) -> Vec<EvaluationFailure> {
+        let mut v = std::mem::take(&mut *self.failures.lock().unwrap());
+        v.sort_by(|a, b| a.distribution.as_slice().cmp(b.distribution.as_slice()));
+        v
     }
 }
 
@@ -282,6 +393,24 @@ fn max_throughput_for_size<M: DataflowSemantics + Sync>(
     Ok((best_q, best, witness))
 }
 
+/// Degrades a cancellation to `None`, recording the first reason seen;
+/// every other error propagates.
+pub(crate) fn salvage<T>(
+    r: Result<T, ExploreError>,
+    truncated: &mut Option<CancelReason>,
+) -> Result<Option<T>, ExploreError> {
+    match r {
+        Ok(v) => Ok(Some(v)),
+        Err(ExploreError::Cancelled { reason }) => {
+            if truncated.is_none() {
+                *truncated = Some(reason);
+            }
+            Ok(None)
+        }
+        Err(e) => Err(e),
+    }
+}
+
 /// Whether some grid distribution of exactly `size` tokens has positive
 /// throughput (early exits on the first hit).
 fn has_positive<M: DataflowSemantics + Sync>(
@@ -317,7 +446,11 @@ fn has_positive<M: DataflowSemantics + Sync>(
 /// - [`ExploreError::Analysis`] for analysis failures (state limits,
 ///   token-free cycles, …);
 /// - [`ExploreError::NoPositiveThroughput`] when no distribution within
-///   the size bounds executes without deadlock.
+///   the size bounds executes without deadlock;
+/// - [`ExploreError::Cancelled`] when a cancel token trips during the
+///   bounds phase — before anything is known about the design space.
+///   Cancellation in any later phase instead returns `Ok` with a partial
+///   result (see [`ExplorationResult::completeness`]).
 ///
 /// # Examples
 ///
@@ -380,7 +513,7 @@ pub fn explore_design_space_observed<M: DataflowSemantics + Sync>(
     let observed = options
         .observed
         .unwrap_or_else(|| model.default_observed_actor());
-    let eval = Evaluator::new(model, observed, options.limits, options.threads, observer);
+    let eval = Evaluator::new(model, observed, options, observer);
     let mut space = DistributionSpace::for_model(model);
     if let Some(caps) = &options.max_channel_caps {
         space = space.with_max_capacities(caps);
@@ -396,6 +529,8 @@ pub fn explore_design_space_observed<M: DataflowSemantics + Sync>(
 
     // Bounds of the size dimension (paper §8, Fig. 7). The probes run
     // through the shared evaluator: memoized, counted, observed.
+    // Cancellation in this phase leaves nothing to salvage (no throughput
+    // ceiling, no size range) and surfaces as `ExploreError::Cancelled`.
     observer.phase_started(SearchPhase::Bounds);
     let lb_size = space.min_size();
     let (ub_dist, thr_max_graph) =
@@ -428,75 +563,164 @@ pub fn explore_design_space_observed<M: DataflowSemantics + Sync>(
         return Err(ExploreError::NoPositiveThroughput);
     };
 
+    // From here on a trip of the cancel token degrades the run to a
+    // partial result: `salvage` converts the `Cancelled` error into a
+    // recorded truncation reason, and `assemble_skipped` annotates every
+    // realizable size the search never settled with the bounds-phase
+    // throughput ceiling (sound: no distribution of any size exceeds it).
+    let assemble_skipped = |settled: &[bool]| -> (u64, Vec<SkippedSize>) {
+        let mut skipped = Vec::new();
+        let mut total: u64 = 0;
+        for (i, &size) in sizes.iter().enumerate() {
+            if settled.get(i).copied().unwrap_or(false) {
+                continue;
+            }
+            let n = space.count_of_size_capped(size, SKIP_COUNT_CAP);
+            total = total.saturating_add(n);
+            skipped.push(SkippedSize {
+                size,
+                distributions: n,
+                throughput_bound: thr_max_graph,
+            });
+        }
+        (total, skipped)
+    };
+
     // Smallest size with positive throughput (binary search on the
     // monotone predicate; the combined lower bound may still deadlock —
     // the paper's Fig. 6 discussion).
     observer.phase_started(SearchPhase::MinimalSize);
+    let mut truncated: Option<CancelReason> = None;
     let mut lo = 0;
     let mut hi = sizes.len() - 1;
-    if !has_positive(&eval, &space, largest)? {
-        return Err(ExploreError::NoPositiveThroughput);
-    }
-    if has_positive(&eval, &space, sizes[lo])? {
-        hi = lo;
-    } else {
+    let min_positive: Option<usize> = 'min: {
+        match salvage(has_positive(&eval, &space, largest), &mut truncated)? {
+            None => break 'min None,
+            Some(false) => return Err(ExploreError::NoPositiveThroughput),
+            Some(true) => {}
+        }
+        match salvage(has_positive(&eval, &space, sizes[lo]), &mut truncated)? {
+            None => break 'min None,
+            Some(true) => break 'min Some(lo),
+            Some(false) => {}
+        }
         // Invariant: sizes[lo] infeasible, sizes[hi] feasible.
         while lo + 1 < hi {
             let mid = lo + (hi - lo) / 2;
-            if has_positive(&eval, &space, sizes[mid])? {
-                hi = mid;
-            } else {
-                lo = mid;
+            match salvage(has_positive(&eval, &space, sizes[mid]), &mut truncated)? {
+                None => break 'min None,
+                Some(true) => hi = mid,
+                Some(false) => lo = mid,
             }
         }
-    }
-    let min_positive = hi;
+        Some(hi)
+    };
+    let Some(min_positive) = min_positive else {
+        // Cancelled before the minimal feasible size was located: nothing
+        // is settled, the partial front is empty.
+        let reason = truncated.expect("cancellation recorded");
+        let (total, skipped) = assemble_skipped(&[]);
+        return Ok(ExplorationResult {
+            pareto: ParetoSet::new(),
+            max_throughput: thr_max_graph,
+            lower_bound_size: lb_size,
+            upper_bound_size: ub_size,
+            completeness: Completeness::truncated(reason, total),
+            skipped,
+            failures: eval.take_failures(),
+            stats: eval.stats(),
+        });
+    };
     let last = sizes.len() - 1;
 
     observer.phase_started(SearchPhase::FrontSearch);
     let mut pareto = ParetoSet::new();
+    // Sizes below the minimal feasible one are settled: zero throughput,
+    // no front point possible there.
+    let mut settled = vec![false; sizes.len()];
+    for flag in settled.iter_mut().take(min_positive) {
+        *flag = true;
+    }
+    'search: {
+        // Left end of the front.
+        let Some((left_q, left_exact, left_witness)) = salvage(
+            max_throughput_for_size(
+                &eval,
+                &space,
+                sizes[min_positive],
+                thr_cap_q,
+                options.quantum,
+            ),
+            &mut truncated,
+        )?
+        else {
+            break 'search;
+        };
+        settled[min_positive] = true;
+        if let Some(w) = left_witness {
+            accept(&mut pareto, w, left_exact);
+        }
 
-    // Left end of the front.
-    let (left_q, left_exact, left_witness) = max_throughput_for_size(
-        &eval,
-        &space,
-        sizes[min_positive],
-        thr_cap_q,
-        options.quantum,
-    )?;
-    if let Some(w) = left_witness {
-        accept(&mut pareto, w, left_exact);
+        // Right end: the maximal throughput is reached at the largest
+        // realizable size (unless the user capped the size below it).
+        let (right_q, right_exact, right_witness) = if last > min_positive {
+            let Some(right) = salvage(
+                max_throughput_for_size(&eval, &space, largest, thr_cap_q, options.quantum),
+                &mut truncated,
+            )?
+            else {
+                break 'search;
+            };
+            right
+        } else {
+            (left_q, left_exact, None)
+        };
+        settled[last] = true;
+        if let Some(w) = right_witness {
+            accept(&mut pareto, w, right_exact);
+        }
+
+        // Divide and conquer over the realizable-size indices.
+        let mut stack: Vec<(usize, Rational, usize, Rational)> = Vec::new();
+        if last > min_positive {
+            stack.push((min_positive, left_q, last, right_q));
+        }
+        while let Some((lo_i, lo_q, hi_i, hi_q)) = stack.pop() {
+            if lo_q >= hi_q || lo_i + 1 >= hi_i {
+                // The interval is settled: its interior cannot contribute
+                // a new (quantized) Pareto point.
+                for flag in settled.iter_mut().take(hi_i).skip(lo_i + 1) {
+                    *flag = true;
+                }
+                continue;
+            }
+            let mid = lo_i + (hi_i - lo_i) / 2;
+            let Some((mid_q, mid_exact, mid_witness)) = salvage(
+                max_throughput_for_size(&eval, &space, sizes[mid], hi_q, options.quantum),
+                &mut truncated,
+            )?
+            else {
+                // The interrupted midpoint and the interiors of all
+                // pending intervals stay unsettled and are annotated
+                // below.
+                break 'search;
+            };
+            settled[mid] = true;
+            if let Some(w) = mid_witness {
+                accept(&mut pareto, w, mid_exact);
+            }
+            stack.push((lo_i, lo_q, mid, mid_q));
+            stack.push((mid, mid_q, hi_i, hi_q));
+        }
     }
 
-    // Right end: the maximal throughput is reached at the largest
-    // realizable size (unless the user capped the size below it).
-    let (right_q, right_exact, right_witness) = if last > min_positive {
-        max_throughput_for_size(&eval, &space, largest, thr_cap_q, options.quantum)?
-    } else {
-        (left_q, left_exact, None)
+    let (completeness, skipped) = match truncated {
+        None => (Completeness::exact(), Vec::new()),
+        Some(reason) => {
+            let (total, skipped) = assemble_skipped(&settled);
+            (Completeness::truncated(reason, total), skipped)
+        }
     };
-    if let Some(w) = right_witness {
-        accept(&mut pareto, w, right_exact);
-    }
-
-    // Divide and conquer over the realizable-size indices.
-    let mut stack: Vec<(usize, Rational, usize, Rational)> = Vec::new();
-    if last > min_positive {
-        stack.push((min_positive, left_q, last, right_q));
-    }
-    while let Some((lo_i, lo_q, hi_i, hi_q)) = stack.pop() {
-        if lo_q >= hi_q || lo_i + 1 >= hi_i {
-            continue;
-        }
-        let mid = lo_i + (hi_i - lo_i) / 2;
-        let (mid_q, mid_exact, mid_witness) =
-            max_throughput_for_size(&eval, &space, sizes[mid], hi_q, options.quantum)?;
-        if let Some(w) = mid_witness {
-            accept(&mut pareto, w, mid_exact);
-        }
-        stack.push((lo_i, lo_q, mid, mid_q));
-        stack.push((mid, mid_q, hi_i, hi_q));
-    }
 
     // Clip per the requested throughput window and thin to one point per
     // quantization level (smallest size wins).
@@ -529,6 +753,9 @@ pub fn explore_design_space_observed<M: DataflowSemantics + Sync>(
         max_throughput: thr_max_graph,
         lower_bound_size: lb_size,
         upper_bound_size: ub_size,
+        completeness,
+        skipped,
+        failures: eval.take_failures(),
         stats: eval.stats(),
     })
 }
@@ -679,6 +906,155 @@ mod tests {
         assert!(obs.accepted.load(Ordering::Relaxed) >= r.pareto.len() as u64);
         // Bounds, minimal-size and front-search phases at least.
         assert!(obs.phases.load(Ordering::Relaxed) >= 3);
+    }
+
+    #[test]
+    fn eval_budget_truncates_to_a_sound_partial_front() {
+        let g = example();
+        let full = explore_design_space(&g, &ExploreOptions::default()).unwrap();
+        assert!(full.completeness.exact);
+        assert!(full.skipped.is_empty());
+        assert!(full.failures.is_empty());
+
+        let mut saw_partial = false;
+        for budget in 1..full.stats.evaluations {
+            let opts = ExploreOptions {
+                cancel: Some(Arc::new(CancelToken::new().with_eval_budget(budget))),
+                ..ExploreOptions::default()
+            };
+            let r = match explore_design_space(&g, &opts) {
+                // Tripped during the bounds phase: nothing to salvage.
+                Err(ExploreError::Cancelled { reason }) => {
+                    assert_eq!(reason, CancelReason::EvaluationBudget);
+                    continue;
+                }
+                other => other.unwrap(),
+            };
+            saw_partial = true;
+            assert!(!r.completeness.exact, "budget {budget}");
+            assert_eq!(
+                r.completeness.truncated_by,
+                Some(CancelReason::EvaluationBudget)
+            );
+            // Soundness: every partial point is dominated by (or equal
+            // to) a point of the unbudgeted front.
+            for p in r.pareto.points() {
+                assert!(
+                    full.pareto
+                        .points()
+                        .iter()
+                        .any(|q| q.size <= p.size && q.throughput >= p.throughput),
+                    "budget {budget}: stray point {p}"
+                );
+            }
+            // Skipped sizes carry the sound bounds-phase ceiling.
+            for s in &r.skipped {
+                assert_eq!(s.throughput_bound, full.max_throughput);
+                assert!(
+                    s.distributions > 0,
+                    "budget {budget}: empty size {}",
+                    s.size
+                );
+            }
+            assert_eq!(
+                r.completeness.distributions_skipped,
+                r.skipped.iter().map(|s| s.distributions).sum::<u64>()
+            );
+        }
+        assert!(saw_partial, "no budget produced a salvageable partial run");
+
+        // A budget matching the full run changes nothing.
+        let opts = ExploreOptions {
+            cancel: Some(Arc::new(
+                CancelToken::new().with_eval_budget(full.stats.evaluations),
+            )),
+            ..ExploreOptions::default()
+        };
+        let r = explore_design_space(&g, &opts).unwrap();
+        assert!(r.completeness.exact);
+        assert_eq!(r.pareto, full.pareto);
+        assert_eq!(r.stats, full.stats);
+    }
+
+    #[test]
+    fn injected_worker_panic_degrades_one_evaluation() {
+        let g = example();
+        // Fail the paper's minimal distribution ⟨4, 2⟩ (the only size-6
+        // grid point).
+        let fail = StorageDistribution::from_capacities(vec![4, 2]);
+        for threads in [1, 4] {
+            let r = explore_design_space(
+                &g,
+                &ExploreOptions {
+                    fail_distribution: Some(fail.clone()),
+                    threads,
+                    ..ExploreOptions::default()
+                },
+            )
+            .unwrap();
+            assert_eq!(r.stats.failures, 1, "threads {threads}");
+            assert_eq!(r.failures.len(), 1);
+            assert_eq!(r.failures[0].distribution, fail);
+            assert!(r.failures[0].message.contains("injected"));
+            // The run completed; the failed distribution reads as zero
+            // throughput and drops off the front, the rest is intact.
+            assert!(r.completeness.exact);
+            assert!(r.pareto.points().iter().all(|p| p.distribution != fail));
+            assert_eq!(
+                r.pareto.maximal().unwrap().throughput,
+                Rational::new(1, 4),
+                "threads {threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn warm_start_replays_as_recorded_evaluations() {
+        struct Recorder {
+            entries: Mutex<Vec<(StorageDistribution, Rational, u64)>>,
+        }
+        impl ExploreObserver for Recorder {
+            fn evaluation_finished(
+                &self,
+                dist: &StorageDistribution,
+                throughput: Rational,
+                states: u64,
+                _nanos: u64,
+            ) {
+                self.entries
+                    .lock()
+                    .unwrap()
+                    .push((dist.clone(), throughput, states));
+            }
+        }
+
+        let g = example();
+        let rec = Recorder {
+            entries: Mutex::new(Vec::new()),
+        };
+        let clean = explore_design_space_observed(&g, &ExploreOptions::default(), &rec).unwrap();
+        let warm: WarmStart = rec
+            .entries
+            .into_inner()
+            .unwrap()
+            .into_iter()
+            .map(|(d, t, s)| (d, (t, s)))
+            .collect();
+
+        let resumed = explore_design_space(
+            &g,
+            &ExploreOptions {
+                warm_start: Some(Arc::new(warm)),
+                ..ExploreOptions::default()
+            },
+        )
+        .unwrap();
+        // Byte-identical front and statistics: replayed entries count as
+        // evaluations, only the wall time betrays that nothing ran.
+        assert_eq!(resumed.pareto, clean.pareto);
+        assert_eq!(resumed.stats, clean.stats);
+        assert_eq!(resumed.stats.eval_nanos, 0);
+        assert!(resumed.completeness.exact);
     }
 
     #[test]

@@ -61,6 +61,7 @@
 #![forbid(unsafe_code)]
 
 mod bounds;
+mod checkpoint;
 mod constraint;
 mod dependency;
 mod enumerate;
@@ -73,8 +74,10 @@ pub use bounds::{
     channel_lower_bound, channel_step, lower_bound_distribution, lower_bound_distribution_for,
     upper_bound_distribution, upper_bound_distribution_for,
 };
+pub use checkpoint::{Checkpoint, CheckpointEntry, CheckpointError};
 pub use constraint::{
-    min_storage_for_throughput, min_storage_for_throughput_for, min_storage_for_throughput_observed,
+    min_storage_for_throughput, min_storage_for_throughput_for,
+    min_storage_for_throughput_observed, ConstraintResult,
 };
 pub use dependency::{
     explore_dependency_guided, explore_dependency_guided_for, explore_dependency_guided_observed,
@@ -83,10 +86,17 @@ pub use enumerate::DistributionSpace;
 pub use error::ExploreError;
 pub use explore::{
     explore_design_space, explore_design_space_for, explore_design_space_observed,
-    ExplorationResult, ExploreOptions,
+    ExplorationResult, ExploreOptions, WarmStart,
 };
 pub use pareto::{ParetoPoint, ParetoSet};
-pub use runtime::{resolve_threads, ExplorationStats, ExploreObserver, NoopObserver, SearchPhase};
+pub use runtime::{
+    resolve_threads, Completeness, EvaluationFailure, ExplorationStats, ExploreObserver,
+    NoopObserver, SearchPhase, SkippedSize,
+};
+
+// Re-export the cooperative budget/cancellation types: callers construct a
+// token once and hand it to both the analysis and exploration layers.
+pub use buffy_analysis::{CancelReason, CancelToken};
 
 // Re-export the substrate crates so downstream users need a single
 // dependency.

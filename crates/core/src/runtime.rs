@@ -18,7 +18,7 @@
 //!   parallelism.
 
 use crate::pareto::ParetoPoint;
-use buffy_analysis::{fx_hash, FxBuildHasher};
+use buffy_analysis::{fx_hash, CancelReason, FxBuildHasher};
 use buffy_graph::{Rational, StorageDistribution};
 use std::collections::HashMap;
 use std::fmt;
@@ -100,6 +100,9 @@ pub struct ExplorationStats {
     /// (summed over workers, so it can exceed elapsed time when
     /// parallel). Ignored by `==`.
     pub eval_nanos: u64,
+    /// Evaluations that panicked and were degraded to a recorded failure
+    /// instead of aborting the run.
+    pub failures: u64,
 }
 
 impl ExplorationStats {
@@ -126,6 +129,7 @@ impl PartialEq for ExplorationStats {
         self.evaluations == other.evaluations
             && self.cache_hits == other.cache_hits
             && self.max_states == other.max_states
+            && self.failures == other.failures
     }
 }
 
@@ -140,7 +144,11 @@ impl fmt::Display for ExplorationStats {
             self.cache_hits,
             self.cache_hit_rate() * 100.0,
             self.max_states
-        )
+        )?;
+        if self.failures > 0 {
+            write!(f, ", {} failed", self.failures)?;
+        }
+        Ok(())
     }
 }
 
@@ -152,6 +160,7 @@ pub(crate) struct AtomicStats {
     cache_hits: AtomicU64,
     max_states: AtomicU64,
     eval_nanos: AtomicU64,
+    failures: AtomicU64,
 }
 
 impl AtomicStats {
@@ -171,6 +180,11 @@ impl AtomicStats {
         self.cache_hits.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Records one degraded (panicked) evaluation.
+    pub(crate) fn record_failure(&self) {
+        self.failures.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// A consistent snapshot (callers take it after all workers joined).
     pub(crate) fn snapshot(&self) -> ExplorationStats {
         ExplorationStats {
@@ -178,8 +192,89 @@ impl AtomicStats {
             cache_hits: self.cache_hits.load(Ordering::Relaxed),
             max_states: self.max_states.load(Ordering::Relaxed),
             eval_nanos: self.eval_nanos.load(Ordering::Relaxed),
+            failures: self.failures.load(Ordering::Relaxed),
         }
     }
+}
+
+/// How complete a search result is: exact, or truncated by cancellation.
+///
+/// Every driver result carries one of these. An `exact` result is what an
+/// unbudgeted, uninterrupted run produces. A truncated result is still
+/// *sound* — every reported Pareto point is achievable — but may miss
+/// points the full search would have found; those are accounted for by the
+/// skipped-size annotations and `distributions_skipped`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Completeness {
+    /// `true` when the search ran to completion.
+    pub exact: bool,
+    /// Why the search stopped early, when it did.
+    pub truncated_by: Option<CancelReason>,
+    /// Number of enumerated candidate distributions whose evaluation was
+    /// skipped (saturating; capped counting keeps huge spaces cheap).
+    pub distributions_skipped: u64,
+}
+
+impl Completeness {
+    /// The marker of a run that completed normally.
+    pub fn exact() -> Completeness {
+        Completeness {
+            exact: true,
+            truncated_by: None,
+            distributions_skipped: 0,
+        }
+    }
+
+    /// The marker of a run truncated by `reason` with `skipped` candidate
+    /// distributions left unevaluated.
+    pub fn truncated(reason: CancelReason, skipped: u64) -> Completeness {
+        Completeness {
+            exact: false,
+            truncated_by: Some(reason),
+            distributions_skipped: skipped,
+        }
+    }
+}
+
+impl fmt::Display for Completeness {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.truncated_by {
+            None => f.write_str("exact"),
+            Some(reason) => write!(
+                f,
+                "partial (truncated by {}, {} distributions skipped)",
+                reason.name(),
+                self.distributions_skipped
+            ),
+        }
+    }
+}
+
+/// A distribution size the truncated search never settled, annotated with
+/// a *sound* conservative throughput bound: the bounds phase's maximal
+/// achievable throughput of the graph (paper §8), which no storage
+/// distribution of any size can exceed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SkippedSize {
+    /// The total distribution size (sum of channel capacities).
+    pub size: u64,
+    /// Number of candidate distributions of this size (saturating; counted
+    /// with a cap so huge spaces stay cheap to annotate).
+    pub distributions: u64,
+    /// Conservative upper bound on the maximal throughput achievable at
+    /// this size.
+    pub throughput_bound: Rational,
+}
+
+/// One evaluation that panicked and was degraded instead of aborting the
+/// run: the distribution is recorded as yielding zero throughput and the
+/// search continues deterministically.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EvaluationFailure {
+    /// The distribution whose analysis panicked.
+    pub distribution: StorageDistribution,
+    /// The panic payload, when it was a string.
+    pub message: String,
 }
 
 /// The phase a search driver is in; reported through
@@ -250,6 +345,12 @@ pub trait ExploreObserver: Sync {
     /// An evaluation request for `dist` was answered from the memo cache.
     fn cache_hit(&self, dist: &StorageDistribution) {
         let _ = dist;
+    }
+
+    /// A throughput analysis of `dist` panicked and was degraded to a
+    /// recorded failure (the run continues).
+    fn evaluation_failed(&self, dist: &StorageDistribution, message: &str) {
+        let _ = (dist, message);
     }
 
     /// `point` was accepted into the Pareto front under construction
@@ -328,6 +429,7 @@ mod tests {
             cache_hits: 5,
             max_states: 42,
             eval_nanos: 1_000,
+            failures: 0,
         };
         let b = ExplorationStats {
             eval_nanos: 999_999,
@@ -339,6 +441,8 @@ mod tests {
             ..a
         };
         assert_ne!(a, c);
+        let d = ExplorationStats { failures: 1, ..a };
+        assert_ne!(a, d);
         assert_eq!(a.requests(), 15);
         assert!((a.cache_hit_rate() - 1.0 / 3.0).abs() < 1e-12);
         assert_eq!(ExplorationStats::default().cache_hit_rate(), 0.0);
@@ -369,6 +473,20 @@ mod tests {
     fn resolve_threads_auto_detects() {
         assert_eq!(resolve_threads(3), 3);
         assert!(resolve_threads(0) >= 1);
+    }
+
+    #[test]
+    fn completeness_markers_render() {
+        let exact = Completeness::exact();
+        assert!(exact.exact);
+        assert_eq!(exact.to_string(), "exact");
+        let partial = Completeness::truncated(CancelReason::Deadline, 12);
+        assert!(!partial.exact);
+        assert_eq!(partial.truncated_by, Some(CancelReason::Deadline));
+        assert_eq!(
+            partial.to_string(),
+            "partial (truncated by deadline, 12 distributions skipped)"
+        );
     }
 
     #[test]

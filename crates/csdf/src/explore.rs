@@ -13,12 +13,13 @@
 
 use crate::model::{CsdfChannel, CsdfError, CsdfGraph};
 use crate::throughput::CsdfLimits;
-use buffy_analysis::{bmlb, AnalysisError};
+use buffy_analysis::{bmlb, AnalysisError, CancelToken};
 use buffy_core::{
-    explore_design_space_observed, ExplorationStats, ExploreError, ExploreObserver, ExploreOptions,
-    NoopObserver, ParetoSet,
+    explore_design_space_observed, Completeness, EvaluationFailure, ExplorationStats, ExploreError,
+    ExploreObserver, ExploreOptions, NoopObserver, ParetoSet, SkippedSize, WarmStart,
 };
 use buffy_graph::{gcd_u64, ActorId, Rational};
+use std::sync::Arc;
 
 /// A safe lower bound on one channel's capacity for positive throughput.
 ///
@@ -63,6 +64,14 @@ pub struct CsdfExploreOptions {
     /// Quantize throughputs searched to multiples of this value (paper
     /// §11: limits the number of Pareto points).
     pub quantum: Option<Rational>,
+    /// Cooperative budget/cancellation token checked between evaluation
+    /// strides; when it fires after the bounds phase the exploration
+    /// degrades to a partial, bound-annotated front instead of failing.
+    pub cancel: Option<Arc<CancelToken>>,
+    /// Previously completed evaluations (e.g. from a checkpoint), replayed
+    /// as recorded evaluations so a resumed run reproduces an
+    /// uninterrupted one exactly.
+    pub warm_start: Option<Arc<WarmStart>>,
 }
 
 /// Result of a CSDF exploration.
@@ -75,6 +84,13 @@ pub struct CsdfExplorationResult {
     /// Evaluation statistics: analyses run, cache hits, largest state
     /// space, analysis wall time.
     pub stats: ExplorationStats,
+    /// Whether the front is exact or a budget/interrupt truncated it.
+    pub completeness: Completeness,
+    /// Sizes enumerated but never evaluated, with conservative throughput
+    /// bounds (only populated on truncated runs).
+    pub skipped: Vec<SkippedSize>,
+    /// Evaluations that panicked; the run degrades around them.
+    pub failures: Vec<EvaluationFailure>,
 }
 
 /// Maps kernel exploration errors back into the CSDF vocabulary.
@@ -82,6 +98,9 @@ fn explore_to_csdf(e: ExploreError) -> CsdfError {
     match e {
         ExploreError::Graph(g) => CsdfError::from(AnalysisError::Graph(g)),
         ExploreError::Analysis(a) => CsdfError::from(a),
+        // Cancellation before any salvageable result surfaces as the
+        // analysis-layer cancellation error, keeping the reason.
+        ExploreError::Cancelled { reason } => CsdfError::from(AnalysisError::Cancelled { reason }),
         // The remaining variants concern constrained searches this entry
         // point does not expose; an empty feasible space is the only way
         // they can reach us.
@@ -139,6 +158,8 @@ pub fn csdf_explore_observed(
         quantum: options.quantum,
         limits: options.limits,
         threads: options.threads,
+        cancel: options.cancel.clone(),
+        warm_start: options.warm_start.clone(),
         ..ExploreOptions::default()
     };
     let r =
@@ -147,6 +168,9 @@ pub fn csdf_explore_observed(
         pareto: r.pareto,
         max_throughput: r.max_throughput,
         stats: r.stats,
+        completeness: r.completeness,
+        skipped: r.skipped,
+        failures: r.failures,
     })
 }
 
@@ -255,6 +279,44 @@ mod tests {
         let r = csdf_explore(&g, &CsdfExploreOptions::default()).unwrap();
         assert!(r.pareto.len() >= 2, "front: {:?}", r.pareto.points());
         assert!(r.max_throughput > Rational::ZERO);
+    }
+
+    #[test]
+    fn eval_budget_degrades_to_a_sound_partial_front() {
+        let mut b = CsdfGraph::builder("updown");
+        let p = b.actor("p", vec![1, 1]);
+        let c = b.actor("c", vec![1]);
+        b.channel("d", p, vec![2, 0], c, vec![1], 0).unwrap();
+        let g = b.build().unwrap();
+        let exact = csdf_explore(&g, &CsdfExploreOptions::default()).unwrap();
+        assert!(exact.completeness.exact);
+        assert!(exact.skipped.is_empty() && exact.failures.is_empty());
+        // Grant enough budget for the bounds phase but not the sweep.
+        let budget = exact.stats.evaluations - 1;
+        let options = CsdfExploreOptions {
+            cancel: Some(Arc::new(CancelToken::new().with_eval_budget(budget))),
+            ..CsdfExploreOptions::default()
+        };
+        match csdf_explore(&g, &options) {
+            Ok(partial) => {
+                assert!(!partial.completeness.exact);
+                // Every surviving point is a genuinely evaluated point of
+                // the exact front's domination region.
+                for pt in partial.pareto.points() {
+                    assert!(exact
+                        .pareto
+                        .points()
+                        .iter()
+                        .any(|e| e.size <= pt.size && e.throughput >= pt.throughput));
+                }
+            }
+            // The budget can also fire inside the bounds phase, where
+            // nothing is salvageable.
+            Err(e) => assert!(matches!(
+                e,
+                CsdfError::Analysis(AnalysisError::Cancelled { .. })
+            )),
+        }
     }
 
     #[test]

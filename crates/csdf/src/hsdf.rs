@@ -136,8 +136,8 @@ pub fn csdf_maximal_throughput(
                 channel: "token-free cycle".to_string(),
             })
         }
-        Err(_) => {
-            return Err(CsdfError::StateLimitExceeded { limit: 0 });
+        Err(other) => {
+            return Err(CsdfError::from(other));
         }
     };
     if lambda.is_zero() {

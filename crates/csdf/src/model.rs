@@ -5,7 +5,7 @@
 //! rate *per phase of its actor* (rates may be zero in individual phases).
 //! Every SDF graph is a CSDF graph with a single phase per actor.
 
-use buffy_analysis::{AnalysisError, DataflowSemantics};
+use buffy_analysis::{AnalysisError, DataflowSemantics, LimitKind};
 use buffy_graph::{ActorId, ChannelId, GraphError, Rational, SdfGraph};
 use core::fmt;
 use std::collections::HashSet;
@@ -56,10 +56,16 @@ pub enum CsdfError {
     RepetitionOverflow,
     /// Zero-execution-time phases fire without bound within one time step.
     ZeroTimeLivelock,
-    /// A state-space search exceeded its limits.
+    /// A state-space search exceeded its limits. Mirrors
+    /// [`AnalysisError::StateLimitExceeded`]: carries the limit kind and
+    /// the capacities under analysis.
     StateLimitExceeded {
         /// The configured limit.
-        limit: usize,
+        limit: u64,
+        /// Which limit: stored states or simulated steps.
+        kind: LimitKind,
+        /// The per-channel capacities in effect (`None` = unbounded).
+        capacities: Vec<Option<u64>>,
     },
     /// No storage distribution within the explored bounds yields positive
     /// throughput.
@@ -98,8 +104,19 @@ impl fmt::Display for CsdfError {
                     "zero-execution-time phases fire without bound in one step"
                 )
             }
-            CsdfError::StateLimitExceeded { limit } => {
-                write!(f, "state space exceeded the limit of {limit} states")
+            CsdfError::StateLimitExceeded {
+                limit,
+                kind,
+                capacities,
+            } => {
+                // Render through the analysis error so the two layers
+                // always report limit overruns identically.
+                let e = AnalysisError::StateLimitExceeded {
+                    limit: *limit,
+                    kind: *kind,
+                    capacities: capacities.clone(),
+                };
+                write!(f, "{e}")
             }
             CsdfError::NoPositiveThroughput => {
                 write!(f, "no storage distribution yields positive throughput")
@@ -125,7 +142,15 @@ impl From<AnalysisError> for CsdfError {
                 CsdfError::Inconsistent { channel }
             }
             AnalysisError::Graph(GraphError::RepetitionOverflow) => CsdfError::RepetitionOverflow,
-            AnalysisError::StateLimitExceeded { limit } => CsdfError::StateLimitExceeded { limit },
+            AnalysisError::StateLimitExceeded {
+                limit,
+                kind,
+                capacities,
+            } => CsdfError::StateLimitExceeded {
+                limit,
+                kind,
+                capacities,
+            },
             AnalysisError::ZeroTimeLivelock => CsdfError::ZeroTimeLivelock,
             other => CsdfError::Analysis(other),
         }
@@ -139,7 +164,15 @@ impl From<CsdfError> for AnalysisError {
                 AnalysisError::Graph(GraphError::Inconsistent { channel })
             }
             CsdfError::RepetitionOverflow => AnalysisError::Graph(GraphError::RepetitionOverflow),
-            CsdfError::StateLimitExceeded { limit } => AnalysisError::StateLimitExceeded { limit },
+            CsdfError::StateLimitExceeded {
+                limit,
+                kind,
+                capacities,
+            } => AnalysisError::StateLimitExceeded {
+                limit,
+                kind,
+                capacities,
+            },
             CsdfError::ZeroTimeLivelock => AnalysisError::ZeroTimeLivelock,
             CsdfError::Analysis(e) => e,
             // Builder-stage errors cannot arise from analyzing a built
@@ -657,7 +690,11 @@ mod tests {
             CsdfError::EmptyGraph,
             CsdfError::ZeroTimeLivelock,
             CsdfError::RepetitionOverflow,
-            CsdfError::StateLimitExceeded { limit: 3 },
+            CsdfError::StateLimitExceeded {
+                limit: 3,
+                kind: LimitKind::States,
+                capacities: vec![Some(1)],
+            },
             CsdfError::Inconsistent {
                 channel: "x".into(),
             },
@@ -705,8 +742,16 @@ mod tests {
                 }),
             ),
             (
-                CsdfError::StateLimitExceeded { limit: 7 },
-                AnalysisError::StateLimitExceeded { limit: 7 },
+                CsdfError::StateLimitExceeded {
+                    limit: 7,
+                    kind: LimitKind::Steps,
+                    capacities: vec![Some(4), None],
+                },
+                AnalysisError::StateLimitExceeded {
+                    limit: 7,
+                    kind: LimitKind::Steps,
+                    capacities: vec![Some(4), None],
+                },
             ),
             (CsdfError::ZeroTimeLivelock, AnalysisError::ZeroTimeLivelock),
             (

@@ -18,6 +18,7 @@
 //! | B006 | warning  | arithmetic overflow risk in the analyses |
 //! | B007 | warning  | dead actor (detached from the dataflow) |
 //! | B008 | warning  | modelling smell (starved self-loop, zero-time cycle) |
+//! | B009 | warning  | distribution-space explosion — bound the exploration (`--timeout`, `--checkpoint`) |
 //!
 //! Each check is a separate [`Rule`] object; [`Registry::with_default_rules`]
 //! collects them all and [`lint_sdf`] / [`lint_csdf`] run the registry.
@@ -51,7 +52,7 @@ mod rules;
 
 pub use diagnostic::{Diagnostic, Report, Severity, Subject};
 pub use model::{ChannelView, Model, RepetitionIssue};
-pub use rules::{Registry, Rule};
+pub use rules::{Registry, Rule, DEFAULT_SPACE_THRESHOLD};
 
 use buffy_csdf::CsdfGraph;
 use buffy_graph::{ActorId, Rational, SdfGraph, StorageDistribution};
@@ -68,6 +69,9 @@ pub struct LintContext {
     /// The actor whose throughput is constrained; defaults to the graph's
     /// default observed actor.
     pub observed: Option<ActorId>,
+    /// Distribution-space size above which B009 warns (default:
+    /// [`DEFAULT_SPACE_THRESHOLD`]).
+    pub space_threshold: Option<u64>,
 }
 
 /// Runs every default rule over an SDF graph.

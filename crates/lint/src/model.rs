@@ -6,7 +6,7 @@
 //! per-channel capacity lower bounds. This keeps every rule
 //! representation-agnostic and means each check is written once.
 
-use buffy_csdf::{csdf_channel_lower_bound, csdf_maximal_throughput, CsdfGraph};
+use buffy_csdf::{csdf_channel_lower_bound, csdf_channel_step, csdf_maximal_throughput, CsdfGraph};
 use buffy_csdf::{CsdfError, CsdfRepetitionVector};
 use buffy_graph::{ActorId, ChannelId, GraphError, Rational, RepetitionVector, SdfGraph};
 
@@ -227,6 +227,15 @@ impl Model<'_> {
         match self {
             Model::Sdf(g) => buffy_core::channel_lower_bound(g.channel(id)),
             Model::Csdf(g) => csdf_channel_lower_bound(g.channel(id)),
+        }
+    }
+
+    /// The capacity quantum of one channel: explored capacities move in
+    /// multiples of this step (paper §8).
+    pub fn capacity_step(&self, id: ChannelId) -> u64 {
+        match self {
+            Model::Sdf(g) => buffy_core::channel_step(g.channel(id)),
+            Model::Csdf(g) => csdf_channel_step(g.channel(id)),
         }
     }
 

@@ -5,6 +5,7 @@ mod connectivity;
 mod consistency;
 mod dead_actor;
 mod deadlock;
+mod explosion;
 mod overflow;
 mod smells;
 mod throughput;
@@ -18,6 +19,7 @@ pub use connectivity::Disconnected;
 pub use consistency::Inconsistent;
 pub use dead_actor::DeadActor;
 pub use deadlock::TokenFreeCycle;
+pub use explosion::{SpaceExplosion, DEFAULT_SPACE_THRESHOLD};
 pub use overflow::OverflowRisk;
 pub use smells::ModellingSmells;
 pub use throughput::InfeasibleConstraint;
@@ -63,6 +65,7 @@ impl Registry {
         r.push(Box::new(OverflowRisk));
         r.push(Box::new(DeadActor));
         r.push(Box::new(ModellingSmells));
+        r.push(Box::new(SpaceExplosion));
         r
     }
 
@@ -107,7 +110,7 @@ mod tests {
         let codes: Vec<&str> = r.rules().iter().map(|rule| rule.code()).collect();
         assert_eq!(
             codes,
-            vec!["B001", "B002", "B003", "B004", "B005", "B006", "B007", "B008"]
+            vec!["B001", "B002", "B003", "B004", "B005", "B006", "B007", "B008", "B009"]
         );
         // Codes are unique and names are non-empty.
         for rule in r.rules() {
