@@ -124,6 +124,52 @@ impl Interned {
     }
 }
 
+/// Number of probe-length tally bins kept by [`ProbeStats`]: bin `i`
+/// counts probes that inspected `i + 1` slots; the last bin aggregates
+/// everything longer.
+pub const PROBE_BINS: usize = 32;
+
+/// Flat probe statistics of a [`StateStore`]'s interning path.
+///
+/// Counted with plain (non-atomic) integer adds on every
+/// [`StateStore::intern_with`] call — cheap enough to stay always on,
+/// deterministic, and folded into telemetry histograms only at the end
+/// of an analysis (when a recorder is installed).
+#[derive(Debug, Clone, Copy)]
+pub struct ProbeStats {
+    /// Number of interning lookups performed.
+    pub lookups: u64,
+    /// Total slots inspected across all lookups (1 per direct hit).
+    pub probes: u64,
+    /// Longest single probe sequence seen.
+    pub max_probe: u64,
+    /// Probe-length tally; see [`PROBE_BINS`] for the binning.
+    pub tally: [u64; PROBE_BINS],
+}
+
+impl Default for ProbeStats {
+    fn default() -> Self {
+        ProbeStats {
+            lookups: 0,
+            probes: 0,
+            max_probe: 0,
+            tally: [0; PROBE_BINS],
+        }
+    }
+}
+
+impl ProbeStats {
+    #[inline]
+    fn record(&mut self, len: u64) {
+        self.lookups += 1;
+        self.probes += len;
+        if len > self.max_probe {
+            self.max_probe = len;
+        }
+        self.tally[(len as usize).min(PROBE_BINS) - 1] += 1;
+    }
+}
+
 /// One slot of the open-addressed index: the key's full hash and the
 /// arena index plus one (0 marks an empty slot).
 #[derive(Debug, Clone, Copy)]
@@ -167,6 +213,7 @@ pub struct StateStore<T> {
     table: Vec<Slot>,
     /// `table.len() - 1`; the table length is always a power of two.
     mask: usize,
+    probes: ProbeStats,
 }
 
 impl<T> Default for StateStore<T> {
@@ -188,7 +235,13 @@ impl<T> StateStore<T> {
             items: Vec::with_capacity(capacity),
             table: vec![EMPTY; table_len],
             mask: table_len - 1,
+            probes: ProbeStats::default(),
         }
+    }
+
+    /// Probe statistics of every [`Self::intern_with`] call so far.
+    pub fn probe_stats(&self) -> &ProbeStats {
+        &self.probes
     }
 
     /// Number of interned states.
@@ -240,6 +293,7 @@ impl<T> StateStore<T> {
         make: impl FnOnce() -> T,
     ) -> Interned {
         let mut pos = (hash as usize) & self.mask;
+        let mut probe_len = 1u64;
         loop {
             let slot = self.table[pos];
             if slot.index_plus_one == 0 {
@@ -247,10 +301,13 @@ impl<T> StateStore<T> {
             }
             let idx = slot.index_plus_one - 1;
             if slot.hash == hash && matches(&self.items[idx]) {
+                self.probes.record(probe_len);
                 return Interned::Existing(idx);
             }
             pos = (pos + 1) & self.mask;
+            probe_len += 1;
         }
+        self.probes.record(probe_len);
         let idx = self.items.len();
         self.items.push(make());
         self.table[pos] = Slot {
@@ -336,6 +393,24 @@ mod tests {
         for (key, &idx) in &oracle {
             assert_eq!(store.items()[idx], *key);
         }
+    }
+
+    #[test]
+    fn probe_stats_count_every_intern() {
+        let mut store: StateStore<u64> = StateStore::new();
+        // Two direct-hit inserts at non-adjacent slots, then a re-lookup.
+        store.intern_with(1, |s| *s == 1, || 1);
+        store.intern_with(5, |s| *s == 5, || 5);
+        store.intern_with(1, |s| *s == 1, || 1);
+        // Forced collision: hash 1 again with a different key probes past
+        // the occupied slot.
+        store.intern_with(1, |s| *s == 9, || 9);
+        let stats = store.probe_stats();
+        assert_eq!(stats.lookups, 4);
+        assert_eq!(stats.max_probe, 2);
+        assert_eq!(stats.probes, 1 + 1 + 1 + 2);
+        assert_eq!(stats.tally[0], 3);
+        assert_eq!(stats.tally[1], 1);
     }
 
     #[test]

@@ -75,7 +75,9 @@ pub use engine::{
 };
 pub use error::{AnalysisError, LimitKind};
 pub use hsdf::{Hsdf, HsdfEdge, HsdfNode};
-pub use interner::{fx_hash, FxBuildHasher, FxHasher, Interned, StateStore};
+pub use interner::{
+    fx_hash, FxBuildHasher, FxHasher, Interned, ProbeStats, StateStore, PROBE_BINS,
+};
 pub use latency::{latency, LatencyReport};
 pub use mcm::{
     max_cycle_ratio, max_cycle_ratio_brute_force, maximal_throughput, RatioEdge, RatioGraph,

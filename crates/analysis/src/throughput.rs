@@ -16,9 +16,12 @@
 use crate::budget::CancelToken;
 use crate::engine::{Capacities, DataflowEngine, DataflowState, FiringOutcome};
 use crate::error::{AnalysisError, LimitKind};
-use crate::interner::{fx_hash, Interned, StateStore};
+use crate::interner::{fx_hash, Interned, StateStore, PROBE_BINS};
 use crate::semantics::DataflowSemantics;
 use buffy_graph::{ActorId, Rational, SdfGraph, StorageDistribution};
+use buffy_telemetry::{names, Gauge, Histogram, Recorder};
+use std::sync::Arc;
+use std::time::Instant;
 
 /// How many engine steps between cancellation polls in
 /// [`throughput_for_with_cancel`]: the token is checked when
@@ -223,12 +226,88 @@ pub fn throughput_for_with_cancel<M: DataflowSemantics>(
     limits: ExplorationLimits,
     cancel: &CancelToken,
 ) -> Result<ThroughputReport, AnalysisError> {
+    // Telemetry is observation-only and fetched once per analysis: when no
+    // recorder is installed this is a single relaxed load and a branch.
+    let telemetry = buffy_telemetry::active().map(AnalysisTelemetry::new);
+    if telemetry.is_none() {
+        let mut store: StateStore<ReducedState> = StateStore::new();
+        return cycle_search(model, caps, observed, limits, cancel, &mut store);
+    }
+    let started = Instant::now();
+    let mut store: StateStore<ReducedState> = StateStore::new();
+    let result = cycle_search(model, caps, observed, limits, cancel, &mut store);
+    if let Some(tel) = &telemetry {
+        tel.record(&store, started.elapsed().as_nanos() as u64);
+    }
+    result
+}
+
+/// Per-analysis telemetry handles, fetched once per call so the state
+/// loop itself records nothing.
+struct AnalysisTelemetry {
+    states: Arc<Histogram>,
+    wall: Arc<Histogram>,
+    probe_len: Arc<Histogram>,
+    occupancy: Arc<Gauge>,
+}
+
+impl AnalysisTelemetry {
+    fn new(recorder: Arc<Recorder>) -> AnalysisTelemetry {
+        AnalysisTelemetry {
+            states: recorder.histogram(
+                names::ANALYSIS_STATES,
+                "Reduced states stored per throughput analysis.",
+            ),
+            wall: recorder.histogram(
+                names::ANALYSIS_WALL_NS,
+                "Cycle-detection wall time per throughput analysis, in nanoseconds.",
+            ),
+            probe_len: recorder.histogram(
+                names::INTERNER_PROBE_LEN,
+                "State-interner probe lengths (slots inspected; 1 = direct hit).",
+            ),
+            occupancy: recorder.gauge(
+                names::INTERNER_OCCUPANCY_MAX,
+                "Largest state-interner occupancy (entries) seen in any analysis.",
+            ),
+        }
+    }
+
+    /// Folds the store's always-on scratch tallies into the shared
+    /// histograms — once per analysis, never per state.
+    fn record(&self, store: &StateStore<ReducedState>, wall_ns: u64) {
+        self.states.record(store.len() as u64);
+        self.wall.record(wall_ns);
+        self.occupancy.record_max(store.len() as u64);
+        let probes = store.probe_stats();
+        for (i, &count) in probes.tally.iter().enumerate() {
+            if count == 0 {
+                continue;
+            }
+            // The last bin aggregates lengths >= PROBE_BINS; report those
+            // at the observed maximum.
+            let len = if i + 1 < PROBE_BINS {
+                (i + 1) as u64
+            } else {
+                probes.max_probe
+            };
+            self.probe_len.record_n(len, count);
+        }
+    }
+}
+
+/// The cycle search proper; `store` is owned by the caller so telemetry
+/// can read its statistics on every exit path.
+fn cycle_search<M: DataflowSemantics>(
+    model: &M,
+    caps: Capacities,
+    observed: ActorId,
+    limits: ExplorationLimits,
+    cancel: &CancelToken,
+    store: &mut StateStore<ReducedState>,
+) -> Result<ThroughputReport, AnalysisError> {
     let mut engine = DataflowEngine::new(model, caps);
     let initial = engine.start_initial()?;
-
-    // Reduced state space: states at completions of the observed actor,
-    // interned in an arena so probing never clones or re-hashes a state.
-    let mut store: StateStore<ReducedState> = StateStore::new();
     let mut times: Vec<u64> = Vec::new(); // time of each reduced state
     let mut firing_counts: Vec<u32> = Vec::new();
     let mut last_completion: u64 = 0;

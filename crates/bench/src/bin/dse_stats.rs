@@ -9,6 +9,10 @@
 //! (the runtime's chunked evaluation makes them thread-count independent);
 //! the bench asserts it, so a regression shows up here as well as in the
 //! test suite.
+//!
+//! Schema v2: each run record additionally carries the evaluation-latency
+//! percentiles and the memo cache's per-shard hit rates, captured through
+//! a per-run [`buffy_telemetry::Recorder`]. All v1 keys are unchanged.
 
 use buffy_bench::format_table;
 use buffy_core::{
@@ -17,6 +21,8 @@ use buffy_core::{
 };
 use buffy_gen::gallery;
 use buffy_graph::SdfGraph;
+use buffy_telemetry::{names, HistogramSnapshot, Recorder, Snapshot};
+use std::sync::Arc;
 use std::time::Instant;
 
 struct Run {
@@ -25,6 +31,7 @@ struct Run {
     threads: usize,
     wall_secs: f64,
     result: ExplorationResult,
+    telemetry: Snapshot,
 }
 
 fn run(
@@ -33,23 +40,61 @@ fn run(
     threads: usize,
     f: impl Fn() -> ExplorationResult,
 ) -> Run {
+    // A fresh recorder per run keeps the latency and shard statistics
+    // attributable; the global slot is swapped around each measurement.
+    let recorder = Arc::new(Recorder::new());
+    buffy_telemetry::install(Arc::clone(&recorder));
     let t0 = Instant::now();
     let result = f();
+    let wall_secs = t0.elapsed().as_secs_f64();
+    buffy_telemetry::uninstall();
     Run {
         graph: graph.name().to_string(),
         algorithm,
         threads,
-        wall_secs: t0.elapsed().as_secs_f64(),
+        wall_secs,
         result,
+        telemetry: recorder.snapshot(),
     }
 }
 
 fn json_record(r: &Run) -> String {
     let s = &r.result.stats;
+    let latency = r
+        .telemetry
+        .histograms
+        .get(names::EVAL_LATENCY_NS)
+        .cloned()
+        .unwrap_or_else(HistogramSnapshot::empty);
+    let hits = Snapshot::family_values(&r.telemetry.counters, names::SHARD_HITS);
+    let misses = Snapshot::family_values(&r.telemetry.counters, names::SHARD_MISSES);
+    let mut shard_rates: Vec<(u64, f64)> = hits
+        .iter()
+        .map(|(shard, h)| {
+            let m = misses
+                .iter()
+                .find(|(s, _)| s == shard)
+                .map(|(_, v)| *v)
+                .unwrap_or(0);
+            let total = h + m;
+            let rate = if total == 0 {
+                0.0
+            } else {
+                *h as f64 / total as f64
+            };
+            (shard.parse().unwrap_or(0), rate)
+        })
+        .collect();
+    shard_rates.sort_by_key(|(index, _)| *index);
+    let shard_rates: Vec<String> = shard_rates
+        .into_iter()
+        .map(|(_, rate)| format!("{rate:.4}"))
+        .collect();
     format!(
         "{{\"graph\":\"{}\",\"algorithm\":\"{}\",\"threads\":{},\"wall_secs\":{:.6},\
          \"evaluations\":{},\"cache_hits\":{},\"cache_hit_rate\":{:.4},\"max_states\":{},\
-         \"eval_nanos\":{},\"pareto_points\":{}}}",
+         \"eval_nanos\":{},\"pareto_points\":{},\
+         \"eval_latency_ns\":{{\"p50\":{},\"p90\":{},\"p99\":{}}},\"shard_hit_rates\":[{}]}}",
         r.graph,
         r.algorithm,
         r.threads,
@@ -59,7 +104,11 @@ fn json_record(r: &Run) -> String {
         s.cache_hit_rate(),
         s.max_states,
         s.eval_nanos,
-        r.result.pareto.len()
+        r.result.pareto.len(),
+        latency.p50(),
+        latency.p90(),
+        latency.p99(),
+        shard_rates.join(",")
     )
 }
 
@@ -129,7 +178,7 @@ fn main() {
 
     let records: Vec<String> = runs.iter().map(json_record).collect();
     let json = format!(
-        "{{\"bench\":\"dse_stats\",\"auto_threads\":{},\"runs\":[\n  {}\n]}}\n",
+        "{{\"bench\":\"dse_stats\",\"schema\":2,\"auto_threads\":{},\"runs\":[\n  {}\n]}}\n",
         auto,
         records.join(",\n  ")
     );

@@ -39,6 +39,8 @@ const VALUE_OPTIONS: &[&str] = &[
     "checkpoint",
     "resume",
     "space-threshold",
+    "metrics",
+    "chrome-trace",
 ];
 
 /// Boolean flags the commands understand; anything else starting with
@@ -151,6 +153,10 @@ mod tests {
             "--progress",
             "--trace-json",
             "trace.jsonl",
+            "--metrics",
+            "metrics.prom",
+            "--chrome-trace",
+            "trace.json",
         ]))
         .unwrap();
         assert!(p.has_flag("progress"));
@@ -158,9 +164,19 @@ mod tests {
             p.options.get("trace-json").map(String::as_str),
             Some("trace.jsonl")
         );
-        // --trace-json without a path is rejected, as is a misspelling.
+        assert_eq!(
+            p.options.get("metrics").map(String::as_str),
+            Some("metrics.prom")
+        );
+        assert_eq!(
+            p.options.get("chrome-trace").map(String::as_str),
+            Some("trace.json")
+        );
+        // Paths are required, and misspellings are rejected.
         assert!(parse(&args(&["--trace-json"])).is_err());
         assert!(parse(&args(&["--trace-jsonl", "x"])).is_err());
+        assert!(parse(&args(&["--metrics"])).is_err());
+        assert!(parse(&args(&["--chrome-trace"])).is_err());
     }
 
     #[test]

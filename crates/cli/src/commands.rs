@@ -2,6 +2,7 @@
 
 use crate::args::{parse_dist, ParsedArgs};
 use crate::observe::{dist_json, json_escape, CheckpointConfig, CliObserver};
+use crate::telemetry::{telemetry_json, TelemetrySession};
 use buffy_analysis::{
     fx_hash, maximal_throughput, throughput, AnalysisError, ExplorationLimits, Schedule,
 };
@@ -157,6 +158,14 @@ fn cancelled_without_result(
     Err(format!(
         "exploration cancelled before any result was available: {reason}"
     ))
+}
+
+/// Renders the optional `,"telemetry":{…}` suffix of a `--json` report.
+fn telemetry_section(snapshot: Option<&buffy_telemetry::Snapshot>) -> String {
+    match snapshot {
+        None => String::new(),
+        Some(s) => format!(",\"telemetry\":{}", telemetry_json(s)),
+    }
 }
 
 /// Renders the exploration statistics as a JSON object.
@@ -448,6 +457,7 @@ pub fn analyze(parsed: &ParsedArgs, out: Out<'_>) -> Result<(), String> {
 fn print_front(
     result: &ExplorationResult,
     parsed: &ParsedArgs,
+    telemetry: Option<&buffy_telemetry::Snapshot>,
     out: Out<'_>,
 ) -> Result<(), String> {
     if parsed.has_flag("json") {
@@ -455,7 +465,7 @@ fn print_front(
         w(
             out,
             format_args!(
-                "{{\"pareto\":[{}],\"max_throughput\":\"{}\",\"lower_bound_size\":{},\"upper_bound_size\":{},\"completeness\":{},\"skipped\":{},\"failures\":{},\"stats\":{}}}\n",
+                "{{\"pareto\":[{}],\"max_throughput\":\"{}\",\"lower_bound_size\":{},\"upper_bound_size\":{},\"completeness\":{},\"skipped\":{},\"failures\":{},\"stats\":{}{}}}\n",
                 points.join(","),
                 result.max_throughput,
                 result.lower_bound_size,
@@ -463,7 +473,8 @@ fn print_front(
                 completeness_json(&result.completeness),
                 skipped_json(&result.skipped),
                 failures_json(&result.failures),
-                stats_json(&result.stats)
+                stats_json(&result.stats),
+                telemetry_section(telemetry)
             ),
         )?;
     } else if parsed.has_flag("csv") {
@@ -515,6 +526,7 @@ pub fn explore(parsed: &ParsedArgs, out: Out<'_>) -> Result<i32, String> {
         .map(String::as_str)
         .unwrap_or("guided");
     let observer = observer_from(parsed, fingerprint, graph.num_channels())?;
+    let telemetry = TelemetrySession::from_options(parsed);
     let run = match algorithm {
         "guided" => explore_dependency_guided_observed(&graph, &opts, &observer),
         "exhaustive" => explore_design_space_observed(&graph, &opts, &observer),
@@ -531,7 +543,8 @@ pub fn explore(parsed: &ParsedArgs, out: Out<'_>) -> Result<i32, String> {
         }
     };
     observer.finish(end_reason(&result.completeness))?;
-    print_front(&result, parsed, out)?;
+    let snapshot = telemetry.finish()?;
+    print_front(&result, parsed, snapshot.as_ref(), out)?;
     Ok(exit_code_for(&result.completeness))
 }
 
@@ -549,6 +562,7 @@ pub fn constraint(parsed: &ParsedArgs, out: Out<'_>) -> Result<i32, String> {
         return Err("--throughput must be positive".into());
     }
     let observer = observer_from(parsed, fingerprint, graph.num_channels())?;
+    let telemetry = TelemetrySession::from_options(parsed);
     let r = match min_storage_for_throughput_observed(&graph, constraint, &opts, &observer) {
         Ok(r) => r,
         Err(ExploreError::Cancelled { reason }) => {
@@ -560,15 +574,17 @@ pub fn constraint(parsed: &ParsedArgs, out: Out<'_>) -> Result<i32, String> {
         }
     };
     observer.finish(end_reason(&r.completeness))?;
+    let snapshot = telemetry.finish()?;
     if parsed.has_flag("json") {
         w(
             out,
             format_args!(
-                "{{\"constraint\":\"{constraint}\",\"point\":{},\"completeness\":{},\"failures\":{},\"stats\":{}}}\n",
+                "{{\"constraint\":\"{constraint}\",\"point\":{},\"completeness\":{},\"failures\":{},\"stats\":{}{}}}\n",
                 point_json(&r.point),
                 completeness_json(&r.completeness),
                 failures_json(&r.failures),
-                stats_json(&r.stats)
+                stats_json(&r.stats),
+                telemetry_section(snapshot.as_ref())
             ),
         )?;
         return Ok(exit_code_for(&r.completeness));
@@ -732,6 +748,7 @@ pub fn csdf_explore(parsed: &ParsedArgs, out: Out<'_>) -> Result<i32, String> {
         ..buffy_csdf::CsdfExploreOptions::default()
     };
     let observer = observer_from(parsed, fingerprint, graph.num_channels())?;
+    let telemetry = TelemetrySession::from_options(parsed);
     let r = match buffy_csdf::csdf_explore_observed(&graph, &opts, &observer) {
         Ok(r) => r,
         Err(buffy_csdf::CsdfError::Analysis(AnalysisError::Cancelled { reason })) => {
@@ -743,18 +760,20 @@ pub fn csdf_explore(parsed: &ParsedArgs, out: Out<'_>) -> Result<i32, String> {
         }
     };
     observer.finish(end_reason(&r.completeness))?;
+    let snapshot = telemetry.finish()?;
     if parsed.has_flag("json") {
         let points: Vec<String> = r.pareto.points().iter().map(point_json).collect();
         w(
             out,
             format_args!(
-                "{{\"pareto\":[{}],\"max_throughput\":\"{}\",\"completeness\":{},\"skipped\":{},\"failures\":{},\"stats\":{}}}\n",
+                "{{\"pareto\":[{}],\"max_throughput\":\"{}\",\"completeness\":{},\"skipped\":{},\"failures\":{},\"stats\":{}{}}}\n",
                 points.join(","),
                 r.max_throughput,
                 completeness_json(&r.completeness),
                 skipped_json(&r.skipped),
                 failures_json(&r.failures),
-                stats_json(&r.stats)
+                stats_json(&r.stats),
+                telemetry_section(snapshot.as_ref())
             ),
         )?;
     } else if parsed.has_flag("csv") {

@@ -17,6 +17,7 @@ mod args;
 mod commands;
 mod observe;
 mod signal;
+mod telemetry;
 
 pub use args::{parse, parse_dist, ParsedArgs};
 
@@ -46,7 +47,8 @@ COMMANDS:
                                       (default: per-channel lower bounds)
     explore <graph.xml> [--algorithm guided|exhaustive] [--actor NAME]
             [--quantum R] [--max-size N] [--threads N] [--csv] [--json]
-            [--progress] [--trace-json FILE] [--timeout SECS]
+            [--progress] [--trace-json FILE] [--metrics FILE]
+            [--chrome-trace FILE] [--timeout SECS]
             [--max-evals N] [--checkpoint FILE] [--resume FILE]
                                       chart the Pareto space; CSDF inputs
                                       (type=\"csdf\") are routed through the
@@ -57,7 +59,15 @@ COMMANDS:
                                       report, --progress reports phases and
                                       counts on stderr and --trace-json
                                       streams one JSON object per
-                                      evaluation/cache-hit/pareto event;
+                                      evaluation/cache-hit/pareto event
+                                      (each stamped with elapsed_us);
+                                      --metrics writes a Prometheus
+                                      textfile snapshot and --chrome-trace
+                                      a Chrome trace-event JSON (load in
+                                      chrome://tracing or Perfetto), and
+                                      --json gains a telemetry section
+                                      (latency percentiles, per-shard memo
+                                      cache statistics);
                                       --timeout / --max-evals bound the run
                                       and degrade it to a partial,
                                       bound-annotated front; --checkpoint
@@ -66,7 +76,8 @@ COMMANDS:
                                       from such a file, reproducing the
                                       uninterrupted run exactly
     constraint <graph.xml> --throughput R [--actor NAME] [--json]
-               [--progress] [--trace-json FILE] [--timeout SECS]
+               [--progress] [--trace-json FILE] [--metrics FILE]
+               [--chrome-trace FILE] [--timeout SECS]
                [--max-evals N] [--checkpoint FILE] [--resume FILE]
                                       minimal storage meeting a throughput
                                       constraint (with evaluation
@@ -87,15 +98,17 @@ COMMANDS:
                                       storage distribution
     csdf-explore <graph.xml> [--actor NAME] [--max-size N] [--threads N]
                  [--quantum R] [--csv] [--json] [--progress]
-                 [--trace-json FILE] [--timeout SECS] [--max-evals N]
+                 [--trace-json FILE] [--metrics FILE] [--chrome-trace FILE]
+                 [--timeout SECS] [--max-evals N]
                  [--checkpoint FILE] [--resume FILE]
                                       Pareto space of a CSDF graph;
                                       --threads parallelizes the analyses
                                       (0 = auto-detect) and --quantum
                                       coarsens the searched throughputs
                                       (reported with evaluator cache
-                                      statistics); the resilience options
-                                      behave as for explore
+                                      statistics); the resilience and
+                                      telemetry options behave as for
+                                      explore
     help                              show this message
 
 analyze, explore, constraint, csdf-analyze and csdf-explore refuse models
@@ -532,6 +545,116 @@ mod tests {
 
         std::fs::remove_file(&path).ok();
         std::fs::remove_file(&trace).ok();
+    }
+
+    #[test]
+    fn explore_exports_metrics_and_chrome_trace() {
+        let (_, xml) = run_to_string(&["gallery", "example"]);
+        let path = std::env::temp_dir().join("buffy-cli-test-telemetry.xml");
+        std::fs::write(&path, &xml).unwrap();
+        let p = path.to_str().unwrap();
+        let prom = std::env::temp_dir().join("buffy-cli-test-telemetry.prom");
+        let chrome = std::env::temp_dir().join("buffy-cli-test-telemetry-trace.json");
+
+        let (code, text) = run_to_string(&[
+            "explore",
+            p,
+            "--algorithm",
+            "exhaustive",
+            "--json",
+            "--metrics",
+            prom.to_str().unwrap(),
+            "--chrome-trace",
+            chrome.to_str().unwrap(),
+        ]);
+        assert_eq!(code, 0, "{text}");
+        // The JSON report gains the telemetry section: latency
+        // percentiles and per-shard memo-cache statistics.
+        assert!(
+            text.contains("\"telemetry\":{\"eval_latency_ns\":{"),
+            "{text}"
+        );
+        assert!(text.contains("\"p99\":"), "{text}");
+        assert!(text.contains("\"memo_shards\":[{\"shard\":0,"), "{text}");
+
+        // Prometheus textfile: HELP/TYPE headers and the latency family.
+        let prom_text = std::fs::read_to_string(&prom).unwrap();
+        assert!(
+            prom_text.contains("# TYPE buffy_eval_latency_ns histogram"),
+            "{prom_text}"
+        );
+        assert!(
+            prom_text.contains("buffy_eval_latency_ns_count"),
+            "{prom_text}"
+        );
+        assert!(
+            prom_text.contains("buffy_memo_shard_hits_total{shard=\"0\"}"),
+            "{prom_text}"
+        );
+
+        // Chrome trace: the trace-event envelope with eval spans and
+        // phase spans.
+        let chrome_text = std::fs::read_to_string(&chrome).unwrap();
+        assert!(
+            chrome_text.starts_with("{\"traceEvents\":["),
+            "{chrome_text}"
+        );
+        assert!(chrome_text.contains("\"name\":\"eval\""), "{chrome_text}");
+        assert!(
+            chrome_text.contains("\"name\":\"phase:bounds\""),
+            "{chrome_text}"
+        );
+        assert!(chrome_text.contains("\"ph\":\"X\""), "{chrome_text}");
+
+        // constraint and csdf-explore accept the exporters too.
+        let (code, text) = run_to_string(&[
+            "constraint",
+            p,
+            "--throughput",
+            "1/6",
+            "--json",
+            "--metrics",
+            prom.to_str().unwrap(),
+        ]);
+        assert_eq!(code, 0, "{text}");
+        assert!(text.contains("\"telemetry\":{"), "{text}");
+        let prom_text = std::fs::read_to_string(&prom).unwrap();
+        assert!(
+            prom_text.contains("buffy_sizes_pruned_total{phase=\"constraint-search\"}"),
+            "{prom_text}"
+        );
+
+        std::fs::remove_file(&path).ok();
+        std::fs::remove_file(&prom).ok();
+        std::fs::remove_file(&chrome).ok();
+    }
+
+    #[test]
+    fn csdf_explore_exports_telemetry() {
+        let xml = r#"<sdf3 type="csdf"><applicationGraph name="ud"><csdf name="ud">
+             <actor name="p"/><actor name="c"/>
+             <channel name="d" srcActor="p" srcRate="2,0" dstActor="c" dstRate="1"/>
+           </csdf></applicationGraph></sdf3>"#;
+        let path = std::env::temp_dir().join("buffy-cli-test-csdf-telemetry.xml");
+        std::fs::write(&path, xml).unwrap();
+        let chrome = std::env::temp_dir().join("buffy-cli-test-csdf-telemetry.json");
+
+        let (code, text) = run_to_string(&[
+            "csdf-explore",
+            path.to_str().unwrap(),
+            "--json",
+            "--chrome-trace",
+            chrome.to_str().unwrap(),
+        ]);
+        assert_eq!(code, 0, "{text}");
+        assert!(text.contains("\"telemetry\":{"), "{text}");
+        let chrome_text = std::fs::read_to_string(&chrome).unwrap();
+        assert!(
+            chrome_text.contains("\"name\":\"csdf-explore\""),
+            "{chrome_text}"
+        );
+        std::fs::remove_file(&path).ok();
+        std::fs::remove_file(&chrome).ok();
     }
 
     #[test]

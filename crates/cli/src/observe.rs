@@ -6,10 +6,15 @@
 //! to up to three sinks:
 //!
 //! - `--progress`: human-readable status on **stderr** (phase transitions,
-//!   periodic evaluation counts, accepted Pareto points) — stdout stays
-//!   reserved for the command's actual output;
-//! - `--trace-json <file>`: one JSON object per line (JSON-lines). Each
-//!   line is written with a single `write_all` call as it happens, so an
+//!   evaluation counts, accepted Pareto points) — stdout stays reserved
+//!   for the command's actual output. High-frequency lines are throttled
+//!   to roughly ten per second on a monotonic clock so a fast exploration
+//!   cannot flood the terminal; phase transitions, failures and the final
+//!   summary always print;
+//! - `--trace-json <file>`: one JSON object per line (JSON-lines). Every
+//!   event leads with `elapsed_us`, microseconds on the monotonic clock
+//!   since the observer (and hence the run) was created. Each line is
+//!   written with a single `write_all` call as it happens, so an
 //!   interrupted or failing run never leaves a truncated object behind,
 //!   and [`CliObserver::finish`] appends a final
 //!   `{"event":"end","reason":…}` record on every exit path;
@@ -30,9 +35,11 @@ use std::io::Write;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
+use std::time::Instant;
 
-/// How many evaluations between `--progress` status lines.
-const PROGRESS_EVERY: u64 = 64;
+/// Minimum spacing between throttled `--progress` lines, in microseconds
+/// of monotonic time (~10 lines per second).
+const PROGRESS_INTERVAL_US: u64 = 100_000;
 
 /// How many evaluations between periodic checkpoint saves.
 const CHECKPOINT_EVERY: u64 = 64;
@@ -64,6 +71,12 @@ impl CheckpointSink {
 /// options.
 pub struct CliObserver {
     progress: bool,
+    /// Run-start instant: origin of every `elapsed_us` trace field and of
+    /// the progress throttle.
+    start: Instant,
+    /// Monotonic micros of the last throttled progress line
+    /// (`u64::MAX` = none emitted yet).
+    progress_last_us: AtomicU64,
     evaluations: AtomicU64,
     cache_hits: AtomicU64,
     trace: Option<Mutex<File>>,
@@ -100,6 +113,8 @@ impl CliObserver {
         });
         Ok(CliObserver {
             progress,
+            start: Instant::now(),
+            progress_last_us: AtomicU64::new(u64::MAX),
             evaluations: AtomicU64::new(0),
             cache_hits: AtomicU64::new(0),
             trace,
@@ -107,12 +122,34 @@ impl CliObserver {
         })
     }
 
+    /// Whether a throttled progress line may print now. Lossy under
+    /// contention by design: when two threads race the interval, one line
+    /// wins and the other is simply skipped.
+    fn progress_tick(&self) -> bool {
+        if !self.progress {
+            return false;
+        }
+        let now = self.start.elapsed().as_micros() as u64;
+        let last = self.progress_last_us.load(Ordering::Relaxed);
+        if last != u64::MAX && now.saturating_sub(last) < PROGRESS_INTERVAL_US {
+            return false;
+        }
+        self.progress_last_us
+            .compare_exchange(last, now, Ordering::Relaxed, Ordering::Relaxed)
+            .is_ok()
+    }
+
     fn trace_line(&self, line: std::fmt::Arguments<'_>) {
         if let Some(trace) = &self.trace {
             // One write_all per complete line: a crash between events never
-            // leaves a JSON object cut in half.
-            let mut text = line.to_string();
-            text.push('\n');
+            // leaves a JSON object cut in half. Every event object leads
+            // with the run's monotonic clock.
+            let body = line.to_string();
+            let rest = body.strip_prefix('{').unwrap_or(&body);
+            let text = format!(
+                "{{\"elapsed_us\":{},{rest}\n",
+                self.start.elapsed().as_micros() as u64
+            );
             if let Ok(mut writer) = trace.lock() {
                 let _ = writer.write_all(text.as_bytes());
             }
@@ -129,6 +166,14 @@ impl CliObserver {
     ///
     /// Returns a message when the trace or checkpoint cannot be written.
     pub fn finish(&self, reason: &str) -> Result<(), String> {
+        if self.progress {
+            // The final summary is never throttled.
+            eprintln!(
+                "[buffy] finished ({reason}): {} analyses, {} cache hits",
+                self.evaluations.load(Ordering::Relaxed),
+                self.cache_hits.load(Ordering::Relaxed)
+            );
+        }
         self.trace_line(format_args!(
             "{{\"event\":\"end\",\"reason\":\"{}\"}}",
             json_escape(reason)
@@ -191,7 +236,7 @@ impl ExploreObserver for CliObserver {
         nanos: u64,
     ) {
         let n = self.evaluations.fetch_add(1, Ordering::Relaxed) + 1;
-        if self.progress && n.is_multiple_of(PROGRESS_EVERY) {
+        if self.progress_tick() {
             eprintln!(
                 "[buffy] {n} analyses, {} cache hits",
                 self.cache_hits.load(Ordering::Relaxed)
@@ -242,7 +287,7 @@ impl ExploreObserver for CliObserver {
     }
 
     fn pareto_accepted(&self, point: &ParetoPoint) {
-        if self.progress {
+        if self.progress_tick() {
             eprintln!(
                 "[buffy] pareto point: size {} throughput {}",
                 point.size, point.throughput
@@ -316,13 +361,26 @@ mod tests {
             "{}",
             lines[5]
         );
-        // Every line is a single JSON object: braces balance and the line
-        // starts/ends with them (the smoke-level check the CI run repeats
-        // with a real JSON parser).
+        // Every line is a single JSON object leading with the run clock:
+        // braces balance and the line starts/ends with them (the
+        // smoke-level check the CI run repeats with a real JSON parser).
         for line in lines {
-            assert!(line.starts_with('{') && line.ends_with('}'), "{line}");
+            assert!(line.starts_with("{\"elapsed_us\":"), "{line}");
+            assert!(line.ends_with('}'), "{line}");
         }
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn progress_lines_are_throttled() {
+        let obs = CliObserver::from_options(true, None, None).unwrap();
+        // The first line always prints; an immediate second one is inside
+        // the 100 ms window and is suppressed.
+        assert!(obs.progress_tick());
+        assert!(!obs.progress_tick());
+        // Without --progress nothing ever prints.
+        let quiet = CliObserver::from_options(false, None, None).unwrap();
+        assert!(!quiet.progress_tick());
     }
 
     #[test]

@@ -1,0 +1,175 @@
+//! CLI wiring of the metrics/profiling recorder.
+//!
+//! `--metrics FILE` writes a Prometheus textfile snapshot, `--chrome-trace
+//! FILE` a Chrome trace-event JSON (loadable in chrome://tracing or
+//! Perfetto), and `--json` embeds a `telemetry` section in the
+//! machine-readable report. Any of the three installs a fresh global
+//! [`Recorder`] for the duration of the command; without them the
+//! instrumented hot paths pay only a relaxed load and a branch.
+
+use crate::args::ParsedArgs;
+use buffy_telemetry::{
+    names, render_chrome_trace, render_prometheus, HistogramSnapshot, Recorder, Snapshot,
+};
+use std::path::PathBuf;
+use std::sync::{Arc, Mutex, MutexGuard};
+
+/// The recorder slot is process-global; two concurrent commands in one
+/// process (the test suite) would otherwise overwrite each other's
+/// recorder mid-run. Real invocations run one command per process and
+/// never contend.
+static INSTALL_LOCK: Mutex<()> = Mutex::new(());
+
+/// One command's telemetry scope: installs the recorder on construction
+/// (when any consumer asked for it), uninstalls and exports on
+/// [`finish`](TelemetrySession::finish) — or on drop, so error paths
+/// never leave a stale recorder behind.
+pub(crate) struct TelemetrySession {
+    recorder: Option<Arc<Recorder>>,
+    _guard: Option<MutexGuard<'static, ()>>,
+    metrics: Option<PathBuf>,
+    chrome: Option<PathBuf>,
+}
+
+impl TelemetrySession {
+    /// Builds the session from `--metrics`, `--chrome-trace` and `--json`.
+    pub(crate) fn from_options(parsed: &ParsedArgs) -> TelemetrySession {
+        let metrics = parsed.options.get("metrics").map(PathBuf::from);
+        let chrome = parsed.options.get("chrome-trace").map(PathBuf::from);
+        let mut guard = None;
+        let recorder =
+            (metrics.is_some() || chrome.is_some() || parsed.has_flag("json")).then(|| {
+                guard = Some(INSTALL_LOCK.lock().unwrap_or_else(|e| e.into_inner()));
+                let r = Arc::new(Recorder::new());
+                buffy_telemetry::install(Arc::clone(&r));
+                r
+            });
+        TelemetrySession {
+            recorder,
+            _guard: guard,
+            metrics,
+            chrome,
+        }
+    }
+
+    /// Uninstalls the recorder, writes the export files and returns the
+    /// snapshot for the `--json` report (`None` when telemetry was never
+    /// requested).
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when an export file cannot be written.
+    pub(crate) fn finish(mut self) -> Result<Option<Snapshot>, String> {
+        let Some(recorder) = self.recorder.take() else {
+            return Ok(None);
+        };
+        buffy_telemetry::uninstall();
+        let snapshot = recorder.snapshot();
+        if let Some(path) = &self.metrics {
+            std::fs::write(path, render_prometheus(&snapshot))
+                .map_err(|e| format!("cannot write metrics file {}: {e}", path.display()))?;
+        }
+        if let Some(path) = &self.chrome {
+            std::fs::write(path, render_chrome_trace(&recorder.trace_events()))
+                .map_err(|e| format!("cannot write Chrome trace {}: {e}", path.display()))?;
+        }
+        Ok(Some(snapshot))
+    }
+}
+
+impl Drop for TelemetrySession {
+    fn drop(&mut self) {
+        if self.recorder.take().is_some() {
+            buffy_telemetry::uninstall();
+        }
+    }
+}
+
+/// Renders the `--json` `telemetry` section: evaluation-latency
+/// percentiles plus the memo cache's per-shard hit/miss/occupancy.
+pub(crate) fn telemetry_json(snapshot: &Snapshot) -> String {
+    let latency = snapshot
+        .histograms
+        .get(names::EVAL_LATENCY_NS)
+        .cloned()
+        .unwrap_or_else(HistogramSnapshot::empty);
+    let hits = Snapshot::family_values(&snapshot.counters, names::SHARD_HITS);
+    let misses = Snapshot::family_values(&snapshot.counters, names::SHARD_MISSES);
+    let entries = Snapshot::family_values(&snapshot.gauges, names::SHARD_ENTRIES);
+    let value_of = |pairs: &[(&str, u64)], shard: &str| {
+        pairs
+            .iter()
+            .find(|(s, _)| *s == shard)
+            .map(|(_, v)| *v)
+            .unwrap_or(0)
+    };
+    // BTreeMap order is lexicographic; shards are numbered, so re-sort.
+    let mut shards: Vec<(u64, String)> = hits
+        .iter()
+        .map(|(shard, h)| {
+            let index: u64 = shard.parse().unwrap_or(0);
+            let json = format!(
+                "{{\"shard\":{index},\"hits\":{h},\"misses\":{},\"entries\":{}}}",
+                value_of(&misses, shard),
+                value_of(&entries, shard)
+            );
+            (index, json)
+        })
+        .collect();
+    shards.sort_by_key(|(index, _)| *index);
+    let shards: Vec<String> = shards.into_iter().map(|(_, json)| json).collect();
+    format!(
+        "{{\"eval_latency_ns\":{{\"count\":{},\"mean\":{},\"p50\":{},\"p90\":{},\"p99\":{}}},\"memo_shards\":[{}]}}",
+        latency.count,
+        latency.mean(),
+        latency.p50(),
+        latency.p90(),
+        latency.p99(),
+        shards.join(",")
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use buffy_telemetry::labeled;
+
+    #[test]
+    fn telemetry_json_renders_latency_and_shards() {
+        let r = Recorder::new();
+        let h = r.histogram(names::EVAL_LATENCY_NS, "latency");
+        h.record(1000);
+        h.record(2000);
+        r.counter(&labeled(names::SHARD_HITS, "shard", 0), "hits")
+            .add(3);
+        r.counter(&labeled(names::SHARD_HITS, "shard", 10), "hits")
+            .add(1);
+        r.counter(&labeled(names::SHARD_MISSES, "shard", 0), "misses")
+            .add(2);
+        r.gauge(&labeled(names::SHARD_ENTRIES, "shard", 0), "entries")
+            .set(5);
+        let json = telemetry_json(&r.snapshot());
+        assert!(json.contains("\"count\":2"), "{json}");
+        assert!(json.contains("\"p50\":"), "{json}");
+        // Shards are ordered numerically (0 before 10), absent families
+        // default to zero.
+        let pos0 = json.find("\"shard\":0,").unwrap();
+        let pos10 = json.find("\"shard\":10,").unwrap();
+        assert!(pos0 < pos10, "{json}");
+        assert!(
+            json.contains("{\"shard\":0,\"hits\":3,\"misses\":2,\"entries\":5}"),
+            "{json}"
+        );
+        assert!(
+            json.contains("{\"shard\":10,\"hits\":1,\"misses\":0,\"entries\":0}"),
+            "{json}"
+        );
+    }
+
+    #[test]
+    fn empty_snapshot_renders_cleanly() {
+        let json = telemetry_json(&Snapshot::default());
+        assert!(json.contains("\"count\":0"), "{json}");
+        assert!(json.contains("\"memo_shards\":[]"), "{json}");
+    }
+}

@@ -17,6 +17,7 @@ use crate::runtime::{
 };
 use buffy_analysis::{CancelReason, DataflowSemantics};
 use buffy_graph::{Rational, SdfGraph};
+use buffy_telemetry::{labeled, names};
 use std::ops::ControlFlow;
 
 /// Outcome of a constraint search ([`min_storage_for_throughput_observed`]).
@@ -125,7 +126,21 @@ pub fn min_storage_for_throughput_observed<M: DataflowSemantics + Sync>(
         space = space.with_max_capacities(caps);
     }
     let eval = Evaluator::new(model, observed, options, observer);
+    let recorder = buffy_telemetry::active();
+    let pruned_counter = recorder.as_ref().map(|r| {
+        r.counter(
+            &labeled(
+                names::SIZES_PRUNED,
+                "phase",
+                SearchPhase::ConstraintSearch.name(),
+            ),
+            "Distribution sizes settled by interval collapse without any evaluation.",
+        )
+    });
     observer.phase_started(SearchPhase::Bounds);
+    let bounds_span = recorder
+        .as_ref()
+        .map(|r| r.phase_span(SearchPhase::Bounds.name()));
     let (ub_dist, thr_max) = upper_bound_distribution_with(model, observed, &|d| eval.eval(d))?;
     if constraint > thr_max {
         return Err(ExploreError::InfeasibleThroughput {
@@ -134,6 +149,10 @@ pub fn min_storage_for_throughput_observed<M: DataflowSemantics + Sync>(
         });
     }
     observer.phase_started(SearchPhase::ConstraintSearch);
+    drop(bounds_span);
+    let _search_span = recorder
+        .as_ref()
+        .map(|r| r.phase_span(SearchPhase::ConstraintSearch.name()));
 
     // Decide "size S meets the constraint" with early exit; remember the
     // best witness per feasible size.
@@ -204,9 +223,19 @@ pub fn min_storage_for_throughput_observed<M: DataflowSemantics + Sync>(
             None => break,
             Some(Some(p)) => {
                 best = p;
+                // Each halving settles the discarded half without ever
+                // enumerating it — that is the count worth observing.
+                if let Some(c) = &pruned_counter {
+                    c.add((hi_i - mid - 1) as u64);
+                }
                 hi_i = mid;
             }
-            Some(None) => lo_i = mid + 1,
+            Some(None) => {
+                if let Some(c) = &pruned_counter {
+                    c.add((mid - lo_i) as u64);
+                }
+                lo_i = mid + 1;
+            }
         }
     }
     let completeness = match truncated {

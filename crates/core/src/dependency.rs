@@ -32,6 +32,7 @@ use buffy_analysis::{
     DataflowSemantics,
 };
 use buffy_graph::{ChannelId, Rational, SdfGraph, StorageDistribution};
+use buffy_telemetry::{labeled, names};
 use std::cmp::Reverse;
 use std::collections::{BTreeMap, BinaryHeap, HashSet};
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -112,13 +113,34 @@ pub fn explore_dependency_guided_observed<M: DataflowSemantics>(
 
     let stats = AtomicStats::new();
     let cancel = options.cancel.clone().unwrap_or_default();
+    let recorder = buffy_telemetry::active();
+    let latency = recorder.as_ref().map(|r| {
+        r.histogram(
+            names::EVAL_LATENCY_NS,
+            "Evaluation wall latency per memoised throughput analysis, in nanoseconds.",
+        )
+    });
+    let guided_skip_counter = |reason: &str| {
+        recorder.as_ref().map(|r| {
+            r.counter(
+                &labeled(names::GUIDED_SKIPPED, "reason", reason),
+                "Guided-frontier children discarded without evaluation, by reason.",
+            )
+        })
+    };
+    let skipped_ub = guided_skip_counter("ub-size");
+    let skipped_caps = guided_skip_counter("channel-cap");
     // Bound probes run the plain throughput analysis (no dependency
     // tracking) but are still timed, counted and observed. Cancellation
     // here leaves nothing to salvage and surfaces as
     // [`ExploreError::Cancelled`].
     observer.phase_started(SearchPhase::Bounds);
+    let bounds_span = recorder
+        .as_ref()
+        .map(|r| r.phase_span(SearchPhase::Bounds.name()));
     let (ub_dist, thr_max_graph) = upper_bound_distribution_with(model, observed, &|d| {
         observer.evaluation_started(d);
+        let trace_ts = recorder.as_ref().map(|r| r.elapsed_us()).unwrap_or(0);
         let start = Instant::now();
         let r = throughput_for_with_cancel(
             model,
@@ -129,6 +151,10 @@ pub fn explore_dependency_guided_observed<M: DataflowSemantics>(
         )?;
         let nanos = start.elapsed().as_nanos() as u64;
         stats.record_evaluation(r.states_stored as u64, nanos);
+        if let (Some(rec), Some(hist)) = (&recorder, &latency) {
+            hist.record(nanos);
+            rec.trace_complete_at("eval", trace_ts, nanos / 1_000);
+        }
         observer.evaluation_finished(d, r.throughput, r.states_stored as u64, nanos);
         cancel.note_evaluation();
         Ok(r.throughput)
@@ -147,6 +173,10 @@ pub fn explore_dependency_guided_observed<M: DataflowSemantics>(
         .collect();
 
     observer.phase_started(SearchPhase::GuidedSearch);
+    drop(bounds_span);
+    let _guided_span = recorder
+        .as_ref()
+        .map(|r| r.phase_span(SearchPhase::GuidedSearch.name()));
     let mut pareto = ParetoSet::new();
     let mut seen: HashSet<StorageDistribution> = HashSet::new();
     let mut frontier: BinaryHeap<Reverse<(u64, StorageDistribution)>> = BinaryHeap::new();
@@ -170,6 +200,7 @@ pub fn explore_dependency_guided_observed<M: DataflowSemantics>(
             unreachable!("peeked entry vanished");
         };
         observer.evaluation_started(&dist);
+        let trace_ts = recorder.as_ref().map(|r| r.elapsed_us()).unwrap_or(0);
         let eval_start = Instant::now();
         let attempt = catch_unwind(AssertUnwindSafe(|| {
             if options.fail_distribution.as_ref() == Some(&dist) {
@@ -195,6 +226,10 @@ pub fn explore_dependency_guided_observed<M: DataflowSemantics>(
         };
         let nanos = eval_start.elapsed().as_nanos() as u64;
         stats.record_evaluation(r.report.states_stored as u64, nanos);
+        if let (Some(rec), Some(hist)) = (&recorder, &latency) {
+            hist.record(nanos);
+            rec.trace_complete_at("eval", trace_ts, nanos / 1_000);
+        }
         observer.evaluation_finished(
             &dist,
             r.report.throughput,
@@ -209,6 +244,9 @@ pub fn explore_dependency_guided_observed<M: DataflowSemantics>(
             let p = ParetoPoint::new(dist.clone(), thr);
             if pareto.insert(p.clone()) {
                 observer.pareto_accepted(&p);
+                if let Some(r) = &recorder {
+                    r.trace_instant("pareto");
+                }
             }
             if thr >= thr_cap {
                 continue; // growing further cannot be Pareto-optimal
@@ -219,10 +257,16 @@ pub fn explore_dependency_guided_observed<M: DataflowSemantics>(
             let step = steps[cid.index()];
             let child = dist.grown(cid, step);
             if size + step > ub_size {
+                if let Some(c) = &skipped_ub {
+                    c.inc();
+                }
                 continue;
             }
             if let Some(caps) = &options.max_channel_caps {
                 if child.get(cid) > caps.get(cid) {
+                    if let Some(c) = &skipped_caps {
+                        c.inc();
+                    }
                     continue; // §8: per-channel capacity constraint
                 }
             }

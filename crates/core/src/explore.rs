@@ -44,10 +44,11 @@ use buffy_analysis::{
     ExplorationLimits,
 };
 use buffy_graph::{ActorId, Rational, SdfGraph, StorageDistribution};
+use buffy_telemetry::{labeled, names};
 use std::collections::HashMap;
 use std::ops::ControlFlow;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 use std::time::Instant;
 
@@ -171,6 +172,34 @@ pub(crate) struct Evaluator<'a, M: DataflowSemantics + Sync> {
     warm_start: Option<Arc<WarmStart>>,
     fail_distribution: Option<StorageDistribution>,
     failures: Mutex<Vec<EvaluationFailure>>,
+    telemetry: Option<EvalTelemetry>,
+    shard_stats_published: AtomicBool,
+}
+
+/// Telemetry handles of one evaluator run, fetched once at construction:
+/// when no recorder is installed the evaluator pays a single branch, and
+/// when one is, the hot path records through these `Arc`s without any
+/// registry lookup or lock.
+pub(crate) struct EvalTelemetry {
+    recorder: Arc<buffy_telemetry::Recorder>,
+    latency: Arc<buffy_telemetry::Histogram>,
+    short_circuits: Arc<buffy_telemetry::Counter>,
+}
+
+impl EvalTelemetry {
+    pub(crate) fn fetch() -> Option<EvalTelemetry> {
+        buffy_telemetry::active().map(|recorder| EvalTelemetry {
+            latency: recorder.histogram(
+                names::EVAL_LATENCY_NS,
+                "Evaluation wall latency per memoised throughput analysis, in nanoseconds.",
+            ),
+            short_circuits: recorder.counter(
+                names::EVALS_SHORT_CIRCUITED,
+                "Per-size sweeps cut short because the monotonicity ceiling was reached.",
+            ),
+            recorder,
+        })
+    }
 }
 
 /// Renders a panic payload for failure reporting.
@@ -203,6 +232,8 @@ impl<'a, M: DataflowSemantics + Sync> Evaluator<'a, M> {
             warm_start: options.warm_start.clone(),
             fail_distribution: options.fail_distribution.clone(),
             failures: Mutex::new(Vec::new()),
+            telemetry: EvalTelemetry::fetch(),
+            shard_stats_published: AtomicBool::new(false),
         }
     }
 
@@ -231,6 +262,11 @@ impl<'a, M: DataflowSemantics + Sync> Evaluator<'a, M> {
             }
         }
         self.observer.evaluation_started(dist);
+        let trace_ts = self
+            .telemetry
+            .as_ref()
+            .map(|t| t.recorder.elapsed_us())
+            .unwrap_or(0);
         let start = Instant::now();
         let attempt = catch_unwind(AssertUnwindSafe(|| {
             if self.fail_distribution.as_ref() == Some(dist) {
@@ -250,6 +286,11 @@ impl<'a, M: DataflowSemantics + Sync> Evaluator<'a, M> {
                 let nanos = start.elapsed().as_nanos() as u64;
                 let states = report.states_stored as u64;
                 self.stats.record_evaluation(states, nanos);
+                if let Some(t) = &self.telemetry {
+                    t.latency.record(nanos);
+                    t.recorder
+                        .trace_complete_at("eval", trace_ts, nanos / 1_000);
+                }
                 self.cache.insert(dist.clone(), report.throughput);
                 self.observer
                     .evaluation_finished(dist, report.throughput, states, nanos);
@@ -303,8 +344,42 @@ impl<'a, M: DataflowSemantics + Sync> Evaluator<'a, M> {
             .collect()
     }
 
-    /// Snapshot of the run's statistics.
+    /// Records one per-size sweep cut short by the monotonicity ceiling.
+    pub(crate) fn note_short_circuit(&self) {
+        if let Some(t) = &self.telemetry {
+            t.short_circuits.inc();
+        }
+    }
+
+    /// Snapshot of the run's statistics. Also publishes the memo cache's
+    /// per-shard hit/miss/occupancy tallies to the recorder — drivers call
+    /// this exactly once per exit path, and a guard keeps the counters
+    /// single-shot even if that ever changes.
     pub(crate) fn stats(&self) -> ExplorationStats {
+        if let Some(t) = &self.telemetry {
+            if !self.shard_stats_published.swap(true, Ordering::Relaxed) {
+                for (i, s) in self.cache.shard_stats().iter().enumerate() {
+                    t.recorder
+                        .counter(
+                            &labeled(names::SHARD_HITS, "shard", i),
+                            "Memo-cache hits per shard.",
+                        )
+                        .add(s.hits);
+                    t.recorder
+                        .counter(
+                            &labeled(names::SHARD_MISSES, "shard", i),
+                            "Memo-cache misses per shard.",
+                        )
+                        .add(s.misses);
+                    t.recorder
+                        .gauge(
+                            &labeled(names::SHARD_ENTRIES, "shard", i),
+                            "Memo-cache entries per shard at the end of the run.",
+                        )
+                        .set(s.entries);
+                }
+            }
+        }
         self.stats.snapshot()
     }
 
@@ -367,7 +442,10 @@ fn max_throughput_for_size<M: DataflowSemantics + Sync>(
         buffer.push(d);
         if buffer.len() >= EVAL_CHUNK {
             match process(&mut buffer, &mut best, &mut best_q, &mut witness) {
-                Ok(true) => ControlFlow::Break(()),
+                Ok(true) => {
+                    eval.note_short_circuit();
+                    ControlFlow::Break(())
+                }
                 Ok(false) => ControlFlow::Continue(()),
                 Err(e) => {
                     error = Some(e);
@@ -519,11 +597,28 @@ pub fn explore_design_space_observed<M: DataflowSemantics + Sync>(
         space = space.with_max_capacities(caps);
     }
 
+    // Observation only: phase spans and pruning counters when a recorder
+    // is installed, a single branch when not.
+    let recorder = buffy_telemetry::active();
+    let pruned_counter = recorder.as_ref().map(|r| {
+        r.counter(
+            &labeled(
+                names::SIZES_PRUNED,
+                "phase",
+                SearchPhase::FrontSearch.name(),
+            ),
+            "Distribution sizes settled by interval collapse without any evaluation.",
+        )
+    });
+
     // Accept a witness into the front, reporting genuinely new points.
     let accept = |pareto: &mut ParetoSet, w: StorageDistribution, t: Rational| {
         let p = ParetoPoint::new(w, t);
         if pareto.insert(p.clone()) {
             observer.pareto_accepted(&p);
+            if let Some(r) = &recorder {
+                r.trace_instant("pareto");
+            }
         }
     };
 
@@ -532,6 +627,9 @@ pub fn explore_design_space_observed<M: DataflowSemantics + Sync>(
     // Cancellation in this phase leaves nothing to salvage (no throughput
     // ceiling, no size range) and surfaces as `ExploreError::Cancelled`.
     observer.phase_started(SearchPhase::Bounds);
+    let bounds_span = recorder
+        .as_ref()
+        .map(|r| r.phase_span(SearchPhase::Bounds.name()));
     let lb_size = space.min_size();
     let (ub_dist, thr_max_graph) =
         upper_bound_distribution_with(model, observed, &|d| eval.eval(d))?;
@@ -590,6 +688,10 @@ pub fn explore_design_space_observed<M: DataflowSemantics + Sync>(
     // monotone predicate; the combined lower bound may still deadlock —
     // the paper's Fig. 6 discussion).
     observer.phase_started(SearchPhase::MinimalSize);
+    drop(bounds_span);
+    let minimal_span = recorder
+        .as_ref()
+        .map(|r| r.phase_span(SearchPhase::MinimalSize.name()));
     let mut truncated: Option<CancelReason> = None;
     let mut lo = 0;
     let mut hi = sizes.len() - 1;
@@ -634,6 +736,10 @@ pub fn explore_design_space_observed<M: DataflowSemantics + Sync>(
     let last = sizes.len() - 1;
 
     observer.phase_started(SearchPhase::FrontSearch);
+    drop(minimal_span);
+    let _front_span = recorder
+        .as_ref()
+        .map(|r| r.phase_span(SearchPhase::FrontSearch.name()));
     let mut pareto = ParetoSet::new();
     // Sizes below the minimal feasible one are settled: zero throughput,
     // no front point possible there.
@@ -689,8 +795,17 @@ pub fn explore_design_space_observed<M: DataflowSemantics + Sync>(
             if lo_q >= hi_q || lo_i + 1 >= hi_i {
                 // The interval is settled: its interior cannot contribute
                 // a new (quantized) Pareto point.
+                let mut pruned = 0u64;
                 for flag in settled.iter_mut().take(hi_i).skip(lo_i + 1) {
+                    if !*flag {
+                        pruned += 1;
+                    }
                     *flag = true;
+                }
+                if pruned > 0 {
+                    if let Some(c) = &pruned_counter {
+                        c.add(pruned);
+                    }
                 }
                 continue;
             }

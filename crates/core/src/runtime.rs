@@ -51,28 +51,80 @@ const SHARD_COUNT: usize = 16;
 /// lookups free of clones.
 #[derive(Debug)]
 pub(crate) struct ShardedCache<K, V> {
-    shards: Vec<Mutex<HashMap<K, V, FxBuildHasher>>>,
+    shards: Vec<Mutex<Shard<K, V>>>,
+}
+
+/// One cache shard: the map plus its own hit/miss tallies. The tallies
+/// are plain integers bumped under the shard lock the lookup already
+/// holds — per-shard statistics cost nothing extra on the hot path.
+#[derive(Debug)]
+struct Shard<K, V> {
+    map: HashMap<K, V, FxBuildHasher>,
+    hits: u64,
+    misses: u64,
+}
+
+impl<K, V> Default for Shard<K, V> {
+    fn default() -> Shard<K, V> {
+        Shard {
+            map: HashMap::default(),
+            hits: 0,
+            misses: 0,
+        }
+    }
+}
+
+/// Point-in-time statistics of one cache shard.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct ShardCacheStats {
+    /// Lookups answered by this shard.
+    pub(crate) hits: u64,
+    /// Lookups this shard missed.
+    pub(crate) misses: u64,
+    /// Entries currently stored.
+    pub(crate) entries: u64,
 }
 
 impl<K: Hash + Eq, V: Copy> ShardedCache<K, V> {
     pub(crate) fn new() -> ShardedCache<K, V> {
         ShardedCache {
             shards: (0..SHARD_COUNT)
-                .map(|_| Mutex::new(HashMap::default()))
+                .map(|_| Mutex::new(Shard::default()))
                 .collect(),
         }
     }
 
-    fn shard(&self, key: &K) -> &Mutex<HashMap<K, V, FxBuildHasher>> {
+    fn shard(&self, key: &K) -> &Mutex<Shard<K, V>> {
         &self.shards[(fx_hash(key) as usize) & (SHARD_COUNT - 1)]
     }
 
     pub(crate) fn get(&self, key: &K) -> Option<V> {
-        self.shard(key).lock().unwrap().get(key).copied()
+        let mut shard = self.shard(key).lock().unwrap();
+        let value = shard.map.get(key).copied();
+        match value {
+            Some(_) => shard.hits += 1,
+            None => shard.misses += 1,
+        }
+        value
     }
 
     pub(crate) fn insert(&self, key: K, value: V) {
-        self.shard(&key).lock().unwrap().insert(key, value);
+        self.shard(&key).lock().unwrap().map.insert(key, value);
+    }
+
+    /// Per-shard hit/miss/occupancy statistics, in shard order.
+    pub(crate) fn shard_stats(&self) -> Vec<ShardCacheStats> {
+        self.shards
+            .iter()
+            .map(|s| {
+                let shard = s.lock().unwrap();
+                ShardCacheStats {
+                    hits: shard.hits,
+                    misses: shard.misses,
+                    entries: shard.map.len() as u64,
+                }
+            })
+            .collect()
     }
 }
 
@@ -397,6 +449,28 @@ mod tests {
         let d = StorageDistribution::from_capacities(vec![0, 1]);
         cache.insert(d.clone(), Rational::ONE);
         assert_eq!(cache.get(&d), Some(Rational::ONE));
+    }
+
+    #[test]
+    fn shard_stats_tally_hits_misses_and_entries() {
+        let cache: ShardedCache<StorageDistribution, Rational> = ShardedCache::new();
+        let d = StorageDistribution::from_capacities(vec![4, 2]);
+        assert_eq!(cache.get(&d), None); // miss
+        cache.insert(d.clone(), Rational::ONE);
+        assert_eq!(cache.get(&d), Some(Rational::ONE)); // hit
+        assert_eq!(cache.get(&d), Some(Rational::ONE)); // hit
+        let stats = cache.shard_stats();
+        assert_eq!(stats.len(), SHARD_COUNT);
+        let hits: u64 = stats.iter().map(|s| s.hits).sum();
+        let misses: u64 = stats.iter().map(|s| s.misses).sum();
+        let entries: u64 = stats.iter().map(|s| s.entries).sum();
+        assert_eq!((hits, misses, entries), (2, 1, 1));
+        // All three land in the same shard (same key).
+        assert!(stats.contains(&ShardCacheStats {
+            hits: 2,
+            misses: 1,
+            entries: 1
+        }));
     }
 
     #[test]

@@ -152,6 +152,9 @@ pub fn csdf_explore_observed(
     options: &CsdfExploreOptions,
     observer: &dyn ExploreObserver,
 ) -> Result<CsdfExplorationResult, CsdfError> {
+    // Observation only: the wrapping span marks the CSDF run in traces;
+    // the per-phase instrumentation happens inside the shared core driver.
+    let _span = buffy_telemetry::active().map(|r| r.span("csdf-explore"));
     let core_options = ExploreOptions {
         observed: options.observed,
         max_size: options.max_size,

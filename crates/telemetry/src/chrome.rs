@@ -1,0 +1,81 @@
+//! Chrome trace-event JSON exporter.
+//!
+//! Renders the recorder's trace buffer in the [trace-event format]
+//! understood by `chrome://tracing` and Perfetto: an object with a
+//! `traceEvents` array of `Complete` (`ph:"X"`) and `Instant`
+//! (`ph:"i"`) events, timestamps and durations in microseconds.
+//!
+//! [trace-event format]:
+//! https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU
+
+use crate::trace::{TraceEvent, TracePhase};
+use std::fmt::Write as _;
+
+/// Escapes a string for embedding in a JSON string literal.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders `events` as a complete Chrome trace-event JSON document.
+///
+/// All events share `pid` 1 (one process); `tid` is the stable
+/// per-thread id assigned at recording time, so Perfetto lays worker
+/// threads out as separate tracks.
+pub fn render_chrome_trace(events: &[TraceEvent]) -> String {
+    let mut out = String::from("{\"traceEvents\":[\n");
+    for (i, e) in events.iter().enumerate() {
+        if i > 0 {
+            out.push_str(",\n");
+        }
+        let name = json_escape(&e.name);
+        match e.ph {
+            TracePhase::Complete => {
+                let _ = write!(
+                    out,
+                    "{{\"name\":\"{name}\",\"cat\":\"buffy\",\"ph\":\"X\",\"ts\":{},\"dur\":{},\"pid\":1,\"tid\":{}}}",
+                    e.ts_us, e.dur_us, e.tid
+                );
+            }
+            TracePhase::Instant => {
+                let _ = write!(
+                    out,
+                    "{{\"name\":\"{name}\",\"cat\":\"buffy\",\"ph\":\"i\",\"s\":\"t\",\"ts\":{},\"pid\":1,\"tid\":{}}}",
+                    e.ts_us, e.tid
+                );
+            }
+        }
+    }
+    out.push_str("\n],\"displayTimeUnit\":\"ms\"}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escapes_control_characters_and_quotes() {
+        assert_eq!(json_escape("a\"b\\c\nd\u{1}"), "a\\\"b\\\\c\\nd\\u0001");
+    }
+
+    #[test]
+    fn empty_trace_is_still_a_valid_document() {
+        let doc = render_chrome_trace(&[]);
+        assert!(doc.starts_with("{\"traceEvents\":["));
+        assert!(doc.ends_with("],\"displayTimeUnit\":\"ms\"}\n"));
+    }
+}

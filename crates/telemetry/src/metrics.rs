@@ -1,0 +1,306 @@
+//! Lock-free metric primitives: counters, gauges and log2 histograms.
+//!
+//! Every primitive is a set of `AtomicU64`s updated with `Relaxed`
+//! ordering — recording never blocks and never fences. Snapshots are
+//! taken field by field and are therefore only approximately consistent
+//! while writers are active; buffy snapshots after the instrumented run
+//! finishes, where they are exact.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Number of histogram buckets: bucket 0 holds the value 0, bucket `k`
+/// (1..=64) holds values in `[2^(k-1), 2^k)` — bucket 64's upper edge is
+/// `u64::MAX` inclusive.
+pub const BUCKETS: usize = 65;
+
+/// A monotonically increasing event count.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// A counter at zero.
+    pub const fn new() -> Self {
+        Self(AtomicU64::new(0))
+    }
+
+    /// Adds one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A last-written-value (or running-maximum) instrument.
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicU64);
+
+impl Gauge {
+    /// A gauge at zero.
+    pub const fn new() -> Self {
+        Self(AtomicU64::new(0))
+    }
+
+    /// Overwrites the value.
+    #[inline]
+    pub fn set(&self, v: u64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Raises the value to `v` if it is larger (running maximum).
+    #[inline]
+    pub fn record_max(&self, v: u64) {
+        self.0.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Log2 bucket index of a value; see [`BUCKETS`] for the layout.
+#[inline]
+pub(crate) fn bucket_index(v: u64) -> usize {
+    if v == 0 {
+        0
+    } else {
+        64 - v.leading_zeros() as usize
+    }
+}
+
+/// Inclusive upper edge of bucket `k` (the value reported for the bucket
+/// by percentile estimation and as the Prometheus `le` boundary).
+pub(crate) fn bucket_upper_edge(k: usize) -> u64 {
+    match k {
+        0 => 0,
+        64 => u64::MAX,
+        _ => (1u64 << k) - 1,
+    }
+}
+
+/// A fixed-bucket log2 histogram: 65 buckets covering the full `u64`
+/// range, plus a running count and sum. Recording is one `leading_zeros`
+/// and three relaxed `fetch_add`s — no locks, no allocation.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub const fn new() -> Self {
+        #[allow(clippy::declare_interior_mutable_const)] // array-init seed
+        const ZERO: AtomicU64 = AtomicU64::new(0);
+        Self {
+            buckets: [ZERO; BUCKETS],
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one observation of `v`.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        self.record_n(v, 1);
+    }
+
+    /// Records `n` observations of `v` at once — the fold-in path for
+    /// per-thread or per-run scratch tallies.
+    #[inline]
+    pub fn record_n(&self, v: u64, n: u64) {
+        if n == 0 {
+            return;
+        }
+        self.buckets[bucket_index(v)].fetch_add(n, Ordering::Relaxed);
+        self.count.fetch_add(n, Ordering::Relaxed);
+        self.sum.fetch_add(v.wrapping_mul(n), Ordering::Relaxed);
+    }
+
+    /// A point-in-time copy of the histogram state.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let mut counts = [0u64; BUCKETS];
+        for (c, b) in counts.iter_mut().zip(&self.buckets) {
+            *c = b.load(Ordering::Relaxed);
+        }
+        HistogramSnapshot {
+            counts,
+            count: self.count.load(Ordering::Relaxed),
+            sum: self.sum.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// An immutable copy of a [`Histogram`], with percentile estimation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Per-bucket observation counts; see [`BUCKETS`] for the layout.
+    pub counts: [u64; BUCKETS],
+    /// Total number of observations.
+    pub count: u64,
+    /// Sum of all observed values (wrapping on overflow).
+    pub sum: u64,
+}
+
+impl HistogramSnapshot {
+    /// An empty snapshot.
+    pub fn empty() -> Self {
+        Self {
+            counts: [0; BUCKETS],
+            count: 0,
+            sum: 0,
+        }
+    }
+
+    /// Estimates the `q`-quantile (`q` in `[0, 1]`) as the inclusive
+    /// upper edge of the bucket containing the target rank — a
+    /// conservative (never under-reporting) estimate. Returns 0 for an
+    /// empty histogram.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut cumulative = 0u64;
+        for (k, &c) in self.counts.iter().enumerate() {
+            cumulative = cumulative.saturating_add(c);
+            if cumulative >= rank {
+                return bucket_upper_edge(k);
+            }
+        }
+        u64::MAX
+    }
+
+    /// Median estimate (see [`Self::quantile`]).
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.50)
+    }
+
+    /// 90th-percentile estimate.
+    pub fn p90(&self) -> u64 {
+        self.quantile(0.90)
+    }
+
+    /// 99th-percentile estimate.
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
+
+    /// Mean of the observed values (0 for an empty histogram).
+    pub fn mean(&self) -> u64 {
+        self.sum.checked_div(self.count).unwrap_or(0)
+    }
+
+    /// Index of the highest non-empty bucket, if any observation exists.
+    pub fn max_bucket(&self) -> Option<usize> {
+        self.counts
+            .iter()
+            .rposition(|&c| c > 0)
+            .filter(|_| self.count > 0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_edges() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        assert_eq!(bucket_index(1 << 63), 64);
+        assert_eq!(bucket_index(u64::MAX), 64);
+        assert_eq!(bucket_upper_edge(0), 0);
+        assert_eq!(bucket_upper_edge(1), 1);
+        assert_eq!(bucket_upper_edge(2), 3);
+        assert_eq!(bucket_upper_edge(64), u64::MAX);
+    }
+
+    #[test]
+    fn zero_and_max_are_representable() {
+        let h = Histogram::new();
+        h.record(0);
+        h.record(u64::MAX);
+        let s = h.snapshot();
+        assert_eq!(s.counts[0], 1);
+        assert_eq!(s.counts[64], 1);
+        assert_eq!(s.count, 2);
+        // The sum wraps (documented); 0 + MAX fits exactly.
+        assert_eq!(s.sum, u64::MAX);
+        assert_eq!(s.p50(), 0);
+        assert_eq!(s.p99(), u64::MAX);
+    }
+
+    #[test]
+    fn quantiles_walk_cumulative_counts() {
+        let h = Histogram::new();
+        for v in 1..=100u64 {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 100);
+        // Values 1..=100 span buckets 1..=7; the median rank (50) lands
+        // in bucket 6 ([32,64)), whose upper edge is 63.
+        assert_eq!(s.p50(), 63);
+        assert_eq!(s.p99(), 127);
+        assert_eq!(s.quantile(0.0), 1);
+        assert_eq!(s.quantile(1.0), 127);
+        assert_eq!(s.mean(), 50);
+        assert_eq!(s.max_bucket(), Some(7));
+    }
+
+    #[test]
+    fn record_n_folds_scratch_counts() {
+        let h = Histogram::new();
+        h.record_n(8, 5);
+        h.record_n(8, 0); // no-op
+        let s = h.snapshot();
+        assert_eq!(s.count, 5);
+        assert_eq!(s.sum, 40);
+        assert_eq!(s.counts[4], 5);
+    }
+
+    #[test]
+    fn empty_snapshot_is_all_zero() {
+        let s = Histogram::new().snapshot();
+        assert_eq!(s, HistogramSnapshot::empty());
+        assert_eq!(s.p50(), 0);
+        assert_eq!(s.mean(), 0);
+        assert_eq!(s.max_bucket(), None);
+    }
+
+    #[test]
+    fn counter_and_gauge() {
+        let c = Counter::new();
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+        let g = Gauge::new();
+        g.set(7);
+        g.record_max(3);
+        assert_eq!(g.get(), 7);
+        g.record_max(11);
+        assert_eq!(g.get(), 11);
+    }
+}

@@ -1,0 +1,89 @@
+//! RAII timing spans.
+
+use crate::metrics::Histogram;
+use crate::recorder::Recorder;
+use crate::{labeled, names};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// An RAII timing guard: created at the start of a region, it records a
+/// Chrome-trace `Complete` event and (for phase spans) one sample in the
+/// per-phase duration histogram when dropped.
+///
+/// All timing state lives on the guard itself — the owning thread's
+/// stack — so an open span costs nothing shareable; only the final
+/// aggregation on drop touches the recorder.
+#[derive(Debug)]
+pub struct Span {
+    recorder: Arc<Recorder>,
+    name: String,
+    histogram: Option<Arc<Histogram>>,
+    start: Instant,
+    start_us: u64,
+}
+
+impl Recorder {
+    /// Opens a plain trace span named `name`.
+    pub fn span(self: &Arc<Self>, name: impl Into<String>) -> Span {
+        Span {
+            recorder: Arc::clone(self),
+            name: name.into(),
+            histogram: None,
+            start: Instant::now(),
+            start_us: self.elapsed_us(),
+        }
+    }
+
+    /// Opens a search-phase span: the trace event is named
+    /// `phase:<phase>` and the duration also lands in the
+    /// [`PHASE_NS`](names::PHASE_NS) histogram labelled with the phase.
+    pub fn phase_span(self: &Arc<Self>, phase: &str) -> Span {
+        let histogram = self.histogram(
+            &labeled(names::PHASE_NS, "phase", phase),
+            "Wall time spent in each search phase, in nanoseconds.",
+        );
+        Span {
+            recorder: Arc::clone(self),
+            name: format!("phase:{phase}"),
+            histogram: Some(histogram),
+            start: Instant::now(),
+            start_us: self.elapsed_us(),
+        }
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        let elapsed = self.start.elapsed();
+        self.recorder
+            .trace_complete_at(&self.name, self.start_us, elapsed.as_micros() as u64);
+        if let Some(h) = &self.histogram {
+            h.record(elapsed.as_nanos() as u64);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::TracePhase;
+
+    #[test]
+    fn span_records_trace_and_phase_histogram() {
+        let r = Arc::new(Recorder::new());
+        {
+            let _s = r.phase_span("bounds");
+        }
+        {
+            let _s = r.span("eval");
+        }
+        let events = r.trace_events();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].name, "phase:bounds");
+        assert_eq!(events[0].ph, TracePhase::Complete);
+        assert_eq!(events[1].name, "eval");
+        let s = r.snapshot();
+        let key = labeled(names::PHASE_NS, "phase", "bounds");
+        assert_eq!(s.histograms[&key].count, 1);
+    }
+}

@@ -1,0 +1,44 @@
+//! Trace events: timestamped spans and instants for the Chrome-trace
+//! exporter.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Monotone per-process thread-id assignment: the first thread to record
+/// a trace event becomes tid 1, the next tid 2, and so on. Stable for
+/// the lifetime of the thread.
+static NEXT_TID: AtomicU64 = AtomicU64::new(1);
+
+thread_local! {
+    static TID: u64 = NEXT_TID.fetch_add(1, Ordering::Relaxed);
+}
+
+/// The tid of the calling thread (assigned on first use).
+pub(crate) fn current_tid() -> u64 {
+    TID.with(|t| *t)
+}
+
+/// The shape of a trace event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TracePhase {
+    /// A duration span (`ph:"X"` — `ts` is the start, `dur` the length).
+    Complete,
+    /// A point-in-time marker (`ph:"i"`).
+    Instant,
+}
+
+/// One trace event. Timestamps are microseconds relative to the owning
+/// [`Recorder`](crate::Recorder)'s creation instant, matching the
+/// Chrome trace-event format's microsecond convention.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Event name, e.g. `phase:bounds` or `eval`.
+    pub name: String,
+    /// Span or instant.
+    pub ph: TracePhase,
+    /// Start time in microseconds since recorder creation.
+    pub ts_us: u64,
+    /// Duration in microseconds (0 for instants).
+    pub dur_us: u64,
+    /// Recording thread's stable id.
+    pub tid: u64,
+}

@@ -117,10 +117,18 @@ fn truncated_fronts_are_sound_across_thread_counts() {
                     }
                     other => other.unwrap(),
                 };
-                assert!(
-                    !partial.completeness.exact,
-                    "case {case}, budget {budget}, threads {threads}"
-                );
+                // With `budget == evaluations - 1` and several workers, an
+                // in-flight analysis can finish after the token trips; no
+                // distribution is skipped and the run is legitimately
+                // exact. It must then match the exact result verbatim.
+                if partial.completeness.exact {
+                    assert_eq!(
+                        front_bytes(partial.pareto.points()),
+                        front_bytes(exact.pareto.points()),
+                        "case {case}, budget {budget}, threads {threads}"
+                    );
+                    continue;
+                }
                 assert_eq!(
                     partial.completeness.truncated_by,
                     Some(CancelReason::EvaluationBudget),

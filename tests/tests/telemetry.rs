@@ -1,0 +1,166 @@
+//! Telemetry is observation-only: installing a recorder must not change
+//! a single byte of any exploration result — front, bounds or statistics
+//! — at any thread count. These tests run the same explorations with and
+//! without a recorder installed, sequentially and in parallel, and
+//! compare the rendered results byte for byte.
+//!
+//! The recorder slot is process-global, so every test here serialises on
+//! one mutex: a concurrent test installing/uninstalling mid-run would
+//! otherwise make "recorder absent" unobservable.
+
+use buffy_core::{explore_design_space, ExplorationResult, ExploreOptions};
+use buffy_csdf::{csdf_explore, CsdfExplorationResult, CsdfExploreOptions, CsdfGraph};
+use buffy_gen::gallery;
+use buffy_graph::SdfGraph;
+use buffy_integration_tests::test_threads;
+use buffy_telemetry::{names, Recorder};
+use std::sync::{Arc, Mutex};
+
+static RECORDER_SLOT: Mutex<()> = Mutex::new(());
+
+/// Runs `f` with a freshly installed recorder, uninstalling afterwards
+/// even on panic; returns the result and the recorder.
+fn with_recorder<T>(f: impl FnOnce() -> T) -> (T, Arc<Recorder>) {
+    let recorder = Arc::new(Recorder::new());
+    buffy_telemetry::install(Arc::clone(&recorder));
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(f));
+    buffy_telemetry::uninstall();
+    match result {
+        Ok(v) => (v, recorder),
+        Err(payload) => std::panic::resume_unwind(payload),
+    }
+}
+
+/// Everything an SDF exploration reports, rendered to bytes. Wall time
+/// (`eval_nanos`) is deliberately excluded: it is the one field the
+/// runtime documents as non-deterministic.
+fn render(r: &ExplorationResult) -> String {
+    let mut out = String::new();
+    for p in r.pareto.points() {
+        out.push_str(&format!("{};{};{}\n", p.size, p.throughput, p.distribution));
+    }
+    out.push_str(&format!(
+        "max={} lb={} ub={} evals={} hits={} states={} failures={}\n",
+        r.max_throughput,
+        r.lower_bound_size,
+        r.upper_bound_size,
+        r.stats.evaluations,
+        r.stats.cache_hits,
+        r.stats.max_states,
+        r.stats.failures
+    ));
+    out
+}
+
+fn render_csdf(r: &CsdfExplorationResult) -> String {
+    let mut out = String::new();
+    for p in r.pareto.points() {
+        out.push_str(&format!("{};{};{}\n", p.size, p.throughput, p.distribution));
+    }
+    out.push_str(&format!(
+        "max={} evals={} hits={} states={}\n",
+        r.max_throughput, r.stats.evaluations, r.stats.cache_hits, r.stats.max_states
+    ));
+    out
+}
+
+fn explore_with(graph: &SdfGraph, threads: usize) -> ExplorationResult {
+    explore_design_space(
+        graph,
+        &ExploreOptions {
+            threads,
+            ..ExploreOptions::default()
+        },
+    )
+    .unwrap()
+}
+
+#[test]
+fn sdf_results_are_identical_with_and_without_recorder() {
+    let _guard = RECORDER_SLOT.lock().unwrap_or_else(|e| e.into_inner());
+    for graph in [gallery::example(), gallery::bipartite(), gallery::modem()] {
+        for threads in [1, test_threads()] {
+            let bare = explore_with(&graph, threads);
+            let (observed, recorder) = with_recorder(|| explore_with(&graph, threads));
+            assert_eq!(
+                render(&bare),
+                render(&observed),
+                "{} at {threads} threads: telemetry must be observation-only",
+                graph.name()
+            );
+            // And the recorder did observe the run.
+            let snapshot = recorder.snapshot();
+            let latency = &snapshot.histograms[names::EVAL_LATENCY_NS];
+            assert_eq!(
+                latency.count,
+                observed.stats.evaluations,
+                "{}: one latency sample per analysis",
+                graph.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn csdf_results_are_identical_with_and_without_recorder() {
+    let _guard = RECORDER_SLOT.lock().unwrap_or_else(|e| e.into_inner());
+    let mut b = CsdfGraph::builder("burst3");
+    let p = b.actor("p", vec![1, 1, 1]);
+    let c = b.actor("c", vec![2]);
+    b.channel("d", p, vec![3, 0, 3], c, vec![2], 0).unwrap();
+    let graph = b.build().unwrap();
+    for threads in [1, test_threads()] {
+        let opts = CsdfExploreOptions {
+            threads,
+            ..CsdfExploreOptions::default()
+        };
+        let bare = csdf_explore(&graph, &opts).unwrap();
+        let (observed, recorder) = with_recorder(|| csdf_explore(&graph, &opts).unwrap());
+        assert_eq!(
+            render_csdf(&bare),
+            render_csdf(&observed),
+            "csdf at {threads} threads: telemetry must be observation-only"
+        );
+        // The CSDF wrapper marks itself in the trace.
+        assert!(recorder
+            .trace_events()
+            .iter()
+            .any(|e| e.name == "csdf-explore"));
+    }
+}
+
+#[test]
+fn recorder_collects_per_shard_and_analysis_metrics() {
+    let _guard = RECORDER_SLOT.lock().unwrap_or_else(|e| e.into_inner());
+    let graph = gallery::example();
+    let (result, recorder) = with_recorder(|| explore_with(&graph, 1));
+    let snapshot = recorder.snapshot();
+
+    // Per-shard memo statistics sum to the run's totals.
+    let hits = buffy_telemetry::Snapshot::family_values(&snapshot.counters, names::SHARD_HITS);
+    let misses = buffy_telemetry::Snapshot::family_values(&snapshot.counters, names::SHARD_MISSES);
+    let total_hits: u64 = hits.iter().map(|(_, v)| v).sum();
+    let total_misses: u64 = misses.iter().map(|(_, v)| v).sum();
+    assert_eq!(total_hits, result.stats.cache_hits);
+    // Every miss becomes an analysis (plus warm-start replays, absent
+    // here).
+    assert_eq!(total_misses, result.stats.evaluations);
+
+    // The analysis layer reported interner probe lengths and state
+    // counts.
+    assert!(snapshot.histograms[names::INTERNER_PROBE_LEN].count > 0);
+    assert!(snapshot.histograms[names::ANALYSIS_STATES].count > 0);
+    assert!(snapshot.gauges[names::INTERNER_OCCUPANCY_MAX] > 0);
+
+    // Phase spans landed both in the trace and in the phase histogram
+    // family.
+    let phases = buffy_telemetry::Snapshot::family_values(&snapshot.histograms, names::PHASE_NS);
+    assert!(
+        phases.iter().any(|(phase, _)| *phase == "bounds"),
+        "{phases:?}"
+    );
+    assert!(recorder
+        .trace_events()
+        .iter()
+        .any(|e| e.name == "phase:bounds"));
+}
