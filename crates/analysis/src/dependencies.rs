@@ -96,12 +96,37 @@ pub fn throughput_with_dependencies_for<M: DataflowSemantics>(
     limits: ExplorationLimits,
 ) -> Result<DependencyReport, AnalysisError> {
     let report = throughput_for(model, Capacities::from_distribution(dist), observed, limits)?;
-    let mut dependent = vec![false; model.num_channels()];
+    let dependent = dependencies_from_run_for(
+        model,
+        dist,
+        report.deadlocked,
+        report.cycle_entry_time,
+        report.period,
+    )?;
+    Ok(DependencyReport { report, dependent })
+}
 
+/// Replays one self-timed execution to collect the storage-dependent
+/// channels, reusing an already-computed throughput result (its
+/// `deadlocked` flag, `cycle_entry_time` and `period`) instead of
+/// re-running the state-space analysis. This is what lets a memoized
+/// evaluator answer dependency queries from its cache.
+///
+/// # Errors
+///
+/// Engine errors (e.g. arithmetic overflow) during the replay.
+pub fn dependencies_from_run_for<M: DataflowSemantics>(
+    model: &M,
+    dist: &StorageDistribution,
+    deadlocked: bool,
+    cycle_entry_time: u64,
+    period: u64,
+) -> Result<Vec<bool>, AnalysisError> {
+    let mut dependent = vec![false; model.num_channels()];
     let mut engine = DataflowEngine::new(model, Capacities::from_distribution(dist));
     engine.start_initial()?;
 
-    if report.deadlocked {
+    if deadlocked {
         // Run to the deadlock and inspect the stable state.
         loop {
             match engine.step()? {
@@ -112,8 +137,8 @@ pub fn throughput_with_dependencies_for<M: DataflowSemantics>(
         space_blocked_channels(&engine, &mut dependent);
     } else {
         // Replay one full period and union the blocked sets.
-        let end = report.cycle_entry_time + report.period;
-        while engine.time() < report.cycle_entry_time {
+        let end = cycle_entry_time + period;
+        while engine.time() < cycle_entry_time {
             engine.step()?;
         }
         space_blocked_channels(&engine, &mut dependent);
@@ -122,8 +147,7 @@ pub fn throughput_with_dependencies_for<M: DataflowSemantics>(
             space_blocked_channels(&engine, &mut dependent);
         }
     }
-
-    Ok(DependencyReport { report, dependent })
+    Ok(dependent)
 }
 
 #[cfg(test)]

@@ -63,12 +63,14 @@ mod memory;
 mod schedule;
 mod semantics;
 mod state_space;
+mod static_bounds;
 mod throughput;
 pub mod transform;
 
 pub use budget::{CancelReason, CancelToken};
 pub use dependencies::{
-    throughput_with_dependencies, throughput_with_dependencies_for, DependencyReport,
+    dependencies_from_run_for, throughput_with_dependencies, throughput_with_dependencies_for,
+    DependencyReport,
 };
 pub use engine::{
     Capacities, DataflowEngine, DataflowState, Engine, FiringEvents, FiringOutcome, SdfState,
@@ -86,6 +88,7 @@ pub use memory::{shared_memory_peak, SharedMemoryReport};
 pub use schedule::{Firing, Schedule, ScheduleViolation};
 pub use semantics::{bmlb, rate_step, DataflowSemantics};
 pub use state_space::{explore, explore_for, StateSpace};
+pub use static_bounds::{BoundCertificate, StaticBounds};
 pub use throughput::{
     throughput, throughput_for, throughput_for_with_cancel, throughput_with_capacities,
     throughput_with_limits, ExplorationLimits, ReducedState, ThroughputReport,

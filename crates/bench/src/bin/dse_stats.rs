@@ -13,6 +13,11 @@
 //! Schema v2: each run record additionally carries the evaluation-latency
 //! percentiles and the memo cache's per-shard hit rates, captured through
 //! a per-run [`buffy_telemetry::Recorder`]. All v1 keys are unchanged.
+//!
+//! Schema v3: each run record additionally carries the prune-oracle
+//! counters (`static_prunes`, `dominance_prunes`) and the gallery gains
+//! the cd2dat (fig-7) graph. All v2 keys are unchanged; the CI regression
+//! gate reads `evaluations` and `shard_hit_rates` from this file.
 
 use buffy_bench::format_table;
 use buffy_core::{
@@ -92,7 +97,8 @@ fn json_record(r: &Run) -> String {
         .collect();
     format!(
         "{{\"graph\":\"{}\",\"algorithm\":\"{}\",\"threads\":{},\"wall_secs\":{:.6},\
-         \"evaluations\":{},\"cache_hits\":{},\"cache_hit_rate\":{:.4},\"max_states\":{},\
+         \"evaluations\":{},\"cache_hits\":{},\"cache_hit_rate\":{:.4},\
+         \"static_prunes\":{},\"dominance_prunes\":{},\"max_states\":{},\
          \"eval_nanos\":{},\"pareto_points\":{},\
          \"eval_latency_ns\":{{\"p50\":{},\"p90\":{},\"p99\":{}}},\"shard_hit_rates\":[{}]}}",
         r.graph,
@@ -102,6 +108,8 @@ fn json_record(r: &Run) -> String {
         s.evaluations,
         s.cache_hits,
         s.cache_hit_rate(),
+        s.static_prunes,
+        s.dominance_prunes,
         s.max_states,
         s.eval_nanos,
         r.result.pareto.len(),
@@ -115,7 +123,12 @@ fn json_record(r: &Run) -> String {
 fn main() {
     // The full gallery is exact but slow under the exhaustive search for
     // the biggest graphs; the fig-7-style subjects below chart in seconds.
-    let graphs = [gallery::example(), gallery::bipartite(), gallery::modem()];
+    let graphs = [
+        gallery::example(),
+        gallery::bipartite(),
+        gallery::modem(),
+        gallery::cd2dat(),
+    ];
     let auto = resolve_threads(0);
 
     let mut runs: Vec<Run> = Vec::new();
@@ -154,6 +167,7 @@ fn main() {
                 format!("{:.3}s", r.wall_secs),
                 s.evaluations.to_string(),
                 format!("{:.0}%", s.cache_hit_rate() * 100.0),
+                format!("{}+{}", s.static_prunes, s.dominance_prunes),
                 s.max_states.to_string(),
                 r.result.pareto.len().to_string(),
             ]
@@ -169,6 +183,7 @@ fn main() {
                 "wall",
                 "analyses",
                 "cache hit",
+                "pruned",
                 "max states",
                 "#Pareto",
             ],
@@ -178,7 +193,7 @@ fn main() {
 
     let records: Vec<String> = runs.iter().map(json_record).collect();
     let json = format!(
-        "{{\"bench\":\"dse_stats\",\"schema\":2,\"auto_threads\":{},\"runs\":[\n  {}\n]}}\n",
+        "{{\"bench\":\"dse_stats\",\"schema\":3,\"auto_threads\":{},\"runs\":[\n  {}\n]}}\n",
         auto,
         records.join(",\n  ")
     );

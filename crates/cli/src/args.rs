@@ -45,7 +45,15 @@ const VALUE_OPTIONS: &[&str] = &[
 
 /// Boolean flags the commands understand; anything else starting with
 /// `--` is rejected as unknown.
-const KNOWN_FLAGS: &[&str] = &["csv", "json", "deny-warnings", "force", "help", "progress"];
+const KNOWN_FLAGS: &[&str] = &[
+    "csv",
+    "json",
+    "deny-warnings",
+    "force",
+    "help",
+    "no-static-prune",
+    "progress",
+];
 
 /// Parses raw arguments.
 ///
@@ -143,6 +151,8 @@ mod tests {
         // Known flags and options still parse.
         assert!(parse(&args(&["check", "g.xml", "--json", "--deny-warnings"])).is_ok());
         assert!(parse(&args(&["--help"])).is_ok());
+        let p = parse(&args(&["explore", "g.xml", "--no-static-prune"])).unwrap();
+        assert!(p.has_flag("no-static-prune"));
     }
 
     #[test]

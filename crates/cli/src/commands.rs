@@ -4,18 +4,19 @@ use crate::args::{parse_dist, ParsedArgs};
 use crate::observe::{dist_json, json_escape, CheckpointConfig, CliObserver};
 use crate::telemetry::{telemetry_json, TelemetrySession};
 use buffy_analysis::{
-    fx_hash, maximal_throughput, throughput, AnalysisError, ExplorationLimits, Schedule,
+    fx_hash, maximal_throughput, throughput, AnalysisError, BoundCertificate, DataflowSemantics,
+    ExplorationLimits, Schedule, StaticBounds,
 };
 use buffy_core::{
     explore_dependency_guided_observed, explore_design_space_observed, lower_bound_distribution,
-    min_storage_for_throughput_observed, CancelReason, CancelToken, Checkpoint, Completeness,
-    EvaluationFailure, ExplorationResult, ExplorationStats, ExploreError, ExploreOptions,
-    ParetoPoint, SkippedSize, WarmStart,
+    lower_bound_distribution_for, min_storage_for_throughput_observed, CancelReason, CancelToken,
+    Checkpoint, Completeness, EvaluationFailure, ExplorationResult, ExplorationStats, ExploreError,
+    ExploreOptions, ParetoPoint, SkippedSize, WarmStart,
 };
 use buffy_gen::{gallery, RandomGraphConfig};
 use buffy_graph::dot::to_dot;
 use buffy_graph::xml::{read_sdf_xml, write_sdf_xml};
-use buffy_graph::{ActorId, Rational, RepetitionVector, SdfGraph, StorageDistribution};
+use buffy_graph::{ActorId, ChannelId, Rational, RepetitionVector, SdfGraph, StorageDistribution};
 use buffy_lint::{lint_csdf, lint_sdf, LintContext, Severity};
 use std::io::Write;
 use std::path::{Path, PathBuf};
@@ -48,6 +49,7 @@ fn explore_options(parsed: &ParsedArgs, graph: &SdfGraph) -> Result<ExploreOptio
         max_size: parsed.get("max-size")?,
         quantum: parsed.get("quantum")?,
         threads: parsed.get("threads")?.unwrap_or(1),
+        static_prune: !parsed.has_flag("no-static-prune"),
         ..ExploreOptions::default()
     })
 }
@@ -171,8 +173,13 @@ fn telemetry_section(snapshot: Option<&buffy_telemetry::Snapshot>) -> String {
 /// Renders the exploration statistics as a JSON object.
 fn stats_json(stats: &ExplorationStats) -> String {
     format!(
-        "{{\"evaluations\":{},\"cache_hits\":{},\"max_states\":{},\"eval_nanos\":{}}}",
-        stats.evaluations, stats.cache_hits, stats.max_states, stats.eval_nanos
+        "{{\"evaluations\":{},\"cache_hits\":{},\"static_prunes\":{},\"dominance_prunes\":{},\"max_states\":{},\"eval_nanos\":{}}}",
+        stats.evaluations,
+        stats.cache_hits,
+        stats.static_prunes,
+        stats.dominance_prunes,
+        stats.max_states,
+        stats.eval_nanos
     )
 }
 
@@ -800,6 +807,174 @@ pub fn csdf_explore(parsed: &ParsedArgs, out: Out<'_>) -> Result<i32, String> {
         write_resilience_text(&r.completeness, &r.skipped, &r.failures, out)?;
     }
     Ok(exit_code_for(&r.completeness))
+}
+
+/// The distribution `buffy bounds` certifies: `--dist` when given
+/// (arity-checked), the §7 lower-bound distribution otherwise.
+fn bounds_distribution<M: DataflowSemantics>(
+    parsed: &ParsedArgs,
+    model: &M,
+) -> Result<StorageDistribution, String> {
+    match parsed.options.get("dist") {
+        Some(v) => {
+            let caps = parse_dist(v)?;
+            if caps.len() != model.num_channels() {
+                return Err(format!(
+                    "--dist has {} entries but the graph has {} channels",
+                    caps.len(),
+                    model.num_channels()
+                ));
+            }
+            Ok(StorageDistribution::from_capacities(caps))
+        }
+        None => Ok(lower_bound_distribution_for(model)),
+    }
+}
+
+/// Renders one certificate's bound as a JSON object fragment.
+fn certificate_json(cert: &BoundCertificate) -> String {
+    let lambda = match &cert.lambda {
+        None => "null".to_string(),
+        Some(l) => format!("\"{l}\""),
+    };
+    format!(
+        "{{\"bound\":\"{}\",\"lambda\":{lambda},\"deadlocked\":{}}}",
+        cert.bound, cert.deadlocked
+    )
+}
+
+/// Shared rendering of the `buffy bounds` report for both graph kinds:
+/// the per-distribution static certificate plus the relaxed per-channel
+/// bounds (each channel alone at its capacity, every other channel
+/// unbounded — a sound upper bound on its own).
+fn bounds_report<M: DataflowSemantics>(
+    model: &M,
+    name: &str,
+    kind: &str,
+    observed: ActorId,
+    parsed: &ParsedArgs,
+    out: Out<'_>,
+) -> Result<(), String> {
+    let bounds = StaticBounds::new(model, observed).map_err(|e| e.to_string())?;
+    if !bounds.is_usable() {
+        return Err(
+            "the graph is disconnected: the critical cycle ratio may come from a \
+             component the observed actor never waits for, so no sound static \
+             certificate exists"
+                .into(),
+        );
+    }
+    let dist = bounds_distribution(parsed, model)?;
+    let cert = bounds
+        .certificate(&dist)
+        .ok_or("no certificate for this distribution")?;
+    let per_channel: Vec<(ChannelId, u64, BoundCertificate)> = (0..model.num_channels())
+        .filter_map(|i| {
+            let id = ChannelId::new(i);
+            let cap = dist.get(id);
+            bounds.channel_bound(id, cap).map(|c| (id, cap, c))
+        })
+        .collect();
+    if parsed.has_flag("json") {
+        let channels: Vec<String> = per_channel
+            .iter()
+            .map(|(id, cap, c)| {
+                format!(
+                    "{{\"channel\":\"{}\",\"capacity\":{cap},\"certificate\":{}}}",
+                    json_escape(model.channel_name(*id)),
+                    certificate_json(c)
+                )
+            })
+            .collect();
+        return w(
+            out,
+            format_args!(
+                "{{\"graph\":\"{}\",\"kind\":\"{kind}\",\"observed\":\"{}\",\"observed_firings\":{},\"distribution\":{},\"certificate\":{},\"channels\":[{}]}}\n",
+                json_escape(name),
+                json_escape(model.actor_name(observed)),
+                bounds.observed_firings(),
+                dist_json(&dist),
+                certificate_json(&cert),
+                channels.join(",")
+            ),
+        );
+    }
+    w(out, format_args!("graph: {name} ({kind})\n"))?;
+    w(
+        out,
+        format_args!(
+            "observed actor: {} ({} firings per iteration)\n",
+            model.actor_name(observed),
+            bounds.observed_firings()
+        ),
+    )?;
+    w(
+        out,
+        format_args!("distribution: {dist} (size {})\n", dist.size()),
+    )?;
+    if cert.deadlocked {
+        w(
+            out,
+            format_args!("certificate: statically proven deadlock — throughput is exactly 0\n"),
+        )?;
+    } else {
+        let lambda = cert
+            .lambda
+            .as_ref()
+            .map(|l| format!(" (critical cycle ratio λ* = {l})"))
+            .unwrap_or_default();
+        w(
+            out,
+            format_args!("certificate: throughput ≤ {}{lambda}\n", cert.bound),
+        )?;
+    }
+    w(
+        out,
+        format_args!("per-channel relaxed bounds (that channel alone, others unbounded):\n"),
+    )?;
+    for (id, cap, c) in &per_channel {
+        if c.deadlocked {
+            w(
+                out,
+                format_args!(
+                    "  {} @ {cap}: statically deadlocks\n",
+                    model.channel_name(*id)
+                ),
+            )?;
+        } else {
+            w(
+                out,
+                format_args!(
+                    "  {} @ {cap}: throughput ≤ {}\n",
+                    model.channel_name(*id),
+                    c.bound
+                ),
+            )?;
+        }
+    }
+    Ok(())
+}
+
+pub fn bounds(parsed: &ParsedArgs, out: Out<'_>) -> Result<(), String> {
+    let path = parsed
+        .positional
+        .get(1)
+        .ok_or("expected a graph file argument")?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    if is_csdf_document(&text) {
+        let graph = buffy_csdf::xml::read_csdf_xml(&text)
+            .map_err(|e| format!("cannot parse {path}: {e}"))?;
+        let observed = match parsed.options.get("actor") {
+            None => graph.default_observed_actor(),
+            Some(name) => graph
+                .actor_by_name(name)
+                .ok_or_else(|| format!("unknown actor {name:?}"))?,
+        };
+        return bounds_report(&graph, graph.name(), "csdf", observed, parsed, out);
+    }
+    let graph = read_sdf_xml(&text).map_err(|e| format!("cannot parse {path}: {e}"))?;
+    let observed = observed_actor(parsed, &graph)?;
+    bounds_report(&graph, graph.name(), "sdf", observed, parsed, out)
 }
 
 pub fn gallery(parsed: &ParsedArgs, out: Out<'_>) -> Result<(), String> {

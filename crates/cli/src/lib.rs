@@ -39,16 +39,29 @@ COMMANDS:
                                       connectedness, guaranteed deadlock,
                                       infeasible constraints, overflow risk,
                                       dead actors, modelling smells,
-                                      distribution-space explosion (codes
-                                      B001..B009); --json emits one JSON
+                                      distribution-space explosion, static
+                                      capacity saturation and trivially
+                                      satisfiable constraints (codes
+                                      B001..B011); --json emits one JSON
                                       object; --space-threshold tunes B009
     analyze <graph.xml> [--dist 4,2] [--actor NAME]
                                       throughput of one storage distribution
                                       (default: per-channel lower bounds)
+    bounds <graph.xml> [--dist 4,2] [--actor NAME] [--json]
+                                      static throughput certificate of one
+                                      distribution (default: per-channel
+                                      lower bounds), computed without
+                                      state-space simulation: a sound upper
+                                      bound from the capacity-augmented
+                                      cycle-ratio analysis, plus the relaxed
+                                      per-channel bounds (one channel alone
+                                      at its capacity, the others
+                                      unbounded); works for SDF and CSDF
+                                      inputs
     explore <graph.xml> [--algorithm guided|exhaustive] [--actor NAME]
             [--quantum R] [--max-size N] [--threads N] [--csv] [--json]
-            [--progress] [--trace-json FILE] [--metrics FILE]
-            [--chrome-trace FILE] [--timeout SECS]
+            [--no-static-prune] [--progress] [--trace-json FILE]
+            [--metrics FILE] [--chrome-trace FILE] [--timeout SECS]
             [--max-evals N] [--checkpoint FILE] [--resume FILE]
                                       chart the Pareto space; CSDF inputs
                                       (type=\"csdf\") are routed through the
@@ -59,8 +72,13 @@ COMMANDS:
                                       report, --progress reports phases and
                                       counts on stderr and --trace-json
                                       streams one JSON object per
-                                      evaluation/cache-hit/pareto event
-                                      (each stamped with elapsed_us);
+                                      evaluation/cache-hit/pruned/pareto
+                                      event (each stamped with elapsed_us);
+                                      --no-static-prune disables the static
+                                      certificate and dominance pruning
+                                      (the front is byte-identical either
+                                      way; the run just evaluates more
+                                      distributions);
                                       --metrics writes a Prometheus
                                       textfile snapshot and --chrome-trace
                                       a Chrome trace-event JSON (load in
@@ -76,8 +94,8 @@ COMMANDS:
                                       from such a file, reproducing the
                                       uninterrupted run exactly
     constraint <graph.xml> --throughput R [--actor NAME] [--json]
-               [--progress] [--trace-json FILE] [--metrics FILE]
-               [--chrome-trace FILE] [--timeout SECS]
+               [--no-static-prune] [--progress] [--trace-json FILE]
+               [--metrics FILE] [--chrome-trace FILE] [--timeout SECS]
                [--max-evals N] [--checkpoint FILE] [--resume FILE]
                                       minimal storage meeting a throughput
                                       constraint (with evaluation
@@ -153,6 +171,7 @@ fn try_run(raw_args: &[String], out: &mut dyn Write) -> Result<i32, String> {
         "info" => done(commands::info(&parsed, out)),
         "check" => done(commands::check(&parsed, out)),
         "analyze" => done(commands::analyze(&parsed, out)),
+        "bounds" => done(commands::bounds(&parsed, out)),
         "explore" => commands::explore(&parsed, out),
         "constraint" => commands::constraint(&parsed, out),
         "schedule" => done(commands::schedule(&parsed, out)),
@@ -516,6 +535,8 @@ mod tests {
         ]);
         assert_eq!(code, 0, "{text}");
         assert!(text.contains("\"stats\":{\"evaluations\":"), "{text}");
+        assert!(text.contains("\"static_prunes\":"), "{text}");
+        assert!(text.contains("\"dominance_prunes\":"), "{text}");
         assert!(text.contains("\"pareto\":[{\"size\":6,"), "{text}");
 
         // The trace is JSON-lines covering all three event kinds.
@@ -545,6 +566,94 @@ mod tests {
 
         std::fs::remove_file(&path).ok();
         std::fs::remove_file(&trace).ok();
+    }
+
+    #[test]
+    fn no_static_prune_front_is_byte_identical() {
+        // bipartite actually exercises both prune directions; the CSV
+        // front must not depend on whether the oracle ran.
+        let (_, xml) = run_to_string(&["gallery", "bipartite"]);
+        let path = std::env::temp_dir().join("buffy-cli-test-nopr.xml");
+        std::fs::write(&path, &xml).unwrap();
+        let p = path.to_str().unwrap();
+        let trace = std::env::temp_dir().join("buffy-cli-test-nopr-trace.jsonl");
+        let t = trace.to_str().unwrap();
+
+        let (code, pruned) = run_to_string(&[
+            "explore",
+            p,
+            "--algorithm",
+            "exhaustive",
+            "--csv",
+            "--trace-json",
+            t,
+        ]);
+        assert_eq!(code, 0, "{pruned}");
+        let (code, unpruned) = run_to_string(&[
+            "explore",
+            p,
+            "--algorithm",
+            "exhaustive",
+            "--csv",
+            "--no-static-prune",
+        ]);
+        assert_eq!(code, 0, "{unpruned}");
+        assert_eq!(pruned, unpruned);
+
+        // The pruned run records its decisions in the trace.
+        let trace_text = std::fs::read_to_string(&trace).unwrap();
+        assert!(
+            trace_text.contains("\"event\":\"pruned\"")
+                && trace_text.contains("\"kind\":\"static-bound\""),
+            "{trace_text}"
+        );
+        std::fs::remove_file(&path).ok();
+        std::fs::remove_file(&trace).ok();
+    }
+
+    #[test]
+    fn bounds_renders_the_certificate() {
+        let (_, xml) = run_to_string(&["gallery", "example"]);
+        let path = std::env::temp_dir().join("buffy-cli-test-bounds.xml");
+        std::fs::write(&path, &xml).unwrap();
+        let p = path.to_str().unwrap();
+
+        // Defaults to the lower-bound distribution ⟨4, 2⟩ (bound 1/7).
+        let (code, text) = run_to_string(&["bounds", p]);
+        assert_eq!(code, 0, "{text}");
+        assert!(text.contains("throughput ≤ 1/7"), "{text}");
+        assert!(text.contains("per-channel relaxed bounds"), "{text}");
+
+        // An explicit distribution and the machine-readable form.
+        let (code, text) = run_to_string(&["bounds", p, "--dist", "7,3", "--json"]);
+        assert_eq!(code, 0, "{text}");
+        assert!(
+            text.contains("\"certificate\":{\"bound\":\"1/4\""),
+            "{text}"
+        );
+        assert!(text.contains("\"channel\":\"alpha\""), "{text}");
+        assert!(text.contains("\"deadlocked\":false"), "{text}");
+
+        // Wrong arity is a proper error, not a panic.
+        let (code, text) = run_to_string(&["bounds", p, "--dist", "7"]);
+        assert_eq!(code, 1, "{text}");
+        assert!(text.contains("2 channels"), "{text}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn bounds_handles_csdf_inputs() {
+        let xml = r#"<sdf3 type="csdf"><applicationGraph name="ud"><csdf name="ud">
+             <actor name="p"/><actor name="c"/>
+             <channel name="d" srcActor="p" srcRate="2,0" dstActor="c" dstRate="1"/>
+           </csdf></applicationGraph></sdf3>"#;
+        let path = std::env::temp_dir().join("buffy-cli-test-bounds-csdf.xml");
+        std::fs::write(&path, xml).unwrap();
+        let (code, text) = run_to_string(&["bounds", path.to_str().unwrap()]);
+        assert_eq!(code, 0, "{text}");
+        assert!(text.contains("(csdf)"), "{text}");
+        assert!(text.contains("certificate:"), "{text}");
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

@@ -23,11 +23,13 @@
 //!   every [`CHECKPOINT_EVERY`] evaluations and once more at `finish`.
 //!
 //! The trace vocabulary (the `event` field): `phase`, `evaluation`,
-//! `cache-hit`, `pareto`, `evaluation-failed`, `end`. All values are
+//! `cache-hit`, `pruned`, `pareto`, `evaluation-failed`, `end`. All values are
 //! numbers, fixed enum names, rationals rendered as `"p/q"`, or
 //! JSON-escaped strings.
 
-use buffy_core::{Checkpoint, CheckpointEntry, ExploreObserver, ParetoPoint, SearchPhase};
+use buffy_core::{
+    Checkpoint, CheckpointEntry, ExploreObserver, ParetoPoint, PruneKind, SearchPhase,
+};
 use buffy_graph::{Rational, StorageDistribution};
 use std::fmt::Write as _;
 use std::fs::File;
@@ -286,6 +288,14 @@ impl ExploreObserver for CliObserver {
         ));
     }
 
+    fn distribution_pruned(&self, dist: &StorageDistribution, kind: PruneKind) {
+        self.trace_line(format_args!(
+            "{{\"event\":\"pruned\",\"kind\":\"{}\",\"distribution\":{}}}",
+            kind.name(),
+            dist_json(dist)
+        ));
+    }
+
     fn pareto_accepted(&self, point: &ParetoPoint) {
         if self.progress_tick() {
             eprintln!(
@@ -329,13 +339,14 @@ mod tests {
         let d = StorageDistribution::from_capacities(vec![4, 2]);
         obs.evaluation_finished(&d, Rational::new(1, 7), 5, 1234);
         obs.cache_hit(&d);
+        obs.distribution_pruned(&d, PruneKind::Static);
         obs.evaluation_failed(&d, "panicked: \"why\"");
         obs.pareto_accepted(&ParetoPoint::new(d, Rational::new(1, 7)));
         obs.finish("exact").unwrap();
 
         let text = std::fs::read_to_string(&path).unwrap();
         let lines: Vec<&str> = text.lines().collect();
-        assert_eq!(lines.len(), 6);
+        assert_eq!(lines.len(), 7);
         assert!(lines[0].contains("\"event\":\"phase\""), "{}", lines[0]);
         assert!(
             lines[1].contains("\"event\":\"evaluation\"")
@@ -346,20 +357,27 @@ mod tests {
         );
         assert!(lines[2].contains("\"event\":\"cache-hit\""), "{}", lines[2]);
         assert!(
-            lines[3].contains("\"event\":\"evaluation-failed\"")
-                && lines[3].contains("panicked: \\\"why\\\""),
+            lines[3].contains("\"event\":\"pruned\"")
+                && lines[3].contains("\"kind\":\"static-bound\"")
+                && lines[3].contains("\"distribution\":[4,2]"),
             "{}",
             lines[3]
         );
         assert!(
-            lines[4].contains("\"event\":\"pareto\"") && lines[4].contains("\"size\":6"),
+            lines[4].contains("\"event\":\"evaluation-failed\"")
+                && lines[4].contains("panicked: \\\"why\\\""),
             "{}",
             lines[4]
         );
         assert!(
-            lines[5].contains("\"event\":\"end\"") && lines[5].contains("\"reason\":\"exact\""),
+            lines[5].contains("\"event\":\"pareto\"") && lines[5].contains("\"size\":6"),
             "{}",
             lines[5]
+        );
+        assert!(
+            lines[6].contains("\"event\":\"end\"") && lines[6].contains("\"reason\":\"exact\""),
+            "{}",
+            lines[6]
         );
         // Every line is a single JSON object leading with the run clock:
         // braces balance and the line starts/ends with them (the

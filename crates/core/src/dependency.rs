@@ -21,31 +21,29 @@
 use crate::bounds::upper_bound_distribution_with;
 use crate::enumerate::DistributionSpace;
 use crate::error::ExploreError;
-use crate::explore::{ExplorationResult, ExploreOptions};
+use crate::explore::{Evaluator, ExplorationResult, ExploreOptions};
 use crate::pareto::{ParetoPoint, ParetoSet};
-use crate::runtime::{
-    AtomicStats, Completeness, EvaluationFailure, ExploreObserver, NoopObserver, SearchPhase,
-    SkippedSize,
-};
+use crate::runtime::{Completeness, ExploreObserver, NoopObserver, SearchPhase, SkippedSize};
 use buffy_analysis::{
-    throughput_for_with_cancel, throughput_with_dependencies_for, CancelReason, Capacities,
-    DataflowSemantics,
+    dependencies_from_run_for, throughput_with_dependencies_for, CancelReason, DataflowSemantics,
 };
 use buffy_graph::{ChannelId, Rational, SdfGraph, StorageDistribution};
 use buffy_telemetry::{labeled, names};
 use std::cmp::Reverse;
 use std::collections::{BTreeMap, BinaryHeap, HashSet};
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::time::Instant;
 
 /// Explores the design space by growing storage-dependent channels only.
 ///
 /// Accepts the same options as
 /// [`explore_design_space`](crate::explore_design_space); the `threads`
-/// option is ignored (the frontier is evaluated sequentially), `quantum`
-/// only thins the reported front, and `warm_start` is ignored — a
-/// checkpoint does not record the per-distribution dependency sets the
-/// frontier expansion needs. A cancel token is honoured between frontier
+/// option is ignored (the frontier is evaluated sequentially) and
+/// `quantum` only thins the reported front. Evaluations run through the
+/// same sharded memoised evaluator as the exhaustive search: bound probes
+/// are cached (a frontier candidate landing on a probed distribution is a
+/// cache hit, not a re-analysis), checkpointed `warm_start` throughputs
+/// are replayed, and the static-certificate prune oracle skips candidates
+/// it can prove deadlocked. A cancel token is honoured between frontier
 /// candidates (and inside the bounds-phase analyses): when it trips, the
 /// unexpanded frontier is reported as skipped sizes on a partial result.
 ///
@@ -86,7 +84,7 @@ pub fn explore_dependency_guided(
 /// # Errors
 ///
 /// Same as [`explore_design_space`](crate::explore_design_space).
-pub fn explore_dependency_guided_for<M: DataflowSemantics>(
+pub fn explore_dependency_guided_for<M: DataflowSemantics + Sync>(
     model: &M,
     options: &ExploreOptions,
 ) -> Result<ExplorationResult, ExploreError> {
@@ -100,7 +98,7 @@ pub fn explore_dependency_guided_for<M: DataflowSemantics>(
 /// # Errors
 ///
 /// Same as [`explore_design_space`](crate::explore_design_space).
-pub fn explore_dependency_guided_observed<M: DataflowSemantics>(
+pub fn explore_dependency_guided_observed<M: DataflowSemantics + Sync>(
     model: &M,
     options: &ExploreOptions,
     observer: &dyn ExploreObserver,
@@ -111,15 +109,9 @@ pub fn explore_dependency_guided_observed<M: DataflowSemantics>(
     let space = DistributionSpace::for_model(model);
     let lb_size = space.min_size();
 
-    let stats = AtomicStats::new();
+    let eval = Evaluator::new(model, observed, options, observer);
     let cancel = options.cancel.clone().unwrap_or_default();
     let recorder = buffy_telemetry::active();
-    let latency = recorder.as_ref().map(|r| {
-        r.histogram(
-            names::EVAL_LATENCY_NS,
-            "Evaluation wall latency per memoised throughput analysis, in nanoseconds.",
-        )
-    });
     let guided_skip_counter = |reason: &str| {
         recorder.as_ref().map(|r| {
             r.counter(
@@ -131,34 +123,16 @@ pub fn explore_dependency_guided_observed<M: DataflowSemantics>(
     let skipped_ub = guided_skip_counter("ub-size");
     let skipped_caps = guided_skip_counter("channel-cap");
     // Bound probes run the plain throughput analysis (no dependency
-    // tracking) but are still timed, counted and observed. Cancellation
-    // here leaves nothing to salvage and surfaces as
-    // [`ExploreError::Cancelled`].
+    // tracking) through the shared memoised evaluator: timed, counted,
+    // observed, cached and recorded in the prune oracle like every other
+    // evaluation. Cancellation here leaves nothing to salvage and
+    // surfaces as [`ExploreError::Cancelled`].
     observer.phase_started(SearchPhase::Bounds);
     let bounds_span = recorder
         .as_ref()
         .map(|r| r.phase_span(SearchPhase::Bounds.name()));
-    let (ub_dist, thr_max_graph) = upper_bound_distribution_with(model, observed, &|d| {
-        observer.evaluation_started(d);
-        let trace_ts = recorder.as_ref().map(|r| r.elapsed_us()).unwrap_or(0);
-        let start = Instant::now();
-        let r = throughput_for_with_cancel(
-            model,
-            Capacities::from_distribution(d),
-            observed,
-            options.limits,
-            &cancel,
-        )?;
-        let nanos = start.elapsed().as_nanos() as u64;
-        stats.record_evaluation(r.states_stored as u64, nanos);
-        if let (Some(rec), Some(hist)) = (&recorder, &latency) {
-            hist.record(nanos);
-            rec.trace_complete_at("eval", trace_ts, nanos / 1_000);
-        }
-        observer.evaluation_finished(d, r.throughput, r.states_stored as u64, nanos);
-        cancel.note_evaluation();
-        Ok(r.throughput)
-    })?;
+    let (ub_dist, thr_max_graph) =
+        upper_bound_distribution_with(model, observed, &|d| eval.eval(d))?;
     let ub_size = options
         .max_size
         .unwrap_or_else(|| ub_dist.size())
@@ -186,7 +160,6 @@ pub fn explore_dependency_guided_observed<M: DataflowSemantics>(
 
     let mut found_positive = false;
     let mut truncated: Option<CancelReason> = None;
-    let mut failures: Vec<EvaluationFailure> = Vec::new();
 
     while let Some(&Reverse((size, _))) = frontier.peek() {
         // The frontier is consumed one candidate at a time, so the cancel
@@ -199,62 +172,85 @@ pub fn explore_dependency_guided_observed<M: DataflowSemantics>(
         let Some(Reverse((_, dist))) = frontier.pop() else {
             unreachable!("peeked entry vanished");
         };
-        observer.evaluation_started(&dist);
-        let trace_ts = recorder.as_ref().map(|r| r.elapsed_us()).unwrap_or(0);
-        let eval_start = Instant::now();
-        let attempt = catch_unwind(AssertUnwindSafe(|| {
-            if options.fail_distribution.as_ref() == Some(&dist) {
-                panic!("injected evaluation failure (fail_distribution test hook)");
-            }
-            throughput_with_dependencies_for(model, &dist, observed, options.limits)
-        }));
-        let r = match attempt {
-            Ok(r) => r?,
-            Err(payload) => {
+        // A statically proven deadlock skips the state-space analysis
+        // entirely: the candidate contributes no front point (its
+        // throughput is exactly zero), and its children come from the
+        // deadlock replay below — the same channels the full analysis
+        // would have reported as storage-dependent.
+        let entry = if eval.prunes_zero(&dist) {
+            None
+        } else {
+            let entry = eval.eval_full(&dist)?;
+            if entry.failed {
                 // A panicking analysis degrades to a zero-throughput leaf:
-                // recorded, reported, no children expanded.
-                let message = crate::explore::panic_message(payload.as_ref());
-                stats.record_failure();
-                observer.evaluation_failed(&dist, &message);
-                failures.push(EvaluationFailure {
-                    distribution: dist,
-                    message,
-                });
-                cancel.note_evaluation();
+                // recorded and reported by the evaluator, no children
+                // expanded.
                 continue;
             }
+            Some(entry)
         };
-        let nanos = eval_start.elapsed().as_nanos() as u64;
-        stats.record_evaluation(r.report.states_stored as u64, nanos);
-        if let (Some(rec), Some(hist)) = (&recorder, &latency) {
-            hist.record(nanos);
-            rec.trace_complete_at("eval", trace_ts, nanos / 1_000);
-        }
-        observer.evaluation_finished(
-            &dist,
-            r.report.throughput,
-            r.report.states_stored as u64,
-            nanos,
-        );
-        cancel.note_evaluation();
 
-        let thr = r.report.throughput;
-        if !thr.is_zero() {
-            found_positive = true;
-            let p = ParetoPoint::new(dist.clone(), thr);
-            if pareto.insert(p.clone()) {
-                observer.pareto_accepted(&p);
-                if let Some(r) = &recorder {
-                    r.trace_instant("pareto");
+        if let Some(entry) = &entry {
+            let thr = entry.throughput;
+            if !thr.is_zero() {
+                found_positive = true;
+                let p = ParetoPoint::new(dist.clone(), thr);
+                if pareto.insert(p.clone()) {
+                    observer.pareto_accepted(&p);
+                    if let Some(r) = &recorder {
+                        r.trace_instant("pareto");
+                    }
+                }
+                if thr >= thr_cap {
+                    continue; // growing further cannot be Pareto-optimal
                 }
             }
-            if thr >= thr_cap {
-                continue; // growing further cannot be Pareto-optimal
-            }
         }
 
-        for cid in r.dependent_channels() {
-            let step = steps[cid.index()];
+        // Storage-dependency query. The memoised entry's cycle metadata
+        // lets a deterministic replay of the recorded run answer it
+        // without re-running the state-space search; entries without that
+        // metadata (checkpointed warm-start throughputs) fall back to the
+        // full dependency analysis. A panic in either path degrades the
+        // candidate to a leaf.
+        let (deadlocked, cycle_entry_time, period, has_meta) = match &entry {
+            Some(e) => (
+                e.deadlocked,
+                e.cycle_entry_time,
+                e.period,
+                e.has_replay_meta,
+            ),
+            None => (true, 0, 0, true),
+        };
+        let dependent: Vec<bool> = if has_meta {
+            match catch_unwind(AssertUnwindSafe(|| {
+                dependencies_from_run_for(model, &dist, deadlocked, cycle_entry_time, period)
+            })) {
+                Ok(deps) => deps?,
+                Err(_) => continue,
+            }
+        } else {
+            match catch_unwind(AssertUnwindSafe(|| {
+                throughput_with_dependencies_for(model, &dist, observed, options.limits)
+            })) {
+                Ok(r) => {
+                    let r = r?;
+                    let mut flags = vec![false; model.num_channels()];
+                    for cid in r.dependent_channels() {
+                        flags[cid.index()] = true;
+                    }
+                    flags
+                }
+                Err(_) => continue,
+            }
+        };
+
+        for (i, dep) in dependent.iter().enumerate() {
+            if !dep {
+                continue;
+            }
+            let cid = ChannelId::new(i);
+            let step = steps[i];
             let child = dist.grown(cid, step);
             if size + step > ub_size {
                 if let Some(c) = &skipped_ub {
@@ -301,7 +297,6 @@ pub fn explore_dependency_guided_observed<M: DataflowSemantics>(
             (Completeness::truncated(reason, total), skipped)
         }
     };
-    failures.sort_by(|a, b| a.distribution.as_slice().cmp(b.distribution.as_slice()));
 
     // Optional thinning / clipping to match the exhaustive explorer's
     // options semantics.
@@ -329,8 +324,7 @@ pub fn explore_dependency_guided_observed<M: DataflowSemantics>(
         pareto = thinned;
     }
 
-    // The guided search never revisits a distribution (the `seen` set
-    // dedups the frontier), so its cache-hit count is genuinely zero.
+    let stats = eval.stats();
     Ok(ExplorationResult {
         pareto,
         max_throughput: thr_max_graph,
@@ -338,8 +332,8 @@ pub fn explore_dependency_guided_observed<M: DataflowSemantics>(
         upper_bound_size: ub_size,
         completeness,
         skipped,
-        failures,
-        stats: stats.snapshot(),
+        failures: eval.take_failures(),
+        stats,
     })
 }
 

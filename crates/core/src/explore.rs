@@ -35,13 +35,14 @@ use crate::bounds::upper_bound_distribution_with;
 use crate::enumerate::DistributionSpace;
 use crate::error::ExploreError;
 use crate::pareto::{ParetoPoint, ParetoSet};
+use crate::prune::PruneOracle;
 use crate::runtime::{
-    resolve_threads, AtomicStats, Completeness, EvaluationFailure, ExplorationStats,
-    ExploreObserver, NoopObserver, SearchPhase, ShardedCache, SkippedSize, EVAL_CHUNK,
+    resolve_threads, AtomicStats, CachedEval, Completeness, EvaluationFailure, ExplorationStats,
+    ExploreObserver, NoopObserver, PruneKind, SearchPhase, ShardedCache, SkippedSize, EVAL_CHUNK,
 };
 use buffy_analysis::{
     throughput_for_with_cancel, CancelReason, CancelToken, Capacities, DataflowSemantics,
-    ExplorationLimits,
+    ExplorationLimits, StaticBounds,
 };
 use buffy_graph::{ActorId, Rational, SdfGraph, StorageDistribution};
 use buffy_telemetry::{labeled, names};
@@ -101,6 +102,14 @@ pub struct ExploreOptions {
     /// count and zero wall time), not a cache hit — so a resumed run
     /// reproduces the front and the statistics of an uninterrupted one.
     pub warm_start: Option<Arc<WarmStart>>,
+    /// Whether the prune oracle may skip candidate evaluations it can
+    /// decide without simulation: static capacity-aware cycle-ratio
+    /// certificates plus monotone dominance records. Pruning is
+    /// exactness-preserving — the front is byte-identical with it on or
+    /// off, only [`ExplorationStats::evaluations`] shrinks — so this
+    /// toggle exists for cross-checking and measurement
+    /// (`--no-static-prune` on the CLI).
+    pub static_prune: bool,
     /// Test hook: the evaluation of exactly this distribution panics
     /// inside the worker, exercising the panic-containment path. Not for
     /// production use.
@@ -120,6 +129,7 @@ impl Default for ExploreOptions {
             max_channel_caps: None,
             cancel: None,
             warm_start: None,
+            static_prune: true,
             fail_distribution: None,
         }
     }
@@ -164,7 +174,7 @@ pub(crate) struct Evaluator<'a, M: DataflowSemantics + Sync> {
     model: &'a M,
     observed: ActorId,
     limits: ExplorationLimits,
-    cache: ShardedCache<StorageDistribution, Rational>,
+    cache: ShardedCache<StorageDistribution, CachedEval>,
     stats: AtomicStats,
     threads: usize,
     observer: &'a dyn ExploreObserver,
@@ -174,6 +184,11 @@ pub(crate) struct Evaluator<'a, M: DataflowSemantics + Sync> {
     failures: Mutex<Vec<EvaluationFailure>>,
     telemetry: Option<EvalTelemetry>,
     shard_stats_published: AtomicBool,
+    /// Static-certificate + dominance prune oracle ([`crate::prune`]).
+    /// Genuine results are recorded as they land; proofs are only queried
+    /// from the driver thread between evaluation chunks, so decisions are
+    /// deterministic across thread counts.
+    oracle: PruneOracle,
 }
 
 /// Telemetry handles of one evaluator run, fetched once at construction:
@@ -184,6 +199,8 @@ pub(crate) struct EvalTelemetry {
     recorder: Arc<buffy_telemetry::Recorder>,
     latency: Arc<buffy_telemetry::Histogram>,
     short_circuits: Arc<buffy_telemetry::Counter>,
+    static_prunes: Arc<buffy_telemetry::Counter>,
+    dominance_prunes: Arc<buffy_telemetry::Counter>,
 }
 
 impl EvalTelemetry {
@@ -196,6 +213,14 @@ impl EvalTelemetry {
             short_circuits: recorder.counter(
                 names::EVALS_SHORT_CIRCUITED,
                 "Per-size sweeps cut short because the monotonicity ceiling was reached.",
+            ),
+            static_prunes: recorder.counter(
+                names::STATIC_PRUNES,
+                "Candidates skipped by a static cycle-ratio certificate.",
+            ),
+            dominance_prunes: recorder.counter(
+                names::DOMINANCE_PRUNES,
+                "Candidates skipped by a monotone dominance record.",
             ),
             recorder,
         })
@@ -220,6 +245,14 @@ impl<'a, M: DataflowSemantics + Sync> Evaluator<'a, M> {
         options: &ExploreOptions,
         observer: &'a dyn ExploreObserver,
     ) -> Evaluator<'a, M> {
+        // A model the static pass cannot certify (disconnected, no
+        // consistent repetition vector, …) silently degrades to
+        // dominance-only pruning — the oracle never guesses.
+        let oracle = if options.static_prune {
+            PruneOracle::new(StaticBounds::new(model, observed).ok())
+        } else {
+            PruneOracle::disabled()
+        };
         Evaluator {
             model,
             observed,
@@ -234,6 +267,7 @@ impl<'a, M: DataflowSemantics + Sync> Evaluator<'a, M> {
             failures: Mutex::new(Vec::new()),
             telemetry: EvalTelemetry::fetch(),
             shard_stats_published: AtomicBool::new(false),
+            oracle,
         }
     }
 
@@ -246,19 +280,38 @@ impl<'a, M: DataflowSemantics + Sync> Evaluator<'a, M> {
     /// recorded as an [`EvaluationFailure`], cached as zero throughput
     /// (deterministic on re-request), and the search continues.
     pub(crate) fn eval(&self, dist: &StorageDistribution) -> Result<Rational, ExploreError> {
-        if let Some(t) = self.cache.get(dist) {
+        Ok(self.eval_full(dist)?.throughput)
+    }
+
+    /// [`Evaluator::eval`] plus the cached replay metadata — what the
+    /// dependency-guided search needs to answer storage-dependency
+    /// queries without re-running the state-space analysis.
+    pub(crate) fn eval_full(&self, dist: &StorageDistribution) -> Result<CachedEval, ExploreError> {
+        if let Some(entry) = self.cache.get(dist) {
             self.stats.record_cache_hit();
             self.observer.cache_hit(dist);
-            return Ok(t);
+            return Ok(entry);
         }
         if let Some(warm) = &self.warm_start {
             if let Some(&(t, states)) = warm.get(dist) {
                 self.observer.evaluation_started(dist);
                 self.stats.record_evaluation(states, 0);
-                self.cache.insert(dist.clone(), t);
+                let entry = CachedEval {
+                    throughput: t,
+                    deadlocked: t.is_zero(),
+                    cycle_entry_time: 0,
+                    period: 0,
+                    has_replay_meta: false,
+                    failed: false,
+                };
+                self.cache.insert(dist.clone(), entry);
+                // A replayed checkpoint entry is a genuine result: it must
+                // seed the same dominance records as the run it restores,
+                // or a resumed run would prune differently.
+                self.oracle.record(dist, t);
                 self.observer.evaluation_finished(dist, t, states, 0);
                 self.cancel.note_evaluation();
-                return Ok(t);
+                return Ok(entry);
             }
         }
         self.observer.evaluation_started(dist);
@@ -291,24 +344,107 @@ impl<'a, M: DataflowSemantics + Sync> Evaluator<'a, M> {
                     t.recorder
                         .trace_complete_at("eval", trace_ts, nanos / 1_000);
                 }
-                self.cache.insert(dist.clone(), report.throughput);
+                let entry = CachedEval {
+                    throughput: report.throughput,
+                    deadlocked: report.deadlocked,
+                    cycle_entry_time: report.cycle_entry_time,
+                    period: report.period,
+                    has_replay_meta: true,
+                    failed: false,
+                };
+                self.cache.insert(dist.clone(), entry);
+                self.oracle.record(dist, report.throughput);
                 self.observer
                     .evaluation_finished(dist, report.throughput, states, nanos);
                 self.cancel.note_evaluation();
-                Ok(report.throughput)
+                Ok(entry)
             }
             Err(payload) => {
                 let message = panic_message(payload.as_ref());
                 self.stats.record_failure();
-                self.cache.insert(dist.clone(), Rational::ZERO);
+                let entry = CachedEval {
+                    throughput: Rational::ZERO,
+                    deadlocked: true,
+                    cycle_entry_time: 0,
+                    period: 0,
+                    has_replay_meta: false,
+                    failed: true,
+                };
+                // Degraded zero-throughput is *not* a genuine result: it
+                // is cached (deterministic on re-request) but never
+                // recorded in the oracle — a panic proves nothing about
+                // the real throughput, so it must not seed proofs.
+                self.cache.insert(dist.clone(), entry);
                 self.failures.lock().unwrap().push(EvaluationFailure {
                     distribution: dist.clone(),
                     message: message.clone(),
                 });
                 self.observer.evaluation_failed(dist, &message);
                 self.cancel.note_evaluation();
-                Ok(Rational::ZERO)
+                Ok(entry)
             }
+        }
+    }
+
+    /// Registers one oracle-decided skip with the statistics, the
+    /// observer and telemetry.
+    fn note_prune(&self, dist: &StorageDistribution, kind: PruneKind) {
+        self.stats.record_prune(kind);
+        self.observer.distribution_pruned(dist, kind);
+        if let Some(t) = &self.telemetry {
+            match kind {
+                PruneKind::Static => t.static_prunes.inc(),
+                PruneKind::Dominance => t.dominance_prunes.inc(),
+            }
+        }
+    }
+
+    /// Whether the oracle proves `t(dist) ≤ limit`; a successful proof is
+    /// counted as a prune. Exactness: a candidate at or below the current
+    /// best cannot improve the front (updates require strictly greater
+    /// throughput), so skipping it changes nothing but the work done.
+    pub(crate) fn prunes_at_most(&self, dist: &StorageDistribution, limit: &Rational) -> bool {
+        match self.oracle.proves_at_most(dist, limit) {
+            Some(kind) => {
+                self.note_prune(dist, kind);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Whether the oracle proves `t(dist) < limit` (strictly); counted as
+    /// a prune on success.
+    pub(crate) fn prunes_below(&self, dist: &StorageDistribution, limit: &Rational) -> bool {
+        match self.oracle.proves_below(dist, limit) {
+            Some(kind) => {
+                self.note_prune(dist, kind);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Whether the oracle proves `t(dist) = 0`; counted as a prune on
+    /// success.
+    pub(crate) fn prunes_zero(&self, dist: &StorageDistribution) -> bool {
+        match self.oracle.proves_zero(dist) {
+            Some(kind) => {
+                self.note_prune(dist, kind);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Whether the oracle proves `t(dist) > 0` (a positive dominance
+    /// record pointwise below `dist`); counted as a prune on success.
+    pub(crate) fn proves_positive(&self, dist: &StorageDistribution) -> bool {
+        if self.oracle.proves_positive(dist) {
+            self.note_prune(dist, PruneKind::Dominance);
+            true
+        } else {
+            false
         }
     }
 
@@ -406,10 +542,19 @@ fn q(t: Rational, quantum: Option<Rational>) -> Rational {
 /// `None` when no grid distribution of that size exists or none terminates
 /// positively.
 ///
-/// Candidates are consumed in chunks of exactly [`EVAL_CHUNK`] with the
-/// early exit checked at chunk boundaries — for every thread count,
-/// including sequential runs, so the evaluated set (and with it the
-/// statistics) does not depend on `threads`.
+/// Candidates are consumed in chunks of exactly [`EVAL_CHUNK`]
+/// *enumerated* candidates with the early exit checked at chunk
+/// boundaries — for every thread count, including sequential runs, so
+/// the evaluated set (and with it the statistics) does not depend on
+/// `threads`.
+///
+/// At each chunk boundary the prune oracle filters candidates it can
+/// prove no better than the running best: such a candidate cannot update
+/// the best (updates require strictly greater throughput) nor become the
+/// witness, so dropping it is exact. Chunks are aligned on the
+/// enumeration count, not the evaluation count, which keeps boundaries —
+/// and with them the dominance records visible to each decision —
+/// independent of how many candidates were pruned.
 fn max_throughput_for_size<M: DataflowSemantics + Sync>(
     eval: &Evaluator<'_, M>,
     space: &DistributionSpace,
@@ -428,6 +573,7 @@ fn max_throughput_for_size<M: DataflowSemantics + Sync>(
                    best_q: &mut Rational,
                    witness: &mut Option<StorageDistribution>|
      -> Result<bool, ExploreError> {
+        buf.retain(|d| !eval.prunes_at_most(d, best));
         let results = eval.eval_batch(buf)?;
         for (d, t) in buf.drain(..).zip(results) {
             if t > *best {
@@ -491,6 +637,11 @@ pub(crate) fn salvage<T>(
 
 /// Whether some grid distribution of exactly `size` tokens has positive
 /// throughput (early exits on the first hit).
+///
+/// The oracle short-circuits both ways — a positive proof answers `true`
+/// without evaluating, a zero proof skips the candidate — and both are
+/// exact consequences of results the engine already produced, so the
+/// boolean is identical with pruning on or off.
 fn has_positive<M: DataflowSemantics + Sync>(
     eval: &Evaluator<'_, M>,
     space: &DistributionSpace,
@@ -498,15 +649,24 @@ fn has_positive<M: DataflowSemantics + Sync>(
 ) -> Result<bool, ExploreError> {
     let mut found = false;
     let mut error: Option<ExploreError> = None;
-    space.for_each_of_size(size, |d| match eval.eval(&d) {
-        Ok(t) if !t.is_zero() => {
+    space.for_each_of_size(size, |d| {
+        if eval.proves_positive(&d) {
             found = true;
-            ControlFlow::Break(())
+            return ControlFlow::Break(());
         }
-        Ok(_) => ControlFlow::Continue(()),
-        Err(e) => {
-            error = Some(e);
-            ControlFlow::Break(())
+        if eval.prunes_zero(&d) {
+            return ControlFlow::Continue(());
+        }
+        match eval.eval(&d) {
+            Ok(t) if !t.is_zero() => {
+                found = true;
+                ControlFlow::Break(())
+            }
+            Ok(_) => ControlFlow::Continue(()),
+            Err(e) => {
+                error = Some(e);
+                ControlFlow::Break(())
+            }
         }
     });
     match error {
@@ -958,6 +1118,106 @@ mod tests {
         assert_eq!(seq.stats, par.stats);
     }
 
+    /// A cyclic graph (repetition vector (3, 6, 2)): exercises the
+    /// certificate pass on feedback structure beyond the pipeline example.
+    fn ring() -> SdfGraph {
+        let mut b = SdfGraph::builder("ring");
+        let x = b.actor("x", 1);
+        let y = b.actor("y", 2);
+        let z = b.actor("z", 1);
+        b.channel("c1", x, 2, y, 1).unwrap();
+        b.channel("c2", y, 1, z, 3).unwrap();
+        b.channel_with_tokens("c3", z, 3, x, 2, 6).unwrap();
+        b.build().unwrap()
+    }
+
+    /// The paper's Fig. 6 bipartite graph: an a↔b cycle plus a pipeline
+    /// tail. Its per-size sweeps span several evaluation chunks, which is
+    /// where the static certificates get to skip work.
+    fn bipartite() -> SdfGraph {
+        let mut b = SdfGraph::builder("bipartite");
+        let a = b.actor("a", 1);
+        let bb = b.actor("b", 1);
+        let c = b.actor("c", 1);
+        let d = b.actor("d", 1);
+        b.channel_with_tokens("alpha", a, 1, bb, 1, 1).unwrap();
+        b.channel_with_tokens("beta", bb, 1, a, 1, 1).unwrap();
+        b.channel("gamma", bb, 1, c, 1).unwrap();
+        b.channel("delta", c, 1, d, 1).unwrap();
+        b.build().unwrap()
+    }
+
+    /// The tentpole invariant: the prune oracle is exactness-preserving.
+    /// The front (points, sizes, throughputs, witnesses) is byte-identical
+    /// with pruning on or off, at one thread and at four — only the
+    /// amount of work differs.
+    #[test]
+    fn pruning_preserves_the_front_and_skips_evaluations() {
+        for (name, g) in [
+            ("example", example()),
+            ("ring", ring()),
+            ("bipartite", bipartite()),
+        ] {
+            let pruned = explore_design_space(&g, &ExploreOptions::default()).unwrap();
+            let unpruned = explore_design_space(
+                &g,
+                &ExploreOptions {
+                    static_prune: false,
+                    ..ExploreOptions::default()
+                },
+            )
+            .unwrap();
+            assert_eq!(pruned.pareto, unpruned.pareto, "{name}");
+            assert_eq!(pruned.max_throughput, unpruned.max_throughput, "{name}");
+            assert_eq!(pruned.lower_bound_size, unpruned.lower_bound_size, "{name}");
+            assert!(pruned.completeness.exact && unpruned.completeness.exact);
+            assert_eq!(unpruned.stats.static_prunes, 0);
+            assert_eq!(unpruned.stats.dominance_prunes, 0);
+            assert!(
+                pruned.stats.evaluations <= unpruned.stats.evaluations,
+                "{name}: pruning added work"
+            );
+
+            // Thread count changes neither the fronts nor the statistics,
+            // in either mode.
+            for static_prune in [true, false] {
+                let reference = if static_prune { &pruned } else { &unpruned };
+                let par = explore_design_space(
+                    &g,
+                    &ExploreOptions {
+                        static_prune,
+                        threads: 4,
+                        ..ExploreOptions::default()
+                    },
+                )
+                .unwrap();
+                assert_eq!(par.pareto, reference.pareto, "{name}/{static_prune}");
+                assert_eq!(par.stats, reference.stats, "{name}/{static_prune}");
+            }
+        }
+
+        // On the bipartite graph the oracle provably skips work: its
+        // sweeps span several chunks, so later chunks get filtered
+        // against the running best once one is established.
+        let pruned = explore_design_space(&bipartite(), &ExploreOptions::default()).unwrap();
+        let unpruned = explore_design_space(
+            &bipartite(),
+            &ExploreOptions {
+                static_prune: false,
+                ..ExploreOptions::default()
+            },
+        )
+        .unwrap();
+        let prunes = pruned.stats.static_prunes + pruned.stats.dominance_prunes;
+        assert!(prunes > 0, "oracle never fired: {:?}", pruned.stats);
+        assert!(
+            pruned.stats.evaluations < unpruned.stats.evaluations,
+            "pruning saved nothing: {} vs {}",
+            pruned.stats.evaluations,
+            unpruned.stats.evaluations
+        );
+    }
+
     #[test]
     fn zero_threads_auto_detects() {
         let g = example();
@@ -985,6 +1245,7 @@ mod tests {
             hits: AtomicU64,
             accepted: AtomicU64,
             phases: AtomicU64,
+            pruned: AtomicU64,
         }
         impl ExploreObserver for Counting {
             fn phase_started(&self, _phase: SearchPhase) {
@@ -1008,6 +1269,9 @@ mod tests {
             fn pareto_accepted(&self, _point: &ParetoPoint) {
                 self.accepted.fetch_add(1, Ordering::Relaxed);
             }
+            fn distribution_pruned(&self, _dist: &StorageDistribution, _kind: PruneKind) {
+                self.pruned.fetch_add(1, Ordering::Relaxed);
+            }
         }
 
         let g = example();
@@ -1017,6 +1281,10 @@ mod tests {
         assert_eq!(obs.evals.load(Ordering::Relaxed), r.stats.evaluations);
         assert_eq!(obs.finished.load(Ordering::Relaxed), r.stats.evaluations);
         assert_eq!(obs.hits.load(Ordering::Relaxed), r.stats.cache_hits);
+        assert_eq!(
+            obs.pruned.load(Ordering::Relaxed),
+            r.stats.static_prunes + r.stats.dominance_prunes
+        );
         // Every front point was announced (evicted points may add more).
         assert!(obs.accepted.load(Ordering::Relaxed) >= r.pareto.len() as u64);
         // Bounds, minimal-size and front-search phases at least.

@@ -68,6 +68,7 @@ mod enumerate;
 mod error;
 mod explore;
 mod pareto;
+mod prune;
 mod runtime;
 
 pub use bounds::{
@@ -91,7 +92,7 @@ pub use explore::{
 pub use pareto::{ParetoPoint, ParetoSet};
 pub use runtime::{
     resolve_threads, Completeness, EvaluationFailure, ExplorationStats, ExploreObserver,
-    NoopObserver, SearchPhase, SkippedSize,
+    NoopObserver, PruneKind, SearchPhase, SkippedSize,
 };
 
 // Re-export the cooperative budget/cancellation types: callers construct a

@@ -1,0 +1,274 @@
+//! The prune oracle: static certificates plus monotone dominance.
+//!
+//! Every query answers a question the exact engine would answer the same
+//! way — the oracle only *skips work*, it never changes a result. Two
+//! proof sources compose:
+//!
+//! - **static certificates** ([`StaticBounds`]): a capacity-aware
+//!   maximum-cycle-ratio bound for one concrete distribution, sound by
+//!   construction (and a proven deadlock when the augmented expansion
+//!   has a token-free cycle);
+//! - **dominance records**: throughput is monotone in pointwise capacity
+//!   (paper §9), so a *genuinely evaluated* distribution `r` with
+//!   throughput `t(r)` proves `t(d) ≤ t(r)` for every `d ≤ r` and
+//!   `t(d) ≥ t(r)` for every `d ≥ r`.
+//!
+//! Records are kept per throughput level as antichains: for
+//! upper-bound queries (`r ≥ d` wanted) only pointwise-*maximal*
+//! records matter, for lower-bound queries (`r ≤ d` wanted) only
+//! pointwise-*minimal* ones — insertion filters both ways, keeping the
+//! stores small.
+//!
+//! Determinism: records are inserted while workers evaluate (any order —
+//! the stores are order-insensitive sets), and queried only between
+//! evaluation chunks, after workers joined. Prune decisions therefore
+//! depend only on the chunk-aligned evaluation history, which is itself
+//! identical across thread counts.
+
+use crate::runtime::PruneKind;
+use buffy_analysis::{FxBuildHasher, StaticBounds};
+use buffy_graph::{Rational, StorageDistribution};
+use std::collections::{BTreeMap, HashMap};
+use std::sync::Mutex;
+
+/// One throughput level's antichain of distributions.
+type Levels = BTreeMap<Rational, Vec<StorageDistribution>>;
+
+/// The oracle threaded through the exploration drivers.
+///
+/// Constructed once per search (with or without a usable
+/// [`StaticBounds`]); shared by reference, internally synchronized.
+#[derive(Debug)]
+pub(crate) struct PruneOracle {
+    /// `false` for the `static_prune: false` escape hatch: every query
+    /// answers "no proof" and nothing is recorded.
+    enabled: bool,
+    bounds: Option<StaticBounds>,
+    /// Memoized static certificates: distribution → its bound (`None`
+    /// when no finite certificate exists).
+    certs: Mutex<HashMap<StorageDistribution, Option<Rational>, FxBuildHasher>>,
+    /// Pointwise-maximal records per level: answers "some record ≥ d".
+    maximal: Mutex<Levels>,
+    /// Pointwise-minimal records per level: answers "some record ≤ d".
+    minimal: Mutex<Levels>,
+}
+
+impl PruneOracle {
+    /// An oracle over `bounds` (pass `None` to keep only dominance
+    /// pruning, e.g. for disconnected models).
+    pub(crate) fn new(bounds: Option<StaticBounds>) -> PruneOracle {
+        PruneOracle {
+            enabled: true,
+            bounds: bounds.filter(|b| b.is_usable()),
+            certs: Mutex::new(HashMap::default()),
+            maximal: Mutex::new(BTreeMap::new()),
+            minimal: Mutex::new(BTreeMap::new()),
+        }
+    }
+
+    /// An oracle that never prunes — neither statically nor by dominance
+    /// (the `static_prune: false` escape hatch; fronts are byte-identical
+    /// either way, by construction).
+    pub(crate) fn disabled() -> PruneOracle {
+        PruneOracle {
+            enabled: false,
+            ..PruneOracle::new(None)
+        }
+    }
+
+    /// Whether static certificates are available at all (test hook).
+    #[cfg(test)]
+    pub(crate) fn has_static(&self) -> bool {
+        self.bounds.is_some()
+    }
+
+    /// Records a *genuine* analysis result (a fresh evaluation or a
+    /// warm-start replay of one — never a panic-degraded zero).
+    pub(crate) fn record(&self, dist: &StorageDistribution, throughput: Rational) {
+        if !self.enabled {
+            return;
+        }
+        {
+            let mut levels = self.maximal.lock().unwrap();
+            let level = levels.entry(throughput).or_default();
+            if !level.iter().any(|r| r.dominates(dist)) {
+                level.retain(|r| !dist.dominates(r));
+                level.push(dist.clone());
+            }
+        }
+        let mut levels = self.minimal.lock().unwrap();
+        let level = levels.entry(throughput).or_default();
+        if !level.iter().any(|r| dist.dominates(r)) {
+            level.retain(|r| !r.dominates(dist));
+            level.push(dist.clone());
+        }
+    }
+
+    /// The memoized static certificate bound of `dist`.
+    pub(crate) fn static_bound(&self, dist: &StorageDistribution) -> Option<Rational> {
+        if !self.enabled {
+            return None;
+        }
+        let bounds = self.bounds.as_ref()?;
+        if let Some(&cached) = self.certs.lock().unwrap().get(dist) {
+            return cached;
+        }
+        let bound = bounds.certificate(dist).map(|c| c.bound);
+        self.certs.lock().unwrap().insert(dist.clone(), bound);
+        bound
+    }
+
+    /// A proof that `t(dist) ≤ limit`, if one exists.
+    pub(crate) fn proves_at_most(
+        &self,
+        dist: &StorageDistribution,
+        limit: &Rational,
+    ) -> Option<PruneKind> {
+        if self.dominated_upper(dist, |level| level <= limit) {
+            return Some(PruneKind::Dominance);
+        }
+        match self.static_bound(dist) {
+            Some(b) if b <= *limit => Some(PruneKind::Static),
+            _ => None,
+        }
+    }
+
+    /// A proof that `t(dist) < limit` (strictly), if one exists.
+    pub(crate) fn proves_below(
+        &self,
+        dist: &StorageDistribution,
+        limit: &Rational,
+    ) -> Option<PruneKind> {
+        if self.dominated_upper(dist, |level| level < limit) {
+            return Some(PruneKind::Dominance);
+        }
+        match self.static_bound(dist) {
+            Some(b) if b < *limit => Some(PruneKind::Static),
+            _ => None,
+        }
+    }
+
+    /// A proof that `t(dist) = 0`, if one exists.
+    pub(crate) fn proves_zero(&self, dist: &StorageDistribution) -> Option<PruneKind> {
+        self.proves_at_most(dist, &Rational::ZERO)
+    }
+
+    /// A proof that `t(dist) > 0`, if one exists (a positive record
+    /// pointwise below `dist`).
+    pub(crate) fn proves_positive(&self, dist: &StorageDistribution) -> bool {
+        let levels = self.minimal.lock().unwrap();
+        levels
+            .iter()
+            .rev()
+            .take_while(|(level, _)| **level > Rational::ZERO)
+            .any(|(_, records)| records.iter().any(|r| dist.dominates(r)))
+    }
+
+    /// Whether some record at an accepted level dominates `dist`.
+    fn dominated_upper(
+        &self,
+        dist: &StorageDistribution,
+        accept: impl Fn(&Rational) -> bool,
+    ) -> bool {
+        let levels = self.maximal.lock().unwrap();
+        levels
+            .iter()
+            .take_while(|(level, _)| accept(level))
+            .any(|(_, records)| records.iter().any(|r| r.dominates(dist)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use buffy_graph::SdfGraph;
+
+    fn d(caps: &[u64]) -> StorageDistribution {
+        StorageDistribution::from_capacities(caps.to_vec())
+    }
+
+    #[test]
+    fn dominance_proofs_follow_monotonicity() {
+        let o = PruneOracle::new(None);
+        o.record(&d(&[5, 3]), Rational::new(1, 6));
+        o.record(&d(&[4, 2]), Rational::new(1, 7));
+
+        // ⟨4, 3⟩ ≤ ⟨5, 3⟩: throughput at most 1/6.
+        assert_eq!(
+            o.proves_at_most(&d(&[4, 3]), &Rational::new(1, 6)),
+            Some(PruneKind::Dominance)
+        );
+        // …but nothing proves it below 1/7.
+        assert_eq!(o.proves_below(&d(&[4, 3]), &Rational::new(1, 7)), None);
+        // ⟨6, 3⟩ ≥ ⟨4, 2⟩ (positive record): provably positive.
+        assert!(o.proves_positive(&d(&[6, 3])));
+        // ⟨3, 1⟩ has no record below it.
+        assert!(!o.proves_positive(&d(&[3, 1])));
+        // Incomparable to all records: no upper proof either.
+        assert_eq!(o.proves_at_most(&d(&[9, 1]), &Rational::new(1, 6)), None);
+    }
+
+    #[test]
+    fn zero_records_prove_deadlock_downward() {
+        let o = PruneOracle::new(None);
+        o.record(&d(&[5, 2]), Rational::ZERO);
+        assert_eq!(o.proves_zero(&d(&[4, 2])), Some(PruneKind::Dominance));
+        assert_eq!(o.proves_zero(&d(&[5, 3])), None);
+    }
+
+    #[test]
+    fn antichain_insertion_filters_redundant_records() {
+        let o = PruneOracle::new(None);
+        let t = Rational::new(1, 4);
+        o.record(&d(&[4, 2]), t);
+        o.record(&d(&[5, 3]), t); // dominates ⟨4,2⟩: replaces it in `maximal`
+        o.record(&d(&[4, 2]), t); // re-insert: redundant there, kept in `minimal`
+        {
+            let max = o.maximal.lock().unwrap();
+            assert_eq!(max[&t], vec![d(&[5, 3])]);
+            let min = o.minimal.lock().unwrap();
+            assert_eq!(min[&t], vec![d(&[4, 2])]);
+        }
+        // Incomparable records coexist at one level.
+        o.record(&d(&[2, 9]), t);
+        assert_eq!(o.maximal.lock().unwrap()[&t].len(), 2);
+        assert_eq!(o.minimal.lock().unwrap()[&t].len(), 2);
+    }
+
+    #[test]
+    fn static_bounds_are_memoized_and_sound() {
+        let mut b = SdfGraph::builder("example");
+        let a = b.actor("a", 1);
+        let bb = b.actor("b", 2);
+        let c = b.actor("c", 2);
+        b.channel("alpha", a, 2, bb, 3).unwrap();
+        b.channel("beta", bb, 1, c, 2).unwrap();
+        let g = b.build().unwrap();
+        let o = PruneOracle::new(Some(StaticBounds::new(&g, c).unwrap()));
+        assert!(o.has_static());
+
+        // ⟨4, 2⟩ is exactly 1/7 statically: at most 1/7, not below it.
+        assert_eq!(
+            o.proves_at_most(&d(&[4, 2]), &Rational::new(1, 7)),
+            Some(PruneKind::Static)
+        );
+        assert_eq!(o.proves_below(&d(&[4, 2]), &Rational::new(1, 7)), None);
+        // ⟨3, 2⟩ deadlocks statically.
+        assert_eq!(o.proves_zero(&d(&[3, 2])), Some(PruneKind::Static));
+        // The second query hits the certificate memo.
+        assert_eq!(o.static_bound(&d(&[4, 2])), Some(Rational::new(1, 7)));
+        assert_eq!(o.certs.lock().unwrap().len(), 2);
+    }
+
+    #[test]
+    fn disabled_oracle_never_prunes_at_all() {
+        let o = PruneOracle::disabled();
+        assert!(!o.has_static());
+        // Records are dropped: not even dominance proofs come back.
+        o.record(&d(&[5, 3]), Rational::new(1, 6));
+        assert_eq!(o.static_bound(&d(&[4, 2])), None);
+        assert_eq!(o.proves_zero(&d(&[0, 0])), None);
+        assert_eq!(o.proves_at_most(&d(&[4, 3]), &Rational::ONE), None);
+        assert!(!o.proves_positive(&d(&[9, 9])));
+    }
+}

@@ -155,6 +155,13 @@ pub struct ExplorationStats {
     /// Evaluations that panicked and were degraded to a recorded failure
     /// instead of aborting the run.
     pub failures: u64,
+    /// Candidate distributions skipped because a static cycle-ratio
+    /// certificate already decided them (no state-space analysis run).
+    pub static_prunes: u64,
+    /// Candidate distributions skipped because a pointwise-dominating or
+    /// -dominated distribution with a known throughput already decided
+    /// them (monotonicity, paper §9).
+    pub dominance_prunes: u64,
 }
 
 impl ExplorationStats {
@@ -182,6 +189,8 @@ impl PartialEq for ExplorationStats {
             && self.cache_hits == other.cache_hits
             && self.max_states == other.max_states
             && self.failures == other.failures
+            && self.static_prunes == other.static_prunes
+            && self.dominance_prunes == other.dominance_prunes
     }
 }
 
@@ -200,6 +209,13 @@ impl fmt::Display for ExplorationStats {
         if self.failures > 0 {
             write!(f, ", {} failed", self.failures)?;
         }
+        if self.static_prunes > 0 || self.dominance_prunes > 0 {
+            write!(
+                f,
+                ", {} pruned statically + {} by dominance",
+                self.static_prunes, self.dominance_prunes
+            )?;
+        }
         Ok(())
     }
 }
@@ -213,6 +229,8 @@ pub(crate) struct AtomicStats {
     max_states: AtomicU64,
     eval_nanos: AtomicU64,
     failures: AtomicU64,
+    static_prunes: AtomicU64,
+    dominance_prunes: AtomicU64,
 }
 
 impl AtomicStats {
@@ -237,6 +255,15 @@ impl AtomicStats {
         self.failures.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Records one candidate skipped by the prune oracle.
+    pub(crate) fn record_prune(&self, kind: PruneKind) {
+        match kind {
+            PruneKind::Static => &self.static_prunes,
+            PruneKind::Dominance => &self.dominance_prunes,
+        }
+        .fetch_add(1, Ordering::Relaxed);
+    }
+
     /// A consistent snapshot (callers take it after all workers joined).
     pub(crate) fn snapshot(&self) -> ExplorationStats {
         ExplorationStats {
@@ -245,8 +272,60 @@ impl AtomicStats {
             max_states: self.max_states.load(Ordering::Relaxed),
             eval_nanos: self.eval_nanos.load(Ordering::Relaxed),
             failures: self.failures.load(Ordering::Relaxed),
+            static_prunes: self.static_prunes.load(Ordering::Relaxed),
+            dominance_prunes: self.dominance_prunes.load(Ordering::Relaxed),
         }
     }
+}
+
+/// Why the prune oracle skipped a candidate distribution without running
+/// (or even enqueueing) its state-space analysis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PruneKind {
+    /// A capacity-aware cycle-ratio certificate decided the candidate
+    /// (static upper bound at or below what the search still needed).
+    Static,
+    /// A previously evaluated pointwise-comparable distribution decided
+    /// the candidate (throughput monotonicity).
+    Dominance,
+}
+
+impl PruneKind {
+    /// Stable machine-readable name (used in JSON traces).
+    pub fn name(&self) -> &'static str {
+        match self {
+            PruneKind::Static => "static-bound",
+            PruneKind::Dominance => "dominance",
+        }
+    }
+}
+
+impl fmt::Display for PruneKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A memoized evaluation: the throughput plus the replay metadata that
+/// lets the dependency-guided search answer storage-dependency queries
+/// from the cache (`has_replay_meta` is `false` for entries that were
+/// warm-started or degraded, where no genuine analysis ran).
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct CachedEval {
+    /// Throughput of the observed actor under the distribution.
+    pub(crate) throughput: Rational,
+    /// Whether the execution deadlocked.
+    pub(crate) deadlocked: bool,
+    /// Time at which the periodic phase was entered.
+    pub(crate) cycle_entry_time: u64,
+    /// Length of one period of the periodic phase.
+    pub(crate) period: u64,
+    /// Whether `deadlocked`/`cycle_entry_time`/`period` come from a real
+    /// analysis and can seed a dependency replay.
+    pub(crate) has_replay_meta: bool,
+    /// Whether the analysis panicked and was degraded to zero throughput
+    /// (such entries are terminal: no replay, no dominance record).
+    pub(crate) failed: bool,
 }
 
 /// How complete a search result is: exact, or truncated by cancellation.
@@ -410,6 +489,11 @@ pub trait ExploreObserver: Sync {
     fn pareto_accepted(&self, point: &ParetoPoint) {
         let _ = point;
     }
+
+    /// The prune oracle skipped `dist` without running its analysis.
+    fn distribution_pruned(&self, dist: &StorageDistribution, kind: PruneKind) {
+        let _ = (dist, kind);
+    }
 }
 
 /// The do-nothing observer: the default for all non-`_observed` entry
@@ -503,7 +587,7 @@ mod tests {
             cache_hits: 5,
             max_states: 42,
             eval_nanos: 1_000,
-            failures: 0,
+            ..ExplorationStats::default()
         };
         let b = ExplorationStats {
             eval_nanos: 999_999,
@@ -517,6 +601,16 @@ mod tests {
         assert_ne!(a, c);
         let d = ExplorationStats { failures: 1, ..a };
         assert_ne!(a, d);
+        let e = ExplorationStats {
+            static_prunes: 3,
+            ..a
+        };
+        assert_ne!(a, e);
+        let f = ExplorationStats {
+            dominance_prunes: 2,
+            ..a
+        };
+        assert_ne!(a, f);
         assert_eq!(a.requests(), 15);
         assert!((a.cache_hit_rate() - 1.0 / 3.0).abs() < 1e-12);
         assert_eq!(ExplorationStats::default().cache_hit_rate(), 0.0);
@@ -560,6 +654,23 @@ mod tests {
         assert_eq!(
             partial.to_string(),
             "partial (truncated by deadline, 12 distributions skipped)"
+        );
+    }
+
+    #[test]
+    fn prune_kinds_are_recorded_and_named() {
+        assert_eq!(PruneKind::Static.name(), "static-bound");
+        assert_eq!(PruneKind::Dominance.to_string(), "dominance");
+        let stats = AtomicStats::new();
+        stats.record_prune(PruneKind::Static);
+        stats.record_prune(PruneKind::Static);
+        stats.record_prune(PruneKind::Dominance);
+        let s = stats.snapshot();
+        assert_eq!((s.static_prunes, s.dominance_prunes), (2, 1));
+        assert!(
+            s.to_string()
+                .contains("2 pruned statically + 1 by dominance"),
+            "{s}"
         );
     }
 

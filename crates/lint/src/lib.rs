@@ -19,6 +19,8 @@
 //! | B007 | warning  | dead actor (detached from the dataflow) |
 //! | B008 | warning  | modelling smell (starved self-loop, zero-time cycle) |
 //! | B009 | warning  | distribution-space explosion — bound the exploration (`--timeout`, `--checkpoint`) |
+//! | B010 | error    | channel capacity statically saturates the throughput below the requested constraint |
+//! | B011 | warning  | constraint already met at the §7 lower-bound distribution — exploration trivially solvable |
 //!
 //! Each check is a separate [`Rule`] object; [`Registry::with_default_rules`]
 //! collects them all and [`lint_sdf`] / [`lint_csdf`] run the registry.

@@ -6,9 +6,12 @@
 //! per-channel capacity lower bounds. This keeps every rule
 //! representation-agnostic and means each check is written once.
 
+use buffy_analysis::{throughput_for, Capacities, ExplorationLimits, StaticBounds};
 use buffy_csdf::{csdf_channel_lower_bound, csdf_channel_step, csdf_maximal_throughput, CsdfGraph};
 use buffy_csdf::{CsdfError, CsdfRepetitionVector};
-use buffy_graph::{ActorId, ChannelId, GraphError, Rational, RepetitionVector, SdfGraph};
+use buffy_graph::{
+    ActorId, ChannelId, GraphError, Rational, RepetitionVector, SdfGraph, StorageDistribution,
+};
 
 /// Why a repetition vector could not be computed.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -246,6 +249,42 @@ impl Model<'_> {
             Model::Sdf(g) => buffy_analysis::maximal_throughput(g, observed).ok(),
             Model::Csdf(g) => csdf_maximal_throughput(g, observed).ok(),
         }
+    }
+
+    /// The static capacity-aware cycle-ratio bounds of the model, when
+    /// the static pass can certify it (consistent and connected).
+    pub fn static_bounds(&self, observed: ActorId) -> Option<StaticBounds> {
+        let bounds = match self {
+            Model::Sdf(g) => StaticBounds::new(*g, observed).ok()?,
+            Model::Csdf(g) => StaticBounds::new(*g, observed).ok()?,
+        };
+        bounds.is_usable().then_some(bounds)
+    }
+
+    /// The §7 lower-bound distribution: every channel at its capacity
+    /// lower bound.
+    pub fn lower_bound_distribution(&self) -> StorageDistribution {
+        StorageDistribution::from_capacities(
+            (0..self.num_channels())
+                .map(|i| self.capacity_lower_bound(ChannelId::new(i)))
+                .collect(),
+        )
+    }
+
+    /// The exact throughput of `observed` under `dist` (default
+    /// state-space limits), when the analysis succeeds.
+    pub fn exact_throughput(
+        &self,
+        dist: &StorageDistribution,
+        observed: ActorId,
+    ) -> Option<Rational> {
+        let caps = Capacities::from_distribution(dist);
+        let limits = ExplorationLimits::default();
+        match self {
+            Model::Sdf(g) => throughput_for(*g, caps, observed, limits).ok(),
+            Model::Csdf(g) => throughput_for(*g, caps, observed, limits).ok(),
+        }
+        .map(|r| r.throughput)
     }
 }
 

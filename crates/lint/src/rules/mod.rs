@@ -8,6 +8,7 @@ mod deadlock;
 mod explosion;
 mod overflow;
 mod smells;
+mod static_bounds;
 mod throughput;
 
 use crate::diagnostic::{Diagnostic, Report};
@@ -22,6 +23,7 @@ pub use deadlock::TokenFreeCycle;
 pub use explosion::{SpaceExplosion, DEFAULT_SPACE_THRESHOLD};
 pub use overflow::OverflowRisk;
 pub use smells::ModellingSmells;
+pub use static_bounds::{StaticSaturation, TriviallySatisfiable};
 pub use throughput::InfeasibleConstraint;
 
 /// One static check over a model.
@@ -66,6 +68,8 @@ impl Registry {
         r.push(Box::new(DeadActor));
         r.push(Box::new(ModellingSmells));
         r.push(Box::new(SpaceExplosion));
+        r.push(Box::new(StaticSaturation));
+        r.push(Box::new(TriviallySatisfiable));
         r
     }
 
@@ -110,7 +114,10 @@ mod tests {
         let codes: Vec<&str> = r.rules().iter().map(|rule| rule.code()).collect();
         assert_eq!(
             codes,
-            vec!["B001", "B002", "B003", "B004", "B005", "B006", "B007", "B008", "B009"]
+            vec![
+                "B001", "B002", "B003", "B004", "B005", "B006", "B007", "B008", "B009", "B010",
+                "B011"
+            ]
         );
         // Codes are unique and names are non-empty.
         for rule in r.rules() {
