@@ -244,6 +244,33 @@ impl<T> StateStore<T> {
         &self.probes
     }
 
+    /// Empties the store for reuse, keeping its allocations: the arena is
+    /// cleared, the table is zeroed in place, and the probe statistics
+    /// restart. The next analysis pays no allocation until it outgrows
+    /// whatever this store already holds.
+    pub fn reset(&mut self) {
+        self.reset_with_capacity(0);
+    }
+
+    /// [`Self::reset`] plus a capacity hint: after the call the table can
+    /// absorb roughly `capacity` states without growing (and rehashing).
+    /// The hint only pre-sizes memory — interning results are identical
+    /// for any hint, including zero.
+    pub fn reset_with_capacity(&mut self, capacity: usize) {
+        self.items.clear();
+        self.probes = ProbeStats::default();
+        let needed = (capacity * 8 / 7 + 1).next_power_of_two().max(16);
+        if needed > self.table.len() {
+            self.table = vec![EMPTY; needed];
+            self.mask = needed - 1;
+        } else {
+            self.table.fill(EMPTY);
+        }
+        if capacity > self.items.capacity() {
+            self.items.reserve(capacity);
+        }
+    }
+
     /// Number of interned states.
     pub fn len(&self) -> usize {
         self.items.len()
@@ -411,6 +438,48 @@ mod tests {
         assert_eq!(stats.probes, 1 + 1 + 1 + 2);
         assert_eq!(stats.tally[0], 3);
         assert_eq!(stats.tally[1], 1);
+    }
+
+    #[test]
+    fn reset_reuses_allocations_and_reproduces_results() {
+        let mut store: StateStore<u64> = StateStore::new();
+        for v in 0..100u64 {
+            store.intern_with(fx_hash(&v), |s| *s == v, || v);
+        }
+        let grown_table = store.table.len();
+        assert!(grown_table > 16, "store never grew");
+        store.reset();
+        assert!(store.is_empty());
+        assert_eq!(store.probe_stats().lookups, 0);
+        // The table keeps its grown size; re-interning reproduces the same
+        // indices as a fresh store would.
+        assert_eq!(store.table.len(), grown_table);
+        for v in [7u64, 3, 7] {
+            store.intern_with(fx_hash(&v), |s| *s == v, || v);
+        }
+        assert_eq!(store.items(), &[7, 3]);
+        assert_eq!(store.get(fx_hash(&3u64), |s| *s == 3), Some(1));
+        assert_eq!(store.get(fx_hash(&99u64), |s| *s == 99), None);
+    }
+
+    #[test]
+    fn reset_capacity_hint_presizes_without_changing_results() {
+        let mut fresh: StateStore<u64> = StateStore::new();
+        let mut hinted: StateStore<u64> = StateStore::new();
+        hinted.reset_with_capacity(1000);
+        let table_before = hinted.table.len();
+        assert!(table_before >= 1024);
+        for v in 0..500u64 {
+            fresh.intern_with(fx_hash(&v), |s| *s == v, || v);
+            hinted.intern_with(fx_hash(&v), |s| *s == v, || v);
+        }
+        // Identical arenas and lookups; the hinted store never grew.
+        assert_eq!(fresh.items(), hinted.items());
+        assert_eq!(hinted.table.len(), table_before);
+        // A smaller hint never shrinks an already-grown table.
+        hinted.reset_with_capacity(1);
+        assert_eq!(hinted.table.len(), table_before);
+        assert!(hinted.is_empty());
     }
 
     #[test]

@@ -226,18 +226,82 @@ pub fn throughput_for_with_cancel<M: DataflowSemantics>(
     limits: ExplorationLimits,
     cancel: &CancelToken,
 ) -> Result<ThroughputReport, AnalysisError> {
+    let mut workspace = AnalysisWorkspace::new();
+    throughput_for_reusing(model, caps, observed, limits, cancel, &mut workspace, 0)
+}
+
+/// Reusable per-analysis allocations: the reduced-state interner plus the
+/// time/firing bookkeeping vectors of the cycle search.
+///
+/// One workspace serves one analysis at a time; between analyses it is
+/// *reset, not reallocated*, so a worker that evaluates thousands of
+/// distributions pays the arena's allocation (and the interner's grow/
+/// rehash ladder) once instead of per distribution. A workspace never
+/// changes any computed value — the self-timed execution is fully
+/// determined by the model and the capacities; the workspace only decides
+/// where the intermediate states live.
+#[derive(Debug, Default)]
+pub struct AnalysisWorkspace {
+    store: StateStore<ReducedState>,
+    times: Vec<u64>,
+    firing_counts: Vec<u32>,
+}
+
+impl AnalysisWorkspace {
+    /// Creates an empty workspace.
+    pub fn new() -> AnalysisWorkspace {
+        AnalysisWorkspace::default()
+    }
+
+    /// Readies the workspace for one analysis expected to store about
+    /// `state_hint` reduced states (0 = no expectation): everything is
+    /// cleared, allocations are kept, and the interner table is pre-sized
+    /// so the hinted analysis never grows it mid-search.
+    fn prepare(&mut self, state_hint: usize) {
+        self.store.reset_with_capacity(state_hint);
+        self.times.clear();
+        self.firing_counts.clear();
+        if state_hint > self.times.capacity() {
+            self.times.reserve(state_hint);
+            self.firing_counts.reserve(state_hint);
+        }
+    }
+}
+
+/// [`throughput_for_with_cancel`] over a caller-owned
+/// [`AnalysisWorkspace`], the warm-start entry point of the evaluation
+/// pipeline: `state_hint` carries a neighbouring distribution's recorded
+/// state count (0 when no neighbour is known) so the interner starts at
+/// the right size instead of growing through the power-of-two ladder.
+///
+/// The report is byte-identical to [`throughput_for_with_cancel`]'s for
+/// every workspace state and every hint — the hint is a memory-layout
+/// seed, never a behavioural one.
+///
+/// # Errors
+///
+/// See [`throughput_for_with_cancel`].
+#[allow(clippy::too_many_arguments)]
+pub fn throughput_for_reusing<M: DataflowSemantics>(
+    model: &M,
+    caps: Capacities,
+    observed: ActorId,
+    limits: ExplorationLimits,
+    cancel: &CancelToken,
+    workspace: &mut AnalysisWorkspace,
+    state_hint: usize,
+) -> Result<ThroughputReport, AnalysisError> {
+    workspace.prepare(state_hint);
     // Telemetry is observation-only and fetched once per analysis: when no
     // recorder is installed this is a single relaxed load and a branch.
     let telemetry = buffy_telemetry::active().map(AnalysisTelemetry::new);
     if telemetry.is_none() {
-        let mut store: StateStore<ReducedState> = StateStore::new();
-        return cycle_search(model, caps, observed, limits, cancel, &mut store);
+        return cycle_search(model, caps, observed, limits, cancel, workspace);
     }
     let started = Instant::now();
-    let mut store: StateStore<ReducedState> = StateStore::new();
-    let result = cycle_search(model, caps, observed, limits, cancel, &mut store);
+    let result = cycle_search(model, caps, observed, limits, cancel, workspace);
     if let Some(tel) = &telemetry {
-        tel.record(&store, started.elapsed().as_nanos() as u64);
+        tel.record(&workspace.store, started.elapsed().as_nanos() as u64);
     }
     result
 }
@@ -296,20 +360,24 @@ impl AnalysisTelemetry {
     }
 }
 
-/// The cycle search proper; `store` is owned by the caller so telemetry
-/// can read its statistics on every exit path.
+/// The cycle search proper; the workspace is owned by the caller (and
+/// already prepared) so telemetry can read its statistics on every exit
+/// path and the allocations outlive the analysis.
 fn cycle_search<M: DataflowSemantics>(
     model: &M,
     caps: Capacities,
     observed: ActorId,
     limits: ExplorationLimits,
     cancel: &CancelToken,
-    store: &mut StateStore<ReducedState>,
+    workspace: &mut AnalysisWorkspace,
 ) -> Result<ThroughputReport, AnalysisError> {
+    let AnalysisWorkspace {
+        store,
+        times, // time of each reduced state
+        firing_counts,
+    } = workspace;
     let mut engine = DataflowEngine::new(model, caps);
     let initial = engine.start_initial()?;
-    let mut times: Vec<u64> = Vec::new(); // time of each reduced state
-    let mut firing_counts: Vec<u32> = Vec::new();
     let mut last_completion: u64 = 0;
 
     // The observed actor may complete during the initial start phase when
@@ -638,5 +706,109 @@ mod tests {
         // only receives 3 tokens per 3 time units → throughput 1... the
         // source fires back-to-back, so the sink fires once per step.
         assert_eq!(thr(&g, &[6], "t"), Rational::ONE);
+    }
+
+    // The `workspace` tests double as the Miri target for the arena
+    // (`cargo miri test -p buffy-analysis --lib throughput::tests::workspace`).
+
+    #[test]
+    fn workspace_reuse_reproduces_reports() {
+        // One workspace serving many analyses (including a deadlocked one
+        // in the middle) must produce reports identical to fresh calls.
+        let g = example();
+        let c = g.actor_by_name("c").unwrap();
+        static NEVER: CancelToken = CancelToken::new();
+        let mut ws = AnalysisWorkspace::new();
+        for caps in [
+            vec![4u64, 2],
+            vec![20, 20],
+            vec![4, 1], // deadlocks
+            vec![7, 3],
+            vec![4, 2], // repeat after larger runs
+        ] {
+            let fresh = throughput(&g, &StorageDistribution::from_capacities(caps.clone()), c);
+            let reused = throughput_for_reusing(
+                &g,
+                Capacities::from_distribution(&StorageDistribution::from_capacities(caps)),
+                c,
+                ExplorationLimits::default(),
+                &NEVER,
+                &mut ws,
+                0,
+            );
+            assert_eq!(fresh.unwrap(), reused.unwrap());
+        }
+    }
+
+    #[test]
+    fn workspace_state_hint_never_changes_the_report() {
+        // The hint is a layout seed only: wildly wrong hints in both
+        // directions still reproduce the unhinted report byte-for-byte.
+        let g = example();
+        let c = g.actor_by_name("c").unwrap();
+        static NEVER: CancelToken = CancelToken::new();
+        let dist = StorageDistribution::from_capacities(vec![7, 3]);
+        let baseline = throughput(&g, &dist, c).unwrap();
+        for hint in [0usize, 1, baseline.states_stored, 10_000] {
+            let mut ws = AnalysisWorkspace::new();
+            let hinted = throughput_for_reusing(
+                &g,
+                Capacities::from_distribution(&dist),
+                c,
+                ExplorationLimits::default(),
+                &NEVER,
+                &mut ws,
+                hint,
+            )
+            .unwrap();
+            assert_eq!(baseline, hinted, "hint {hint} changed the report");
+        }
+    }
+
+    #[test]
+    fn workspace_errors_leave_it_reusable() {
+        // A limit error mid-analysis must not poison the workspace for
+        // the next analysis.
+        let g = example();
+        let c = g.actor_by_name("c").unwrap();
+        static NEVER: CancelToken = CancelToken::new();
+        let mut ws = AnalysisWorkspace::new();
+        let tight = ExplorationLimits {
+            max_steps: 2,
+            ..ExplorationLimits::default()
+        };
+        let dist = StorageDistribution::from_capacities(vec![7, 3]);
+        let err = throughput_for_reusing(
+            &g,
+            Capacities::from_distribution(&dist),
+            c,
+            ExplorationLimits::default(),
+            &NEVER,
+            &mut ws,
+            0,
+        )
+        .map(|_| ());
+        assert!(err.is_ok());
+        assert!(throughput_for_reusing(
+            &g,
+            Capacities::from_distribution(&dist),
+            c,
+            tight,
+            &NEVER,
+            &mut ws,
+            0,
+        )
+        .is_err());
+        let after = throughput_for_reusing(
+            &g,
+            Capacities::from_distribution(&dist),
+            c,
+            ExplorationLimits::default(),
+            &NEVER,
+            &mut ws,
+            0,
+        )
+        .unwrap();
+        assert_eq!(after, throughput(&g, &dist, c).unwrap());
     }
 }

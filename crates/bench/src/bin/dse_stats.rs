@@ -18,6 +18,15 @@
 //! counters (`static_prunes`, `dominance_prunes`) and the gallery gains
 //! the cd2dat (fig-7) graph. All v2 keys are unchanged; the CI regression
 //! gate reads `evaluations` and `shard_hit_rates` from this file.
+//!
+//! Schema v4: each run record additionally carries the warm-start
+//! counters of the evaluation pipeline — `warm_starts` (cold evaluations
+//! whose allocations were pre-sized from a neighbouring distribution's
+//! record), `warm_start_hit_rate` (their share of all evaluations) and
+//! `warm_start_states` (the summed state counts those hints carried).
+//! These are allocation-layer effects only: every other statistic and the
+//! fronts are byte-identical with warm starts on or off. All v3 keys are
+//! unchanged.
 
 use buffy_bench::format_table;
 use buffy_core::{
@@ -100,7 +109,8 @@ fn json_record(r: &Run) -> String {
          \"evaluations\":{},\"cache_hits\":{},\"cache_hit_rate\":{:.4},\
          \"static_prunes\":{},\"dominance_prunes\":{},\"max_states\":{},\
          \"eval_nanos\":{},\"pareto_points\":{},\
-         \"eval_latency_ns\":{{\"p50\":{},\"p90\":{},\"p99\":{}}},\"shard_hit_rates\":[{}]}}",
+         \"eval_latency_ns\":{{\"p50\":{},\"p90\":{},\"p99\":{}}},\"shard_hit_rates\":[{}],\
+         \"warm_starts\":{},\"warm_start_hit_rate\":{:.4},\"warm_start_states\":{}}}",
         r.graph,
         r.algorithm,
         r.threads,
@@ -116,7 +126,10 @@ fn json_record(r: &Run) -> String {
         latency.p50(),
         latency.p90(),
         latency.p99(),
-        shard_rates.join(",")
+        shard_rates.join(","),
+        s.warm_starts,
+        s.warm_start_hit_rate(),
+        s.warm_start_states
     )
 }
 
@@ -193,7 +206,7 @@ fn main() {
 
     let records: Vec<String> = runs.iter().map(json_record).collect();
     let json = format!(
-        "{{\"bench\":\"dse_stats\",\"schema\":3,\"auto_threads\":{},\"runs\":[\n  {}\n]}}\n",
+        "{{\"bench\":\"dse_stats\",\"schema\":4,\"auto_threads\":{},\"runs\":[\n  {}\n]}}\n",
         auto,
         records.join(",\n  ")
     );

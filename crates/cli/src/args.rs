@@ -52,6 +52,7 @@ const KNOWN_FLAGS: &[&str] = &[
     "force",
     "help",
     "no-static-prune",
+    "no-warm-start",
     "progress",
 ];
 

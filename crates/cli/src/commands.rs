@@ -50,6 +50,7 @@ fn explore_options(parsed: &ParsedArgs, graph: &SdfGraph) -> Result<ExploreOptio
         quantum: parsed.get("quantum")?,
         threads: parsed.get("threads")?.unwrap_or(1),
         static_prune: !parsed.has_flag("no-static-prune"),
+        warm_start_neighbours: !parsed.has_flag("no-warm-start"),
         ..ExploreOptions::default()
     })
 }
@@ -173,13 +174,16 @@ fn telemetry_section(snapshot: Option<&buffy_telemetry::Snapshot>) -> String {
 /// Renders the exploration statistics as a JSON object.
 fn stats_json(stats: &ExplorationStats) -> String {
     format!(
-        "{{\"evaluations\":{},\"cache_hits\":{},\"static_prunes\":{},\"dominance_prunes\":{},\"max_states\":{},\"eval_nanos\":{}}}",
+        "{{\"evaluations\":{},\"cache_hits\":{},\"static_prunes\":{},\"dominance_prunes\":{},\"max_states\":{},\"eval_nanos\":{},\"warm_starts\":{},\"warm_start_hit_rate\":{:.4},\"warm_start_states\":{}}}",
         stats.evaluations,
         stats.cache_hits,
         stats.static_prunes,
         stats.dominance_prunes,
         stats.max_states,
-        stats.eval_nanos
+        stats.eval_nanos,
+        stats.warm_starts,
+        stats.warm_start_hit_rate(),
+        stats.warm_start_states
     )
 }
 
@@ -752,6 +756,8 @@ pub fn csdf_explore(parsed: &ParsedArgs, out: Out<'_>) -> Result<i32, String> {
         quantum: parsed.get("quantum")?,
         cancel: Some(cancel_token(parsed)?),
         warm_start: resume_warm_start(parsed, fingerprint, graph.num_channels())?,
+        static_prune: !parsed.has_flag("no-static-prune"),
+        warm_start_neighbours: !parsed.has_flag("no-warm-start"),
         ..buffy_csdf::CsdfExploreOptions::default()
     };
     let observer = observer_from(parsed, fingerprint, graph.num_channels())?;

@@ -60,7 +60,8 @@ COMMANDS:
                                       inputs
     explore <graph.xml> [--algorithm guided|exhaustive] [--actor NAME]
             [--quantum R] [--max-size N] [--threads N] [--csv] [--json]
-            [--no-static-prune] [--progress] [--trace-json FILE]
+            [--no-static-prune] [--no-warm-start] [--progress]
+            [--trace-json FILE]
             [--metrics FILE] [--chrome-trace FILE] [--timeout SECS]
             [--max-evals N] [--checkpoint FILE] [--resume FILE]
                                       chart the Pareto space; CSDF inputs
@@ -78,7 +79,11 @@ COMMANDS:
                                       certificate and dominance pruning
                                       (the front is byte-identical either
                                       way; the run just evaluates more
-                                      distributions);
+                                      distributions); --no-warm-start
+                                      disables seeding each evaluation's
+                                      allocations from a neighbouring
+                                      distribution's record (again
+                                      byte-identical, just slower);
                                       --metrics writes a Prometheus
                                       textfile snapshot and --chrome-trace
                                       a Chrome trace-event JSON (load in
@@ -115,7 +120,8 @@ COMMANDS:
                                       throughput of a CSDF graph under one
                                       storage distribution
     csdf-explore <graph.xml> [--actor NAME] [--max-size N] [--threads N]
-                 [--quantum R] [--csv] [--json] [--progress]
+                 [--quantum R] [--csv] [--json] [--no-static-prune]
+                 [--no-warm-start] [--progress]
                  [--trace-json FILE] [--metrics FILE] [--chrome-trace FILE]
                  [--timeout SECS] [--max-evals N]
                  [--checkpoint FILE] [--resume FILE]

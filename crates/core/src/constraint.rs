@@ -10,8 +10,9 @@
 use crate::bounds::upper_bound_distribution_with;
 use crate::enumerate::DistributionSpace;
 use crate::error::ExploreError;
-use crate::explore::{salvage, Evaluator, ExploreOptions, SKIP_COUNT_CAP};
+use crate::explore::{salvage, ExploreOptions, SKIP_COUNT_CAP};
 use crate::pareto::ParetoPoint;
+use crate::pipeline::EvalPipeline;
 use crate::runtime::{
     Completeness, EvaluationFailure, ExplorationStats, ExploreObserver, NoopObserver, SearchPhase,
 };
@@ -125,7 +126,7 @@ pub fn min_storage_for_throughput_observed<M: DataflowSemantics + Sync>(
     if let Some(caps) = &options.max_channel_caps {
         space = space.with_max_capacities(caps);
     }
-    let eval = Evaluator::new(model, observed, options, observer);
+    let eval = EvalPipeline::new(model, observed, options, observer);
     let recorder = buffy_telemetry::active();
     let pruned_counter = recorder.as_ref().map(|r| {
         r.counter(

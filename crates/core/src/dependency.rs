@@ -21,8 +21,9 @@
 use crate::bounds::upper_bound_distribution_with;
 use crate::enumerate::DistributionSpace;
 use crate::error::ExploreError;
-use crate::explore::{Evaluator, ExplorationResult, ExploreOptions};
+use crate::explore::{ExplorationResult, ExploreOptions};
 use crate::pareto::{ParetoPoint, ParetoSet};
+use crate::pipeline::{clip_front, EvalPipeline};
 use crate::runtime::{Completeness, ExploreObserver, NoopObserver, SearchPhase, SkippedSize};
 use buffy_analysis::{
     dependencies_from_run_for, throughput_with_dependencies_for, CancelReason, DataflowSemantics,
@@ -39,13 +40,20 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 /// [`explore_design_space`](crate::explore_design_space); the `threads`
 /// option is ignored (the frontier is evaluated sequentially) and
 /// `quantum` only thins the reported front. Evaluations run through the
-/// same sharded memoised evaluator as the exhaustive search: bound probes
-/// are cached (a frontier candidate landing on a probed distribution is a
+/// same `EvalPipeline` as the exhaustive search: bound probes are
+/// cached (a frontier candidate landing on a probed distribution is a
 /// cache hit, not a re-analysis), checkpointed `warm_start` throughputs
-/// are replayed, and the static-certificate prune oracle skips candidates
-/// it can prove deadlocked. A cancel token is honoured between frontier
-/// candidates (and inside the bounds-phase analyses): when it trips, the
-/// unexpanded frontier is reported as skipped sizes on a partial result.
+/// are replayed, cold analyses warm-start from cached neighbours, and
+/// the static-certificate / dominance prune oracle skips candidates it
+/// can prove deadlocked (deriving their children from the deadlock
+/// replay). Once an accepted point reaches the graph's maximal
+/// throughput — at a size no larger than any queued candidate, by the
+/// size-ordered frontier — the remaining frontier is provably dominated
+/// and drained through the oracle: one cheap certificate replaces each
+/// state-space analysis the unpruned search would have run. A cancel
+/// token is honoured between frontier candidates (and inside the
+/// bounds-phase analyses): when it trips, the unexpanded frontier is
+/// reported as skipped sizes on a partial result.
 ///
 /// # Errors
 ///
@@ -109,7 +117,7 @@ pub fn explore_dependency_guided_observed<M: DataflowSemantics + Sync>(
     let space = DistributionSpace::for_model(model);
     let lb_size = space.min_size();
 
-    let eval = Evaluator::new(model, observed, options, observer);
+    let eval = EvalPipeline::new(model, observed, options, observer);
     let cancel = options.cancel.clone().unwrap_or_default();
     let recorder = buffy_telemetry::active();
     let guided_skip_counter = |reason: &str| {
@@ -160,6 +168,16 @@ pub fn explore_dependency_guided_observed<M: DataflowSemantics + Sync>(
 
     let mut found_positive = false;
     let mut truncated: Option<CancelReason> = None;
+    // Best throughput accepted so far. The frontier pops candidates in
+    // nondecreasing size, so the point achieving `best` has size no
+    // larger than any queued candidate; once `best` reaches the graph's
+    // maximal achievable throughput, no remaining candidate can enter
+    // the front (entering requires strictly greater throughput than
+    // every no-larger point, and `thr_max_graph` bounds every
+    // distribution) — the rest of the frontier is drained through the
+    // prune oracle, one cheap certificate in place of each state-space
+    // analysis the unpruned search would have run.
+    let mut best = Rational::ZERO;
 
     while let Some(&Reverse((size, _))) = frontier.peek() {
         // The frontier is consumed one candidate at a time, so the cancel
@@ -172,6 +190,20 @@ pub fn explore_dependency_guided_observed<M: DataflowSemantics + Sync>(
         let Some(Reverse((_, dist))) = frontier.pop() else {
             unreachable!("peeked entry vanished");
         };
+        if !best.is_zero() && best >= thr_max_graph {
+            // Ceiling drain. The candidate is dominated whatever the
+            // oracle says (see `best` above); consulting it anyway
+            // attributes the skipped analysis to the certificate — which
+            // always proves `≤ thr_max_graph` here, since the augmented
+            // expansion contains every cycle of the plain one — and no
+            // children are needed (they are dominated for the same
+            // reason). Pruning *before* the ceiling is not attempted: a
+            // pruned candidate's dependent set is unknown without an
+            // analysis, and growing every channel instead explodes
+            // combinatorially on wide graphs.
+            let _ = eval.prunes_at_most(&dist, &best);
+            continue;
+        }
         // A statically proven deadlock skips the state-space analysis
         // entirely: the candidate contributes no front point (its
         // throughput is exactly zero), and its children come from the
@@ -194,6 +226,9 @@ pub fn explore_dependency_guided_observed<M: DataflowSemantics + Sync>(
             let thr = entry.throughput;
             if !thr.is_zero() {
                 found_positive = true;
+                if thr > best {
+                    best = thr;
+                }
                 let p = ParetoPoint::new(dist.clone(), thr);
                 if pareto.insert(p.clone()) {
                     observer.pareto_accepted(&p);
@@ -300,29 +335,7 @@ pub fn explore_dependency_guided_observed<M: DataflowSemantics + Sync>(
 
     // Optional thinning / clipping to match the exhaustive explorer's
     // options semantics.
-    if options.quantum.is_some()
-        || options.min_throughput.is_some()
-        || options.max_throughput.is_some()
-    {
-        let min_t = options.min_throughput.unwrap_or(Rational::ZERO);
-        let max_t = options.max_throughput.unwrap_or(thr_max_graph);
-        let mut thinned = ParetoSet::new();
-        let mut last_level: Option<Rational> = None;
-        for p in pareto.points() {
-            if p.throughput < min_t || p.throughput > max_t {
-                continue;
-            }
-            if let Some(quantum) = options.quantum {
-                let level = p.throughput.quantize_down(quantum);
-                if last_level == Some(level) {
-                    continue;
-                }
-                last_level = Some(level);
-            }
-            thinned.insert(p.clone());
-        }
-        pareto = thinned;
-    }
+    let pareto = clip_front(pareto, options, thr_max_graph);
 
     let stats = eval.stats();
     Ok(ExplorationResult {

@@ -35,23 +35,17 @@ use crate::bounds::upper_bound_distribution_with;
 use crate::enumerate::DistributionSpace;
 use crate::error::ExploreError;
 use crate::pareto::{ParetoPoint, ParetoSet};
-use crate::prune::PruneOracle;
+use crate::pipeline::{clip_front, EvalPipeline};
 use crate::runtime::{
-    resolve_threads, AtomicStats, CachedEval, Completeness, EvaluationFailure, ExplorationStats,
-    ExploreObserver, NoopObserver, PruneKind, SearchPhase, ShardedCache, SkippedSize, EVAL_CHUNK,
+    Completeness, EvaluationFailure, ExplorationStats, ExploreObserver, NoopObserver, SearchPhase,
+    SkippedSize, EVAL_CHUNK,
 };
-use buffy_analysis::{
-    throughput_for_with_cancel, CancelReason, CancelToken, Capacities, DataflowSemantics,
-    ExplorationLimits, StaticBounds,
-};
+use buffy_analysis::{CancelReason, CancelToken, DataflowSemantics, ExplorationLimits};
 use buffy_graph::{ActorId, Rational, SdfGraph, StorageDistribution};
 use buffy_telemetry::{labeled, names};
 use std::collections::HashMap;
 use std::ops::ControlFlow;
-use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex, OnceLock};
-use std::time::Instant;
+use std::sync::Arc;
 
 /// Cap on how many distributions of a single skipped size are counted when
 /// annotating a truncated result — the annotation pass must not itself
@@ -102,6 +96,14 @@ pub struct ExploreOptions {
     /// count and zero wall time), not a cache hit — so a resumed run
     /// reproduces the front and the statistics of an uninterrupted one.
     pub warm_start: Option<Arc<WarmStart>>,
+    /// Whether cold analyses may warm-start from a neighbouring
+    /// distribution's cached record: the neighbour's state count
+    /// pre-sizes the analysis arena (see the `pipeline` module). Purely an
+    /// allocation-layer optimization — fronts and deterministic
+    /// statistics are byte-identical with it on or off — so this toggle
+    /// (`--no-warm-start` on the CLI) exists for cross-checking and
+    /// measurement.
+    pub warm_start_neighbours: bool,
     /// Whether the prune oracle may skip candidate evaluations it can
     /// decide without simulation: static capacity-aware cycle-ratio
     /// certificates plus monotone dominance records. Pruning is
@@ -129,6 +131,7 @@ impl Default for ExploreOptions {
             max_channel_caps: None,
             cancel: None,
             warm_start: None,
+            warm_start_neighbours: true,
             static_prune: true,
             fail_distribution: None,
         }
@@ -163,371 +166,6 @@ pub struct ExplorationResult {
     pub stats: ExplorationStats,
 }
 
-/// Shared evaluation engine with memoization and statistics, generic over
-/// the model class.
-///
-/// The memo cache is sharded ([`ShardedCache`]) and all counters are
-/// atomics ([`AtomicStats`]): concurrent workers never serialize on a
-/// whole-cache lock, and the only mutex footprint on the hot path is the
-/// per-shard lock guarding an individual `HashMap`.
-pub(crate) struct Evaluator<'a, M: DataflowSemantics + Sync> {
-    model: &'a M,
-    observed: ActorId,
-    limits: ExplorationLimits,
-    cache: ShardedCache<StorageDistribution, CachedEval>,
-    stats: AtomicStats,
-    threads: usize,
-    observer: &'a dyn ExploreObserver,
-    cancel: Arc<CancelToken>,
-    warm_start: Option<Arc<WarmStart>>,
-    fail_distribution: Option<StorageDistribution>,
-    failures: Mutex<Vec<EvaluationFailure>>,
-    telemetry: Option<EvalTelemetry>,
-    shard_stats_published: AtomicBool,
-    /// Static-certificate + dominance prune oracle ([`crate::prune`]).
-    /// Genuine results are recorded as they land; proofs are only queried
-    /// from the driver thread between evaluation chunks, so decisions are
-    /// deterministic across thread counts.
-    oracle: PruneOracle,
-}
-
-/// Telemetry handles of one evaluator run, fetched once at construction:
-/// when no recorder is installed the evaluator pays a single branch, and
-/// when one is, the hot path records through these `Arc`s without any
-/// registry lookup or lock.
-pub(crate) struct EvalTelemetry {
-    recorder: Arc<buffy_telemetry::Recorder>,
-    latency: Arc<buffy_telemetry::Histogram>,
-    short_circuits: Arc<buffy_telemetry::Counter>,
-    static_prunes: Arc<buffy_telemetry::Counter>,
-    dominance_prunes: Arc<buffy_telemetry::Counter>,
-}
-
-impl EvalTelemetry {
-    pub(crate) fn fetch() -> Option<EvalTelemetry> {
-        buffy_telemetry::active().map(|recorder| EvalTelemetry {
-            latency: recorder.histogram(
-                names::EVAL_LATENCY_NS,
-                "Evaluation wall latency per memoised throughput analysis, in nanoseconds.",
-            ),
-            short_circuits: recorder.counter(
-                names::EVALS_SHORT_CIRCUITED,
-                "Per-size sweeps cut short because the monotonicity ceiling was reached.",
-            ),
-            static_prunes: recorder.counter(
-                names::STATIC_PRUNES,
-                "Candidates skipped by a static cycle-ratio certificate.",
-            ),
-            dominance_prunes: recorder.counter(
-                names::DOMINANCE_PRUNES,
-                "Candidates skipped by a monotone dominance record.",
-            ),
-            recorder,
-        })
-    }
-}
-
-/// Renders a panic payload for failure reporting.
-pub(crate) fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
-    if let Some(s) = payload.downcast_ref::<&str>() {
-        (*s).to_string()
-    } else if let Some(s) = payload.downcast_ref::<String>() {
-        s.clone()
-    } else {
-        "non-string panic payload".to_string()
-    }
-}
-
-impl<'a, M: DataflowSemantics + Sync> Evaluator<'a, M> {
-    pub(crate) fn new(
-        model: &'a M,
-        observed: ActorId,
-        options: &ExploreOptions,
-        observer: &'a dyn ExploreObserver,
-    ) -> Evaluator<'a, M> {
-        // A model the static pass cannot certify (disconnected, no
-        // consistent repetition vector, …) silently degrades to
-        // dominance-only pruning — the oracle never guesses.
-        let oracle = if options.static_prune {
-            PruneOracle::new(StaticBounds::new(model, observed).ok())
-        } else {
-            PruneOracle::disabled()
-        };
-        Evaluator {
-            model,
-            observed,
-            limits: options.limits,
-            cache: ShardedCache::new(),
-            stats: AtomicStats::new(),
-            threads: resolve_threads(options.threads),
-            observer,
-            cancel: options.cancel.clone().unwrap_or_default(),
-            warm_start: options.warm_start.clone(),
-            fail_distribution: options.fail_distribution.clone(),
-            failures: Mutex::new(Vec::new()),
-            telemetry: EvalTelemetry::fetch(),
-            shard_stats_published: AtomicBool::new(false),
-            oracle,
-        }
-    }
-
-    /// Memoized throughput of one distribution.
-    ///
-    /// Warm-start entries are replayed on first request as recorded
-    /// evaluations (checkpointed state count, zero wall time): a resumed
-    /// run reproduces both the front and the statistics of an
-    /// uninterrupted one. A panicking analysis is contained here: it is
-    /// recorded as an [`EvaluationFailure`], cached as zero throughput
-    /// (deterministic on re-request), and the search continues.
-    pub(crate) fn eval(&self, dist: &StorageDistribution) -> Result<Rational, ExploreError> {
-        Ok(self.eval_full(dist)?.throughput)
-    }
-
-    /// [`Evaluator::eval`] plus the cached replay metadata — what the
-    /// dependency-guided search needs to answer storage-dependency
-    /// queries without re-running the state-space analysis.
-    pub(crate) fn eval_full(&self, dist: &StorageDistribution) -> Result<CachedEval, ExploreError> {
-        if let Some(entry) = self.cache.get(dist) {
-            self.stats.record_cache_hit();
-            self.observer.cache_hit(dist);
-            return Ok(entry);
-        }
-        if let Some(warm) = &self.warm_start {
-            if let Some(&(t, states)) = warm.get(dist) {
-                self.observer.evaluation_started(dist);
-                self.stats.record_evaluation(states, 0);
-                let entry = CachedEval {
-                    throughput: t,
-                    deadlocked: t.is_zero(),
-                    cycle_entry_time: 0,
-                    period: 0,
-                    has_replay_meta: false,
-                    failed: false,
-                };
-                self.cache.insert(dist.clone(), entry);
-                // A replayed checkpoint entry is a genuine result: it must
-                // seed the same dominance records as the run it restores,
-                // or a resumed run would prune differently.
-                self.oracle.record(dist, t);
-                self.observer.evaluation_finished(dist, t, states, 0);
-                self.cancel.note_evaluation();
-                return Ok(entry);
-            }
-        }
-        self.observer.evaluation_started(dist);
-        let trace_ts = self
-            .telemetry
-            .as_ref()
-            .map(|t| t.recorder.elapsed_us())
-            .unwrap_or(0);
-        let start = Instant::now();
-        let attempt = catch_unwind(AssertUnwindSafe(|| {
-            if self.fail_distribution.as_ref() == Some(dist) {
-                panic!("injected evaluation failure (fail_distribution test hook)");
-            }
-            throughput_for_with_cancel(
-                self.model,
-                Capacities::from_distribution(dist),
-                self.observed,
-                self.limits,
-                &self.cancel,
-            )
-        }));
-        match attempt {
-            Ok(report) => {
-                let report = report?;
-                let nanos = start.elapsed().as_nanos() as u64;
-                let states = report.states_stored as u64;
-                self.stats.record_evaluation(states, nanos);
-                if let Some(t) = &self.telemetry {
-                    t.latency.record(nanos);
-                    t.recorder
-                        .trace_complete_at("eval", trace_ts, nanos / 1_000);
-                }
-                let entry = CachedEval {
-                    throughput: report.throughput,
-                    deadlocked: report.deadlocked,
-                    cycle_entry_time: report.cycle_entry_time,
-                    period: report.period,
-                    has_replay_meta: true,
-                    failed: false,
-                };
-                self.cache.insert(dist.clone(), entry);
-                self.oracle.record(dist, report.throughput);
-                self.observer
-                    .evaluation_finished(dist, report.throughput, states, nanos);
-                self.cancel.note_evaluation();
-                Ok(entry)
-            }
-            Err(payload) => {
-                let message = panic_message(payload.as_ref());
-                self.stats.record_failure();
-                let entry = CachedEval {
-                    throughput: Rational::ZERO,
-                    deadlocked: true,
-                    cycle_entry_time: 0,
-                    period: 0,
-                    has_replay_meta: false,
-                    failed: true,
-                };
-                // Degraded zero-throughput is *not* a genuine result: it
-                // is cached (deterministic on re-request) but never
-                // recorded in the oracle — a panic proves nothing about
-                // the real throughput, so it must not seed proofs.
-                self.cache.insert(dist.clone(), entry);
-                self.failures.lock().unwrap().push(EvaluationFailure {
-                    distribution: dist.clone(),
-                    message: message.clone(),
-                });
-                self.observer.evaluation_failed(dist, &message);
-                self.cancel.note_evaluation();
-                Ok(entry)
-            }
-        }
-    }
-
-    /// Registers one oracle-decided skip with the statistics, the
-    /// observer and telemetry.
-    fn note_prune(&self, dist: &StorageDistribution, kind: PruneKind) {
-        self.stats.record_prune(kind);
-        self.observer.distribution_pruned(dist, kind);
-        if let Some(t) = &self.telemetry {
-            match kind {
-                PruneKind::Static => t.static_prunes.inc(),
-                PruneKind::Dominance => t.dominance_prunes.inc(),
-            }
-        }
-    }
-
-    /// Whether the oracle proves `t(dist) ≤ limit`; a successful proof is
-    /// counted as a prune. Exactness: a candidate at or below the current
-    /// best cannot improve the front (updates require strictly greater
-    /// throughput), so skipping it changes nothing but the work done.
-    pub(crate) fn prunes_at_most(&self, dist: &StorageDistribution, limit: &Rational) -> bool {
-        match self.oracle.proves_at_most(dist, limit) {
-            Some(kind) => {
-                self.note_prune(dist, kind);
-                true
-            }
-            None => false,
-        }
-    }
-
-    /// Whether the oracle proves `t(dist) < limit` (strictly); counted as
-    /// a prune on success.
-    pub(crate) fn prunes_below(&self, dist: &StorageDistribution, limit: &Rational) -> bool {
-        match self.oracle.proves_below(dist, limit) {
-            Some(kind) => {
-                self.note_prune(dist, kind);
-                true
-            }
-            None => false,
-        }
-    }
-
-    /// Whether the oracle proves `t(dist) = 0`; counted as a prune on
-    /// success.
-    pub(crate) fn prunes_zero(&self, dist: &StorageDistribution) -> bool {
-        match self.oracle.proves_zero(dist) {
-            Some(kind) => {
-                self.note_prune(dist, kind);
-                true
-            }
-            None => false,
-        }
-    }
-
-    /// Whether the oracle proves `t(dist) > 0` (a positive dominance
-    /// record pointwise below `dist`); counted as a prune on success.
-    pub(crate) fn proves_positive(&self, dist: &StorageDistribution) -> bool {
-        if self.oracle.proves_positive(dist) {
-            self.note_prune(dist, PruneKind::Dominance);
-            true
-        } else {
-            false
-        }
-    }
-
-    /// Evaluates a batch of distributions, possibly in parallel. Results
-    /// align with the input order.
-    ///
-    /// Work is handed out through an atomic index; results land in
-    /// per-slot [`OnceLock`]s, so workers share no locks at all. Batches
-    /// always contain distinct distributions (they come from one
-    /// enumeration pass), so no two workers ever analyse the same
-    /// distribution concurrently and the evaluation count stays exact.
-    fn eval_batch(&self, batch: &[StorageDistribution]) -> Result<Vec<Rational>, ExploreError> {
-        if self.threads <= 1 || batch.len() <= 1 {
-            return batch.iter().map(|d| self.eval(d)).collect();
-        }
-        let results: Vec<OnceLock<Result<Rational, ExploreError>>> =
-            batch.iter().map(|_| OnceLock::new()).collect();
-        let next = AtomicUsize::new(0);
-        std::thread::scope(|scope| {
-            for _ in 0..self.threads.min(batch.len()) {
-                scope.spawn(|| loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    if i >= batch.len() {
-                        return;
-                    }
-                    let _ = results[i].set(self.eval(&batch[i]));
-                });
-            }
-        });
-        results
-            .into_iter()
-            .map(|slot| slot.into_inner().expect("every index evaluated"))
-            .collect()
-    }
-
-    /// Records one per-size sweep cut short by the monotonicity ceiling.
-    pub(crate) fn note_short_circuit(&self) {
-        if let Some(t) = &self.telemetry {
-            t.short_circuits.inc();
-        }
-    }
-
-    /// Snapshot of the run's statistics. Also publishes the memo cache's
-    /// per-shard hit/miss/occupancy tallies to the recorder — drivers call
-    /// this exactly once per exit path, and a guard keeps the counters
-    /// single-shot even if that ever changes.
-    pub(crate) fn stats(&self) -> ExplorationStats {
-        if let Some(t) = &self.telemetry {
-            if !self.shard_stats_published.swap(true, Ordering::Relaxed) {
-                for (i, s) in self.cache.shard_stats().iter().enumerate() {
-                    t.recorder
-                        .counter(
-                            &labeled(names::SHARD_HITS, "shard", i),
-                            "Memo-cache hits per shard.",
-                        )
-                        .add(s.hits);
-                    t.recorder
-                        .counter(
-                            &labeled(names::SHARD_MISSES, "shard", i),
-                            "Memo-cache misses per shard.",
-                        )
-                        .add(s.misses);
-                    t.recorder
-                        .gauge(
-                            &labeled(names::SHARD_ENTRIES, "shard", i),
-                            "Memo-cache entries per shard at the end of the run.",
-                        )
-                        .set(s.entries);
-                }
-            }
-        }
-        self.stats.snapshot()
-    }
-
-    /// Drains the recorded evaluation failures, sorted by distribution so
-    /// the report is deterministic across thread counts.
-    pub(crate) fn take_failures(&self) -> Vec<EvaluationFailure> {
-        let mut v = std::mem::take(&mut *self.failures.lock().unwrap());
-        v.sort_by(|a, b| a.distribution.as_slice().cmp(b.distribution.as_slice()));
-        v
-    }
-}
-
 /// Quantizes `t` down to the grid when a quantum is set.
 fn q(t: Rational, quantum: Option<Rational>) -> Rational {
     match quantum {
@@ -556,7 +194,7 @@ fn q(t: Rational, quantum: Option<Rational>) -> Rational {
 /// and with them the dominance records visible to each decision —
 /// independent of how many candidates were pruned.
 fn max_throughput_for_size<M: DataflowSemantics + Sync>(
-    eval: &Evaluator<'_, M>,
+    eval: &EvalPipeline<'_, M>,
     space: &DistributionSpace,
     size: u64,
     ceiling_q: Rational,
@@ -643,7 +281,7 @@ pub(crate) fn salvage<T>(
 /// exact consequences of results the engine already produced, so the
 /// boolean is identical with pruning on or off.
 fn has_positive<M: DataflowSemantics + Sync>(
-    eval: &Evaluator<'_, M>,
+    eval: &EvalPipeline<'_, M>,
     space: &DistributionSpace,
     size: u64,
 ) -> Result<bool, ExploreError> {
@@ -751,7 +389,7 @@ pub fn explore_design_space_observed<M: DataflowSemantics + Sync>(
     let observed = options
         .observed
         .unwrap_or_else(|| model.default_observed_actor());
-    let eval = Evaluator::new(model, observed, options, observer);
+    let eval = EvalPipeline::new(model, observed, options, observer);
     let mut space = DistributionSpace::for_model(model);
     if let Some(caps) = &options.max_channel_caps {
         space = space.with_max_capacities(caps);
@@ -999,29 +637,7 @@ pub fn explore_design_space_observed<M: DataflowSemantics + Sync>(
 
     // Clip per the requested throughput window and thin to one point per
     // quantization level (smallest size wins).
-    if options.min_throughput.is_some()
-        || options.max_throughput.is_some()
-        || options.quantum.is_some()
-    {
-        let min_t = options.min_throughput.unwrap_or(Rational::ZERO);
-        let max_t = options.max_throughput.unwrap_or(thr_max_graph);
-        let mut thinned = ParetoSet::new();
-        let mut last_level: Option<Rational> = None;
-        for p in pareto.points() {
-            if p.throughput < min_t || p.throughput > max_t {
-                continue;
-            }
-            if let Some(quantum) = options.quantum {
-                let level = p.throughput.quantize_down(quantum);
-                if last_level == Some(level) {
-                    continue;
-                }
-                last_level = Some(level);
-            }
-            thinned.insert(p.clone());
-        }
-        pareto = thinned;
-    }
+    let pareto = clip_front(pareto, options, thr_max_graph);
 
     Ok(ExplorationResult {
         pareto,
@@ -1038,6 +654,8 @@ pub fn explore_design_space_observed<M: DataflowSemantics + Sync>(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::runtime::PruneKind;
+    use std::sync::Mutex;
 
     fn example() -> SdfGraph {
         let mut b = SdfGraph::builder("example");
@@ -1357,6 +975,42 @@ mod tests {
         assert!(r.completeness.exact);
         assert_eq!(r.pareto, full.pareto);
         assert_eq!(r.stats, full.stats);
+    }
+
+    #[test]
+    fn neighbour_warm_start_changes_nothing_but_counters() {
+        // The arena warm start is allocation-layer only: front and
+        // deterministic statistics are byte-identical with it on or off,
+        // sequentially and in parallel. Only the (eq-excluded) warm-start
+        // counters differ.
+        let g = example();
+        for threads in [1, 4] {
+            let warm = explore_design_space(
+                &g,
+                &ExploreOptions {
+                    threads,
+                    ..ExploreOptions::default()
+                },
+            )
+            .unwrap();
+            let cold = explore_design_space(
+                &g,
+                &ExploreOptions {
+                    threads,
+                    warm_start_neighbours: false,
+                    ..ExploreOptions::default()
+                },
+            )
+            .unwrap();
+            assert_eq!(warm.pareto, cold.pareto, "threads {threads}");
+            assert_eq!(warm.stats, cold.stats, "threads {threads}");
+            assert_eq!(cold.stats.warm_starts, 0);
+            assert_eq!(cold.stats.warm_start_states, 0);
+            assert!(
+                warm.stats.warm_starts > 0,
+                "threads {threads}: no analysis was neighbour-seeded"
+            );
+        }
     }
 
     #[test]

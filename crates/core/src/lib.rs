@@ -68,6 +68,7 @@ mod enumerate;
 mod error;
 mod explore;
 mod pareto;
+mod pipeline;
 mod prune;
 mod runtime;
 

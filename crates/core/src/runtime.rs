@@ -108,6 +108,18 @@ impl<K: Hash + Eq, V: Copy> ShardedCache<K, V> {
         value
     }
 
+    /// Looks `key` up *without* touching the hit/miss tallies.
+    ///
+    /// This is the neighbour-probe entry point of the warm-start pipeline:
+    /// probes are speculative (most neighbours were never evaluated) and
+    /// timing-dependent under parallelism, so counting them would make
+    /// `cache_hits` and the per-shard statistics nondeterministic. A peek
+    /// is observation-only — the deterministic statistics are byte-for-byte
+    /// those of a peek-free run.
+    pub(crate) fn peek(&self, key: &K) -> Option<V> {
+        self.shard(key).lock().unwrap().map.get(key).copied()
+    }
+
     pub(crate) fn insert(&self, key: K, value: V) {
         self.shard(&key).lock().unwrap().map.insert(key, value);
     }
@@ -135,8 +147,11 @@ impl<K: Hash + Eq, V: Copy> ShardedCache<K, V> {
 /// constraint search — reports this struct, and the bench and CLI surfaces
 /// render it.
 ///
-/// Equality ignores `eval_nanos`: wall time varies run to run, while the
-/// three counters are deterministic — identical across thread counts by
+/// Equality ignores `eval_nanos` and the two warm-start counters: wall
+/// time varies run to run, and whether a neighbour's record was already
+/// in the memo cache when an evaluation started depends on worker timing
+/// — both are performance artifacts, not search outcomes. The remaining
+/// counters are deterministic — identical across thread counts by
 /// construction (fixed-size evaluation chunks), which the regression tests
 /// assert with `==`.
 #[derive(Debug, Clone, Copy, Default)]
@@ -162,6 +177,14 @@ pub struct ExplorationStats {
     /// -dominated distribution with a known throughput already decided
     /// them (monotonicity, paper §9).
     pub dominance_prunes: u64,
+    /// Evaluations whose analysis arena was pre-sized from a neighbouring
+    /// distribution's eval record. A pure allocation-layer effect: which
+    /// neighbours are cached when an evaluation starts depends on worker
+    /// timing, so this counter (like `eval_nanos`) is ignored by `==`.
+    pub warm_starts: u64,
+    /// Reduced-state capacity reused through those warm starts (sum of
+    /// the seeding records' state counts). Ignored by `==`.
+    pub warm_start_states: u64,
 }
 
 impl ExplorationStats {
@@ -179,11 +202,21 @@ impl ExplorationStats {
             self.cache_hits as f64 / total as f64
         }
     }
+
+    /// Fraction of analyses that started from a neighbour-seeded arena,
+    /// in `[0, 1]`.
+    pub fn warm_start_hit_rate(&self) -> f64 {
+        if self.evaluations == 0 {
+            0.0
+        } else {
+            self.warm_starts as f64 / self.evaluations as f64
+        }
+    }
 }
 
 impl PartialEq for ExplorationStats {
-    /// Compares the deterministic counters only; `eval_nanos` is wall
-    /// time and excluded.
+    /// Compares the deterministic counters only; `eval_nanos` (wall time)
+    /// and the warm-start counters (cache-timing artifacts) are excluded.
     fn eq(&self, other: &Self) -> bool {
         self.evaluations == other.evaluations
             && self.cache_hits == other.cache_hits
@@ -216,6 +249,14 @@ impl fmt::Display for ExplorationStats {
                 self.static_prunes, self.dominance_prunes
             )?;
         }
+        if self.warm_starts > 0 {
+            write!(
+                f,
+                ", {} warm-started ({:.0}%)",
+                self.warm_starts,
+                self.warm_start_hit_rate() * 100.0
+            )?;
+        }
         Ok(())
     }
 }
@@ -231,6 +272,8 @@ pub(crate) struct AtomicStats {
     failures: AtomicU64,
     static_prunes: AtomicU64,
     dominance_prunes: AtomicU64,
+    warm_starts: AtomicU64,
+    warm_start_states: AtomicU64,
 }
 
 impl AtomicStats {
@@ -255,6 +298,13 @@ impl AtomicStats {
         self.failures.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Records one analysis whose arena was pre-sized from a neighbour's
+    /// record of `states` reduced states.
+    pub(crate) fn record_warm_start(&self, states: u64) {
+        self.warm_starts.fetch_add(1, Ordering::Relaxed);
+        self.warm_start_states.fetch_add(states, Ordering::Relaxed);
+    }
+
     /// Records one candidate skipped by the prune oracle.
     pub(crate) fn record_prune(&self, kind: PruneKind) {
         match kind {
@@ -274,6 +324,8 @@ impl AtomicStats {
             failures: self.failures.load(Ordering::Relaxed),
             static_prunes: self.static_prunes.load(Ordering::Relaxed),
             dominance_prunes: self.dominance_prunes.load(Ordering::Relaxed),
+            warm_starts: self.warm_starts.load(Ordering::Relaxed),
+            warm_start_states: self.warm_start_states.load(Ordering::Relaxed),
         }
     }
 }
@@ -323,6 +375,10 @@ pub(crate) struct CachedEval {
     /// Whether `deadlocked`/`cycle_entry_time`/`period` come from a real
     /// analysis and can seed a dependency replay.
     pub(crate) has_replay_meta: bool,
+    /// Reduced states the analysis stored — the warm-start pipeline uses
+    /// it to pre-size a neighbouring distribution's arena (0 for replayed
+    /// or degraded entries, which seed nothing).
+    pub(crate) states_stored: u64,
     /// Whether the analysis panicked and was degraded to zero throughput
     /// (such entries are terminal: no replay, no dominance record).
     pub(crate) failed: bool,
@@ -558,6 +614,25 @@ mod tests {
     }
 
     #[test]
+    fn peek_reads_without_touching_the_tallies() {
+        let cache: ShardedCache<StorageDistribution, Rational> = ShardedCache::new();
+        let d = StorageDistribution::from_capacities(vec![4, 2]);
+        let missing = StorageDistribution::from_capacities(vec![9, 9]);
+        assert_eq!(cache.peek(&d), None);
+        cache.insert(d.clone(), Rational::ONE);
+        assert_eq!(cache.peek(&d), Some(Rational::ONE));
+        assert_eq!(cache.peek(&missing), None);
+        let stats = cache.shard_stats();
+        let hits: u64 = stats.iter().map(|s| s.hits).sum();
+        let misses: u64 = stats.iter().map(|s| s.misses).sum();
+        assert_eq!((hits, misses), (0, 0), "peek must not tally");
+        // A tallying get still works as before.
+        assert_eq!(cache.get(&d), Some(Rational::ONE));
+        let hits: u64 = cache.shard_stats().iter().map(|s| s.hits).sum();
+        assert_eq!(hits, 1);
+    }
+
+    #[test]
     fn sharded_cache_is_concurrently_usable() {
         let cache: ShardedCache<StorageDistribution, Rational> = ShardedCache::new();
         std::thread::scope(|scope| {
@@ -611,9 +686,19 @@ mod tests {
             ..a
         };
         assert_ne!(a, f);
+        // Warm-start counters are cache-timing artifacts: excluded from
+        // `==` just like wall time.
+        let g = ExplorationStats {
+            warm_starts: 7,
+            warm_start_states: 1234,
+            ..a
+        };
+        assert_eq!(a, g);
         assert_eq!(a.requests(), 15);
         assert!((a.cache_hit_rate() - 1.0 / 3.0).abs() < 1e-12);
         assert_eq!(ExplorationStats::default().cache_hit_rate(), 0.0);
+        assert!((g.warm_start_hit_rate() - 0.7).abs() < 1e-12);
+        assert_eq!(ExplorationStats::default().warm_start_hit_rate(), 0.0);
     }
 
     #[test]
@@ -626,6 +711,7 @@ mod tests {
                     for i in 0..100 {
                         stats.record_evaluation(i, 10);
                         stats.record_cache_hit();
+                        stats.record_warm_start(i);
                     }
                 });
             }
@@ -635,6 +721,9 @@ mod tests {
         assert_eq!(s.cache_hits, 400);
         assert_eq!(s.max_states, 99);
         assert_eq!(s.eval_nanos, 4_000);
+        assert_eq!(s.warm_starts, 400);
+        assert_eq!(s.warm_start_states, 4 * 4950);
+        assert!((s.warm_start_hit_rate() - 1.0).abs() < 1e-12);
     }
 
     #[test]

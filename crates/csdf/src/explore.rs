@@ -47,7 +47,7 @@ pub fn csdf_channel_step(channel: &CsdfChannel) -> u64 {
 }
 
 /// Options for the CSDF exploration.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct CsdfExploreOptions {
     /// Observed actor (default: the graph's default).
     pub observed: Option<ActorId>,
@@ -72,6 +72,32 @@ pub struct CsdfExploreOptions {
     /// as recorded evaluations so a resumed run reproduces an
     /// uninterrupted one exactly.
     pub warm_start: Option<Arc<WarmStart>>,
+    /// Run the static certificate pass before evaluating (default `true`);
+    /// disable to measure its effect.
+    pub static_prune: bool,
+    /// Seed each cold evaluation's allocations from a neighbouring
+    /// distribution's recorded state count (default `true`). Purely an
+    /// allocation-layer hint: fronts and statistics (other than the
+    /// warm-start counters) are identical either way.
+    pub warm_start_neighbours: bool,
+}
+
+impl Default for CsdfExploreOptions {
+    // Manual impl: the derive would default the booleans to `false`, but
+    // pruning and neighbour warm starts are on unless explicitly disabled.
+    fn default() -> Self {
+        Self {
+            observed: None,
+            max_size: None,
+            limits: CsdfLimits::default(),
+            threads: 0,
+            quantum: None,
+            cancel: None,
+            warm_start: None,
+            static_prune: true,
+            warm_start_neighbours: true,
+        }
+    }
 }
 
 /// Result of a CSDF exploration.
@@ -163,6 +189,8 @@ pub fn csdf_explore_observed(
         threads: options.threads,
         cancel: options.cancel.clone(),
         warm_start: options.warm_start.clone(),
+        static_prune: options.static_prune,
+        warm_start_neighbours: options.warm_start_neighbours,
         ..ExploreOptions::default()
     };
     let r =
