@@ -52,6 +52,7 @@
 
 mod budget;
 mod dependencies;
+mod energy;
 mod engine;
 mod error;
 pub mod graph_algos;
@@ -72,6 +73,7 @@ pub use dependencies::{
     dependencies_from_run_for, throughput_with_dependencies, throughput_with_dependencies_for,
     DependencyReport,
 };
+pub use energy::{schedule_energy_per_iteration, EnergyModel};
 pub use engine::{
     Capacities, DataflowEngine, DataflowState, Engine, FiringEvents, FiringOutcome, SdfState,
 };

@@ -108,6 +108,22 @@ pub trait DataflowSemantics {
     /// The granularity at which growing `channel` can change behaviour;
     /// the exploration only tries capacities `lower_bound + k * step`.
     fn channel_step(&self, channel: ChannelId) -> u64;
+
+    /// Power drawn per time step while `actor` is firing.
+    ///
+    /// Zero (the default) means the model carries no power annotation;
+    /// the energy objective of such a model is identically zero.
+    fn active_power(&self, _actor: ActorId) -> u64 {
+        0
+    }
+
+    /// Power drawn per time step while `actor` sits idle between firings.
+    ///
+    /// Never exceeds [`active_power`](Self::active_power) for models
+    /// built through the validated constructors.
+    fn idle_power(&self, _actor: ActorId) -> u64 {
+        0
+    }
 }
 
 /// The buffer minimal for a live channel (\[ALP97\]/\[Mur96\], paper §8):
@@ -205,6 +221,14 @@ impl DataflowSemantics for SdfGraph {
     fn channel_step(&self, channel: ChannelId) -> u64 {
         let ch = self.channel(channel);
         rate_step(ch.production(), ch.consumption())
+    }
+
+    fn active_power(&self, actor: ActorId) -> u64 {
+        self.actor(actor).active_power()
+    }
+
+    fn idle_power(&self, actor: ActorId) -> u64 {
+        self.actor(actor).idle_power()
     }
 }
 

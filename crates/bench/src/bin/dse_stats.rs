@@ -27,11 +27,17 @@
 //! These are allocation-layer effects only: every other statistic and the
 //! fronts are byte-identical with warm starts on or off. All v3 keys are
 //! unchanged.
+//!
+//! Schema v5: each run record additionally carries an `energy` column —
+//! the exact rational energy per iteration of the front's fastest point,
+//! rendered as a string, or `null` for runs in the default 2D objective
+//! space — and the gallery gains guided energy-aware runs over the
+//! power-annotated modem and cd2dat variants. All v4 keys are unchanged.
 
 use buffy_bench::format_table;
 use buffy_core::{
     explore_dependency_guided, explore_design_space, resolve_threads, ExplorationResult,
-    ExploreOptions,
+    ExploreOptions, ObjectiveSpace,
 };
 use buffy_gen::gallery;
 use buffy_graph::SdfGraph;
@@ -104,13 +110,23 @@ fn json_record(r: &Run) -> String {
         .into_iter()
         .map(|(_, rate)| format!("{rate:.4}"))
         .collect();
+    // Schema v5's energy column: the fastest front point's exact energy
+    // per iteration, present exactly when the run declared the axis.
+    let energy = r
+        .result
+        .pareto
+        .maximal()
+        .and_then(|p| p.energy())
+        .map(|e| format!("\"{e}\""))
+        .unwrap_or_else(|| "null".to_string());
     format!(
         "{{\"graph\":\"{}\",\"algorithm\":\"{}\",\"threads\":{},\"wall_secs\":{:.6},\
          \"evaluations\":{},\"cache_hits\":{},\"cache_hit_rate\":{:.4},\
          \"static_prunes\":{},\"dominance_prunes\":{},\"max_states\":{},\
          \"eval_nanos\":{},\"pareto_points\":{},\
          \"eval_latency_ns\":{{\"p50\":{},\"p90\":{},\"p99\":{}}},\"shard_hit_rates\":[{}],\
-         \"warm_starts\":{},\"warm_start_hit_rate\":{:.4},\"warm_start_states\":{}}}",
+         \"warm_starts\":{},\"warm_start_hit_rate\":{:.4},\"warm_start_states\":{},\
+         \"energy\":{energy}}}",
         r.graph,
         r.algorithm,
         r.threads,
@@ -169,6 +185,31 @@ fn main() {
         runs.extend([one, many, guided]);
     }
 
+    // Schema v5: guided energy-aware runs over the power-annotated
+    // subjects. The 3D space reuses the same evaluations — the energy
+    // axis is derived from each recorded throughput — so these runs cost
+    // what their 2D counterparts cost.
+    for graph in &[gallery::modem_power(), gallery::cd2dat_power()] {
+        let opts = ExploreOptions {
+            objectives: ObjectiveSpace::with_energy(),
+            ..ExploreOptions::default()
+        };
+        let guided = run(graph, "guided", 1, || {
+            explore_dependency_guided(graph, &opts).expect("exploration succeeds")
+        });
+        assert!(
+            guided
+                .result
+                .pareto
+                .points()
+                .iter()
+                .all(|p| p.energy().is_some()),
+            "{}: every front point must carry its exact energy",
+            graph.name()
+        );
+        runs.push(guided);
+    }
+
     let rows: Vec<Vec<String>> = runs
         .iter()
         .map(|r| {
@@ -206,7 +247,7 @@ fn main() {
 
     let records: Vec<String> = runs.iter().map(json_record).collect();
     let json = format!(
-        "{{\"bench\":\"dse_stats\",\"schema\":4,\"auto_threads\":{},\"runs\":[\n  {}\n]}}\n",
+        "{{\"bench\":\"dse_stats\",\"schema\":5,\"auto_threads\":{},\"runs\":[\n  {}\n]}}\n",
         auto,
         records.join(",\n  ")
     );

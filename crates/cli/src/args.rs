@@ -41,6 +41,9 @@ const VALUE_OPTIONS: &[&str] = &[
     "space-threshold",
     "metrics",
     "chrome-trace",
+    "objectives",
+    "export-csv",
+    "export-dot",
 ];
 
 /// Boolean flags the commands understand; anything else starting with
@@ -217,6 +220,37 @@ mod tests {
         // All of them require a value.
         assert!(parse(&args(&["--timeout"])).is_err());
         assert!(parse(&args(&["--resume"])).is_err());
+    }
+
+    #[test]
+    fn objective_options_parse() {
+        let p = parse(&args(&[
+            "explore",
+            "g.xml",
+            "--objectives",
+            "storage,throughput,energy",
+            "--export-csv",
+            "front.csv",
+            "--export-dot",
+            "front.dot",
+        ]))
+        .unwrap();
+        assert_eq!(
+            p.options.get("objectives").map(String::as_str),
+            Some("storage,throughput,energy")
+        );
+        assert_eq!(
+            p.options.get("export-csv").map(String::as_str),
+            Some("front.csv")
+        );
+        assert_eq!(
+            p.options.get("export-dot").map(String::as_str),
+            Some("front.dot")
+        );
+        // All three require a value.
+        assert!(parse(&args(&["--objectives"])).is_err());
+        assert!(parse(&args(&["--export-csv"])).is_err());
+        assert!(parse(&args(&["--export-dot"])).is_err());
     }
 
     #[test]

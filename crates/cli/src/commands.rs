@@ -11,13 +11,14 @@ use buffy_core::{
     explore_dependency_guided_observed, explore_design_space_observed, lower_bound_distribution,
     lower_bound_distribution_for, min_storage_for_throughput_observed, CancelReason, CancelToken,
     Checkpoint, Completeness, EvaluationFailure, ExplorationResult, ExplorationStats, ExploreError,
-    ExploreOptions, ParetoPoint, SkippedSize, WarmStart,
+    ExploreOptions, ObjectiveKind, ObjectiveSpace, ParetoPoint, SkippedSize, WarmStart,
 };
 use buffy_gen::{gallery, RandomGraphConfig};
 use buffy_graph::dot::to_dot;
 use buffy_graph::xml::{read_sdf_xml, write_sdf_xml};
 use buffy_graph::{ActorId, ChannelId, Rational, RepetitionVector, SdfGraph, StorageDistribution};
 use buffy_lint::{lint_csdf, lint_sdf, LintContext, Severity};
+use std::fmt::Write as _;
 use std::io::Write;
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
@@ -43,6 +44,15 @@ fn observed_actor(parsed: &ParsedArgs, graph: &SdfGraph) -> Result<ActorId, Stri
     }
 }
 
+/// Parses `--objectives storage,throughput[,energy][,latency]`; absent
+/// means the paper's default storage/throughput pair.
+fn objective_space(parsed: &ParsedArgs) -> Result<ObjectiveSpace, String> {
+    match parsed.options.get("objectives") {
+        None => Ok(ObjectiveSpace::default_2d()),
+        Some(v) => v.parse().map_err(|e| format!("invalid --objectives: {e}")),
+    }
+}
+
 fn explore_options(parsed: &ParsedArgs, graph: &SdfGraph) -> Result<ExploreOptions, String> {
     Ok(ExploreOptions {
         observed: Some(observed_actor(parsed, graph)?),
@@ -51,6 +61,7 @@ fn explore_options(parsed: &ParsedArgs, graph: &SdfGraph) -> Result<ExploreOptio
         threads: parsed.get("threads")?.unwrap_or(1),
         static_prune: !parsed.has_flag("no-static-prune"),
         warm_start_neighbours: !parsed.has_flag("no-warm-start"),
+        objectives: objective_space(parsed)?,
         ..ExploreOptions::default()
     })
 }
@@ -67,6 +78,7 @@ fn observer_from(
     fingerprint: u64,
     channels: usize,
 ) -> Result<CliObserver, String> {
+    let objectives = objective_space(parsed)?;
     let checkpoint = parsed
         .options
         .get("checkpoint")
@@ -74,6 +86,7 @@ fn observer_from(
             path: PathBuf::from(path),
             fingerprint,
             channels,
+            objectives: objectives.clone(),
         });
     CliObserver::from_options(
         parsed.has_flag("progress"),
@@ -102,7 +115,7 @@ fn cancel_token(parsed: &ParsedArgs) -> Result<Arc<CancelToken>, String> {
 }
 
 /// Loads `--resume FILE` into a warm-start map, refusing checkpoints
-/// recorded for a different graph.
+/// recorded for a different graph or a different objective space.
 fn resume_warm_start(
     parsed: &ParsedArgs,
     fingerprint: u64,
@@ -117,6 +130,14 @@ fn resume_warm_start(
             "checkpoint {path} was recorded for a different graph \
              (fingerprint {:016x}, {} channels; this graph: {fingerprint:016x}, {channels})",
             cp.fingerprint, cp.channels
+        ));
+    }
+    let objectives = objective_space(parsed)?;
+    if cp.objectives != objectives {
+        return Err(format!(
+            "checkpoint {path} was recorded with objectives {} but this run \
+             declares {objectives}; pass a matching --objectives to resume it",
+            cp.objectives
         ));
     }
     Ok(Some(Arc::new(cp.warm_start_map())))
@@ -187,14 +208,153 @@ fn stats_json(stats: &ExplorationStats) -> String {
     )
 }
 
-/// Renders one Pareto point as a JSON object.
-fn point_json(p: &ParetoPoint) -> String {
-    format!(
-        "{{\"size\":{},\"throughput\":\"{}\",\"distribution\":{}}}",
-        p.size,
-        p.throughput,
-        dist_json(&p.distribution)
+/// Renders one Pareto point as a JSON object. The energy field appears
+/// exactly when the run declared the energy objective (the point then
+/// carries it); `latency` is the CLI-side annotation computed on the
+/// final front — `Some(None)` renders as `null` (deadlocked schedule).
+fn point_json(p: &ParetoPoint, latency: Option<Option<u64>>) -> String {
+    let mut s = format!("{{\"size\":{},\"throughput\":\"{}\"", p.size, p.throughput);
+    if let Some(e) = p.energy() {
+        let _ = write!(s, ",\"energy\":\"{e}\"");
+    }
+    match latency {
+        None => {}
+        Some(Some(l)) => {
+            let _ = write!(s, ",\"latency\":{l}");
+        }
+        Some(None) => s.push_str(",\"latency\":null"),
+    }
+    let _ = write!(s, ",\"distribution\":{}}}", dist_json(&p.distribution));
+    s
+}
+
+/// Renders the declared objective axes as a JSON array of names.
+fn objectives_json(space: &ObjectiveSpace) -> String {
+    let names: Vec<String> = space
+        .kinds()
+        .iter()
+        .map(|k| format!("\"{}\"", k.name()))
+        .collect();
+    format!("[{}]", names.join(","))
+}
+
+/// The per-point latency annotation of `points`, indexed like the front:
+/// `None` when the latency axis was not requested, otherwise one entry
+/// per point (`None` inside = the schedule deadlocks, no first output).
+type FrontLatencies = Option<Vec<Option<u64>>>;
+
+/// Computes the latency annotation for an SDF front when the space asks
+/// for it. Latency is a reporting axis, never a dominance axis, so it is
+/// derived here on the final front only (one schedule extraction per
+/// point) instead of inside the exploration kernel.
+fn front_latencies(
+    space: &ObjectiveSpace,
+    graph: &SdfGraph,
+    observed: ActorId,
+    points: &[ParetoPoint],
+) -> FrontLatencies {
+    if !space.has(ObjectiveKind::Latency) {
+        return None;
+    }
+    Some(
+        points
+            .iter()
+            .map(|p| {
+                buffy_analysis::latency(
+                    graph,
+                    &p.distribution,
+                    observed,
+                    ExplorationLimits::default(),
+                )
+                .ok()
+                .and_then(|r| r.initial_latency)
+            })
+            .collect(),
     )
+}
+
+/// Renders the front as CSV with one column per declared axis.
+fn front_csv(points: &[ParetoPoint], space: &ObjectiveSpace, latencies: &FrontLatencies) -> String {
+    let energy = space.has(ObjectiveKind::Energy);
+    let mut out = String::from("size,throughput");
+    if energy {
+        out.push_str(",energy");
+    }
+    if latencies.is_some() {
+        out.push_str(",latency");
+    }
+    out.push_str(",distribution\n");
+    for (i, p) in points.iter().enumerate() {
+        let _ = write!(out, "{},{}", p.size, p.throughput);
+        if energy {
+            let _ = write!(out, ",{}", p.energy().unwrap_or(Rational::ZERO));
+        }
+        if let Some(ls) = latencies {
+            match ls.get(i).copied().flatten() {
+                Some(l) => {
+                    let _ = write!(out, ",{l}");
+                }
+                // Deadlocked schedule: no first output, the cell stays
+                // empty rather than inventing a number.
+                None => out.push(','),
+            }
+        }
+        let _ = writeln!(out, ",\"{}\"", p.distribution);
+    }
+    out
+}
+
+/// Renders the front as a Graphviz slice: one record node per point,
+/// chained in size order so the rendering reads as the trade-off curve.
+fn front_dot(
+    name: &str,
+    points: &[ParetoPoint],
+    space: &ObjectiveSpace,
+    latencies: &FrontLatencies,
+) -> String {
+    let energy = space.has(ObjectiveKind::Energy);
+    let mut out = format!("digraph \"{}\" {{\n", name.replace('"', "'"));
+    out.push_str("  rankdir=LR;\n  node [shape=record];\n");
+    for (i, p) in points.iter().enumerate() {
+        let mut label = format!("size {}|throughput {}", p.size, p.throughput);
+        if energy {
+            let _ = write!(label, "|energy {}", p.energy().unwrap_or(Rational::ZERO));
+        }
+        if let Some(ls) = latencies {
+            match ls.get(i).copied().flatten() {
+                Some(l) => {
+                    let _ = write!(label, "|latency {l}");
+                }
+                None => label.push_str("|latency -"),
+            }
+        }
+        let _ = write!(label, "|γ = {}", p.distribution);
+        let _ = writeln!(out, "  p{i} [label=\"{{{label}}}\"];");
+        if i > 0 {
+            let _ = writeln!(out, "  p{} -> p{i};", i - 1);
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// Writes the `--export-csv` / `--export-dot` front files, if requested.
+fn export_front(
+    parsed: &ParsedArgs,
+    name: &str,
+    points: &[ParetoPoint],
+    space: &ObjectiveSpace,
+    latencies: &FrontLatencies,
+) -> Result<(), String> {
+    if let Some(path) = parsed.options.get("export-csv") {
+        std::fs::write(path, front_csv(points, space, latencies))
+            .map_err(|e| format!("cannot write {path}: {e}"))?;
+    }
+    if let Some(path) = parsed.options.get("export-dot") {
+        std::fs::write(path, front_dot(name, points, space, latencies))
+            .map_err(|e| format!("cannot write {path}: {e}"))?;
+    }
+    Ok(())
 }
 
 /// Renders the completeness marker as a JSON object.
@@ -465,18 +625,44 @@ pub fn analyze(parsed: &ParsedArgs, out: Out<'_>) -> Result<(), String> {
     Ok(())
 }
 
+/// Appends one front point to the human-readable listing, with the
+/// CLI-side latency annotation when the axis was requested.
+fn write_point_text(
+    p: &ParetoPoint,
+    i: usize,
+    latencies: &FrontLatencies,
+    out: Out<'_>,
+) -> Result<(), String> {
+    match latencies {
+        None => w(out, format_args!("{p}\n")),
+        Some(ls) => match ls.get(i).copied().flatten() {
+            Some(l) => w(out, format_args!("{p}  latency {l}\n")),
+            None => w(out, format_args!("{p}  latency -\n")),
+        },
+    }
+}
+
 fn print_front(
     result: &ExplorationResult,
     parsed: &ParsedArgs,
     telemetry: Option<&buffy_telemetry::Snapshot>,
+    space: &ObjectiveSpace,
+    latencies: &FrontLatencies,
     out: Out<'_>,
 ) -> Result<(), String> {
     if parsed.has_flag("json") {
-        let points: Vec<String> = result.pareto.points().iter().map(point_json).collect();
+        let points: Vec<String> = result
+            .pareto
+            .points()
+            .iter()
+            .enumerate()
+            .map(|(i, p)| point_json(p, latencies.as_ref().map(|ls| ls.get(i).copied().flatten())))
+            .collect();
         w(
             out,
             format_args!(
-                "{{\"pareto\":[{}],\"max_throughput\":\"{}\",\"lower_bound_size\":{},\"upper_bound_size\":{},\"completeness\":{},\"skipped\":{},\"failures\":{},\"stats\":{}{}}}\n",
+                "{{\"objectives\":{},\"pareto\":[{}],\"max_throughput\":\"{}\",\"lower_bound_size\":{},\"upper_bound_size\":{},\"completeness\":{},\"skipped\":{},\"failures\":{},\"stats\":{}{}}}\n",
+                objectives_json(space),
                 points.join(","),
                 result.max_throughput,
                 result.lower_bound_size,
@@ -489,16 +675,13 @@ fn print_front(
             ),
         )?;
     } else if parsed.has_flag("csv") {
-        w(out, format_args!("size,throughput,distribution\n"))?;
-        for p in result.pareto.points() {
-            w(
-                out,
-                format_args!("{},{},\"{}\"\n", p.size, p.throughput, p.distribution),
-            )?;
-        }
+        w(
+            out,
+            format_args!("{}", front_csv(result.pareto.points(), space, latencies)),
+        )?;
     } else {
-        for p in result.pareto.points() {
-            w(out, format_args!("{p}\n"))?;
+        for (i, p) in result.pareto.points().iter().enumerate() {
+            write_point_text(p, i, latencies, out)?;
         }
         w(
             out,
@@ -555,7 +738,21 @@ pub fn explore(parsed: &ParsedArgs, out: Out<'_>) -> Result<i32, String> {
     };
     observer.finish(end_reason(&result.completeness))?;
     let snapshot = telemetry.finish()?;
-    print_front(&result, parsed, snapshot.as_ref(), out)?;
+    let space = objective_space(parsed)?;
+    let latencies = front_latencies(
+        &space,
+        &graph,
+        observed_actor(parsed, &graph)?,
+        result.pareto.points(),
+    );
+    export_front(
+        parsed,
+        graph.name(),
+        result.pareto.points(),
+        &space,
+        &latencies,
+    )?;
+    print_front(&result, parsed, snapshot.as_ref(), &space, &latencies, out)?;
     Ok(exit_code_for(&result.completeness))
 }
 
@@ -591,7 +788,7 @@ pub fn constraint(parsed: &ParsedArgs, out: Out<'_>) -> Result<i32, String> {
             out,
             format_args!(
                 "{{\"constraint\":\"{constraint}\",\"point\":{},\"completeness\":{},\"failures\":{},\"stats\":{}{}}}\n",
-                point_json(&r.point),
+                point_json(&r.point, None),
                 completeness_json(&r.completeness),
                 failures_json(&r.failures),
                 stats_json(&r.stats),
@@ -748,6 +945,12 @@ pub fn csdf_explore(parsed: &ParsedArgs, out: Out<'_>) -> Result<i32, String> {
         ),
     };
     csdf_preflight(parsed, &graph, observed, out)?;
+    let space = objective_space(parsed)?;
+    if space.has(ObjectiveKind::Latency) {
+        return Err("the latency objective is SDF-only: csdf-explore supports \
+             --objectives storage,throughput[,energy]"
+            .into());
+    }
     let fingerprint = fx_hash(&buffy_csdf::xml::write_csdf_xml(&graph));
     let opts = buffy_csdf::CsdfExploreOptions {
         observed,
@@ -758,6 +961,7 @@ pub fn csdf_explore(parsed: &ParsedArgs, out: Out<'_>) -> Result<i32, String> {
         warm_start: resume_warm_start(parsed, fingerprint, graph.num_channels())?,
         static_prune: !parsed.has_flag("no-static-prune"),
         warm_start_neighbours: !parsed.has_flag("no-warm-start"),
+        objectives: space.clone(),
         ..buffy_csdf::CsdfExploreOptions::default()
     };
     let observer = observer_from(parsed, fingerprint, graph.num_channels())?;
@@ -774,12 +978,19 @@ pub fn csdf_explore(parsed: &ParsedArgs, out: Out<'_>) -> Result<i32, String> {
     };
     observer.finish(end_reason(&r.completeness))?;
     let snapshot = telemetry.finish()?;
+    export_front(parsed, graph.name(), r.pareto.points(), &space, &None)?;
     if parsed.has_flag("json") {
-        let points: Vec<String> = r.pareto.points().iter().map(point_json).collect();
+        let points: Vec<String> = r
+            .pareto
+            .points()
+            .iter()
+            .map(|p| point_json(p, None))
+            .collect();
         w(
             out,
             format_args!(
-                "{{\"pareto\":[{}],\"max_throughput\":\"{}\",\"completeness\":{},\"skipped\":{},\"failures\":{},\"stats\":{}{}}}\n",
+                "{{\"objectives\":{},\"pareto\":[{}],\"max_throughput\":\"{}\",\"completeness\":{},\"skipped\":{},\"failures\":{},\"stats\":{}{}}}\n",
+                objectives_json(&space),
                 points.join(","),
                 r.max_throughput,
                 completeness_json(&r.completeness),
@@ -790,13 +1001,10 @@ pub fn csdf_explore(parsed: &ParsedArgs, out: Out<'_>) -> Result<i32, String> {
             ),
         )?;
     } else if parsed.has_flag("csv") {
-        w(out, format_args!("size,throughput,distribution\n"))?;
-        for p in r.pareto.points() {
-            w(
-                out,
-                format_args!("{},{},\"{}\"\n", p.size, p.throughput, p.distribution),
-            )?;
-        }
+        w(
+            out,
+            format_args!("{}", front_csv(r.pareto.points(), &space, &None)),
+        )?;
     } else {
         for p in r.pareto.points() {
             w(out, format_args!("{p}\n"))?;
@@ -995,6 +1203,9 @@ pub fn gallery(parsed: &ParsedArgs, out: Out<'_>) -> Result<(), String> {
         "cd2dat" => gallery::cd2dat(),
         "satellite" => gallery::satellite(),
         "h263decoder" | "h263" => gallery::h263_decoder(),
+        "modem-power" => gallery::modem_power(),
+        "cd2dat-power" => gallery::cd2dat_power(),
+        "h263decoder-power" | "h263-power" => gallery::h263_decoder_power(),
         other => return Err(format!("unknown gallery graph {other:?}")),
     };
     w(out, format_args!("{}", write_sdf_xml(&graph)))

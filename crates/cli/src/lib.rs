@@ -60,6 +60,8 @@ COMMANDS:
                                       inputs
     explore <graph.xml> [--algorithm guided|exhaustive] [--actor NAME]
             [--quantum R] [--max-size N] [--threads N] [--csv] [--json]
+            [--objectives storage,throughput[,energy][,latency]]
+            [--export-csv FILE] [--export-dot FILE]
             [--no-static-prune] [--no-warm-start] [--progress]
             [--trace-json FILE]
             [--metrics FILE] [--chrome-trace FILE] [--timeout SECS]
@@ -97,7 +99,21 @@ COMMANDS:
                                       periodically saves completed
                                       evaluations and --resume warm-starts
                                       from such a file, reproducing the
-                                      uninterrupted run exactly
+                                      uninterrupted run exactly (the file
+                                      records the declared objectives and a
+                                      mismatched --objectives is refused);
+                                      --objectives declares the reported
+                                      axes: energy adds the exact energy
+                                      per iteration derived from the actor
+                                      power annotations (the front itself
+                                      is unchanged — energy is a monotone
+                                      function of throughput), latency
+                                      annotates each front point with the
+                                      time of the observed actor's first
+                                      completion (SDF only); --export-csv /
+                                      --export-dot additionally write the
+                                      front as a CSV table / Graphviz
+                                      trade-off chart
     constraint <graph.xml> --throughput R [--actor NAME] [--json]
                [--no-static-prune] [--progress] [--trace-json FILE]
                [--metrics FILE] [--chrome-trace FILE] [--timeout SECS]
@@ -115,12 +131,17 @@ COMMANDS:
                                       emit a random consistent graph as XML
     gallery <name>                    emit a built-in benchmark graph as XML
                                       (example, bipartite, modem, cd2dat,
-                                      satellite, h263decoder)
+                                      satellite, h263decoder; modem-power,
+                                      cd2dat-power and h263decoder-power
+                                      carry actor power annotations for
+                                      energy-aware runs)
     csdf-analyze <graph.xml> --dist 4,2 [--actor NAME]
                                       throughput of a CSDF graph under one
                                       storage distribution
     csdf-explore <graph.xml> [--actor NAME] [--max-size N] [--threads N]
                  [--quantum R] [--csv] [--json] [--no-static-prune]
+                 [--objectives storage,throughput[,energy]]
+                 [--export-csv FILE] [--export-dot FILE]
                  [--no-warm-start] [--progress]
                  [--trace-json FILE] [--metrics FILE] [--chrome-trace FILE]
                  [--timeout SECS] [--max-evals N]
@@ -130,9 +151,11 @@ COMMANDS:
                                       (0 = auto-detect) and --quantum
                                       coarsens the searched throughputs
                                       (reported with evaluator cache
-                                      statistics); the resilience and
-                                      telemetry options behave as for
-                                      explore
+                                      statistics); the resilience,
+                                      telemetry, objective and export
+                                      options behave as for explore,
+                                      except that the latency axis is
+                                      SDF-only and refused here
     help                              show this message
 
 analyze, explore, constraint, csdf-analyze and csdf-explore refuse models
@@ -352,6 +375,9 @@ mod tests {
             "cd2dat",
             "satellite",
             "h263decoder",
+            "modem-power",
+            "cd2dat-power",
+            "h263decoder-power",
         ] {
             let (_, xml) = run_to_string(&["gallery", name]);
             let path = std::env::temp_dir().join(format!("buffy-cli-test-check-{name}.xml"));
@@ -942,6 +968,242 @@ mod tests {
 
         std::fs::remove_file(&path).ok();
         std::fs::remove_file(&other).ok();
+        std::fs::remove_file(&ckpt).ok();
+    }
+
+    /// The example graph with every actor annotated `active=10, idle=2`
+    /// — enough to make the energy axis strictly positive and vary with
+    /// throughput.
+    fn powered_example_xml() -> String {
+        let (_, xml) = run_to_string(&["gallery", "example"]);
+        xml.replace(
+            "</processor>",
+            "</processor>\n          <power active=\"10\" idle=\"2\"/>",
+        )
+    }
+
+    #[test]
+    fn energy_objective_reports_exact_energy() {
+        let path = std::env::temp_dir().join("buffy-cli-test-energy.xml");
+        std::fs::write(&path, powered_example_xml()).unwrap();
+        let p = path.to_str().unwrap();
+
+        let (code, text) = run_to_string(&[
+            "explore",
+            p,
+            "--objectives",
+            "storage,throughput,energy",
+            "--json",
+        ]);
+        assert_eq!(code, 0, "{text}");
+        assert!(
+            text.contains("\"objectives\":[\"storage\",\"throughput\",\"energy\"]"),
+            "{text}"
+        );
+        // Every front point carries an exact, positive rational energy,
+        // and the 2D shape of the front is untouched by the declaration.
+        assert!(text.contains("\"pareto\":[{\"size\":6,"), "{text}");
+        assert!(text.contains("\"energy\":\""), "{text}");
+        assert!(!text.contains("\"energy\":\"0\""), "{text}");
+
+        // CSV gains the energy column between throughput and the
+        // distribution.
+        let (code, text) = run_to_string(&[
+            "explore",
+            p,
+            "--objectives",
+            "storage,throughput,energy",
+            "--csv",
+        ]);
+        assert_eq!(code, 0, "{text}");
+        assert!(
+            text.starts_with("size,throughput,energy,distribution\n"),
+            "{text}"
+        );
+        assert!(text.contains("6,1/7,"), "{text}");
+
+        // The default space stays exactly two columns.
+        let (code, text) = run_to_string(&["explore", p, "--csv"]);
+        assert_eq!(code, 0, "{text}");
+        assert!(text.starts_with("size,throughput,distribution\n"), "{text}");
+
+        // A space without the mandatory pair is refused up front.
+        let (code, text) = run_to_string(&["explore", p, "--objectives", "storage"]);
+        assert_eq!(code, 1, "{text}");
+        assert!(text.contains("invalid --objectives"), "{text}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn latency_objective_annotates_the_front() {
+        let (_, xml) = run_to_string(&["gallery", "example"]);
+        let path = std::env::temp_dir().join("buffy-cli-test-latency.xml");
+        std::fs::write(&path, &xml).unwrap();
+        let p = path.to_str().unwrap();
+
+        let (code, text) = run_to_string(&[
+            "explore",
+            p,
+            "--objectives",
+            "storage,throughput,latency",
+            "--json",
+        ]);
+        assert_eq!(code, 0, "{text}");
+        // The size-6 point is γ = ⟨4, 2⟩ whose first output completes at
+        // t = 9 (see buffy-analysis::latency), and the front itself is
+        // the unchanged 2D one.
+        assert!(text.contains("\"pareto\":[{\"size\":6,"), "{text}");
+        assert!(text.contains("\"latency\":9"), "{text}");
+
+        let (code, text) = run_to_string(&[
+            "explore",
+            p,
+            "--objectives",
+            "storage,throughput,latency",
+            "--csv",
+        ]);
+        assert_eq!(code, 0, "{text}");
+        assert!(
+            text.starts_with("size,throughput,latency,distribution\n"),
+            "{text}"
+        );
+
+        // The latency axis is SDF-only: the CSDF explorer refuses it.
+        let csdf = r#"<sdf3 type="csdf"><applicationGraph name="ud"><csdf name="ud">
+             <actor name="p"/><actor name="c"/>
+             <channel name="d" srcActor="p" srcRate="2,0" dstActor="c" dstRate="1"/>
+           </csdf></applicationGraph></sdf3>"#;
+        let cpath = std::env::temp_dir().join("buffy-cli-test-latency-csdf.xml");
+        std::fs::write(&cpath, csdf).unwrap();
+        let (code, text) = run_to_string(&[
+            "csdf-explore",
+            cpath.to_str().unwrap(),
+            "--objectives",
+            "storage,throughput,latency",
+        ]);
+        assert_eq!(code, 1, "{text}");
+        assert!(text.contains("SDF-only"), "{text}");
+        std::fs::remove_file(&path).ok();
+        std::fs::remove_file(&cpath).ok();
+    }
+
+    #[test]
+    fn front_export_writes_csv_and_dot() {
+        let path = std::env::temp_dir().join("buffy-cli-test-export.xml");
+        std::fs::write(&path, powered_example_xml()).unwrap();
+        let p = path.to_str().unwrap();
+        let csv = std::env::temp_dir().join("buffy-cli-test-export-front.csv");
+        let dot = std::env::temp_dir().join("buffy-cli-test-export-front.dot");
+
+        let (code, text) = run_to_string(&[
+            "explore",
+            p,
+            "--objectives",
+            "storage,throughput,energy",
+            "--export-csv",
+            csv.to_str().unwrap(),
+            "--export-dot",
+            dot.to_str().unwrap(),
+        ]);
+        assert_eq!(code, 0, "{text}");
+        // The exported CSV matches what --csv prints to stdout.
+        let csv_text = std::fs::read_to_string(&csv).unwrap();
+        assert!(
+            csv_text.starts_with("size,throughput,energy,distribution\n"),
+            "{csv_text}"
+        );
+        assert!(csv_text.contains("6,1/7,"), "{csv_text}");
+        // The DOT slice chains one record node per point in size order.
+        let dot_text = std::fs::read_to_string(&dot).unwrap();
+        assert!(dot_text.starts_with("digraph "), "{dot_text}");
+        assert!(dot_text.contains("shape=record"), "{dot_text}");
+        assert!(
+            dot_text.contains("size 6|throughput 1/7|energy "),
+            "{dot_text}"
+        );
+        assert!(dot_text.contains("p0 -> p1;"), "{dot_text}");
+
+        // csdf-explore exports through the same options.
+        let csdf = r#"<sdf3 type="csdf"><applicationGraph name="ud"><csdf name="ud">
+             <actor name="p"/><actor name="c"/>
+             <channel name="d" srcActor="p" srcRate="2,0" dstActor="c" dstRate="1"/>
+           </csdf></applicationGraph></sdf3>"#;
+        let cpath = std::env::temp_dir().join("buffy-cli-test-export-csdf.xml");
+        std::fs::write(&cpath, csdf).unwrap();
+        let (code, text) = run_to_string(&[
+            "csdf-explore",
+            cpath.to_str().unwrap(),
+            "--export-dot",
+            dot.to_str().unwrap(),
+        ]);
+        assert_eq!(code, 0, "{text}");
+        let dot_text = std::fs::read_to_string(&dot).unwrap();
+        assert!(dot_text.contains("size "), "{dot_text}");
+
+        std::fs::remove_file(&path).ok();
+        std::fs::remove_file(&cpath).ok();
+        std::fs::remove_file(&csv).ok();
+        std::fs::remove_file(&dot).ok();
+    }
+
+    #[test]
+    fn checkpoint_records_objectives_and_resume_validates_them() {
+        let path = std::env::temp_dir().join("buffy-cli-test-ckpt-obj.xml");
+        std::fs::write(&path, powered_example_xml()).unwrap();
+        let p = path.to_str().unwrap();
+        let ckpt = std::env::temp_dir().join("buffy-cli-test-ckpt-obj.ckpt");
+        let c = ckpt.to_str().unwrap();
+
+        // Truncated energy-aware run writing a checkpoint.
+        let (code, _) = run_to_string(&[
+            "explore",
+            p,
+            "--algorithm",
+            "exhaustive",
+            "--objectives",
+            "storage,throughput,energy",
+            "--max-evals",
+            "6",
+            "--checkpoint",
+            c,
+        ]);
+        assert!(code == 1 || code == 3, "unexpected code {code}");
+        assert!(ckpt.exists());
+
+        // Resuming in the default 2D space is refused with a pointer at
+        // the fix.
+        let (code, text) =
+            run_to_string(&["explore", p, "--algorithm", "exhaustive", "--resume", c]);
+        assert_eq!(code, 1, "{text}");
+        assert!(text.contains("objectives"), "{text}");
+
+        // Resuming with the matching space reproduces the clean run's
+        // front byte for byte.
+        let (code, clean) = run_to_string(&[
+            "explore",
+            p,
+            "--algorithm",
+            "exhaustive",
+            "--objectives",
+            "storage,throughput,energy",
+            "--csv",
+        ]);
+        assert_eq!(code, 0, "{clean}");
+        let (code, resumed) = run_to_string(&[
+            "explore",
+            p,
+            "--algorithm",
+            "exhaustive",
+            "--objectives",
+            "storage,throughput,energy",
+            "--csv",
+            "--resume",
+            c,
+        ]);
+        assert_eq!(code, 0, "{resumed}");
+        assert_eq!(resumed, clean);
+
+        std::fs::remove_file(&path).ok();
         std::fs::remove_file(&ckpt).ok();
     }
 

@@ -28,7 +28,8 @@
 //! JSON-escaped strings.
 
 use buffy_core::{
-    Checkpoint, CheckpointEntry, ExploreObserver, ParetoPoint, PruneKind, SearchPhase,
+    Checkpoint, CheckpointEntry, ExploreObserver, ObjectiveSpace, ParetoPoint, PruneKind,
+    SearchPhase,
 };
 use buffy_graph::{Rational, StorageDistribution};
 use std::fmt::Write as _;
@@ -54,6 +55,9 @@ pub struct CheckpointConfig {
     pub fingerprint: u64,
     /// Channel count of the graph (arity of every entry).
     pub channels: usize,
+    /// Objective space of the run, recorded in the checkpoint header so a
+    /// resume can refuse a mismatched `--objectives`.
+    pub objectives: ObjectiveSpace,
 }
 
 struct CheckpointSink {
@@ -107,9 +111,11 @@ impl CliObserver {
             }
         };
         let checkpoint = checkpoint.map(|config| {
+            let mut checkpoint = Checkpoint::new(config.fingerprint, config.channels);
+            checkpoint.objectives = config.objectives;
             Mutex::new(CheckpointSink {
                 path: config.path,
-                checkpoint: Checkpoint::new(config.fingerprint, config.channels),
+                checkpoint,
                 since_save: 0,
             })
         });
@@ -411,6 +417,7 @@ mod tests {
                 path: path.clone(),
                 fingerprint: 99,
                 channels: 2,
+                objectives: ObjectiveSpace::default_2d(),
             }),
         )
         .unwrap();

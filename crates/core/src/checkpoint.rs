@@ -11,9 +11,10 @@
 //! The on-disk format is a versioned, checksummed text file:
 //!
 //! ```text
-//! buffy-checkpoint v1
+//! buffy-checkpoint v2
 //! fingerprint 00f3a6e2d1c4b597
 //! channels 2
+//! objectives storage,throughput
 //! entries 2
 //! 4 2 1/7 42
 //! 5 3 1/6 57
@@ -26,8 +27,15 @@
 //! rejected instead of silently poisoning a resumed run. Writes go through
 //! a temporary file renamed into place, so a crash mid-write never leaves
 //! a half-written checkpoint at the target path.
+//!
+//! Version 2 adds the `objectives` header declaring the objective space
+//! the run explored. The *entries* need no new columns: the energy axis
+//! is derived from the recorded throughput when points are
+//! reconstructed, so v1 files (no `objectives` line) are still read and
+//! default to the paper's storage/throughput space.
 
 use crate::explore::WarmStart;
+use crate::objective::ObjectiveSpace;
 use buffy_analysis::fx_hash;
 use buffy_graph::{Rational, StorageDistribution};
 use std::fmt;
@@ -35,7 +43,11 @@ use std::fmt::Write as _;
 use std::path::Path;
 
 /// Magic first line identifying the format and its version.
-const MAGIC: &str = "buffy-checkpoint v1";
+const MAGIC: &str = "buffy-checkpoint v2";
+
+/// The previous format version, still accepted by [`Checkpoint::parse`]:
+/// identical except for the missing `objectives` header.
+const MAGIC_V1: &str = "buffy-checkpoint v1";
 
 /// One completed evaluation: a storage distribution with its analysed
 /// throughput and the size of the reduced state space the analysis stored.
@@ -59,6 +71,9 @@ pub struct Checkpoint {
     pub fingerprint: u64,
     /// Number of channels (length of every entry's capacity vector).
     pub channels: usize,
+    /// The objective space the checkpointed run explored (v1 files
+    /// default to the paper's storage/throughput pair).
+    pub objectives: ObjectiveSpace,
     /// The completed evaluations.
     pub entries: Vec<CheckpointEntry>,
 }
@@ -89,11 +104,14 @@ fn corrupt(m: impl Into<String>) -> CheckpointError {
 }
 
 impl Checkpoint {
-    /// An empty checkpoint for a graph with `channels` channels.
+    /// An empty checkpoint for a graph with `channels` channels, in the
+    /// default objective space (set [`objectives`](Self::objectives) for
+    /// an extended run).
     pub fn new(fingerprint: u64, channels: usize) -> Checkpoint {
         Checkpoint {
             fingerprint,
             channels,
+            objectives: ObjectiveSpace::default_2d(),
             entries: Vec::new(),
         }
     }
@@ -105,6 +123,7 @@ impl Checkpoint {
         let _ = writeln!(body, "{MAGIC}");
         let _ = writeln!(body, "fingerprint {:016x}", self.fingerprint);
         let _ = writeln!(body, "channels {}", self.channels);
+        let _ = writeln!(body, "objectives {}", self.objectives);
         let _ = writeln!(body, "entries {}", self.entries.len());
         for e in &self.entries {
             debug_assert_eq!(e.capacities.len(), self.channels);
@@ -141,7 +160,7 @@ impl Checkpoint {
 
         let mut lines = body.lines();
         let magic = lines.next().ok_or_else(|| corrupt("empty file"))?;
-        if magic != MAGIC {
+        if magic != MAGIC && magic != MAGIC_V1 {
             return Err(corrupt(format!(
                 "unsupported header {magic:?} (expected {MAGIC:?})"
             )));
@@ -158,6 +177,13 @@ impl Checkpoint {
         let channels: usize = field(lines.next(), "channels")?
             .parse()
             .map_err(|_| corrupt("malformed channel count"))?;
+        let objectives = if magic == MAGIC {
+            field(lines.next(), "objectives")?
+                .parse()
+                .map_err(|e| corrupt(format!("malformed objectives line: {e}")))?
+        } else {
+            ObjectiveSpace::default_2d()
+        };
         let count: usize = field(lines.next(), "entries")?
             .parse()
             .map_err(|_| corrupt("malformed entry count"))?;
@@ -194,6 +220,7 @@ impl Checkpoint {
         Ok(Checkpoint {
             fingerprint,
             channels,
+            objectives,
             entries,
         })
     }
@@ -255,6 +282,7 @@ mod tests {
         Checkpoint {
             fingerprint: 0x00f3_a6e2_d1c4_b597,
             channels: 2,
+            objectives: ObjectiveSpace::default_2d(),
             entries: vec![
                 CheckpointEntry {
                     capacities: vec![4, 2],
@@ -303,11 +331,38 @@ mod tests {
         let truncated = &text[..text.len() / 2];
         assert!(Checkpoint::parse(truncated).is_err());
         // A different version tag is refused even with a valid checksum.
-        let other = text.replacen("v1", "v9", 1);
+        let other = text.replacen("v2", "v9", 1);
         assert!(Checkpoint::parse(&other).is_err());
         // Entry count mismatch.
         let short = text.replacen("entries 2", "entries 3", 1);
         assert!(Checkpoint::parse(&short).is_err());
+    }
+
+    #[test]
+    fn legacy_v1_files_parse_with_default_objectives() {
+        let cp = sample();
+        let v2 = cp.render();
+        // Reconstruct what a v1 writer produced: downgrade the magic,
+        // drop the objectives header, recompute the checksum.
+        let idx = v2.rfind("\nchecksum ").unwrap();
+        let body = v2[..idx + 1].replacen("v2", "v1", 1).replacen(
+            "objectives storage,throughput\n",
+            "",
+            1,
+        );
+        let text = format!("{body}checksum {:016x}\n", fx_hash(&body));
+        let back = Checkpoint::parse(&text).unwrap();
+        assert_eq!(back, cp);
+        assert!(back.objectives.is_default());
+    }
+
+    #[test]
+    fn extended_objectives_round_trip() {
+        let mut cp = sample();
+        cp.objectives = ObjectiveSpace::with_energy();
+        let text = cp.render();
+        assert!(text.contains("objectives storage,throughput,energy\n"));
+        assert_eq!(Checkpoint::parse(&text).unwrap(), cp);
     }
 
     #[test]

@@ -170,7 +170,7 @@ pub fn min_storage_for_throughput_observed<M: DataflowSemantics + Sync>(
             }
             match eval.eval(&d) {
                 Ok(t) if t >= constraint => {
-                    hit = Some(ParetoPoint::new(d, t));
+                    hit = Some(eval.point(d, t));
                     ControlFlow::Break(())
                 }
                 Ok(_) => ControlFlow::Continue(()),
@@ -201,7 +201,7 @@ pub fn min_storage_for_throughput_observed<M: DataflowSemantics + Sync>(
                 stats: eval.stats(),
             });
         }
-        (None, None) => ParetoPoint::new(ub_dist, thr_max),
+        (None, None) => eval.point(ub_dist, thr_max),
         (None, Some(caps)) => {
             let top = ub_dist.size().max(lo).min(caps.size());
             match decide(top)? {

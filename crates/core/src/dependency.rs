@@ -22,7 +22,7 @@ use crate::bounds::upper_bound_distribution_with;
 use crate::enumerate::DistributionSpace;
 use crate::error::ExploreError;
 use crate::explore::{ExplorationResult, ExploreOptions};
-use crate::pareto::{ParetoPoint, ParetoSet};
+use crate::pareto::ParetoSet;
 use crate::pipeline::{clip_front, EvalPipeline};
 use crate::runtime::{Completeness, ExploreObserver, NoopObserver, SearchPhase, SkippedSize};
 use buffy_analysis::{
@@ -229,7 +229,7 @@ pub fn explore_dependency_guided_observed<M: DataflowSemantics + Sync>(
                 if thr > best {
                     best = thr;
                 }
-                let p = ParetoPoint::new(dist.clone(), thr);
+                let p = eval.point(dist.clone(), thr);
                 if pareto.insert(p.clone()) {
                     observer.pareto_accepted(&p);
                     if let Some(r) = &recorder {

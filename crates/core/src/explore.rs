@@ -34,7 +34,8 @@
 use crate::bounds::upper_bound_distribution_with;
 use crate::enumerate::DistributionSpace;
 use crate::error::ExploreError;
-use crate::pareto::{ParetoPoint, ParetoSet};
+use crate::objective::ObjectiveSpace;
+use crate::pareto::ParetoSet;
 use crate::pipeline::{clip_front, EvalPipeline};
 use crate::runtime::{
     Completeness, EvaluationFailure, ExplorationStats, ExploreObserver, NoopObserver, SearchPhase,
@@ -116,6 +117,13 @@ pub struct ExploreOptions {
     /// inside the worker, exercising the panic-containment path. Not for
     /// production use.
     pub fail_distribution: Option<StorageDistribution>,
+    /// The declared objective space of the exploration. The default is
+    /// the paper's storage/throughput pair; declaring the energy axis
+    /// makes every Pareto point carry the exact energy per iteration
+    /// derived from the model's actor power annotations. The energy axis
+    /// is a monotone function of the throughput axis, so the default-space
+    /// front is unchanged by the declaration (see [`crate::ObjectiveSpace`]).
+    pub objectives: ObjectiveSpace,
 }
 
 impl Default for ExploreOptions {
@@ -134,6 +142,7 @@ impl Default for ExploreOptions {
             warm_start_neighbours: true,
             static_prune: true,
             fail_distribution: None,
+            objectives: ObjectiveSpace::default_2d(),
         }
     }
 }
@@ -410,8 +419,10 @@ pub fn explore_design_space_observed<M: DataflowSemantics + Sync>(
     });
 
     // Accept a witness into the front, reporting genuinely new points.
+    // Points come out of the pipeline's factory so the declared objective
+    // space (e.g. the energy axis) is attached uniformly.
     let accept = |pareto: &mut ParetoSet, w: StorageDistribution, t: Rational| {
-        let p = ParetoPoint::new(w, t);
+        let p = eval.point(w, t);
         if pareto.insert(p.clone()) {
             observer.pareto_accepted(&p);
             if let Some(r) = &recorder {
@@ -654,6 +665,7 @@ pub fn explore_design_space_observed<M: DataflowSemantics + Sync>(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::pareto::ParetoPoint;
     use crate::runtime::PruneKind;
     use std::sync::Mutex;
 

@@ -67,6 +67,7 @@ mod dependency;
 mod enumerate;
 mod error;
 mod explore;
+mod objective;
 mod pareto;
 mod pipeline;
 mod prune;
@@ -90,6 +91,7 @@ pub use explore::{
     explore_design_space, explore_design_space_for, explore_design_space_observed,
     ExplorationResult, ExploreOptions, WarmStart,
 };
+pub use objective::{ObjectiveKind, ObjectiveSpace, ObjectiveVector, ParseObjectivesError, Sense};
 pub use pareto::{ParetoPoint, ParetoSet};
 pub use runtime::{
     resolve_threads, Completeness, EvaluationFailure, ExplorationStats, ExploreObserver,

@@ -36,7 +36,8 @@
 
 use crate::error::ExploreError;
 use crate::explore::{ExploreOptions, WarmStart};
-use crate::pareto::ParetoSet;
+use crate::objective::ObjectiveKind;
+use crate::pareto::{ParetoPoint, ParetoSet};
 use crate::prune::PruneOracle;
 use crate::runtime::{
     resolve_threads, AtomicStats, CachedEval, EvaluationFailure, ExplorationStats, ExploreObserver,
@@ -44,7 +45,7 @@ use crate::runtime::{
 };
 use buffy_analysis::{
     throughput_for_reusing, AnalysisWorkspace, CancelToken, Capacities, DataflowSemantics,
-    ExplorationLimits, StaticBounds,
+    EnergyModel, ExplorationLimits, StaticBounds,
 };
 use buffy_graph::{ActorId, ChannelId, Rational, StorageDistribution};
 use buffy_telemetry::{labeled, names};
@@ -91,6 +92,12 @@ pub(crate) struct EvalPipeline<'a, M: DataflowSemantics + Sync> {
     /// workspace that survives an analysis returns to the pool; one
     /// caught in a panic is dropped (a fresh one is created on demand).
     workspaces: Mutex<Vec<AnalysisWorkspace>>,
+    /// Energy coefficients, present exactly when the declared objective
+    /// space includes the energy axis: every [`ParetoPoint`] then carries
+    /// the exact energy per iteration derived from the throughput through
+    /// [`EnergyModel::energy_per_iteration`]. `None` keeps the factory on
+    /// the paper's 2D fast path.
+    energy: Option<EnergyModel>,
 }
 
 /// Telemetry handles of one pipeline run, fetched once at construction:
@@ -105,6 +112,7 @@ pub(crate) struct EvalTelemetry {
     dominance_prunes: Arc<buffy_telemetry::Counter>,
     warm_starts: Arc<buffy_telemetry::Counter>,
     warm_start_states: Arc<buffy_telemetry::Counter>,
+    energy_points: Arc<buffy_telemetry::Counter>,
 }
 
 impl EvalTelemetry {
@@ -133,6 +141,10 @@ impl EvalTelemetry {
             warm_start_states: recorder.counter(
                 names::WARM_START_STATES,
                 "Reduced-state capacity reused through neighbour warm starts.",
+            ),
+            energy_points: recorder.counter(
+                names::ENERGY_POINTS,
+                "Pareto candidate points whose energy objective was computed.",
             ),
             recorder,
         })
@@ -165,6 +177,15 @@ impl<'a, M: DataflowSemantics + Sync> EvalPipeline<'a, M> {
         } else {
             PruneOracle::disabled()
         };
+        // An inconsistent model has no repetition vector and therefore no
+        // energy coefficients — but such a model fails the bounds phase
+        // before any point is constructed, so degrading to `None` here is
+        // unobservable.
+        let energy = if options.objectives.has(ObjectiveKind::Energy) {
+            EnergyModel::from_semantics(model, observed).ok()
+        } else {
+            None
+        };
         EvalPipeline {
             model,
             observed,
@@ -185,6 +206,35 @@ impl<'a, M: DataflowSemantics + Sync> EvalPipeline<'a, M> {
                 .map(|i| model.channel_step(ChannelId::new(i)))
                 .collect(),
             workspaces: Mutex::new(Vec::new()),
+            energy,
+        }
+    }
+
+    /// Builds the Pareto point of one evaluated distribution in the
+    /// declared objective space: the paper's storage/throughput pair, plus
+    /// the exact energy per iteration when the energy axis is declared.
+    ///
+    /// Energy is a pure function of the throughput through the precomputed
+    /// model, so this costs no extra analysis and the memoized
+    /// [`CachedEval`] records need no new field — checkpoint replay and
+    /// warm starts reconstruct identical points for free.
+    pub(crate) fn point(
+        &self,
+        distribution: StorageDistribution,
+        throughput: Rational,
+    ) -> ParetoPoint {
+        match &self.energy {
+            Some(m) => {
+                if let Some(t) = &self.telemetry {
+                    t.energy_points.inc();
+                }
+                ParetoPoint::with_energy(
+                    distribution,
+                    throughput,
+                    m.energy_per_iteration(throughput),
+                )
+            }
+            None => ParetoPoint::new(distribution, throughput),
         }
     }
 

@@ -24,6 +24,20 @@
 //! evaluation chunks, after workers joined. Prune decisions therefore
 //! depend only on the chunk-aligned evaluation history, which is itself
 //! identical across thread counts.
+//!
+//! # Soundness under the energy objective
+//!
+//! Both proof sources bound only the *throughput* axis, yet they remain
+//! sound when the exploration also tracks energy
+//! ([`ObjectiveKind::Energy`](crate::ObjectiveKind::Energy)). Energy per
+//! iteration is a function of throughput alone — `E(t) = W + I·f/t`
+//! with model constants `W, I, f ≥ 0` (see `buffy_analysis::EnergyModel`)
+//! — and is monotone non-increasing in `t`. A distribution pruned
+//! because its throughput cannot beat an evaluated point therefore also
+//! cannot offer strictly lower energy at comparable throughput: every
+//! point the oracle skips is dominated in the extended space exactly
+//! when it is dominated in the storage/throughput plane. No
+//! energy-aware certificates are needed, and none are recorded.
 
 use crate::runtime::PruneKind;
 use buffy_analysis::{FxBuildHasher, StaticBounds};

@@ -16,7 +16,8 @@ use crate::throughput::CsdfLimits;
 use buffy_analysis::{bmlb, AnalysisError, CancelToken};
 use buffy_core::{
     explore_design_space_observed, Completeness, EvaluationFailure, ExplorationStats, ExploreError,
-    ExploreObserver, ExploreOptions, NoopObserver, ParetoSet, SkippedSize, WarmStart,
+    ExploreObserver, ExploreOptions, NoopObserver, ObjectiveSpace, ParetoSet, SkippedSize,
+    WarmStart,
 };
 use buffy_graph::{gcd_u64, ActorId, Rational};
 use std::sync::Arc;
@@ -80,6 +81,11 @@ pub struct CsdfExploreOptions {
     /// allocation-layer hint: fronts and statistics (other than the
     /// warm-start counters) are identical either way.
     pub warm_start_neighbours: bool,
+    /// The objective space to explore (default: the paper's
+    /// storage/throughput pair). Adding the energy axis requires power
+    /// annotations on the graph's actors; the latency axis is an
+    /// SDF-only CLI annotation and is rejected here by the CLI layer.
+    pub objectives: ObjectiveSpace,
 }
 
 impl Default for CsdfExploreOptions {
@@ -96,6 +102,7 @@ impl Default for CsdfExploreOptions {
             warm_start: None,
             static_prune: true,
             warm_start_neighbours: true,
+            objectives: ObjectiveSpace::default_2d(),
         }
     }
 }
@@ -191,6 +198,7 @@ pub fn csdf_explore_observed(
         warm_start: options.warm_start.clone(),
         static_prune: options.static_prune,
         warm_start_neighbours: options.warm_start_neighbours,
+        objectives: options.objectives.clone(),
         ..ExploreOptions::default()
     };
     let r =

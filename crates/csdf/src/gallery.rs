@@ -48,6 +48,34 @@ pub fn h263_rows() -> CsdfGraph {
     b.build().expect("static graph")
 }
 
+/// [`h263_rows`] with an actor power model (active/idle, dimensionless
+/// energy per time step) for energy-aware exploration. Kept out of
+/// [`all`] so the unannotated gallery stays byte-compatible; the figures
+/// reflect the relative complexity of the decoder stages (motion
+/// compensation dominates, the IDCT is cheap).
+pub fn h263_rows_power() -> CsdfGraph {
+    let mut b = CsdfGraph::builder("h263-rows-power");
+    let vld = b
+        .actor_with_power("vld", vec![44, 43, 43, 43, 43, 44], 30, 6)
+        .expect("static graph");
+    let iq = b
+        .actor_with_power("iq", vec![6], 10, 2)
+        .expect("static graph");
+    let idct = b
+        .actor_with_power("idct", vec![5], 8, 1)
+        .expect("static graph");
+    let mc = b
+        .actor_with_power("mc", vec![110], 45, 9)
+        .expect("static graph");
+    b.channel("vld_iq", vld, vec![99; 6], iq, vec![1], 0)
+        .expect("static graph");
+    b.channel("iq_idct", iq, vec![1], idct, vec![1], 0)
+        .expect("static graph");
+    b.channel("idct_mc", idct, vec![1], mc, vec![594], 0)
+        .expect("static graph");
+    b.build().expect("static graph")
+}
+
 /// All gallery graphs.
 pub fn all() -> Vec<CsdfGraph> {
     vec![updown(), line_scaler(), h263_rows()]
@@ -95,6 +123,21 @@ mod tests {
             );
             assert!(bound > Rational::ZERO);
         }
+    }
+
+    #[test]
+    fn power_variant_mirrors_the_unannotated_topology() {
+        let base = h263_rows();
+        let powered = h263_rows_power();
+        assert!(is_consistent(&powered));
+        assert_eq!(powered.num_actors(), base.num_actors());
+        assert_eq!(powered.num_channels(), base.num_channels());
+        for (id, a) in base.actors() {
+            assert_eq!(powered.actor(id).phase_times(), a.phase_times());
+        }
+        let mc = powered.actor_by_name("mc").unwrap();
+        assert_eq!(powered.actor(mc).active_power(), 45);
+        assert_eq!(powered.actor(mc).idle_power(), 9);
     }
 
     #[test]

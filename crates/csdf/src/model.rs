@@ -40,6 +40,12 @@ pub enum CsdfError {
         /// The offending channel.
         channel: String,
     },
+    /// An actor's idle power exceeds its active power (the energy model
+    /// requires idle ≤ active; see `buffy_graph::SdfGraphBuilder`).
+    IdlePowerExceedsActive {
+        /// The offending actor.
+        actor: String,
+    },
     /// A port produces or consumes nothing over a whole phase cycle.
     ZeroCycleRate {
         /// The offending channel.
@@ -87,6 +93,10 @@ impl fmt::Display for CsdfError {
             CsdfError::RateArityMismatch { channel } => write!(
                 f,
                 "channel {channel:?} rate vector length does not match the actor's phase count"
+            ),
+            CsdfError::IdlePowerExceedsActive { actor } => write!(
+                f,
+                "actor {actor:?} has idle power exceeding its active power"
             ),
             CsdfError::ZeroCycleRate { channel } => write!(
                 f,
@@ -190,6 +200,11 @@ impl From<CsdfError> for AnalysisError {
 pub struct CsdfActor {
     pub(crate) name: String,
     pub(crate) phase_times: Vec<u64>,
+    /// Power drawn while any phase executes (dimensionless energy per
+    /// time step; zero = unannotated). One figure covers all phases.
+    pub(crate) active_power: u64,
+    /// Power drawn while idle; never exceeds `active_power`.
+    pub(crate) idle_power: u64,
 }
 
 impl CsdfActor {
@@ -206,6 +221,17 @@ impl CsdfActor {
     /// Number of phases.
     pub fn num_phases(&self) -> usize {
         self.phase_times.len()
+    }
+
+    /// Power drawn while the actor executes (any phase); zero when the
+    /// graph carries no power annotations.
+    pub fn active_power(&self) -> u64 {
+        self.active_power
+    }
+
+    /// Power drawn while the actor is idle.
+    pub fn idle_power(&self) -> u64 {
+        self.idle_power
     }
 }
 
@@ -391,7 +417,15 @@ impl CsdfGraph {
         let mut b = CsdfGraph::builder(graph.name());
         let ids: Vec<_> = graph
             .actors()
-            .map(|(_, a)| b.actor(a.name(), vec![a.execution_time()]))
+            .map(|(_, a)| {
+                b.actor_with_power(
+                    a.name(),
+                    vec![a.execution_time()],
+                    a.active_power(),
+                    a.idle_power(),
+                )
+                .expect("valid SDF graph maps to valid CSDF")
+            })
             .collect();
         for (_, ch) in graph.channels() {
             b.channel(
@@ -423,8 +457,39 @@ impl CsdfGraphBuilder {
         self.actors.push(CsdfActor {
             name: name.into(),
             phase_times,
+            active_power: 0,
+            idle_power: 0,
         });
         id
+    }
+
+    /// Adds an actor annotated with a power model: `active_power` while
+    /// any phase executes, `idle_power` otherwise (both dimensionless
+    /// energy per time step, shared across phases).
+    ///
+    /// # Errors
+    ///
+    /// [`CsdfError::IdlePowerExceedsActive`] when `idle_power >
+    /// active_power`.
+    pub fn actor_with_power(
+        &mut self,
+        name: impl Into<String>,
+        phase_times: Vec<u64>,
+        active_power: u64,
+        idle_power: u64,
+    ) -> Result<ActorId, CsdfError> {
+        let name = name.into();
+        if idle_power > active_power {
+            return Err(CsdfError::IdlePowerExceedsActive { actor: name });
+        }
+        let id = ActorId::new(self.actors.len());
+        self.actors.push(CsdfActor {
+            name,
+            phase_times,
+            active_power,
+            idle_power,
+        });
+        Ok(id)
     }
 
     /// Adds a channel with per-phase production/consumption vectors and
@@ -605,6 +670,14 @@ impl DataflowSemantics for CsdfGraph {
     fn channel_step(&self, channel: ChannelId) -> u64 {
         crate::explore::csdf_channel_step(self.channel(channel))
     }
+
+    fn active_power(&self, actor: ActorId) -> u64 {
+        self.actor(actor).active_power()
+    }
+
+    fn idle_power(&self, actor: ActorId) -> u64 {
+        self.actor(actor).idle_power()
+    }
 }
 
 #[cfg(test)]
@@ -668,6 +741,42 @@ mod tests {
     }
 
     #[test]
+    fn power_annotation_is_carried_and_validated() {
+        let mut b = CsdfGraph::builder("g");
+        let p = b.actor_with_power("p", vec![1, 2], 9, 4).unwrap();
+        let c = b.actor("c", vec![1]);
+        b.channel("d", p, vec![1, 0], c, vec![1], 2).unwrap();
+        let g = b.build().unwrap();
+        assert_eq!(g.actor(p).active_power(), 9);
+        assert_eq!(g.actor(p).idle_power(), 4);
+        assert_eq!(g.actor(c).active_power(), 0);
+        let m: &dyn DataflowSemantics = &g;
+        assert_eq!(m.active_power(p), 9);
+        assert_eq!(m.idle_power(p), 4);
+
+        let mut b = CsdfGraph::builder("g");
+        assert!(matches!(
+            b.actor_with_power("p", vec![1], 2, 3),
+            Err(CsdfError::IdlePowerExceedsActive { .. })
+        ));
+    }
+
+    #[test]
+    fn from_sdf_copies_power_annotations() {
+        let mut b = SdfGraph::builder("sdf");
+        let x = b.actor_with_power("x", 3, 12, 5).unwrap();
+        let y = b.actor("y", 1);
+        b.channel_with_tokens("c", x, 2, y, 3, 1).unwrap();
+        let csdf = CsdfGraph::from_sdf(&b.build().unwrap());
+        let x = csdf.actor_by_name("x").unwrap();
+        let y = csdf.actor_by_name("y").unwrap();
+        assert_eq!(csdf.actor(x).active_power(), 12);
+        assert_eq!(csdf.actor(x).idle_power(), 5);
+        assert_eq!(csdf.actor(y).active_power(), 0);
+        assert_eq!(csdf.actor(y).idle_power(), 0);
+    }
+
+    #[test]
     fn from_sdf_single_phase() {
         let mut b = SdfGraph::builder("sdf");
         let x = b.actor("x", 3);
@@ -698,6 +807,7 @@ mod tests {
             CsdfError::Inconsistent {
                 channel: "x".into(),
             },
+            CsdfError::IdlePowerExceedsActive { actor: "x".into() },
             CsdfError::NoPositiveThroughput,
             CsdfError::Analysis(AnalysisError::NotLive),
         ] {

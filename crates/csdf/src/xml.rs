@@ -103,8 +103,9 @@ pub fn read_csdf_xml(text: &str) -> Result<CsdfGraph, CsdfXmlError> {
         .or_else(|| body.attribute("name"))
         .unwrap_or("csdf-graph");
 
-    // Execution time lists.
+    // Execution time lists and optional power annotations.
     let mut times: HashMap<String, Vec<u64>> = HashMap::new();
+    let mut powers: HashMap<String, (u64, u64)> = HashMap::new();
     if let Some(props) = app
         .find_descendant("csdfProperties")
         .or_else(|| app.find_descendant("sdfProperties"))
@@ -113,6 +114,17 @@ pub fn read_csdf_xml(text: &str) -> Result<CsdfGraph, CsdfXmlError> {
             let actor = req(ap, "actor")?;
             if let Some(et) = ap.find_descendant("executionTime") {
                 times.insert(actor.to_string(), parse_list(et, "time", req(et, "time")?)?);
+            }
+            if let Some(pw) = ap.find_descendant("power") {
+                let attr = |key: &str| -> Result<u64, CsdfXmlError> {
+                    match pw.attribute(key) {
+                        Some(v) => v.trim().parse().map_err(|_| {
+                            invalid(format!("attribute {key}={v:?} on <power> of {actor:?}"))
+                        }),
+                        None => Ok(0),
+                    }
+                };
+                powers.insert(actor.to_string(), (attr("active")?, attr("idle")?));
             }
         }
     }
@@ -193,7 +205,11 @@ pub fn read_csdf_xml(text: &str) -> Result<CsdfGraph, CsdfXmlError> {
             Some(t) => t.clone(),
             None => vec![1; phases.get(a).copied().unwrap_or(1)],
         };
-        ids.insert(a.clone(), b.actor(a, t));
+        let id = match powers.get(a).copied() {
+            Some((active, idle)) => b.actor_with_power(a, t, active, idle)?,
+            None => b.actor(a, t),
+        };
+        ids.insert(a.clone(), id);
     }
     for ch in raw {
         let src = *ids.get(&ch.src).ok_or_else(|| {
@@ -248,19 +264,26 @@ pub fn write_csdf_xml(graph: &CsdfGraph) -> String {
     }
     let mut props = XmlElement::new("csdfProperties");
     for (_, actor) in graph.actors() {
-        props = props.child(
-            XmlElement::new("actorProperties")
-                .attr("actor", actor.name())
-                .child(
-                    XmlElement::new("processor")
-                        .attr("type", "default")
-                        .attr("default", "true")
-                        .child(
-                            XmlElement::new("executionTime")
-                                .attr("time", join(actor.phase_times())),
-                        ),
-                ),
-        );
+        let mut ap = XmlElement::new("actorProperties")
+            .attr("actor", actor.name())
+            .child(
+                XmlElement::new("processor")
+                    .attr("type", "default")
+                    .attr("default", "true")
+                    .child(
+                        XmlElement::new("executionTime").attr("time", join(actor.phase_times())),
+                    ),
+            );
+        // Only annotated actors get a <power> child, so documents for
+        // unannotated graphs stay byte-identical to earlier versions.
+        if actor.active_power() != 0 || actor.idle_power() != 0 {
+            ap = ap.child(
+                XmlElement::new("power")
+                    .attr("active", actor.active_power())
+                    .attr("idle", actor.idle_power()),
+            );
+        }
+        props = props.child(ap);
     }
     let root = XmlElement::new("sdf3")
         .attr("type", "csdf")
@@ -294,6 +317,20 @@ mod tests {
         let text = write_csdf_xml(&g);
         assert!(text.contains("srcRate=\"2,0\""));
         assert!(text.contains("time=\"1,2\""));
+        let back = read_csdf_xml(&text).unwrap();
+        assert_eq!(g, back);
+    }
+
+    #[test]
+    fn roundtrip_preserves_power_annotations() {
+        let mut b = CsdfGraph::builder("powered");
+        let p = b.actor_with_power("p", vec![1, 2], 12, 5).unwrap();
+        let c = b.actor("c", vec![3]);
+        b.channel("d", p, vec![2, 0], c, vec![1], 1).unwrap();
+        let g = b.build().unwrap();
+        let text = write_csdf_xml(&g);
+        assert_eq!(text.matches("<power ").count(), 1);
+        assert!(text.contains(r#"<power active="12" idle="5"/>"#));
         let back = read_csdf_xml(&text).unwrap();
         assert_eq!(g, back);
     }

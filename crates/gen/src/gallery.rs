@@ -275,6 +275,94 @@ pub fn satellite() -> SdfGraph {
     b.build().expect("static graph")
 }
 
+/// Rebuilds `graph` under a new name with the given actor power table
+/// (name → active/idle, dimensionless energy per time step); actors
+/// absent from the table stay unannotated.
+fn annotate_power(graph: &SdfGraph, name: &str, powers: &[(&str, u64, u64)]) -> SdfGraph {
+    let mut b = SdfGraph::builder(name);
+    let ids: Vec<_> = graph
+        .actors()
+        .map(
+            |(_, a)| match powers.iter().find(|(n, _, _)| *n == a.name()) {
+                Some(&(_, active, idle)) => b
+                    .actor_with_power(a.name(), a.execution_time(), active, idle)
+                    .expect("static power table"),
+                None => b.actor(a.name(), a.execution_time()),
+            },
+        )
+        .collect();
+    for (_, ch) in graph.channels() {
+        b.channel_with_tokens(
+            ch.name(),
+            ids[ch.source().index()],
+            ch.production(),
+            ids[ch.target().index()],
+            ch.consumption(),
+            ch.initial_tokens(),
+        )
+        .expect("static graph");
+    }
+    b.build().expect("static graph")
+}
+
+/// [`modem`] with an actor power model for energy-aware exploration.
+/// Kept out of [`all`] so the paper's Table 2 gallery is untouched; the
+/// figures loosely track each actor's computational weight (the decoder
+/// and equalizer dominate, glue actors are cheap).
+pub fn modem_power() -> SdfGraph {
+    annotate_power(
+        &modem(),
+        "modem-power",
+        &[
+            ("input", 5, 1),
+            ("s2p", 8, 2),
+            ("agc", 12, 3),
+            ("filt", 20, 4),
+            ("eq", 25, 6),
+            ("eq_upd", 10, 2),
+            ("carr", 14, 3),
+            ("loopf", 6, 1),
+            ("demod", 22, 5),
+            ("slicer", 4, 1),
+            ("err", 9, 2),
+            ("deco", 28, 7),
+            ("descr", 15, 3),
+            ("p2s", 8, 2),
+            ("sink", 3, 1),
+            ("hilb", 18, 4),
+        ],
+    )
+}
+
+/// [`cd2dat`] with an actor power model for energy-aware exploration.
+/// Kept out of [`all`] like [`modem_power`]; the FIR stages dominate,
+/// the rate converters at the ends are cheap.
+pub fn cd2dat_power() -> SdfGraph {
+    annotate_power(
+        &cd2dat(),
+        "cd2dat-power",
+        &[
+            ("cd", 6, 1),
+            ("fir1", 12, 2),
+            ("fir2", 12, 2),
+            ("fir3", 16, 3),
+            ("fir4", 12, 2),
+            ("dat", 5, 1),
+        ],
+    )
+}
+
+/// [`h263_decoder`] with an actor power model mirroring the CSDF
+/// gallery's figures (motion compensation dominates, the IDCT is
+/// cheap). Kept out of [`all`] like [`modem_power`].
+pub fn h263_decoder_power() -> SdfGraph {
+    annotate_power(
+        &h263_decoder(),
+        "h263decoder-power",
+        &[("vld", 30, 6), ("iq", 10, 2), ("idct", 8, 1), ("mc", 45, 9)],
+    )
+}
+
 /// All six gallery graphs with their paper names, in the order of the
 /// paper's Table 2.
 pub fn all() -> Vec<SdfGraph> {
@@ -330,6 +418,30 @@ mod tests {
         let g = h263_decoder();
         let q = RepetitionVector::compute(&g).unwrap();
         assert_eq!(q.as_slice(), &[1, 594, 594, 1]);
+    }
+
+    #[test]
+    fn power_variants_mirror_their_unannotated_graphs() {
+        for (base, powered) in [
+            (modem(), modem_power()),
+            (cd2dat(), cd2dat_power()),
+            (h263_decoder(), h263_decoder_power()),
+        ] {
+            assert!(is_consistent(&powered), "{}", powered.name());
+            assert_eq!(powered.num_actors(), base.num_actors());
+            assert_eq!(powered.num_channels(), base.num_channels());
+            for (id, a) in base.actors() {
+                let p = powered.actor(id);
+                assert_eq!(p.name(), a.name());
+                assert_eq!(p.execution_time(), a.execution_time());
+                assert!(p.active_power() > 0, "{} unannotated", p.name());
+                assert!(p.idle_power() <= p.active_power());
+            }
+        }
+        let g = modem_power();
+        let eq = g.actor_by_name("eq").unwrap();
+        assert_eq!(g.actor(eq).active_power(), 25);
+        assert_eq!(g.actor(eq).idle_power(), 6);
     }
 
     #[test]

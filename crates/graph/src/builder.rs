@@ -44,13 +44,47 @@ impl SdfGraphBuilder {
 
     /// Adds an actor with the given name and execution time and returns its
     /// id.
+    ///
+    /// The actor carries no power annotation (both powers zero); use
+    /// [`actor_with_power`](Self::actor_with_power) to attach one.
     pub fn actor(&mut self, name: impl Into<String>, execution_time: u64) -> ActorId {
         let id = ActorId::new(self.actors.len());
         self.actors.push(Actor {
             name: name.into(),
             execution_time,
+            active_power: 0,
+            idle_power: 0,
         });
         id
+    }
+
+    /// Adds an actor annotated with a power model: `active_power` is drawn
+    /// per time step while firing, `idle_power` per time step in between.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::IdlePowerExceedsActive`] if `idle_power >
+    /// active_power` — the energy objective assumes firing never saves
+    /// power relative to idling.
+    pub fn actor_with_power(
+        &mut self,
+        name: impl Into<String>,
+        execution_time: u64,
+        active_power: u64,
+        idle_power: u64,
+    ) -> Result<ActorId, GraphError> {
+        let name = name.into();
+        if idle_power > active_power {
+            return Err(GraphError::IdlePowerExceedsActive { actor: name });
+        }
+        let id = ActorId::new(self.actors.len());
+        self.actors.push(Actor {
+            name,
+            execution_time,
+            active_power,
+            idle_power,
+        });
+        Ok(id)
     }
 
     /// Adds a channel with no initial tokens.
@@ -220,6 +254,25 @@ mod tests {
         assert!(matches!(
             SdfGraphBuilder::new("g").build(),
             Err(GraphError::EmptyGraph)
+        ));
+    }
+
+    #[test]
+    fn power_annotation_is_carried_and_validated() {
+        let mut b = SdfGraphBuilder::new("g");
+        let x = b.actor_with_power("x", 2, 7, 3).unwrap();
+        let y = b.actor("y", 1);
+        b.channel("c", x, 1, y, 1).unwrap();
+        let g = b.build().unwrap();
+        assert_eq!(g.actor(x).active_power(), 7);
+        assert_eq!(g.actor(x).idle_power(), 3);
+        assert_eq!(g.actor(y).active_power(), 0);
+        assert_eq!(g.actor(y).idle_power(), 0);
+
+        let mut b = SdfGraphBuilder::new("g");
+        assert!(matches!(
+            b.actor_with_power("x", 1, 2, 3),
+            Err(GraphError::IdlePowerExceedsActive { .. })
         ));
     }
 

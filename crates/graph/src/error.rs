@@ -46,6 +46,12 @@ pub enum GraphError {
         /// The name that failed to resolve.
         name: String,
     },
+    /// An actor's idle power exceeds its active power, which would make the
+    /// energy-per-iteration objective negative for fast schedules.
+    IdlePowerExceedsActive {
+        /// Name of the offending actor.
+        actor: String,
+    },
 }
 
 impl fmt::Display for GraphError {
@@ -72,6 +78,12 @@ impl fmt::Display for GraphError {
             }
             GraphError::UnknownActor { name } => write!(f, "unknown actor {name:?}"),
             GraphError::UnknownChannel { name } => write!(f, "unknown channel {name:?}"),
+            GraphError::IdlePowerExceedsActive { actor } => {
+                write!(
+                    f,
+                    "actor {actor:?} has idle power exceeding its active power"
+                )
+            }
         }
     }
 }

@@ -17,6 +17,8 @@ use crate::ids::{ActorId, ChannelId};
 pub struct Actor {
     pub(crate) name: String,
     pub(crate) execution_time: u64,
+    pub(crate) active_power: u64,
+    pub(crate) idle_power: u64,
 }
 
 impl Actor {
@@ -31,6 +33,23 @@ impl Actor {
     /// which they start.
     pub fn execution_time(&self) -> u64 {
         self.execution_time
+    }
+
+    /// Power drawn per time step while the actor is firing.
+    ///
+    /// Dimensionless energy-per-time-step units; zero (the default) means
+    /// the actor carries no power annotation and contributes nothing to
+    /// the energy objective.
+    pub fn active_power(&self) -> u64 {
+        self.active_power
+    }
+
+    /// Power drawn per time step while the actor sits idle between firings.
+    ///
+    /// Must not exceed [`active_power`](Self::active_power) for the energy
+    /// model to be physically meaningful; the builder enforces this.
+    pub fn idle_power(&self) -> u64 {
+        self.idle_power
     }
 }
 

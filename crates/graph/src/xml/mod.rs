@@ -36,6 +36,6 @@ mod sdf_writer;
 mod tree;
 
 pub use parse::{parse, XmlError};
-pub use sdf_reader::read_sdf_xml;
+pub use sdf_reader::{read_sdf_xml, SdfXmlError};
 pub use sdf_writer::write_sdf_xml;
 pub use tree::{escape_text, XmlElement};

@@ -91,7 +91,9 @@ fn parse_u64(el: &XmlElement, key: &str, value: &str) -> Result<u64, SdfXmlError
 ///
 /// Execution times come from
 /// `<sdfProperties><actorProperties actor=…><processor…><executionTime time=…/>`
-/// and default to 1 when absent.
+/// and default to 1 when absent. An optional `<power active=… idle=…/>`
+/// element under the same `<actorProperties>` attaches a power model to
+/// the actor (both attributes default to 0 when omitted).
 ///
 /// # Errors
 ///
@@ -110,14 +112,26 @@ pub fn read_sdf_xml(text: &str) -> Result<SdfGraph, SdfXmlError> {
         .or_else(|| sdf.attribute("name"))
         .unwrap_or("sdf-graph");
 
-    // Execution times from <sdfProperties>.
+    // Execution times and power annotations from <sdfProperties>.
     let mut exec_times: HashMap<String, u64> = HashMap::new();
+    let mut powers: HashMap<String, (u64, u64)> = HashMap::new();
     if let Some(props) = app.find_descendant("sdfProperties") {
         for ap in props.find_all("actorProperties") {
             let actor = req_attr(ap, "actor")?;
             if let Some(et) = ap.find_descendant("executionTime") {
                 let t = req_attr(et, "time")?;
                 exec_times.insert(actor.to_string(), parse_u64(et, "time", t)?);
+            }
+            if let Some(pw) = ap.find_descendant("power") {
+                let active = match pw.attribute("active") {
+                    Some(v) => parse_u64(pw, "active", v)?,
+                    None => 0,
+                };
+                let idle = match pw.attribute("idle") {
+                    Some(v) => parse_u64(pw, "idle", v)?,
+                    None => 0,
+                };
+                powers.insert(actor.to_string(), (active, idle));
             }
         }
     }
@@ -130,7 +144,10 @@ pub fn read_sdf_xml(text: &str) -> Result<SdfGraph, SdfXmlError> {
     for actor_el in sdf.find_all("actor") {
         let actor_name = req_attr(actor_el, "name")?;
         let time = exec_times.get(actor_name).copied().unwrap_or(1);
-        let id = builder.actor(actor_name, time);
+        let id = match powers.get(actor_name).copied() {
+            Some((active, idle)) => builder.actor_with_power(actor_name, time, active, idle)?,
+            None => builder.actor(actor_name, time),
+        };
         actor_ids.insert(actor_name.to_string(), id);
         for port in actor_el.find_all("port") {
             let pname = req_attr(port, "name")?;
@@ -243,6 +260,44 @@ mod tests {
         assert_eq!(g.channel(c).initial_tokens(), 1);
         // Execution time defaults to 1.
         assert_eq!(g.actor(g.actor_by_name("x").unwrap()).execution_time(), 1);
+    }
+
+    #[test]
+    fn reads_power_annotations() {
+        let g = read_sdf_xml(
+            r#"<sdf3><applicationGraph name="g"><sdf name="g">
+                 <actor name="x"/><actor name="y"/>
+                 <channel name="c" srcActor="x" srcRate="1" dstActor="y" dstRate="1"/>
+               </sdf>
+               <sdfProperties>
+                 <actorProperties actor="x">
+                   <processor type="default" default="true"><executionTime time="2"/></processor>
+                   <power active="9" idle="4"/>
+                 </actorProperties>
+               </sdfProperties>
+               </applicationGraph></sdf3>"#,
+        )
+        .unwrap();
+        let x = g.actor_by_name("x").unwrap();
+        assert_eq!(g.actor(x).execution_time(), 2);
+        assert_eq!(g.actor(x).active_power(), 9);
+        assert_eq!(g.actor(x).idle_power(), 4);
+        // Unannotated actors default to zero power.
+        let y = g.actor_by_name("y").unwrap();
+        assert_eq!(g.actor(y).active_power(), 0);
+        assert_eq!(g.actor(y).idle_power(), 0);
+    }
+
+    #[test]
+    fn inverted_power_annotation_propagates_graph_error() {
+        let bad = r#"<sdf3><applicationGraph name="g"><sdf name="g">
+               <actor name="x"/>
+             </sdf>
+             <sdfProperties>
+               <actorProperties actor="x"><power active="1" idle="2"/></actorProperties>
+             </sdfProperties>
+             </applicationGraph></sdf3>"#;
+        assert!(matches!(read_sdf_xml(bad), Err(SdfXmlError::Graph(_))));
     }
 
     #[test]

@@ -53,18 +53,24 @@ pub fn write_sdf_xml(graph: &SdfGraph) -> String {
 
     let mut props = XmlElement::new("sdfProperties");
     for (_, actor) in graph.actors() {
-        props = props.child(
-            XmlElement::new("actorProperties")
-                .attr("actor", actor.name())
-                .child(
-                    XmlElement::new("processor")
-                        .attr("type", "default")
-                        .attr("default", "true")
-                        .child(
-                            XmlElement::new("executionTime").attr("time", actor.execution_time()),
-                        ),
-                ),
-        );
+        let mut ap = XmlElement::new("actorProperties")
+            .attr("actor", actor.name())
+            .child(
+                XmlElement::new("processor")
+                    .attr("type", "default")
+                    .attr("default", "true")
+                    .child(XmlElement::new("executionTime").attr("time", actor.execution_time())),
+            );
+        // Only annotated actors get a <power> element, keeping the output
+        // byte-identical for graphs without a power model.
+        if actor.active_power() > 0 || actor.idle_power() > 0 {
+            ap = ap.child(
+                XmlElement::new("power")
+                    .attr("active", actor.active_power())
+                    .attr("idle", actor.idle_power()),
+            );
+        }
+        props = props.child(ap);
     }
 
     let root = XmlElement::new("sdf3")
@@ -114,6 +120,21 @@ mod tests {
         assert!(text.contains("srcActor=\"a\""));
         assert!(text.contains("initialTokens=\"1\""));
         assert!(text.contains("executionTime"));
+    }
+
+    #[test]
+    fn roundtrip_preserves_power_annotations() {
+        let mut b = SdfGraph::builder("powered");
+        let x = b.actor_with_power("x", 1, 12, 5).unwrap();
+        let y = b.actor("y", 2);
+        b.channel("c", x, 1, y, 1).unwrap();
+        let g = b.build().unwrap();
+        let text = write_sdf_xml(&g);
+        assert!(text.contains("<power active=\"12\" idle=\"5\"/>"));
+        // Unannotated actors stay free of <power> elements.
+        assert_eq!(text.matches("<power ").count(), 1);
+        let back = read_sdf_xml(&text).unwrap();
+        assert_eq!(g, back);
     }
 
     #[test]

@@ -168,6 +168,9 @@ pub mod names {
     /// Counter: reduced-state capacity reused through neighbour warm
     /// starts (sum of the seeding records' state counts).
     pub const WARM_START_STATES: &str = "buffy_warm_start_states_total";
+    /// Counter: Pareto candidate points whose energy objective was
+    /// computed from the actor power model.
+    pub const ENERGY_POINTS: &str = "buffy_energy_points_total";
     /// Counter: trace events dropped after the in-memory buffer cap.
     pub const TRACE_DROPPED: &str = "buffy_trace_events_dropped_total";
 }
