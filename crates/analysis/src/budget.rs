@@ -28,6 +28,9 @@ pub enum CancelReason {
     Interrupt,
     /// The evaluation-count budget was exhausted.
     EvaluationBudget,
+    /// The memory watchdog tripped: the cumulative reduced-state count
+    /// (the run's dominant allocation) exceeded the configured budget.
+    MemoryBudget,
 }
 
 impl CancelReason {
@@ -37,6 +40,7 @@ impl CancelReason {
             CancelReason::Deadline => "deadline",
             CancelReason::Interrupt => "interrupt",
             CancelReason::EvaluationBudget => "eval-budget",
+            CancelReason::MemoryBudget => "memory-budget",
         }
     }
 
@@ -45,6 +49,7 @@ impl CancelReason {
             CancelReason::Deadline => 1,
             CancelReason::Interrupt => 2,
             CancelReason::EvaluationBudget => 3,
+            CancelReason::MemoryBudget => 4,
         }
     }
 
@@ -53,6 +58,7 @@ impl CancelReason {
             1 => Some(CancelReason::Deadline),
             2 => Some(CancelReason::Interrupt),
             3 => Some(CancelReason::EvaluationBudget),
+            4 => Some(CancelReason::MemoryBudget),
             _ => None,
         }
     }
@@ -64,6 +70,7 @@ impl fmt::Display for CancelReason {
             CancelReason::Deadline => write!(f, "wall-clock deadline exceeded"),
             CancelReason::Interrupt => write!(f, "interrupted"),
             CancelReason::EvaluationBudget => write!(f, "evaluation budget exhausted"),
+            CancelReason::MemoryBudget => write!(f, "memory budget exhausted"),
         }
     }
 }
@@ -81,6 +88,8 @@ pub struct CancelToken {
     deadline: Option<Instant>,
     eval_budget: Option<u64>,
     evals: AtomicU64,
+    state_budget: Option<u64>,
+    states: AtomicU64,
 }
 
 impl CancelToken {
@@ -92,6 +101,8 @@ impl CancelToken {
             deadline: None,
             eval_budget: None,
             evals: AtomicU64::new(0),
+            state_budget: None,
+            states: AtomicU64::new(0),
         }
     }
 
@@ -111,6 +122,21 @@ impl CancelToken {
         self.eval_budget = Some(budget);
         if budget == 0 {
             self.flag = AtomicU8::new(CancelReason::EvaluationBudget.flag());
+        }
+        self
+    }
+
+    /// Arms the memory watchdog: the token cancels itself with
+    /// [`CancelReason::MemoryBudget`] once `budget` reduced states have
+    /// been [noted](CancelToken::note_states) across the run. States are
+    /// the exploration's dominant allocation, so the count is a faithful,
+    /// deterministic proxy for arena pressure. A budget of 0 trips on the
+    /// first check.
+    #[must_use]
+    pub fn with_state_budget(mut self, budget: u64) -> CancelToken {
+        self.state_budget = Some(budget);
+        if budget == 0 {
+            self.flag = AtomicU8::new(CancelReason::MemoryBudget.flag());
         }
         self
     }
@@ -158,6 +184,22 @@ impl CancelToken {
     /// Number of evaluations noted so far.
     pub fn evaluations(&self) -> u64 {
         self.evals.load(Ordering::Relaxed)
+    }
+
+    /// Records `n` reduced states stored by an analysis, tripping the
+    /// memory watchdog when the cumulative total reaches the budget.
+    pub fn note_states(&self, n: u64) {
+        let total = self.states.fetch_add(n, Ordering::Relaxed) + n;
+        if let Some(budget) = self.state_budget {
+            if total >= budget {
+                self.cancel(CancelReason::MemoryBudget);
+            }
+        }
+    }
+
+    /// Cumulative reduced-state count noted so far.
+    pub fn states_noted(&self) -> u64 {
+        self.states.load(Ordering::Relaxed)
     }
 }
 
@@ -213,10 +255,36 @@ mod tests {
     }
 
     #[test]
+    fn state_budget_trips_at_cumulative_count() {
+        let t = CancelToken::new().with_state_budget(100);
+        t.note_states(40);
+        t.note_states(59);
+        assert_eq!(t.check(), None);
+        t.note_states(1);
+        assert_eq!(t.check(), Some(CancelReason::MemoryBudget));
+        assert_eq!(t.states_noted(), 100);
+    }
+
+    #[test]
+    fn zero_state_budget_starts_cancelled() {
+        let t = CancelToken::new().with_state_budget(0);
+        assert_eq!(t.check(), Some(CancelReason::MemoryBudget));
+    }
+
+    #[test]
+    fn unbudgeted_states_never_trip() {
+        let t = CancelToken::new();
+        t.note_states(u64::MAX / 2);
+        assert_eq!(t.check(), None);
+        assert_eq!(t.states_noted(), u64::MAX / 2);
+    }
+
+    #[test]
     fn reason_names_are_stable() {
         assert_eq!(CancelReason::Deadline.name(), "deadline");
         assert_eq!(CancelReason::Interrupt.name(), "interrupt");
         assert_eq!(CancelReason::EvaluationBudget.name(), "eval-budget");
+        assert_eq!(CancelReason::MemoryBudget.name(), "memory-budget");
         assert!(CancelReason::Interrupt.to_string().contains("interrupted"));
     }
 }

@@ -33,7 +33,7 @@
 use crate::error::AnalysisError;
 use crate::schedule::Schedule;
 use crate::semantics::DataflowSemantics;
-use buffy_graph::{ActorId, Rational, SdfGraph};
+use buffy_graph::{ActorId, GraphError, Rational, SdfGraph};
 
 /// Precomputed energy coefficients of a dataflow model (see the module
 /// documentation for the closed form).
@@ -56,26 +56,49 @@ impl EnergyModel {
     ///
     /// # Errors
     ///
-    /// Propagates the balance-equation error of an inconsistent model.
+    /// Propagates the balance-equation error of an inconsistent model;
+    /// adversarial power/execution-time annotations whose coefficient
+    /// sums exceed `i128` surface as
+    /// [`GraphError::ArithmeticOverflow`] instead of wrapping.
     pub fn from_semantics<M: DataflowSemantics + ?Sized>(
         model: &M,
         observed: ActorId,
     ) -> Result<EnergyModel, AnalysisError> {
+        let overflow = || {
+            AnalysisError::Graph(GraphError::ArithmeticOverflow {
+                operation: "energy coefficient accumulation".to_string(),
+            })
+        };
         let cycles = model.repetition_cycles()?;
         let mut work_energy: i128 = 0;
         let mut idle_busy: i128 = 0;
         let mut idle_total: i128 = 0;
         for (index, &cycle_count) in cycles.iter().enumerate() {
             let actor = ActorId::new(index);
-            let cycle_time: u64 = (0..model.num_phases(actor))
-                .map(|p| model.execution_time(actor, p))
-                .sum();
-            let busy = cycle_count as i128 * cycle_time as i128;
-            work_energy += busy * model.active_power(actor) as i128;
-            idle_busy += busy * model.idle_power(actor) as i128;
-            idle_total += model.idle_power(actor) as i128;
+            let mut cycle_time: i128 = 0;
+            for p in 0..model.num_phases(actor) {
+                cycle_time = cycle_time
+                    .checked_add(model.execution_time(actor, p) as i128)
+                    .ok_or_else(overflow)?;
+            }
+            let busy = (cycle_count as i128)
+                .checked_mul(cycle_time)
+                .ok_or_else(overflow)?;
+            work_energy = busy
+                .checked_mul(model.active_power(actor) as i128)
+                .and_then(|e| work_energy.checked_add(e))
+                .ok_or_else(overflow)?;
+            idle_busy = busy
+                .checked_mul(model.idle_power(actor) as i128)
+                .and_then(|e| idle_busy.checked_add(e))
+                .ok_or_else(overflow)?;
+            idle_total = idle_total
+                .checked_add(model.idle_power(actor) as i128)
+                .ok_or_else(overflow)?;
         }
-        let obs_firings = cycles[observed.index()] as i128 * model.num_phases(observed) as i128;
+        let obs_firings = (cycles[observed.index()] as i128)
+            .checked_mul(model.num_phases(observed) as i128)
+            .ok_or_else(overflow)?;
         Ok(EnergyModel {
             work_energy,
             idle_busy,
@@ -93,6 +116,12 @@ impl EnergyModel {
     /// Exact energy of one graph iteration at observed throughput
     /// `throughput`; zero for deadlocked (zero-throughput) executions,
     /// whose iterations never complete.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the exact rational arithmetic overflows `i128`; use
+    /// [`checked_energy_per_iteration`](Self::checked_energy_per_iteration)
+    /// where a panic must not escape.
     pub fn energy_per_iteration(&self, throughput: Rational) -> Rational {
         if throughput <= Rational::ZERO {
             return Rational::ZERO;
@@ -100,6 +129,20 @@ impl EnergyModel {
         let period = Rational::new(self.obs_firings, 1) / throughput;
         Rational::new(self.work_energy - self.idle_busy, 1)
             + Rational::new(self.idle_total, 1) * period
+    }
+
+    /// [`energy_per_iteration`](Self::energy_per_iteration) through the
+    /// checked [`Rational`] paths: `None` instead of a panic when the
+    /// exact arithmetic overflows `i128`.
+    pub fn checked_energy_per_iteration(&self, throughput: Rational) -> Option<Rational> {
+        if throughput <= Rational::ZERO {
+            return Some(Rational::ZERO);
+        }
+        let period = Rational::from_integer(self.obs_firings).checked_mul(&throughput.recip())?;
+        let constant = self.work_energy.checked_sub(self.idle_busy)?;
+        Rational::from_integer(self.idle_total)
+            .checked_mul(&period)?
+            .checked_add(&Rational::from_integer(constant))
     }
 }
 
@@ -208,6 +251,48 @@ mod tests {
             let t = throughput(&g, &d, c).unwrap().throughput;
             assert_eq!(m.energy_per_iteration(t), oracle, "caps {caps:?}");
         }
+    }
+
+    #[test]
+    fn adversarial_annotations_surface_overflow_not_panic() {
+        // u64::MAX execution time × u64::MAX active power ≈ 2^128 blows
+        // past i128: the coefficients must error, never wrap.
+        let mut b = SdfGraph::builder("adversarial");
+        let x = b.actor_with_power("x", u64::MAX, u64::MAX, 0).unwrap();
+        let y = b.actor("y", 1);
+        b.channel("c", x, 1, y, 1).unwrap();
+        let g = b.build().unwrap();
+        match EnergyModel::from_semantics(&g, y) {
+            Err(AnalysisError::Graph(GraphError::ArithmeticOverflow { .. })) => {}
+            other => panic!("expected ArithmeticOverflow, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn checked_energy_matches_and_catches_overflow() {
+        let g = powered_example();
+        let c = g.actor_by_name("c").unwrap();
+        let m = EnergyModel::from_semantics(&g, c).unwrap();
+        for den in 4..=12 {
+            let t = Rational::new(1, den);
+            assert_eq!(
+                m.checked_energy_per_iteration(t),
+                Some(m.energy_per_iteration(t))
+            );
+        }
+        assert_eq!(
+            m.checked_energy_per_iteration(Rational::ZERO),
+            Some(Rational::ZERO)
+        );
+        // Coefficients near the i128 edge overflow the checked path
+        // cleanly instead of panicking.
+        let edge = EnergyModel {
+            work_energy: i128::MAX,
+            idle_busy: -1,
+            idle_total: i128::MAX,
+            obs_firings: i128::MAX,
+        };
+        assert_eq!(edge.checked_energy_per_iteration(Rational::new(1, 3)), None);
     }
 
     #[test]

@@ -36,6 +36,10 @@ const VALUE_OPTIONS: &[&str] = &[
     "trace-json",
     "timeout",
     "max-evals",
+    "max-states",
+    "max-memory-mb",
+    "seed-range",
+    "schedules",
     "checkpoint",
     "resume",
     "space-threshold",
@@ -208,9 +212,21 @@ mod tests {
         .unwrap();
         assert_eq!(p.get::<f64>("timeout").unwrap(), Some(1.5));
         assert_eq!(p.get::<u64>("max-evals").unwrap(), Some(100));
+        let p = parse(&args(&[
+            "explore",
+            "g.xml",
+            "--max-states",
+            "5000",
+            "--max-memory-mb",
+            "64",
+        ]))
+        .unwrap();
+        assert_eq!(p.get::<u64>("max-states").unwrap(), Some(5000));
+        assert_eq!(p.get::<u64>("max-memory-mb").unwrap(), Some(64));
+        let p = parse(&args(&["chaos", "g.xml", "--seed-range", "0..32"])).unwrap();
         assert_eq!(
-            p.options.get("checkpoint").map(String::as_str),
-            Some("run.ckpt")
+            p.options.get("seed-range").map(String::as_str),
+            Some("0..32")
         );
         let p = parse(&args(&["explore", "g.xml", "--resume", "run.ckpt"])).unwrap();
         assert_eq!(

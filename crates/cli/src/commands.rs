@@ -87,6 +87,7 @@ fn observer_from(
             fingerprint,
             channels,
             objectives: objectives.clone(),
+            faults: None,
         });
     CliObserver::from_options(
         parsed.has_flag("progress"),
@@ -95,10 +96,42 @@ fn observer_from(
     )
 }
 
+/// Rough bytes per reduced state for the `--max-memory-mb` watchdog: an
+/// interned state stores per-channel token counts and per-actor phase/
+/// busy-time bookkeeping, plus arena and hash-table overhead. A
+/// deliberate approximation — the watchdog degrades a runaway run
+/// gracefully, it does not meter allocations.
+fn bytes_per_state(channels: usize, actors: usize) -> u64 {
+    64 + 16 * channels as u64 + 16 * actors as u64
+}
+
+/// The `--max-states`/`--max-memory-mb` watchdog budget, in states, for a
+/// graph of the given shape. When both options are set the stricter one
+/// wins.
+fn state_budget(
+    parsed: &ParsedArgs,
+    channels: usize,
+    actors: usize,
+) -> Result<Option<u64>, String> {
+    let max_states = parsed.get::<u64>("max-states")?;
+    let from_memory = parsed
+        .get::<u64>("max-memory-mb")?
+        .map(|mb| (mb * 1024 * 1024) / bytes_per_state(channels, actors));
+    Ok(match (max_states, from_memory) {
+        (Some(a), Some(b)) => Some(a.min(b)),
+        (a, b) => a.or(b),
+    })
+}
+
 /// Budget/cancellation token armed from `--timeout` (seconds, fractional
-/// allowed) and `--max-evals`, and registered with the SIGINT handler so
-/// Ctrl-C degrades the run gracefully instead of killing it.
-fn cancel_token(parsed: &ParsedArgs) -> Result<Arc<CancelToken>, String> {
+/// allowed), `--max-evals` and the `--max-states`/`--max-memory-mb`
+/// memory watchdog, and registered with the SIGINT handler so Ctrl-C
+/// degrades the run gracefully instead of killing it.
+fn cancel_token(
+    parsed: &ParsedArgs,
+    channels: usize,
+    actors: usize,
+) -> Result<Arc<CancelToken>, String> {
     let mut token = CancelToken::new();
     if let Some(secs) = parsed.get::<f64>("timeout")? {
         if !secs.is_finite() || secs <= 0.0 {
@@ -108,6 +141,9 @@ fn cancel_token(parsed: &ParsedArgs) -> Result<Arc<CancelToken>, String> {
     }
     if let Some(budget) = parsed.get::<u64>("max-evals")? {
         token = token.with_eval_budget(budget);
+    }
+    if let Some(budget) = state_budget(parsed, channels, actors)? {
+        token = token.with_state_budget(budget);
     }
     let token = Arc::new(token);
     crate::signal::watch(&token);
@@ -124,7 +160,24 @@ fn resume_warm_start(
     let Some(path) = parsed.options.get("resume") else {
         return Ok(None);
     };
-    let cp = Checkpoint::load(Path::new(path)).map_err(|e| e.to_string())?;
+    let cp = match Checkpoint::load(Path::new(path)) {
+        Ok(cp) => cp,
+        Err(strict) => {
+            // A torn or partially corrupted v3 file still carries every
+            // record that checksums; salvage the longest valid prefix
+            // rather than discarding the whole run.
+            let (cp, report) =
+                Checkpoint::load_salvaged(Path::new(path)).map_err(|_| strict.to_string())?;
+            if !report.complete {
+                eprintln!(
+                    "[buffy] warning: checkpoint {path} is damaged; \
+                     salvaged {} of {} entries",
+                    report.salvaged, report.declared
+                );
+            }
+            cp
+        }
+    };
     if cp.fingerprint != fingerprint || cp.channels != channels {
         return Err(format!(
             "checkpoint {path} was recorded for a different graph \
@@ -145,7 +198,7 @@ fn resume_warm_start(
 
 /// Exit code of a run that produced a result: 0 when exact, 130 when a
 /// SIGINT truncated it, 3 for any other truncation (deadline, budget).
-fn exit_code_for(completeness: &Completeness) -> i32 {
+pub(crate) fn exit_code_for(completeness: &Completeness) -> i32 {
     match completeness.truncated_by {
         None => 0,
         Some(CancelReason::Interrupt) => 130,
@@ -154,7 +207,7 @@ fn exit_code_for(completeness: &Completeness) -> i32 {
 }
 
 /// The `reason` recorded in the trace's final `end` event.
-fn end_reason(completeness: &Completeness) -> &'static str {
+pub(crate) fn end_reason(completeness: &Completeness) -> &'static str {
     match completeness.truncated_by {
         None => "exact",
         Some(reason) => reason.name(),
@@ -492,7 +545,7 @@ fn csdf_preflight(
 }
 
 /// Whether an XML document uses the SDF3 cyclo-static dialect.
-fn is_csdf_document(text: &str) -> bool {
+pub(crate) fn is_csdf_document(text: &str) -> bool {
     text.contains("<csdf") || text.contains("type=\"csdf\"")
 }
 
@@ -712,7 +765,11 @@ pub fn explore(parsed: &ParsedArgs, out: Out<'_>) -> Result<i32, String> {
     preflight(parsed, &graph, out)?;
     let fingerprint = fx_hash(&write_sdf_xml(&graph));
     let mut opts = explore_options(parsed, &graph)?;
-    opts.cancel = Some(cancel_token(parsed)?);
+    opts.cancel = Some(cancel_token(
+        parsed,
+        graph.num_channels(),
+        graph.num_actors(),
+    )?);
     opts.warm_start = resume_warm_start(parsed, fingerprint, graph.num_channels())?;
     let algorithm = parsed
         .options
@@ -761,7 +818,11 @@ pub fn constraint(parsed: &ParsedArgs, out: Out<'_>) -> Result<i32, String> {
     preflight(parsed, &graph, out)?;
     let fingerprint = fx_hash(&write_sdf_xml(&graph));
     let mut opts = explore_options(parsed, &graph)?;
-    opts.cancel = Some(cancel_token(parsed)?);
+    opts.cancel = Some(cancel_token(
+        parsed,
+        graph.num_channels(),
+        graph.num_actors(),
+    )?);
     opts.warm_start = resume_warm_start(parsed, fingerprint, graph.num_channels())?;
     let constraint: Rational = parsed
         .get("throughput")?
@@ -957,7 +1018,11 @@ pub fn csdf_explore(parsed: &ParsedArgs, out: Out<'_>) -> Result<i32, String> {
         max_size: parsed.get("max-size")?,
         threads: parsed.get("threads")?.unwrap_or(1),
         quantum: parsed.get("quantum")?,
-        cancel: Some(cancel_token(parsed)?),
+        cancel: Some(cancel_token(
+            parsed,
+            graph.num_channels(),
+            graph.num_actors(),
+        )?),
         warm_start: resume_warm_start(parsed, fingerprint, graph.num_channels())?,
         static_prune: !parsed.has_flag("no-static-prune"),
         warm_start_neighbours: !parsed.has_flag("no-warm-start"),
@@ -1196,6 +1261,21 @@ pub fn gallery(parsed: &ParsedArgs, out: Out<'_>) -> Result<(), String> {
         .positional
         .get(1)
         .ok_or("expected a gallery graph name")?;
+    // Cyclo-static entries serialize through the CSDF dialect; every
+    // consumer (explore, chaos, check) sniffs the dialect itself.
+    let csdf = match name.as_str() {
+        "updown" => Some(buffy_csdf::gallery::updown()),
+        "line-scaler" => Some(buffy_csdf::gallery::line_scaler()),
+        "h263rows" => Some(buffy_csdf::gallery::h263_rows()),
+        "h263rows-power" => Some(buffy_csdf::gallery::h263_rows_power()),
+        _ => None,
+    };
+    if let Some(graph) = csdf {
+        return w(
+            out,
+            format_args!("{}", buffy_csdf::xml::write_csdf_xml(&graph)),
+        );
+    }
     let graph = match name.as_str() {
         "example" => gallery::example(),
         "bipartite" => gallery::bipartite(),

@@ -14,6 +14,7 @@
 #![deny(unsafe_code)]
 
 mod args;
+mod chaos;
 mod commands;
 mod observe;
 mod signal;
@@ -65,7 +66,8 @@ COMMANDS:
             [--no-static-prune] [--no-warm-start] [--progress]
             [--trace-json FILE]
             [--metrics FILE] [--chrome-trace FILE] [--timeout SECS]
-            [--max-evals N] [--checkpoint FILE] [--resume FILE]
+            [--max-evals N] [--max-states N] [--max-memory-mb M]
+            [--checkpoint FILE] [--resume FILE]
                                       chart the Pareto space; CSDF inputs
                                       (type=\"csdf\") are routed through the
                                       cyclo-static explorer automatically;
@@ -95,13 +97,26 @@ COMMANDS:
                                       cache statistics);
                                       --timeout / --max-evals bound the run
                                       and degrade it to a partial,
-                                      bound-annotated front; --checkpoint
+                                      bound-annotated front; --max-states
+                                      caps the cumulative reduced states
+                                      stored and --max-memory-mb expresses
+                                      the same watchdog as an approximate
+                                      memory budget (both degrade the run
+                                      to a partial front, exit 3, when the
+                                      budget trips mid-run); --checkpoint
                                       periodically saves completed
                                       evaluations and --resume warm-starts
                                       from such a file, reproducing the
                                       uninterrupted run exactly (the file
                                       records the declared objectives and a
-                                      mismatched --objectives is refused);
+                                      mismatched --objectives is refused; a
+                                      torn or damaged v3 checkpoint is
+                                      salvaged to its longest checksummed
+                                      record prefix with a warning; a
+                                      checkpoint save that keeps failing is
+                                      retried with backoff, then warned
+                                      about once and the run continues
+                                      uncheckpointed);
                                       --objectives declares the reported
                                       axes: energy adds the exact energy
                                       per iteration derived from the actor
@@ -117,7 +132,8 @@ COMMANDS:
     constraint <graph.xml> --throughput R [--actor NAME] [--json]
                [--no-static-prune] [--progress] [--trace-json FILE]
                [--metrics FILE] [--chrome-trace FILE] [--timeout SECS]
-               [--max-evals N] [--checkpoint FILE] [--resume FILE]
+               [--max-evals N] [--max-states N] [--max-memory-mb M]
+               [--checkpoint FILE] [--resume FILE]
                                       minimal storage meeting a throughput
                                       constraint (with evaluation
                                       statistics); a truncated run reports
@@ -134,7 +150,10 @@ COMMANDS:
                                       satellite, h263decoder; modem-power,
                                       cd2dat-power and h263decoder-power
                                       carry actor power annotations for
-                                      energy-aware runs)
+                                      energy-aware runs; updown,
+                                      line-scaler, h263rows and
+                                      h263rows-power are cyclo-static and
+                                      serialize in the CSDF dialect)
     csdf-analyze <graph.xml> --dist 4,2 [--actor NAME]
                                       throughput of a CSDF graph under one
                                       storage distribution
@@ -144,8 +163,8 @@ COMMANDS:
                  [--export-csv FILE] [--export-dot FILE]
                  [--no-warm-start] [--progress]
                  [--trace-json FILE] [--metrics FILE] [--chrome-trace FILE]
-                 [--timeout SECS] [--max-evals N]
-                 [--checkpoint FILE] [--resume FILE]
+                 [--timeout SECS] [--max-evals N] [--max-states N]
+                 [--max-memory-mb M] [--checkpoint FILE] [--resume FILE]
                                       Pareto space of a CSDF graph;
                                       --threads parallelizes the analyses
                                       (0 = auto-detect) and --quantum
@@ -156,6 +175,26 @@ COMMANDS:
                                       options behave as for explore,
                                       except that the latency axis is
                                       SDF-only and refused here
+    chaos <graph.xml> [--seed-range A..B | --schedules N] [--json]
+                                      run the exploration under N seeded,
+                                      fully deterministic fault schedules
+                                      (injected evaluation panics, spurious
+                                      cancellations, arena-pressure spikes,
+                                      torn checkpoint writes, failed
+                                      renames) and machine-check the
+                                      robustness contract on each: no
+                                      escaped panics, exit codes within
+                                      the documented 0/3/130/1 set, every
+                                      reported Pareto point re-analyses
+                                      fault-free to its reported
+                                      throughput, traces stay well-formed
+                                      JSON lines ending in one end event,
+                                      and any published checkpoint loads
+                                      (salvaged if damaged) and
+                                      warm-starts a fault-free run back to
+                                      the reference front; defaults to
+                                      seeds 0..8, exits 1 when any
+                                      schedule violates an invariant
     help                              show this message
 
 analyze, explore, constraint, csdf-analyze and csdf-explore refuse models
@@ -164,10 +203,16 @@ with error-level check findings; pass --force to run them anyway.
 EXIT CODES:
     0    success, exact result
     1    error (bad input, failed analysis, cancelled before any result)
-    3    partial result: a deadline or evaluation budget truncated the
-         run; the output is sound but incomplete
+    3    partial result: a deadline, evaluation budget or memory budget
+         (--max-states / --max-memory-mb) truncated the run; the output
+         is sound but incomplete
     130  interrupted (Ctrl-C); the run wound down gracefully — partial
          output printed, trace flushed, checkpoint saved
+
+Degradation is always graceful: whatever truncates a run (deadline,
+budget, watchdog, Ctrl-C), the front printed is sound, the --trace-json
+stream still ends with its final end event, and the checkpoint on disk
+stays loadable.
 ";
 
 /// Runs the CLI with the given arguments (excluding the program name),
@@ -209,6 +254,7 @@ fn try_run(raw_args: &[String], out: &mut dyn Write) -> Result<i32, String> {
         "gallery" => done(commands::gallery(&parsed, out)),
         "csdf-analyze" => done(commands::csdf_analyze(&parsed, out)),
         "csdf-explore" => commands::csdf_explore(&parsed, out),
+        "chaos" => chaos::chaos(&parsed, out),
         other => Err(format!("unknown command {other:?}; try `buffy help`")),
     }
 }
@@ -956,11 +1002,30 @@ mod tests {
         assert_eq!(code, 1, "{text}");
         assert!(text.contains("different graph"), "{text}");
 
-        // A corrupted checkpoint is refused, not silently ignored.
-        let mut bytes = std::fs::read(&ckpt).unwrap();
+        // A torn checkpoint (truncated mid-file) is salvaged: the valid
+        // record prefix warm-starts the run and the front still matches
+        // the clean run byte for byte.
+        let intact = std::fs::read(&ckpt).unwrap();
+        let mut bytes = intact.clone();
         let len = bytes.len();
         bytes.truncate(len / 2);
         std::fs::write(&ckpt, &bytes).unwrap();
+        let (code, salvaged) = run_to_string(&[
+            "explore",
+            p,
+            "--algorithm",
+            "exhaustive",
+            "--csv",
+            "--resume",
+            c,
+        ]);
+        assert_eq!(code, 0, "{salvaged}");
+        assert_eq!(salvaged, clean);
+
+        // A checkpoint with a damaged header is refused, not silently
+        // ignored — there is nothing sound to salvage.
+        let text = String::from_utf8(intact).unwrap();
+        std::fs::write(&ckpt, text.replacen("fingerprint", "fingerpront", 1)).unwrap();
         let (code, text) =
             run_to_string(&["explore", p, "--algorithm", "exhaustive", "--resume", c]);
         assert_eq!(code, 1, "{text}");
@@ -1243,5 +1308,124 @@ mod tests {
         let (code, text) = run_to_string(&["gallery", "nope"]);
         assert_eq!(code, 1);
         assert!(text.contains("unknown gallery graph"), "{text}");
+    }
+
+    #[test]
+    fn malformed_documents_fail_cleanly_across_commands() {
+        // Every command that reads a graph must turn a malformed document
+        // into exit 1 with a diagnostic — never a panic.
+        let corpus: &[(&str, &str)] = &[
+            ("truncated", "<sdf3><applicationGraph name=\"g\"><sdf name=\"g\"><actor na"),
+            ("negative rate", "<sdf3><applicationGraph name=\"g\"><sdf name=\"g\">\
+              <actor name=\"x\"/><actor name=\"y\"/>\
+              <channel name=\"c\" srcActor=\"x\" srcRate=\"-2\" dstActor=\"y\" dstRate=\"1\"/>\
+              </sdf></applicationGraph></sdf3>"),
+            ("overflowing rate", "<sdf3><applicationGraph name=\"g\"><sdf name=\"g\">\
+              <actor name=\"x\"/><actor name=\"y\"/>\
+              <channel name=\"c\" srcActor=\"x\" srcRate=\"99999999999999999999\" dstActor=\"y\" dstRate=\"1\"/>\
+              </sdf></applicationGraph></sdf3>"),
+            ("duplicate actors", "<sdf3><applicationGraph name=\"g\"><sdf name=\"g\">\
+              <actor name=\"x\"/><actor name=\"x\"/>\
+              </sdf></applicationGraph></sdf3>"),
+            ("empty file", ""),
+        ];
+        for (label, doc) in corpus {
+            let path = std::env::temp_dir().join(format!(
+                "buffy-cli-test-malformed-{}.xml",
+                label.replace(' ', "-")
+            ));
+            std::fs::write(&path, doc).unwrap();
+            let p = path.to_str().unwrap();
+            for cmd in [
+                vec!["check", p],
+                vec!["info", p],
+                vec!["analyze", p, "--dist", "1,1"],
+                vec!["explore", p],
+                vec!["csdf-explore", p],
+            ] {
+                let outcome =
+                    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| run_to_string(&cmd)));
+                let (code, text) = match outcome {
+                    Ok(pair) => pair,
+                    Err(_) => panic!("{label}: {cmd:?} panicked"),
+                };
+                assert_eq!(code, 1, "{label}: {cmd:?} should fail cleanly: {text}");
+                assert!(
+                    text.contains("error"),
+                    "{label}: {cmd:?} lacks diagnostic: {text}"
+                );
+            }
+            std::fs::remove_file(&path).ok();
+        }
+    }
+
+    #[test]
+    fn adversarial_power_values_surface_overflow_not_panic() {
+        // u64::MAX active power times a u64::MAX execution time exceeds
+        // even the i128 energy accumulator; the checked paths must surface
+        // a clean arithmetic-overflow diagnostic through explore.
+        let hostile = format!(
+            "<sdf3><applicationGraph name=\"g\"><sdf name=\"g\">\
+             <actor name=\"x\"/><actor name=\"y\"/>\
+             <channel name=\"c\" srcActor=\"x\" srcRate=\"1\" dstActor=\"y\" dstRate=\"1\"/>\
+             </sdf><sdfProperties>\
+             <actorProperties actor=\"x\">\
+             <processor default=\"true\"><executionTime time=\"{max}\"/></processor>\
+             <power active=\"{max}\" idle=\"0\"/>\
+             </actorProperties></sdfProperties></applicationGraph></sdf3>",
+            max = u64::MAX
+        );
+        let path = std::env::temp_dir().join("buffy-cli-test-power-overflow.xml");
+        std::fs::write(&path, &hostile).unwrap();
+        let p = path.to_str().unwrap();
+
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            run_to_string(&["explore", p, "--objectives", "storage,throughput,energy"])
+        }));
+        let (code, text) = outcome.expect("overflow must not panic");
+        assert_eq!(code, 1, "{text}");
+        assert!(text.contains("overflow"), "{text}");
+
+        // Extreme power alone (with sane execution times) stays exact:
+        // the i128 coefficients absorb it, on the energy axis or off it.
+        let saturated = hostile.replace(&format!("time=\"{}\"", u64::MAX), "time=\"2\"");
+        std::fs::write(&path, &saturated).unwrap();
+        let (code, text) = run_to_string(&[
+            "explore",
+            p,
+            "--objectives",
+            "storage,throughput,energy",
+            "--csv",
+        ]);
+        assert_eq!(code, 0, "{text}");
+        let (code, text) = run_to_string(&["explore", p, "--csv"]);
+        assert_eq!(code, 0, "{text}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn chaos_smoke_on_the_example_graph() {
+        let (_, xml) = run_to_string(&["gallery", "example"]);
+        let path = std::env::temp_dir().join("buffy-cli-test-chaos.xml");
+        std::fs::write(&path, &xml).unwrap();
+        let p = path.to_str().unwrap();
+
+        let (code, text) = run_to_string(&["chaos", p, "--schedules", "4"]);
+        assert_eq!(code, 0, "{text}");
+        assert!(
+            text.contains("4/4 schedules upheld all invariants"),
+            "{text}"
+        );
+
+        let (code, text) = run_to_string(&["chaos", p, "--seed-range", "3..5", "--json"]);
+        assert_eq!(code, 0, "{text}");
+        assert!(text.contains("\"schedules\":2"), "{text}");
+        assert!(text.contains("\"failed\":0"), "{text}");
+
+        // Invalid ranges are rejected before any run starts.
+        let (code, text) = run_to_string(&["chaos", p, "--seed-range", "5..5"]);
+        assert_eq!(code, 1);
+        assert!(text.contains("seed-range"), "{text}");
+        std::fs::remove_file(&path).ok();
     }
 }

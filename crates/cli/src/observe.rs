@@ -28,17 +28,17 @@
 //! JSON-escaped strings.
 
 use buffy_core::{
-    Checkpoint, CheckpointEntry, ExploreObserver, ObjectiveSpace, ParetoPoint, PruneKind,
-    SearchPhase,
+    Checkpoint, CheckpointEntry, ExploreObserver, FaultPlan, ObjectiveSpace, ParetoPoint,
+    PruneKind, SearchPhase,
 };
 use buffy_graph::{Rational, StorageDistribution};
 use std::fmt::Write as _;
 use std::fs::File;
 use std::io::Write;
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
-use std::time::Instant;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
 
 /// Minimum spacing between throttled `--progress` lines, in microseconds
 /// of monotonic time (~10 lines per second).
@@ -46,6 +46,14 @@ const PROGRESS_INTERVAL_US: u64 = 100_000;
 
 /// How many evaluations between periodic checkpoint saves.
 const CHECKPOINT_EVERY: u64 = 64;
+
+/// Save attempts per checkpoint before giving up (transient I/O errors —
+/// a full disk clearing, a journald fsync stall — often resolve within a
+/// retry or two; persistent ones never will).
+const SAVE_ATTEMPTS: u32 = 3;
+
+/// Backoff between checkpoint save attempts, doubled each retry.
+const SAVE_BACKOFF: Duration = Duration::from_millis(10);
 
 /// Where and what to checkpoint (`--checkpoint`).
 pub struct CheckpointConfig {
@@ -58,18 +66,62 @@ pub struct CheckpointConfig {
     /// Objective space of the run, recorded in the checkpoint header so a
     /// resume can refuse a mismatched `--objectives`.
     pub objectives: ObjectiveSpace,
+    /// Deterministic fault schedule for the save path (torn writes,
+    /// failed renames); `None` in production.
+    pub faults: Option<Arc<FaultPlan>>,
 }
 
 struct CheckpointSink {
     path: PathBuf,
     checkpoint: Checkpoint,
     since_save: u64,
+    faults: Option<Arc<FaultPlan>>,
+    /// Set after a save exhausts its retries: the run continues
+    /// uncheckpointed, and no further saves are attempted.
+    disabled: bool,
 }
 
 impl CheckpointSink {
-    fn save(&mut self) -> Result<(), String> {
+    /// Saves the checkpoint with bounded retry-with-backoff. A save that
+    /// exhausts its attempts does NOT abort the exploration: the sink
+    /// disables itself, warns once on stderr, and bumps the
+    /// `buffy_checkpoint_save_failures_total` counter. Returns whether
+    /// the checkpoint reached disk.
+    fn save(&mut self) -> bool {
+        if self.disabled {
+            return false;
+        }
         self.since_save = 0;
-        self.checkpoint.save(&self.path).map_err(|e| e.to_string())
+        let mut backoff = SAVE_BACKOFF;
+        let mut last_error = String::new();
+        for attempt in 0..SAVE_ATTEMPTS {
+            if attempt > 0 {
+                std::thread::sleep(backoff);
+                backoff *= 2;
+            }
+            match self
+                .checkpoint
+                .save_with(&self.path, self.faults.as_deref())
+            {
+                Ok(()) => return true,
+                Err(e) => last_error = e.to_string(),
+            }
+        }
+        self.disabled = true;
+        eprintln!(
+            "[buffy] warning: checkpoint save to {} failed after {SAVE_ATTEMPTS} attempts \
+             ({last_error}); continuing uncheckpointed",
+            self.path.display()
+        );
+        if let Some(recorder) = buffy_telemetry::active() {
+            recorder
+                .counter(
+                    buffy_telemetry::names::CHECKPOINT_SAVE_FAILURES,
+                    "Checkpoint saves that failed after exhausting the retry budget.",
+                )
+                .inc();
+        }
+        false
     }
 }
 
@@ -87,6 +139,10 @@ pub struct CliObserver {
     cache_hits: AtomicU64,
     trace: Option<Mutex<File>>,
     checkpoint: Option<Mutex<CheckpointSink>>,
+    /// Whether [`finish`](CliObserver::finish) ran. The [`Drop`] guard
+    /// checks it so the trace gets its final `end` record on *every*
+    /// exit path, including panics unwinding past the observer.
+    finished: AtomicBool,
 }
 
 impl CliObserver {
@@ -117,6 +173,8 @@ impl CliObserver {
                 path: config.path,
                 checkpoint,
                 since_save: 0,
+                faults: config.faults,
+                disabled: false,
             })
         });
         Ok(CliObserver {
@@ -127,7 +185,16 @@ impl CliObserver {
             cache_hits: AtomicU64::new(0),
             trace,
             checkpoint,
+            finished: AtomicBool::new(false),
         })
+    }
+
+    /// An observer with every output disabled: no progress, no trace, no
+    /// checkpoint. Used for reference runs (e.g. `buffy chaos`) that only
+    /// need the exploration result.
+    pub fn quiet() -> CliObserver {
+        CliObserver::from_options(false, None, None)
+            .expect("an output-free observer cannot fail to build")
     }
 
     /// Whether a throttled progress line may print now. Lossy under
@@ -168,12 +235,20 @@ impl CliObserver {
     /// `{"event":"end","reason":…}` record and saves the checkpoint one
     /// last time. Call exactly once, on every exit path — `reason` is
     /// `"exact"` for complete runs, the cancellation reason's name for
-    /// truncated ones, `"error"` when the run failed.
+    /// truncated ones, `"error"` when the run failed. Exit paths that
+    /// never reach an explicit `finish` (a panic unwinding past the
+    /// observer) are covered by the [`Drop`] guard, which closes the
+    /// trace with reason `"aborted"`.
     ///
     /// # Errors
     ///
-    /// Returns a message when the trace or checkpoint cannot be written.
+    /// Returns a message when the trace cannot be written. A failing
+    /// checkpoint save is NOT an error: the sink has already retried
+    /// with backoff, warned on stderr and counted the failure — an
+    /// exploration's results must not be discarded because its
+    /// checkpoint could not be.
     pub fn finish(&self, reason: &str) -> Result<(), String> {
+        self.finished.store(true, Ordering::Relaxed);
         if self.progress {
             // The final summary is never throttled.
             eprintln!(
@@ -194,9 +269,34 @@ impl CliObserver {
         }
         if let Some(checkpoint) = &self.checkpoint {
             let mut sink = checkpoint.lock().map_err(|_| "checkpoint sink poisoned")?;
-            sink.save()?;
+            sink.save();
         }
         Ok(())
+    }
+}
+
+impl Drop for CliObserver {
+    /// The trace contract's last line of defence: if the run never
+    /// reached [`finish`](CliObserver::finish) — a contained panic
+    /// re-raised by the command layer, an early `?` on an unrelated
+    /// error — the trace still ends with a well-formed
+    /// `{"event":"end","reason":"aborted"}` record and the checkpoint
+    /// gets a best-effort final save.
+    fn drop(&mut self) {
+        if self.finished.swap(true, Ordering::Relaxed) {
+            return;
+        }
+        self.trace_line(format_args!("{{\"event\":\"end\",\"reason\":\"aborted\"}}"));
+        if let Some(trace) = &self.trace {
+            if let Ok(mut writer) = trace.lock() {
+                let _ = writer.flush();
+            }
+        }
+        if let Some(checkpoint) = &self.checkpoint {
+            if let Ok(mut sink) = checkpoint.lock() {
+                sink.save();
+            }
+        }
     }
 }
 
@@ -267,9 +367,7 @@ impl ExploreObserver for CliObserver {
                 });
                 sink.since_save += 1;
                 if sink.since_save >= CHECKPOINT_EVERY {
-                    // Periodic saves are best-effort; the final save in
-                    // `finish` reports failures.
-                    let _ = sink.save();
+                    sink.save();
                 }
             }
         }
@@ -418,6 +516,7 @@ mod tests {
                 fingerprint: 99,
                 channels: 2,
                 objectives: ObjectiveSpace::default_2d(),
+                faults: None,
             }),
         )
         .unwrap();
@@ -434,6 +533,109 @@ mod tests {
         let map = cp.warm_start_map();
         assert_eq!(map.get(&d1), Some(&(Rational::new(1, 7), 5)));
         assert_eq!(map.get(&d2), Some(&(Rational::new(1, 6), 8)));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn failed_checkpoint_save_does_not_abort_the_run() {
+        // An unwritable checkpoint directory: every save fails. The run
+        // must continue and `finish` must still succeed.
+        let obs = CliObserver::from_options(
+            false,
+            None,
+            Some(CheckpointConfig {
+                path: PathBuf::from("/nonexistent-dir/run.ckpt"),
+                fingerprint: 7,
+                channels: 2,
+                objectives: ObjectiveSpace::default_2d(),
+                faults: None,
+            }),
+        )
+        .unwrap();
+        let d = StorageDistribution::from_capacities(vec![4, 2]);
+        for _ in 0..(CHECKPOINT_EVERY + 1) {
+            obs.evaluation_finished(&d, Rational::new(1, 7), 5, 10);
+        }
+        obs.finish("exact")
+            .expect("checkpoint failure must not fail the run");
+        // The sink disabled itself after the first exhausted retry.
+        let sink = obs.checkpoint.as_ref().unwrap().lock().unwrap();
+        assert!(sink.disabled);
+    }
+
+    #[test]
+    fn injected_save_faults_recover_on_retry() {
+        // Pick a seed whose write-fault stream tears the first attempt
+        // and spares the second: the in-sink retry must recover and
+        // publish an intact checkpoint.
+        use buffy_core::FaultSite;
+        let seed = (0..1000u64)
+            .find(|&s| {
+                let p = FaultPlan::new(s).with_rate(FaultSite::CheckpointWrite, 1, 2);
+                p.should_inject(FaultSite::CheckpointWrite)
+                    && !p.should_inject(FaultSite::CheckpointWrite)
+            })
+            .expect("some seed tears exactly the first save attempt");
+        let path = std::env::temp_dir().join("buffy-observe-test-faulty.ckpt");
+        std::fs::remove_file(&path).ok();
+        let plan = Arc::new(FaultPlan::new(seed).with_rate(FaultSite::CheckpointWrite, 1, 2));
+        let obs = CliObserver::from_options(
+            false,
+            None,
+            Some(CheckpointConfig {
+                path: path.clone(),
+                fingerprint: 11,
+                channels: 2,
+                objectives: ObjectiveSpace::default_2d(),
+                faults: Some(plan),
+            }),
+        )
+        .unwrap();
+        let d = StorageDistribution::from_capacities(vec![4, 2]);
+        obs.evaluation_finished(&d, Rational::new(1, 7), 5, 10);
+        obs.finish("exact").unwrap();
+        let cp = Checkpoint::load(&path).expect("a retried save must publish intact");
+        assert_eq!(cp.entries.len(), 1);
+        std::fs::remove_file(&path).ok();
+        std::fs::remove_file(path.with_extension("ckpt.tmp")).ok();
+    }
+
+    #[test]
+    fn drop_guard_closes_the_trace_on_panic_paths() {
+        let path = std::env::temp_dir().join("buffy-observe-test-dropguard.jsonl");
+        let caught = std::panic::catch_unwind(|| {
+            let obs = CliObserver::from_options(false, Some(path.to_str().unwrap()), None).unwrap();
+            let d = StorageDistribution::from_capacities(vec![4, 2]);
+            obs.evaluation_finished(&d, Rational::new(1, 7), 5, 10);
+            // The run dies mid-stream: `finish` never runs, the observer
+            // unwinds, and the drop guard must close the trace.
+            panic!("simulated mid-run crash");
+        });
+        assert!(caught.is_err());
+        let text = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        for line in &lines {
+            assert!(line.starts_with("{\"elapsed_us\":"), "{line}");
+            assert!(line.ends_with('}'), "{line}");
+        }
+        assert!(
+            lines[1].contains("\"event\":\"end\"") && lines[1].contains("\"reason\":\"aborted\""),
+            "{}",
+            lines[1]
+        );
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn finish_then_drop_emits_exactly_one_end_event() {
+        let path = std::env::temp_dir().join("buffy-observe-test-oneend.jsonl");
+        {
+            let obs = CliObserver::from_options(false, Some(path.to_str().unwrap()), None).unwrap();
+            obs.finish("exact").unwrap();
+        }
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(text.matches("\"event\":\"end\"").count(), 1);
         std::fs::remove_file(&path).ok();
     }
 }

@@ -126,7 +126,7 @@ pub fn min_storage_for_throughput_observed<M: DataflowSemantics + Sync>(
     if let Some(caps) = &options.max_channel_caps {
         space = space.with_max_capacities(caps);
     }
-    let eval = EvalPipeline::new(model, observed, options, observer);
+    let eval = EvalPipeline::new(model, observed, options, observer)?;
     let recorder = buffy_telemetry::active();
     let pruned_counter = recorder.as_ref().map(|r| {
         r.counter(

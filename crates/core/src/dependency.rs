@@ -117,7 +117,7 @@ pub fn explore_dependency_guided_observed<M: DataflowSemantics + Sync>(
     let space = DistributionSpace::for_model(model);
     let lb_size = space.min_size();
 
-    let eval = EvalPipeline::new(model, observed, options, observer);
+    let eval = EvalPipeline::new(model, observed, options, observer)?;
     let cancel = options.cancel.clone().unwrap_or_default();
     let recorder = buffy_telemetry::active();
     let guided_skip_counter = |reason: &str| {
@@ -386,6 +386,23 @@ mod tests {
             guided.stats.evaluations,
             exhaustive.stats.evaluations
         );
+    }
+
+    #[test]
+    fn disarmed_fault_plan_is_invisible() {
+        // The fault layer must be zero-cost when off: a plan with all
+        // rates zero (and no plan at all) produce identical fronts and
+        // identical deterministic statistics.
+        let g = example();
+        let clean = explore_dependency_guided(&g, &ExploreOptions::default()).unwrap();
+        let opts = ExploreOptions {
+            fault_plan: Some(std::sync::Arc::new(crate::fault::FaultPlan::new(7))),
+            ..ExploreOptions::default()
+        };
+        let disarmed = explore_dependency_guided(&g, &opts).unwrap();
+        assert_eq!(front(&clean), front(&disarmed));
+        assert_eq!(clean.stats, disarmed.stats);
+        assert_eq!(clean.stats.failures, 0);
     }
 
     #[test]

@@ -117,6 +117,11 @@ pub struct ExploreOptions {
     /// inside the worker, exercising the panic-containment path. Not for
     /// production use.
     pub fail_distribution: Option<StorageDistribution>,
+    /// Deterministic fault schedule injecting evaluation panics, spurious
+    /// cancellations and arena-pressure spikes into the pipeline (see
+    /// [`crate::FaultPlan`]). The generalization of `fail_distribution`:
+    /// `None` in production, where every hook is a single untaken branch.
+    pub fault_plan: Option<Arc<crate::fault::FaultPlan>>,
     /// The declared objective space of the exploration. The default is
     /// the paper's storage/throughput pair; declaring the energy axis
     /// makes every Pareto point carry the exact energy per iteration
@@ -142,6 +147,7 @@ impl Default for ExploreOptions {
             warm_start_neighbours: true,
             static_prune: true,
             fail_distribution: None,
+            fault_plan: None,
             objectives: ObjectiveSpace::default_2d(),
         }
     }
@@ -398,7 +404,7 @@ pub fn explore_design_space_observed<M: DataflowSemantics + Sync>(
     let observed = options
         .observed
         .unwrap_or_else(|| model.default_observed_actor());
-    let eval = EvalPipeline::new(model, observed, options, observer);
+    let eval = EvalPipeline::new(model, observed, options, observer)?;
     let mut space = DistributionSpace::for_model(model);
     if let Some(caps) = &options.max_channel_caps {
         space = space.with_max_capacities(caps);

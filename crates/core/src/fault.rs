@@ -1,0 +1,271 @@
+//! Deterministic fault injection for resilience testing.
+//!
+//! A [`FaultPlan`] decides, for every *site* where the runtime can fail
+//! (worker panics, checkpoint I/O, cancellation races, arena pressure),
+//! whether the site's *n*-th occurrence injects a fault. The decision is
+//! a pure function of `(seed, site, occurrence-index)` — no wall clock,
+//! no global RNG — so a given seed reproduces the exact same fault
+//! schedule on every run, machine, and thread count where the occurrence
+//! order is itself deterministic (single-threaded runs, or per-site
+//! streams that are totals rather than orderings).
+//!
+//! The plan generalizes the old `fail_distribution` test hook in
+//! [`EvalPipeline`](crate::pipeline): instead of failing one named
+//! distribution, a plan schedules faults over the whole run. Hooks are
+//! zero-cost when no plan is installed — every injection point guards on
+//! an `Option` that is `None` in production, one branch and no atomics.
+//!
+//! Occurrence counters are relaxed atomics: concurrent workers may
+//! interleave their draws, but each draw still consumes exactly one
+//! index of the site's deterministic decision stream, so the *number* of
+//! injected faults per site is reproducible even when their assignment
+//! to particular evaluations is not. The `buffy chaos` driver runs
+//! single-threaded so the full schedule is reproducible.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use buffy_analysis::fx_hash;
+
+/// Number of distinct fault sites (length of the per-site arrays).
+pub const FAULT_SITES: usize = 5;
+
+/// A place in the runtime where a fault can be injected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultSite {
+    /// A worker panic inside a throughput evaluation (contained by the
+    /// pipeline's `catch_unwind`).
+    EvalPanic,
+    /// A spurious cancellation request racing the run, as if a SIGINT or
+    /// deadline fired mid-exploration.
+    SpuriousCancel,
+    /// An arena-pressure spike: a burst of noted states pushing the run
+    /// toward its memory budget.
+    ArenaPressure,
+    /// A short/torn write while persisting a checkpoint temp file.
+    CheckpointWrite,
+    /// A failed rename when atomically publishing a checkpoint.
+    CheckpointRename,
+}
+
+impl FaultSite {
+    /// All sites, in index order.
+    pub const ALL: [FaultSite; FAULT_SITES] = [
+        FaultSite::EvalPanic,
+        FaultSite::SpuriousCancel,
+        FaultSite::ArenaPressure,
+        FaultSite::CheckpointWrite,
+        FaultSite::CheckpointRename,
+    ];
+
+    /// Stable machine-readable name, used in chaos reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            FaultSite::EvalPanic => "eval-panic",
+            FaultSite::SpuriousCancel => "spurious-cancel",
+            FaultSite::ArenaPressure => "arena-pressure",
+            FaultSite::CheckpointWrite => "checkpoint-write",
+            FaultSite::CheckpointRename => "checkpoint-rename",
+        }
+    }
+
+    fn index(self) -> usize {
+        match self {
+            FaultSite::EvalPanic => 0,
+            FaultSite::SpuriousCancel => 1,
+            FaultSite::ArenaPressure => 2,
+            FaultSite::CheckpointWrite => 3,
+            FaultSite::CheckpointRename => 4,
+        }
+    }
+}
+
+/// A seeded, deterministic fault schedule.
+///
+/// Each site has an injection rate `num/den`; occurrence `i` of a site
+/// injects iff `fx_hash((seed, site, i)) % den < num`. Rates of `0/1`
+/// (the default) never inject, so an all-zero plan behaves exactly like
+/// no plan at all.
+#[derive(Debug)]
+pub struct FaultPlan {
+    seed: u64,
+    rates: [(u64, u64); FAULT_SITES],
+    occurrences: [AtomicU64; FAULT_SITES],
+    injected: [AtomicU64; FAULT_SITES],
+}
+
+impl FaultPlan {
+    /// A plan with the given seed and all rates zero (injects nothing
+    /// until [`with_rate`](FaultPlan::with_rate) arms a site).
+    pub fn new(seed: u64) -> FaultPlan {
+        FaultPlan {
+            seed,
+            rates: [(0, 1); FAULT_SITES],
+            occurrences: Default::default(),
+            injected: Default::default(),
+        }
+    }
+
+    /// The canonical chaos mix used by `buffy chaos`: frequent checkpoint
+    /// I/O faults, occasional evaluation panics and arena spikes, rare
+    /// spurious cancellations. The evaluation-facing rates are kept low
+    /// enough that most schedules survive the load-bearing bounds phase
+    /// and reach the exit-0/exit-3 paths too, not just early errors.
+    pub fn chaos(seed: u64) -> FaultPlan {
+        FaultPlan::new(seed)
+            .with_rate(FaultSite::EvalPanic, 1, 128)
+            .with_rate(FaultSite::SpuriousCancel, 1, 512)
+            .with_rate(FaultSite::ArenaPressure, 1, 64)
+            .with_rate(FaultSite::CheckpointWrite, 1, 4)
+            .with_rate(FaultSite::CheckpointRename, 1, 8)
+    }
+
+    /// Sets a site's injection rate to `num` in `den`. A zero denominator
+    /// is treated as `0/1` (never inject).
+    #[must_use]
+    pub fn with_rate(mut self, site: FaultSite, num: u64, den: u64) -> FaultPlan {
+        self.rates[site.index()] = if den == 0 { (0, 1) } else { (num, den) };
+        self
+    }
+
+    /// The plan's seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Draws the next occurrence of `site` and reports whether it should
+    /// inject a fault. Pure in `(seed, site, occurrence-index)`: the
+    /// `i`-th call for a site always returns the same answer for a given
+    /// seed, regardless of when or from which thread it is made.
+    pub fn should_inject(&self, site: FaultSite) -> bool {
+        let idx = site.index();
+        let (num, den) = self.rates[idx];
+        let occ = self.occurrences[idx].fetch_add(1, Ordering::Relaxed);
+        if num == 0 {
+            return false;
+        }
+        let inject = fx_hash(&(self.seed, idx as u64, occ)) % den < num;
+        if inject {
+            self.injected[idx].fetch_add(1, Ordering::Relaxed);
+        }
+        inject
+    }
+
+    /// How many times `site` has been drawn so far.
+    pub fn occurrences(&self, site: FaultSite) -> u64 {
+        self.occurrences[site.index()].load(Ordering::Relaxed)
+    }
+
+    /// How many of those draws injected a fault.
+    pub fn injected(&self, site: FaultSite) -> u64 {
+        self.injected[site.index()].load(Ordering::Relaxed)
+    }
+
+    /// Total faults injected across all sites.
+    pub fn total_injected(&self) -> u64 {
+        FaultSite::ALL.iter().map(|&s| self.injected(s)).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn decisions_are_pure_in_seed_site_and_index() {
+        let a = FaultPlan::chaos(7);
+        let b = FaultPlan::chaos(7);
+        for _ in 0..512 {
+            for site in FaultSite::ALL {
+                assert_eq!(a.should_inject(site), b.should_inject(site));
+            }
+        }
+        assert_eq!(a.total_injected(), b.total_injected());
+        assert!(
+            a.total_injected() > 0,
+            "chaos rates should fire in 512 draws"
+        );
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = FaultPlan::chaos(0);
+        let b = FaultPlan::chaos(1);
+        let draws_a: Vec<bool> = (0..256)
+            .map(|_| a.should_inject(FaultSite::EvalPanic))
+            .collect();
+        let draws_b: Vec<bool> = (0..256)
+            .map(|_| b.should_inject(FaultSite::EvalPanic))
+            .collect();
+        assert_ne!(draws_a, draws_b);
+    }
+
+    #[test]
+    fn sites_draw_independent_streams() {
+        // Interleaving draws across sites must not disturb any single
+        // site's stream: compare against a plan drawing one site only.
+        let mixed = FaultPlan::chaos(42);
+        let solo = FaultPlan::chaos(42);
+        let mut mixed_writes = Vec::new();
+        for i in 0..256 {
+            if i % 3 == 0 {
+                let _ = mixed.should_inject(FaultSite::EvalPanic);
+            }
+            mixed_writes.push(mixed.should_inject(FaultSite::CheckpointWrite));
+        }
+        let solo_writes: Vec<bool> = (0..256)
+            .map(|_| solo.should_inject(FaultSite::CheckpointWrite))
+            .collect();
+        assert_eq!(mixed_writes, solo_writes);
+    }
+
+    #[test]
+    fn zero_rate_site_never_injects_but_still_counts() {
+        let plan = FaultPlan::new(3).with_rate(FaultSite::EvalPanic, 1, 2);
+        for _ in 0..64 {
+            assert!(!plan.should_inject(FaultSite::CheckpointRename));
+        }
+        assert_eq!(plan.occurrences(FaultSite::CheckpointRename), 64);
+        assert_eq!(plan.injected(FaultSite::CheckpointRename), 0);
+    }
+
+    #[test]
+    fn zero_denominator_is_never_inject() {
+        let plan = FaultPlan::new(9).with_rate(FaultSite::EvalPanic, 5, 0);
+        for _ in 0..32 {
+            assert!(!plan.should_inject(FaultSite::EvalPanic));
+        }
+    }
+
+    #[test]
+    fn concurrent_draws_preserve_per_site_totals() {
+        // With N threads each drawing K times, exactly N*K occurrence
+        // indices are consumed, so the injected total equals the
+        // single-threaded count over the same index range.
+        const THREADS: usize = 4;
+        const DRAWS: usize = 64;
+        let plan = Arc::new(FaultPlan::new(11).with_rate(FaultSite::EvalPanic, 1, 3));
+        std::thread::scope(|scope| {
+            for _ in 0..THREADS {
+                let plan = Arc::clone(&plan);
+                scope.spawn(move || {
+                    for _ in 0..DRAWS {
+                        let _ = plan.should_inject(FaultSite::EvalPanic);
+                    }
+                });
+            }
+        });
+        assert_eq!(
+            plan.occurrences(FaultSite::EvalPanic),
+            (THREADS * DRAWS) as u64
+        );
+        let reference = FaultPlan::new(11).with_rate(FaultSite::EvalPanic, 1, 3);
+        let mut expect = 0;
+        for _ in 0..THREADS * DRAWS {
+            if reference.should_inject(FaultSite::EvalPanic) {
+                expect += 1;
+            }
+        }
+        assert_eq!(plan.injected(FaultSite::EvalPanic), expect);
+    }
+}

@@ -67,6 +67,7 @@ mod dependency;
 mod enumerate;
 mod error;
 mod explore;
+mod fault;
 mod objective;
 mod pareto;
 mod pipeline;
@@ -77,7 +78,7 @@ pub use bounds::{
     channel_lower_bound, channel_step, lower_bound_distribution, lower_bound_distribution_for,
     upper_bound_distribution, upper_bound_distribution_for,
 };
-pub use checkpoint::{Checkpoint, CheckpointEntry, CheckpointError};
+pub use checkpoint::{Checkpoint, CheckpointEntry, CheckpointError, SalvageReport};
 pub use constraint::{
     min_storage_for_throughput, min_storage_for_throughput_for,
     min_storage_for_throughput_observed, ConstraintResult,
@@ -91,6 +92,7 @@ pub use explore::{
     explore_design_space, explore_design_space_for, explore_design_space_observed,
     ExplorationResult, ExploreOptions, WarmStart,
 };
+pub use fault::{FaultPlan, FaultSite, FAULT_SITES};
 pub use objective::{ObjectiveKind, ObjectiveSpace, ObjectiveVector, ParseObjectivesError, Sense};
 pub use pareto::{ParetoPoint, ParetoSet};
 pub use runtime::{

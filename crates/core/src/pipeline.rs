@@ -36,6 +36,7 @@
 
 use crate::error::ExploreError;
 use crate::explore::{ExploreOptions, WarmStart};
+use crate::fault::{FaultPlan, FaultSite};
 use crate::objective::ObjectiveKind;
 use crate::pareto::{ParetoPoint, ParetoSet};
 use crate::prune::PruneOracle;
@@ -44,8 +45,8 @@ use crate::runtime::{
     PruneKind, ShardedCache,
 };
 use buffy_analysis::{
-    throughput_for_reusing, AnalysisWorkspace, CancelToken, Capacities, DataflowSemantics,
-    EnergyModel, ExplorationLimits, StaticBounds,
+    throughput_for_reusing, AnalysisWorkspace, CancelReason, CancelToken, Capacities,
+    DataflowSemantics, EnergyModel, ExplorationLimits, StaticBounds,
 };
 use buffy_graph::{ActorId, ChannelId, Rational, StorageDistribution};
 use buffy_telemetry::{labeled, names};
@@ -73,6 +74,9 @@ pub(crate) struct EvalPipeline<'a, M: DataflowSemantics + Sync> {
     cancel: Arc<CancelToken>,
     warm_start: Option<Arc<WarmStart>>,
     fail_distribution: Option<StorageDistribution>,
+    /// Deterministic fault schedule ([`crate::fault`]); `None` in
+    /// production, where every hook is a single untaken branch.
+    faults: Option<Arc<FaultPlan>>,
     failures: Mutex<Vec<EvaluationFailure>>,
     telemetry: Option<EvalTelemetry>,
     shard_stats_published: AtomicBool,
@@ -151,6 +155,12 @@ impl EvalTelemetry {
     }
 }
 
+/// States charged to the memory watchdog by one injected arena-pressure
+/// spike ([`FaultSite::ArenaPressure`]): large enough that a handful of
+/// spikes exhaust a chaos run's state budget, the way a pathological
+/// distribution's state space would.
+const ARENA_SPIKE_STATES: u64 = 1 << 20;
+
 /// Renders a panic payload for failure reporting.
 pub(crate) fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
     if let Some(s) = payload.downcast_ref::<&str>() {
@@ -168,7 +178,7 @@ impl<'a, M: DataflowSemantics + Sync> EvalPipeline<'a, M> {
         observed: ActorId,
         options: &ExploreOptions,
         observer: &'a dyn ExploreObserver,
-    ) -> EvalPipeline<'a, M> {
+    ) -> Result<EvalPipeline<'a, M>, ExploreError> {
         // A model the static pass cannot certify (disconnected, no
         // consistent repetition vector, …) silently degrades to
         // dominance-only pruning — the oracle never guesses.
@@ -179,14 +189,25 @@ impl<'a, M: DataflowSemantics + Sync> EvalPipeline<'a, M> {
         };
         // An inconsistent model has no repetition vector and therefore no
         // energy coefficients — but such a model fails the bounds phase
-        // before any point is constructed, so degrading to `None` here is
-        // unobservable.
+        // before any point is constructed, so degrading to `None` there is
+        // unobservable. Adversarial annotations overflowing the exact
+        // coefficient arithmetic are a different matter: the bounds phase
+        // would *succeed* and silently chart an energy-free front, so
+        // overflow is surfaced as the error it is.
         let energy = if options.objectives.has(ObjectiveKind::Energy) {
-            EnergyModel::from_semantics(model, observed).ok()
+            use buffy_analysis::AnalysisError;
+            use buffy_graph::GraphError;
+            match EnergyModel::from_semantics(model, observed) {
+                Ok(m) => Some(m),
+                Err(e @ AnalysisError::Graph(GraphError::ArithmeticOverflow { .. })) => {
+                    return Err(ExploreError::from(e))
+                }
+                Err(_) => None,
+            }
         } else {
             None
         };
-        EvalPipeline {
+        Ok(EvalPipeline {
             model,
             observed,
             limits: options.limits,
@@ -197,6 +218,7 @@ impl<'a, M: DataflowSemantics + Sync> EvalPipeline<'a, M> {
             cancel: options.cancel.clone().unwrap_or_default(),
             warm_start: options.warm_start.clone(),
             fail_distribution: options.fail_distribution.clone(),
+            faults: options.fault_plan.clone(),
             failures: Mutex::new(Vec::new()),
             telemetry: EvalTelemetry::fetch(),
             shard_stats_published: AtomicBool::new(false),
@@ -207,7 +229,7 @@ impl<'a, M: DataflowSemantics + Sync> EvalPipeline<'a, M> {
                 .collect(),
             workspaces: Mutex::new(Vec::new()),
             energy,
-        }
+        })
     }
 
     /// Builds the Pareto point of one evaluated distribution in the
@@ -228,11 +250,16 @@ impl<'a, M: DataflowSemantics + Sync> EvalPipeline<'a, M> {
                 if let Some(t) = &self.telemetry {
                     t.energy_points.inc();
                 }
-                ParetoPoint::with_energy(
-                    distribution,
-                    throughput,
-                    m.energy_per_iteration(throughput),
-                )
+                // The checked path: point construction runs outside the
+                // worker's panic containment, so an overflowing energy
+                // (extreme but validated coefficients at an extreme
+                // throughput) degrades to the worst representable energy
+                // — deterministic, and dominated out of any honest front
+                // — rather than aborting the run.
+                let energy = m
+                    .checked_energy_per_iteration(throughput)
+                    .unwrap_or(Rational::from_integer(i128::MAX));
+                ParetoPoint::with_energy(distribution, throughput, energy)
             }
             None => ParetoPoint::new(distribution, throughput),
         }
@@ -324,11 +351,17 @@ impl<'a, M: DataflowSemantics + Sync> EvalPipeline<'a, M> {
                 // or a resumed run would prune differently.
                 self.oracle.record(dist, t);
                 self.observer.evaluation_finished(dist, t, states, 0);
+                self.cancel.note_states(states);
                 self.cancel.note_evaluation();
                 return Ok(entry);
             }
         }
         self.observer.evaluation_started(dist);
+        if let Some(plan) = &self.faults {
+            if plan.should_inject(FaultSite::SpuriousCancel) {
+                self.cancel.cancel(CancelReason::Interrupt);
+            }
+        }
         let trace_ts = self
             .telemetry
             .as_ref()
@@ -340,6 +373,14 @@ impl<'a, M: DataflowSemantics + Sync> EvalPipeline<'a, M> {
         let attempt = catch_unwind(AssertUnwindSafe(|| {
             if self.fail_distribution.as_ref() == Some(dist) {
                 panic!("injected evaluation failure (fail_distribution test hook)");
+            }
+            if let Some(plan) = &self.faults {
+                if plan.should_inject(FaultSite::EvalPanic) {
+                    panic!(
+                        "injected evaluation failure (fault plan, seed {})",
+                        plan.seed()
+                    );
+                }
             }
             throughput_for_reusing(
                 self.model,
@@ -383,6 +424,17 @@ impl<'a, M: DataflowSemantics + Sync> EvalPipeline<'a, M> {
                 self.oracle.record(dist, report.throughput);
                 self.observer
                     .evaluation_finished(dist, report.throughput, states, nanos);
+                // An injected arena-pressure spike rides on the genuine
+                // count: it models this evaluation's arena ballooning, so
+                // it lands exactly where real states are accounted and the
+                // watchdog degrades the run between candidates.
+                let spike = match &self.faults {
+                    Some(plan) if plan.should_inject(FaultSite::ArenaPressure) => {
+                        ARENA_SPIKE_STATES
+                    }
+                    _ => 0,
+                };
+                self.cancel.note_states(states + spike);
                 self.cancel.note_evaluation();
                 Ok(entry)
             }

@@ -81,6 +81,9 @@ pub struct CsdfExploreOptions {
     /// allocation-layer hint: fronts and statistics (other than the
     /// warm-start counters) are identical either way.
     pub warm_start_neighbours: bool,
+    /// Deterministic fault schedule for resilience testing (see
+    /// [`buffy_core::FaultPlan`]); `None` in production.
+    pub fault_plan: Option<Arc<buffy_core::FaultPlan>>,
     /// The objective space to explore (default: the paper's
     /// storage/throughput pair). Adding the energy axis requires power
     /// annotations on the graph's actors; the latency axis is an
@@ -102,6 +105,7 @@ impl Default for CsdfExploreOptions {
             warm_start: None,
             static_prune: true,
             warm_start_neighbours: true,
+            fault_plan: None,
             objectives: ObjectiveSpace::default_2d(),
         }
     }
@@ -198,6 +202,7 @@ pub fn csdf_explore_observed(
         warm_start: options.warm_start.clone(),
         static_prune: options.static_prune,
         warm_start_neighbours: options.warm_start_neighbours,
+        fault_plan: options.fault_plan.clone(),
         objectives: options.objectives.clone(),
         ..ExploreOptions::default()
     };

@@ -1,0 +1,85 @@
+//! Robustness sweep for the CSDF reader: malformed SDF3 `csdf` documents
+//! must yield a clean `Err`, never a panic.
+
+use buffy_csdf::xml::read_csdf_xml;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+const WELL_FORMED: &str = r#"<sdf3><applicationGraph name="g"><csdf name="g">
+  <actor name="x"/><actor name="y"/>
+  <channel name="c" srcActor="x" srcRate="2,0,1" dstActor="y" dstRate="1,1,1" initialTokens="1"/>
+</csdf></applicationGraph></sdf3>"#;
+
+fn corpus() -> Vec<(&'static str, String)> {
+    vec![
+        ("empty input", String::new()),
+        ("truncated open tag", "<sdf3><applicationGraph".to_string()),
+        ("no csdf body", "<sdf3><applicationGraph name=\"g\"/></sdf3>".to_string()),
+        (
+            "negative phase rate",
+            WELL_FORMED.replace("srcRate=\"2,0,1\"", "srcRate=\"2,-1,1\""),
+        ),
+        (
+            "overflowing phase rate",
+            WELL_FORMED.replace("srcRate=\"2,0,1\"", "srcRate=\"2,99999999999999999999999,1\""),
+        ),
+        (
+            "non-numeric phase rate",
+            WELL_FORMED.replace("dstRate=\"1,1,1\"", "dstRate=\"1,one,1\""),
+        ),
+        ("empty rate list entry", WELL_FORMED.replace("dstRate=\"1,1,1\"", "dstRate=\"1,,1\"")),
+        (
+            "all-zero rate list",
+            WELL_FORMED.replace("srcRate=\"2,0,1\"", "srcRate=\"0,0,0\""),
+        ),
+        (
+            // Per-actor phase counts are free, but one actor's ports must
+            // agree: x's first channel declares 3 phases, the second 2.
+            "conflicting phase counts on one actor",
+            WELL_FORMED.replace(
+                "</csdf>",
+                "<channel name=\"d\" srcActor=\"x\" srcRate=\"1,1\" dstActor=\"y\" dstRate=\"1,1,1\"/></csdf>",
+            ),
+        ),
+        (
+            "duplicate actor names",
+            WELL_FORMED.replace("<actor name=\"y\"/>", "<actor name=\"x\"/>"),
+        ),
+        (
+            "channel references unknown actor",
+            WELL_FORMED.replace("dstActor=\"y\"", "dstActor=\"ghost\""),
+        ),
+        (
+            "actor without a name",
+            WELL_FORMED.replace("<actor name=\"x\"/>", "<actor/>"),
+        ),
+        (
+            "channel missing rates",
+            WELL_FORMED.replace(" srcRate=\"2,0,1\"", ""),
+        ),
+        (
+            "truncated mid-channel",
+            WELL_FORMED[..WELL_FORMED.find("dstActor").unwrap()].to_string(),
+        ),
+    ]
+}
+
+#[test]
+fn malformed_documents_error_cleanly() {
+    for (label, doc) in corpus() {
+        let outcome = catch_unwind(AssertUnwindSafe(|| read_csdf_xml(&doc)));
+        match outcome {
+            Ok(Ok(_)) => panic!("{label}: malformed document parsed successfully:\n{doc}"),
+            Ok(Err(_)) => {}
+            Err(_) => panic!("{label}: parser panicked on:\n{doc}"),
+        }
+    }
+}
+
+#[test]
+fn well_formed_reference_still_parses() {
+    // Guard against the corpus base itself rotting: every malformed case
+    // above is a one-edit mutation of a document that must stay valid.
+    let g = read_csdf_xml(WELL_FORMED).expect("reference document should parse");
+    assert_eq!(g.num_actors(), 2);
+    assert_eq!(g.num_channels(), 1);
+}

@@ -206,7 +206,7 @@ pub fn parse(input: &str) -> Result<XmlElement, XmlError> {
     if c.peek() != Some(b'<') {
         return Err(c.error("expected root element"));
     }
-    let root = parse_element(&mut c)?;
+    let root = parse_element(&mut c, 0)?;
     skip_misc(&mut c)?;
     if c.peek().is_some() {
         return Err(c.error("unexpected content after root element"));
@@ -230,7 +230,15 @@ fn skip_misc(c: &mut Cursor<'_>) -> Result<(), XmlError> {
     }
 }
 
-fn parse_element(c: &mut Cursor<'_>) -> Result<XmlElement, XmlError> {
+/// Maximum element nesting depth. The parser is recursive, so adversarial
+/// nesting must become a clean error well before the call stack runs out;
+/// real SDF3 documents are a handful of levels deep.
+const MAX_DEPTH: usize = 256;
+
+fn parse_element(c: &mut Cursor<'_>, depth: usize) -> Result<XmlElement, XmlError> {
+    if depth >= MAX_DEPTH {
+        return Err(c.error(format!("element nesting exceeds {MAX_DEPTH} levels")));
+    }
     if !c.eat("<") {
         return Err(c.error("expected '<'"));
     }
@@ -302,7 +310,7 @@ fn parse_element(c: &mut Cursor<'_>) -> Result<XmlElement, XmlError> {
             }
             return Ok(el);
         } else {
-            el.children.push(parse_element(c)?);
+            el.children.push(parse_element(c, depth + 1)?);
         }
     }
 }
@@ -366,6 +374,28 @@ mod tests {
         assert!(parse("<a/><b/>").is_err());
         assert!(parse("<a x=\"&unknown;\"/>").is_err());
         assert!(parse("<a x=\"unterminated/>").is_err());
+    }
+
+    #[test]
+    fn nesting_deeper_than_the_cap_is_rejected() {
+        let mut doc = String::new();
+        for _ in 0..MAX_DEPTH + 1 {
+            doc.push_str("<a>");
+        }
+        for _ in 0..MAX_DEPTH + 1 {
+            doc.push_str("</a>");
+        }
+        let err = parse(&doc).unwrap_err();
+        assert!(err.to_string().contains("nesting"));
+        // One level under the cap still parses.
+        let mut ok = String::new();
+        for _ in 0..MAX_DEPTH - 1 {
+            ok.push_str("<a>");
+        }
+        for _ in 0..MAX_DEPTH - 1 {
+            ok.push_str("</a>");
+        }
+        assert!(parse(&ok).is_ok());
     }
 
     #[test]

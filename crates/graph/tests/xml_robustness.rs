@@ -1,0 +1,157 @@
+//! Robustness sweep: malformed SDF3 documents must yield a clean `Err`,
+//! never a panic. Each case runs under `catch_unwind` so a panicking
+//! parser fails the test with the offending document named, instead of
+//! aborting the whole harness.
+
+use buffy_graph::xml::read_sdf_xml;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// A minimal well-formed document the corpus mutates from.
+const WELL_FORMED: &str = r#"<sdf3><applicationGraph name="g"><sdf name="g">
+  <actor name="x"/><actor name="y"/>
+  <channel name="c" srcActor="x" srcRate="2" dstActor="y" dstRate="3" initialTokens="1"/>
+</sdf></applicationGraph></sdf3>"#;
+
+/// Malformed documents, each labelled with what is wrong with it.
+fn corpus() -> Vec<(&'static str, String)> {
+    let mut cases: Vec<(&'static str, String)> = vec![
+        ("empty input", String::new()),
+        ("whitespace only", "   \n\t  ".to_string()),
+        ("plain text, no markup", "not xml at all".to_string()),
+        ("lone open angle", "<".to_string()),
+        ("truncated open tag", "<sdf3><applicationGraph".to_string()),
+        ("tag never closed", "<sdf3><applicationGraph name=\"g\">".to_string()),
+        ("mismatched close tag", "<sdf3><sdf></sdf3></sdf>".to_string()),
+        ("attribute without value", "<sdf3 version></sdf3>".to_string()),
+        (
+            "attribute quote never closed",
+            "<sdf3><applicationGraph name=\"g></sdf3>".to_string(),
+        ),
+        ("stray close tag", "</sdf3>".to_string()),
+        ("negative rate", WELL_FORMED.replace("srcRate=\"2\"", "srcRate=\"-2\"")),
+        (
+            "overflowing rate",
+            WELL_FORMED.replace("srcRate=\"2\"", "srcRate=\"99999999999999999999999\""),
+        ),
+        ("non-numeric rate", WELL_FORMED.replace("dstRate=\"3\"", "dstRate=\"three\"")),
+        ("empty rate", WELL_FORMED.replace("dstRate=\"3\"", "dstRate=\"\"")),
+        ("zero rate", WELL_FORMED.replace("srcRate=\"2\"", "srcRate=\"0\"")),
+        (
+            "negative initial tokens",
+            WELL_FORMED.replace("initialTokens=\"1\"", "initialTokens=\"-1\""),
+        ),
+        (
+            "duplicate actor names",
+            WELL_FORMED.replace("<actor name=\"y\"/>", "<actor name=\"y\"/><actor name=\"x\"/>"),
+        ),
+        (
+            "duplicate channel names",
+            WELL_FORMED.replace(
+                "</sdf>",
+                "<channel name=\"c\" srcActor=\"y\" srcRate=\"1\" dstActor=\"x\" dstRate=\"1\"/></sdf>",
+            ),
+        ),
+        (
+            "channel references unknown actor",
+            WELL_FORMED.replace("dstActor=\"y\"", "dstActor=\"ghost\""),
+        ),
+        ("no application graph", "<sdf3/>".to_string()),
+        ("no sdf body", "<sdf3><applicationGraph name=\"g\"/></sdf3>".to_string()),
+        (
+            "actor without a name",
+            WELL_FORMED.replace("<actor name=\"x\"/>", "<actor/>"),
+        ),
+        (
+            "channel missing both rate and port",
+            WELL_FORMED.replace(" srcRate=\"2\"", ""),
+        ),
+        (
+            "overflowing execution time",
+            format!(
+                "{}<!---->",
+                WELL_FORMED.replace(
+                    "</applicationGraph>",
+                    "<sdfProperties><actorProperties actor=\"x\">\
+                     <processor default=\"true\"><executionTime time=\"18446744073709551616\"/></processor>\
+                     </actorProperties></sdfProperties></applicationGraph>"
+                )
+            ),
+        ),
+    ];
+    // Truncations at every byte boundary of the well-formed document that
+    // fall inside markup are either a parse error or (when the cut lands
+    // after a complete, self-contained prefix) a missing-element error.
+    for cut in 1..WELL_FORMED.len() {
+        if !WELL_FORMED.is_char_boundary(cut) || cut == WELL_FORMED.len() {
+            continue;
+        }
+        if cut % 7 == 0 {
+            cases.push(("byte-boundary truncation", WELL_FORMED[..cut].to_string()));
+        }
+    }
+    cases
+}
+
+#[test]
+fn malformed_documents_error_cleanly() {
+    for (label, doc) in corpus() {
+        let outcome = catch_unwind(AssertUnwindSafe(|| read_sdf_xml(&doc)));
+        match outcome {
+            Ok(Ok(_)) => panic!("{label}: malformed document parsed successfully:\n{doc}"),
+            Ok(Err(_)) => {}
+            Err(_) => panic!("{label}: parser panicked on:\n{doc}"),
+        }
+    }
+}
+
+#[test]
+fn deeply_nested_markup_does_not_exhaust_the_stack() {
+    // A recursive-descent parser can blow the stack on pathological
+    // nesting; a few thousand levels must come back as a clean result.
+    let depth = 5_000;
+    let mut doc = String::new();
+    for _ in 0..depth {
+        doc.push_str("<a>");
+    }
+    for _ in 0..depth {
+        doc.push_str("</a>");
+    }
+    let outcome = catch_unwind(AssertUnwindSafe(|| read_sdf_xml(&doc)));
+    assert!(
+        matches!(outcome, Ok(Err(_))),
+        "deep nesting should be a clean error, not a crash"
+    );
+}
+
+#[test]
+fn error_messages_name_the_problem() {
+    let negative = WELL_FORMED.replace("srcRate=\"2\"", "srcRate=\"-2\"");
+    let msg = read_sdf_xml(&negative).unwrap_err().to_string();
+    assert!(
+        msg.contains("srcRate"),
+        "message should name the attribute: {msg}"
+    );
+
+    let duplicate = WELL_FORMED.replace(
+        "<actor name=\"y\"/>",
+        "<actor name=\"y\"/><actor name=\"x\"/>",
+    );
+    let msg = read_sdf_xml(&duplicate).unwrap_err().to_string();
+    assert!(
+        msg.contains('x'),
+        "message should name the duplicate: {msg}"
+    );
+}
+
+#[test]
+fn hostile_bytes_do_not_crash() {
+    // Control characters and NULs inside attribute values are tolerated
+    // by the lossy decoder; the only requirement here is no panic.
+    for doc in [
+        WELL_FORMED.replace("name=\"g\"", "name=\"g\u{0}\""),
+        WELL_FORMED.replace("name=\"c\"", "name=\"\u{1b}[31m\""),
+    ] {
+        let outcome = catch_unwind(AssertUnwindSafe(|| read_sdf_xml(&doc)));
+        assert!(outcome.is_ok(), "parser panicked on hostile bytes:\n{doc}");
+    }
+}

@@ -173,6 +173,9 @@ pub mod names {
     pub const ENERGY_POINTS: &str = "buffy_energy_points_total";
     /// Counter: trace events dropped after the in-memory buffer cap.
     pub const TRACE_DROPPED: &str = "buffy_trace_events_dropped_total";
+    /// Counter: checkpoint saves that failed after exhausting the retry
+    /// budget (the run continues uncheckpointed).
+    pub const CHECKPOINT_SAVE_FAILURES: &str = "buffy_checkpoint_save_failures_total";
 }
 
 /// Formats `name{key="value"}` — the labelled-metric naming convention
