@@ -33,6 +33,11 @@
 //! rendered as a string, or `null` for runs in the default 2D objective
 //! space — and the gallery gains guided energy-aware runs over the
 //! power-annotated modem and cd2dat variants. All v4 keys are unchanged.
+//!
+//! Schema v6: each run record additionally carries `evals_per_sec` — the
+//! run's evaluation throughput (`evaluations / wall_secs`), the same
+//! figure the CLI's `--progress` lines and the `/status` endpoint report
+//! live. All v5 keys are unchanged.
 
 use buffy_bench::format_table;
 use buffy_core::{
@@ -119,6 +124,12 @@ fn json_record(r: &Run) -> String {
         .and_then(|p| p.energy())
         .map(|e| format!("\"{e}\""))
         .unwrap_or_else(|| "null".to_string());
+    // Schema v6's throughput column: evaluations per wall-clock second.
+    let evals_per_sec = if r.wall_secs > 0.0 {
+        s.evaluations as f64 / r.wall_secs
+    } else {
+        0.0
+    };
     format!(
         "{{\"graph\":\"{}\",\"algorithm\":\"{}\",\"threads\":{},\"wall_secs\":{:.6},\
          \"evaluations\":{},\"cache_hits\":{},\"cache_hit_rate\":{:.4},\
@@ -126,7 +137,7 @@ fn json_record(r: &Run) -> String {
          \"eval_nanos\":{},\"pareto_points\":{},\
          \"eval_latency_ns\":{{\"p50\":{},\"p90\":{},\"p99\":{}}},\"shard_hit_rates\":[{}],\
          \"warm_starts\":{},\"warm_start_hit_rate\":{:.4},\"warm_start_states\":{},\
-         \"energy\":{energy}}}",
+         \"energy\":{energy},\"evals_per_sec\":{evals_per_sec:.2}}}",
         r.graph,
         r.algorithm,
         r.threads,
@@ -247,7 +258,7 @@ fn main() {
 
     let records: Vec<String> = runs.iter().map(json_record).collect();
     let json = format!(
-        "{{\"bench\":\"dse_stats\",\"schema\":5,\"auto_threads\":{},\"runs\":[\n  {}\n]}}\n",
+        "{{\"bench\":\"dse_stats\",\"schema\":6,\"auto_threads\":{},\"runs\":[\n  {}\n]}}\n",
         auto,
         records.join(",\n  ")
     );

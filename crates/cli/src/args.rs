@@ -48,6 +48,8 @@ const VALUE_OPTIONS: &[&str] = &[
     "objectives",
     "export-csv",
     "export-dot",
+    "serve",
+    "serve-linger",
 ];
 
 /// Boolean flags the commands understand; anything else starting with
@@ -195,6 +197,27 @@ mod tests {
         assert!(parse(&args(&["--trace-jsonl", "x"])).is_err());
         assert!(parse(&args(&["--metrics"])).is_err());
         assert!(parse(&args(&["--chrome-trace"])).is_err());
+    }
+
+    #[test]
+    fn serve_options_parse() {
+        let p = parse(&args(&[
+            "explore",
+            "g.xml",
+            "--serve",
+            "127.0.0.1:0",
+            "--serve-linger",
+            "5",
+        ]))
+        .unwrap();
+        assert_eq!(
+            p.options.get("serve").map(String::as_str),
+            Some("127.0.0.1:0")
+        );
+        assert_eq!(p.options.get("serve-linger").map(String::as_str), Some("5"));
+        // Both take values.
+        assert!(parse(&args(&["--serve"])).is_err());
+        assert!(parse(&args(&["--serve-linger"])).is_err());
     }
 
     #[test]

@@ -2,6 +2,7 @@
 
 use crate::args::{parse_dist, ParsedArgs};
 use crate::observe::{dist_json, json_escape, CheckpointConfig, CliObserver};
+use crate::serve::ServeSession;
 use crate::telemetry::{telemetry_json, TelemetrySession};
 use buffy_analysis::{
     fx_hash, maximal_throughput, throughput, AnalysisError, BoundCertificate, DataflowSemantics,
@@ -9,9 +10,11 @@ use buffy_analysis::{
 };
 use buffy_core::{
     explore_dependency_guided_observed, explore_design_space_observed, lower_bound_distribution,
-    lower_bound_distribution_for, min_storage_for_throughput_observed, CancelReason, CancelToken,
-    Checkpoint, Completeness, EvaluationFailure, ExplorationResult, ExplorationStats, ExploreError,
-    ExploreOptions, ObjectiveKind, ObjectiveSpace, ParetoPoint, SkippedSize, WarmStart,
+    lower_bound_distribution_for, min_storage_for_throughput_observed,
+    upper_bound_distribution_for, CancelReason, CancelToken, Checkpoint, Completeness,
+    DistributionSpace, EvaluationFailure, ExplorationResult, ExplorationStats, ExploreError,
+    ExploreOptions, ObjectiveKind, ObjectiveSpace, ParetoPoint, SkippedSize, TeeObserver,
+    WarmStart,
 };
 use buffy_gen::{gallery, RandomGraphConfig};
 use buffy_graph::dot::to_dot;
@@ -94,6 +97,38 @@ fn observer_from(
         parsed.options.get("trace-json").map(String::as_str),
         checkpoint,
     )
+}
+
+/// Cap on the `--progress` space pre-count: beyond this many candidates
+/// the percent-covered/ETA annotations are simply dropped.
+const PROGRESS_COUNT_CAP: u64 = 1_000_000;
+
+/// Pre-counts the realizable candidate space between the §7 lower bound
+/// and the §8 upper bound (clipped to `--max-size`), the denominator of
+/// the `--progress` percent-covered and ETA annotations.
+///
+/// Only runs when `--progress` was given — it costs one extra bounds
+/// computation up front, independent of the run itself (the run's own
+/// statistics are untouched). `None` (annotations off) when the bounds
+/// cannot be computed or the space exceeds [`PROGRESS_COUNT_CAP`].
+fn progress_space_total<M: DataflowSemantics>(
+    parsed: &ParsedArgs,
+    model: &M,
+    observed: ActorId,
+) -> Option<u64> {
+    if !parsed.has_flag("progress") {
+        return None;
+    }
+    let space = DistributionSpace::for_model(model);
+    let ub = upper_bound_distribution_for(model, observed, ExplorationLimits::default())
+        .ok()?
+        .0
+        .size();
+    let hi = match parsed.get::<u64>("max-size").ok().flatten() {
+        Some(max) => max.min(ub),
+        None => ub,
+    };
+    space.count_in_capped(space.min_size(), hi, PROGRESS_COUNT_CAP)
 }
 
 /// Rough bytes per reduced state for the `--max-memory-mb` watchdog: an
@@ -776,20 +811,34 @@ pub fn explore(parsed: &ParsedArgs, out: Out<'_>) -> Result<i32, String> {
         .get("algorithm")
         .map(String::as_str)
         .unwrap_or("guided");
-    let observer = observer_from(parsed, fingerprint, graph.num_channels())?;
+    let observer = observer_from(parsed, fingerprint, graph.num_channels())?.with_space_total(
+        progress_space_total(parsed, &graph, observed_actor(parsed, &graph)?),
+    );
     let telemetry = TelemetrySession::from_options(parsed);
+    let serve = ServeSession::from_options(parsed, graph.name(), algorithm, &telemetry)?;
+    let mut tee = TeeObserver::new();
+    tee.push(&observer);
+    if let Some(session) = &serve {
+        tee.push(session.observer());
+    }
     let run = match algorithm {
-        "guided" => explore_dependency_guided_observed(&graph, &opts, &observer),
-        "exhaustive" => explore_design_space_observed(&graph, &opts, &observer),
+        "guided" => explore_dependency_guided_observed(&graph, &opts, &tee),
+        "exhaustive" => explore_design_space_observed(&graph, &opts, &tee),
         other => return Err(format!("unknown algorithm {other:?} (guided|exhaustive)")),
     };
     let result = match run {
         Ok(result) => result,
         Err(ExploreError::Cancelled { reason }) => {
-            return cancelled_without_result(reason, &observer, out)
+            if let Some(session) = serve {
+                session.finish(reason.name());
+            }
+            return cancelled_without_result(reason, &observer, out);
         }
         Err(e) => {
             observer.finish("error").ok();
+            if let Some(session) = serve {
+                session.finish("error");
+            }
             return Err(e.to_string());
         }
     };
@@ -810,6 +859,9 @@ pub fn explore(parsed: &ParsedArgs, out: Out<'_>) -> Result<i32, String> {
         &latencies,
     )?;
     print_front(&result, parsed, snapshot.as_ref(), &space, &latencies, out)?;
+    if let Some(session) = serve {
+        session.finish(end_reason(&result.completeness));
+    }
     Ok(exit_code_for(&result.completeness))
 }
 
@@ -830,15 +882,29 @@ pub fn constraint(parsed: &ParsedArgs, out: Out<'_>) -> Result<i32, String> {
     if constraint <= Rational::ZERO {
         return Err("--throughput must be positive".into());
     }
-    let observer = observer_from(parsed, fingerprint, graph.num_channels())?;
+    let observer = observer_from(parsed, fingerprint, graph.num_channels())?.with_space_total(
+        progress_space_total(parsed, &graph, observed_actor(parsed, &graph)?),
+    );
     let telemetry = TelemetrySession::from_options(parsed);
-    let r = match min_storage_for_throughput_observed(&graph, constraint, &opts, &observer) {
+    let serve = ServeSession::from_options(parsed, graph.name(), "constraint", &telemetry)?;
+    let mut tee = TeeObserver::new();
+    tee.push(&observer);
+    if let Some(session) = &serve {
+        tee.push(session.observer());
+    }
+    let r = match min_storage_for_throughput_observed(&graph, constraint, &opts, &tee) {
         Ok(r) => r,
         Err(ExploreError::Cancelled { reason }) => {
-            return cancelled_without_result(reason, &observer, out)
+            if let Some(session) = serve {
+                session.finish(reason.name());
+            }
+            return cancelled_without_result(reason, &observer, out);
         }
         Err(e) => {
             observer.finish("error").ok();
+            if let Some(session) = serve {
+                session.finish("error");
+            }
             return Err(e.to_string());
         }
     };
@@ -856,6 +922,9 @@ pub fn constraint(parsed: &ParsedArgs, out: Out<'_>) -> Result<i32, String> {
                 telemetry_section(snapshot.as_ref())
             ),
         )?;
+        if let Some(session) = serve {
+            session.finish(end_reason(&r.completeness));
+        }
         return Ok(exit_code_for(&r.completeness));
     }
     w(
@@ -877,6 +946,9 @@ pub fn constraint(parsed: &ParsedArgs, out: Out<'_>) -> Result<i32, String> {
         )?;
     }
     write_resilience_text(&Completeness::exact(), &[], &r.failures, out)?;
+    if let Some(session) = serve {
+        session.finish(end_reason(&r.completeness));
+    }
     Ok(exit_code_for(&r.completeness))
 }
 
@@ -1029,15 +1101,33 @@ pub fn csdf_explore(parsed: &ParsedArgs, out: Out<'_>) -> Result<i32, String> {
         objectives: space.clone(),
         ..buffy_csdf::CsdfExploreOptions::default()
     };
-    let observer = observer_from(parsed, fingerprint, graph.num_channels())?;
+    let observer = observer_from(parsed, fingerprint, graph.num_channels())?.with_space_total(
+        progress_space_total(
+            parsed,
+            &graph,
+            observed.unwrap_or_else(|| graph.default_observed_actor()),
+        ),
+    );
     let telemetry = TelemetrySession::from_options(parsed);
-    let r = match buffy_csdf::csdf_explore_observed(&graph, &opts, &observer) {
+    let serve = ServeSession::from_options(parsed, graph.name(), "csdf-explore", &telemetry)?;
+    let mut tee = TeeObserver::new();
+    tee.push(&observer);
+    if let Some(session) = &serve {
+        tee.push(session.observer());
+    }
+    let r = match buffy_csdf::csdf_explore_observed(&graph, &opts, &tee) {
         Ok(r) => r,
         Err(buffy_csdf::CsdfError::Analysis(AnalysisError::Cancelled { reason })) => {
-            return cancelled_without_result(reason, &observer, out)
+            if let Some(session) = serve {
+                session.finish(reason.name());
+            }
+            return cancelled_without_result(reason, &observer, out);
         }
         Err(e) => {
             observer.finish("error").ok();
+            if let Some(session) = serve {
+                session.finish("error");
+            }
             return Err(e.to_string());
         }
     };
@@ -1084,6 +1174,9 @@ pub fn csdf_explore(parsed: &ParsedArgs, out: Out<'_>) -> Result<i32, String> {
             ),
         )?;
         write_resilience_text(&r.completeness, &r.skipped, &r.failures, out)?;
+    }
+    if let Some(session) = serve {
+        session.finish(end_reason(&r.completeness));
     }
     Ok(exit_code_for(&r.completeness))
 }

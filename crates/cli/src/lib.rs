@@ -17,6 +17,7 @@ mod args;
 mod chaos;
 mod commands;
 mod observe;
+mod serve;
 mod signal;
 mod telemetry;
 
@@ -64,7 +65,7 @@ COMMANDS:
             [--objectives storage,throughput[,energy][,latency]]
             [--export-csv FILE] [--export-dot FILE]
             [--no-static-prune] [--no-warm-start] [--progress]
-            [--trace-json FILE]
+            [--trace-json FILE] [--serve ADDR] [--serve-linger SECS]
             [--metrics FILE] [--chrome-trace FILE] [--timeout SECS]
             [--max-evals N] [--max-states N] [--max-memory-mb M]
             [--checkpoint FILE] [--resume FILE]
@@ -79,6 +80,17 @@ COMMANDS:
                                       streams one JSON object per
                                       evaluation/cache-hit/pruned/pareto
                                       event (each stamped with elapsed_us);
+                                      --serve ADDR starts an embedded
+                                      observability server for the run
+                                      (GET / dashboard, /healthz, live
+                                      Prometheus /metrics, JSON /status,
+                                      /events streaming the same event
+                                      vocabulary as --trace-json over SSE)
+                                      and --serve-linger SECS keeps it
+                                      serving the final front and counters
+                                      that long after the search ends
+                                      (attaching the server never changes
+                                      the result);
                                       --no-static-prune disables the static
                                       certificate and dominance pruning
                                       (the front is byte-identical either
@@ -131,6 +143,7 @@ COMMANDS:
                                       trade-off chart
     constraint <graph.xml> --throughput R [--actor NAME] [--json]
                [--no-static-prune] [--progress] [--trace-json FILE]
+               [--serve ADDR] [--serve-linger SECS]
                [--metrics FILE] [--chrome-trace FILE] [--timeout SECS]
                [--max-evals N] [--max-states N] [--max-memory-mb M]
                [--checkpoint FILE] [--resume FILE]
@@ -162,7 +175,8 @@ COMMANDS:
                  [--objectives storage,throughput[,energy]]
                  [--export-csv FILE] [--export-dot FILE]
                  [--no-warm-start] [--progress]
-                 [--trace-json FILE] [--metrics FILE] [--chrome-trace FILE]
+                 [--trace-json FILE] [--serve ADDR] [--serve-linger SECS]
+                 [--metrics FILE] [--chrome-trace FILE]
                  [--timeout SECS] [--max-evals N] [--max-states N]
                  [--max-memory-mb M] [--checkpoint FILE] [--resume FILE]
                                       Pareto space of a CSDF graph;

@@ -10,7 +10,11 @@
 //!   for the command's actual output. High-frequency lines are throttled
 //!   to roughly ten per second on a monotonic clock so a fast exploration
 //!   cannot flood the terminal; phase transitions, failures and the final
-//!   summary always print;
+//!   summary always print. Each line carries the evaluation rate, and —
+//!   when the command pre-counted the realizable
+//!   [`DistributionSpace`](buffy_core::DistributionSpace) — the percent
+//!   of that space already covered (evaluated, cache-answered or pruned)
+//!   plus an ETA extrapolated from the coverage rate;
 //! - `--trace-json <file>`: one JSON object per line (JSON-lines). Every
 //!   event leads with `elapsed_us`, microseconds on the monotonic clock
 //!   since the observer (and hence the run) was created. Each line is
@@ -137,6 +141,11 @@ pub struct CliObserver {
     progress_last_us: AtomicU64,
     evaluations: AtomicU64,
     cache_hits: AtomicU64,
+    prunes: AtomicU64,
+    /// Total realizable candidates in the search window, when the command
+    /// pre-counted them (`--progress` only): the denominator of the
+    /// percent-covered and ETA annotations.
+    space_total: Option<u64>,
     trace: Option<Mutex<File>>,
     checkpoint: Option<Mutex<CheckpointSink>>,
     /// Whether [`finish`](CliObserver::finish) ran. The [`Drop`] guard
@@ -183,6 +192,8 @@ impl CliObserver {
             progress_last_us: AtomicU64::new(u64::MAX),
             evaluations: AtomicU64::new(0),
             cache_hits: AtomicU64::new(0),
+            prunes: AtomicU64::new(0),
+            space_total: None,
             trace,
             checkpoint,
             finished: AtomicBool::new(false),
@@ -195,6 +206,42 @@ impl CliObserver {
     pub fn quiet() -> CliObserver {
         CliObserver::from_options(false, None, None)
             .expect("an output-free observer cannot fail to build")
+    }
+
+    /// Attaches the pre-counted size of the realizable candidate space,
+    /// enabling the percent-covered and ETA progress annotations.
+    pub fn with_space_total(mut self, total: Option<u64>) -> CliObserver {
+        self.space_total = total;
+        self
+    }
+
+    /// The dynamic tail of a progress line: evaluation rate, and — when
+    /// the candidate space was pre-counted — percent covered plus an ETA
+    /// extrapolated from the coverage rate (evaluations, cache hits and
+    /// prunes all cover candidates).
+    fn progress_suffix(&self) -> String {
+        let elapsed = self.start.elapsed().as_secs_f64().max(1e-6);
+        let evals = self.evaluations.load(Ordering::Relaxed);
+        let mut out = format!(", {:.0} evals/s", evals as f64 / elapsed);
+        if let Some(total) = self.space_total {
+            let covered = evals
+                + self.cache_hits.load(Ordering::Relaxed)
+                + self.prunes.load(Ordering::Relaxed);
+            let pct = if total == 0 {
+                100.0
+            } else {
+                100.0 * covered.min(total) as f64 / total as f64
+            };
+            let _ = write!(out, ", {pct:.1}% of space");
+            let rate = covered as f64 / elapsed;
+            // No ETA once the run is over (the final summary reuses this
+            // suffix) or before any candidate was covered.
+            if covered > 0 && covered < total && !self.finished.load(Ordering::Relaxed) {
+                let eta = (total - covered) as f64 / rate;
+                let _ = write!(out, ", ETA {eta:.0}s");
+            }
+        }
+        out
     }
 
     /// Whether a throttled progress line may print now. Lossy under
@@ -252,9 +299,10 @@ impl CliObserver {
         if self.progress {
             // The final summary is never throttled.
             eprintln!(
-                "[buffy] finished ({reason}): {} analyses, {} cache hits",
+                "[buffy] finished ({reason}): {} analyses, {} cache hits{}",
                 self.evaluations.load(Ordering::Relaxed),
-                self.cache_hits.load(Ordering::Relaxed)
+                self.cache_hits.load(Ordering::Relaxed),
+                self.progress_suffix()
             );
         }
         self.trace_line(format_args!(
@@ -346,8 +394,9 @@ impl ExploreObserver for CliObserver {
         let n = self.evaluations.fetch_add(1, Ordering::Relaxed) + 1;
         if self.progress_tick() {
             eprintln!(
-                "[buffy] {n} analyses, {} cache hits",
-                self.cache_hits.load(Ordering::Relaxed)
+                "[buffy] {n} analyses, {} cache hits{}",
+                self.cache_hits.load(Ordering::Relaxed),
+                self.progress_suffix()
             );
         }
         self.trace_line(format_args!(
@@ -393,6 +442,7 @@ impl ExploreObserver for CliObserver {
     }
 
     fn distribution_pruned(&self, dist: &StorageDistribution, kind: PruneKind) {
+        self.prunes.fetch_add(1, Ordering::Relaxed);
         self.trace_line(format_args!(
             "{{\"event\":\"pruned\",\"kind\":\"{}\",\"distribution\":{}}}",
             kind.name(),
@@ -503,6 +553,48 @@ mod tests {
         // Without --progress nothing ever prints.
         let quiet = CliObserver::from_options(false, None, None).unwrap();
         assert!(!quiet.progress_tick());
+    }
+
+    #[test]
+    fn progress_suffix_reports_rate_coverage_and_eta() {
+        let obs = CliObserver::from_options(true, None, None)
+            .unwrap()
+            .with_space_total(Some(10));
+        let d = StorageDistribution::from_capacities(vec![4, 2]);
+        obs.evaluation_finished(&d, Rational::new(1, 7), 5, 10);
+        obs.cache_hit(&d);
+        obs.distribution_pruned(&d, PruneKind::Dominance);
+        // 1 eval + 1 hit + 1 prune = 3 of 10 candidates covered.
+        let suffix = obs.progress_suffix();
+        assert!(suffix.contains(" evals/s"), "{suffix}");
+        assert!(suffix.contains("30.0% of space"), "{suffix}");
+        assert!(suffix.contains("ETA "), "{suffix}");
+    }
+
+    #[test]
+    fn progress_suffix_without_space_total_is_rate_only() {
+        let obs = CliObserver::from_options(true, None, None).unwrap();
+        let d = StorageDistribution::from_capacities(vec![4, 2]);
+        obs.evaluation_finished(&d, Rational::new(1, 7), 5, 10);
+        let suffix = obs.progress_suffix();
+        assert!(suffix.contains(" evals/s"), "{suffix}");
+        assert!(!suffix.contains("% of space"), "{suffix}");
+        assert!(!suffix.contains("ETA"), "{suffix}");
+    }
+
+    #[test]
+    fn progress_suffix_saturates_at_full_coverage() {
+        let obs = CliObserver::from_options(true, None, None)
+            .unwrap()
+            .with_space_total(Some(2));
+        let d = StorageDistribution::from_capacities(vec![4, 2]);
+        for _ in 0..5 {
+            obs.evaluation_finished(&d, Rational::new(1, 7), 5, 10);
+        }
+        let suffix = obs.progress_suffix();
+        // Coverage is clamped to 100% and a finished space has no ETA.
+        assert!(suffix.contains("100.0% of space"), "{suffix}");
+        assert!(!suffix.contains("ETA"), "{suffix}");
     }
 
     #[test]

@@ -3,7 +3,8 @@
 //! `--metrics FILE` writes a Prometheus textfile snapshot, `--chrome-trace
 //! FILE` a Chrome trace-event JSON (loadable in chrome://tracing or
 //! Perfetto), and `--json` embeds a `telemetry` section in the
-//! machine-readable report. Any of the three installs a fresh global
+//! machine-readable report. `--serve` needs the recorder live for its
+//! `/metrics` scrape endpoint. Any of the four installs a fresh global
 //! [`Recorder`] for the duration of the command; without them the
 //! instrumented hot paths pay only a relaxed load and a branch.
 
@@ -32,24 +33,37 @@ pub(crate) struct TelemetrySession {
 }
 
 impl TelemetrySession {
-    /// Builds the session from `--metrics`, `--chrome-trace` and `--json`.
+    /// Builds the session from `--metrics`, `--chrome-trace`, `--json`
+    /// and `--serve`.
     pub(crate) fn from_options(parsed: &ParsedArgs) -> TelemetrySession {
         let metrics = parsed.options.get("metrics").map(PathBuf::from);
         let chrome = parsed.options.get("chrome-trace").map(PathBuf::from);
+        let wanted = metrics.is_some()
+            || chrome.is_some()
+            || parsed.has_flag("json")
+            || parsed.options.contains_key("serve");
         let mut guard = None;
-        let recorder =
-            (metrics.is_some() || chrome.is_some() || parsed.has_flag("json")).then(|| {
-                guard = Some(INSTALL_LOCK.lock().unwrap_or_else(|e| e.into_inner()));
-                let r = Arc::new(Recorder::new());
-                buffy_telemetry::install(Arc::clone(&r));
-                r
-            });
+        let recorder = wanted.then(|| {
+            guard = Some(INSTALL_LOCK.lock().unwrap_or_else(|e| e.into_inner()));
+            let r = Arc::new(Recorder::new());
+            buffy_telemetry::install(Arc::clone(&r));
+            r
+        });
         TelemetrySession {
             recorder,
             _guard: guard,
             metrics,
             chrome,
         }
+    }
+
+    /// The installed recorder, when any consumer asked for one. The
+    /// observability server holds this `Arc` across
+    /// [`finish`](TelemetrySession::finish): `/metrics` keeps serving the
+    /// final values during the `--serve-linger` window even though the
+    /// global slot has been uninstalled.
+    pub(crate) fn recorder(&self) -> Option<Arc<Recorder>> {
+        self.recorder.clone()
     }
 
     /// Uninstalls the recorder, writes the export files and returns the

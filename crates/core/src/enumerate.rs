@@ -210,6 +210,24 @@ impl DistributionSpace {
         });
         count
     }
+
+    /// Total number of grid distributions across every realizable size in
+    /// `lo..=hi`, or `None` once the running total reaches `cap`.
+    ///
+    /// Progress reporting wants "percent of the realizable space covered",
+    /// which needs the denominator exactly once up front; the cap keeps
+    /// that pre-pass cheap on exploding spaces (a capped-out space simply
+    /// reports no percentage).
+    pub fn count_in_capped(&self, lo: u64, hi: u64, cap: u64) -> Option<u64> {
+        let mut total: u64 = 0;
+        for size in self.sizes_in(lo, hi) {
+            total += self.count_of_size_capped(size, cap.saturating_sub(total));
+            if total >= cap {
+                return None;
+            }
+        }
+        Some(total)
+    }
 }
 
 #[cfg(test)]
@@ -253,6 +271,18 @@ mod tests {
         let s = example_space();
         assert_eq!(s.count_of_size(5), 0);
         assert_eq!(s.count_of_size(6), 1);
+    }
+
+    #[test]
+    fn count_in_capped_totals_and_caps() {
+        let s = example_space();
+        // Sizes 6..=8 hold 1 + 2 + 3 distributions.
+        assert_eq!(s.count_in_capped(6, 8, 1000), Some(6));
+        // Range clamps to the realizable minimum.
+        assert_eq!(s.count_in_capped(0, 6, 1000), Some(1));
+        // Hitting the cap means "too many to count".
+        assert_eq!(s.count_in_capped(6, 8, 6), None);
+        assert_eq!(s.count_in_capped(6, 8, 3), None);
     }
 
     #[test]

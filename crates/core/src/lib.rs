@@ -68,6 +68,7 @@ mod enumerate;
 mod error;
 mod explore;
 mod fault;
+mod live;
 mod objective;
 mod pareto;
 mod pipeline;
@@ -93,6 +94,7 @@ pub use explore::{
     ExplorationResult, ExploreOptions, WarmStart,
 };
 pub use fault::{FaultPlan, FaultSite, FAULT_SITES};
+pub use live::{EventRing, LiveEvent, LiveObserver, LiveStats, TeeObserver, DEFAULT_RING_CAPACITY};
 pub use objective::{ObjectiveKind, ObjectiveSpace, ObjectiveVector, ParseObjectivesError, Sense};
 pub use pareto::{ParetoPoint, ParetoSet};
 pub use runtime::{

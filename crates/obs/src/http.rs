@@ -1,0 +1,110 @@
+//! Minimal HTTP/1.1 plumbing for the embedded observability server.
+//!
+//! Just enough protocol to serve `curl`, a browser tab and a Prometheus
+//! scraper: parse the request line of a `GET`, write a fixed-status
+//! response with `Content-Length`, and close. Anything fancier
+//! (keep-alive, chunked bodies, TLS) is deliberately out of scope — the
+//! server binds loopback-style addresses for a single operator.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+/// Cap on the request head (request line + headers) we are willing to
+/// buffer before giving up on a client.
+const MAX_REQUEST_BYTES: usize = 8 * 1024;
+
+/// How long a handler waits for a slow client to finish sending its
+/// request head before the connection is dropped.
+pub(crate) const READ_TIMEOUT: Duration = Duration::from_secs(2);
+
+/// A parsed request line: method and path (query string stripped).
+#[derive(Debug, PartialEq, Eq)]
+pub(crate) struct Request {
+    /// The HTTP method verbatim (`GET`, `HEAD`, …).
+    pub method: String,
+    /// The request path without any `?query` suffix.
+    pub path: String,
+}
+
+/// Reads and parses the request head from `stream`.
+///
+/// Returns `None` on malformed input, timeout, or a head exceeding
+/// [`MAX_REQUEST_BYTES`] — the caller just drops the connection.
+pub(crate) fn read_request(stream: &mut TcpStream) -> Option<Request> {
+    let _ = stream.set_read_timeout(Some(READ_TIMEOUT));
+    let mut buf = Vec::with_capacity(512);
+    let mut chunk = [0u8; 512];
+    while !head_complete(&buf) {
+        if buf.len() >= MAX_REQUEST_BYTES {
+            return None;
+        }
+        match stream.read(&mut chunk) {
+            Ok(0) => return None,
+            Ok(n) => buf.extend_from_slice(&chunk[..n]),
+            Err(_) => return None,
+        }
+    }
+    let head = String::from_utf8_lossy(&buf);
+    let line = head.lines().next()?;
+    let mut parts = line.split_whitespace();
+    let method = parts.next()?.to_string();
+    let target = parts.next()?;
+    let path = target.split('?').next().unwrap_or(target).to_string();
+    Some(Request { method, path })
+}
+
+fn head_complete(buf: &[u8]) -> bool {
+    buf.windows(4).any(|w| w == b"\r\n\r\n")
+}
+
+/// Writes a complete response with `Content-Length` and closes implied.
+pub(crate) fn respond(stream: &mut TcpStream, status: &str, content_type: &str, body: &str) {
+    let head = format!(
+        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\nCache-Control: no-cache\r\n\r\n",
+        body.len()
+    );
+    let _ = stream.write_all(head.as_bytes());
+    let _ = stream.write_all(body.as_bytes());
+    let _ = stream.flush();
+}
+
+/// Writes the response head for a Server-Sent-Events stream; the body is
+/// streamed by the caller until the run ends or the client goes away.
+pub(crate) fn respond_sse_head(stream: &mut TcpStream) -> std::io::Result<()> {
+    stream.write_all(
+        b"HTTP/1.1 200 OK\r\nContent-Type: text/event-stream\r\nCache-Control: no-cache\r\nConnection: close\r\n\r\n",
+    )?;
+    stream.flush()
+}
+
+/// 404 with a plain-text body.
+pub(crate) fn not_found(stream: &mut TcpStream) {
+    respond(
+        stream,
+        "404 Not Found",
+        "text/plain; charset=utf-8",
+        "not found\n",
+    );
+}
+
+/// 405 with a plain-text body (only `GET` is served).
+pub(crate) fn method_not_allowed(stream: &mut TcpStream) {
+    respond(
+        stream,
+        "405 Method Not Allowed",
+        "text/plain; charset=utf-8",
+        "only GET is supported\n",
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn head_completion_detects_terminator() {
+        assert!(!head_complete(b"GET / HTTP/1.1\r\n"));
+        assert!(head_complete(b"GET / HTTP/1.1\r\nHost: x\r\n\r\n"));
+    }
+}

@@ -188,6 +188,18 @@ impl Recorder {
         snapshot.help = help;
         snapshot
     }
+
+    /// Snapshot-and-render in one step: the current metric values in
+    /// Prometheus text exposition format.
+    ///
+    /// This is the live-scrape entry point: a `/metrics` handler on
+    /// another thread calls it per request while the instrumented run is
+    /// still writing. Each scrape pays one fresh [`Recorder::snapshot`] —
+    /// the writers only ever contend on the short registry mutexes, never
+    /// on the render.
+    pub fn prometheus(&self) -> String {
+        crate::render_prometheus(&self.snapshot())
+    }
 }
 
 /// An immutable copy of a [`Recorder`]'s metrics, keyed by full metric

@@ -66,4 +66,7 @@ fn chrome_trace_rendering_matches_golden() {
     ];
     let rendered = render_chrome_trace(&events);
     assert_eq!(rendered, include_str!("golden/chrome_trace.json"));
+    // The golden document carries the track-naming metadata: one
+    // process_name plus one thread_name per distinct tid (1 and 2).
+    assert_eq!(rendered.matches("\"ph\":\"M\"").count(), 3);
 }

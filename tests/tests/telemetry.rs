@@ -9,11 +9,18 @@
 //! otherwise make "recorder absent" unobservable.
 
 use buffy_core::{explore_design_space, ExplorationResult, ExploreOptions};
-use buffy_csdf::{csdf_explore, CsdfExplorationResult, CsdfExploreOptions, CsdfGraph};
+use buffy_core::{explore_design_space_observed, LiveObserver};
+use buffy_csdf::{
+    csdf_explore, csdf_explore_observed, CsdfExplorationResult, CsdfExploreOptions, CsdfGraph,
+};
 use buffy_gen::gallery;
 use buffy_graph::SdfGraph;
 use buffy_integration_tests::test_threads;
+use buffy_obs::{ObsServer, ServeState};
 use buffy_telemetry::{names, Recorder};
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
 
 static RECORDER_SLOT: Mutex<()> = Mutex::new(());
@@ -126,6 +133,146 @@ fn csdf_results_are_identical_with_and_without_recorder() {
             .trace_events()
             .iter()
             .any(|e| e.name == "csdf-explore"));
+    }
+}
+
+/// One blocking HTTP GET against the embedded server; returns the full
+/// response (head and body).
+fn http_get(addr: SocketAddr, path: &str) -> String {
+    let mut conn = TcpStream::connect(addr).unwrap();
+    conn.write_all(format!("GET {path} HTTP/1.1\r\nHost: test\r\n\r\n").as_bytes())
+        .unwrap();
+    let mut response = String::new();
+    conn.read_to_string(&mut response).unwrap();
+    response
+}
+
+/// Runs `f` with a [`LiveObserver`] teed to a live [`ObsServer`] while a
+/// scraper thread hammers `/metrics` and `/status` concurrently — the
+/// attached-server analogue of [`with_recorder`]. Returns the result,
+/// the last `/metrics` and `/status` scrapes (taken after the terminal
+/// event), and the full `/events` replay.
+fn with_server<T>(
+    graph_name: &str,
+    f: impl FnOnce(&LiveObserver) -> T,
+) -> (T, String, String, String) {
+    let recorder = Arc::new(Recorder::new());
+    buffy_telemetry::install(Arc::clone(&recorder));
+    let live = LiveObserver::new();
+    let server = ObsServer::start(
+        "127.0.0.1:0",
+        ServeState {
+            graph: graph_name.to_string(),
+            algorithm: "test".to_string(),
+            stats: live.stats(),
+            ring: live.ring(),
+            recorder: Arc::clone(&recorder),
+            budget_evaluations: None,
+        },
+    )
+    .expect("bind an ephemeral port");
+    let addr = server.local_addr();
+    let stop = Arc::new(AtomicBool::new(false));
+    // Mid-run scrapes: a thread hammers the endpoints for the whole run,
+    // so any interference with the search would surface as a diff below.
+    let scraper = {
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || {
+            let mut scrapes = 0u64;
+            while !stop.load(Ordering::Acquire) {
+                let _ = (http_get(addr, "/metrics"), http_get(addr, "/status"));
+                scrapes += 1;
+            }
+            scrapes
+        })
+    };
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(&live)));
+    live.finish("exact");
+    stop.store(true, Ordering::Release);
+    // A run faster than one scrape roundtrip legitimately yields zero
+    // mid-run scrapes; the slower gallery graphs see plenty.
+    let _scrapes = scraper.join().unwrap();
+    // The run has ended: these scrapes see the final counters (the
+    // per-shard tallies publish at end of run) and the complete front,
+    // and /events replays the ring and completes.
+    let metrics = http_get(addr, "/metrics");
+    let status = http_get(addr, "/status");
+    let events = http_get(addr, "/events");
+    drop(server);
+    buffy_telemetry::uninstall();
+    match result {
+        Ok(v) => (v, metrics, status, events),
+        Err(payload) => std::panic::resume_unwind(payload),
+    }
+}
+
+#[test]
+fn sdf_results_are_identical_with_server_attached() {
+    let _guard = RECORDER_SLOT.lock().unwrap_or_else(|e| e.into_inner());
+    for graph in [gallery::example(), gallery::modem()] {
+        for threads in [1, test_threads()] {
+            let bare = explore_with(&graph, threads);
+            let opts = ExploreOptions {
+                threads,
+                ..ExploreOptions::default()
+            };
+            let (served, metrics, status, events) = with_server(graph.name(), |live| {
+                explore_design_space_observed(&graph, &opts, live).unwrap()
+            });
+            assert_eq!(
+                render(&bare),
+                render(&served),
+                "{} at {threads} threads: an attached server must be observation-only",
+                graph.name()
+            );
+            // The concurrent scrapes saw real data: live Prometheus
+            // counters and, after the terminal event, the finished status
+            // with the full front.
+            assert!(metrics.contains("text/plain; version=0.0.4"), "{metrics}");
+            assert!(metrics.contains("buffy_memo_shard"), "{metrics}");
+            assert!(status.contains("\"finished\":true"), "{status}");
+            assert!(
+                status.contains(&format!("\"evaluations\":{}", served.stats.evaluations)),
+                "{status}"
+            );
+            assert!(
+                status.contains(&format!("\"front_size\":{}", served.pareto.len())),
+                "{status}"
+            );
+            // The SSE replay is framed and terminated.
+            assert!(events.contains("event: phase"), "{events}");
+            assert!(events.contains("event: evaluation"), "{events}");
+            assert!(events.contains("event: end"), "{events}");
+        }
+    }
+}
+
+#[test]
+fn csdf_results_are_identical_with_server_attached() {
+    let _guard = RECORDER_SLOT.lock().unwrap_or_else(|e| e.into_inner());
+    let mut b = CsdfGraph::builder("burst3");
+    let p = b.actor("p", vec![1, 1, 1]);
+    let c = b.actor("c", vec![2]);
+    b.channel("d", p, vec![3, 0, 3], c, vec![2], 0).unwrap();
+    let graph = b.build().unwrap();
+    for threads in [1, test_threads()] {
+        let opts = CsdfExploreOptions {
+            threads,
+            ..CsdfExploreOptions::default()
+        };
+        let bare = csdf_explore(&graph, &opts).unwrap();
+        let (served, _metrics, status, events) = with_server("burst3", |live| {
+            csdf_explore_observed(&graph, &opts, live).unwrap()
+        });
+        assert_eq!(
+            render_csdf(&bare),
+            render_csdf(&served),
+            "csdf at {threads} threads: an attached server must be observation-only"
+        );
+        assert!(status.contains("\"graph\":\"burst3\""), "{status}");
+        assert!(status.contains("\"finished\":true"), "{status}");
+        assert!(events.contains("event: phase"), "{events}");
+        assert!(events.contains("event: end"), "{events}");
     }
 }
 
